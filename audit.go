@@ -1,0 +1,57 @@
+package embellish
+
+import (
+	"errors"
+	"math/rand"
+
+	"embellish/internal/privacy"
+	"embellish/internal/semdist"
+)
+
+// Audit is the outcome of an engine privacy audit: the Section 5.1
+// metrics for the engine's bucket organization side by side with the
+// random-decoy baseline. Lower is better on every field.
+type Audit struct {
+	// SpecificitySpread is the mean intra-bucket specificity difference:
+	// how well decoys match genuine terms in specificity.
+	SpecificitySpread float64
+	// RandomSpecificitySpread is the same metric for random buckets.
+	RandomSpecificitySpread float64
+	// ClosestCover / FarthestCover are the mean best and worst
+	// |dist - dist'| between a genuine term pair's semantic distance and
+	// its decoy pairs' distances, over sampled bucket pairs.
+	ClosestCover  float64
+	FarthestCover float64
+	// RandomClosestCover / RandomFarthestCover are the baselines.
+	RandomClosestCover  float64
+	RandomFarthestCover float64
+	// Trials is the number of bucket-pair samples taken.
+	Trials int
+}
+
+// PrivacyAudit measures the decoy quality of the engine's bucket
+// organization, reproducing the paper's Figure 5/6 metrics on this
+// deployment's dictionary. trials is the number of sampled bucket pairs
+// (the paper uses 1,000); seed fixes the sampling.
+func (e *Engine) PrivacyAudit(trials int, seed int64) (Audit, error) {
+	if trials < 1 {
+		return Audit{}, errors.New("embellish: trials must be positive")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	calc := semdist.New(e.lex.db, 40)
+
+	a := Audit{
+		SpecificitySpread: privacy.AvgSpecSpread(e.org, e.lex.db.Specificity),
+	}
+	dd := privacy.MeasureDistanceDifference(e.org, calc, trials, rng)
+	a.ClosestCover, a.FarthestCover, a.Trials = dd.Closest, dd.Farthest, dd.Trials
+
+	randOrg, err := privacy.RandomOrganization(e.searchable, e.opts.BucketSize, rng)
+	if err != nil {
+		return a, err
+	}
+	a.RandomSpecificitySpread = privacy.AvgSpecSpread(randOrg, e.lex.db.Specificity)
+	rd := privacy.MeasureDistanceDifference(randOrg, calc, trials, rng)
+	a.RandomClosestCover, a.RandomFarthestCover = rd.Closest, rd.Farthest
+	return a, nil
+}

@@ -1,0 +1,116 @@
+// Command embellish-buckets builds a bucket organization (Algorithms 1
+// and 2 of the paper) over a lexicon and inspects it: print buckets with
+// their term specificities, look up the host bucket of a term, and
+// report the Section 5.1 privacy metrics.
+//
+// Usage:
+//
+//	embellish-buckets [-lexicon mini|synthetic] [-synsets N] [-seed S]
+//	                  [-bktsz B] [-segsz G] [-show N] [-term LEMMA] [-audit]
+//
+// Examples:
+//
+//	embellish-buckets -lexicon mini -show 5
+//	embellish-buckets -synsets 82115 -bktsz 4 -segsz 512 -term osteosarcoma
+//	embellish-buckets -bktsz 8 -audit
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"embellish/internal/bucket"
+	"embellish/internal/privacy"
+	"embellish/internal/semdist"
+	"embellish/internal/sequence"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+func main() {
+	var (
+		lexKind = flag.String("lexicon", "synthetic", "lexicon source: mini or synthetic")
+		synsets = flag.Int("synsets", 10000, "synthetic lexicon size (82115 = paper scale)")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		bktSz   = flag.Int("bktsz", 4, "bucket size (terms per bucket)")
+		segSz   = flag.Int("segsz", 0, "segment size (0 = maximum N/BktSz)")
+		show    = flag.Int("show", 0, "print the first N buckets")
+		term    = flag.String("term", "", "print the host bucket of this lemma")
+		audit   = flag.Bool("audit", false, "report privacy metrics vs random decoys")
+		trials  = flag.Int("trials", 1000, "bucket-pair samples for -audit")
+	)
+	flag.Parse()
+
+	var db *wordnet.Database
+	switch *lexKind {
+	case "mini":
+		db = wordnet.MiniLexicon()
+	case "synthetic":
+		db = wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -lexicon %q (want mini or synthetic)\n", *lexKind)
+		os.Exit(2)
+	}
+	fmt.Printf("lexicon: %d terms, %d synsets\n", db.NumTerms(), db.NumSynsets())
+
+	seq := sequence.Run(db)
+	fmt.Printf("sequence: %d terms\n", len(seq))
+
+	sz := *segSz
+	if sz <= 0 {
+		sz = len(seq) / *bktSz
+	}
+	org, err := bucket.Generate(seq, db.Specificity, *bktSz, sz)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bucket formation:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("organization: %d buckets of size %d (SegSz=%d)\n\n", org.NumBuckets(), *bktSz, sz)
+
+	printBucket := func(b int) {
+		fmt.Printf("Bucket %d:", b)
+		for _, t := range org.Bucket(b) {
+			fmt.Printf(" %q(%d)", db.Lemma(t), db.Specificity(t))
+		}
+		fmt.Println()
+	}
+
+	for b := 0; b < *show && b < org.NumBuckets(); b++ {
+		printBucket(b)
+	}
+
+	if *term != "" {
+		t, ok := db.Lookup(*term)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "term %q not in lexicon\n", *term)
+			os.Exit(1)
+		}
+		b, ok := org.BucketOf(t)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "term %q not bucketed\n", *term)
+			os.Exit(1)
+		}
+		fmt.Printf("host bucket of %q:\n", *term)
+		printBucket(b)
+	}
+
+	if *audit {
+		rng := rand.New(rand.NewSource(*seed + 1))
+		calc := semdist.New(db, 40)
+		fmt.Println("privacy metrics (lower is better):")
+		fmt.Printf("  intra-bucket specificity spread: bucket=%.3f",
+			privacy.AvgSpecSpread(org, db.Specificity))
+		randOrg, err := privacy.RandomOrganization(seq, *bktSz, rng)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "random baseline:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("  random=%.3f\n", privacy.AvgSpecSpread(randOrg, db.Specificity))
+		dd := privacy.MeasureDistanceDifference(org, calc, *trials, rng)
+		rd := privacy.MeasureDistanceDifference(randOrg, calc, *trials, rng)
+		fmt.Printf("  distance difference (closest cover): bucket=%.3f  random=%.3f\n", dd.Closest, rd.Closest)
+		fmt.Printf("  distance difference (farthest cover): bucket=%.3f  random=%.3f\n", dd.Farthest, rd.Farthest)
+	}
+}

@@ -1,0 +1,110 @@
+// Command embellish-eval regenerates the figures of the paper's
+// evaluation (Section 5) as text series, at a configurable scale.
+//
+// Usage:
+//
+//	embellish-eval [-fig 2|5a|5b|6a|6b|7|8|all] [-synsets N] [-docs N]
+//	               [-trials N] [-keybits K] [-querysize N] [-seed S]
+//
+// The defaults run every figure in roughly a minute on a laptop. Paper
+// scale is -synsets 82115 -docs 172961 -trials 1000 -keybits 512 (plan
+// for hours, dominated by the PIR baseline).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"embellish/internal/eval"
+)
+
+func main() {
+	var (
+		fig       = flag.String("fig", "all", "figure to regenerate: 2, 5a, 5b, 6a, 6b, 7, 8, recall or all")
+		synsets   = flag.Int("synsets", 2500, "lexicon size (82115 = paper scale)")
+		docs      = flag.Int("docs", 300, "corpus size (172961 = paper scale)")
+		meanLen   = flag.Int("meanlen", 80, "mean document length in tokens")
+		trials    = flag.Int("trials", 60, "measurements per sweep point (paper: 1000)")
+		keyBits   = flag.Int("keybits", 256, "key size for both cryptosystems (paper era: 512)")
+		querySize = flag.Int("querysize", 12, "genuine terms per query for figure 7")
+		seed      = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	cfg := eval.DefaultConfig()
+	cfg.Synsets = *synsets
+	cfg.NumDocs = *docs
+	cfg.MeanDocLen = *meanLen
+	cfg.Trials = *trials
+	cfg.KeyBits = *keyBits
+	cfg.QuerySize = *querySize
+	cfg.Seed = *seed
+
+	fmt.Printf("environment: %d synsets, %d docs, %d trials/point, %d-bit keys\n",
+		cfg.Synsets, cfg.NumDocs, cfg.Trials, cfg.KeyBits)
+	env, err := eval.NewEnv(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "environment:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("searchable dictionary: %d terms\n\n", len(env.Searchable))
+
+	run := func(id string) {
+		switch id {
+		case "2":
+			f := env.Figure2()
+			fmt.Println(f.Render())
+		case "5a":
+			f, err := env.Figure5a(nil)
+			exitOn(err)
+			fmt.Println(f.Render())
+		case "5b":
+			f, err := env.Figure5b(nil)
+			exitOn(err)
+			fmt.Println(f.Render())
+		case "6a":
+			f, err := env.Figure6a(nil)
+			exitOn(err)
+			fmt.Println(f.Render())
+		case "6b":
+			f, err := env.Figure6b(nil)
+			exitOn(err)
+			fmt.Println(f.Render())
+		case "7":
+			figs, err := env.Figure7(nil)
+			exitOn(err)
+			for _, f := range figs {
+				fmt.Println(f.Render())
+			}
+		case "8":
+			figs, err := env.Figure8(nil)
+			exitOn(err)
+			for _, f := range figs {
+				fmt.Println(f.Render())
+			}
+		case "recall", "R":
+			f, err := env.FigureRecall(nil, 10)
+			exitOn(err)
+			fmt.Println(f.Render())
+		default:
+			fmt.Fprintf(os.Stderr, "unknown figure %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	if *fig == "all" {
+		for _, id := range []string{"2", "5a", "5b", "6a", "6b", "7", "8", "recall"} {
+			run(id)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func exitOn(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

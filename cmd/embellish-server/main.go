@@ -1,0 +1,124 @@
+// Command embellish-server runs a private-retrieval search engine as a
+// network service. It either builds an engine from a synthetic world
+// (and optionally saves it) or loads a previously saved engine file, and
+// then serves the wire protocol on a TCP address. Clients connect with
+// the library's Client.SearchRemote, or interactively with
+// cmd/embellish-search -connect.
+//
+// Usage:
+//
+//	embellish-server [-listen :7878] [-load engine.bin]
+//	                 [-lexicon mini|synthetic] [-synsets N] [-docs N]
+//	                 [-bktsz B] [-save engine.bin] [-once]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+
+	"embellish"
+	"embellish/internal/corpus"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+func main() {
+	var (
+		listen  = flag.String("listen", "127.0.0.1:7878", "TCP listen address")
+		load    = flag.String("load", "", "load a saved engine file instead of building")
+		save    = flag.String("save", "", "save the built engine to this file")
+		lexKind = flag.String("lexicon", "mini", "lexicon source: mini or synthetic")
+		synsets = flag.Int("synsets", 5000, "synthetic lexicon size")
+		docs    = flag.Int("docs", 300, "synthetic corpus size")
+		bktSz   = flag.Int("bktsz", 8, "bucket size")
+		seed    = flag.Int64("seed", 1, "world seed")
+		once    = flag.Bool("once", false, "serve a single connection and exit (for scripting)")
+	)
+	flag.Parse()
+
+	var engine *embellish.Engine
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fatal(err)
+		}
+		engine, err = embellish.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded engine from %s\n", *load)
+	} else {
+		var db *wordnet.Database
+		var lex *embellish.Lexicon
+		switch *lexKind {
+		case "mini":
+			db, lex = wordnet.MiniLexicon(), embellish.MiniLexicon()
+		case "synthetic":
+			db = wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
+			lex = embellish.SyntheticLexicon(*synsets, *seed)
+		default:
+			fatal(fmt.Errorf("unknown -lexicon %q", *lexKind))
+		}
+		ccfg := corpus.DefaultConfig()
+		ccfg.NumDocs = *docs
+		ccfg.Seed = *seed + 1
+		corp := corpus.Generate(db, ccfg)
+		documents := make([]embellish.Document, len(corp.Docs))
+		for i, d := range corp.Docs {
+			documents[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+		}
+		opts := embellish.DefaultOptions()
+		opts.BucketSize = *bktSz
+		var err error
+		engine, err = embellish.NewEngine(lex, documents, opts)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
+		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
+
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved engine to %s\n", *save)
+	}
+
+	l, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving private retrieval on %s\n", l.Addr())
+	if *once {
+		conn, err := l.Accept()
+		if err != nil {
+			fatal(err)
+		}
+		if err := engine.ServeConn(conn); err != nil {
+			fatal(err)
+		}
+		conn.Close()
+		return
+	}
+	if err := engine.Serve(l); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embellish-server:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,44 @@
+// Package embellish is a Go implementation of the privacy-preserving
+// text-search system of Pang, Ding and Xiao, "Embellishing Text Search
+// Queries To Protect User Privacy" (PVLDB 3(1), VLDB 2010).
+//
+// # The problem
+//
+// A similarity text search engine must see query terms to rank documents
+// from its inverted index, so it can profile its users. Two signals make
+// naive countermeasures (throwing random cover terms into queries)
+// ineffective: semantically related terms in one query point to a common
+// topic, and recurring high-specificity terms across a session betray a
+// sustained interest.
+//
+// # The solution
+//
+// The library embellishes each query with decoy terms drawn from
+// precomputed buckets. Buckets group dictionary terms that are
+// approximately equal in specificity (shortest hypernym path to a root
+// of the lexical hierarchy) but semantically diverse, so a genuine term
+// always travels with decoys that are as specific and as mutually
+// related as itself — plausible alternative topics. The accompanying
+// private retrieval (PR) scheme attaches a Benaloh additively
+// homomorphic encryption of 1 (genuine) or 0 (decoy) to every query
+// term; the engine accumulates encrypted relevance scores over ALL query
+// terms without learning which were genuine, yet decoys contribute
+// nothing to the decrypted scores, so ranking quality is exactly that of
+// the plaintext engine (Claim 1 of the paper).
+//
+// # Usage
+//
+// Build an Engine over a lexicon and a document collection, derive a
+// Client (which generates the user's key pair), and search:
+//
+//	lex := embellish.MiniLexicon()
+//	engine, _ := embellish.NewEngine(lex, docs, embellish.DefaultOptions())
+//	client, _ := engine.NewClient(nil)
+//	res, _ := client.Search("osteosarcoma radiation therapy", 10)
+//
+// The response's ranking equals what a non-private engine would return
+// for the same genuine terms, while the engine observed only the
+// embellished term set. See the examples/ directory for complete
+// programs, and internal/eval for the harness that regenerates every
+// figure of the paper's evaluation.
+package embellish

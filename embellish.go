@@ -1,0 +1,333 @@
+package embellish
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/bucket"
+	"embellish/internal/core"
+	"embellish/internal/index"
+	"embellish/internal/sequence"
+	"embellish/internal/textproc"
+	"embellish/internal/wordnet"
+)
+
+// Document is one indexable text.
+type Document struct {
+	ID   int
+	Text string
+}
+
+// Engine is the search-engine side of the system: the inverted index,
+// the bucket organization (public knowledge), and the Algorithm 4 score
+// accumulator. An Engine is immutable after construction and safe for
+// concurrent use.
+type Engine struct {
+	opts       Options
+	lex        *Lexicon
+	analyzer   *textproc.Analyzer
+	index      *index.Index
+	org        *bucket.Organization
+	server     *core.Server
+	searchable []wordnet.TermID
+}
+
+// NewEngine indexes the documents and builds the bucket organization
+// over the searchable dictionary (lexicon terms that occur in the
+// corpus), following the Section 5.2 workflow: analyze, index, intersect
+// with the lexicon, sequence with Algorithm 1, bucket with Algorithm 2.
+func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	if lex == nil {
+		return nil, errors.New("embellish: nil lexicon")
+	}
+	if len(docs) == 0 {
+		return nil, errors.New("embellish: no documents")
+	}
+	lex.freeze()
+
+	e := &Engine{opts: opts, lex: lex}
+
+	// Analyzer: stopword removal per the paper, no stemming, multi-word
+	// lemma fusion so dictionary entries like 'abu sayyaf' survive
+	// tokenization.
+	e.analyzer = textproc.NewAnalyzer()
+	if !opts.Stopwords {
+		e.analyzer.Stopwords = nil
+	}
+	lemmas := make([]string, 0, lex.db.NumTerms())
+	for _, t := range lex.db.AllTerms() {
+		lemmas = append(lemmas, lex.db.Lemma(t))
+	}
+	e.analyzer.Matcher = textproc.NewDictionaryMatcher(lemmas)
+
+	b := index.NewBuilder()
+	b.QuantLevels = int32(opts.QuantLevels)
+	if opts.Scoring == BM25 {
+		b.Scoring = index.ScoringBM25
+	}
+	for _, d := range docs {
+		b.Add(index.DocID(d.ID), e.analyzer.Analyze(d.Text))
+	}
+	e.index = b.Build()
+
+	// Searchable dictionary = lexicon ∩ index vocabulary, in Algorithm 1
+	// sequence order.
+	for _, t := range sequence.Run(lex.db) {
+		if _, ok := e.index.LookupTerm(lex.db.Lemma(t)); ok {
+			e.searchable = append(e.searchable, t)
+		}
+	}
+	if len(e.searchable) < 2*opts.BucketSize {
+		return nil, fmt.Errorf("embellish: only %d searchable terms for BucketSize %d; index more documents or shrink buckets",
+			len(e.searchable), opts.BucketSize)
+	}
+
+	segSz := opts.SegmentSize
+	if segSz <= 0 {
+		segSz = len(e.searchable) / opts.BucketSize
+	}
+	org, err := bucket.Generate(e.searchable, lex.db.Specificity, opts.BucketSize, segSz)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: bucket formation: %w", err)
+	}
+	e.org = org
+	e.server = core.NewServer(e.index, org, lex.db)
+	return e, nil
+}
+
+// NumDocs reports the number of indexed documents.
+func (e *Engine) NumDocs() int { return e.index.NumDocs }
+
+// NumSearchableTerms reports the size of the searchable dictionary.
+func (e *Engine) NumSearchableTerms() int { return len(e.searchable) }
+
+// NumBuckets reports the number of decoy buckets.
+func (e *Engine) NumBuckets() int { return e.org.NumBuckets() }
+
+// Bucket returns the lemmas co-bucketed with the given term — the decoys
+// that accompany it in every embellished query — or false when the term
+// is not in the searchable dictionary. Inspecting buckets is how
+// deployments finetune the organization for sensitive applications
+// (Section 3's closing remark).
+func (e *Engine) Bucket(lemma string) ([]string, bool) {
+	t, ok := e.lex.db.Lookup(lemma)
+	if !ok {
+		return nil, false
+	}
+	b, ok := e.org.BucketOf(t)
+	if !ok {
+		return nil, false
+	}
+	terms := e.org.Bucket(b)
+	out := make([]string, len(terms))
+	for i, tm := range terms {
+		out[i] = e.lex.db.Lemma(tm)
+	}
+	return out, true
+}
+
+// Query is an embellished query ready for Engine.Process. The engine
+// sees only the term list and the attached ciphertext flags.
+type Query struct {
+	inner *core.Query
+	// termNames is filled at embellishment time so examples can print
+	// exactly what the adversary observes.
+	termNames []string
+	// Skipped lists query words that are not in the searchable
+	// dictionary and therefore could not be protected or searched.
+	Skipped []string
+}
+
+// Terms returns the embellished term list — genuine terms and decoys,
+// randomly permuted — exactly what the engine observes.
+func (q *Query) Terms() []string { return q.termNames }
+
+// Bytes reports the network size of the query.
+func (q *Query) Bytes() int { return q.inner.Bytes() }
+
+// Response carries encrypted candidate scores back to the client.
+type Response struct {
+	inner *core.Response
+	// Stats describes the server-side work for this query.
+	Stats ProcessStats
+}
+
+// Bytes reports the network size of the response.
+func (r *Response) Bytes() int { return r.inner.Bytes() }
+
+// ProcessStats summarizes the cost of one Engine.Process call.
+type ProcessStats struct {
+	// PostingsScanned is the number of inverted-list entries touched
+	// (genuine and decoy terms alike).
+	PostingsScanned int
+	// BucketsFetched is the number of distinct buckets read; with the
+	// Section 4 layout, each costs one disk seek.
+	BucketsFetched int
+	// Candidates is the size of the returned candidate set R.
+	Candidates int
+	// SimulatedIOms is the disk time under the library's analytic disk
+	// model (1 KB blocks; see internal/simio).
+	SimulatedIOms float64
+}
+
+// Process executes Algorithm 4: accumulate each candidate document's
+// encrypted relevance score over every term of the embellished query.
+// The engine cannot distinguish genuine terms from decoys; decoy flags
+// encrypt zero, so they perturb only ciphertexts, never scores.
+func (e *Engine) Process(q *Query) (*Response, error) {
+	if q == nil || q.inner == nil {
+		return nil, errors.New("embellish: nil query")
+	}
+	var (
+		resp *core.Response
+		st   core.Stats
+		err  error
+	)
+	switch {
+	case e.opts.Parallelism == 0:
+		resp, st, err = e.server.Process(q.inner)
+	case e.opts.Parallelism < 0:
+		resp, st, err = e.server.ProcessParallel(q.inner, 0)
+	default:
+		resp, st, err = e.server.ProcessParallel(q.inner, e.opts.Parallelism)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Response{
+		inner: resp,
+		Stats: ProcessStats{
+			PostingsScanned: st.Postings,
+			BucketsFetched:  st.IO.Seeks,
+			Candidates:      st.Candidates,
+			SimulatedIOms:   st.IOms(e.server.Disk),
+		},
+	}, nil
+}
+
+// Client is the user side: it owns the Benaloh private key, embellishes
+// queries, and decrypts responses. A Client is not safe for concurrent
+// use; create one per session.
+type Client struct {
+	engine *Engine
+	inner  *core.Client
+}
+
+// NewClient generates a fresh key pair and returns a client bound to the
+// engine's bucket organization. randSource supplies cryptographic
+// randomness; nil selects crypto/rand (pass a deterministic reader only
+// in tests).
+func (e *Engine) NewClient(randSource io.Reader) (*Client, error) {
+	key, err := benaloh.GenerateKey(randSource, e.opts.KeyBits, benaloh.Pow3(e.opts.ScoreSpace))
+	if err != nil {
+		return nil, fmt.Errorf("embellish: key generation: %w", err)
+	}
+	c := &Client{engine: e, inner: core.NewClient(e.org, key, rand.Int63())}
+	c.inner.CryptoRand = randSource
+	return c, nil
+}
+
+// Embellish implements Algorithm 3 on a natural-language query: analyze
+// it with the engine's pipeline, replace each genuine term with its full
+// host bucket, attach encrypted genuineness flags, and permute. Words
+// outside the searchable dictionary are reported in Query.Skipped.
+func (c *Client) Embellish(query string) (*Query, error) {
+	tokens := c.engine.analyzer.Analyze(query)
+	if len(tokens) == 0 {
+		return nil, errors.New("embellish: query has no indexable terms")
+	}
+	var genuine []wordnet.TermID
+	var skipped []string
+	for _, tok := range tokens {
+		t, ok := c.engine.lex.db.Lookup(tok)
+		if !ok {
+			skipped = append(skipped, tok)
+			continue
+		}
+		genuine = append(genuine, t)
+	}
+	if len(genuine) == 0 {
+		return nil, fmt.Errorf("embellish: no query term is in the searchable dictionary (skipped: %v)", skipped)
+	}
+	inner, skippedIDs, err := c.inner.Embellish(genuine)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range skippedIDs {
+		skipped = append(skipped, c.engine.lex.db.Lemma(t))
+	}
+	q := &Query{inner: inner, Skipped: skipped}
+	q.termNames = make([]string, len(inner.Entries))
+	for i, e := range inner.Entries {
+		q.termNames[i] = c.engine.lex.db.Lemma(e.Term)
+	}
+	return q, nil
+}
+
+// Result is one decrypted, ranked result document.
+type Result struct {
+	DocID int
+	// Score is the quantized relevance score accumulated from the
+	// genuine terms only.
+	Score int64
+}
+
+// Decode implements Algorithm 5: decrypt the candidate scores, rank
+// decreasing, and keep the top k (k <= 0 keeps all).
+func (c *Client) Decode(resp *Response, k int) ([]Result, error) {
+	if resp == nil || resp.inner == nil {
+		return nil, errors.New("embellish: nil response")
+	}
+	ranked, err := c.inner.PostFilter(resp.inner, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ranked))
+	for i, r := range ranked {
+		out[i] = Result{DocID: int(r.Doc), Score: r.Score}
+	}
+	return out, nil
+}
+
+// Search is the end-to-end convenience: Embellish, Process, Decode.
+func (c *Client) Search(query string, k int) ([]Result, error) {
+	q, err := c.Embellish(query)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.engine.Process(q)
+	if err != nil {
+		return nil, err
+	}
+	return c.Decode(resp, k)
+}
+
+// PlaintextSearch runs the same query against the engine WITHOUT any
+// privacy protection, returning the quantized-score ranking a
+// conventional engine would produce. Provided so applications (and the
+// repository's tests) can verify Claim 1: private and plaintext rankings
+// are identical.
+func (e *Engine) PlaintextSearch(query string, k int) ([]Result, error) {
+	tokens := e.analyzer.Analyze(query)
+	var qt []int
+	for _, tok := range tokens {
+		if ti, ok := e.index.LookupTerm(tok); ok {
+			qt = append(qt, ti)
+		}
+	}
+	if len(qt) == 0 {
+		return nil, errors.New("embellish: no query term occurs in the corpus")
+	}
+	res := e.index.QuantizedTopK(qt, k)
+	out := make([]Result, len(res))
+	for i, r := range res {
+		out[i] = Result{DocID: int(r.Doc), Score: int64(r.Score)}
+	}
+	return out, nil
+}

@@ -1,0 +1,122 @@
+// Quickstart: index a small corpus, embellish a query with decoys, and
+// run a private search whose ranking provably matches an unprotected
+// search. This is the 60-second tour of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"strings"
+
+	"embellish"
+)
+
+func main() {
+	// The mini lexicon carries the paper's running-example vocabulary:
+	// cancers, plant families, diving physiology, wine making, ...
+	lex := embellish.MiniLexicon()
+
+	// Any document collection works; here we synthesize one from themed
+	// snippets so the corpus actually contains the lexicon's terms.
+	docs := demoCorpus()
+
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = 4 // each genuine term travels with 3 decoys
+	opts.KeyBits = 256  // demo-sized keys; use >= 512 in production
+	opts.ScoreSpace = 10
+
+	engine, err := embellish.NewEngine(lex, docs, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("engine ready: %d documents, %d searchable terms, %d buckets\n\n",
+		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
+
+	// Each client generates its own key pair; the engine never sees it.
+	client, err := engine.NewClient(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	query := "osteosarcoma radiation therapy"
+	fmt.Printf("user query: %q\n\n", query)
+
+	// Step 1 — Algorithm 3: every genuine term pulls in its whole host
+	// bucket as decoys, flags are encrypted, the result is permuted.
+	eq, err := client.Embellish(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("what the search engine observes:")
+	fmt.Printf("  %s\n\n", strings.Join(eq.Terms(), ", "))
+
+	// The decoys are not random: they match the genuine terms in
+	// specificity and point to plausible alternative topics.
+	if decoys, ok := engine.Bucket("osteosarcoma"); ok {
+		fmt.Printf("host bucket of 'osteosarcoma': %s\n\n", strings.Join(decoys, ", "))
+	}
+
+	// Step 2 — Algorithm 4: the engine accumulates encrypted scores over
+	// ALL terms; decoy flags encrypt zero, so decoys never perturb them.
+	resp, err := engine.Process(eq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server stats: %d postings scanned, %d candidates, %.2f ms simulated I/O\n\n",
+		resp.Stats.PostingsScanned, resp.Stats.Candidates, resp.Stats.SimulatedIOms)
+
+	// Step 3 — Algorithm 5: decrypt, rank, keep the top k.
+	results, err := client.Decode(resp, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("top documents (private search):")
+	for i, r := range results {
+		fmt.Printf("  %d. doc %d  score %d\n", i+1, r.DocID, r.Score)
+	}
+
+	// Claim 1: identical to the unprotected ranking.
+	plain, err := engine.PlaintextSearch(query, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	same := true
+	for i := range plain {
+		if results[i].DocID != plain[i].DocID {
+			same = false
+		}
+	}
+	fmt.Printf("\nranking matches unprotected search: %v\n", same)
+}
+
+// demoCorpus fabricates themed articles over the mini lexicon's
+// vocabulary (bone cancer, plant disease, diving, wine making, ...).
+func demoCorpus() []embellish.Document {
+	themes := [][]string{
+		{"osteosarcoma", "sarcoma", "radiation", "therapy", "accelerated", "oncologist", "cancer", "bone", "tumor"},
+		{"amaranthaceae", "water", "soaked", "tissue", "plant family", "leaf", "plant disease", "flooding"},
+		{"hypocapnia", "residual", "nitrogen", "time", "diver", "oxygen", "asphyxia", "diving"},
+		{"moustille", "active", "dry", "yeast", "wine", "vintner", "zymosis", "wine making"},
+		{"terrorism", "abu sayyaf", "violent crime", "security", "huntsville", "smyrna"},
+		{"pigeon loft", "pigeon", "gray whale", "acipenser", "brama", "bird", "fish"},
+	}
+	rng := rand.New(rand.NewSource(42))
+	docs := make([]embellish.Document, 90)
+	for i := range docs {
+		theme := themes[i%len(themes)]
+		var b strings.Builder
+		for j := 0; j < 40; j++ {
+			b.WriteString(theme[rng.Intn(len(theme))])
+			b.WriteByte(' ')
+		}
+		// Mix in cross-theme noise so rankings are nontrivial.
+		other := themes[rng.Intn(len(themes))]
+		for j := 0; j < 10; j++ {
+			b.WriteString(other[rng.Intn(len(other))])
+			b.WriteByte(' ')
+		}
+		docs[i] = embellish.Document{ID: i, Text: b.String()}
+	}
+	return docs
+}

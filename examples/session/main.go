@@ -1,0 +1,153 @@
+// Session: demonstrates the defense against RECURRING HIGH-SPECIFICITY
+// terms (Section 1 of the paper). A user issues several related queries
+// in one session — "osteosarcoma symptoms", then "osteosarcoma therapy".
+// With random decoys the recurring term 'osteosarcoma' would stand out:
+// it is far too specific to have been drawn as a decoy twice by chance.
+// With bucket decoys it always travels with the SAME similarly specific
+// companions, so intersecting the session's queries yields several
+// diverse high-specificity terms, none more suspicious than the others.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"embellish"
+)
+
+func main() {
+	lex := embellish.MiniLexicon()
+	engine, err := embellish.NewEngine(lex, corpusDocs(), options())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client, err := engine.NewClient(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	session := []string{
+		"osteosarcoma symptoms",
+		"osteosarcoma therapy",
+		"osteosarcoma radiation treatment",
+	}
+
+	fmt.Println("=== the search session, as the engine observes it ===")
+	var observed [][]string
+	for i, q := range session {
+		eq, err := client.Embellish(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("query %d: %s\n", i+1, strings.Join(eq.Terms(), ", "))
+		observed = append(observed, eq.Terms())
+	}
+
+	// The adversary's session attack: intersect the observed queries.
+	fmt.Println("\n=== adversary intersects the session's queries ===")
+	inter := intersect(observed)
+	sort.Strings(inter)
+	fmt.Printf("recurring terms: %s\n", strings.Join(inter, ", "))
+	fmt.Println()
+	for _, term := range inter {
+		if s, ok := lex.Specificity(term); ok {
+			fmt.Printf("  %-28s specificity %d\n", term, s)
+		}
+	}
+	fmt.Println(`
+Every recurring term is high-specificity and each points to a different
+topic — the genuine interest enjoys plausible deniability even against
+the intersection attack. Compare with random decoys below.`)
+
+	// The counterfactual: random decoys resampled per query. The genuine
+	// term is the ONLY recurring one.
+	fmt.Println("=== same session with naive random decoys ===")
+	vocab := searchableLemmas(engine, lex)
+	rng := rand.New(rand.NewSource(7))
+	var naive [][]string
+	for _, q := range session {
+		genuine := strings.Fields(q)[0] // 'osteosarcoma'
+		terms := []string{genuine}
+		for len(terms) < 4 {
+			terms = append(terms, vocab[rng.Intn(len(vocab))])
+		}
+		rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+		naive = append(naive, terms)
+	}
+	for i, terms := range naive {
+		fmt.Printf("query %d: %s\n", i+1, strings.Join(terms, ", "))
+	}
+	ni := intersect(naive)
+	fmt.Printf("\nintersection: %s  <- the user's interest, exposed\n", strings.Join(ni, ", "))
+}
+
+func intersect(queries [][]string) []string {
+	count := map[string]int{}
+	for _, q := range queries {
+		seen := map[string]bool{}
+		for _, t := range q {
+			if !seen[t] {
+				seen[t] = true
+				count[t]++
+			}
+		}
+	}
+	var out []string
+	for t, n := range count {
+		if n == len(queries) {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func searchableLemmas(engine *embellish.Engine, lex *embellish.Lexicon) []string {
+	// Collect lemmas that have a bucket (i.e. are searchable).
+	var out []string
+	for _, w := range []string{
+		"sarcoma", "radiation", "therapy", "water", "tissue", "yeast",
+		"nitrogen", "pigeon", "wine", "diver", "oxygen", "plant family",
+		"chestnut", "whale", "bird", "fish", "cancer", "bone", "leaf",
+		"huntsville", "smyrna", "terrorism", "flooding", "time",
+	} {
+		if _, ok := engine.Bucket(w); ok {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func options() embellish.Options {
+	o := embellish.DefaultOptions()
+	o.BucketSize = 4
+	o.KeyBits = 256
+	o.ScoreSpace = 10
+	return o
+}
+
+func corpusDocs() []embellish.Document {
+	themes := [][]string{
+		{"osteosarcoma", "sarcoma", "radiation", "therapy", "accelerated", "oncologist", "cancer", "bone", "tumor", "symptoms", "treatment"},
+		{"amaranthaceae", "water", "soaked", "tissue", "plant family", "leaf", "plant disease", "flooding"},
+		{"hypocapnia", "residual", "nitrogen", "time", "diver", "oxygen", "asphyxia", "diving"},
+		{"moustille", "active", "dry", "yeast", "wine", "vintner", "zymosis", "wine making"},
+		{"terrorism", "abu sayyaf", "violent crime", "security", "huntsville", "smyrna"},
+		{"pigeon loft", "pigeon", "gray whale", "acipenser", "brama", "bird", "fish", "chestnut"},
+	}
+	rng := rand.New(rand.NewSource(11))
+	docs := make([]embellish.Document, 90)
+	for i := range docs {
+		theme := themes[i%len(themes)]
+		var b strings.Builder
+		for j := 0; j < 45; j++ {
+			b.WriteString(theme[rng.Intn(len(theme))])
+			b.WriteByte(' ')
+		}
+		docs[i] = embellish.Document{ID: i, Text: b.String()}
+	}
+	return docs
+}

@@ -1,0 +1,47 @@
+package embellish
+
+import (
+	"errors"
+	"strings"
+
+	"embellish/internal/qexpand"
+	"embellish/internal/wordnet"
+)
+
+// ExpandQuery grows a query with lexically related terms (synonyms,
+// then neighbors in relation-closeness order), the concept-based
+// expansion of Qiu and Frei that the paper cites as a source of long
+// queries. Expansion runs entirely client-side on the public lexicon,
+// so it leaks nothing; the expanded string feeds straight into
+// Client.Search or Client.Embellish, where every term — original and
+// expansion alike — receives its own decoy bucket.
+//
+// maxPerTerm caps the expansion terms added per query term (0 selects
+// the default of 4). Pseudo-relevance feedback expansion, which needs
+// corpus statistics and therefore belongs on the un-private side, is
+// available to plaintext pipelines via internal/qexpand.
+func (c *Client) ExpandQuery(query string, maxPerTerm int) (string, error) {
+	tokens := c.engine.analyzer.Analyze(query)
+	if len(tokens) == 0 {
+		return "", errors.New("embellish: query has no indexable terms")
+	}
+	var terms []wordnet.TermID
+	for _, tok := range tokens {
+		if t, ok := c.engine.lex.db.Lookup(tok); ok {
+			terms = append(terms, t)
+		}
+	}
+	if len(terms) == 0 {
+		return "", errors.New("embellish: no query term is in the lexicon")
+	}
+	th := qexpand.NewThesaurus(c.engine.lex.db)
+	if maxPerTerm > 0 {
+		th.MaxPerTerm = maxPerTerm
+	}
+	expanded := th.Expand(terms)
+	out := make([]string, len(expanded))
+	for i, t := range expanded {
+		out[i] = c.engine.lex.db.Lemma(t)
+	}
+	return strings.Join(out, " "), nil
+}

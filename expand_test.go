@@ -1,0 +1,52 @@
+package embellish
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExpandQueryAddsSynonyms(t *testing.T) {
+	_, c := testEngine(t)
+	out, err := c.ExpandQuery("osteosarcoma", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := strings.Split(out, " ")
+	if len(terms) < 2 {
+		t.Fatalf("no expansion: %q", out)
+	}
+	if !strings.Contains(out, "osteosarcoma") {
+		t.Fatalf("original term lost: %q", out)
+	}
+}
+
+func TestExpandQueryThenSearchPreservesClaim1(t *testing.T) {
+	e, c := testEngine(t)
+	expanded, err := c.ExpandQuery("osteosarcoma radiation", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := c.Search(expanded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.PlaintextSearch(expanded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if private[i] != plain[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, private[i], plain[i])
+		}
+	}
+}
+
+func TestExpandQueryErrors(t *testing.T) {
+	_, c := testEngine(t)
+	if _, err := c.ExpandQuery("", 0); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := c.ExpandQuery("zzznope yyynothere", 0); err == nil {
+		t.Fatal("out-of-lexicon query accepted")
+	}
+}

@@ -1,0 +1,301 @@
+package benaloh
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// detRand is a deterministic "randomness" stream for reproducible keys in
+// tests. NOT cryptographically secure — tests only.
+type detRand struct {
+	state [32]byte
+	buf   bytes.Buffer
+}
+
+func newDetRand(seed string) *detRand {
+	d := &detRand{state: sha256.Sum256([]byte(seed))}
+	return d
+}
+
+func (d *detRand) Read(p []byte) (int, error) {
+	for d.buf.Len() < len(p) {
+		d.state = sha256.Sum256(d.state[:])
+		d.buf.Write(d.state[:])
+	}
+	return d.buf.Read(p)
+}
+
+var testKey *PrivateKey
+
+func key(t *testing.T) *PrivateKey {
+	t.Helper()
+	if testKey == nil {
+		k, err := GenerateKey(newDetRand("benaloh-test"), 256, Pow3(9))
+		if err != nil {
+			t.Fatalf("GenerateKey: %v", err)
+		}
+		testKey = k
+	}
+	return testKey
+}
+
+func TestKeyStructure(t *testing.T) {
+	k := key(t)
+	// r | p1-1.
+	mod := new(big.Int).Mod(new(big.Int).Sub(k.P1, big.NewInt(1)), k.R)
+	if mod.Sign() != 0 {
+		t.Fatal("r does not divide p1-1")
+	}
+	// gcd(r, (p1-1)/r) = 1.
+	q := new(big.Int).Div(new(big.Int).Sub(k.P1, big.NewInt(1)), k.R)
+	if new(big.Int).GCD(nil, nil, q, k.R).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("gcd(r, (p1-1)/r) != 1")
+	}
+	// gcd(r, p2-1) = 1.
+	if new(big.Int).GCD(nil, nil, new(big.Int).Sub(k.P2, big.NewInt(1)), k.R).Cmp(big.NewInt(1)) != 0 {
+		t.Fatal("gcd(r, p2-1) != 1")
+	}
+	// n = p1·p2.
+	if new(big.Int).Mul(k.P1, k.P2).Cmp(k.N) != 0 {
+		t.Fatal("n != p1*p2")
+	}
+}
+
+func TestEncryptDecryptRoundTrip(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("roundtrip")
+	for _, m := range []int64{0, 1, 2, 3, 100, 6560, 19682} {
+		c, err := k.EncryptInt(rnd, m)
+		if err != nil {
+			t.Fatalf("Encrypt(%d): %v", m, err)
+		}
+		got, err := k.DecryptInt(c)
+		if err != nil {
+			t.Fatalf("Decrypt(%d): %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("round trip: got %d, want %d", got, m)
+		}
+	}
+}
+
+func TestEncryptRejectsOutOfRange(t *testing.T) {
+	k := key(t)
+	if _, err := k.Encrypt(newDetRand("x"), big.NewInt(-1)); err == nil {
+		t.Error("negative message accepted")
+	}
+	if _, err := k.Encrypt(newDetRand("x"), new(big.Int).Set(k.R)); err == nil {
+		t.Error("message == r accepted")
+	}
+}
+
+func TestProbabilisticEncryption(t *testing.T) {
+	// The random µ must make repeated encryptions of the same message
+	// yield different ciphertexts (Appendix A.2).
+	k := key(t)
+	rnd := newDetRand("prob")
+	c1, _ := k.EncryptInt(rnd, 5)
+	c2, _ := k.EncryptInt(rnd, 5)
+	if c1.Cmp(c2) == 0 {
+		t.Fatal("two encryptions of the same message are identical")
+	}
+}
+
+func TestAdditiveHomomorphism(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("hom")
+	c1, _ := k.EncryptInt(rnd, 123)
+	c2, _ := k.EncryptInt(rnd, 456)
+	sum := k.PublicKey.Add(c1, c2)
+	got, err := k.DecryptInt(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 579 {
+		t.Fatalf("E(123)+E(456) decrypted to %d", got)
+	}
+}
+
+func TestScalarMul(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("scalar")
+	// E(u)^p: the server's per-posting operation (Algorithm 4 line 5).
+	for _, tc := range []struct{ u, p, want int64 }{
+		{1, 37, 37}, {0, 37, 0}, {1, 255, 255}, {0, 255, 0}, {1, 0, 0},
+	} {
+		c, _ := k.EncryptInt(rnd, tc.u)
+		got, err := k.DecryptInt(k.ScalarMul(c, tc.p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("E(%d)^%d = %d, want %d", tc.u, tc.p, got, tc.want)
+		}
+	}
+}
+
+func TestHomomorphismWrapsModR(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("wrap")
+	// (r-1) + 2 ≡ 1 (mod r).
+	rm1 := new(big.Int).Sub(k.R, big.NewInt(1))
+	c1, _ := k.Encrypt(rnd, rm1)
+	c2, _ := k.EncryptInt(rnd, 2)
+	got, err := k.DecryptInt(k.PublicKey.Add(c1, c2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("wrap-around sum = %d, want 1", got)
+	}
+}
+
+func TestAddInto(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("addinto")
+	acc, _ := k.EncryptInt(rnd, 10)
+	c, _ := k.EncryptInt(rnd, 7)
+	k.PublicKey.AddInto(acc, c)
+	got, _ := k.DecryptInt(acc)
+	if got != 17 {
+		t.Fatalf("AddInto = %d, want 17", got)
+	}
+}
+
+func TestEncryptZeroFresh(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("zero")
+	z1, _ := k.EncryptZero(rnd)
+	z2, _ := k.EncryptZero(rnd)
+	if z1.Cmp(z2) == 0 {
+		t.Fatal("EncryptZero returned identical ciphertexts")
+	}
+	if m, _ := k.DecryptInt(z1); m != 0 {
+		t.Fatalf("EncryptZero decrypts to %d", m)
+	}
+}
+
+func TestBSGSDecryptionPrimeR(t *testing.T) {
+	// Prime r exercises the baby-step giant-step fallback.
+	k, err := GenerateKey(newDetRand("bsgs"), 192, big.NewInt(10007))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.ExpOps() != 1 {
+		t.Fatalf("ExpOps for prime r = %d, want 1", k.ExpOps())
+	}
+	rnd := newDetRand("bsgs-msgs")
+	for _, m := range []int64{0, 1, 9999, 10006, 5003} {
+		c, err := k.EncryptInt(rnd, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := k.DecryptInt(c)
+		if err != nil {
+			t.Fatalf("BSGS decrypt(%d): %v", m, err)
+		}
+		if got != m {
+			t.Fatalf("BSGS round trip: got %d, want %d", got, m)
+		}
+	}
+}
+
+func TestGenerateKeyRejectsBadR(t *testing.T) {
+	cases := []*big.Int{
+		big.NewInt(4),  // even
+		big.NewInt(15), // composite, not a power of 3
+		big.NewInt(-3),
+	}
+	for _, r := range cases {
+		if _, err := GenerateKey(newDetRand("bad"), 128, r); err == nil {
+			t.Errorf("r=%v accepted", r)
+		}
+	}
+}
+
+func TestPow3(t *testing.T) {
+	if Pow3(9).Int64() != 19683 {
+		t.Fatalf("Pow3(9) = %v", Pow3(9))
+	}
+	if k, ok := pow3Exponent(Pow3(12)); !ok || k != 12 {
+		t.Fatalf("pow3Exponent(3^12) = %d,%v", k, ok)
+	}
+	if _, ok := pow3Exponent(big.NewInt(10)); ok {
+		t.Fatal("pow3Exponent(10) = ok")
+	}
+}
+
+func TestCiphertextBytes(t *testing.T) {
+	k := key(t)
+	want := (k.N.BitLen() + 7) / 8
+	if got := k.PublicKey.CiphertextBytes(); got != want {
+		t.Fatalf("CiphertextBytes = %d, want %d", got, want)
+	}
+}
+
+// Property: homomorphic addition matches plaintext addition mod r for
+// arbitrary message pairs.
+func TestHomomorphismProperty(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("quick")
+	r := k.R.Int64()
+	f := func(a, b uint16) bool {
+		m1 := int64(a) % r
+		m2 := int64(b) % r
+		c1, err1 := k.EncryptInt(rnd, m1)
+		c2, err2 := k.EncryptInt(rnd, m2)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		got, err := k.DecryptInt(k.PublicKey.Add(c1, c2))
+		return err == nil && got == (m1+m2)%r
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: E(u)^p followed by accumulation implements Σ u_i·p_i, the
+// exact server computation of Algorithm 4.
+func TestScoreAccumulationProperty(t *testing.T) {
+	k := key(t)
+	rnd := newDetRand("score")
+	f := func(flags []bool, impacts []uint8) bool {
+		n := len(flags)
+		if len(impacts) < n {
+			n = len(impacts)
+		}
+		if n == 0 {
+			return true
+		}
+		if n > 12 {
+			n = 12
+		}
+		var want int64
+		acc, err := k.EncryptZero(rnd)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			u := int64(0)
+			if flags[i] {
+				u = 1
+			}
+			p := int64(impacts[i])
+			want += u * p
+			c, err := k.EncryptInt(rnd, u)
+			if err != nil {
+				return false
+			}
+			k.PublicKey.AddInto(acc, k.ScalarMul(c, p))
+		}
+		got, err := k.DecryptInt(acc)
+		return err == nil && got == want%k.R.Int64()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

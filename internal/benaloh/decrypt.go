@@ -1,0 +1,121 @@
+package benaloh
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Decrypt recovers the plaintext of c. When r = 3^k the optimized
+// digit-by-digit procedure of Appendix A.2 is used (k modular
+// exponentiations); otherwise decryption falls back to baby-step
+// giant-step in O(√r) multiplications.
+func (sk *PrivateKey) Decrypt(c *big.Int) (*big.Int, error) {
+	if sk.k > 0 {
+		return sk.decryptPow3(c)
+	}
+	return sk.decryptBSGS(c)
+}
+
+// DecryptInt decrypts and returns the plaintext as an int64.
+func (sk *PrivateKey) DecryptInt(c *big.Int) (int64, error) {
+	m, err := sk.Decrypt(c)
+	if err != nil {
+		return 0, err
+	}
+	return m.Int64(), nil
+}
+
+// ExpOps reports the number of modular exponentiations one decryption
+// costs with the current key (the dominant term of the user-side CPU cost
+// model in the Figure 7/8 experiments).
+func (sk *PrivateKey) ExpOps() int {
+	if sk.k > 0 {
+		return sk.k
+	}
+	return 1 // BSGS: one exponentiation plus O(√r) multiplications
+}
+
+// decryptPow3 recovers m base-3 digit by digit. Writing m = Σ d_i·3^i,
+// after the low digits m_i = m mod 3^i are known, the value
+//
+//	t = (c · g^{-m_i})^{φ/3^{i+1}} = (g^{φ/3})^{d_i}  (mod n)
+//
+// reveals the next digit d_i by comparison against the precomputed powers
+// of w = g^{φ/3}, because µ^{r·φ/3^{i+1}} = (µ^φ)^{3^{k-i-1}} = 1.
+func (sk *PrivateKey) decryptPow3(c *big.Int) (*big.Int, error) {
+	if new(big.Int).GCD(nil, nil, c, sk.N).Cmp(one) != 0 {
+		return nil, errors.New("benaloh: ciphertext not in Z_n^*")
+	}
+	m := new(big.Int)
+	adj := new(big.Int).Set(c) // c · g^{-m_i} mod n, updated incrementally
+	t := new(big.Int)
+	gInvPow := new(big.Int).Set(sk.gInv) // g^{-3^i} mod n
+	p3 := big.NewInt(1)                  // 3^i
+	for i := 0; i < sk.k; i++ {
+		t.Exp(adj, sk.phiOv3i[i+1], sk.N)
+		var d int64
+		switch {
+		case t.Cmp(sk.wPow[0]) == 0:
+			d = 0
+		case t.Cmp(sk.wPow[1]) == 0:
+			d = 1
+		case t.Cmp(sk.wPow[2]) == 0:
+			d = 2
+		default:
+			return nil, fmt.Errorf("benaloh: decryption failed at digit %d (invalid ciphertext or key)", i)
+		}
+		if d > 0 {
+			// m += d·3^i; adj ·= g^{-d·3^i}.
+			m.Add(m, new(big.Int).Mul(big.NewInt(d), p3))
+			step := gInvPow
+			if d == 2 {
+				step = new(big.Int).Mul(gInvPow, gInvPow)
+				step.Mod(step, sk.N)
+			}
+			adj.Mul(adj, step)
+			adj.Mod(adj, sk.N)
+		}
+		// Advance g^{-3^i} -> g^{-3^{i+1}} and 3^i -> 3^{i+1}.
+		gInvPow.Exp(gInvPow, big.NewInt(3), sk.N)
+		p3.Mul(p3, big.NewInt(3))
+	}
+	return m, nil
+}
+
+// decryptBSGS solves h^m = c^{φ/r} for m with baby-step giant-step, where
+// h = g^{φ/r} has order r modulo n.
+func (sk *PrivateKey) decryptBSGS(c *big.Int) (*big.Int, error) {
+	target := new(big.Int).Exp(c, sk.phiOvR, sk.N)
+	if sk.babyTab == nil {
+		// Baby steps: h^j for j in [0, ceil(sqrt(r))).
+		m := new(big.Int).Sqrt(sk.R)
+		m.Add(m, one)
+		sk.babySize = int(m.Int64())
+		sk.babyTab = make(map[string]int64, sk.babySize)
+		v := big.NewInt(1)
+		for j := 0; j < sk.babySize; j++ {
+			sk.babyTab[string(v.Bytes())] = int64(j)
+			v = new(big.Int).Mul(v, sk.hBase)
+			v.Mod(v, sk.N)
+		}
+	}
+	// Giant steps: target · (h^{-m})^i.
+	hInvM := new(big.Int).ModInverse(sk.hBase, sk.N)
+	hInvM.Exp(hInvM, big.NewInt(int64(sk.babySize)), sk.N)
+	cur := new(big.Int).Set(target)
+	bound := new(big.Int).Div(sk.R, big.NewInt(int64(sk.babySize)))
+	for i := int64(0); i <= bound.Int64()+1; i++ {
+		if j, ok := sk.babyTab[string(cur.Bytes())]; ok {
+			m := big.NewInt(i)
+			m.Mul(m, big.NewInt(int64(sk.babySize)))
+			m.Add(m, big.NewInt(j))
+			if m.Cmp(sk.R) < 0 {
+				return m, nil
+			}
+		}
+		cur.Mul(cur, hInvM)
+		cur.Mod(cur, sk.N)
+	}
+	return nil, errors.New("benaloh: BSGS decryption failed (invalid ciphertext)")
+}

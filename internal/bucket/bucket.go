@@ -1,0 +1,215 @@
+// Package bucket implements Algorithm 2 of Pang, Ding and Xiao (VLDB
+// 2010): forming fixed-size buckets of decoy terms from the sequenced
+// dictionary, and the Organization type that maps every dictionary term to
+// its host bucket at query time.
+//
+// The sequenced dictionary is split into #Seg = N/SegSz segments; within
+// each segment terms are stably sorted by decreasing specificity (stable,
+// so whole synsets of equally-specific terms stay clustered — the property
+// the paper discovers keeps inter-bucket distances tight regardless of
+// SegSz). Buckets then take one term from the same slot of BktSz segments
+// that lie N/(BktSz·SegSz) segment-strides apart, maximizing semantic
+// diversity within a bucket while equalizing the specificity spread.
+package bucket
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"embellish/internal/wordnet"
+)
+
+// Organization is a complete bucket organization over a dictionary. It is
+// immutable after Generate and safe for concurrent use.
+type Organization struct {
+	BktSz int
+	SegSz int
+	// buckets[b] lists the terms of bucket b, in slot order. All buckets
+	// have exactly BktSz terms except possibly the last, which absorbs
+	// the remainder when the dictionary size is not divisible.
+	buckets [][]wordnet.TermID
+	// slotOf[t] = bucket index * maxSlots + slot, or -1 when the term is
+	// not part of the organization.
+	bucketOf []int32
+	slotIn   []int16
+}
+
+// NumBuckets reports the number of buckets.
+func (o *Organization) NumBuckets() int { return len(o.buckets) }
+
+// Bucket returns the terms of bucket b in slot order. The returned slice
+// is owned by the Organization and must not be modified.
+func (o *Organization) Bucket(b int) []wordnet.TermID { return o.buckets[b] }
+
+// BucketOf returns the bucket hosting term t. The second result is false
+// when t is not part of the organization (e.g. a term absent from the
+// searchable dictionary).
+func (o *Organization) BucketOf(t wordnet.TermID) (int, bool) {
+	if int(t) >= len(o.bucketOf) || o.bucketOf[t] < 0 {
+		return 0, false
+	}
+	return int(o.bucketOf[t]), true
+}
+
+// SlotOf returns the slot index of term t within its bucket.
+func (o *Organization) SlotOf(t wordnet.TermID) (int, bool) {
+	if int(t) >= len(o.bucketOf) || o.bucketOf[t] < 0 {
+		return 0, false
+	}
+	return int(o.slotIn[t]), true
+}
+
+// Terms returns the total number of terms across all buckets.
+func (o *Organization) Terms() int {
+	n := 0
+	for _, b := range o.buckets {
+		n += len(b)
+	}
+	return n
+}
+
+// Specificity is the function used to order terms within a segment;
+// usually (*wordnet.Database).Specificity.
+type Specificity func(wordnet.TermID) int
+
+// Generate runs Algorithm 2 (GenerateBuckets) over the flattened term
+// sequence. BktSz must satisfy 1 <= BktSz <= N/2 and SegSz must satisfy
+// 1 <= SegSz <= N/BktSz (Section 3.4). When N is not divisible by
+// BktSz*SegSz, the trailing remainder is bucketed with the same procedure
+// using a reduced segment size, and any final fragment smaller than BktSz
+// joins the last bucket.
+func Generate(seqTerms []wordnet.TermID, spec Specificity, bktSz, segSz int) (*Organization, error) {
+	n := len(seqTerms)
+	if n == 0 {
+		return nil, errors.New("bucket: empty term sequence")
+	}
+	if bktSz < 1 || bktSz > n/2 && n > 1 {
+		return nil, fmt.Errorf("bucket: BktSz %d out of range [1, N/2] for N=%d", bktSz, n)
+	}
+	if segSz < 1 || segSz > n/bktSz {
+		return nil, fmt.Errorf("bucket: SegSz %d out of range [1, N/BktSz] for N=%d, BktSz=%d", segSz, n, bktSz)
+	}
+
+	maxTerm := wordnet.TermID(0)
+	for _, t := range seqTerms {
+		if t > maxTerm {
+			maxTerm = t
+		}
+	}
+	o := &Organization{
+		BktSz:    bktSz,
+		SegSz:    segSz,
+		bucketOf: make([]int32, maxTerm+1),
+		slotIn:   make([]int16, maxTerm+1),
+	}
+	for i := range o.bucketOf {
+		o.bucketOf[i] = -1
+	}
+
+	block := bktSz * segSz
+	usable := (n / block) * block
+	o.generateRegion(seqTerms[:usable], spec, segSz)
+
+	// Remainder: rerun the same procedure with the largest segment size
+	// that divides the leftover into BktSz segments.
+	if rest := seqTerms[usable:]; len(rest) > 0 {
+		if len(rest) >= bktSz {
+			restSeg := len(rest) / bktSz
+			used := restSeg * bktSz
+			o.generateRegion(rest[:used], spec, restSeg)
+			rest = rest[used:]
+		}
+		if len(rest) > 0 {
+			// Fewer than BktSz terms left: absorb into the last bucket.
+			last := len(o.buckets) - 1
+			if last < 0 {
+				o.buckets = append(o.buckets, nil)
+				last = 0
+			}
+			for _, t := range rest {
+				o.place(t, last)
+			}
+		}
+	}
+	return o, nil
+}
+
+// generateRegion applies lines 3-13 of Algorithm 2 to a region whose
+// length is an exact multiple of BktSz*segSz.
+func (o *Organization) generateRegion(region []wordnet.TermID, spec Specificity, segSz int) {
+	bktSz := o.BktSz
+	n := len(region)
+	if n == 0 {
+		return
+	}
+	numSeg := n / segSz
+	groups := numSeg / bktSz // = N/(BktSz*SegSz), the segment stride
+
+	// Line 4-5: split into segments and sort each by decreasing
+	// specificity. The sort must be stable: ties retain sequence order,
+	// which keeps whole synsets clustered (the effect discussed with
+	// Figure 5(b)).
+	segs := make([][]wordnet.TermID, numSeg)
+	for i := range segs {
+		seg := append([]wordnet.TermID(nil), region[i*segSz:(i+1)*segSz]...)
+		sort.SliceStable(seg, func(a, b int) bool {
+			return spec(seg[a]) > spec(seg[b])
+		})
+		segs[i] = seg
+	}
+
+	// Lines 6-13: for each group i, register segments
+	// S_{(j-1)*groups+i}, j=1..BktSz, then emit segSz buckets, the j-th
+	// bucket taking the term at position j of each active segment.
+	for i := 0; i < groups; i++ {
+		for j := 0; j < segSz; j++ {
+			b := len(o.buckets)
+			o.buckets = append(o.buckets, make([]wordnet.TermID, 0, bktSz))
+			for k := 0; k < bktSz; k++ {
+				o.place(segs[k*groups+i][j], b)
+			}
+		}
+	}
+}
+
+func (o *Organization) place(t wordnet.TermID, b int) {
+	o.buckets[b] = append(o.buckets[b], t)
+	o.bucketOf[t] = int32(b)
+	o.slotIn[t] = int16(len(o.buckets[b]) - 1)
+}
+
+// BucketsFor returns the distinct bucket indices hosting the given terms,
+// in first-appearance order. Unknown terms are skipped.
+func (o *Organization) BucketsFor(terms []wordnet.TermID) []int {
+	seen := make(map[int]bool, len(terms))
+	var out []int
+	for _, t := range terms {
+		if b, ok := o.BucketOf(t); ok && !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// SpecSpread returns the difference between the highest and lowest
+// specificity values within bucket b — the "intra-bucket specificity
+// difference" metric of Section 5.1.
+func (o *Organization) SpecSpread(b int, spec Specificity) int {
+	lo, hi := 0, 0
+	for i, t := range o.buckets[b] {
+		s := spec(t)
+		if i == 0 {
+			lo, hi = s, s
+			continue
+		}
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	return hi - lo
+}

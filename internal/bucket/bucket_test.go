@@ -1,0 +1,264 @@
+package bucket
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embellish/internal/sequence"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+// constSpec gives every term the same specificity (makes the in-segment
+// sort a stable no-op).
+func constSpec(wordnet.TermID) int { return 0 }
+
+func seqOfLen(n int) []wordnet.TermID {
+	s := make([]wordnet.TermID, n)
+	for i := range s {
+		s[i] = wordnet.TermID(i)
+	}
+	return s
+}
+
+func TestGenerateFigure3Layout(t *testing.T) {
+	// Figure 3: N=1000, BktSz=2, SegSz=N/BktSz (one segment per stripe):
+	// bucket i pairs t_i with t_{500+i}. With SegSz=500 and constant
+	// specificity the modulated sequence equals the input, so bucket 0 =
+	// {t0, t500}, bucket 1 = {t1, t501}, ...
+	org, err := Generate(seqOfLen(1000), constSpec, 2, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org.NumBuckets() != 500 {
+		t.Fatalf("NumBuckets = %d, want 500", org.NumBuckets())
+	}
+	for i := 0; i < 500; i++ {
+		b := org.Bucket(i)
+		if len(b) != 2 || b[0] != wordnet.TermID(i) || b[1] != wordnet.TermID(500+i) {
+			t.Fatalf("bucket %d = %v, want [%d %d]", i, b, i, 500+i)
+		}
+	}
+}
+
+func TestGenerateConstantSlotStride(t *testing.T) {
+	// With constant specificity, for any two buckets in the same group
+	// the sequence distance between slot-i terms is constant across i —
+	// the Figure 3 diversity property.
+	org, err := Generate(seqOfLen(240), constSpec, 4, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := org.Bucket(0), org.Bucket(5)
+	want := int(b[0]) - int(a[0])
+	for i := 1; i < 4; i++ {
+		if got := int(b[i]) - int(a[i]); got != want {
+			t.Fatalf("slot %d stride %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestGenerateEveryTermPlacedOnce(t *testing.T) {
+	for _, n := range []int{16, 100, 1000, 1003, 997} {
+		for _, bktSz := range []int{2, 4, 7} {
+			for _, segSz := range []int{1, 4, 16} {
+				if segSz > n/bktSz {
+					continue
+				}
+				org, err := Generate(seqOfLen(n), constSpec, bktSz, segSz)
+				if err != nil {
+					t.Fatalf("N=%d BktSz=%d SegSz=%d: %v", n, bktSz, segSz, err)
+				}
+				seen := make(map[wordnet.TermID]int)
+				for i := 0; i < org.NumBuckets(); i++ {
+					for _, term := range org.Bucket(i) {
+						seen[term]++
+					}
+				}
+				if len(seen) != n {
+					t.Fatalf("N=%d BktSz=%d SegSz=%d: placed %d distinct terms", n, bktSz, segSz, len(seen))
+				}
+				for term, c := range seen {
+					if c != 1 {
+						t.Fatalf("term %d placed %d times", term, c)
+					}
+				}
+				if org.Terms() != n {
+					t.Fatalf("Terms() = %d, want %d", org.Terms(), n)
+				}
+			}
+		}
+	}
+}
+
+func TestBucketSizesUniform(t *testing.T) {
+	org, err := Generate(seqOfLen(1000), constSpec, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < org.NumBuckets()-1; i++ {
+		if len(org.Bucket(i)) != 4 {
+			t.Fatalf("bucket %d has %d terms, want 4", i, len(org.Bucket(i)))
+		}
+	}
+	if last := len(org.Bucket(org.NumBuckets() - 1)); last < 4 {
+		t.Fatalf("last bucket has %d terms, want >= 4", last)
+	}
+}
+
+func TestBucketOfSlotOfRoundTrip(t *testing.T) {
+	org, err := Generate(seqOfLen(512), constSpec, 8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < org.NumBuckets(); b++ {
+		for slot, term := range org.Bucket(b) {
+			gotB, ok := org.BucketOf(term)
+			if !ok || gotB != b {
+				t.Fatalf("BucketOf(%d) = %d,%v want %d", term, gotB, ok, b)
+			}
+			gotS, ok := org.SlotOf(term)
+			if !ok || gotS != slot {
+				t.Fatalf("SlotOf(%d) = %d,%v want %d", term, gotS, ok, slot)
+			}
+		}
+	}
+}
+
+func TestBucketOfUnknownTerm(t *testing.T) {
+	org, err := Generate(seqOfLen(64), constSpec, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := org.BucketOf(wordnet.TermID(9999)); ok {
+		t.Fatal("BucketOf reported a bucket for an unknown term")
+	}
+}
+
+func TestSpecificitySortWithinSegments(t *testing.T) {
+	// Specificity = term id → within each segment the most specific
+	// (largest id) must land in the earliest buckets of the batch.
+	spec := func(t wordnet.TermID) int { return int(t) }
+	org, err := Generate(seqOfLen(64), spec, 2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slot 0 of consecutive buckets within one batch must be decreasing
+	// in specificity.
+	for b := 1; b < 8; b++ {
+		prev := spec(org.Bucket(b - 1)[0])
+		cur := spec(org.Bucket(b)[0])
+		if cur > prev {
+			t.Fatalf("bucket %d slot 0 specificity %d > previous %d; segment sort broken", b, cur, prev)
+		}
+	}
+}
+
+func TestSpecSpreadReducedVsRandomShape(t *testing.T) {
+	// Core claim behind Figure 5(a): sorting within segments makes the
+	// intra-bucket specificity spread smaller than with SegSz=1 (no
+	// freedom to reorder).
+	db := wngen.Generate(wngen.ScaledConfig(4000, 5))
+	seq := sequence.Run(db)
+	spec := func(t wordnet.TermID) int { return db.Specificity(t) }
+	sorted, err := Generate(seq, spec, 4, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unsorted, err := Generate(seq, spec, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := func(o *Organization) float64 {
+		s := 0
+		for b := 0; b < o.NumBuckets(); b++ {
+			s += o.SpecSpread(b, spec)
+		}
+		return float64(s) / float64(o.NumBuckets())
+	}
+	if a, u := avg(sorted), avg(unsorted); a >= u {
+		t.Fatalf("SegSz=256 spread %.3f not below SegSz=1 spread %.3f", a, u)
+	}
+}
+
+func TestStableTieOrder(t *testing.T) {
+	// Line 5 of Algorithm 2 preserves relative order among terms tying on
+	// specificity — the property that keeps synsets clustered (Section
+	// 5.1). With constant specificity the segment must stay untouched.
+	in := seqOfLen(32)
+	org, err := Generate(in, constSpec, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group 0 covers segments 0 and 4 (stride = numSeg/BktSz = 4).
+	// Bucket j of group 0 must take in[j] and in[16+j].
+	for j := 0; j < 4; j++ {
+		b := org.Bucket(j)
+		if b[0] != in[j] || b[1] != in[16+j] {
+			t.Fatalf("bucket %d = %v, want [%d %d]", j, b, in[j], in[16+j])
+		}
+	}
+}
+
+func TestParameterValidation(t *testing.T) {
+	seq := seqOfLen(100)
+	cases := []struct {
+		bktSz, segSz int
+	}{
+		{0, 1}, {51, 1}, {2, 0}, {2, 51}, {4, 26},
+	}
+	for _, c := range cases {
+		if _, err := Generate(seq, constSpec, c.bktSz, c.segSz); err == nil {
+			t.Errorf("BktSz=%d SegSz=%d: expected error", c.bktSz, c.segSz)
+		}
+	}
+	if _, err := Generate(nil, constSpec, 1, 1); err == nil {
+		t.Error("empty sequence: expected error")
+	}
+}
+
+func TestBucketsFor(t *testing.T) {
+	org, err := Generate(seqOfLen(64), constSpec, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b0 := org.Bucket(0)
+	b3 := org.Bucket(3)
+	got := org.BucketsFor([]wordnet.TermID{b0[1], b3[2], b0[0], 9999})
+	if len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("BucketsFor = %v, want [0 3]", got)
+	}
+}
+
+// Property: for random sizes and parameters, generation partitions the
+// dictionary and every bucket (except possibly the last) has BktSz terms.
+func TestGenerateProperty(t *testing.T) {
+	f := func(nRaw uint16, bRaw, sRaw uint8) bool {
+		n := int(nRaw)%3000 + 10
+		bktSz := int(bRaw)%(n/2) + 1
+		if bktSz > 64 {
+			bktSz = 64
+		}
+		segSz := int(sRaw)%(n/bktSz) + 1
+		seq := seqOfLen(n)
+		rng := rand.New(rand.NewSource(int64(nRaw)))
+		rng.Shuffle(n, func(i, j int) { seq[i], seq[j] = seq[j], seq[i] })
+		org, err := Generate(seq, constSpec, bktSz, segSz)
+		if err != nil {
+			return false
+		}
+		count := 0
+		for i := 0; i < org.NumBuckets(); i++ {
+			sz := len(org.Bucket(i))
+			count += sz
+			if i < org.NumBuckets()-1 && sz != bktSz {
+				return false
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

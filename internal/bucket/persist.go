@@ -1,0 +1,166 @@
+package bucket
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"embellish/internal/vbyte"
+	"embellish/internal/wordnet"
+)
+
+// On-disk format: magic "EBKT" | version u8 | BktSz, SegSz | bucket
+// count | per bucket term ids | crc32(payload). The term→bucket and
+// term→slot maps are derived, so only the bucket contents persist.
+// Persisting the organization matters operationally: the client and
+// the server must agree on the exact same organization (it is public,
+// shared knowledge in the protocol), so deployments build it once and
+// ship the file to both sides.
+
+const (
+	bktMagic      = "EBKT"
+	bktVersion    = 1
+	maxReasonable = 1 << 31
+)
+
+// WriteTo serializes the organization. It implements io.WriterTo.
+func (o *Organization) WriteTo(w io.Writer) (int64, error) {
+	var payload []byte
+	payload = append(payload, bktMagic...)
+	payload = append(payload, bktVersion)
+	payload = vbyte.Append(payload, uint64(o.BktSz))
+	payload = vbyte.Append(payload, uint64(o.SegSz))
+	payload = vbyte.Append(payload, uint64(len(o.buckets)))
+	for _, b := range o.buckets {
+		payload = vbyte.Append(payload, uint64(len(b)))
+		for _, t := range b {
+			payload = vbyte.Append(payload, uint64(t))
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(payload))
+	n, err := w.Write(payload)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(tail[:])
+	return total + int64(n), err
+}
+
+// ReadOrganization deserializes an organization written by WriteTo,
+// verifying the checksum and the one-bucket-per-term invariant.
+func ReadOrganization(r io.Reader) (*Organization, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("bucket: reading file: %w", err)
+	}
+	if len(data) < len(bktMagic)+1+4 {
+		return nil, errors.New("bucket: file too short")
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("bucket: checksum mismatch; file corrupt")
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != bktMagic {
+		return nil, errors.New("bucket: bad magic; not an organization file")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != bktVersion {
+		return nil, fmt.Errorf("bucket: unsupported version %d", ver)
+	}
+
+	bktSz, err := readUvarint(br)
+	if err != nil || bktSz == 0 || bktSz > maxReasonable {
+		return nil, fmt.Errorf("bucket: BktSz: %w", orImplausible(err))
+	}
+	segSz, err := readUvarint(br)
+	if err != nil || segSz == 0 || segSz > maxReasonable {
+		return nil, fmt.Errorf("bucket: SegSz: %w", orImplausible(err))
+	}
+	nBuckets, err := readUvarint(br)
+	if err != nil || nBuckets > maxReasonable {
+		return nil, fmt.Errorf("bucket: bucket count: %w", orImplausible(err))
+	}
+
+	o := &Organization{BktSz: int(bktSz), SegSz: int(segSz)}
+	o.buckets = make([][]wordnet.TermID, nBuckets)
+	maxTerm := wordnet.TermID(-1)
+	for b := range o.buckets {
+		n, err := readUvarint(br)
+		if err != nil || n > maxReasonable {
+			return nil, fmt.Errorf("bucket: bucket %d size: %w", b, orImplausible(err))
+		}
+		terms := make([]wordnet.TermID, n)
+		for i := range terms {
+			t, err := readUvarint(br)
+			if err != nil || t > maxReasonable {
+				return nil, fmt.Errorf("bucket: bucket %d term %d: %w", b, i, orImplausible(err))
+			}
+			terms[i] = wordnet.TermID(t)
+			if terms[i] > maxTerm {
+				maxTerm = terms[i]
+			}
+		}
+		o.buckets[b] = terms
+	}
+
+	// Rebuild the derived maps, enforcing the partition invariant.
+	o.bucketOf = make([]int32, maxTerm+1)
+	o.slotIn = make([]int16, maxTerm+1)
+	for i := range o.bucketOf {
+		o.bucketOf[i] = -1
+	}
+	for b, terms := range o.buckets {
+		for slot, t := range terms {
+			if o.bucketOf[t] != -1 {
+				return nil, fmt.Errorf("bucket: term %d appears in buckets %d and %d", t, o.bucketOf[t], b)
+			}
+			o.bucketOf[t] = int32(b)
+			o.slotIn[t] = int16(slot)
+		}
+	}
+	return o, nil
+}
+
+func orImplausible(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("implausible count")
+}
+
+func readUvarint(br io.ByteReader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if i == vbyte.MaxLen {
+			return 0, errors.New("overlong varint")
+		}
+		if b&0x80 != 0 {
+			return v | uint64(b&0x7f)<<shift, nil
+		}
+		v |= uint64(b) << shift
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("varint overflow")
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package bucket
+
+import (
+	"bytes"
+	"testing"
+
+	"embellish/internal/wordnet"
+)
+
+func sampleOrg(t *testing.T) *Organization {
+	t.Helper()
+	terms := make([]wordnet.TermID, 64)
+	for i := range terms {
+		terms[i] = wordnet.TermID(i * 3) // sparse ids exercise the maps
+	}
+	org, err := Generate(terms, func(t wordnet.TermID) int { return int(t) % 7 }, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return org
+}
+
+func TestOrganizationPersistRoundTrip(t *testing.T) {
+	org := sampleOrg(t)
+	var buf bytes.Buffer
+	n, err := org.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d, wrote %d", n, buf.Len())
+	}
+	got, err := ReadOrganization(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.BktSz != org.BktSz || got.SegSz != org.SegSz || got.NumBuckets() != org.NumBuckets() {
+		t.Fatalf("shape mismatch: %+v vs %+v", got, org)
+	}
+	for b := 0; b < org.NumBuckets(); b++ {
+		a, bb := got.Bucket(b), org.Bucket(b)
+		if len(a) != len(bb) {
+			t.Fatalf("bucket %d size %d vs %d", b, len(a), len(bb))
+		}
+		for i := range bb {
+			if a[i] != bb[i] {
+				t.Fatalf("bucket %d slot %d: %d vs %d", b, i, a[i], bb[i])
+			}
+		}
+	}
+	// Derived maps agree.
+	for _, terms := range org.buckets {
+		for _, tm := range terms {
+			wb, _ := org.BucketOf(tm)
+			gb, ok := got.BucketOf(tm)
+			if !ok || gb != wb {
+				t.Fatalf("BucketOf(%d) = %d,%v want %d", tm, gb, ok, wb)
+			}
+			ws, _ := org.SlotOf(tm)
+			gs, _ := got.SlotOf(tm)
+			if gs != ws {
+				t.Fatalf("SlotOf(%d) = %d want %d", tm, gs, ws)
+			}
+		}
+	}
+}
+
+func TestOrganizationPersistCorruption(t *testing.T) {
+	org := sampleOrg(t)
+	var buf bytes.Buffer
+	if _, err := org.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/2] ^= 0x10
+	if _, err := ReadOrganization(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt organization accepted")
+	}
+}
+
+func TestOrganizationPersistRejectsDuplicateTerms(t *testing.T) {
+	// Craft a payload with a term in two buckets by editing a valid file
+	// is brittle; instead serialize a hand-built organization sharing a
+	// term and ensure the loader's invariant check fires.
+	o := &Organization{BktSz: 2, SegSz: 1}
+	o.buckets = [][]wordnet.TermID{{1, 2}, {2, 3}}
+	o.bucketOf = []int32{-1, 0, 0, 1}
+	o.slotIn = []int16{0, 0, 1, 1}
+	var buf bytes.Buffer
+	if _, err := o.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOrganization(&buf); err == nil {
+		t.Fatal("duplicated term accepted on load")
+	}
+}
+
+func TestOrganizationPersistTruncation(t *testing.T) {
+	org := sampleOrg(t)
+	var buf bytes.Buffer
+	if _, err := org.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 5, buf.Len() - 5} {
+		if _, err := ReadOrganization(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Package canonical implements the Murugesan-Clifton plausibly deniable
+// search baseline ([19], SDM 2009), the scheme Section 2.1 of Pang, Ding
+// and Xiao (VLDB 2010) improves upon. Canonical query groups are
+// constructed offline by (a) mapping the dictionary terms into a
+// low-dimensional LSI factor space, (b) forming canonical queries from
+// terms in close proximity in that space via kd-tree nearest-neighbor
+// retrieval, and (c) grouping canonical queries of similar popularity
+// from different parts of the space. At runtime a user query is replaced
+// by the closest canonical query q̃, with the rest of q̃'s group acting as
+// cover queries.
+//
+// The package exists so the paper's criticisms are measurable: the
+// substitution changes the result set (precision-recall loss, which the
+// PR scheme avoids), and only a tiny subset of term combinations can be
+// materialized, so long queries approximate badly.
+package canonical
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"embellish/internal/index"
+	"embellish/internal/kdtree"
+	"embellish/internal/lsi"
+)
+
+// Config tunes the offline construction.
+type Config struct {
+	// Factors is the LSI dimensionality; [19] uses 30.
+	Factors int
+	// QueryLen is the number of terms per canonical query.
+	QueryLen int
+	// GroupSize is the number of canonical queries per group (the cover
+	// set size; one genuine substitute plus GroupSize-1 covers).
+	GroupSize int
+	// Iters and Seed feed the LSI factorization.
+	Iters int
+	Seed  int64
+}
+
+// DefaultConfig mirrors [19]: 30 factors, 3-term canonical queries,
+// groups of 4.
+func DefaultConfig() Config {
+	return Config{Factors: 30, QueryLen: 3, GroupSize: 4, Iters: 30, Seed: 1}
+}
+
+// Query is one canonical query.
+type Query struct {
+	Terms []int // index term numbers
+	// Centroid is the query's position in factor space.
+	Centroid []float64
+	// Popularity is the summed document frequency of the terms, the
+	// grouping key of step (c).
+	Popularity int
+}
+
+// Scheme is a built canonical-query universe.
+type Scheme struct {
+	Space   *lsi.Space
+	Queries []Query
+	// Groups partitions query indices into cover groups.
+	Groups [][]int
+	// groupOf[q] is the group containing query q.
+	groupOf []int
+}
+
+// Build constructs the canonical queries and groups from an inverted
+// index. Every index term joins exactly one canonical query (so coverage
+// is maximal for the given QueryLen); this is the densest materialization
+// possible, and still covers only a vanishing fraction of the
+// QueryLen-subsets of the dictionary — the limitation Section 2.1 notes.
+func Build(ix *index.Index, cfg Config) (*Scheme, error) {
+	n := ix.NumTerms()
+	if n == 0 {
+		return nil, errors.New("canonical: empty index")
+	}
+	if cfg.QueryLen < 1 || cfg.GroupSize < 1 {
+		return nil, errors.New("canonical: QueryLen and GroupSize must be positive")
+	}
+
+	// Step (a): term-document matrix with tf-idf-like weights, factored
+	// into cfg.Factors dimensions.
+	m := lsi.NewMatrix(n, ix.NumDocs)
+	for t := 0; t < n; t++ {
+		idf := math.Log(1 + float64(ix.NumDocs)/float64(maxInt(1, ix.DocFreq(t))))
+		for _, p := range ix.List(t) {
+			m.Add(t, int(p.Doc), float64(p.Quantized)*idf)
+		}
+	}
+	space, err := lsi.Factorize(m, lsi.Options{K: cfg.Factors, Iters: cfg.Iters, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+
+	// Step (b): canonical queries from factor-space proximity. Terms are
+	// consumed in index order; each unconsumed term seeds a query and
+	// pulls its nearest unconsumed neighbors from the kd-tree.
+	tree, err := kdtree.New(space.TermVecs, nil)
+	if err != nil {
+		return nil, err
+	}
+	used := make([]bool, n)
+	s := &Scheme{Space: space}
+	for t := 0; t < n; t++ {
+		if used[t] {
+			continue
+		}
+		// Over-fetch so that enough unconsumed neighbors remain.
+		k := cfg.QueryLen * 4
+		if k > n {
+			k = n
+		}
+		nn, _, err := tree.KNN(space.TermVecs[t], k)
+		if err != nil {
+			return nil, err
+		}
+		q := Query{}
+		for _, cand := range nn {
+			if used[cand.ID] {
+				continue
+			}
+			used[cand.ID] = true
+			q.Terms = append(q.Terms, cand.ID)
+			if len(q.Terms) == cfg.QueryLen {
+				break
+			}
+		}
+		// Tail case: not enough neighbors left; sweep linearly.
+		for u := 0; len(q.Terms) < cfg.QueryLen && u < n; u++ {
+			if !used[u] {
+				used[u] = true
+				q.Terms = append(q.Terms, u)
+			}
+		}
+		q.Centroid = space.Project(q.Terms)
+		for _, tm := range q.Terms {
+			q.Popularity += ix.DocFreq(tm)
+		}
+		s.Queries = append(s.Queries, q)
+	}
+
+	// Step (c): group queries of similar popularity from different parts
+	// of the factor space. Sort by popularity, then stride-partition so
+	// that each group takes queries that are close in popularity rank;
+	// consecutive ranks come from unrelated space regions because
+	// popularity is uncorrelated with position.
+	order := make([]int, len(s.Queries))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return s.Queries[order[a]].Popularity > s.Queries[order[b]].Popularity
+	})
+	s.groupOf = make([]int, len(s.Queries))
+	for start := 0; start < len(order); start += cfg.GroupSize {
+		end := start + cfg.GroupSize
+		if end > len(order) {
+			end = len(order)
+		}
+		g := append([]int(nil), order[start:end]...)
+		gi := len(s.Groups)
+		s.Groups = append(s.Groups, g)
+		for _, q := range g {
+			s.groupOf[q] = gi
+		}
+	}
+	return s, nil
+}
+
+// Substitute maps a user query (index term numbers) to its closest
+// canonical query q̃ and returns q̃'s index along with its whole group:
+// the queries actually submitted to the search engine (one substitute
+// plus covers).
+func (s *Scheme) Substitute(queryTerms []int) (canonical int, group []int, err error) {
+	if len(s.Queries) == 0 {
+		return 0, nil, errors.New("canonical: no canonical queries")
+	}
+	qv := s.Space.Project(queryTerms)
+	best, bestSim := 0, math.Inf(-1)
+	for i, cq := range s.Queries {
+		sim := lsi.Cosine(qv, cq.Centroid)
+		if sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return best, s.Groups[s.groupOf[best]], nil
+}
+
+// GroupOf returns the group index of canonical query q.
+func (s *Scheme) GroupOf(q int) int { return s.groupOf[q] }
+
+// RecallLoss measures the precision-recall impact the paper criticizes:
+// the fraction of the plaintext top-k result of the genuine query that
+// the substituted canonical query fails to retrieve (0 = perfect recall,
+// 1 = total loss).
+func (s *Scheme) RecallLoss(ix *index.Index, queryTerms []int, k int) (float64, error) {
+	canon, _, err := s.Substitute(queryTerms)
+	if err != nil {
+		return 0, err
+	}
+	genuine := ix.QuantizedTopK(queryTerms, k)
+	if len(genuine) == 0 {
+		return 0, nil
+	}
+	got := ix.QuantizedTopK(s.Queries[canon].Terms, k)
+	have := make(map[index.DocID]bool, len(got))
+	for _, r := range got {
+		have[r.Doc] = true
+	}
+	missed := 0
+	for _, r := range genuine {
+		if !have[r.Doc] {
+			missed++
+		}
+	}
+	return float64(missed) / float64(len(genuine)), nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,233 @@
+package canonical
+
+import (
+	"math/rand"
+	"testing"
+
+	"embellish/internal/index"
+	"embellish/internal/testenv"
+)
+
+var (
+	cachedWorld  *testenv.World
+	cachedScheme *Scheme
+)
+
+func world(t *testing.T) (*testenv.World, *Scheme) {
+	t.Helper()
+	if cachedWorld == nil {
+		cachedWorld = testenv.BuildWorld(testenv.Options{Seed: 131, BktSz: 4})
+		cfg := DefaultConfig()
+		cfg.Factors = 12
+		cfg.Iters = 20
+		s, err := Build(cachedWorld.Index, cfg)
+		if err != nil {
+			t.Fatalf("build: %v", err)
+		}
+		cachedScheme = s
+	}
+	return cachedWorld, cachedScheme
+}
+
+func TestBuildErrors(t *testing.T) {
+	b := index.NewBuilder()
+	b.Add(0, []string{"alpha", "beta"})
+	ix := b.Build()
+	bad := DefaultConfig()
+	bad.QueryLen = 0
+	if _, err := Build(ix, bad); err == nil {
+		t.Fatal("QueryLen=0 accepted")
+	}
+	bad = DefaultConfig()
+	bad.GroupSize = 0
+	if _, err := Build(ix, bad); err == nil {
+		t.Fatal("GroupSize=0 accepted")
+	}
+}
+
+func TestEveryTermInExactlyOneQuery(t *testing.T) {
+	w, s := world(t)
+	seen := make(map[int]int)
+	for _, q := range s.Queries {
+		for _, tm := range q.Terms {
+			seen[tm]++
+		}
+	}
+	if len(seen) != w.Index.NumTerms() {
+		t.Fatalf("queries cover %d terms, index has %d", len(seen), w.Index.NumTerms())
+	}
+	for tm, n := range seen {
+		if n != 1 {
+			t.Fatalf("term %d appears in %d canonical queries", tm, n)
+		}
+	}
+}
+
+func TestQueryLengths(t *testing.T) {
+	_, s := world(t)
+	for i, q := range s.Queries {
+		if len(q.Terms) < 1 || len(q.Terms) > 3 {
+			t.Fatalf("query %d has %d terms, want 1..3", i, len(q.Terms))
+		}
+	}
+}
+
+func TestGroupsPartitionQueries(t *testing.T) {
+	_, s := world(t)
+	seen := make(map[int]bool)
+	for gi, g := range s.Groups {
+		if len(g) == 0 {
+			t.Fatalf("group %d empty", gi)
+		}
+		for _, q := range g {
+			if seen[q] {
+				t.Fatalf("query %d in multiple groups", q)
+			}
+			seen[q] = true
+			if s.GroupOf(q) != gi {
+				t.Fatalf("GroupOf(%d) = %d, want %d", q, s.GroupOf(q), gi)
+			}
+		}
+	}
+	if len(seen) != len(s.Queries) {
+		t.Fatalf("groups cover %d queries, have %d", len(seen), len(s.Queries))
+	}
+}
+
+func TestGroupsPopularityBalanced(t *testing.T) {
+	// Groups take consecutive popularity ranks, so within each group the
+	// rank span must not exceed the group size (absolute popularity can
+	// still spread widely at the Zipfian head — rank adjacency is the
+	// construction's actual invariant).
+	_, s := world(t)
+	rank := make(map[int]int, len(s.Queries))
+	order := make([]int, len(s.Queries))
+	for i := range order {
+		order[i] = i
+	}
+	// Recompute the popularity ranking the builder used.
+	sortStableByPopularity(s, order)
+	for r, q := range order {
+		rank[q] = r
+	}
+	for gi, g := range s.Groups {
+		lo, hi := rank[g[0]], rank[g[0]]
+		for _, q := range g[1:] {
+			if rank[q] < lo {
+				lo = rank[q]
+			}
+			if rank[q] > hi {
+				hi = rank[q]
+			}
+		}
+		if hi-lo >= len(g)+1 {
+			t.Fatalf("group %d spans popularity ranks [%d,%d], want contiguous run of %d",
+				gi, lo, hi, len(g))
+		}
+	}
+}
+
+func sortStableByPopularity(s *Scheme, order []int) {
+	// Insertion sort keeps the test free of extra imports and is stable.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && s.Queries[order[j]].Popularity > s.Queries[order[j-1]].Popularity; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+}
+
+func TestSubstituteReturnsGroupMember(t *testing.T) {
+	w, s := world(t)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		q := []int{rng.Intn(w.Index.NumTerms()), rng.Intn(w.Index.NumTerms())}
+		canon, group, err := s.Substitute(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, g := range group {
+			if g == canon {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("canonical %d not in its own group %v", canon, group)
+		}
+	}
+}
+
+func TestSubstituteExactCanonicalQuery(t *testing.T) {
+	// Substituting a canonical query's own terms must select a query
+	// with the same centroid direction (usually itself).
+	_, s := world(t)
+	q := s.Queries[len(s.Queries)/2]
+	canon, _, err := s.Substitute(q.Terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The selected query must be at least as similar as the original.
+	if canon != len(s.Queries)/2 {
+		got := s.Queries[canon]
+		simGot := cosine(got.Centroid, q.Centroid)
+		if simGot < 0.999 {
+			t.Fatalf("self-substitution picked query %d with cosine %.4f", canon, simGot)
+		}
+	}
+}
+
+func cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / (sqrt(na) * sqrt(nb))
+}
+
+func sqrt(x float64) float64 {
+	// Newton iterations suffice for test-side comparison.
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+// TestRecallLossPositive demonstrates the paper's criticism: canonical
+// substitution loses part of the genuine result set for most queries,
+// whereas the PR scheme is lossless by construction (Claim 1).
+func TestRecallLossPositive(t *testing.T) {
+	w, s := world(t)
+	rng := rand.New(rand.NewSource(7))
+	var total float64
+	trials := 20
+	for i := 0; i < trials; i++ {
+		q := []int{rng.Intn(w.Index.NumTerms()), rng.Intn(w.Index.NumTerms()), rng.Intn(w.Index.NumTerms())}
+		loss, err := s.RecallLoss(w.Index, q, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loss < 0 || loss > 1 {
+			t.Fatalf("loss %v out of [0,1]", loss)
+		}
+		total += loss
+	}
+	if total == 0 {
+		t.Fatal("canonical substitution lost nothing over 20 random queries; baseline implausibly perfect")
+	}
+}
+
+func TestSubstituteEmptyScheme(t *testing.T) {
+	s := &Scheme{}
+	if _, _, err := s.Substitute([]int{1}); err == nil {
+		t.Fatal("empty scheme accepted")
+	}
+}

@@ -1,0 +1,297 @@
+// Package core implements the paper's primary contribution: the private
+// retrieval (PR) scheme of Sections 3-4 of Pang, Ding and Xiao, "
+// Embellishing Text Search Queries To Protect User Privacy" (VLDB 2010).
+//
+// The client embellishes each query by replacing every genuine search term
+// with its entire host bucket (Algorithm 3), attaching to each term a
+// Benaloh encryption of 1 (genuine) or 0 (decoy) and randomly permuting
+// the result. The search engine walks the inverted list of every term in
+// the embellished query and accumulates the encrypted relevance score
+// E(score_j) ·= E(u_i)^{p_ij} (Algorithm 4); decoy flags encrypt zero, so
+// only genuine impacts reach the plaintext score, yet the ciphertext
+// changes for every term, keeping the server oblivious. The client
+// decrypts the candidate scores and ranks (Algorithm 5). Claim 1: the
+// ranking equals a plaintext engine's ranking over the genuine terms.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"math/rand"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/bucket"
+	"embellish/internal/index"
+	"embellish/internal/simio"
+	"embellish/internal/wordnet"
+)
+
+// QueryEntry is one term of an embellished query with its encrypted
+// genuineness flag E(u).
+type QueryEntry struct {
+	Term wordnet.TermID
+	Flag *big.Int
+}
+
+// Query is an embellished query: the union of the host buckets of all
+// genuine terms, randomly permuted, each term carrying E(u). The Benaloh
+// public key travels with the query so the server can operate on the
+// ciphertexts.
+type Query struct {
+	Entries []QueryEntry
+	Pub     *benaloh.PublicKey
+}
+
+// Bytes returns the network size of the query: per entry a 4-byte term
+// identifier plus one ciphertext.
+func (q *Query) Bytes() int {
+	return len(q.Entries) * (4 + q.Pub.CiphertextBytes())
+}
+
+// DocScore is a candidate result document with its encrypted relevance
+// score.
+type DocScore struct {
+	Doc index.DocID
+	Enc *big.Int
+}
+
+// Response is the candidate set R returned by the server.
+type Response struct {
+	Docs     []DocScore
+	ctxBytes int
+}
+
+// Bytes returns the network size of the response: per candidate a 4-byte
+// document identifier plus one ciphertext.
+func (r *Response) Bytes() int { return len(r.Docs) * (4 + r.ctxBytes) }
+
+// Client is the user-side endpoint: it owns the private key and the
+// bucket organization (both are public knowledge except the key; the
+// organization is also known to the server).
+type Client struct {
+	Org *bucket.Organization
+	Key *benaloh.PrivateKey
+	// Rand drives the embellishment permutation and must be seeded per
+	// client; crypto randomness for flag encryption comes from CryptoRand.
+	Rand *rand.Rand
+	// CryptoRand sources randomness for Benaloh encryptions; nil selects
+	// crypto/rand.
+	CryptoRand io.Reader
+}
+
+// NewClient builds a client. seed fixes the permutation order for
+// reproducible experiments.
+func NewClient(org *bucket.Organization, key *benaloh.PrivateKey, seed int64) *Client {
+	return &Client{Org: org, Key: key, Rand: rand.New(rand.NewSource(seed))}
+}
+
+// MaxScore returns the largest plaintext relevance score representable
+// under the client's key; Embellish refuses queries that could exceed it.
+func (c *Client) MaxScore() *big.Int {
+	return new(big.Int).Sub(c.Key.R, big.NewInt(1))
+}
+
+// Embellish implements Algorithm 3. Every genuine term pulls in its whole
+// host bucket; terms sharing a bucket are emitted once with u=1. Genuine
+// terms not present in the organization (out-of-dictionary words) are
+// reported in skipped rather than silently dropped.
+func (c *Client) Embellish(genuine []wordnet.TermID) (q *Query, skipped []wordnet.TermID, err error) {
+	isGenuine := make(map[wordnet.TermID]bool, len(genuine))
+	var buckets []int
+	seenBucket := make(map[int]bool)
+	for _, t := range genuine {
+		b, ok := c.Org.BucketOf(t)
+		if !ok {
+			skipped = append(skipped, t)
+			continue
+		}
+		isGenuine[t] = true
+		if !seenBucket[b] {
+			seenBucket[b] = true
+			buckets = append(buckets, b)
+		}
+	}
+	if len(buckets) == 0 {
+		return nil, skipped, errors.New("core: no genuine term is in the bucket organization")
+	}
+
+	q = &Query{Pub: &c.Key.PublicKey}
+	for _, b := range buckets {
+		for _, t := range c.Org.Bucket(b) {
+			u := int64(0)
+			if isGenuine[t] {
+				u = 1
+			}
+			flag, err := c.Key.EncryptInt(c.CryptoRand, u)
+			if err != nil {
+				return nil, skipped, fmt.Errorf("core: encrypting flag: %w", err)
+			}
+			q.Entries = append(q.Entries, QueryEntry{Term: t, Flag: flag})
+		}
+	}
+	// Random permutation so the adversary cannot recover the logical
+	// bucket grouping from entry order (Section 3).
+	c.Rand.Shuffle(len(q.Entries), func(i, j int) {
+		q.Entries[i], q.Entries[j] = q.Entries[j], q.Entries[i]
+	})
+	return q, skipped, nil
+}
+
+// Ranked is a decrypted, ranked result document.
+type Ranked struct {
+	Doc   index.DocID
+	Score int64
+}
+
+// PostFilter implements Algorithm 5: decrypt every candidate score, sort
+// decreasing, and return the top k (k <= 0 returns all). Ties break by
+// ascending document ID for determinism.
+func (c *Client) PostFilter(resp *Response, k int) ([]Ranked, error) {
+	out := make([]Ranked, 0, len(resp.Docs))
+	for _, ds := range resp.Docs {
+		m, err := c.Key.DecryptInt(ds.Enc)
+		if err != nil {
+			return nil, fmt.Errorf("core: decrypting score of doc %d: %w", ds.Doc, err)
+		}
+		out = append(out, Ranked{Doc: ds.Doc, Score: m})
+	}
+	sortRanked(out)
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out, nil
+}
+
+func sortRanked(rs []Ranked) {
+	// Insertion-free: small helper keeps package sort-import local.
+	lessSwap(rs)
+}
+
+// Server is the search-engine endpoint. It owns the inverted index, the
+// bucket organization (public), and the bucket-aligned storage layout.
+type Server struct {
+	Index *index.Index
+	Org   *bucket.Organization
+	// termOf maps a dictionary TermID to its index term number; terms of
+	// the organization absent from the corpus map to -1 (empty list).
+	termOf []int32
+	// bucketBytes[b] is the on-disk footprint of bucket b's inverted
+	// lists, stored contiguously per Section 4 so that one seek fetches
+	// the whole bucket.
+	bucketBytes []int
+	Disk        simio.Model
+}
+
+// NewServer wires an index to a bucket organization. db supplies the
+// lemma spelling of each organization term so it can be matched against
+// the index dictionary.
+func NewServer(ix *index.Index, org *bucket.Organization, db *wordnet.Database) *Server {
+	s := &Server{Index: ix, Org: org, Disk: simio.Default()}
+	s.termOf = make([]int32, db.NumTerms())
+	for i := range s.termOf {
+		s.termOf[i] = -1
+	}
+	s.bucketBytes = make([]int, org.NumBuckets())
+	for b := 0; b < org.NumBuckets(); b++ {
+		for _, t := range org.Bucket(b) {
+			if ti, ok := ix.LookupTerm(db.Lemma(t)); ok {
+				s.termOf[t] = int32(ti)
+				s.bucketBytes[b] += ix.ListBytes(ti)
+			}
+		}
+	}
+	return s
+}
+
+// ListFor returns the inverted list of a dictionary term, or nil when the
+// term does not occur in the corpus.
+func (s *Server) ListFor(t wordnet.TermID) []index.Posting {
+	if int(t) >= len(s.termOf) || s.termOf[t] < 0 {
+		return nil
+	}
+	return s.Index.List(int(s.termOf[t]))
+}
+
+// Stats records the server-side cost of one query execution, feeding the
+// Figure 7/8 metrics.
+type Stats struct {
+	// ModMuls counts KeyLen-bit modular multiplications; each homomorphic
+	// accumulation E(score)·E(u)^p costs one modular exponentiation with
+	// a small exponent p, accounted as its square-and-multiply length.
+	ModMuls int
+	// Postings is the number of inverted-list entries scanned.
+	Postings int
+	// IO aggregates the simulated disk accesses (one seek per distinct
+	// bucket, Section 4's layout).
+	IO simio.Accounting
+	// Candidates is |R|.
+	Candidates int
+}
+
+// IOms returns the simulated I/O time in milliseconds.
+func (st Stats) IOms(m simio.Model) float64 { return st.IO.Ms(m) }
+
+// Process implements Algorithm 4: for every (genuine or decoy) term in
+// the embellished query, walk its inverted list and fold E(u_i)^{p_ij}
+// into the candidate document's encrypted score.
+func (s *Server) Process(q *Query) (*Response, Stats, error) {
+	if len(q.Entries) == 0 {
+		return nil, Stats{}, errors.New("core: empty query")
+	}
+	var st Stats
+
+	// Charge I/O: one seek per distinct bucket named by the query.
+	terms := make([]wordnet.TermID, len(q.Entries))
+	for i, e := range q.Entries {
+		terms[i] = e.Term
+	}
+	for _, b := range s.Org.BucketsFor(terms) {
+		st.IO.Charge(s.bucketBytes[b])
+	}
+
+	pk := q.Pub
+	acc := make(map[index.DocID]*big.Int)
+	for _, e := range q.Entries {
+		list := s.ListFor(e.Term)
+		for i := range list {
+			p := list[i]
+			st.Postings++
+			// E(u)^p via modular exponentiation; count its multiplications
+			// for the CPU cost model (~1.5 per exponent bit).
+			contrib := pk.ScalarMul(e.Flag, int64(p.Quantized))
+			st.ModMuls += mulsForExponent(int64(p.Quantized))
+			if cur, ok := acc[p.Doc]; ok {
+				pk.AddInto(cur, contrib)
+				st.ModMuls++
+			} else {
+				acc[p.Doc] = contrib
+			}
+		}
+	}
+	resp := &Response{ctxBytes: pk.CiphertextBytes()}
+	resp.Docs = make([]DocScore, 0, len(acc))
+	for d, c := range acc {
+		resp.Docs = append(resp.Docs, DocScore{Doc: d, Enc: c})
+	}
+	sortDocScores(resp.Docs)
+	st.Candidates = len(resp.Docs)
+	return resp, st, nil
+}
+
+// mulsForExponent estimates the modular multiplications of one
+// square-and-multiply exponentiation with exponent e.
+func mulsForExponent(e int64) int {
+	if e <= 1 {
+		return 0
+	}
+	bits, ones := 0, 0
+	for v := e; v > 0; v >>= 1 {
+		bits++
+		if v&1 == 1 {
+			ones++
+		}
+	}
+	return (bits - 1) + (ones - 1)
+}

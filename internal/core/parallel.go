@@ -1,0 +1,102 @@
+package core
+
+import (
+	"errors"
+	"math/big"
+	"runtime"
+	"sync"
+
+	"embellish/internal/index"
+	"embellish/internal/wordnet"
+)
+
+// ProcessParallel is Algorithm 4 with the per-term inverted-list scans
+// fanned out over workers goroutines (0 selects GOMAXPROCS). The
+// homomorphic accumulation is commutative and associative — ciphertext
+// multiplication mod n — so each worker folds its share of the query's
+// terms into a private accumulator map and the shards merge pairwise
+// afterwards. The result is identical to Process up to ciphertext
+// randomization: each E(score) is a different group element than the
+// sequential run would produce, but decrypts to the same score, and the
+// server learns nothing either way.
+func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error) {
+	if len(q.Entries) == 0 {
+		return nil, Stats{}, errors.New("core: empty query")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 || len(q.Entries) < 2*workers {
+		return s.Process(q)
+	}
+
+	var st Stats
+	terms := make([]wordnet.TermID, len(q.Entries))
+	for i, e := range q.Entries {
+		terms[i] = e.Term
+	}
+	for _, b := range s.Org.BucketsFor(terms) {
+		st.IO.Charge(s.bucketBytes[b])
+	}
+
+	pk := q.Pub
+	type shard struct {
+		acc      map[index.DocID]*big.Int
+		modMuls  int
+		postings int
+	}
+	shards := make([]shard, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := make(map[index.DocID]*big.Int)
+			muls, posts := 0, 0
+			for i := w; i < len(q.Entries); i += workers {
+				e := q.Entries[i]
+				list := s.ListFor(e.Term)
+				for j := range list {
+					p := list[j]
+					posts++
+					contrib := pk.ScalarMul(e.Flag, int64(p.Quantized))
+					muls += mulsForExponent(int64(p.Quantized))
+					if cur, ok := acc[p.Doc]; ok {
+						pk.AddInto(cur, contrib)
+						muls++
+					} else {
+						acc[p.Doc] = contrib
+					}
+				}
+			}
+			shards[w] = shard{acc: acc, modMuls: muls, postings: posts}
+		}(w)
+	}
+	wg.Wait()
+
+	// Merge shards into the first shard's accumulator.
+	merged := shards[0].acc
+	st.ModMuls = shards[0].modMuls
+	st.Postings = shards[0].postings
+	for _, sh := range shards[1:] {
+		st.ModMuls += sh.modMuls
+		st.Postings += sh.postings
+		for d, c := range sh.acc {
+			if cur, ok := merged[d]; ok {
+				pk.AddInto(cur, c)
+				st.ModMuls++
+			} else {
+				merged[d] = c
+			}
+		}
+	}
+
+	resp := &Response{ctxBytes: pk.CiphertextBytes()}
+	resp.Docs = make([]DocScore, 0, len(merged))
+	for d, c := range merged {
+		resp.Docs = append(resp.Docs, DocScore{Doc: d, Enc: c})
+	}
+	sortDocScores(resp.Docs)
+	st.Candidates = len(resp.Docs)
+	return resp, st, nil
+}

@@ -1,0 +1,21 @@
+package core
+
+import "sort"
+
+// lessSwap sorts ranked results by decreasing score, ties by ascending
+// document ID.
+func lessSwap(rs []Ranked) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Score != rs[j].Score {
+			return rs[i].Score > rs[j].Score
+		}
+		return rs[i].Doc < rs[j].Doc
+	})
+}
+
+// sortDocScores orders the candidate set by document ID, a canonical
+// order that leaks nothing (the ciphertexts are already order-free) and
+// makes responses reproducible for tests.
+func sortDocScores(ds []DocScore) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Doc < ds[j].Doc })
+}

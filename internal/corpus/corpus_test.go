@@ -1,0 +1,156 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+func genSmall(seed int64) (*wordnet.Database, *Corpus) {
+	db := wngen.Generate(wngen.ScaledConfig(2000, 3))
+	cfg := DefaultConfig()
+	cfg.NumDocs = 200
+	cfg.MeanDocLen = 60
+	cfg.Seed = seed
+	return db, Generate(db, cfg)
+}
+
+func TestGenerateShape(t *testing.T) {
+	_, c := genSmall(1)
+	if len(c.Docs) != 200 {
+		t.Fatalf("NumDocs = %d", len(c.Docs))
+	}
+	for i, d := range c.Docs {
+		if d.ID != i {
+			t.Fatalf("doc %d has ID %d", i, d.ID)
+		}
+		if len(d.Tokens) == 0 {
+			t.Fatalf("doc %d is empty", i)
+		}
+	}
+}
+
+func TestVocabularyMatchesUsage(t *testing.T) {
+	db, c := genSmall(2)
+	used := make(map[string]bool)
+	for _, d := range c.Docs {
+		for _, tok := range d.Tokens {
+			used[tok] = true
+		}
+	}
+	if len(used) != len(c.Vocabulary) {
+		t.Fatalf("vocabulary %d entries, corpus uses %d distinct tokens",
+			len(c.Vocabulary), len(used))
+	}
+	for _, tid := range c.Vocabulary {
+		if !used[db.Lemma(tid)] {
+			t.Fatalf("vocabulary term %q never used", db.Lemma(tid))
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	_, a := genSmall(9)
+	_, b := genSmall(9)
+	for i := range a.Docs {
+		if len(a.Docs[i].Tokens) != len(b.Docs[i].Tokens) {
+			t.Fatalf("doc %d lengths differ", i)
+		}
+		for j := range a.Docs[i].Tokens {
+			if a.Docs[i].Tokens[j] != b.Docs[i].Tokens[j] {
+				t.Fatalf("doc %d token %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedChangesCorpus(t *testing.T) {
+	_, a := genSmall(1)
+	_, b := genSmall(2)
+	diff := false
+	for i := range a.Docs {
+		if len(a.Docs[i].Tokens) != len(b.Docs[i].Tokens) {
+			diff = true
+			break
+		}
+		for j := range a.Docs[i].Tokens {
+			if a.Docs[i].Tokens[j] != b.Docs[i].Tokens[j] {
+				diff = true
+				break
+			}
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical corpora")
+	}
+}
+
+func TestSkewedTermDistribution(t *testing.T) {
+	// Zipfian background + topical clustering must produce a skewed
+	// document-frequency distribution: the most common term should occur
+	// in far more documents than the median term.
+	_, c := genSmall(5)
+	df := make(map[string]int)
+	for _, d := range c.Docs {
+		seen := make(map[string]bool)
+		for _, tok := range d.Tokens {
+			if !seen[tok] {
+				seen[tok] = true
+				df[tok]++
+			}
+		}
+	}
+	max := 0
+	ones := 0
+	for _, n := range df {
+		if n > max {
+			max = n
+		}
+		if n == 1 {
+			ones++
+		}
+	}
+	if max < 20 {
+		t.Fatalf("most common term in only %d/200 docs; distribution not skewed", max)
+	}
+	if ones < len(df)/4 {
+		t.Fatalf("only %d/%d hapax terms; tail not long enough", ones, len(df))
+	}
+}
+
+func TestTopicalClustering(t *testing.T) {
+	// With TopicBias > 0, documents repeat neighborhood terms: average
+	// distinct-token ratio must be clearly below 1 token-per-position.
+	_, c := genSmall(6)
+	var distinct, total int
+	for _, d := range c.Docs {
+		seen := make(map[string]bool)
+		for _, tok := range d.Tokens {
+			seen[tok] = true
+		}
+		distinct += len(seen)
+		total += len(d.Tokens)
+	}
+	ratio := float64(distinct) / float64(total)
+	if ratio > 0.9 {
+		t.Fatalf("distinct ratio %.2f; no topical repetition", ratio)
+	}
+}
+
+func TestTextRendersWithFillers(t *testing.T) {
+	_, c := genSmall(7)
+	text := c.Docs[0].Text()
+	if !strings.Contains(text, " the ") && !strings.Contains(text, " of ") &&
+		!strings.Contains(text, " a ") && !strings.Contains(text, " in ") {
+		t.Fatalf("rendered text has no stopword fillers: %q", text[:min(len(text), 120)])
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,31 @@
+// Package detrand provides a deterministic byte stream for reproducible
+// cryptographic key generation and encryption randomness in tests,
+// benchmarks and experiments. NOT cryptographically secure: production
+// callers pass nil readers to the crypto APIs, selecting crypto/rand.
+package detrand
+
+import (
+	"bytes"
+	"crypto/sha256"
+)
+
+// Reader is a deterministic io.Reader producing an SHA-256 feedback
+// stream from a seed string.
+type Reader struct {
+	state [32]byte
+	buf   bytes.Buffer
+}
+
+// New seeds a deterministic stream.
+func New(seed string) *Reader {
+	return &Reader{state: sha256.Sum256([]byte(seed))}
+}
+
+// Read implements io.Reader.
+func (d *Reader) Read(p []byte) (int, error) {
+	for d.buf.Len() < len(p) {
+		d.state = sha256.Sum256(d.state[:])
+		d.buf.Write(d.state[:])
+	}
+	return d.buf.Read(p)
+}

@@ -1,0 +1,59 @@
+package detrand
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterministic(t *testing.T) {
+	a, b := New("seed"), New("seed")
+	ba, bb := make([]byte, 257), make([]byte, 257)
+	if _, err := a.Read(ba); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Read(bb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("same seed produced different streams")
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New("seed-1"), New("seed-2")
+	ba, bb := make([]byte, 64), make([]byte, 64)
+	a.Read(ba)
+	b.Read(bb)
+	if bytes.Equal(ba, bb) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestStreamAdvances(t *testing.T) {
+	r := New("x")
+	p1, p2 := make([]byte, 32), make([]byte, 32)
+	r.Read(p1)
+	r.Read(p2)
+	if bytes.Equal(p1, p2) {
+		t.Fatal("consecutive reads returned identical bytes")
+	}
+}
+
+func TestShortAndUnevenReads(t *testing.T) {
+	// Reads of awkward sizes must splice correctly across the 32-byte
+	// internal blocks: reading 1+31+33 bytes equals reading 65 at once.
+	a, b := New("u"), New("u")
+	var got []byte
+	for _, n := range []int{1, 31, 33} {
+		p := make([]byte, n)
+		if _, err := a.Read(p); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, p...)
+	}
+	want := make([]byte, 65)
+	b.Read(want)
+	if !bytes.Equal(got, want) {
+		t.Fatal("uneven reads diverge from a single read")
+	}
+}

@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/bucket"
+	"embellish/internal/corpus"
+	"embellish/internal/detrand"
+	"embellish/internal/index"
+	"embellish/internal/pir"
+	"embellish/internal/sequence"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+// Config scales the experimental environment. The paper's setting is
+// Synsets=82115 (full WordNet nouns) and NumDocs=172961 (WSJ); the
+// defaults here are laptop-scale so every figure regenerates in seconds,
+// and cmd/embellish-eval exposes flags to run closer to paper scale.
+type Config struct {
+	// Synsets sizes the synthetic lexicon.
+	Synsets int
+	// NumDocs and MeanDocLen size the synthetic corpus.
+	NumDocs    int
+	MeanDocLen int
+	// KeyBits is the modulus size for both cryptosystems. The paper does
+	// not state its KeyLen; 512 reproduces 2010-era practice, smaller
+	// values keep tests fast.
+	KeyBits int
+	// BenalohR is the plaintext-space size r = 3^k; scores must stay
+	// below it.
+	BenalohK int
+	// Trials is the number of measurements per sweep point (the paper
+	// averages over 1,000 queries).
+	Trials int
+	// QuerySize is the number of genuine terms per query where fixed
+	// (Figure 7 fixes 12).
+	QuerySize int
+	// Seed drives every random choice.
+	Seed int64
+}
+
+// DefaultConfig returns the fast laptop-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		Synsets:    2500,
+		NumDocs:    300,
+		MeanDocLen: 80,
+		KeyBits:    256,
+		BenalohK:   10,
+		Trials:     60,
+		QuerySize:  12,
+		Seed:       1,
+	}
+}
+
+// Env is a fully built experimental environment: lexicon, corpus, index
+// and the Algorithm 1 sequence of searchable terms, from which bucket
+// organizations of any (BktSz, SegSz) are derived per sweep point.
+type Env struct {
+	Cfg        Config
+	DB         *wordnet.Database
+	Corp       *corpus.Corpus
+	Index      *index.Index
+	Searchable []wordnet.TermID
+	PRKey      *benaloh.PrivateKey
+	PIRKey     *pir.ClientKey
+	// Rand is the deterministic byte stream used for cryptographic
+	// randomness, so experiment runs are reproducible.
+	Rand *detrand.Reader
+}
+
+// NewEnv builds the environment. The workflow mirrors Section 5.2: build
+// the corpus, index it, intersect the index dictionary with the lexicon,
+// and keep the searchable terms in Algorithm 1 sequence order.
+func NewEnv(cfg Config) (*Env, error) {
+	if cfg.Synsets <= 0 || cfg.NumDocs <= 0 {
+		return nil, fmt.Errorf("eval: nonpositive scale (%d synsets, %d docs)", cfg.Synsets, cfg.NumDocs)
+	}
+	e := &Env{Cfg: cfg, Rand: detrand.New(fmt.Sprintf("eval-%d", cfg.Seed))}
+	e.DB = wngen.Generate(wngen.ScaledConfig(cfg.Synsets, cfg.Seed+1))
+
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.NumDocs
+	ccfg.MeanDocLen = cfg.MeanDocLen
+	ccfg.Seed = cfg.Seed + 2
+	e.Corp = corpus.Generate(e.DB, ccfg)
+
+	b := index.NewBuilder()
+	for _, d := range e.Corp.Docs {
+		b.Add(index.DocID(d.ID), d.Tokens)
+	}
+	e.Index = b.Build()
+
+	seq := sequence.Run(e.DB)
+	for _, t := range seq {
+		if _, ok := e.Index.LookupTerm(e.DB.Lemma(t)); ok {
+			e.Searchable = append(e.Searchable, t)
+		}
+	}
+	if len(e.Searchable) < 64 {
+		return nil, fmt.Errorf("eval: only %d searchable terms; corpus too small", len(e.Searchable))
+	}
+
+	var err error
+	e.PRKey, err = benaloh.GenerateKey(e.Rand, cfg.KeyBits, benaloh.Pow3(cfg.BenalohK))
+	if err != nil {
+		return nil, fmt.Errorf("eval: benaloh keygen: %w", err)
+	}
+	e.PIRKey, err = pir.GenerateKey(e.Rand, cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("eval: pir keygen: %w", err)
+	}
+	return e, nil
+}
+
+// Organization builds the bucket organization for one sweep point.
+// segSz <= 0 selects the maximum N/BktSz (the Figure 6-8 setting).
+func (e *Env) Organization(bktSz, segSz int) (*bucket.Organization, error) {
+	if segSz <= 0 {
+		segSz = len(e.Searchable) / bktSz
+	}
+	return bucket.Generate(e.Searchable, e.DB.Specificity, bktSz, segSz)
+}

@@ -1,0 +1,81 @@
+// Package eval is the evaluation harness of the reproduction: it
+// regenerates, as numeric series, every figure of Section 5 of Pang,
+// Ding and Xiao (VLDB 2010) — the term-specificity histogram (Figure 2),
+// the bucket-formation privacy metrics (Figures 5 and 6), and the
+// PR-vs-PIR retrieval performance comparison (Figures 7 and 8). The
+// cmd/embellish-eval binary and the repository's bench_test.go both
+// drive this package.
+//
+// Absolute numbers differ from the paper's (their testbed was a 2006-era
+// dual Xeon against the licensed WSJ corpus; ours is a synthetic corpus
+// on modern hardware) — the reproduced observable is the shape of each
+// curve: who wins, by what factor, and how each metric scales.
+package eval
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is a reproduced figure: an identifier matching the paper's
+// numbering, axis labels, and one or more series.
+type Figure struct {
+	ID     string // e.g. "5a"
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// Render formats the figure as an aligned text table, one row per X
+// value and one column per series — the textual equivalent of the
+// paper's plot.
+func (f *Figure) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure %s: %s\n", f.ID, f.Title)
+	fmt.Fprintf(&b, "%-14s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, "  %18s", s.Name)
+	}
+	fmt.Fprintf(&b, "   [%s]\n", f.YLabel)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-14.6g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, "  %18.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, "  %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// series looks up a series by name; nil when absent.
+func (f *Figure) series(name string) *Series {
+	for i := range f.Series {
+		if f.Series[i].Name == name {
+			return &f.Series[i]
+		}
+	}
+	return nil
+}
+
+// SeriesByName returns the named series, or false when absent.
+func (f *Figure) SeriesByName(name string) (Series, bool) {
+	if s := f.series(name); s != nil {
+		return *s, true
+	}
+	return Series{}, false
+}

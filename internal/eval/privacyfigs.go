@@ -1,0 +1,218 @@
+package eval
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"embellish/internal/privacy"
+	"embellish/internal/semdist"
+)
+
+// Figure2 regenerates the term-specificity histogram of the lexicon
+// (paper Figure 2: specificity 0-18 over the WordNet nouns, with roughly
+// one third of the terms at specificity 7).
+func (e *Env) Figure2() Figure {
+	hist := e.DB.SpecificityHistogram()
+	f := Figure{
+		ID:     "2",
+		Title:  "Distribution of Term Specificity",
+		XLabel: "Specificity",
+		YLabel: "term count",
+	}
+	s := Series{Name: "Count"}
+	for spec, n := range hist {
+		s.X = append(s.X, float64(spec))
+		s.Y = append(s.Y, float64(n))
+	}
+	f.Series = []Series{s}
+	return f
+}
+
+// DefaultSegSzSweep is the Figure 5 x-axis: SegSz = 2^2 .. 2^14.
+func DefaultSegSzSweep() []int {
+	var out []int
+	for p := 2; p <= 14; p++ {
+		out = append(out, 1<<p)
+	}
+	return out
+}
+
+// DefaultBktSzSweep is the Figure 6/7 x-axis: BktSz = 2 .. 24.
+func DefaultBktSzSweep() []int { return []int{2, 4, 8, 12, 16, 20, 24} }
+
+// clampSegSz keeps a sweep value inside [1, N/BktSz].
+func (e *Env) clampSegSz(segSz, bktSz int) int {
+	max := len(e.Searchable) / bktSz
+	if segSz > max {
+		return max
+	}
+	if segSz < 1 {
+		return 1
+	}
+	return segSz
+}
+
+// Figure5a regenerates the intra-bucket specificity difference versus
+// SegSz at BktSz=4, for the paper's Bucket organization and the Random
+// baseline. Expected shape: Bucket well below Random, decreasing as
+// SegSz grows (larger segments give more leeway to even out
+// specificity).
+func (e *Env) Figure5a(segSzs []int) (Figure, error) {
+	if segSzs == nil {
+		segSzs = DefaultSegSzSweep()
+	}
+	const bktSz = 4
+	f := Figure{
+		ID:     "5a",
+		Title:  "Effect of SegSz on Bucket Formation (BktSz=4) — Specificity Difference",
+		XLabel: "log2(SegSz)",
+		YLabel: "specificity difference",
+	}
+	bucketS := Series{Name: "Bucket"}
+	randomS := Series{Name: "Random"}
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 50))
+	for _, raw := range segSzs {
+		segSz := e.clampSegSz(raw, bktSz)
+		org, err := e.Organization(bktSz, segSz)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure 5a at SegSz=%d: %w", segSz, err)
+		}
+		x := log2(float64(raw))
+		bucketS.X = append(bucketS.X, x)
+		bucketS.Y = append(bucketS.Y, privacy.AvgSpecSpread(org, e.DB.Specificity))
+
+		randOrg, err := privacy.RandomOrganization(e.Searchable, bktSz, rng)
+		if err != nil {
+			return f, err
+		}
+		randomS.X = append(randomS.X, x)
+		randomS.Y = append(randomS.Y, privacy.AvgSpecSpread(randOrg, e.DB.Specificity))
+	}
+	f.Series = []Series{randomS, bucketS}
+	return f, nil
+}
+
+// Figure5b regenerates the inter-bucket distance difference (closest and
+// farthest cover) versus SegSz at BktSz=4. Expected shape: Bucket's
+// closest cover differs by about one hypernym hop and its farthest by
+// roughly 4x that, both nearly flat in SegSz and both well under the
+// Random baseline.
+func (e *Env) Figure5b(segSzs []int) (Figure, error) {
+	if segSzs == nil {
+		segSzs = DefaultSegSzSweep()
+	}
+	const bktSz = 4
+	f := Figure{
+		ID:     "5b",
+		Title:  "Effect of SegSz on Bucket Formation (BktSz=4) — Distance Difference",
+		XLabel: "log2(SegSz)",
+		YLabel: "distance difference",
+	}
+	calc := semdist.New(e.DB, 40)
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 51))
+	bc := Series{Name: "Bucket (Closest)"}
+	bf := Series{Name: "Bucket (Farthest)"}
+	rc := Series{Name: "Random (Closest)"}
+	rf := Series{Name: "Random (Farthest)"}
+	for _, raw := range segSzs {
+		segSz := e.clampSegSz(raw, bktSz)
+		org, err := e.Organization(bktSz, segSz)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure 5b at SegSz=%d: %w", segSz, err)
+		}
+		x := log2(float64(raw))
+		dd := privacy.MeasureDistanceDifference(org, calc, e.Cfg.Trials, rng)
+		bc.X, bc.Y = append(bc.X, x), append(bc.Y, dd.Closest)
+		bf.X, bf.Y = append(bf.X, x), append(bf.Y, dd.Farthest)
+
+		randOrg, err := privacy.RandomOrganization(e.Searchable, bktSz, rng)
+		if err != nil {
+			return f, err
+		}
+		rd := privacy.MeasureDistanceDifference(randOrg, calc, e.Cfg.Trials, rng)
+		rc.X, rc.Y = append(rc.X, x), append(rc.Y, rd.Closest)
+		rf.X, rf.Y = append(rf.X, x), append(rf.Y, rd.Farthest)
+	}
+	f.Series = []Series{rf, rc, bf, bc}
+	return f, nil
+}
+
+// Figure6a regenerates the intra-bucket specificity difference versus
+// BktSz, with SegSz maximized to N/BktSz (the paper's choice after
+// Figure 5 shows larger segments help). Expected shape: Bucket starts
+// near zero and grows slowly with BktSz, staying well under Random.
+func (e *Env) Figure6a(bktSzs []int) (Figure, error) {
+	if bktSzs == nil {
+		bktSzs = DefaultBktSzSweep()
+	}
+	f := Figure{
+		ID:     "6a",
+		Title:  "Effect of BktSz on Bucket Formation (SegSz=N/BktSz) — Specificity Difference",
+		XLabel: "BktSz",
+		YLabel: "specificity difference",
+	}
+	bucketS := Series{Name: "Bucket"}
+	randomS := Series{Name: "Random"}
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 60))
+	for _, bktSz := range bktSzs {
+		org, err := e.Organization(bktSz, 0)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure 6a at BktSz=%d: %w", bktSz, err)
+		}
+		bucketS.X = append(bucketS.X, float64(bktSz))
+		bucketS.Y = append(bucketS.Y, privacy.AvgSpecSpread(org, e.DB.Specificity))
+
+		randOrg, err := privacy.RandomOrganization(e.Searchable, bktSz, rng)
+		if err != nil {
+			return f, err
+		}
+		randomS.X = append(randomS.X, float64(bktSz))
+		randomS.Y = append(randomS.Y, privacy.AvgSpecSpread(randOrg, e.DB.Specificity))
+	}
+	f.Series = []Series{randomS, bucketS}
+	return f, nil
+}
+
+// Figure6b regenerates the distance difference versus BktSz
+// (SegSz=N/BktSz). Expected shape: closest cover stays within a hop or
+// two; farthest grows with BktSz but remains under Random.
+func (e *Env) Figure6b(bktSzs []int) (Figure, error) {
+	if bktSzs == nil {
+		bktSzs = DefaultBktSzSweep()
+	}
+	f := Figure{
+		ID:     "6b",
+		Title:  "Effect of BktSz on Bucket Formation (SegSz=N/BktSz) — Distance Difference",
+		XLabel: "BktSz",
+		YLabel: "distance difference",
+	}
+	calc := semdist.New(e.DB, 40)
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 61))
+	bc := Series{Name: "Bucket (Closest)"}
+	bf := Series{Name: "Bucket (Farthest)"}
+	rc := Series{Name: "Random (Closest)"}
+	rf := Series{Name: "Random (Farthest)"}
+	for _, bktSz := range bktSzs {
+		org, err := e.Organization(bktSz, 0)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure 6b at BktSz=%d: %w", bktSz, err)
+		}
+		dd := privacy.MeasureDistanceDifference(org, calc, e.Cfg.Trials, rng)
+		x := float64(bktSz)
+		bc.X, bc.Y = append(bc.X, x), append(bc.Y, dd.Closest)
+		bf.X, bf.Y = append(bf.X, x), append(bf.Y, dd.Farthest)
+
+		randOrg, err := privacy.RandomOrganization(e.Searchable, bktSz, rng)
+		if err != nil {
+			return f, err
+		}
+		rd := privacy.MeasureDistanceDifference(randOrg, calc, e.Cfg.Trials, rng)
+		rc.X, rc.Y = append(rc.X, x), append(rc.Y, rd.Closest)
+		rf.X, rf.Y = append(rf.X, x), append(rf.Y, rd.Farthest)
+	}
+	f.Series = []Series{rf, rc, bf, bc}
+	return f, nil
+}
+
+func log2(x float64) float64 { return math.Log2(x) }

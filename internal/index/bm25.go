@@ -1,0 +1,43 @@
+package index
+
+import "math"
+
+// Scoring selects the similarity function whose per-posting impacts the
+// index precomputes. The private retrieval scheme is scoring-agnostic —
+// it accumulates whatever integer impacts the lists carry — which is
+// the paper's Appendix B point that the solution "applies generally to
+// similarity retrieval models that judge similarity from the query and
+// document vectors, including Okapi".
+type Scoring uint8
+
+const (
+	// ScoringCosine is Equation 3 of the paper (the default).
+	ScoringCosine Scoring = iota
+	// ScoringBM25 is the Okapi BM25 function (Robertson et al. [24]).
+	ScoringBM25
+)
+
+// BM25Params are the Okapi free parameters.
+type BM25Params struct {
+	// K1 controls term-frequency saturation; 1.2 is the classic default.
+	K1 float64
+	// B controls document-length normalization; 0.75 is the classic
+	// default.
+	B float64
+}
+
+// DefaultBM25 returns the standard parameterization.
+func DefaultBM25() BM25Params { return BM25Params{K1: 1.2, B: 0.75} }
+
+// bm25Impact computes the Okapi per-posting impact
+//
+//	idf(t) · f_{d,t}·(k1+1) / (f_{d,t} + k1·(1-b+b·dl/avgdl))
+//
+// with the non-negative idf variant idf = ln(1 + (N-f_t+0.5)/(f_t+0.5)),
+// so impacts quantize onto the same non-negative integer scale the
+// private retrieval scheme requires.
+func bm25Impact(p BM25Params, n, ft, fdt, dl, avgdl float64) float64 {
+	idf := math.Log(1 + (n-ft+0.5)/(ft+0.5))
+	denom := fdt + p.K1*(1-p.B+p.B*dl/avgdl)
+	return idf * fdt * (p.K1 + 1) / denom
+}

@@ -1,0 +1,164 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func bm25Corpus() *Builder {
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	docs := []string{
+		"the old night keeper keeps the keep in the town",
+		"in the big old house in the big old gown",
+		"the house in the town had the big old keep",
+		"where the old night keeper never did sleep",
+		"the night keeper keeps the keep in the night",
+		"and keeps in the dark and sleeps in the light",
+	}
+	for i, d := range docs {
+		b.Add(DocID(i), strings.Fields(d))
+	}
+	return b
+}
+
+func TestBM25ImpactMatchesFormula(t *testing.T) {
+	ix := bm25Corpus().Build()
+	// Hand-check ('keeper', doc 0). Corpus: 6 docs, avgdl = 57/6.
+	// keeper: f_t = 3, f_{0,keeper} = 1, dl_0 = 10.
+	p := DefaultBM25()
+	n, ft, fdt, dl, avgdl := 6.0, 3.0, 1.0, 10.0, 57.0/6.0
+	idf := math.Log(1 + (n-ft+0.5)/(ft+0.5))
+	want := idf * fdt * (p.K1 + 1) / (fdt + p.K1*(1-p.B+p.B*dl/avgdl))
+
+	var got float64
+	for _, post := range ix.ListByTerm("keeper") {
+		if post.Doc == 0 {
+			got = post.Impact
+		}
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("BM25 impact = %.12f, want %.12f", got, want)
+	}
+}
+
+func TestBM25ImpactsNonNegative(t *testing.T) {
+	// The non-negative idf variant keeps every impact >= 0 even for
+	// terms in most documents ('the' is in all 6) — required for the
+	// integer quantization the PR scheme depends on.
+	ix := bm25Corpus().Build()
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		for _, p := range ix.List(ti) {
+			if p.Impact < 0 || p.Quantized < 1 {
+				t.Fatalf("term %q doc %d: impact %v quantized %d",
+					ix.Term(ti), p.Doc, p.Impact, p.Quantized)
+			}
+		}
+	}
+}
+
+func TestBM25TermFrequencySaturates(t *testing.T) {
+	// Higher tf gives higher impact, with diminishing returns.
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	b.Add(0, []string{"x", "pad", "pad", "pad"})
+	b.Add(1, []string{"x", "x", "pad", "pad"})
+	b.Add(2, []string{"x", "x", "x", "pad"})
+	ix := b.Build()
+	imp := map[DocID]float64{}
+	for _, p := range ix.ListByTerm("x") {
+		imp[p.Doc] = p.Impact
+	}
+	if !(imp[0] < imp[1] && imp[1] < imp[2]) {
+		t.Fatalf("tf monotonicity broken: %v", imp)
+	}
+	if (imp[1] - imp[0]) <= (imp[2] - imp[1]) {
+		t.Fatalf("tf saturation broken: gains %v then %v", imp[1]-imp[0], imp[2]-imp[1])
+	}
+}
+
+func TestBM25LengthNormalization(t *testing.T) {
+	// Same tf, longer document -> lower impact.
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	b.Add(0, []string{"x", "pad"})
+	b.Add(1, append([]string{"x"}, strings.Fields(strings.Repeat("pad ", 30))...))
+	ix := b.Build()
+	imp := map[DocID]float64{}
+	for _, p := range ix.ListByTerm("x") {
+		imp[p.Doc] = p.Impact
+	}
+	if imp[0] <= imp[1] {
+		t.Fatalf("length normalization broken: short %v long %v", imp[0], imp[1])
+	}
+}
+
+func TestBM25RarerTermScoresHigher(t *testing.T) {
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	b.Add(0, []string{"rare", "common"})
+	b.Add(1, []string{"common", "pad"})
+	b.Add(2, []string{"common", "pad"})
+	b.Add(3, []string{"pad", "pad2"})
+	ix := b.Build()
+	var rare, common float64
+	for _, p := range ix.ListByTerm("rare") {
+		if p.Doc == 0 {
+			rare = p.Impact
+		}
+	}
+	for _, p := range ix.ListByTerm("common") {
+		if p.Doc == 0 {
+			common = p.Impact
+		}
+	}
+	if rare <= common {
+		t.Fatalf("idf ordering broken: rare %v common %v", rare, common)
+	}
+}
+
+func TestBM25CustomParams(t *testing.T) {
+	// B=0 disables length normalization entirely.
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	b.BM25 = BM25Params{K1: 1.2, B: 0}
+	b.Add(0, []string{"x", "pad"})
+	b.Add(1, append([]string{"x"}, strings.Fields(strings.Repeat("pad ", 30))...))
+	ix := b.Build()
+	imp := map[DocID]float64{}
+	for _, p := range ix.ListByTerm("x") {
+		imp[p.Doc] = p.Impact
+	}
+	if math.Abs(imp[0]-imp[1]) > 1e-12 {
+		t.Fatalf("B=0 should ignore length: %v vs %v", imp[0], imp[1])
+	}
+}
+
+func TestBM25QuantizedTopKConsistent(t *testing.T) {
+	// The quantized ranking approximates the exact BM25 ranking the same
+	// way it does for cosine — the property the PR scheme relies on.
+	b := NewBuilder()
+	b.Scoring = ScoringBM25
+	rng := rand.New(rand.NewSource(3))
+	vocab := []string{"a", "b", "c", "d", "e", "f", "g"}
+	for d := 0; d < 50; d++ {
+		var toks []string
+		for i := 0; i < 20+rng.Intn(20); i++ {
+			toks = append(toks, vocab[rng.Intn(len(vocab))])
+		}
+		b.Add(DocID(d), toks)
+	}
+	ix := b.Build()
+	exact := ix.TopK([]int{0, 2}, 5)
+	quant := ix.QuantizedTopK([]int{0, 2}, 5)
+	if len(exact) == 0 || len(quant) == 0 {
+		t.Fatal("empty rankings")
+	}
+	// The top document must agree (coarser agreement is quantization-
+	// dependent and covered by the cosine tests).
+	if exact[0].Doc != quant[0].Doc {
+		t.Fatalf("top doc differs: exact %d quantized %d", exact[0].Doc, quant[0].Doc)
+	}
+}

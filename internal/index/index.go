@@ -1,0 +1,315 @@
+// Package index implements the similarity-retrieval substrate of the
+// paper (Section 2.2 and Appendix B): an impact-ordered inverted index
+// over a document corpus, with the cosine scoring function of Equation 3,
+//
+//	S_{d,q} = Σ_{t∈q} w_{d,t}·w_t / W_d,
+//	w_t = ln(1 + N/f_t),  w_{d,t} = 1 + ln f_{d,t},  W_d = sqrt(Σ w_{d,t}²),
+//
+// precomputed per posting as the impact p_{d,t} = w_{d,t}·w_t/W_d
+// (Equation 4). Inverted lists are sorted by decreasing impact, and the
+// top-k evaluation algorithm of Figure 10 accumulates scores by repeatedly
+// popping the globally highest remaining impact.
+//
+// Impacts are additionally quantized to small non-negative integers
+// (footnote 1 of the paper, following Zobel & Moffat), which the private
+// retrieval scheme requires so that the homomorphic operation E(u)^p is
+// defined over integer exponents.
+package index
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DocID identifies a document in the corpus, dense from 0.
+type DocID int32
+
+// Posting is one entry of an inverted list: a document and the impact of
+// the term in it. Quantized is the integer impact used by the private
+// retrieval scheme; Impact is the exact float value used by plaintext
+// scoring.
+type Posting struct {
+	Doc       DocID
+	Impact    float64
+	Quantized int32
+}
+
+// Index is an impact-ordered inverted index. Build it with a Builder;
+// afterwards it is immutable and safe for concurrent readers.
+type Index struct {
+	// NumDocs is N, the number of documents indexed.
+	NumDocs int
+	// terms maps the dictionary string to a dense term number.
+	terms map[string]int
+	// vocab is the inverse mapping.
+	vocab []string
+	// lists[i] is the inverted list of term i, sorted by decreasing
+	// impact.
+	lists [][]Posting
+	// docLen[d] is the number of distinct terms in document d.
+	docLen []int32
+	// QuantLevels records the quantization resolution used at build time.
+	QuantLevels int32
+	// maxImpact is the largest raw impact seen, the quantization scale.
+	maxImpact float64
+}
+
+// NumTerms returns the dictionary size.
+func (ix *Index) NumTerms() int { return len(ix.vocab) }
+
+// Term returns the dictionary string of term number i.
+func (ix *Index) Term(i int) string { return ix.vocab[i] }
+
+// LookupTerm resolves a dictionary string to its term number.
+func (ix *Index) LookupTerm(s string) (int, bool) {
+	i, ok := ix.terms[s]
+	return i, ok
+}
+
+// List returns the inverted list of term i (impact-ordered). The returned
+// slice is owned by the index.
+func (ix *Index) List(i int) []Posting { return ix.lists[i] }
+
+// ListByTerm returns the inverted list for a dictionary string, or nil.
+func (ix *Index) ListByTerm(s string) []Posting {
+	if i, ok := ix.terms[s]; ok {
+		return ix.lists[i]
+	}
+	return nil
+}
+
+// DocFreq returns f_t, the number of documents containing term i.
+func (ix *Index) DocFreq(i int) int { return len(ix.lists[i]) }
+
+// Vocabulary returns all dictionary strings in term-number order. The
+// returned slice is owned by the index.
+func (ix *Index) Vocabulary() []string { return ix.vocab }
+
+// ListBytes returns the on-disk size of term i's inverted list under the
+// paper's layout: one ⟨document id, impact⟩ pair per posting (4+4 bytes).
+func (ix *Index) ListBytes(i int) int { return 8 * len(ix.lists[i]) }
+
+// Builder accumulates documents and produces an Index.
+type Builder struct {
+	// Scoring selects the similarity function (cosine Equation 3 by
+	// default, or Okapi BM25); see bm25.go.
+	Scoring Scoring
+	// BM25 parameterizes ScoringBM25; zero value selects DefaultBM25.
+	BM25  BM25Params
+	terms map[string]int
+	vocab []string
+	// freqs[i] maps doc -> f_{d,t} during collection.
+	freqs  []map[DocID]int32
+	docLen []int32
+	// tokLen[d] is the token count of document d (BM25's dl).
+	tokLen  []int32
+	numDocs int
+	// QuantLevels sets the integer quantization resolution; impacts map
+	// to 1..QuantLevels. Default 255.
+	QuantLevels int32
+}
+
+// NewBuilder returns an empty Builder with default quantization.
+func NewBuilder() *Builder {
+	return &Builder{terms: make(map[string]int), QuantLevels: 255}
+}
+
+// Add indexes one document given its analyzed token stream. Documents
+// must be added with consecutive DocIDs starting at 0.
+func (b *Builder) Add(doc DocID, tokens []string) {
+	if int(doc) != b.numDocs {
+		panic(fmt.Sprintf("index: documents must be added in order; got %d want %d", doc, b.numDocs))
+	}
+	b.numDocs++
+	seen := 0
+	for _, tok := range tokens {
+		ti, ok := b.terms[tok]
+		if !ok {
+			ti = len(b.vocab)
+			b.terms[tok] = ti
+			b.vocab = append(b.vocab, tok)
+			b.freqs = append(b.freqs, make(map[DocID]int32))
+		}
+		if b.freqs[ti][doc] == 0 {
+			seen++
+		}
+		b.freqs[ti][doc]++
+	}
+	b.docLen = append(b.docLen, int32(seen))
+	b.tokLen = append(b.tokLen, int32(len(tokens)))
+}
+
+// Build computes impacts, quantizes them, orders the lists and returns
+// the finished index. The Builder must not be reused afterwards.
+func (b *Builder) Build() *Index {
+	n := float64(b.numDocs)
+	// First pass: per-document normalizer W_d = sqrt(Σ w_{d,t}²).
+	// Equation 3 sums the squared DOCUMENT weights only — w_t does not
+	// enter the normalizer.
+	wd := make([]float64, b.numDocs)
+	for ti := range b.vocab {
+		for d, fdt := range b.freqs[ti] {
+			wdt := 1 + math.Log(float64(fdt))
+			wd[d] += wdt * wdt
+		}
+	}
+	for d := range wd {
+		wd[d] = math.Sqrt(wd[d])
+	}
+	// Second pass: impacts.
+	ix := &Index{
+		NumDocs:     b.numDocs,
+		terms:       b.terms,
+		vocab:       b.vocab,
+		lists:       make([][]Posting, len(b.vocab)),
+		docLen:      b.docLen,
+		QuantLevels: b.QuantLevels,
+	}
+	bmp := b.BM25
+	if bmp == (BM25Params{}) {
+		bmp = DefaultBM25()
+	}
+	avgdl := 0.0
+	for _, l := range b.tokLen {
+		avgdl += float64(l)
+	}
+	if b.numDocs > 0 {
+		avgdl /= float64(b.numDocs)
+	}
+	maxImpact := 0.0
+	for ti := range b.vocab {
+		ft := float64(len(b.freqs[ti]))
+		wt := math.Log(1 + n/ft)
+		list := make([]Posting, 0, len(b.freqs[ti]))
+		for d, fdt := range b.freqs[ti] {
+			var imp float64
+			switch b.Scoring {
+			case ScoringBM25:
+				imp = bm25Impact(bmp, n, ft, float64(fdt), float64(b.tokLen[d]), avgdl)
+			default:
+				wdt := 1 + math.Log(float64(fdt))
+				imp = wdt * wt / wd[d]
+			}
+			if imp > maxImpact {
+				maxImpact = imp
+			}
+			list = append(list, Posting{Doc: d, Impact: imp})
+		}
+		ix.lists[ti] = list
+	}
+	ix.maxImpact = maxImpact
+	// Quantize to 1..QuantLevels and order by decreasing impact (ties by
+	// ascending doc for determinism).
+	for ti, list := range ix.lists {
+		for i := range list {
+			q := int32(math.Ceil(list[i].Impact / maxImpact * float64(b.QuantLevels)))
+			if q < 1 {
+				q = 1
+			}
+			if q > b.QuantLevels {
+				q = b.QuantLevels
+			}
+			list[i].Quantized = q
+		}
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Impact != list[j].Impact {
+				return list[i].Impact > list[j].Impact
+			}
+			return list[i].Doc < list[j].Doc
+		})
+		ix.lists[ti] = list
+	}
+	b.freqs = nil
+	return ix
+}
+
+// Result is one scored document.
+type Result struct {
+	Doc   DocID
+	Score float64
+}
+
+// TopK evaluates a plaintext query (a set of term numbers) with the
+// impact-ordered algorithm of Figure 10 and returns the k highest-scoring
+// documents in decreasing score order (ties by ascending DocID).
+func (ix *Index) TopK(queryTerms []int, k int) []Result {
+	var pq impactHeap
+	for _, ti := range queryTerms {
+		if ti < 0 || ti >= len(ix.lists) || len(ix.lists[ti]) == 0 {
+			continue
+		}
+		pq = append(pq, cursorRef{list: ix.lists[ti], pos: 0})
+	}
+	heap.Init(&pq)
+	acc := make(map[DocID]float64)
+	for pq.Len() > 0 {
+		top := &pq[0]
+		p := top.list[top.pos]
+		acc[p.Doc] += p.Impact
+		top.pos++
+		if top.pos >= len(top.list) {
+			heap.Pop(&pq)
+		} else {
+			heap.Fix(&pq, 0)
+		}
+	}
+	return topKFromAccumulators(acc, k)
+}
+
+// QuantizedTopK evaluates the query over quantized impacts, mirroring what
+// the private retrieval scheme computes homomorphically. Used to verify
+// Claim 1 (rank preservation) in tests.
+func (ix *Index) QuantizedTopK(queryTerms []int, k int) []Result {
+	acc := make(map[DocID]float64)
+	for _, ti := range queryTerms {
+		if ti < 0 || ti >= len(ix.lists) {
+			continue
+		}
+		for _, p := range ix.lists[ti] {
+			acc[p.Doc] += float64(p.Quantized)
+		}
+	}
+	return topKFromAccumulators(acc, k)
+}
+
+func topKFromAccumulators(acc map[DocID]float64, k int) []Result {
+	res := make([]Result, 0, len(acc))
+	for d, s := range acc {
+		res = append(res, Result{Doc: d, Score: s})
+	}
+	sort.Slice(res, func(i, j int) bool {
+		if res[i].Score != res[j].Score {
+			return res[i].Score > res[j].Score
+		}
+		return res[i].Doc < res[j].Doc
+	})
+	if k > 0 && len(res) > k {
+		res = res[:k]
+	}
+	return res
+}
+
+type cursorRef struct {
+	list []Posting
+	pos  int
+}
+
+// impactHeap orders cursors by the impact at their current position,
+// highest first.
+type impactHeap []cursorRef
+
+func (h impactHeap) Len() int { return len(h) }
+func (h impactHeap) Less(i, j int) bool {
+	return h[i].list[h[i].pos].Impact > h[j].list[h[j].pos].Impact
+}
+func (h impactHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *impactHeap) Push(x interface{}) { *h = append(*h, x.(cursorRef)) }
+func (h *impactHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,249 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tinyCorpus builds the six-document example corpus used in Appendix B's
+// impact-ordered index illustration (Figure 9-style structure).
+func tinyCorpus() *Index {
+	docs := [][]string{
+		{"the", "old", "night", "keeper", "keeps", "the", "keep", "in", "the", "town"},
+		{"in", "the", "big", "old", "house", "in", "the", "big", "old", "gown"},
+		{"the", "house", "in", "the", "town", "had", "the", "big", "old", "keep"},
+		{"where", "the", "old", "night", "keeper", "never", "did", "sleep"},
+		{"the", "night", "keeper", "keeps", "the", "keep", "in", "the", "night"},
+		{"and", "keeps", "in", "the", "dark", "and", "sleeps", "in", "the", "light"},
+	}
+	b := NewBuilder()
+	for i, d := range docs {
+		b.Add(DocID(i), d)
+	}
+	return b.Build()
+}
+
+func TestDictionary(t *testing.T) {
+	ix := tinyCorpus()
+	if ix.NumDocs != 6 {
+		t.Fatalf("NumDocs = %d, want 6", ix.NumDocs)
+	}
+	// 20 distinct terms in the Appendix B example.
+	if ix.NumTerms() != 20 {
+		t.Fatalf("NumTerms = %d, want 20", ix.NumTerms())
+	}
+	ti, ok := ix.LookupTerm("keeper")
+	if !ok {
+		t.Fatal("missing 'keeper'")
+	}
+	if ix.DocFreq(ti) != 3 {
+		t.Fatalf("f_keeper = %d, want 3", ix.DocFreq(ti))
+	}
+	ti, _ = ix.LookupTerm("the")
+	if ix.DocFreq(ti) != 6 {
+		t.Fatalf("f_the = %d, want 6", ix.DocFreq(ti))
+	}
+}
+
+func TestImpactsMatchEquation3(t *testing.T) {
+	ix := tinyCorpus()
+	// Recompute w_{d,t}·w_t/W_d by hand for ('keeper', doc 0).
+	// doc 0 terms: the(3) old night keeper keeps keep in town.
+	n := 6.0
+	wt := func(ft float64) float64 { return math.Log(1 + n/ft) }
+	wdt := func(f float64) float64 { return 1 + math.Log(f) }
+	// Document 0 distinct terms with (f_{d,t}, f_t):
+	terms := map[string][2]float64{
+		"the": {3, 6}, "old": {1, 4}, "night": {1, 3}, "keeper": {1, 3},
+		"keeps": {1, 3}, "keep": {1, 3}, "in": {1, 5}, "town": {1, 2},
+	}
+	var w2 float64
+	for _, v := range terms {
+		// Equation 3's normalizer uses the document weights w_{d,t} alone.
+		x := wdt(v[0])
+		w2 += x * x
+	}
+	wd := math.Sqrt(w2)
+	want := wdt(1) * wt(3) / wd
+
+	list := ix.ListByTerm("keeper")
+	var got float64
+	for _, p := range list {
+		if p.Doc == 0 {
+			got = p.Impact
+		}
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("impact = %.12f, want %.12f", got, want)
+	}
+}
+
+func TestImpactOrdering(t *testing.T) {
+	ix := tinyCorpus()
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		list := ix.List(ti)
+		for i := 1; i < len(list); i++ {
+			if list[i].Impact > list[i-1].Impact {
+				t.Fatalf("list %q not impact-ordered", ix.Term(ti))
+			}
+		}
+	}
+}
+
+func TestQuantizationRange(t *testing.T) {
+	ix := tinyCorpus()
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		for _, p := range ix.List(ti) {
+			if p.Quantized < 1 || p.Quantized > ix.QuantLevels {
+				t.Fatalf("quantized impact %d outside [1, %d]", p.Quantized, ix.QuantLevels)
+			}
+		}
+	}
+}
+
+func TestQuantizationMonotone(t *testing.T) {
+	ix := tinyCorpus()
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		list := ix.List(ti)
+		for i := 1; i < len(list); i++ {
+			if list[i].Quantized > list[i-1].Quantized {
+				t.Fatalf("quantization not monotone with impact in %q", ix.Term(ti))
+			}
+		}
+	}
+}
+
+func TestTopKRanksByScore(t *testing.T) {
+	ix := tinyCorpus()
+	kt, _ := ix.LookupTerm("keeper")
+	nt, _ := ix.LookupTerm("night")
+	res := ix.TopK([]int{kt, nt}, 3)
+	if len(res) != 3 {
+		t.Fatalf("got %d results", len(res))
+	}
+	for i := 1; i < len(res); i++ {
+		if res[i].Score > res[i-1].Score {
+			t.Fatal("results not sorted by decreasing score")
+		}
+	}
+	// Doc 4 contains 'night' twice and 'keeper' once in a short document;
+	// it must outrank docs containing only one query term.
+	if res[0].Doc != 4 {
+		t.Fatalf("top doc = %d, want 4", res[0].Doc)
+	}
+}
+
+func TestTopKMatchesNaiveEvaluation(t *testing.T) {
+	// Figure 10's accumulator algorithm must equal brute-force Σ impacts.
+	ix := tinyCorpus()
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		q := []int{rng.Intn(ix.NumTerms()), rng.Intn(ix.NumTerms()), rng.Intn(ix.NumTerms())}
+		got := ix.TopK(q, 0)
+		want := make(map[DocID]float64)
+		for _, ti := range q {
+			for _, p := range ix.List(ti) {
+				want[p.Doc] += p.Impact
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d results, want %d", trial, len(got), len(want))
+		}
+		for _, r := range got {
+			if math.Abs(want[r.Doc]-r.Score) > 1e-9 {
+				t.Fatalf("trial %d: doc %d score %v, want %v", trial, r.Doc, r.Score, want[r.Doc])
+			}
+		}
+	}
+}
+
+func TestTopKDuplicateQueryTerms(t *testing.T) {
+	// A term listed twice contributes twice (matching Σ over query terms).
+	ix := tinyCorpus()
+	kt, _ := ix.LookupTerm("keeper")
+	single := ix.TopK([]int{kt}, 0)
+	double := ix.TopK([]int{kt, kt}, 0)
+	for i := range single {
+		if math.Abs(double[i].Score-2*single[i].Score) > 1e-9 {
+			t.Fatal("duplicate term did not double the score")
+		}
+	}
+}
+
+func TestTopKUnknownTerm(t *testing.T) {
+	ix := tinyCorpus()
+	if res := ix.TopK([]int{-1, 9999}, 5); len(res) != 0 {
+		t.Fatalf("unknown terms produced %d results", len(res))
+	}
+}
+
+func TestQuantizedTopKApproximatesExact(t *testing.T) {
+	// At 255 levels the quantized ranking's top document should agree
+	// with the exact ranking for multi-term queries on this corpus.
+	ix := tinyCorpus()
+	kt, _ := ix.LookupTerm("keeper")
+	nt, _ := ix.LookupTerm("night")
+	st, _ := ix.LookupTerm("sleep")
+	exact := ix.TopK([]int{kt, nt, st}, 1)
+	quant := ix.QuantizedTopK([]int{kt, nt, st}, 1)
+	if exact[0].Doc != quant[0].Doc {
+		t.Fatalf("top docs differ: exact %d, quantized %d", exact[0].Doc, quant[0].Doc)
+	}
+}
+
+func TestListBytes(t *testing.T) {
+	ix := tinyCorpus()
+	ti, _ := ix.LookupTerm("keeper")
+	if got := ix.ListBytes(ti); got != 8*3 {
+		t.Fatalf("ListBytes = %d, want 24", got)
+	}
+}
+
+func TestAddOutOfOrderPanics(t *testing.T) {
+	b := NewBuilder()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order Add did not panic")
+		}
+	}()
+	b.Add(1, []string{"x"})
+}
+
+// Property: every posting's impact is positive and finite, and f_t equals
+// the list length, for random corpora.
+func TestBuildInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vocab := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+		b := NewBuilder()
+		nDocs := 3 + rng.Intn(20)
+		for d := 0; d < nDocs; d++ {
+			n := 1 + rng.Intn(30)
+			toks := make([]string, n)
+			for i := range toks {
+				toks[i] = vocab[rng.Intn(len(vocab))]
+			}
+			b.Add(DocID(d), toks)
+		}
+		ix := b.Build()
+		for ti := 0; ti < ix.NumTerms(); ti++ {
+			for _, p := range ix.List(ti) {
+				if !(p.Impact > 0) || math.IsInf(p.Impact, 0) || math.IsNaN(p.Impact) {
+					return false
+				}
+				if p.Doc < 0 || int(p.Doc) >= ix.NumDocs {
+					return false
+				}
+			}
+			if ix.DocFreq(ti) != len(ix.List(ti)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,135 @@
+package index
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func buildSample(t *testing.T) *Index {
+	t.Helper()
+	b := NewBuilder()
+	rng := rand.New(rand.NewSource(7))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "multi word term"}
+	for d := 0; d < 40; d++ {
+		var tokens []string
+		n := 10 + rng.Intn(30)
+		for i := 0; i < n; i++ {
+			tokens = append(tokens, vocab[rng.Intn(len(vocab))])
+		}
+		b.Add(DocID(d), tokens)
+	}
+	return b.Build()
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	ix := buildSample(t)
+	var buf bytes.Buffer
+	n, err := ix.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumDocs != ix.NumDocs || got.QuantLevels != ix.QuantLevels || got.maxImpact != ix.maxImpact {
+		t.Fatalf("header mismatch: %+v vs %+v", got, ix)
+	}
+	if got.NumTerms() != ix.NumTerms() {
+		t.Fatalf("vocab size %d vs %d", got.NumTerms(), ix.NumTerms())
+	}
+	for i := 0; i < ix.NumTerms(); i++ {
+		if got.Term(i) != ix.Term(i) {
+			t.Fatalf("term %d: %q vs %q", i, got.Term(i), ix.Term(i))
+		}
+		a, b := got.List(i), ix.List(i)
+		if len(a) != len(b) {
+			t.Fatalf("list %d length %d vs %d", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("list %d posting %d: %+v vs %+v", i, j, a[j], b[j])
+			}
+		}
+	}
+	// Behaviour check: identical top-k on a query.
+	qt := []int{0, 2, 4}
+	ra := got.TopK(qt, 10)
+	rb := ix.TopK(qt, 10)
+	for i := range rb {
+		if ra[i] != rb[i] {
+			t.Fatalf("TopK diverges at %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+}
+
+func TestPersistDetectsCorruption(t *testing.T) {
+	ix := buildSample(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one payload byte near the middle.
+	data[len(data)/2] ^= 0xff
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt file accepted")
+	}
+}
+
+func TestPersistRejectsBadMagic(t *testing.T) {
+	if _, err := ReadIndex(strings.NewReader("NOPE....")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestPersistRejectsTruncation(t *testing.T) {
+	ix := buildSample(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, cut := range []int{3, 5, 20, len(data) / 2, len(data) - 2} {
+		if _, err := ReadIndex(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestPersistRejectsBadVersion(t *testing.T) {
+	ix := buildSample(t)
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[4] = 99 // version byte
+	if _, err := ReadIndex(bytes.NewReader(data)); err == nil {
+		t.Fatal("future version accepted")
+	}
+}
+
+func TestPersistEmptyListsSurvive(t *testing.T) {
+	// A term can exist in the vocabulary with an empty list after
+	// pruning; persistence must round-trip it.
+	b := NewBuilder()
+	b.Add(0, []string{"only"})
+	ix := b.Build()
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadIndex(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTerms() != 1 || len(got.List(0)) != 1 {
+		t.Fatalf("tiny index mangled: %d terms", got.NumTerms())
+	}
+}

@@ -1,0 +1,200 @@
+// Package kdtree implements a k-d tree over dense float64 points, with
+// k-nearest-neighbor search. Murugesan and Clifton's plausibly deniable
+// search (the baseline of Section 2.1) forms canonical queries "from
+// terms that are in close proximity of each other in the factor space
+// using a kd-tree nearest neighbor retrieval"; this package supplies that
+// index. The paper's criticism — kd-trees do not scale much beyond 10
+// dimensions [15] — can be observed directly on the Visited statistic,
+// which approaches exhaustive scan as dimensionality grows.
+package kdtree
+
+import (
+	"errors"
+	"sort"
+)
+
+// Tree is an immutable k-d tree. Build it once with New; concurrent
+// searches are safe.
+type Tree struct {
+	dim    int
+	points [][]float64
+	ids    []int // caller-supplied identifier per point
+	// nodes in implicit pre-order: each node splits on axis depth%dim.
+	root *node
+}
+
+type node struct {
+	point       int // index into points/ids
+	axis        int
+	left, right *node
+}
+
+// New builds a tree over the given points. ids[i] is the caller's
+// identifier for points[i] (e.g. a term index); pass nil to use positional
+// indices. All points must share the same nonzero dimensionality.
+func New(points [][]float64, ids []int) (*Tree, error) {
+	if len(points) == 0 {
+		return nil, errors.New("kdtree: no points")
+	}
+	dim := len(points[0])
+	if dim == 0 {
+		return nil, errors.New("kdtree: zero-dimensional points")
+	}
+	for _, p := range points {
+		if len(p) != dim {
+			return nil, errors.New("kdtree: inconsistent dimensionality")
+		}
+	}
+	if ids == nil {
+		ids = make([]int, len(points))
+		for i := range ids {
+			ids[i] = i
+		}
+	} else if len(ids) != len(points) {
+		return nil, errors.New("kdtree: ids length mismatch")
+	}
+	t := &Tree{dim: dim, points: points, ids: ids}
+	idx := make([]int, len(points))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.root = t.build(idx, 0)
+	return t, nil
+}
+
+// build constructs the subtree over idx, splitting on axis depth%dim at
+// the median.
+func (t *Tree) build(idx []int, depth int) *node {
+	if len(idx) == 0 {
+		return nil
+	}
+	axis := depth % t.dim
+	sort.Slice(idx, func(a, b int) bool {
+		return t.points[idx[a]][axis] < t.points[idx[b]][axis]
+	})
+	mid := len(idx) / 2
+	n := &node{point: idx[mid], axis: axis}
+	n.left = t.build(idx[:mid], depth+1)
+	n.right = t.build(idx[mid+1:], depth+1)
+	return n
+}
+
+// Len returns the number of indexed points.
+func (t *Tree) Len() int { return len(t.points) }
+
+// Neighbor is one k-NN result.
+type Neighbor struct {
+	ID   int
+	Dist float64 // squared Euclidean distance
+}
+
+// Stats reports the work done by one search.
+type Stats struct {
+	// Visited counts tree nodes whose distance was evaluated. Near
+	// len(points) means the pruning failed (the dimensionality curse).
+	Visited int
+}
+
+// KNN returns the k nearest neighbors of q in increasing distance,
+// breaking ties by ascending ID for determinism.
+func (t *Tree) KNN(q []float64, k int) ([]Neighbor, Stats, error) {
+	if len(q) != t.dim {
+		return nil, Stats{}, errors.New("kdtree: query dimensionality mismatch")
+	}
+	if k <= 0 {
+		return nil, Stats{}, errors.New("kdtree: k must be positive")
+	}
+	h := &heap{cap: k}
+	var st Stats
+	t.search(t.root, q, h, &st)
+	out := h.sorted()
+	return out, st, nil
+}
+
+func (t *Tree) search(n *node, q []float64, h *heap, st *Stats) {
+	if n == nil {
+		return
+	}
+	st.Visited++
+	p := t.points[n.point]
+	var d float64
+	for i := range q {
+		diff := q[i] - p[i]
+		d += diff * diff
+	}
+	h.offer(Neighbor{ID: t.ids[n.point], Dist: d})
+
+	delta := q[n.axis] - p[n.axis]
+	near, far := n.left, n.right
+	if delta > 0 {
+		near, far = n.right, n.left
+	}
+	t.search(near, q, h, st)
+	// Prune the far side unless the splitting plane is closer than the
+	// current k-th best.
+	if !h.full() || delta*delta < h.worst() {
+		t.search(far, q, h, st)
+	}
+}
+
+// heap is a fixed-capacity max-heap on Dist (worst candidate at the top).
+type heap struct {
+	cap   int
+	items []Neighbor
+}
+
+func (h *heap) full() bool     { return len(h.items) == h.cap }
+func (h *heap) worst() float64 { return h.items[0].Dist }
+
+func (h *heap) offer(n Neighbor) {
+	if len(h.items) < h.cap {
+		h.items = append(h.items, n)
+		h.up(len(h.items) - 1)
+		return
+	}
+	if n.Dist >= h.items[0].Dist {
+		return
+	}
+	h.items[0] = n
+	h.down(0)
+}
+
+func (h *heap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.items[parent].Dist >= h.items[i].Dist {
+			return
+		}
+		h.items[parent], h.items[i] = h.items[i], h.items[parent]
+		i = parent
+	}
+}
+
+func (h *heap) down(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.items) && h.items[l].Dist > h.items[largest].Dist {
+			largest = l
+		}
+		if r < len(h.items) && h.items[r].Dist > h.items[largest].Dist {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.items[i], h.items[largest] = h.items[largest], h.items[i]
+		i = largest
+	}
+}
+
+func (h *heap) sorted() []Neighbor {
+	out := append([]Neighbor(nil), h.items...)
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	return out
+}

@@ -1,0 +1,219 @@
+package kdtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("no points accepted")
+	}
+	if _, err := New([][]float64{{}}, nil); err == nil {
+		t.Fatal("zero-dim point accepted")
+	}
+	if _, err := New([][]float64{{1, 2}, {1}}, nil); err == nil {
+		t.Fatal("ragged points accepted")
+	}
+	if _, err := New([][]float64{{1}}, []int{1, 2}); err == nil {
+		t.Fatal("ids length mismatch accepted")
+	}
+}
+
+func TestKNNErrors(t *testing.T) {
+	tr, err := New([][]float64{{0, 0}, {1, 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tr.KNN([]float64{0}, 1); err == nil {
+		t.Fatal("dimensionality mismatch accepted")
+	}
+	if _, _, err := tr.KNN([]float64{0, 0}, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestExactNearest(t *testing.T) {
+	pts := [][]float64{{0, 0}, {10, 0}, {0, 10}, {5, 5}, {9, 9}}
+	tr, err := New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, _, err := tr.KNN([]float64{6, 6}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nn[0].ID != 3 {
+		t.Fatalf("nearest to (6,6) is point %d, want 3 (=(5,5))", nn[0].ID)
+	}
+}
+
+func TestCustomIDs(t *testing.T) {
+	tr, err := New([][]float64{{0}, {5}}, []int{100, 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn, _, _ := tr.KNN([]float64{4}, 1)
+	if nn[0].ID != 200 {
+		t.Fatalf("ID = %d, want 200", nn[0].ID)
+	}
+}
+
+// bruteKNN is the reference implementation.
+func bruteKNN(pts [][]float64, q []float64, k int) []Neighbor {
+	out := make([]Neighbor, len(pts))
+	for i, p := range pts {
+		var d float64
+		for j := range q {
+			diff := q[j] - p[j]
+			d += diff * diff
+		}
+		out[i] = Neighbor{ID: i, Dist: d}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dist != out[b].Dist {
+			return out[a].Dist < out[b].Dist
+		}
+		return out[a].ID < out[b].ID
+	})
+	if k < len(out) {
+		out = out[:k]
+	}
+	return out
+}
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, dim := range []int{1, 2, 3, 5} {
+		pts := make([][]float64, 200)
+		for i := range pts {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.Float64() * 100
+			}
+			pts[i] = p
+		}
+		tr, err := New(pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for trial := 0; trial < 10; trial++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64() * 100
+			}
+			k := 1 + rng.Intn(8)
+			got, _, err := tr.KNN(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteKNN(pts, q, k)
+			if len(got) != len(want) {
+				t.Fatalf("dim %d: got %d results, want %d", dim, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID {
+					t.Fatalf("dim %d k=%d rank %d: got point %d (d=%.4f), want %d (d=%.4f)",
+						dim, k, i, got[i].ID, got[i].Dist, want[i].ID, want[i].Dist)
+				}
+			}
+		}
+	}
+}
+
+func TestKNNProperty(t *testing.T) {
+	// Property: for any point set and query, KNN's first result is a
+	// true nearest neighbor.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(60)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		}
+		tr, err := New(pts, nil)
+		if err != nil {
+			return false
+		}
+		q := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		got, _, err := tr.KNN(q, 1)
+		if err != nil {
+			return false
+		}
+		want := bruteKNN(pts, q, 1)
+		return got[0].Dist == want[0].Dist
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKMoreThanPoints(t *testing.T) {
+	tr, _ := New([][]float64{{0}, {1}, {2}}, nil)
+	nn, _, err := tr.KNN([]float64{0}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nn) != 3 {
+		t.Fatalf("got %d neighbors, want all 3", len(nn))
+	}
+}
+
+func TestDuplicatePoints(t *testing.T) {
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 1}, {2, 2}}
+	tr, _ := New(pts, nil)
+	nn, _, err := tr.KNN([]float64{1, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range nn {
+		if n.Dist != 0 {
+			t.Fatalf("duplicate point search returned non-zero distance %v", n.Dist)
+		}
+	}
+}
+
+// TestDimensionalityCurse verifies the Visited statistic exposes the
+// pruning collapse the paper cites ([15]): in low dimensions a search
+// touches a small fraction of nodes, in high dimensions almost all.
+func TestDimensionalityCurse(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 2000
+	visitFraction := func(dim int) float64 {
+		pts := make([][]float64, n)
+		for i := range pts {
+			p := make([]float64, dim)
+			for j := range p {
+				p[j] = rng.Float64()
+			}
+			pts[i] = p
+		}
+		tr, err := New(pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		trials := 20
+		for i := 0; i < trials; i++ {
+			q := make([]float64, dim)
+			for j := range q {
+				q[j] = rng.Float64()
+			}
+			_, st, err := tr.KNN(q, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += st.Visited
+		}
+		return float64(total) / float64(trials*n)
+	}
+	low, high := visitFraction(2), visitFraction(25)
+	if low > 0.2 {
+		t.Fatalf("2-d search visited %.0f%% of nodes, expected efficient pruning", low*100)
+	}
+	if high < 0.5 {
+		t.Fatalf("25-d search visited only %.0f%% of nodes; curse not observable", high*100)
+	}
+}

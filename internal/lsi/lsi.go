@@ -1,0 +1,272 @@
+// Package lsi implements latent semantic indexing: a truncated singular
+// value decomposition of the term-document matrix, computed with
+// orthogonal (subspace) iteration so that only the standard library is
+// required.
+//
+// LSI is the substrate of two systems the paper discusses: the
+// privacy-preserving factor-space retrieval of Pang, Shen and Krishnan
+// (ACM TOIT 2010), and — the baseline reproduced here — Murugesan and
+// Clifton's plausibly deniable search (SDM 2009), which maps dictionary
+// terms into a 30-factor LSI space before clustering them into canonical
+// queries (Section 2.1). The paper criticizes both pitfalls that this
+// package makes observable: LSI's word-relation capture depends on
+// corpus co-occurrence, and effective retrieval needs 200-350 factors
+// while multi-dimensional indexes stop scaling past ~10 dimensions.
+package lsi
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a sparse term-document matrix in term-major layout. Weights
+// are typically tf-idf values.
+type Matrix struct {
+	Rows int // terms
+	Cols int // documents
+	// entries[t] lists the (doc, weight) pairs of term t.
+	entries [][]Entry
+}
+
+// Entry is one nonzero cell of the matrix.
+type Entry struct {
+	Col    int
+	Weight float64
+}
+
+// NewMatrix creates an empty rows×cols sparse matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, entries: make([][]Entry, rows)}
+}
+
+// Add records weight w at (row, col). Duplicate adds accumulate.
+func (m *Matrix) Add(row, col int, w float64) {
+	m.entries[row] = append(m.entries[row], Entry{Col: col, Weight: w})
+}
+
+// NNZ returns the number of stored entries.
+func (m *Matrix) NNZ() int {
+	n := 0
+	for _, r := range m.entries {
+		n += len(r)
+	}
+	return n
+}
+
+// mulT computes out = Aᵀ·v for one dense vector v (length Rows),
+// producing a vector of length Cols.
+func (m *Matrix) mulT(v, out []float64) {
+	for i := range out {
+		out[i] = 0
+	}
+	for t, row := range m.entries {
+		vt := v[t]
+		if vt == 0 {
+			continue
+		}
+		for _, e := range row {
+			out[e.Col] += vt * e.Weight
+		}
+	}
+}
+
+// mul computes out = A·v for one dense vector v (length Cols), producing
+// a vector of length Rows.
+func (m *Matrix) mul(v, out []float64) {
+	for t, row := range m.entries {
+		var s float64
+		for _, e := range row {
+			s += v[e.Col] * e.Weight
+		}
+		out[t] = s
+	}
+}
+
+// Space is a k-factor LSI space: the left singular vectors scaled by the
+// singular values, which place every term at a point in R^k such that
+// co-occurring (and transitively related) terms lie close together.
+type Space struct {
+	K int
+	// TermVecs[t] is the k-dimensional position of term t (row t of
+	// U_k·Σ_k).
+	TermVecs [][]float64
+	// Sigma holds the top-k singular values in decreasing order.
+	Sigma []float64
+}
+
+// Options tunes Factorize.
+type Options struct {
+	// K is the number of factors. Murugesan-Clifton use 30; Dumais
+	// reports LSI retrieval works best with 200-350.
+	K int
+	// Iters is the number of subspace iterations; 30 is ample for the
+	// well-separated spectra of tf-idf matrices.
+	Iters int
+	// Seed drives the random initial subspace.
+	Seed int64
+}
+
+// DefaultOptions returns the Murugesan-Clifton configuration.
+func DefaultOptions() Options { return Options{K: 30, Iters: 30, Seed: 1} }
+
+// Factorize computes the truncated SVD by orthogonal iteration on A·Aᵀ:
+// starting from a random orthonormal basis V ∈ R^{Rows×k}, repeatedly
+// form A·(Aᵀ·V) and re-orthonormalize; V converges to the top-k left
+// singular vectors U_k, and the Rayleigh quotients give Σ_k².
+func Factorize(m *Matrix, o Options) (*Space, error) {
+	if o.K <= 0 {
+		return nil, errors.New("lsi: K must be positive")
+	}
+	if m.Rows == 0 || m.Cols == 0 {
+		return nil, errors.New("lsi: empty matrix")
+	}
+	k := o.K
+	if k > m.Rows {
+		k = m.Rows
+	}
+	if k > m.Cols {
+		k = m.Cols
+	}
+	if o.Iters <= 0 {
+		o.Iters = 30
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+
+	// V: Rows×k column-major (each basis vector contiguous).
+	v := make([][]float64, k)
+	for j := range v {
+		v[j] = make([]float64, m.Rows)
+		for i := range v[j] {
+			v[j][i] = rng.NormFloat64()
+		}
+	}
+	orthonormalize(v)
+
+	tmp := make([]float64, m.Cols)
+	next := make([][]float64, k)
+	for j := range next {
+		next[j] = make([]float64, m.Rows)
+	}
+	for it := 0; it < o.Iters; it++ {
+		for j := 0; j < k; j++ {
+			m.mulT(v[j], tmp)
+			m.mul(tmp, next[j])
+		}
+		v, next = next, v
+		if !orthonormalize(v) {
+			// Rank deficiency: the subspace collapsed below k vectors.
+			break
+		}
+	}
+
+	// Singular values via σ_j = ‖Aᵀ·u_j‖.
+	sp := &Space{K: k, Sigma: make([]float64, k)}
+	for j := 0; j < k; j++ {
+		m.mulT(v[j], tmp)
+		sp.Sigma[j] = norm(tmp)
+	}
+	// Sort factors by decreasing σ (orthogonal iteration converges in
+	// order, but finite iterations can leave small inversions).
+	order := make([]int, k)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < k; i++ { // tiny k: selection sort is clearest
+		best := i
+		for j := i + 1; j < k; j++ {
+			if sp.Sigma[order[j]] > sp.Sigma[order[best]] {
+				best = j
+			}
+		}
+		order[i], order[best] = order[best], order[i]
+	}
+	sigma := make([]float64, k)
+	basis := make([][]float64, k)
+	for i, o := range order {
+		sigma[i] = sp.Sigma[o]
+		basis[i] = v[o]
+	}
+	sp.Sigma = sigma
+
+	// Term vectors: row t of U_k·Σ_k.
+	sp.TermVecs = make([][]float64, m.Rows)
+	for t := 0; t < m.Rows; t++ {
+		vec := make([]float64, k)
+		for j := 0; j < k; j++ {
+			vec[j] = basis[j][t] * sp.Sigma[j]
+		}
+		sp.TermVecs[t] = vec
+	}
+	return sp, nil
+}
+
+// Project folds a bag of term indices into the factor space: the centroid
+// of the terms' vectors, the standard query-folding approximation.
+func (s *Space) Project(terms []int) []float64 {
+	out := make([]float64, s.K)
+	if len(terms) == 0 {
+		return out
+	}
+	for _, t := range terms {
+		if t < 0 || t >= len(s.TermVecs) {
+			continue
+		}
+		for j, x := range s.TermVecs[t] {
+			out[j] += x
+		}
+	}
+	for j := range out {
+		out[j] /= float64(len(terms))
+	}
+	return out
+}
+
+// Cosine returns the cosine similarity of two equal-length vectors, or 0
+// when either is zero.
+func Cosine(a, b []float64) float64 {
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// orthonormalize runs modified Gram-Schmidt in place. It reports false
+// when some vector became (numerically) dependent and was re-randomized
+// to zero norm — i.e. the effective rank is below len(v).
+func orthonormalize(v [][]float64) bool {
+	full := true
+	for j := range v {
+		for i := 0; i < j; i++ {
+			d := dot(v[i], v[j])
+			for x := range v[j] {
+				v[j][x] -= d * v[i][x]
+			}
+		}
+		n := norm(v[j])
+		if n < 1e-12 {
+			full = false
+			continue
+		}
+		for x := range v[j] {
+			v[j][x] /= n
+		}
+	}
+	return full
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+func norm(a []float64) float64 { return math.Sqrt(dot(a, a)) }

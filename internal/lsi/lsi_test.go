@@ -1,0 +1,170 @@
+package lsi
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// diag builds the diagonal matrix with the given entries.
+func diag(vals ...float64) *Matrix {
+	m := NewMatrix(len(vals), len(vals))
+	for i, v := range vals {
+		m.Add(i, i, v)
+	}
+	return m
+}
+
+func TestFactorizeErrors(t *testing.T) {
+	if _, err := Factorize(NewMatrix(0, 0), DefaultOptions()); err == nil {
+		t.Fatal("empty matrix accepted")
+	}
+	if _, err := Factorize(diag(1), Options{K: 0}); err == nil {
+		t.Fatal("K=0 accepted")
+	}
+}
+
+func TestFactorizeDiagonalSingularValues(t *testing.T) {
+	// The SVD of a diagonal matrix is the sorted absolute diagonal.
+	m := diag(3, 7, 1, 5)
+	sp, err := Factorize(m, Options{K: 4, Iters: 60, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 5, 3, 1}
+	for i, w := range want {
+		if math.Abs(sp.Sigma[i]-w) > 1e-6 {
+			t.Fatalf("sigma[%d] = %.8f, want %.0f (all: %v)", i, sp.Sigma[i], w, sp.Sigma)
+		}
+	}
+}
+
+func TestFactorizeClampsK(t *testing.T) {
+	m := diag(2, 4)
+	sp, err := Factorize(m, Options{K: 10, Iters: 40, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.K != 2 || len(sp.Sigma) != 2 {
+		t.Fatalf("K = %d, want clamped to 2", sp.K)
+	}
+}
+
+func TestTermVecsRecoverBlockStructure(t *testing.T) {
+	// Two disjoint topic blocks: terms 0-2 co-occur in docs 0-2, terms
+	// 3-5 in docs 3-5. In a 2-factor space, intra-block cosine must be
+	// near 1 and inter-block cosine near 0.
+	m := NewMatrix(6, 6)
+	for t0 := 0; t0 < 3; t0++ {
+		for d := 0; d < 3; d++ {
+			m.Add(t0, d, 1+0.1*float64(t0+d))
+		}
+	}
+	for t1 := 3; t1 < 6; t1++ {
+		for d := 3; d < 6; d++ {
+			m.Add(t1, d, 1+0.1*float64(t1+d))
+		}
+	}
+	sp, err := Factorize(m, Options{K: 2, Iters: 80, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := Cosine(sp.TermVecs[0], sp.TermVecs[2])
+	inter := Cosine(sp.TermVecs[0], sp.TermVecs[4])
+	if math.Abs(intra) < 0.9 {
+		t.Fatalf("intra-topic cosine %.3f, want near ±1", intra)
+	}
+	if math.Abs(inter) > 0.2 {
+		t.Fatalf("inter-topic cosine %.3f, want near 0", inter)
+	}
+}
+
+func TestFactorizeDeterministic(t *testing.T) {
+	m := NewMatrix(5, 4)
+	m.Add(0, 0, 2)
+	m.Add(1, 1, 1)
+	m.Add(2, 0, 3)
+	m.Add(3, 2, 4)
+	m.Add(4, 3, 1)
+	a, err := Factorize(m, Options{K: 3, Iters: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Factorize(m, Options{K: 3, Iters: 40, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Sigma {
+		if a.Sigma[i] != b.Sigma[i] {
+			t.Fatal("same seed produced different spectra")
+		}
+	}
+}
+
+func TestProjectCentroid(t *testing.T) {
+	sp := &Space{K: 2, TermVecs: [][]float64{{2, 0}, {0, 4}}}
+	got := sp.Project([]int{0, 1})
+	if got[0] != 1 || got[1] != 2 {
+		t.Fatalf("Project = %v, want [1 2]", got)
+	}
+	if z := sp.Project(nil); z[0] != 0 || z[1] != 0 {
+		t.Fatalf("empty projection = %v", z)
+	}
+	// Out-of-range terms are skipped, not panicking.
+	got = sp.Project([]int{0, 99})
+	if got[0] != 1 {
+		t.Fatalf("out-of-range projection = %v", got)
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	if c := Cosine([]float64{1, 0}, []float64{0, 1}); c != 0 {
+		t.Fatalf("orthogonal cosine = %v", c)
+	}
+	if c := Cosine([]float64{1, 2}, []float64{2, 4}); math.Abs(c-1) > 1e-12 {
+		t.Fatalf("parallel cosine = %v", c)
+	}
+	if c := Cosine([]float64{0, 0}, []float64{1, 1}); c != 0 {
+		t.Fatalf("zero-vector cosine = %v", c)
+	}
+	f := func(ax, ay, bx, by int16) bool {
+		c := Cosine([]float64{float64(ax), float64(ay)}, []float64{float64(bx), float64(by)})
+		return c >= -1-1e-9 && c <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNNZ(t *testing.T) {
+	m := NewMatrix(3, 3)
+	if m.NNZ() != 0 {
+		t.Fatal("fresh matrix has entries")
+	}
+	m.Add(0, 1, 1)
+	m.Add(2, 2, 5)
+	if m.NNZ() != 2 {
+		t.Fatalf("NNZ = %d, want 2", m.NNZ())
+	}
+}
+
+func TestRankDeficientMatrix(t *testing.T) {
+	// Rank-1 matrix with K=3: factorization must not diverge or panic,
+	// and the leading singular value must dominate.
+	m := NewMatrix(4, 4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			m.Add(i, j, 1)
+		}
+	}
+	sp, err := Factorize(m, Options{K: 3, Iters: 50, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sp.Sigma[0]-4) > 1e-6 {
+		t.Fatalf("leading sigma = %v, want 4", sp.Sigma[0])
+	}
+	if sp.Sigma[1] > 1e-6 {
+		t.Fatalf("second sigma = %v, want ~0 for a rank-1 matrix", sp.Sigma[1])
+	}
+}

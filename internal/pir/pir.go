@@ -1,0 +1,249 @@
+// Package pir implements the single-database computationally-private
+// information retrieval protocol of Kushilevitz and Ostrovsky (FOCS 1997),
+// the baseline ("PIR") that Section 5.2 of Pang, Ding and Xiao (VLDB 2010)
+// benchmarks their private retrieval scheme against.
+//
+// The server holds a bit matrix. To fetch column y privately, the client
+// sends one value per column: quadratic residues (QR) modulo n = p1·p2
+// everywhere except a quadratic non-residue (QNR) at column y. For every
+// row the server multiplies, squaring the entries at 0-bits, and returns
+// one product per row; the product is a QNR exactly when the bit at
+// (row, y) is 1. Distinguishing QR from QNR requires the factorization,
+// which only the client knows. One protocol run retrieves one full column.
+package pir
+
+import (
+	"crypto/rand"
+	"errors"
+	"io"
+	"math/big"
+)
+
+var one = big.NewInt(1)
+
+// Matrix is the server-side database: a rows×cols bit matrix stored
+// row-major, one bit per cell.
+type Matrix struct {
+	Rows, Cols int
+	bits       []byte // ceil(rows*cols/8) bytes
+}
+
+// NewMatrix allocates an all-zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, bits: make([]byte, (rows*cols+7)/8)}
+}
+
+// Set sets the bit at (r, c) to v.
+func (m *Matrix) Set(r, c int, v bool) {
+	idx := r*m.Cols + c
+	if v {
+		m.bits[idx>>3] |= 1 << (idx & 7)
+	} else {
+		m.bits[idx>>3] &^= 1 << (idx & 7)
+	}
+}
+
+// Get returns the bit at (r, c).
+func (m *Matrix) Get(r, c int) bool {
+	idx := r*m.Cols + c
+	return m.bits[idx>>3]&(1<<(idx&7)) != 0
+}
+
+// SetColumn writes the bytes of data into column c, most significant bit
+// of each byte first, starting at row 0. Rows beyond the data stay zero
+// (the padding the paper requires for lists shorter than the bucket max).
+func (m *Matrix) SetColumn(c int, data []byte) {
+	for i, b := range data {
+		for j := 0; j < 8; j++ {
+			r := i*8 + j
+			if r >= m.Rows {
+				return
+			}
+			m.Set(r, c, b&(1<<(7-j)) != 0)
+		}
+	}
+}
+
+// ColumnBytes converts a column bit vector (as returned by Decode) back to
+// bytes, MSB first.
+func ColumnBytes(bits []bool) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b {
+			out[i/8] |= 1 << (7 - i%8)
+		}
+	}
+	return out
+}
+
+// ClientKey holds the client's secret factorization.
+type ClientKey struct {
+	N      *big.Int
+	p1, p2 *big.Int
+	// Euler-criterion exponents (p-1)/2, precomputed.
+	e1, e2 *big.Int
+}
+
+// GenerateKey creates a client key with an n of approximately bits bits.
+func GenerateKey(randSrc io.Reader, bits int) (*ClientKey, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	if bits < 32 {
+		return nil, errors.New("pir: modulus too small")
+	}
+	p1, err := rand.Prime(randSrc, bits/2)
+	if err != nil {
+		return nil, err
+	}
+	p2, err := rand.Prime(randSrc, bits-bits/2)
+	if err != nil {
+		return nil, err
+	}
+	if p1.Cmp(p2) == 0 {
+		return GenerateKey(randSrc, bits)
+	}
+	k := &ClientKey{N: new(big.Int).Mul(p1, p2), p1: p1, p2: p2}
+	k.e1 = new(big.Int).Rsh(new(big.Int).Sub(p1, one), 1)
+	k.e2 = new(big.Int).Rsh(new(big.Int).Sub(p2, one), 1)
+	return k, nil
+}
+
+// isQR reports whether v is a quadratic residue modulo both prime factors
+// (hence modulo n). Requires gcd(v, n) = 1.
+func (k *ClientKey) isQR(v *big.Int) bool {
+	t := new(big.Int).Exp(v, k.e1, k.p1)
+	if t.Cmp(one) != 0 {
+		return false
+	}
+	t.Exp(v, k.e2, k.p2)
+	return t.Cmp(one) == 0
+}
+
+// randomQR returns a uniform quadratic residue in Z_n^*.
+func (k *ClientKey) randomQR(randSrc io.Reader) (*big.Int, error) {
+	for {
+		v, err := rand.Int(randSrc, k.N)
+		if err != nil {
+			return nil, err
+		}
+		if v.Sign() == 0 || new(big.Int).GCD(nil, nil, v, k.N).Cmp(one) != 0 {
+			continue
+		}
+		v.Mul(v, v)
+		v.Mod(v, k.N)
+		return v, nil
+	}
+}
+
+// randomQNR returns a uniform QNR with Jacobi symbol +1 (a non-residue
+// that is indistinguishable from the QRs without the factorization).
+func (k *ClientKey) randomQNR(randSrc io.Reader) (*big.Int, error) {
+	for {
+		v, err := rand.Int(randSrc, k.N)
+		if err != nil {
+			return nil, err
+		}
+		if v.Sign() == 0 || new(big.Int).GCD(nil, nil, v, k.N).Cmp(one) != 0 {
+			continue
+		}
+		if big.Jacobi(v, k.N) == 1 && !k.isQR(v) {
+			return v, nil
+		}
+	}
+}
+
+// Query is the client→server message: one group element per column.
+type Query struct {
+	N      *big.Int
+	Values []*big.Int
+}
+
+// NewQuery builds a query retrieving column target out of cols columns.
+func (k *ClientKey) NewQuery(randSrc io.Reader, cols, target int) (*Query, error) {
+	if randSrc == nil {
+		randSrc = rand.Reader
+	}
+	if target < 0 || target >= cols {
+		return nil, errors.New("pir: target column out of range")
+	}
+	q := &Query{N: k.N, Values: make([]*big.Int, cols)}
+	for j := 0; j < cols; j++ {
+		var err error
+		if j == target {
+			q.Values[j], err = k.randomQNR(randSrc)
+		} else {
+			q.Values[j], err = k.randomQR(randSrc)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return q, nil
+}
+
+// Answer is the server→client message: one group element per row.
+type Answer struct {
+	Gammas []*big.Int
+}
+
+// Stats records the server-side work of one Answer computation, for the
+// cost models in the Figure 7/8 experiments.
+type Stats struct {
+	ModMuls int // KeyLen-bit modular multiplications performed
+}
+
+// Process computes the server response: γ_i = Π_j v_ij with v_ij = q_j²
+// when bit (i,j) = 0 and v_ij = q_j when bit (i,j) = 1.
+func (m *Matrix) Process(q *Query) (*Answer, Stats, error) {
+	if len(q.Values) != m.Cols {
+		return nil, Stats{}, errors.New("pir: query width does not match matrix")
+	}
+	// Precompute the squares once per column instead of once per cell.
+	sq := make([]*big.Int, m.Cols)
+	var st Stats
+	for j, v := range q.Values {
+		sq[j] = new(big.Int).Mul(v, v)
+		sq[j].Mod(sq[j], q.N)
+		st.ModMuls++
+	}
+	ans := &Answer{Gammas: make([]*big.Int, m.Rows)}
+	tmp := new(big.Int)
+	for i := 0; i < m.Rows; i++ {
+		g := big.NewInt(1)
+		for j := 0; j < m.Cols; j++ {
+			if m.Get(i, j) {
+				tmp.Set(q.Values[j])
+			} else {
+				tmp.Set(sq[j])
+			}
+			g.Mul(g, tmp)
+			g.Mod(g, q.N)
+			st.ModMuls++
+		}
+		ans.Gammas[i] = g
+	}
+	return ans, st, nil
+}
+
+// Decode recovers the target column's bits from the answer: bit i is 1
+// exactly when γ_i is a quadratic non-residue.
+func (k *ClientKey) Decode(ans *Answer) []bool {
+	bits := make([]bool, len(ans.Gammas))
+	for i, g := range ans.Gammas {
+		bits[i] = !k.isQR(g)
+	}
+	return bits
+}
+
+// QueryBytes returns the size in bytes of a query with the given number
+// of columns under this key (cols group elements of |n| bits).
+func (k *ClientKey) QueryBytes(cols int) int {
+	return cols * ((k.N.BitLen() + 7) / 8)
+}
+
+// AnswerBytes returns the size in bytes of an answer for a matrix with
+// the given number of rows (rows group elements of |n| bits).
+func (k *ClientKey) AnswerBytes(rows int) int {
+	return rows * ((k.N.BitLen() + 7) / 8)
+}

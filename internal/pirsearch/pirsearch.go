@@ -1,0 +1,233 @@
+// Package pirsearch implements the alternate retrieval method of Section
+// 4: fetching the genuine terms' inverted lists through Kushilevitz-
+// Ostrovsky PIR, with each bucket treated as a private database. The
+// inverted lists within a bucket are padded to a common length; the
+// database matrix has one column per bucket term and one row per bit of
+// the padded lists. Each protocol run retrieves exactly one list, so a
+// query with multiple genuine terms in one bucket must execute the
+// protocol repeatedly — the scaling weakness Figures 7 and 8 expose.
+//
+// After fetching the genuine lists, the client computes relevance scores
+// locally; the server never sees which column was touched.
+package pirsearch
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"embellish/internal/bucket"
+	"embellish/internal/index"
+	"embellish/internal/pir"
+	"embellish/internal/simio"
+	"embellish/internal/wordnet"
+)
+
+// Server hosts one PIR matrix per bucket.
+type Server struct {
+	Org  *bucket.Organization
+	Disk simio.Model
+
+	matrices []*pir.Matrix
+	// listBytes[b] is the padded per-column byte length of bucket b.
+	listBytes []int
+	// rawBytes[b] is the physical footprint of bucket b (its matrix).
+	rawBytes []int
+}
+
+// postingWire is the serialized size of one posting: 4-byte doc id +
+// 4-byte quantized impact.
+const postingWire = 8
+
+// NewServer builds the per-bucket matrices from the index. db maps
+// organization terms to dictionary strings, exactly as core.NewServer
+// does, so both schemes serve identical data.
+func NewServer(ix *index.Index, org *bucket.Organization, db *wordnet.Database) *Server {
+	s := &Server{Org: org, Disk: simio.Default()}
+	s.matrices = make([]*pir.Matrix, org.NumBuckets())
+	s.listBytes = make([]int, org.NumBuckets())
+	s.rawBytes = make([]int, org.NumBuckets())
+	for b := 0; b < org.NumBuckets(); b++ {
+		terms := org.Bucket(b)
+		// Pad every list to the bucket maximum (the paper's requirement).
+		maxLen := 0
+		lists := make([][]index.Posting, len(terms))
+		for i, t := range terms {
+			if ti, ok := ix.LookupTerm(db.Lemma(t)); ok {
+				lists[i] = ix.List(ti)
+			}
+			if n := len(lists[i]); n > maxLen {
+				maxLen = n
+			}
+		}
+		// A one-posting minimum keeps empty buckets well-formed.
+		if maxLen == 0 {
+			maxLen = 1
+		}
+		colBytes := 4 + maxLen*postingWire // 4-byte true length header
+		m := pir.NewMatrix(colBytes*8, len(terms))
+		for i, list := range lists {
+			m.SetColumn(i, encodeList(list, colBytes))
+		}
+		s.matrices[b] = m
+		s.listBytes[b] = colBytes
+		s.rawBytes[b] = colBytes * len(terms)
+	}
+	return s
+}
+
+// encodeList serializes a list into exactly colBytes bytes: a 4-byte
+// big-endian posting count, then doc/impact pairs, zero-padded.
+func encodeList(list []index.Posting, colBytes int) []byte {
+	buf := make([]byte, colBytes)
+	binary.BigEndian.PutUint32(buf, uint32(len(list)))
+	off := 4
+	for _, p := range list {
+		binary.BigEndian.PutUint32(buf[off:], uint32(p.Doc))
+		binary.BigEndian.PutUint32(buf[off+4:], uint32(p.Quantized))
+		off += postingWire
+	}
+	return buf
+}
+
+// decodeList reverses encodeList.
+func decodeList(buf []byte) ([]index.Posting, error) {
+	if len(buf) < 4 {
+		return nil, errors.New("pirsearch: short column")
+	}
+	n := int(binary.BigEndian.Uint32(buf))
+	if 4+n*postingWire > len(buf) {
+		return nil, fmt.Errorf("pirsearch: corrupt column header (%d postings, %d bytes)", n, len(buf))
+	}
+	out := make([]index.Posting, n)
+	off := 4
+	for i := 0; i < n; i++ {
+		out[i] = index.Posting{
+			Doc:       index.DocID(binary.BigEndian.Uint32(buf[off:])),
+			Quantized: int32(binary.BigEndian.Uint32(buf[off+4:])),
+		}
+		off += postingWire
+	}
+	return out, nil
+}
+
+// Stats aggregates the cost of answering PIR retrievals.
+type Stats struct {
+	ModMuls      int
+	Runs         int // protocol executions (one per genuine term)
+	IO           simio.Accounting
+	QueryBytes   int
+	AnswerBytes  int
+	RowsReturned int
+	// ServerNS and ClientNS split the wall-clock time of Search between
+	// the server protocol and the user-side work (query generation,
+	// QR/QNR decoding, scoring), feeding the Figure 7/8 CPU panels.
+	ServerNS int64
+	ClientNS int64
+}
+
+// Retrieve answers one PIR run against bucket b for the column the query
+// targets (which the server cannot determine).
+func (s *Server) Retrieve(b int, q *pir.Query) (*pir.Answer, Stats, error) {
+	if b < 0 || b >= len(s.matrices) {
+		return nil, Stats{}, fmt.Errorf("pirsearch: bucket %d out of range", b)
+	}
+	var st Stats
+	st.Runs = 1
+	st.IO.Charge(s.rawBytes[b])
+	ans, ps, err := s.matrices[b].Process(q)
+	if err != nil {
+		return nil, st, err
+	}
+	st.ModMuls = ps.ModMuls
+	st.RowsReturned = len(ans.Gammas)
+	return ans, st, nil
+}
+
+// Rows returns the matrix height of bucket b, for traffic accounting.
+func (s *Server) Rows(b int) int { return s.matrices[b].Rows }
+
+// Client executes the full PIR retrieval workflow for a query.
+type Client struct {
+	Org *bucket.Organization
+	Key *pir.ClientKey
+	// CryptoRand sources the QR/QNR sampling; nil selects crypto/rand.
+	CryptoRand io.Reader
+	// QRTests counts the quadratic-residuosity tests performed during
+	// decoding, the dominant user-side cost.
+	QRTests int
+}
+
+// NewClient builds a PIR client over the organization.
+func NewClient(org *bucket.Organization, key *pir.ClientKey) *Client {
+	return &Client{Org: org, Key: key}
+}
+
+// Search privately fetches the inverted list of every genuine term (one
+// PIR run each) and scores the union locally. It returns the ranked
+// documents plus combined client/server statistics.
+func (c *Client) Search(srv *Server, genuine []wordnet.TermID, k int) ([]Ranked, Stats, error) {
+	var agg Stats
+	acc := make(map[index.DocID]int64)
+	start := time.Now()
+	for _, t := range genuine {
+		b, ok := c.Org.BucketOf(t)
+		if !ok {
+			continue
+		}
+		slot, _ := c.Org.SlotOf(t)
+		cols := len(c.Org.Bucket(b))
+		q, err := c.Key.NewQuery(c.CryptoRand, cols, slot)
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.QueryBytes += c.Key.QueryBytes(cols)
+		srvStart := time.Now()
+		ans, st, err := srv.Retrieve(b, q)
+		agg.ServerNS += time.Since(srvStart).Nanoseconds()
+		if err != nil {
+			return nil, agg, err
+		}
+		agg.ModMuls += st.ModMuls
+		agg.Runs += st.Runs
+		agg.IO.Seeks += st.IO.Seeks
+		agg.IO.Bytes += st.IO.Bytes
+		agg.RowsReturned += st.RowsReturned
+		agg.AnswerBytes += c.Key.AnswerBytes(len(ans.Gammas))
+
+		bits := c.Key.Decode(ans)
+		c.QRTests += len(bits)
+		list, err := decodeList(pir.ColumnBytes(bits))
+		if err != nil {
+			return nil, agg, fmt.Errorf("pirsearch: term %d: %w", t, err)
+		}
+		for _, p := range list {
+			acc[p.Doc] += int64(p.Quantized)
+		}
+	}
+	out := make([]Ranked, 0, len(acc))
+	for d, s := range acc {
+		out = append(out, Ranked{Doc: d, Score: s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Doc < out[j].Doc
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	agg.ClientNS = time.Since(start).Nanoseconds() - agg.ServerNS
+	return out, agg, nil
+}
+
+// Ranked mirrors core.Ranked so the two schemes' outputs can be compared
+// directly in tests and experiments.
+type Ranked struct {
+	Doc   index.DocID
+	Score int64
+}

@@ -1,0 +1,121 @@
+// Package privacy implements the privacy-risk framework of Sections 3.1
+// and 5.1: the posterior-belief risk model of Equations 1-2, and the two
+// empirical metrics used to judge bucket organizations in Figures 5 and 6
+// — the intra-bucket specificity difference and the inter-bucket distance
+// difference (closest and farthest cover) — together with the "Random"
+// decoy baseline the paper compares against.
+package privacy
+
+import (
+	"math/rand"
+
+	"embellish/internal/bucket"
+	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
+)
+
+// AvgSpecSpread returns the mean, over all buckets, of the difference
+// between the highest and lowest term specificity within the bucket
+// (Section 5.1, first metric; Figures 5(a) and 6(a)).
+func AvgSpecSpread(org *bucket.Organization, spec bucket.Specificity) float64 {
+	if org.NumBuckets() == 0 {
+		return 0
+	}
+	sum := 0
+	for b := 0; b < org.NumBuckets(); b++ {
+		sum += org.SpecSpread(b, spec)
+	}
+	return float64(sum) / float64(org.NumBuckets())
+}
+
+// RandomOrganization builds the "Random" baseline: the same number of
+// buckets of the same size, but populated by uniformly random assignment,
+// ignoring both term semantics and specificity. The construction shuffles
+// the dictionary and stripes it into buckets via Algorithm 2 with a
+// constant specificity (so the in-segment sort is a no-op).
+func RandomOrganization(terms []wordnet.TermID, bktSz int, rng *rand.Rand) (*bucket.Organization, error) {
+	shuffled := append([]wordnet.TermID(nil), terms...)
+	rng.Shuffle(len(shuffled), func(i, j int) {
+		shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+	})
+	segSz := len(shuffled) / bktSz
+	if segSz < 1 {
+		segSz = 1
+	}
+	return bucket.Generate(shuffled, func(wordnet.TermID) int { return 0 }, bktSz, segSz)
+}
+
+// DistanceDifference is the result of the inter-bucket distance metric.
+type DistanceDifference struct {
+	// Closest is the average, over trials, of the smallest |dist-dist'|
+	// across the decoy slots — how closely the best cover pair mimics the
+	// semantic distance of the genuine pair.
+	Closest float64
+	// Farthest is the average of the largest |dist-dist'|.
+	Farthest float64
+	// Trials is the number of measurements actually taken.
+	Trials int
+}
+
+// MeasureDistanceDifference reproduces the Section 5.1 procedure: pick
+// the terms in slot i of a pair of randomly selected buckets as query
+// terms (i uniform in [1, BktSz]), measure their semantic distance, and
+// compare against the distance of the decoy pairs occupying the other
+// slots. Terms are paired at the same slot because same-slot terms are
+// generally closer in the term sequence, hence semantically closer, than
+// cross-slot pairs.
+func MeasureDistanceDifference(org *bucket.Organization, calc *semdist.Calculator, trials int, rng *rand.Rand) DistanceDifference {
+	var out DistanceDifference
+	if org.NumBuckets() < 2 {
+		return out
+	}
+	var sumClosest, sumFarthest float64
+	for n := 0; n < trials; n++ {
+		a := rng.Intn(org.NumBuckets())
+		b := rng.Intn(org.NumBuckets())
+		for b == a {
+			b = rng.Intn(org.NumBuckets())
+		}
+		ba, bb := org.Bucket(a), org.Bucket(b)
+		w := len(ba)
+		if len(bb) < w {
+			w = len(bb)
+		}
+		if w < 2 {
+			continue
+		}
+		i := rng.Intn(w)
+		dist := calc.TermDistance(ba[i], bb[i])
+		first := true
+		var closest, farthest float64
+		for j := 0; j < w; j++ {
+			if j == i {
+				continue
+			}
+			dj := calc.TermDistance(ba[j], bb[j])
+			diff := dist - dj
+			if diff < 0 {
+				diff = -diff
+			}
+			if first {
+				closest, farthest = diff, diff
+				first = false
+				continue
+			}
+			if diff < closest {
+				closest = diff
+			}
+			if diff > farthest {
+				farthest = diff
+			}
+		}
+		sumClosest += closest
+		sumFarthest += farthest
+		out.Trials++
+	}
+	if out.Trials > 0 {
+		out.Closest = sumClosest / float64(out.Trials)
+		out.Farthest = sumFarthest / float64(out.Trials)
+	}
+	return out
+}

@@ -1,0 +1,362 @@
+package privacy
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embellish/internal/bucket"
+	"embellish/internal/semdist"
+	"embellish/internal/testenv"
+	"embellish/internal/wordnet"
+)
+
+var cachedWorld *testenv.World
+
+func world(t *testing.T) *testenv.World {
+	t.Helper()
+	if cachedWorld == nil {
+		cachedWorld = testenv.BuildWorld(testenv.Options{Seed: 71, BktSz: 4})
+	}
+	return cachedWorld
+}
+
+func TestAvgSpecSpreadEmpty(t *testing.T) {
+	org, err := bucket.Generate([]wordnet.TermID{0, 1, 2, 3}, func(wordnet.TermID) int { return 0 }, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := AvgSpecSpread(org, func(wordnet.TermID) int { return 5 }); got != 0 {
+		t.Fatalf("constant specificity must give zero spread, got %v", got)
+	}
+}
+
+func TestAvgSpecSpreadMatchesManual(t *testing.T) {
+	w := world(t)
+	spec := w.DB.Specificity
+	got := AvgSpecSpread(w.Org, spec)
+	// Manual recomputation.
+	sum := 0.0
+	for b := 0; b < w.Org.NumBuckets(); b++ {
+		terms := w.Org.Bucket(b)
+		lo, hi := spec(terms[0]), spec(terms[0])
+		for _, tm := range terms[1:] {
+			s := spec(tm)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		sum += float64(hi - lo)
+	}
+	want := sum / float64(w.Org.NumBuckets())
+	if got != want {
+		t.Fatalf("AvgSpecSpread = %v, manual = %v", got, want)
+	}
+}
+
+func TestRandomOrganizationShape(t *testing.T) {
+	w := world(t)
+	rng := rand.New(rand.NewSource(5))
+	org, err := RandomOrganization(w.Searchable, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if org.Terms() != len(w.Searchable) {
+		t.Fatalf("random org holds %d terms, want %d", org.Terms(), len(w.Searchable))
+	}
+	// Every term in the organization maps back to its bucket.
+	for b := 0; b < org.NumBuckets(); b++ {
+		for _, tm := range org.Bucket(b) {
+			bb, ok := org.BucketOf(tm)
+			if !ok || bb != b {
+				t.Fatalf("term %d: BucketOf=(%d,%v), want (%d,true)", tm, bb, ok, b)
+			}
+		}
+	}
+}
+
+func TestRandomOrganizationIsShuffled(t *testing.T) {
+	w := world(t)
+	rng := rand.New(rand.NewSource(6))
+	org, err := RandomOrganization(w.Searchable, 4, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With a genuine shuffle, bucket 0 should differ from the bucketing of
+	// the unshuffled sequence (first four stride positions).
+	ref, err := bucket.Generate(w.Searchable, func(wordnet.TermID) int { return 0 }, 4, len(w.Searchable)/4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i, tm := range org.Bucket(0) {
+		if ref.Bucket(0)[i] != tm {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("random organization equals the deterministic striping; shuffle had no effect")
+	}
+}
+
+// TestBucketBeatsRandomOnSpecificity is the core Figure 5(a)/6(a) claim:
+// the paper's bucket organization yields a much smaller intra-bucket
+// specificity spread than random assignment.
+func TestBucketBeatsRandomOnSpecificity(t *testing.T) {
+	w := world(t)
+	spec := w.DB.Specificity
+	bucketSpread := AvgSpecSpread(w.Org, spec)
+	rng := rand.New(rand.NewSource(7))
+	randOrg, err := RandomOrganization(w.Searchable, w.Org.BktSz, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	randSpread := AvgSpecSpread(randOrg, spec)
+	if bucketSpread >= randSpread {
+		t.Fatalf("bucket spread %.3f not below random spread %.3f", bucketSpread, randSpread)
+	}
+}
+
+func TestMeasureDistanceDifferenceBasics(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rng := rand.New(rand.NewSource(8))
+	dd := MeasureDistanceDifference(w.Org, calc, 50, rng)
+	if dd.Trials != 50 {
+		t.Fatalf("Trials = %d, want 50", dd.Trials)
+	}
+	if dd.Closest < 0 || dd.Farthest < 0 {
+		t.Fatalf("negative distances: %+v", dd)
+	}
+	if dd.Closest > dd.Farthest {
+		t.Fatalf("closest %.3f exceeds farthest %.3f", dd.Closest, dd.Farthest)
+	}
+}
+
+func TestMeasureDistanceDifferenceDegenerate(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	// BktSz=1 buckets have no decoy slots: every trial is skipped.
+	org, err := bucket.Generate(w.Searchable[:8], w.DB.Specificity, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dd := MeasureDistanceDifference(org, calc, 10, rand.New(rand.NewSource(9)))
+	if dd.Trials != 0 || dd.Closest != 0 || dd.Farthest != 0 {
+		t.Fatalf("degenerate organization must measure nothing, got %+v", dd)
+	}
+}
+
+func TestRiskModelGenuineDominatesWhenBucketsTrivial(t *testing.T) {
+	// BktSz=1: every bucket holds exactly its genuine term, so the genuine
+	// sequence is the only candidate: risk = sim(s,s) = 1, posterior = 1.
+	w := world(t)
+	org, err := bucket.Generate(w.Searchable, w.DB.Specificity, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(org, calc)
+	s := [][]wordnet.TermID{{w.Searchable[0], w.Searchable[1]}}
+	res, err := rm.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequences != 1 {
+		t.Fatalf("Sequences = %d, want 1", res.Sequences)
+	}
+	if res.Risk != 1 || res.PosteriorGenuine != 1 {
+		t.Fatalf("trivial buckets: risk=%v posterior=%v, want 1,1", res.Risk, res.PosteriorGenuine)
+	}
+}
+
+func TestRiskModelUniformPosterior(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(w.Org, calc)
+	s := [][]wordnet.TermID{{w.Searchable[0]}}
+	res, err := rm.Evaluate(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sequences != w.Org.BktSz {
+		t.Fatalf("Sequences = %d, want BktSz = %d", res.Sequences, w.Org.BktSz)
+	}
+	wantPost := 1.0 / float64(w.Org.BktSz)
+	if diff := res.PosteriorGenuine - wantPost; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("uniform posterior = %v, want %v", res.PosteriorGenuine, wantPost)
+	}
+	// Risk must lie in (0, 1]: at least the genuine candidate contributes
+	// sim=1, and every candidate contributes at most 1.
+	if res.Risk <= 0 || res.Risk > 1 {
+		t.Fatalf("risk %v out of (0,1]", res.Risk)
+	}
+	// Embellishment strictly reduces risk below certainty.
+	if res.Risk >= 1 {
+		t.Fatalf("risk %v not reduced by decoys", res.Risk)
+	}
+}
+
+func TestRiskModelDiverseBucketsLowerRisk(t *testing.T) {
+	// Buckets of semantically diverse terms must yield lower risk than
+	// buckets of near-synonyms (the Section 3.1 design rationale).
+	db := wordnet.NewDatabase()
+	// Cluster A: four terms in one synset chain (tight).
+	a0 := db.AddTerm("sarcoma")
+	a1 := db.AddTerm("osteosarcoma")
+	a2 := db.AddTerm("myosarcoma")
+	a3 := db.AddTerm("neurosarcoma")
+	// Cluster B: four unrelated roots (diverse).
+	b0 := db.AddTerm("water")
+	b1 := db.AddTerm("yeast")
+	b2 := db.AddTerm("nitrogen")
+	b3 := db.AddTerm("desert")
+	// Filler terms to satisfy BktSz <= N/2.
+	f0 := db.AddTerm("filler zero")
+	f1 := db.AddTerm("filler one")
+	f2 := db.AddTerm("filler two")
+	f3 := db.AddTerm("filler three")
+	sa := db.AddSynset([]wordnet.TermID{a0}, "")
+	sa1 := db.AddSynset([]wordnet.TermID{a1}, "")
+	sa2 := db.AddSynset([]wordnet.TermID{a2}, "")
+	sa3 := db.AddSynset([]wordnet.TermID{a3}, "")
+	db.AddRelation(sa1, sa, wordnet.RelHypernym)
+	db.AddRelation(sa2, sa, wordnet.RelHypernym)
+	db.AddRelation(sa3, sa, wordnet.RelHypernym)
+	for _, tm := range []wordnet.TermID{b0, b1, b2, b3, f0, f1, f2, f3} {
+		db.AddSynset([]wordnet.TermID{tm}, "")
+	}
+	db.Freeze()
+	calc := semdist.New(db, 20)
+
+	// With constant specificity the in-segment sort is a no-op, so an
+	// interleaved order [x0 f0 x1 f1 x2 f2 x3 f3] with SegSz=2 yields
+	// bucket 0 = {x0, x1, x2, x3} exactly.
+	flat := func(wordnet.TermID) int { return 0 }
+	tight, err := bucket.Generate(
+		[]wordnet.TermID{a0, f0, a1, f1, a2, f2, a3, f3}, flat, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diverse, err := bucket.Generate(
+		[]wordnet.TermID{a1, f0, b0, f1, b1, f2, b2, f3}, flat, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rmTight := NewRiskModel(tight, calc)
+	resTight, err := rmTight.Evaluate([][]wordnet.TermID{{a1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmDiverse := NewRiskModel(diverse, calc)
+	resDiverse, err := rmDiverse.Evaluate([][]wordnet.TermID{{a1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resDiverse.Risk >= resTight.Risk {
+		t.Fatalf("diverse-bucket risk %.4f not below tight-bucket risk %.4f",
+			resDiverse.Risk, resTight.Risk)
+	}
+}
+
+func TestRiskModelErrors(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(w.Org, calc)
+	if _, err := rm.Evaluate(nil); err == nil {
+		t.Fatal("empty sequence accepted")
+	}
+	if _, err := rm.Evaluate([][]wordnet.TermID{{}}); err == nil {
+		t.Fatal("empty query accepted")
+	}
+	if _, err := rm.Evaluate([][]wordnet.TermID{{wordnet.TermID(1 << 20)}}); err == nil {
+		t.Fatal("out-of-organization term accepted")
+	}
+	rm.MaxSequences = 2
+	long := [][]wordnet.TermID{{w.Searchable[0], w.Searchable[1], w.Searchable[2]}}
+	if _, err := rm.Evaluate(long); err == nil {
+		t.Fatal("enumeration cap not enforced")
+	}
+}
+
+func TestRiskModelCustomPrior(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(w.Org, calc)
+	genuine := w.Searchable[0]
+	// A prior that puts all mass on the genuine sequence drives the
+	// posterior to 1 and the risk to sim(s,s)=1.
+	rm.Prior = func(seq [][]wordnet.TermID) float64 {
+		if len(seq) == 1 && len(seq[0]) == 1 && seq[0][0] == genuine {
+			return 1
+		}
+		return 0
+	}
+	res, err := rm.Evaluate([][]wordnet.TermID{{genuine}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PosteriorGenuine != 1 || res.Risk != 1 {
+		t.Fatalf("delta prior: posterior=%v risk=%v, want 1,1", res.PosteriorGenuine, res.Risk)
+	}
+	// A prior with zero mass everywhere must error, not divide by zero.
+	rm.Prior = func([][]wordnet.TermID) float64 { return 0 }
+	if _, err := rm.Evaluate([][]wordnet.TermID{{genuine}}); err == nil {
+		t.Fatal("all-zero prior accepted")
+	}
+}
+
+func TestSequenceSimilarityProperties(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(w.Org, calc)
+	a := []wordnet.TermID{w.Searchable[0], w.Searchable[5]}
+	if got := rm.SequenceSimilarity(a, a); got != 1 {
+		t.Fatalf("self-similarity = %v, want 1", got)
+	}
+	b := []wordnet.TermID{w.Searchable[9], w.Searchable[14]}
+	s := rm.SequenceSimilarity(a, b)
+	if s <= 0 || s > 1 {
+		t.Fatalf("similarity %v out of (0,1]", s)
+	}
+	if got := rm.SequenceSimilarity(a, b[:1]); got != 0 {
+		t.Fatalf("length mismatch similarity = %v, want 0", got)
+	}
+	if got := rm.SequenceSimilarity(nil, nil); got != 0 {
+		t.Fatalf("empty similarity = %v, want 0", got)
+	}
+}
+
+// Property: for any subset of searchable terms used as genuine queries,
+// the risk result is a valid probability-weighted similarity in (0,1] and
+// the genuine posterior is 1/|S| under the uniform prior.
+func TestRiskUniformPosteriorProperty(t *testing.T) {
+	w := world(t)
+	calc := semdist.New(w.DB, 20)
+	rm := NewRiskModel(w.Org, calc)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		q := []wordnet.TermID{w.Searchable[rng.Intn(len(w.Searchable))]}
+		if rng.Intn(2) == 1 {
+			q = append(q, w.Searchable[rng.Intn(len(w.Searchable))])
+		}
+		res, err := rm.Evaluate([][]wordnet.TermID{q})
+		if err != nil {
+			return false
+		}
+		wantPost := 1.0 / float64(res.Sequences)
+		diff := res.PosteriorGenuine - wantPost
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-9 && res.Risk > 0 && res.Risk <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+
+	"embellish/internal/bucket"
+	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
+)
+
+// RiskModel evaluates the privacy risk of Equations 1 and 2 for a query
+// sequence under a bucket organization. The paper notes the exact
+// computation is impractical at scale (the candidate space S is the cross
+// product of all bucket combinations, and adversary priors are unknown);
+// this implementation makes it exact for the small instances used in
+// tests and examples, under a configurable prior.
+type RiskModel struct {
+	Org  *bucket.Organization
+	Calc *semdist.Calculator
+	// Prior returns the adversary's prior belief α(s') for a candidate
+	// sequence. Nil means a uniform prior.
+	Prior func(seq [][]wordnet.TermID) float64
+	// MaxSequences caps the enumeration; Evaluate fails beyond it.
+	MaxSequences int
+}
+
+// NewRiskModel returns a model with a uniform prior and a 200,000-sequence
+// enumeration cap.
+func NewRiskModel(org *bucket.Organization, calc *semdist.Calculator) *RiskModel {
+	return &RiskModel{Org: org, Calc: calc, MaxSequences: 200000}
+}
+
+// RiskResult is the outcome of an exact risk evaluation.
+type RiskResult struct {
+	// Risk is Equation 2: Σ_{s'∈S} β(s') · sim(s', s).
+	Risk float64
+	// PosteriorGenuine is β(s), the posterior the adversary assigns to
+	// the genuine sequence itself.
+	PosteriorGenuine float64
+	// Sequences is |S|, the number of candidate sequences enumerated.
+	Sequences int
+}
+
+// Evaluate computes the exact risk of the genuine query sequence s (one
+// slice of genuine terms per query). Each genuine term expands to its
+// full host bucket, and every per-slot combination of bucket terms forms
+// a candidate query (Section 3.1's Q_i); candidate sequences are the
+// cross product across queries.
+func (rm *RiskModel) Evaluate(s [][]wordnet.TermID) (RiskResult, error) {
+	if len(s) == 0 {
+		return RiskResult{}, errors.New("privacy: empty query sequence")
+	}
+	// Per query, per genuine term, the bucket it expands to.
+	perQuery := make([][][]wordnet.TermID, len(s)) // query -> position -> choices
+	total := 1
+	for qi, q := range s {
+		if len(q) == 0 {
+			return RiskResult{}, errors.New("privacy: empty query in sequence")
+		}
+		for _, t := range q {
+			b, ok := rm.Org.BucketOf(t)
+			if !ok {
+				return RiskResult{}, errors.New("privacy: genuine term not in organization")
+			}
+			choices := rm.Org.Bucket(b)
+			perQuery[qi] = append(perQuery[qi], choices)
+			total *= len(choices)
+			if total > rm.MaxSequences {
+				return RiskResult{}, errors.New("privacy: candidate space exceeds MaxSequences")
+			}
+		}
+	}
+
+	// Enumerate S, accumulating α(s')·sim(s', s) and the normalizer.
+	positions := 0
+	for _, pq := range perQuery {
+		positions += len(pq)
+	}
+	cand := make([]wordnet.TermID, positions)
+	genuine := make([]wordnet.TermID, 0, positions)
+	for _, q := range s {
+		genuine = append(genuine, q...)
+	}
+
+	var flat [][]wordnet.TermID
+	for _, pq := range perQuery {
+		flat = append(flat, pq...)
+	}
+
+	var sumAlpha, sumAlphaSim, alphaGenuine float64
+	var rec func(pos int)
+	rec = func(pos int) {
+		if pos == len(flat) {
+			seq := rm.regroup(cand, s)
+			alpha := 1.0
+			if rm.Prior != nil {
+				alpha = rm.Prior(seq)
+			}
+			sim := rm.SequenceSimilarity(cand, genuine)
+			sumAlpha += alpha
+			sumAlphaSim += alpha * sim
+			if equalTerms(cand, genuine) {
+				alphaGenuine = alpha
+			}
+			return
+		}
+		for _, t := range flat[pos] {
+			cand[pos] = t
+			rec(pos + 1)
+		}
+	}
+	rec(0)
+
+	if sumAlpha == 0 {
+		return RiskResult{}, errors.New("privacy: prior assigns zero mass to all sequences")
+	}
+	return RiskResult{
+		Risk:             sumAlphaSim / sumAlpha,
+		PosteriorGenuine: alphaGenuine / sumAlpha,
+		Sequences:        total,
+	}, nil
+}
+
+// regroup shapes a flat candidate assignment back into per-query slices,
+// matching the genuine sequence's shape.
+func (rm *RiskModel) regroup(flat []wordnet.TermID, shape [][]wordnet.TermID) [][]wordnet.TermID {
+	out := make([][]wordnet.TermID, len(shape))
+	pos := 0
+	for i, q := range shape {
+		out[i] = flat[pos : pos+len(q)]
+		pos += len(q)
+	}
+	return out
+}
+
+// SequenceSimilarity measures sim(s', s) between two flattened term
+// sequences of equal length. Quantifying similarity between query
+// sequences exactly is open (Section 3.1); following the paper's
+// discussion we use a monotone transform of the mean positional semantic
+// distance: sim = exp(-avgDist), which is 1 for identical sequences and
+// decays toward 0 as the sequences diverge semantically.
+func (rm *RiskModel) SequenceSimilarity(a, b []wordnet.TermID) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0
+	}
+	var sum float64
+	for i := range a {
+		sum += rm.Calc.TermDistance(a[i], b[i])
+	}
+	return math.Exp(-sum / float64(len(a)))
+}
+
+func equalTerms(a, b []wordnet.TermID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,161 @@
+// Package qexpand implements the two query-expansion families the paper
+// cites as sources of long queries (Section 1 and 2.1): concept-based
+// thesaurus expansion (Qiu and Frei [23]) driven by the lexical
+// database's relations, and pseudo-relevance feedback from local
+// document analysis (Xu and Croft [28]). Expanded queries reach dozens
+// of terms, which is precisely the regime where canonical-query schemes
+// run out of materialized combinations and the PIR baseline pays one
+// protocol run per term — the paper's argument for per-term decoys.
+package qexpand
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"embellish/internal/index"
+	"embellish/internal/wordnet"
+)
+
+// Thesaurus expands a query with lexically related terms: for each query
+// term, the terms of its synsets' related synsets, weighted by relation
+// closeness (Algorithm 1's order). It is corpus-independent.
+type Thesaurus struct {
+	DB *wordnet.Database
+	// MaxPerTerm caps the expansion terms contributed per query term.
+	MaxPerTerm int
+}
+
+// NewThesaurus builds a thesaurus expander with the default cap of 4
+// expansion terms per query term.
+func NewThesaurus(db *wordnet.Database) *Thesaurus {
+	return &Thesaurus{DB: db, MaxPerTerm: 4}
+}
+
+// Expand returns the query terms followed by the expansion terms, each
+// appearing once, preserving query-term order.
+func (th *Thesaurus) Expand(query []wordnet.TermID) []wordnet.TermID {
+	seen := make(map[wordnet.TermID]bool, len(query)*3)
+	out := make([]wordnet.TermID, 0, len(query)*3)
+	for _, t := range query {
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	for _, t := range query {
+		added := 0
+		for _, ss := range th.DB.SynsetsOf(t) {
+			// Synonyms first: terms sharing the synset.
+			for _, syn := range th.DB.Synset(ss).Terms {
+				if added >= th.MaxPerTerm {
+					break
+				}
+				if !seen[syn] {
+					seen[syn] = true
+					out = append(out, syn)
+					added++
+				}
+			}
+			// Then related synsets in closeness order.
+			for _, rel := range th.DB.RelatedInOrder(ss) {
+				if added >= th.MaxPerTerm {
+					break
+				}
+				for _, rt := range th.DB.Synset(rel).Terms {
+					if added >= th.MaxPerTerm {
+						break
+					}
+					if !seen[rt] {
+						seen[rt] = true
+						out = append(out, rt)
+						added++
+					}
+				}
+			}
+			if added >= th.MaxPerTerm {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Feedback implements pseudo-relevance feedback: run the query, take the
+// top FeedbackDocs documents as (pseudo) relevant, and add the
+// NumTerms terms with the highest Rocchio-style weight
+// Σ_{d∈R} impact(d,t) · idf(t), excluding the original terms.
+type Feedback struct {
+	Index *index.Index
+	// FeedbackDocs is |R|, the pseudo-relevant set size (default 5).
+	FeedbackDocs int
+	// NumTerms is the number of expansion terms to add (default 10).
+	NumTerms int
+}
+
+// NewFeedback builds a feedback expander with the classic 5-document,
+// 10-term configuration.
+func NewFeedback(ix *index.Index) *Feedback {
+	return &Feedback{Index: ix, FeedbackDocs: 5, NumTerms: 10}
+}
+
+// Expand returns the query term numbers followed by the top feedback
+// terms. The input and output are index term numbers (not lexicon ids):
+// feedback is inherently corpus-side.
+func (fb *Feedback) Expand(queryTerms []int) ([]int, error) {
+	if len(queryTerms) == 0 {
+		return nil, errors.New("qexpand: empty query")
+	}
+	top := fb.Index.TopK(queryTerms, fb.FeedbackDocs)
+	if len(top) == 0 {
+		return queryTerms, nil
+	}
+	rel := make(map[index.DocID]bool, len(top))
+	for _, r := range top {
+		rel[r.Doc] = true
+	}
+	inQuery := make(map[int]bool, len(queryTerms))
+	for _, t := range queryTerms {
+		inQuery[t] = true
+	}
+
+	// Score every term by its mass in the pseudo-relevant set.
+	type cand struct {
+		term   int
+		weight float64
+	}
+	var cands []cand
+	n := float64(fb.Index.NumDocs)
+	for ti := 0; ti < fb.Index.NumTerms(); ti++ {
+		if inQuery[ti] {
+			continue
+		}
+		df := fb.Index.DocFreq(ti)
+		if df == 0 {
+			continue
+		}
+		idf := math.Log(1 + n/float64(df))
+		var w float64
+		hit := false
+		for _, p := range fb.Index.List(ti) {
+			if rel[p.Doc] {
+				w += p.Impact * idf
+				hit = true
+			}
+		}
+		if hit {
+			cands = append(cands, cand{term: ti, weight: w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].weight != cands[j].weight {
+			return cands[i].weight > cands[j].weight
+		}
+		return cands[i].term < cands[j].term
+	})
+	out := append([]int(nil), queryTerms...)
+	for i := 0; i < len(cands) && i < fb.NumTerms; i++ {
+		out = append(out, cands[i].term)
+	}
+	return out, nil
+}

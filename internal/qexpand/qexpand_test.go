@@ -1,0 +1,160 @@
+package qexpand
+
+import (
+	"testing"
+
+	"embellish/internal/index"
+	"embellish/internal/testenv"
+	"embellish/internal/wordnet"
+)
+
+func TestThesaurusExpandsWithNeighbors(t *testing.T) {
+	db := wordnet.MiniLexicon()
+	th := NewThesaurus(db)
+	osteo, _ := db.Lookup("osteosarcoma")
+	out := th.Expand([]wordnet.TermID{osteo})
+	if len(out) < 2 {
+		t.Fatalf("no expansion: %v", out)
+	}
+	if out[0] != osteo {
+		t.Fatal("original term not first")
+	}
+	// The synonym 'osteogenic sarcoma' shares the synset and must be
+	// among the expansions.
+	syn, _ := db.Lookup("osteogenic sarcoma")
+	found := false
+	for _, tm := range out {
+		if tm == syn {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("synonym missing from expansion: %v", lemmas(db, out))
+	}
+	if len(out) > 1+th.MaxPerTerm {
+		t.Fatalf("cap exceeded: %d terms", len(out))
+	}
+}
+
+func TestThesaurusNoDuplicates(t *testing.T) {
+	db := wordnet.MiniLexicon()
+	th := NewThesaurus(db)
+	a, _ := db.Lookup("hypercapnia")
+	b, _ := db.Lookup("hypercarbia") // same synset as hypercapnia
+	out := th.Expand([]wordnet.TermID{a, b, a})
+	seen := map[wordnet.TermID]bool{}
+	for _, tm := range out {
+		if seen[tm] {
+			t.Fatalf("duplicate %q in expansion", db.Lemma(tm))
+		}
+		seen[tm] = true
+	}
+}
+
+func TestThesaurusEmptyQuery(t *testing.T) {
+	th := NewThesaurus(wordnet.MiniLexicon())
+	if out := th.Expand(nil); len(out) != 0 {
+		t.Fatalf("empty query expanded to %d terms", len(out))
+	}
+}
+
+func lemmas(db *wordnet.Database, ts []wordnet.TermID) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = db.Lemma(t)
+	}
+	return out
+}
+
+func feedbackWorld(t *testing.T) *testenv.World {
+	t.Helper()
+	return testenv.BuildWorld(testenv.Options{Seed: 171, BktSz: 4})
+}
+
+func TestFeedbackAddsCooccurringTerms(t *testing.T) {
+	w := feedbackWorld(t)
+	fb := NewFeedback(w.Index)
+	q := []int{0, 1}
+	out, err := fb.Expand(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) <= len(q) {
+		t.Fatalf("no expansion: %v", out)
+	}
+	if len(out) > len(q)+fb.NumTerms {
+		t.Fatalf("cap exceeded: %d", len(out))
+	}
+	// Original terms first and never duplicated.
+	if out[0] != 0 || out[1] != 1 {
+		t.Fatal("original terms not preserved")
+	}
+	seen := map[int]bool{}
+	for _, tm := range out {
+		if seen[tm] {
+			t.Fatalf("duplicate term %d", tm)
+		}
+		seen[tm] = true
+	}
+	// Every expansion term must occur in at least one pseudo-relevant
+	// document.
+	top := w.Index.TopK(q, fb.FeedbackDocs)
+	rel := map[index.DocID]bool{}
+	for _, r := range top {
+		rel[r.Doc] = true
+	}
+	for _, tm := range out[len(q):] {
+		hit := false
+		for _, p := range w.Index.List(tm) {
+			if rel[p.Doc] {
+				hit = true
+			}
+		}
+		if !hit {
+			t.Fatalf("expansion term %d not in any feedback doc", tm)
+		}
+	}
+}
+
+func TestFeedbackEmptyQuery(t *testing.T) {
+	w := feedbackWorld(t)
+	fb := NewFeedback(w.Index)
+	if _, err := fb.Expand(nil); err == nil {
+		t.Fatal("empty query accepted")
+	}
+}
+
+func TestFeedbackDeterministic(t *testing.T) {
+	w := feedbackWorld(t)
+	fb := NewFeedback(w.Index)
+	a, err := fb.Expand([]int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fb.Expand([]int{2, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic expansion size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic expansion")
+		}
+	}
+}
+
+func TestFeedbackUnknownTermsOnly(t *testing.T) {
+	w := feedbackWorld(t)
+	fb := NewFeedback(w.Index)
+	// A term number with an empty list yields no feedback docs; the
+	// query passes through unchanged.
+	out, err := fb.Expand([]int{w.Index.NumTerms() - 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("query lost")
+	}
+}

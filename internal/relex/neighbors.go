@@ -1,0 +1,66 @@
+package relex
+
+import (
+	"sort"
+
+	"embellish/internal/wordnet"
+)
+
+// NeighborFunc builds the strength-ordered neighbor function that the
+// Appendix C variant of Algorithm 1 (sequence.VocabWeighted) consumes:
+// for each synset it merges the lexicon's typed relations with the
+// extracted term-pair relations, drops everything below minStrength,
+// and yields the survivors strongest-first.
+func NeighborFunc(db *wordnet.Database, s *Strengths, minStrength float64) func(wordnet.SynsetID) []wordnet.SynsetID {
+	// Index extracted pairs by synset once: a term-pair relation links
+	// every synset of A to every synset of B.
+	extra := make(map[wordnet.SynsetID][]weightedSynset)
+	for _, wp := range s.ExtractedPairs() {
+		if wp.Strength < minStrength {
+			continue
+		}
+		for _, sa := range db.SynsetsOf(wp.A) {
+			for _, sb := range db.SynsetsOf(wp.B) {
+				if sa == sb {
+					continue
+				}
+				extra[sa] = append(extra[sa], weightedSynset{sb, wp.Strength})
+				extra[sb] = append(extra[sb], weightedSynset{sa, wp.Strength})
+			}
+		}
+	}
+
+	return func(ss wordnet.SynsetID) []wordnet.SynsetID {
+		var cands []weightedSynset
+		for _, r := range db.Synset(ss).Relations {
+			if str := s.TypeStrength(r.Type); str >= minStrength {
+				cands = append(cands, weightedSynset{r.To, str})
+			}
+		}
+		cands = append(cands, extra[ss]...)
+		// Strongest first; deterministic tie-break by synset id. A synset
+		// reachable through several relations keeps its strongest rank
+		// (duplicates are harmless to Algorithm 1 — reprocessing a synset
+		// is a no-op — but dedup keeps the traversal tight).
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].strength != cands[j].strength {
+				return cands[i].strength > cands[j].strength
+			}
+			return cands[i].id < cands[j].id
+		})
+		seen := make(map[wordnet.SynsetID]bool, len(cands))
+		out := make([]wordnet.SynsetID, 0, len(cands))
+		for _, c := range cands {
+			if !seen[c.id] {
+				seen[c.id] = true
+				out = append(out, c.id)
+			}
+		}
+		return out
+	}
+}
+
+type weightedSynset struct {
+	id       wordnet.SynsetID
+	strength float64
+}

@@ -1,0 +1,215 @@
+// Package relex implements the Appendix C extension of Pang, Ding and
+// Xiao (VLDB 2010): merging multiple sources of term relations. The
+// WordNet relations are manual and accurate but not comprehensive;
+// domain-specific or emerging associations can be extracted from text
+// corpora (Hasegawa et al. [11]) or the Web (Rozenfeld and Feldman
+// [25]). This package supplies the corpus side: a co-occurrence-based
+// relation extractor, a numeric-strength scale covering both sources,
+// and the merged relation view that the weighted variant of Algorithm 1
+// (sequence.VocabWeighted) consumes.
+//
+// Extraction is deliberately simple — pointwise mutual information over
+// sliding windows — because what the downstream algorithms consume is
+// only a ranked list of (term, term, strength) triples; any extractor
+// with that output shape plugs in.
+package relex
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"embellish/internal/wordnet"
+)
+
+// Extracted is one corpus-derived term association.
+type Extracted struct {
+	A, B wordnet.TermID
+	// Cooccurrences is the number of windows containing both terms.
+	Cooccurrences int
+	// PMI is the pointwise mutual information of the pair,
+	// log P(a,b)/(P(a)P(b)); higher = more strongly associated.
+	PMI float64
+}
+
+// Config tunes extraction.
+type Config struct {
+	// Window is the co-occurrence window width in tokens.
+	Window int
+	// MinCount discards pairs seen in fewer windows.
+	MinCount int
+	// MaxPairs caps the output (strongest first); 0 = unlimited.
+	MaxPairs int
+}
+
+// DefaultConfig uses a 10-token window and a support floor of 3.
+func DefaultConfig() Config { return Config{Window: 10, MinCount: 3, MaxPairs: 0} }
+
+// Extract mines term associations from tokenized documents. lookup maps
+// a token to a lexicon term (and reports whether it is one); tokens
+// outside the lexicon are ignored.
+func Extract(docs [][]string, lookup func(string) (wordnet.TermID, bool), cfg Config) ([]Extracted, error) {
+	if cfg.Window < 2 {
+		return nil, errors.New("relex: window must cover at least 2 tokens")
+	}
+	if cfg.MinCount < 1 {
+		cfg.MinCount = 1
+	}
+
+	type pair struct{ a, b wordnet.TermID }
+	pairCount := make(map[pair]int)
+	termCount := make(map[wordnet.TermID]int)
+	windows := 0
+
+	for _, doc := range docs {
+		// Map tokens to term ids once per document.
+		ids := make([]wordnet.TermID, 0, len(doc))
+		for _, tok := range doc {
+			if t, ok := lookup(tok); ok {
+				ids = append(ids, t)
+			}
+		}
+		for start := 0; start+cfg.Window <= len(ids) || (start == 0 && len(ids) > 1); start += cfg.Window / 2 {
+			end := start + cfg.Window
+			if end > len(ids) {
+				end = len(ids)
+			}
+			if end-start < 2 {
+				break
+			}
+			windows++
+			seen := map[wordnet.TermID]bool{}
+			for _, t := range ids[start:end] {
+				seen[t] = true
+			}
+			uniq := make([]wordnet.TermID, 0, len(seen))
+			for t := range seen {
+				uniq = append(uniq, t)
+			}
+			sort.Slice(uniq, func(i, j int) bool { return uniq[i] < uniq[j] })
+			for i := 0; i < len(uniq); i++ {
+				termCount[uniq[i]]++
+				for j := i + 1; j < len(uniq); j++ {
+					pairCount[pair{uniq[i], uniq[j]}]++
+				}
+			}
+			if end == len(ids) {
+				break
+			}
+		}
+	}
+	if windows == 0 {
+		return nil, errors.New("relex: no windows (documents too short?)")
+	}
+
+	out := make([]Extracted, 0, len(pairCount))
+	for p, n := range pairCount {
+		if n < cfg.MinCount {
+			continue
+		}
+		pa := float64(termCount[p.a]) / float64(windows)
+		pb := float64(termCount[p.b]) / float64(windows)
+		pab := float64(n) / float64(windows)
+		out = append(out, Extracted{A: p.a, B: p.b, Cooccurrences: n, PMI: math.Log(pab / (pa * pb))})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PMI != out[j].PMI {
+			return out[i].PMI > out[j].PMI
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if cfg.MaxPairs > 0 && len(out) > cfg.MaxPairs {
+		out = out[:cfg.MaxPairs]
+	}
+	return out, nil
+}
+
+// Strengths is the numeric strength scale of Appendix C: WordNet
+// relation types translated to strengths, and extracted relations rated
+// on the same scale by occurrence count. Higher = stronger association.
+type Strengths struct {
+	// ByType assigns each WordNet relation type a strength. The default
+	// mirrors Algorithm 1's traversal order: derivation strongest, then
+	// antonym, hyponym, hypernym, meronym, holonym; domain weakest.
+	ByType [wordnet.NumRelationTypes]float64
+	// extracted holds corpus relations keyed by unordered term pair.
+	extracted map[[2]wordnet.TermID]float64
+}
+
+// DefaultStrengths mirrors the closeness order of Algorithm 1 line 18.
+func DefaultStrengths() *Strengths {
+	s := &Strengths{extracted: map[[2]wordnet.TermID]float64{}}
+	s.ByType[wordnet.RelDerivation] = 6
+	s.ByType[wordnet.RelAntonym] = 5
+	s.ByType[wordnet.RelHyponym] = 4
+	s.ByType[wordnet.RelHypernym] = 3.5
+	s.ByType[wordnet.RelMeronym] = 3
+	s.ByType[wordnet.RelHolonym] = 2.5
+	s.ByType[wordnet.RelDomainTopic] = 1
+	return s
+}
+
+// AddExtracted rates corpus relations on the WordNet strength scale:
+// the strongest extracted pair maps to maxStrength, the weakest kept
+// pair to minStrength, linear in PMI rank between them.
+func (s *Strengths) AddExtracted(rels []Extracted, minStrength, maxStrength float64) {
+	if len(rels) == 0 {
+		return
+	}
+	span := maxStrength - minStrength
+	for i, r := range rels {
+		frac := 0.0
+		if len(rels) > 1 {
+			frac = float64(i) / float64(len(rels)-1)
+		}
+		key := pairKey(r.A, r.B)
+		str := maxStrength - frac*span
+		if str > s.extracted[key] {
+			s.extracted[key] = str
+		}
+	}
+}
+
+// TypeStrength returns the strength of a WordNet relation type.
+func (s *Strengths) TypeStrength(t wordnet.RelationType) float64 { return s.ByType[t] }
+
+// ExtractedStrength returns the strength of an extracted pair, 0 when
+// the pair was not extracted.
+func (s *Strengths) ExtractedStrength(a, b wordnet.TermID) float64 {
+	return s.extracted[pairKey(a, b)]
+}
+
+// ExtractedPairs returns every extracted pair with its strength,
+// strongest first (deterministic order).
+func (s *Strengths) ExtractedPairs() []WeightedPair {
+	out := make([]WeightedPair, 0, len(s.extracted))
+	for k, v := range s.extracted {
+		out = append(out, WeightedPair{A: k[0], B: k[1], Strength: v})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Strength != out[j].Strength {
+			return out[i].Strength > out[j].Strength
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	return out
+}
+
+// WeightedPair is one merged relation with its strength.
+type WeightedPair struct {
+	A, B     wordnet.TermID
+	Strength float64
+}
+
+func pairKey(a, b wordnet.TermID) [2]wordnet.TermID {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]wordnet.TermID{a, b}
+}

@@ -1,0 +1,205 @@
+package relex
+
+import (
+	"strings"
+	"testing"
+
+	"embellish/internal/sequence"
+	"embellish/internal/wordnet"
+)
+
+// lexWithPairs builds a lexicon of isolated single-term synsets (no
+// WordNet relations), so any sequencing structure must come from the
+// extracted relations.
+func lexWithPairs(lemmas ...string) (*wordnet.Database, map[string]wordnet.TermID) {
+	db := wordnet.NewDatabase()
+	ids := map[string]wordnet.TermID{}
+	for _, l := range lemmas {
+		t := db.AddTerm(l)
+		ids[l] = t
+		db.AddSynset([]wordnet.TermID{t}, "")
+	}
+	db.Freeze()
+	return db, ids
+}
+
+func lookupFn(db *wordnet.Database) func(string) (wordnet.TermID, bool) {
+	return func(s string) (wordnet.TermID, bool) { return db.Lookup(s) }
+}
+
+func docsFromText(texts ...string) [][]string {
+	out := make([][]string, len(texts))
+	for i, t := range texts {
+		out[i] = strings.Fields(t)
+	}
+	return out
+}
+
+func TestExtractErrors(t *testing.T) {
+	db, _ := lexWithPairs("a", "b")
+	if _, err := Extract(nil, lookupFn(db), Config{Window: 1}); err == nil {
+		t.Fatal("window 1 accepted")
+	}
+	if _, err := Extract(docsFromText("a"), lookupFn(db), DefaultConfig()); err == nil {
+		t.Fatal("no-window corpus accepted")
+	}
+}
+
+func TestExtractFindsCooccurringPair(t *testing.T) {
+	db, ids := lexWithPairs("osteosarcoma", "chemotherapy", "bread", "rain")
+	// osteosarcoma and chemotherapy co-occur; bread appears alone.
+	doc := strings.Repeat("osteosarcoma chemotherapy filler1 filler2 ", 20) +
+		strings.Repeat("bread butter ", 20) + strings.Repeat("rain rain2 ", 20)
+	rels, err := Extract(docsFromText(doc), lookupFn(db), Config{Window: 4, MinCount: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) == 0 {
+		t.Fatal("no relations extracted")
+	}
+	top := rels[0]
+	want := pairKey(ids["osteosarcoma"], ids["chemotherapy"])
+	if pairKey(top.A, top.B) != want {
+		t.Fatalf("top relation is (%d,%d), want osteosarcoma-chemotherapy", top.A, top.B)
+	}
+	if top.PMI <= 0 {
+		t.Fatalf("PMI of a genuinely associated pair is %v", top.PMI)
+	}
+}
+
+func TestExtractMinCount(t *testing.T) {
+	db, _ := lexWithPairs("x", "y")
+	doc := "x y filler filler filler filler filler filler filler filler"
+	rels, err := Extract(docsFromText(doc), lookupFn(db), Config{Window: 4, MinCount: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 0 {
+		t.Fatalf("pair below support floor survived: %+v", rels)
+	}
+}
+
+func TestExtractMaxPairs(t *testing.T) {
+	db, _ := lexWithPairs("a", "b", "c", "d")
+	doc := strings.Repeat("a b c d ", 30)
+	rels, err := Extract(docsFromText(doc), lookupFn(db), Config{Window: 4, MinCount: 1, MaxPairs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rels) != 2 {
+		t.Fatalf("MaxPairs not applied: %d", len(rels))
+	}
+}
+
+func TestStrengthScale(t *testing.T) {
+	s := DefaultStrengths()
+	// Closeness order of Algorithm 1 must be strictly decreasing.
+	order := []wordnet.RelationType{
+		wordnet.RelDerivation, wordnet.RelAntonym, wordnet.RelHyponym,
+		wordnet.RelHypernym, wordnet.RelMeronym, wordnet.RelHolonym,
+		wordnet.RelDomainTopic,
+	}
+	for i := 1; i < len(order); i++ {
+		if s.TypeStrength(order[i-1]) <= s.TypeStrength(order[i]) {
+			t.Fatalf("strength order broken at %v", order[i])
+		}
+	}
+}
+
+func TestAddExtractedMapsToRange(t *testing.T) {
+	s := DefaultStrengths()
+	rels := []Extracted{
+		{A: 1, B: 2, PMI: 3.0},
+		{A: 3, B: 4, PMI: 2.0},
+		{A: 5, B: 6, PMI: 1.0},
+	}
+	s.AddExtracted(rels, 2, 5)
+	if got := s.ExtractedStrength(1, 2); got != 5 {
+		t.Fatalf("strongest pair strength = %v, want 5", got)
+	}
+	if got := s.ExtractedStrength(6, 5); got != 2 { // unordered key
+		t.Fatalf("weakest pair strength = %v, want 2", got)
+	}
+	if got := s.ExtractedStrength(3, 4); got != 3.5 {
+		t.Fatalf("middle pair strength = %v, want 3.5", got)
+	}
+	if got := s.ExtractedStrength(9, 9); got != 0 {
+		t.Fatalf("unknown pair strength = %v, want 0", got)
+	}
+}
+
+func TestNeighborFuncMergesAndThresholds(t *testing.T) {
+	db := wordnet.NewDatabase()
+	a := db.AddTerm("alpha")
+	b := db.AddTerm("beta")
+	c := db.AddTerm("gamma")
+	sa := db.AddSynset([]wordnet.TermID{a}, "")
+	sb := db.AddSynset([]wordnet.TermID{b}, "")
+	sc := db.AddSynset([]wordnet.TermID{c}, "")
+	db.AddRelation(sa, sb, wordnet.RelDomainTopic) // weak typed link
+	db.Freeze()
+
+	s := DefaultStrengths()
+	s.AddExtracted([]Extracted{{A: a, B: c, PMI: 4}}, 5.5, 5.5) // strong extracted link
+
+	// Threshold above domain strength (1): only the extracted edge
+	// survives.
+	nf := NeighborFunc(db, s, 2)
+	got := nf(sa)
+	if len(got) != 1 || got[0] != sc {
+		t.Fatalf("neighbors(sa) = %v, want [extracted -> %d]", got, sc)
+	}
+	// Threshold at 1: both edges, extracted (5.5) before domain (1).
+	nf = NeighborFunc(db, s, 1)
+	got = nf(sa)
+	if len(got) != 2 || got[0] != sc || got[1] != sb {
+		t.Fatalf("neighbors(sa) = %v, want [%d %d]", got, sc, sb)
+	}
+	// Symmetric view from the extracted side.
+	if got := nf(sc); len(got) != 1 || got[0] != sa {
+		t.Fatalf("neighbors(sc) = %v", got)
+	}
+}
+
+// TestWeightedSequencingPullsExtractedNeighbors is the Appendix C
+// end-to-end: two terms with no WordNet connection but a strong corpus
+// association end up adjacent in the weighted sequence.
+func TestWeightedSequencingPullsExtractedNeighbors(t *testing.T) {
+	db, ids := lexWithPairs("osteosarcoma", "chemotherapy", "m1", "m2", "m3", "m4", "m5", "m6")
+	s := DefaultStrengths()
+	s.AddExtracted([]Extracted{{A: ids["osteosarcoma"], B: ids["chemotherapy"], PMI: 5}}, 5.5, 5.5)
+
+	seqs := sequence.VocabWeighted(db, NeighborFunc(db, s, 2))
+	flat := sequence.Flatten(seqs)
+	pos := map[wordnet.TermID]int{}
+	for i, tm := range flat {
+		pos[tm] = i
+	}
+	d := pos[ids["osteosarcoma"]] - pos[ids["chemotherapy"]]
+	if d < 0 {
+		d = -d
+	}
+	if d != 1 {
+		t.Fatalf("extracted-related terms are %d apart, want adjacent", d)
+	}
+	// Partition invariant still holds.
+	if len(flat) != db.NumTerms() {
+		t.Fatalf("weighted sequencing lost terms: %d of %d", len(flat), db.NumTerms())
+	}
+}
+
+// TestVocabWeightedWithRelatedInOrderEqualsVocab pins the equivalence
+// stated in the VocabWeighted doc comment.
+func TestVocabWeightedWithRelatedInOrderEqualsVocab(t *testing.T) {
+	db := wordnet.MiniLexicon()
+	a := sequence.Flatten(sequence.Vocab(db))
+	b := sequence.Flatten(sequence.VocabWeighted(db, db.RelatedInOrder))
+	if len(a) != len(b) {
+		t.Fatal("length mismatch")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("divergence at %d", i)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package semdist
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+func mini(t *testing.T) (*wordnet.Database, *Calculator) {
+	t.Helper()
+	db := wordnet.MiniLexicon()
+	return db, New(db, 0)
+}
+
+func lookup(t *testing.T, db *wordnet.Database, lemma string) wordnet.TermID {
+	t.Helper()
+	id, ok := db.Lookup(lemma)
+	if !ok {
+		t.Fatalf("lexicon missing %q", lemma)
+	}
+	return id
+}
+
+func TestIdenticalTermsDistanceZero(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "water")
+	if d := c.TermDistance(a, a); d != 0 {
+		t.Fatalf("d(water, water) = %v, want 0", d)
+	}
+}
+
+func TestSynonymsDistanceZero(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "osteosarcoma")
+	b := lookup(t, db, "osteogenic sarcoma")
+	if d := c.TermDistance(a, b); d != 0 {
+		t.Fatalf("d(synonyms) = %v, want 0", d)
+	}
+}
+
+func TestHypernymHopWeighsOne(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "sarcoma")
+	b := lookup(t, db, "cancer")
+	if d := c.TermDistance(a, b); d != 1 {
+		t.Fatalf("d(sarcoma, cancer) = %v, want 1", d)
+	}
+}
+
+func TestAntonymHopWeighsHalf(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "hypocapnia")
+	b := lookup(t, db, "hypercapnia")
+	// Direct antonym edge (0.5) beats the sibling path via the common
+	// hypernym (1+1=2).
+	if d := c.TermDistance(a, b); d != 0.5 {
+		t.Fatalf("d(hypocapnia, hypercapnia) = %v, want 0.5", d)
+	}
+}
+
+func TestMeronymHopWeighsTwo(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "wing")
+	b := lookup(t, db, "bird")
+	if d := c.TermDistance(a, b); d != 2 {
+		t.Fatalf("d(wing, bird) = %v, want 2", d)
+	}
+}
+
+func TestDomainHopWeighsThree(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "moustille")
+	b := lookup(t, db, "winemaking")
+	// moustille --domain--> winemaking = 3; the hypernym path runs
+	// through wine..food..substance..matter..entity..abstraction..act,
+	// far longer.
+	if d := c.TermDistance(a, b); d != 3 {
+		t.Fatalf("d(moustille, winemaking) = %v, want 3", d)
+	}
+}
+
+func TestSiblingDistanceTwo(t *testing.T) {
+	db, c := mini(t)
+	a := lookup(t, db, "myosarcoma")
+	b := lookup(t, db, "neurosarcoma")
+	if d := c.TermDistance(a, b); d != 2 {
+		t.Fatalf("d(siblings) = %v, want 2", d)
+	}
+}
+
+func TestMaxDistCapsSearch(t *testing.T) {
+	db := wordnet.MiniLexicon()
+	c := New(db, 3)
+	a := lookup(t, db, "osteosarcoma")
+	b := lookup(t, db, "love knot")
+	if d := c.TermDistance(a, b); d != 3 {
+		t.Fatalf("capped distance = %v, want cap 3", d)
+	}
+}
+
+func TestDisconnectedTermsReportCap(t *testing.T) {
+	db := wordnet.NewDatabase()
+	a := db.AddTerm("isolated-a")
+	db.AddSynset([]wordnet.TermID{a}, "")
+	b := db.AddTerm("isolated-b")
+	db.AddSynset([]wordnet.TermID{b}, "")
+	db.Freeze()
+	c := New(db, 10)
+	if d := c.TermDistance(a, b); d != 10 {
+		t.Fatalf("disconnected distance = %v, want cap 10", d)
+	}
+}
+
+func TestDistanceSymmetric(t *testing.T) {
+	db, c := mini(t)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 60; i++ {
+		a := wordnet.TermID(rng.Intn(db.NumTerms()))
+		b := wordnet.TermID(rng.Intn(db.NumTerms()))
+		if d1, d2 := c.TermDistance(a, b), c.TermDistance(b, a); d1 != d2 {
+			t.Fatalf("asymmetric: d(%d,%d)=%v d(%d,%d)=%v", a, b, d1, b, a, d2)
+		}
+	}
+}
+
+func TestScratchStateReset(t *testing.T) {
+	// Back-to-back queries must not contaminate each other through the
+	// reusable dist buffer.
+	db, c := mini(t)
+	a := lookup(t, db, "sarcoma")
+	b := lookup(t, db, "cancer")
+	first := c.TermDistance(a, b)
+	for i := 0; i < 20; i++ {
+		x := wordnet.TermID(i % db.NumTerms())
+		y := wordnet.TermID((i * 7) % db.NumTerms())
+		c.TermDistance(x, y)
+	}
+	if again := c.TermDistance(a, b); again != first {
+		t.Fatalf("distance drifted: %v then %v", first, again)
+	}
+}
+
+// Property: triangle inequality holds on the synthetic graph (shortest
+// paths are metrics when weights are symmetric), modulo the cap.
+func TestTriangleInequality(t *testing.T) {
+	db := wngen.Generate(wngen.ScaledConfig(800, 19))
+	c := New(db, 0)
+	f := func(ar, br, cr uint16) bool {
+		n := db.NumTerms()
+		a := wordnet.TermID(int(ar) % n)
+		b := wordnet.TermID(int(br) % n)
+		d := wordnet.TermID(int(cr) % n)
+		ab := c.TermDistance(a, b)
+		bd := c.TermDistance(b, d)
+		ad := c.TermDistance(a, d)
+		if ab >= c.MaxDist || bd >= c.MaxDist {
+			return true // capped values carry no triangle guarantee
+		}
+		return ad <= ab+bd+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,290 @@
+// Package sequence implements Algorithm 1 of Pang, Ding and Xiao (VLDB
+// 2010): sequencing the dictionary so that semantically related terms are
+// clustered near each other.
+//
+// Synsets are processed in decreasing connectivity (relation count); each
+// seed synset pulls its directly related synsets into the same growing
+// sequence, in the order derivational relations, antonyms, hyponyms,
+// hypernyms, meronyms, holonyms. Domain-membership relations are skipped,
+// as those word associations tend to be less direct (Section 3.3).
+// Sequences containing terms of the same synset are concatenated as they
+// are discovered; the paper reports that on the WordNet noun database the
+// algorithm converges to a single long sequence, since every noun
+// ultimately generalizes to 'entity'.
+//
+// The paper does not specify where a concatenated sequence is joined. We
+// splice the smaller sequence immediately after the synset that triggered
+// the merge, which maximizes the clustering objective and reproduces the
+// paper's published sequence snippets (e.g. '... myosarcoma, ...,
+// rhabdomyosarcoma, rhabdosarcoma, ...'): a late-seeded leaf lands next to
+// its hypernym rather than at an arbitrary end of the host sequence.
+// Sequences are held as linked lists so every splice is O(1).
+package sequence
+
+import (
+	"embellish/internal/wordnet"
+)
+
+// sequencer carries the mutable state of Algorithm 1. Sequences are
+// singly-linked chains of terms (next[t] is the term after t, or -1),
+// identified by ids that merge through a union-find alias table.
+type sequencer struct {
+	db *wordnet.Database
+	// seqOf[t] is the id of the sequence containing term t, or -1. Ids
+	// are resolved through alias.
+	seqOf []int32
+	next  []int32
+	// head[id], tail[id] delimit sequence id's chain (valid only for ids
+	// that resolve to themselves).
+	head, tail []int32
+	// processedTerm / processedSynset implement the "mark as processed"
+	// bookkeeping of Algorithm 1.
+	processedTerm   []bool
+	processedSynset []bool
+	// alias resolves merged sequence ids to their surviving id.
+	alias []int32
+	// created records sequence ids in creation order, for deterministic
+	// output.
+	created []int32
+}
+
+// Vocab runs Algorithm 1 (SequenceVocab) over the database and returns the
+// resulting term sequences. Every term of db appears in exactly one
+// returned sequence, exactly once.
+func Vocab(db *wordnet.Database) [][]wordnet.TermID {
+	return VocabWeighted(db, db.RelatedInOrder)
+}
+
+// VocabWeighted is the Appendix C variant of Algorithm 1: line 18's
+// fixed type order is replaced by a caller-supplied neighbor function
+// that yields each seed's related synsets strongest-first (typically
+// merging the WordNet relations with corpus-extracted ones rated on a
+// common strength scale — see internal/relex). VocabWeighted with
+// db.RelatedInOrder is exactly Vocab.
+func VocabWeighted(db *wordnet.Database, neighbors func(wordnet.SynsetID) []wordnet.SynsetID) [][]wordnet.TermID {
+	s := &sequencer{
+		db:              db,
+		seqOf:           make([]int32, db.NumTerms()),
+		next:            make([]int32, db.NumTerms()),
+		processedTerm:   make([]bool, db.NumTerms()),
+		processedSynset: make([]bool, db.NumSynsets()),
+	}
+	for i := range s.seqOf {
+		s.seqOf[i] = -1
+		s.next[i] = -1
+	}
+
+	// Line 12: order the synsets in decreasing number of relationships.
+	// Lines 16-21 are literal: every unprocessed synset in that order
+	// seeds a ProcessSynset call, then its DIRECT related synsets (one
+	// level, not a recursive traversal) are pulled into the sequence in
+	// order of closeness. Deeper neighborhoods are reached when their
+	// members come up later in the outer connectivity-ordered loop, so
+	// high-connectivity synsets at every depth anchor their own local
+	// clusters — this interleaving is what keeps term specificity roughly
+	// stationary along the final sequence.
+	for _, seed := range db.SynsetsByConnectivity() {
+		if s.processedSynset[seed] {
+			continue
+		}
+		// Line 17: seed a sequence from this synset.
+		sq := s.processSynset(seed, -1)
+		// Line 18: visit the seed's related synsets in order of closeness
+		// (derivations, antonyms, hyponyms, hypernyms, meronyms,
+		// holonyms; domain links skipped). Already-processed synsets are
+		// NOT skipped: line 19 appends one of their terms into sq, which
+		// puts the synset's terms in two sequences, and lines 1-3 of
+		// ProcessSynset then concatenate those sequences. We implement
+		// that append-then-concatenate dance's net effect by passing sq
+		// as a forced host.
+		for _, rel := range neighbors(seed) {
+			// Lines 19-21: pull the related synset into sq; the returned
+			// sequence becomes the target for the remaining related
+			// synsets (the algorithm reassigns sq).
+			sq = s.processSynset(rel, sq)
+		}
+	}
+
+	// Collect surviving sequences in creation order.
+	var out [][]wordnet.TermID
+	for _, id := range s.created {
+		if s.resolve(id) != id || s.head[id] < 0 {
+			continue // merged away or empty
+		}
+		var terms []wordnet.TermID
+		for t := s.head[id]; t >= 0; t = s.next[t] {
+			terms = append(terms, wordnet.TermID(t))
+		}
+		if len(terms) > 0 {
+			out = append(out, terms)
+		}
+	}
+	return out
+}
+
+// Flatten concatenates the sequences produced by Vocab into the single
+// long term sequence consumed by bucket formation (Algorithm 2 line 1).
+func Flatten(seqs [][]wordnet.TermID) []wordnet.TermID {
+	n := 0
+	for _, s := range seqs {
+		n += len(s)
+	}
+	out := make([]wordnet.TermID, 0, n)
+	for _, s := range seqs {
+		out = append(out, s...)
+	}
+	return out
+}
+
+// Run is a convenience wrapper: sequence the vocabulary and flatten it.
+func Run(db *wordnet.Database) []wordnet.TermID {
+	return Flatten(Vocab(db))
+}
+
+// processSynset implements ProcessSynset(ss) of Algorithm 1 and returns
+// the id of the sequence now holding the synset's terms. forced, when
+// >= 0, is an additional host sequence: it models line 19 having just
+// appended one of ss's terms into that sequence, so that lines 1-3
+// concatenate it with the synset's other host sequences.
+func (s *sequencer) processSynset(ss wordnet.SynsetID, forced int32) int32 {
+	terms := s.db.Synset(ss).Terms
+
+	// Find the distinct existing sequences containing any term of ss,
+	// and the first placed term (the splice anchor).
+	var hosts []int32
+	anchor := int32(-1)
+	for _, t := range terms {
+		if id := s.seqOf[t]; id >= 0 {
+			id = s.resolve(id)
+			if anchor < 0 {
+				anchor = int32(t)
+			}
+			if !contains(hosts, id) {
+				hosts = append(hosts, id)
+			}
+		}
+	}
+	if forced >= 0 {
+		if id := s.resolve(forced); !contains(hosts, id) {
+			hosts = append(hosts, id)
+		}
+	}
+
+	var sq int32
+	switch {
+	case len(hosts) > 1:
+		// Lines 1-3: terms span multiple sequences; concatenate them.
+		// The splice point is the synset's first placed term when it
+		// lives in the survivor; see the package comment.
+		sq = s.merge(hosts, anchor)
+	case len(hosts) == 0:
+		// Lines 4-5: start a new sequence.
+		sq = s.newSeq()
+	default:
+		// Lines 6-7: extend the single existing sequence.
+		sq = hosts[0]
+	}
+
+	// Line 8: append the unprocessed terms of ss to sq. When the synset
+	// already has a placed term we insert next to it, keeping synonyms
+	// adjacent (the paper's snippets show whole synsets contiguous);
+	// otherwise terms go to the tail.
+	at := anchor
+	for _, t := range terms {
+		if !s.processedTerm[t] {
+			s.insertTerm(sq, t, at)
+			at = int32(t)
+		}
+	}
+	// Lines 9-10: mark the terms and the synset as processed.
+	s.processedSynset[ss] = true
+	return sq
+}
+
+func contains(ids []int32, id int32) bool {
+	for _, h := range ids {
+		if h == id {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *sequencer) newSeq() int32 {
+	id := int32(len(s.head))
+	s.head = append(s.head, -1)
+	s.tail = append(s.tail, -1)
+	s.alias = append(s.alias, id)
+	s.created = append(s.created, id)
+	return id
+}
+
+func (s *sequencer) resolve(id int32) int32 {
+	for s.alias[id] != id {
+		s.alias[id] = s.alias[s.alias[id]] // path halving
+		id = s.alias[id]
+	}
+	return id
+}
+
+// insertTerm places unprocessed term t into sequence sq, immediately
+// after term `after` when that term belongs to sq, else at the tail.
+func (s *sequencer) insertTerm(sq int32, t wordnet.TermID, after int32) {
+	if s.seqOf[t] >= 0 {
+		return // already placed; a term is never moved
+	}
+	ti := int32(t)
+	s.seqOf[ti] = sq
+	s.processedTerm[ti] = true
+	if after >= 0 && s.resolve(s.seqOf[after]) == sq {
+		s.next[ti] = s.next[after]
+		s.next[after] = ti
+		if s.tail[sq] == after {
+			s.tail[sq] = ti
+		}
+		return
+	}
+	if s.head[sq] < 0 {
+		s.head[sq], s.tail[sq] = ti, ti
+		return
+	}
+	s.next[s.tail[sq]] = ti
+	s.tail[sq] = ti
+}
+
+// merge concatenates the host sequences into one surviving sequence. When
+// anchor (a term of the triggering synset) lives in the survivor, the
+// other sequences are spliced immediately after it; otherwise they are
+// appended at the tail. The survivor is the host of the anchor when there
+// is one, else the first host.
+func (s *sequencer) merge(hosts []int32, anchor int32) int32 {
+	surv := hosts[0]
+	if anchor >= 0 {
+		surv = s.resolve(s.seqOf[anchor])
+	}
+	at := anchor
+	if at < 0 || s.resolve(s.seqOf[at]) != surv {
+		at = s.tail[surv]
+	}
+	for _, h := range hosts {
+		if h == surv || s.head[h] < 0 {
+			s.alias[h] = surv
+			continue
+		}
+		// Splice chain h after position at in surv.
+		hHead, hTail := s.head[h], s.tail[h]
+		if at < 0 { // surv empty
+			s.head[surv], s.tail[surv] = hHead, hTail
+		} else {
+			s.next[hTail] = s.next[at]
+			s.next[at] = hHead
+			if s.tail[surv] == at {
+				s.tail[surv] = hTail
+			}
+		}
+		at = hTail
+		s.head[h], s.tail[h] = -1, -1
+		s.alias[h] = surv
+	}
+	return surv
+}

@@ -1,0 +1,201 @@
+package sequence
+
+import (
+	"fmt"
+	"testing"
+
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+// checkPartition verifies every term appears in exactly one sequence,
+// exactly once — the core invariant of Algorithm 1.
+func checkPartition(t *testing.T, db *wordnet.Database, seqs [][]wordnet.TermID) {
+	t.Helper()
+	seen := make(map[wordnet.TermID]int)
+	total := 0
+	for _, s := range seqs {
+		for _, term := range s {
+			seen[term]++
+			total++
+		}
+	}
+	if total != db.NumTerms() {
+		t.Fatalf("sequences hold %d terms, dictionary has %d", total, db.NumTerms())
+	}
+	for term, n := range seen {
+		if n != 1 {
+			t.Fatalf("term %d (%q) appears %d times", term, db.Lemma(term), n)
+		}
+	}
+}
+
+func TestVocabPartitionMini(t *testing.T) {
+	db := wordnet.MiniLexicon()
+	checkPartition(t, db, Vocab(db))
+}
+
+func TestVocabPartitionSynthetic(t *testing.T) {
+	db := wngen.Generate(wngen.ScaledConfig(4000, 21))
+	checkPartition(t, db, Vocab(db))
+}
+
+func TestFewSequencesForConnectedHierarchy(t *testing.T) {
+	// Running on WordNet, "the algorithm groups all the 117,798 nouns
+	// into one long sequence" (Section 3.3). That is an empirical
+	// observation, not an invariant of Algorithm 1: an edge between two
+	// synsets that were both absorbed as related synsets (neither ever
+	// seeding) is never examined, so sparse corners of a hierarchy can
+	// stay separate. On the mini lexicon the algorithm must still
+	// collapse the vast majority of the vocabulary into one dominant
+	// sequence.
+	db := wordnet.MiniLexicon()
+	seqs := Vocab(db)
+	if len(seqs) > db.NumSynsets()/10 {
+		t.Fatalf("connected hierarchy produced %d sequences over %d synsets; clusters are not merging",
+			len(seqs), db.NumSynsets())
+	}
+	largest := 0
+	for _, s := range seqs {
+		if len(s) > largest {
+			largest = len(s)
+		}
+	}
+	if largest < db.NumTerms()/2 {
+		t.Fatalf("dominant sequence holds %d of %d terms, want a majority", largest, db.NumTerms())
+	}
+}
+
+func TestSingleSequenceWhenEverySynsetSeeds(t *testing.T) {
+	// A chain whose nodes have strictly decreasing connectivity (node i
+	// carries 12-i leaf children) is processed strictly top-down: chain
+	// node i+1 is pulled when it seeds (or when node i seeds) and every
+	// chain edge is examined, so the whole graph must collapse into
+	// exactly one sequence.
+	db := wordnet.NewDatabase()
+	var prev wordnet.SynsetID = -1
+	for i := 0; i < 10; i++ {
+		ss := db.AddSynset([]wordnet.TermID{db.AddTerm(fmt.Sprintf("chain%d", i))}, "")
+		for j := 0; j < 12-i; j++ {
+			leaf := db.AddSynset([]wordnet.TermID{db.AddTerm(fmt.Sprintf("leaf%d-%d", i, j))}, "")
+			db.AddRelation(ss, leaf, wordnet.RelHyponym)
+		}
+		if prev >= 0 {
+			db.AddRelation(prev, ss, wordnet.RelHyponym)
+		}
+		prev = ss
+	}
+	db.Freeze()
+	seqs := Vocab(db)
+	if len(seqs) != 1 {
+		t.Fatalf("chain produced %d sequences, want 1", len(seqs))
+	}
+	checkPartition(t, db, seqs)
+}
+
+func TestDisconnectedComponentsStaySeparate(t *testing.T) {
+	db := wordnet.NewDatabase()
+	a := db.AddSynset([]wordnet.TermID{db.AddTerm("alpha")}, "")
+	a2 := db.AddSynset([]wordnet.TermID{db.AddTerm("alpha-child")}, "")
+	db.AddRelation(a, a2, wordnet.RelHyponym)
+	b := db.AddSynset([]wordnet.TermID{db.AddTerm("beta")}, "")
+	b2 := db.AddSynset([]wordnet.TermID{db.AddTerm("beta-child")}, "")
+	db.AddRelation(b, b2, wordnet.RelHyponym)
+	db.Freeze()
+	seqs := Vocab(db)
+	if len(seqs) != 2 {
+		t.Fatalf("two disconnected components produced %d sequences, want 2", len(seqs))
+	}
+	checkPartition(t, db, seqs)
+}
+
+func TestRelatedTermsCluster(t *testing.T) {
+	// Section 3.3's snippets show sibling cancers adjacent in the
+	// sequence. Verify sibling synsets land close: any two terms in the
+	// same synset or sibling synsets should be within a window far
+	// smaller than the dictionary size.
+	db := wordnet.MiniLexicon()
+	seq := Run(db)
+	pos := make(map[wordnet.TermID]int)
+	for i, t := range seq {
+		pos[t] = i
+	}
+	pairs := [][2]string{
+		{"osteosarcoma", "osteogenic sarcoma"}, // same synset
+		{"osteosarcoma", "rhabdomyosarcoma"},   // cousins under sarcoma
+		{"hypocapnia", "hypercapnia"},          // antonyms
+		{"amaranthaceae", "batidaceae"},        // sibling families
+		{"abu sayyaf", "aksa martyrs brigades"},
+	}
+	window := db.NumTerms() / 4
+	for _, p := range pairs {
+		a, ok1 := db.Lookup(p[0])
+		b, ok2 := db.Lookup(p[1])
+		if !ok1 || !ok2 {
+			t.Fatalf("lexicon missing %v", p)
+		}
+		d := pos[a] - pos[b]
+		if d < 0 {
+			d = -d
+		}
+		if d > window {
+			t.Errorf("related terms %q and %q are %d apart (window %d)", p[0], p[1], d, window)
+		}
+	}
+}
+
+func TestSynonymsAdjacent(t *testing.T) {
+	// Terms of one synset are appended together (Algorithm 1 line 8), so
+	// synonyms should be nearly adjacent.
+	db := wordnet.MiniLexicon()
+	seq := Run(db)
+	pos := make(map[wordnet.TermID]int)
+	for i, t := range seq {
+		pos[t] = i
+	}
+	a, _ := db.Lookup("hypercapnia")
+	b, _ := db.Lookup("hypercarbia")
+	d := pos[a] - pos[b]
+	if d < 0 {
+		d = -d
+	}
+	if d > 3 {
+		t.Fatalf("synonyms %d apart, want adjacent", d)
+	}
+}
+
+func TestFlattenPreservesOrder(t *testing.T) {
+	in := [][]wordnet.TermID{{3, 1}, {}, {2}}
+	out := Flatten(in)
+	want := []wordnet.TermID{3, 1, 2}
+	if len(out) != len(want) {
+		t.Fatalf("len = %d, want %d", len(out), len(want))
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("Flatten[%d] = %d, want %d", i, out[i], want[i])
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	db := wngen.Generate(wngen.ScaledConfig(1500, 33))
+	a := Run(db)
+	b := Run(db)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic sequence length")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}
+
+func TestEmptyDatabase(t *testing.T) {
+	db := wordnet.NewDatabase()
+	db.Freeze()
+	if seqs := Vocab(db); len(seqs) != 0 {
+		t.Fatalf("empty database yielded %d sequences", len(seqs))
+	}
+}

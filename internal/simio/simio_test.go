@@ -1,0 +1,50 @@
+package simio
+
+import "testing"
+
+func TestBlocks(t *testing.T) {
+	m := Default()
+	cases := []struct{ bytes, want int }{
+		{0, 0}, {1, 1}, {1024, 1}, {1025, 2}, {4096, 4},
+	}
+	for _, c := range cases {
+		if got := m.Blocks(c.bytes); got != c.want {
+			t.Errorf("Blocks(%d) = %d, want %d", c.bytes, got, c.want)
+		}
+	}
+}
+
+func TestCostComposition(t *testing.T) {
+	m := Model{BlockBytes: 1024, SeekMs: 5, TransferMsPerBlock: 0.1}
+	got := m.Cost(3, 2048)
+	want := 3*5.0 + 2*0.1
+	if got != want {
+		t.Fatalf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	m := Model{BlockBytes: 1024, SeekMs: 2, TransferMsPerBlock: 1}
+	var a Accounting
+	a.Charge(100)
+	a.Charge(1024)
+	if a.Seeks != 2 || a.Bytes != 1124 {
+		t.Fatalf("accounting = %+v", a)
+	}
+	// 2 seeks + ceil(1124/1024)=2 blocks.
+	if got := a.Ms(m); got != 2*2.0+2*1.0 {
+		t.Fatalf("Ms = %v", got)
+	}
+}
+
+func TestSeekDominatesForSmallReads(t *testing.T) {
+	// Sanity: with 2006-era constants, fetching many small buckets is
+	// seek-bound — the effect that makes Figure 7(a) nearly flat in
+	// BktSz but Figure 8(a) linear in query size.
+	m := Default()
+	small := m.Cost(12, 12*2048)
+	large := m.Cost(12, 12*16384)
+	if (large-small)/small > 0.5 {
+		t.Fatalf("transfer dominates unexpectedly: %v -> %v", small, large)
+	}
+}

@@ -1,0 +1,235 @@
+package textproc
+
+// PorterStem reduces an English word to its stem with the classic Porter
+// (1980) algorithm. The paper's Lucene configuration performs "stopword
+// removal but not stemming", so stemming is off by default in Analyzer;
+// it is provided for completeness, since impact-ordered indexes are
+// routinely built over stemmed vocabularies (Zobel & Moffat, reference
+// [29] of the paper).
+func PorterStem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	s := &stemmer{b: []byte(word)}
+	s.step1a()
+	s.step1b()
+	s.step1c()
+	s.step2()
+	s.step3()
+	s.step4()
+	s.step5a()
+	s.step5b()
+	return string(s.b)
+}
+
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant per Porter's definition:
+// Y is a consonant only when preceded by a vowel... precisely, 'y' is a
+// consonant at position 0 or when the previous letter is a vowel is false.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m, the number of VC sequences in b[:end].
+func (s *stemmer) measure(end int) int {
+	m := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for i < end {
+		// Vowel run.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			break
+		}
+		m++
+		// Consonant run.
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+	}
+	return m
+}
+
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether b[:end] ends with the same consonant
+// twice.
+func (s *stemmer) endsDoubleConsonant(end int) bool {
+	if end < 2 {
+		return false
+	}
+	return s.b[end-1] == s.b[end-2] && s.isConsonant(end-1)
+}
+
+// endsCVC reports whether b[:end] ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func (s *stemmer) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	if !s.isConsonant(end-3) || s.isConsonant(end-2) || !s.isConsonant(end-1) {
+		return false
+	}
+	c := s.b[end-1]
+	return c != 'w' && c != 'x' && c != 'y'
+}
+
+func (s *stemmer) hasSuffix(suf string) bool {
+	if len(s.b) < len(suf) {
+		return false
+	}
+	return string(s.b[len(s.b)-len(suf):]) == suf
+}
+
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ies"):
+		s.b = s.b[:len(s.b)-2]
+	case s.hasSuffix("ss"):
+		// keep
+	case s.hasSuffix("s"):
+		s.b = s.b[:len(s.b)-1]
+	}
+}
+
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(len(s.b)-3) > 0 {
+			s.b = s.b[:len(s.b)-1]
+		}
+		return
+	}
+	cleanup := false
+	if s.hasSuffix("ed") && s.hasVowel(len(s.b)-2) {
+		s.b = s.b[:len(s.b)-2]
+		cleanup = true
+	} else if s.hasSuffix("ing") && s.hasVowel(len(s.b)-3) {
+		s.b = s.b[:len(s.b)-3]
+		cleanup = true
+	}
+	if !cleanup {
+		return
+	}
+	switch {
+	case s.hasSuffix("at"), s.hasSuffix("bl"), s.hasSuffix("iz"):
+		s.b = append(s.b, 'e')
+	case s.endsDoubleConsonant(len(s.b)):
+		c := s.b[len(s.b)-1]
+		if c != 'l' && c != 's' && c != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.endsCVC(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(len(s.b)-1) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+	{"anci", "ance"}, {"izer", "ize"}, {"abli", "able"},
+	{"alli", "al"}, {"entli", "ent"}, {"eli", "e"}, {"ousli", "ous"},
+	{"ization", "ize"}, {"ation", "ate"}, {"ator", "ate"},
+	{"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"},
+	{"biliti", "ble"},
+}
+
+func (s *stemmer) step2() {
+	for _, r := range step2Rules {
+		if s.hasSuffix(r.old) {
+			if s.measure(len(s.b)-len(r.old)) > 0 {
+				s.b = append(s.b[:len(s.b)-len(r.old)], r.new...)
+			}
+			return
+		}
+	}
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func (s *stemmer) step3() {
+	for _, r := range step3Rules {
+		if s.hasSuffix(r.old) {
+			if s.measure(len(s.b)-len(r.old)) > 0 {
+				s.b = append(s.b[:len(s.b)-len(r.old)], r.new...)
+			}
+			return
+		}
+	}
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func (s *stemmer) step4() {
+	for _, suf := range step4Suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		stem := len(s.b) - len(suf)
+		if suf == "ion" {
+			// Only strip -ion after s or t.
+			if stem == 0 || (s.b[stem-1] != 's' && s.b[stem-1] != 't') {
+				return
+			}
+		}
+		if s.measure(stem) > 1 {
+			s.b = s.b[:stem]
+		}
+		return
+	}
+}
+
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stem := len(s.b) - 1
+	m := s.measure(stem)
+	if m > 1 || (m == 1 && !s.endsCVC(stem)) {
+		s.b = s.b[:stem]
+	}
+}
+
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n > 1 && s.b[n-1] == 'l' && s.endsDoubleConsonant(n) && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

@@ -1,0 +1,26 @@
+package textproc
+
+import "strings"
+
+// defaultStopwordList is the classic English stopword list ("common words
+// like 'the' and 'a' that are not useful for differentiating between
+// documents", Section 5.2), close to Lucene's StandardAnalyzer defaults
+// plus the usual SMART additions.
+const defaultStopwordList = `a an and are as at be but by for if in into is
+it no not of on or such that the their then there these they this to was
+will with he she his her him its from we you your i me my our us about
+above after again all am any been before being below between both did do
+does doing down during each few further had has have having here how more
+most other out over own same so some than too under until up very what
+when where which while who whom why were would could should shall may
+might must can cannot`
+
+// DefaultStopwords returns a fresh stopword set. Callers may add or
+// remove entries without affecting other users.
+func DefaultStopwords() map[string]bool {
+	m := make(map[string]bool, 128)
+	for _, w := range strings.Fields(defaultStopwordList) {
+		m[w] = true
+	}
+	return m
+}

@@ -1,0 +1,162 @@
+// Package textproc supplies the text-analysis substrate that the paper
+// obtains from Lucene (Section 5.2): tokenization, stopword removal (the
+// paper's configuration removes stopwords but does not stem; a Porter
+// stemmer is nonetheless provided as an option), and greedy longest-match
+// recognition of multi-word dictionary terms such as 'abu sayyaf' or
+// 'residual nitrogen time', which WordNet treats as single lemmas.
+package textproc
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize lowercases the input and splits it into maximal runs of
+// letters, digits and internal apostrophes/hyphens ("fool's gold" yields
+// the tokens "fool's" and "gold"; "yellow-breasted" stays one token).
+func Tokenize(text string) []string {
+	var tokens []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			tokens = append(tokens, trimPunct(b.String()))
+			b.Reset()
+		}
+	}
+	for _, r := range text {
+		switch {
+		case unicode.IsLetter(r) || unicode.IsDigit(r):
+			b.WriteRune(unicode.ToLower(r))
+		case (r == '\'' || r == '-') && b.Len() > 0:
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	// trimPunct may produce empty strings for pure-punctuation runs.
+	out := tokens[:0]
+	for _, t := range tokens {
+		if t != "" {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// trimPunct removes trailing apostrophes/hyphens left by the scanner.
+func trimPunct(s string) string {
+	return strings.TrimRight(s, "'-")
+}
+
+// Analyzer is a configurable pipeline: tokenize, drop stopwords,
+// optionally stem, and optionally fuse multi-word dictionary terms.
+type Analyzer struct {
+	// Stopwords maps each stopword to true. Nil disables removal.
+	Stopwords map[string]bool
+	// Stem applies Porter stemming when true. The paper's setup does not
+	// stem ("performs stopword removal but not stemming").
+	Stem bool
+	// Matcher, when non-nil, fuses runs of tokens that form a known
+	// multi-word dictionary term into a single token with spaces.
+	Matcher *DictionaryMatcher
+}
+
+// NewAnalyzer returns the paper's configuration: standard English
+// stopwords, no stemming, no compound matching.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{Stopwords: DefaultStopwords()}
+}
+
+// Analyze runs the pipeline over raw text.
+func (a *Analyzer) Analyze(text string) []string {
+	return a.Process(Tokenize(text))
+}
+
+// Process runs the pipeline over pre-split tokens.
+func (a *Analyzer) Process(tokens []string) []string {
+	if a.Matcher != nil {
+		tokens = a.Matcher.Fuse(tokens)
+	}
+	out := make([]string, 0, len(tokens))
+	for _, t := range tokens {
+		if a.Stopwords != nil && a.Stopwords[t] {
+			continue
+		}
+		if a.Stem && !strings.Contains(t, " ") {
+			t = PorterStem(t)
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// DictionaryMatcher recognizes multi-word dictionary terms in a token
+// stream by greedy longest match.
+type DictionaryMatcher struct {
+	// firstWord maps the first word of every known compound to the list
+	// of full compounds starting with it, longest first.
+	compounds map[string][][]string
+	maxLen    int
+}
+
+// NewDictionaryMatcher indexes the multi-word lemmas among terms.
+func NewDictionaryMatcher(terms []string) *DictionaryMatcher {
+	m := &DictionaryMatcher{compounds: make(map[string][][]string)}
+	for _, t := range terms {
+		if !strings.Contains(t, " ") {
+			continue
+		}
+		words := strings.Fields(t)
+		if len(words) > m.maxLen {
+			m.maxLen = len(words)
+		}
+		m.compounds[words[0]] = append(m.compounds[words[0]], words)
+	}
+	// Longest first, so greedy matching prefers 'family amaranthaceae'
+	// over a hypothetical shorter compound with the same head.
+	for k := range m.compounds {
+		list := m.compounds[k]
+		for i := 1; i < len(list); i++ {
+			for j := i; j > 0 && len(list[j]) > len(list[j-1]); j-- {
+				list[j], list[j-1] = list[j-1], list[j]
+			}
+		}
+	}
+	return m
+}
+
+// Fuse replaces maximal runs of tokens matching a known compound with the
+// single space-joined lemma.
+func (m *DictionaryMatcher) Fuse(tokens []string) []string {
+	if len(m.compounds) == 0 {
+		return tokens
+	}
+	out := make([]string, 0, len(tokens))
+	for i := 0; i < len(tokens); {
+		matched := false
+		for _, words := range m.compounds[tokens[i]] {
+			if i+len(words) > len(tokens) {
+				continue
+			}
+			ok := true
+			for j, w := range words {
+				if tokens[i+j] != w {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, strings.Join(words, " "))
+				i += len(words)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, tokens[i])
+			i++
+		}
+	}
+	return out
+}

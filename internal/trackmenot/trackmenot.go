@@ -1,0 +1,133 @@
+// Package trackmenot implements a TrackMeNot-style ghost-query baseline
+// (Howe and Nissenbaum; discussed in Section 2.1 of Pang, Ding and Xiao,
+// VLDB 2010). TrackMeNot hides genuine queries in a stream of randomly
+// generated 'ghost' queries. The paper's criticism — which this package
+// lets experiments quantify — is that "the ghost queries often can be
+// ruled out easily because their term combinations are not meaningful":
+// random term combinations have a much larger intra-query semantic spread
+// than genuine topical queries, so an adversary with a term-relatedness
+// model filters them out.
+package trackmenot
+
+import (
+	"errors"
+	"math/rand"
+
+	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
+)
+
+// Generator emits ghost queries drawn uniformly from a vocabulary,
+// mimicking TrackMeNot's RSS-seeded random query construction.
+type Generator struct {
+	vocab []wordnet.TermID
+	rng   *rand.Rand
+	// GhostRate is the number of ghost queries emitted per genuine query
+	// in Stream; TrackMeNot's default cadence is a handful per genuine
+	// query.
+	GhostRate int
+}
+
+// NewGenerator builds a ghost-query generator over the vocabulary. seed
+// fixes the random stream for reproducible experiments.
+func NewGenerator(vocab []wordnet.TermID, seed int64) (*Generator, error) {
+	if len(vocab) == 0 {
+		return nil, errors.New("trackmenot: empty vocabulary")
+	}
+	return &Generator{
+		vocab:     vocab,
+		rng:       rand.New(rand.NewSource(seed)),
+		GhostRate: 4,
+	}, nil
+}
+
+// Ghost returns one ghost query of n distinct random vocabulary terms.
+func (g *Generator) Ghost(n int) []wordnet.TermID {
+	if n > len(g.vocab) {
+		n = len(g.vocab)
+	}
+	out := make([]wordnet.TermID, 0, n)
+	seen := make(map[wordnet.TermID]bool, n)
+	for len(out) < n {
+		t := g.vocab[g.rng.Intn(len(g.vocab))]
+		if !seen[t] {
+			seen[t] = true
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Stream interleaves the genuine query with GhostRate ghost queries of
+// the same length, at a random position, returning the batch and the
+// index of the genuine query within it. This is the observable the
+// search engine sees under TrackMeNot.
+func (g *Generator) Stream(genuine []wordnet.TermID) (batch [][]wordnet.TermID, genuineAt int) {
+	batch = make([][]wordnet.TermID, 0, g.GhostRate+1)
+	genuineAt = g.rng.Intn(g.GhostRate + 1)
+	for i := 0; i <= g.GhostRate; i++ {
+		if i == genuineAt {
+			batch = append(batch, genuine)
+			continue
+		}
+		batch = append(batch, g.Ghost(len(genuine)))
+	}
+	return batch, genuineAt
+}
+
+// Coherence measures the semantic tightness of a query: the mean pairwise
+// semantic distance between its terms (lower = more topically coherent).
+// Genuine queries score low; random ghost queries score near the
+// distance cap — the statistical handle an adversary uses to rule ghosts
+// out.
+func Coherence(q []wordnet.TermID, calc *semdist.Calculator) float64 {
+	if len(q) < 2 {
+		return 0
+	}
+	var sum float64
+	pairs := 0
+	for i := 0; i < len(q); i++ {
+		for j := i + 1; j < len(q); j++ {
+			sum += calc.TermDistance(q[i], q[j])
+			pairs++
+		}
+	}
+	return sum / float64(pairs)
+}
+
+// Adversary ranks a batch of queries by coherence and guesses the most
+// coherent one as genuine. It models the paper's observation that ghost
+// queries "can be ruled out easily".
+type Adversary struct {
+	Calc *semdist.Calculator
+}
+
+// Guess returns the index of the query the adversary believes is genuine:
+// the one with the smallest coherence value. Ties break toward the lower
+// index.
+func (a *Adversary) Guess(batch [][]wordnet.TermID) int {
+	best, bestScore := 0, 0.0
+	for i, q := range batch {
+		c := Coherence(q, a.Calc)
+		if i == 0 || c < bestScore {
+			best, bestScore = i, c
+		}
+	}
+	return best
+}
+
+// SuccessRate runs trials of Stream followed by an adversary guess and
+// returns the fraction of trials where the adversary identified the
+// genuine query. genuineFn must produce a fresh genuine (topically
+// coherent) query per trial. A rate far above 1/(GhostRate+1) means the
+// ghost cover is statistically broken.
+func SuccessRate(g *Generator, adv *Adversary, trials int, genuineFn func() []wordnet.TermID) float64 {
+	hits := 0
+	for i := 0; i < trials; i++ {
+		batch, at := g.Stream(genuineFn())
+		if adv.Guess(batch) == at {
+			hits++
+		}
+	}
+	return float64(hits) / float64(trials)
+}

@@ -1,0 +1,178 @@
+package trackmenot
+
+import (
+	"math/rand"
+	"testing"
+
+	"embellish/internal/semdist"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+func vocabDB(t *testing.T) (*wordnet.Database, []wordnet.TermID) {
+	t.Helper()
+	db := wngen.Generate(wngen.ScaledConfig(1200, 41))
+	return db, db.AllTerms()
+}
+
+func TestNewGeneratorEmptyVocab(t *testing.T) {
+	if _, err := NewGenerator(nil, 1); err == nil {
+		t.Fatal("empty vocabulary accepted")
+	}
+}
+
+func TestGhostDistinctTerms(t *testing.T) {
+	_, vocab := vocabDB(t)
+	g, err := NewGenerator(vocab, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := g.Ghost(8)
+		if len(q) != 8 {
+			t.Fatalf("ghost has %d terms, want 8", len(q))
+		}
+		seen := map[wordnet.TermID]bool{}
+		for _, tm := range q {
+			if seen[tm] {
+				t.Fatalf("duplicate term %d in ghost query", tm)
+			}
+			seen[tm] = true
+		}
+	}
+}
+
+func TestGhostClampsToVocab(t *testing.T) {
+	_, vocab := vocabDB(t)
+	small := vocab[:3]
+	g, _ := NewGenerator(small, 3)
+	q := g.Ghost(10)
+	if len(q) != 3 {
+		t.Fatalf("ghost over 3-term vocab has %d terms, want 3", len(q))
+	}
+}
+
+func TestStreamShape(t *testing.T) {
+	_, vocab := vocabDB(t)
+	g, _ := NewGenerator(vocab, 4)
+	g.GhostRate = 6
+	genuine := []wordnet.TermID{vocab[0], vocab[1], vocab[2]}
+	batch, at := g.Stream(genuine)
+	if len(batch) != 7 {
+		t.Fatalf("batch size %d, want GhostRate+1 = 7", len(batch))
+	}
+	if at < 0 || at >= len(batch) {
+		t.Fatalf("genuine index %d out of range", at)
+	}
+	for i, q := range batch {
+		if len(q) != len(genuine) {
+			t.Fatalf("query %d has %d terms, want %d", i, len(q), len(genuine))
+		}
+	}
+	// The genuine slot must hold the genuine query itself.
+	for i, tm := range batch[at] {
+		if tm != genuine[i] {
+			t.Fatal("genuine query not at reported index")
+		}
+	}
+}
+
+func TestStreamPositionVaries(t *testing.T) {
+	_, vocab := vocabDB(t)
+	g, _ := NewGenerator(vocab, 5)
+	genuine := []wordnet.TermID{vocab[0], vocab[1]}
+	positions := map[int]bool{}
+	for i := 0; i < 40; i++ {
+		_, at := g.Stream(genuine)
+		positions[at] = true
+	}
+	if len(positions) < 2 {
+		t.Fatal("genuine query always at the same batch position")
+	}
+}
+
+func TestCoherenceDegenerate(t *testing.T) {
+	db, vocab := vocabDB(t)
+	calc := semdist.New(db, 20)
+	if got := Coherence(nil, calc); got != 0 {
+		t.Fatalf("empty query coherence = %v", got)
+	}
+	if got := Coherence(vocab[:1], calc); got != 0 {
+		t.Fatalf("singleton coherence = %v", got)
+	}
+}
+
+func TestCoherenceOrdersTopicalBelowRandom(t *testing.T) {
+	// A query of sibling terms must be more coherent (lower) than a
+	// random query — the statistical handle of the adversary.
+	db := wordnet.MiniLexicon()
+	calc := semdist.New(db, 20)
+	name := func(s string) wordnet.TermID {
+		tm, ok := db.Lookup(s)
+		if !ok {
+			t.Fatalf("lexicon missing %q", s)
+		}
+		return tm
+	}
+	topical := []wordnet.TermID{name("osteosarcoma"), name("sarcoma"), name("myosarcoma")}
+	random := []wordnet.TermID{name("osteosarcoma"), name("water"), name("huntsville")}
+	ct, cr := Coherence(topical, calc), Coherence(random, calc)
+	if ct >= cr {
+		t.Fatalf("topical coherence %.2f not below random %.2f", ct, cr)
+	}
+}
+
+// TestAdversaryBreaksGhostCover reproduces the paper's Section 2.1
+// criticism: an adversary picking the most coherent query in a
+// TrackMeNot batch identifies the genuine query far more often than the
+// 1/(GhostRate+1) chance level.
+func TestAdversaryBreaksGhostCover(t *testing.T) {
+	db, vocab := vocabDB(t)
+	calc := semdist.New(db, 12)
+	g, _ := NewGenerator(vocab, 7)
+	g.GhostRate = 4
+	adv := &Adversary{Calc: calc}
+
+	// Genuine queries: a random synset plus neighbors — topically tight.
+	rng := rand.New(rand.NewSource(9))
+	genuineFn := func() []wordnet.TermID {
+		for {
+			seed := vocab[rng.Intn(len(vocab))]
+			syns := db.SynsetsOf(seed)
+			if len(syns) == 0 {
+				continue
+			}
+			q := []wordnet.TermID{seed}
+			for _, rel := range db.RelatedInOrder(syns[0]) {
+				ts := db.Synset(rel).Terms
+				if len(ts) > 0 && ts[0] != seed {
+					q = append(q, ts[0])
+				}
+				if len(q) == 4 {
+					break
+				}
+			}
+			if len(q) >= 3 {
+				return q
+			}
+		}
+	}
+	rate := SuccessRate(g, adv, 60, genuineFn)
+	chance := 1.0 / float64(g.GhostRate+1)
+	if rate < 2*chance {
+		t.Fatalf("adversary success %.2f not well above chance %.2f; ghost cover unexpectedly strong", rate, chance)
+	}
+}
+
+func TestSuccessRateDeterministic(t *testing.T) {
+	db, vocab := vocabDB(t)
+	calc := semdist.New(db, 12)
+	genuine := []wordnet.TermID{vocab[0], vocab[1], vocab[2]}
+	fn := func() []wordnet.TermID { return genuine }
+	g1, _ := NewGenerator(vocab, 13)
+	g2, _ := NewGenerator(vocab, 13)
+	a := &Adversary{Calc: calc}
+	if SuccessRate(g1, a, 20, fn) != SuccessRate(g2, a, 20, fn) {
+		t.Fatal("same seed produced different success rates")
+	}
+}

@@ -1,0 +1,47 @@
+package vbyte
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode: Decode must never panic on arbitrary input, and whatever
+// it accepts must re-encode to the bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x7f, 0xff})
+	f.Add(Append(nil, 1<<40))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re := Append(nil, v)
+		if !bytes.Equal(re, data[:n]) {
+			t.Fatalf("re-encode mismatch: %x vs %x", re, data[:n])
+		}
+	})
+}
+
+// FuzzDecodeGaps: arbitrary input must not panic, and accepted output
+// must be strictly increasing.
+func FuzzDecodeGaps(f *testing.F) {
+	seed, _ := AppendGaps(nil, []uint64{1, 5, 9})
+	f.Add(seed)
+	f.Add([]byte{0x83, 0x80, 0x80, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		vals, _, err := DecodeGaps(data, 1024)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(vals); i++ {
+			if vals[i] < vals[i-1] {
+				t.Fatalf("decoded gaps not monotone at %d", i)
+			}
+		}
+	})
+}

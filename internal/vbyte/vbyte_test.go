@@ -1,0 +1,155 @@
+package vbyte
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripValues(t *testing.T) {
+	cases := []uint64{0, 1, 127, 128, 255, 16383, 16384, 1 << 21, 1 << 28, math.MaxUint32, math.MaxUint64}
+	for _, v := range cases {
+		buf := Append(nil, v)
+		got, n, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("%d: %v", v, err)
+		}
+		if got != v || n != len(buf) {
+			t.Fatalf("%d: decoded %d (%d bytes of %d)", v, got, n, len(buf))
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		got, _, err := Decode(Append(nil, v))
+		return err == nil && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodedSizes(t *testing.T) {
+	// Seven payload bits per byte.
+	sizes := map[uint64]int{0: 1, 127: 1, 128: 2, 16383: 2, 16384: 3, math.MaxUint64: 10}
+	for v, want := range sizes {
+		if got := len(Append(nil, v)); got != want {
+			t.Fatalf("size(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty buffer accepted")
+	}
+	// Continuation bytes forever: truncated.
+	if _, _, err := Decode([]byte{0x01, 0x02, 0x03}); err == nil {
+		t.Fatal("unterminated value accepted")
+	}
+	// 11 continuation bytes: overruns MaxLen.
+	long := make([]byte, 11)
+	if _, _, err := Decode(long); err == nil {
+		t.Fatal("overlong value accepted")
+	}
+	// Overflow: 10 bytes all carrying payload into bit 70.
+	over := []byte{0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0xff}
+	if _, _, err := Decode(over); err == nil {
+		t.Fatal("overflowing value accepted")
+	}
+}
+
+func TestSliceRoundTrip(t *testing.T) {
+	vs := []uint64{5, 0, 300, 1 << 40}
+	buf := AppendSlice(nil, vs)
+	got, used, err := DecodeSlice(buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(buf) || len(got) != len(vs) {
+		t.Fatalf("used %d of %d, %d values", used, len(buf), len(got))
+	}
+	for i := range vs {
+		if got[i] != vs[i] {
+			t.Fatalf("element %d: %d != %d", i, got[i], vs[i])
+		}
+	}
+}
+
+func TestSliceLengthLimit(t *testing.T) {
+	buf := AppendSlice(nil, make([]uint64, 50))
+	if _, _, err := DecodeSlice(buf, 10); err == nil {
+		t.Fatal("oversized slice accepted")
+	}
+}
+
+func TestGapsRoundTrip(t *testing.T) {
+	sorted := []uint64{3, 4, 10, 1000, 1001}
+	buf, err := AppendGaps(nil, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeGaps(buf, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("element %d: %d != %d", i, got[i], sorted[i])
+		}
+	}
+}
+
+func TestGapsRejectNonIncreasing(t *testing.T) {
+	if _, err := AppendGaps(nil, []uint64{5, 5}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if _, err := AppendGaps(nil, []uint64{5, 3}); err == nil {
+		t.Fatal("decreasing accepted")
+	}
+}
+
+func TestGapsCompress(t *testing.T) {
+	// Dense doc numbers compress far below 8 bytes per entry.
+	sorted := make([]uint64, 1000)
+	for i := range sorted {
+		sorted[i] = uint64(1000 + 3*i)
+	}
+	buf, err := AppendGaps(nil, sorted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) > 1200 {
+		t.Fatalf("1000 dense postings encoded to %d bytes; compression broken", len(buf))
+	}
+}
+
+func TestGapsEmpty(t *testing.T) {
+	buf, err := AppendGaps(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeGaps(buf, 10)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty gaps round-trip: %v, %d values", err, len(got))
+	}
+}
+
+func TestDecodeRejectsNonCanonical(t *testing.T) {
+	// 0x30 0x80 is an overlong encoding of 48 (a trailing zero
+	// continuation group); only 0xb0 is canonical. Found by FuzzDecode.
+	if _, _, err := Decode([]byte{0x30, 0x80}); err == nil {
+		t.Fatal("overlong encoding accepted")
+	}
+	// The genuinely canonical single zero byte still decodes.
+	v, n, err := Decode([]byte{0x80})
+	if err != nil || v != 0 || n != 1 {
+		t.Fatalf("canonical zero: %d,%d,%v", v, n, err)
+	}
+	// And 128 = [0x00 0x81] (final group nonzero) is canonical.
+	v, n, err = Decode([]byte{0x00, 0x81})
+	if err != nil || v != 128 || n != 2 {
+		t.Fatalf("canonical 128: %d,%d,%v", v, n, err)
+	}
+}

@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeQuery: a hostile peer controls the query body entirely;
+// decoding must never panic or over-allocate, only return errors or a
+// structurally valid query.
+func FuzzDecodeQuery(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x81, 7, 0x81, 3, 0x81, 5, 0x81, 0x80})
+	f.Fuzz(func(t *testing.T, body []byte) {
+		q, err := DecodeQuery(body)
+		if err != nil {
+			return
+		}
+		for i, e := range q.Entries {
+			if e.Flag == nil || e.Flag.Sign() <= 0 || e.Flag.Cmp(q.Pub.N) >= 0 {
+				t.Fatalf("entry %d flag escaped validation", i)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResponse mirrors FuzzDecodeQuery for the response path.
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add(bytes.Repeat([]byte{0x81}, 16))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		cands, _, err := DecodeResponse(body)
+		if err != nil {
+			return
+		}
+		for i, c := range cands {
+			if c.Enc == nil {
+				t.Fatalf("candidate %d has nil ciphertext", i)
+			}
+		}
+	})
+}
+
+// FuzzReadMessage: arbitrary streams must produce clean errors.
+func FuzzReadMessage(f *testing.F) {
+	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
+	f.Add([]byte{0xff, 0xff, 0xff, 0x7f})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		typ, body, err := ReadMessage(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(body)+1+4 > len(data) {
+			t.Fatalf("type %d: body longer than input", typ)
+		}
+	})
+}

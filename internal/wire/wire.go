@@ -1,0 +1,237 @@
+// Package wire frames the private-retrieval protocol messages for
+// transport over a byte stream: the embellished query the client sends
+// (term ids with encrypted flags plus the Benaloh public key) and the
+// candidate response the server returns (document ids with encrypted
+// scores). The paper's protocol is client-server; this package is what
+// turns the in-process Algorithms 3-5 into a deployable service.
+//
+// Framing: every message is a 4-byte little-endian payload length, a
+// type byte, and the body. Integers are vbyte-coded; big integers are
+// length-prefixed big-endian bytes. Lengths are validated against hard
+// caps before allocation, so a hostile peer cannot force huge
+// allocations with a forged header.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/core"
+	"embellish/internal/index"
+	"embellish/internal/vbyte"
+	"embellish/internal/wordnet"
+)
+
+// Message types.
+const (
+	TypeQuery    = 1
+	TypeResponse = 2
+	TypeError    = 3
+)
+
+// Caps on attacker-controlled sizes.
+const (
+	MaxFrame      = 64 << 20 // 64 MiB per message
+	maxEntries    = 1 << 22
+	maxCandidates = 1 << 24
+	maxIntBytes   = 1 << 16 // 512 Kbit moduli are far beyond practical KeyLen
+)
+
+// WriteQuery frames and writes an embellished query.
+func WriteQuery(w io.Writer, q *core.Query) error {
+	if q == nil || q.Pub == nil {
+		return errors.New("wire: nil query")
+	}
+	var body []byte
+	body = append(body, TypeQuery)
+	body = appendBig(body, q.Pub.N)
+	body = appendBig(body, q.Pub.G)
+	body = appendBig(body, q.Pub.R)
+	body = vbyte.Append(body, uint64(len(q.Entries)))
+	for _, e := range q.Entries {
+		body = vbyte.Append(body, uint64(e.Term))
+		body = appendBig(body, e.Flag)
+	}
+	return writeFrame(w, body)
+}
+
+// WriteResponse frames and writes a candidate response.
+func WriteResponse(w io.Writer, resp *core.Response, stats core.Stats) error {
+	var body []byte
+	body = append(body, TypeResponse)
+	body = vbyte.Append(body, uint64(len(resp.Docs)))
+	for _, d := range resp.Docs {
+		body = vbyte.Append(body, uint64(d.Doc))
+		body = appendBig(body, d.Enc)
+	}
+	body = vbyte.Append(body, uint64(stats.Postings))
+	body = vbyte.Append(body, uint64(stats.IO.Seeks))
+	body = vbyte.Append(body, uint64(stats.IO.Bytes))
+	return writeFrame(w, body)
+}
+
+// WriteError frames and writes a server-side error message.
+func WriteError(w io.Writer, msg string) error {
+	if len(msg) > 1<<16 {
+		msg = msg[:1<<16]
+	}
+	body := append([]byte{TypeError}, msg...)
+	return writeFrame(w, body)
+}
+
+// ReadMessage reads one frame and returns its type byte and body.
+func ReadMessage(r io.Reader) (byte, []byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(lenb[:])
+	if n == 0 || n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame length %d out of range", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading frame: %w", err)
+	}
+	return body[0], body[1:], nil
+}
+
+// DecodeQuery parses a TypeQuery body.
+func DecodeQuery(body []byte) (*core.Query, error) {
+	pubN, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: query N: %w", err)
+	}
+	pubG, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: query G: %w", err)
+	}
+	pubR, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: query R: %w", err)
+	}
+	if pubN.Sign() <= 0 || pubG.Sign() <= 0 || pubR.Sign() <= 0 {
+		return nil, errors.New("wire: nonpositive key parameter")
+	}
+	n, used, err := vbyte.Decode(body)
+	if err != nil || n > maxEntries {
+		return nil, fmt.Errorf("wire: entry count: %w", orRange(err))
+	}
+	body = body[used:]
+	q := &core.Query{Pub: &benaloh.PublicKey{N: pubN, G: pubG, R: pubR}}
+	q.Entries = make([]core.QueryEntry, n)
+	for i := range q.Entries {
+		term, used, err := vbyte.Decode(body)
+		if err != nil || term > 1<<31 {
+			return nil, fmt.Errorf("wire: entry %d term: %w", i, orRange(err))
+		}
+		body = body[used:]
+		flag, rest, err := decodeBig(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: entry %d flag: %w", i, err)
+		}
+		if flag.Sign() <= 0 || flag.Cmp(pubN) >= 0 {
+			return nil, fmt.Errorf("wire: entry %d flag outside Z_n", i)
+		}
+		body = rest
+		q.Entries[i] = core.QueryEntry{Term: wordnet.TermID(term), Flag: flag}
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing bytes after query")
+	}
+	return q, nil
+}
+
+// Candidate is one decoded response document.
+type Candidate struct {
+	Doc index.DocID
+	Enc *big.Int
+}
+
+// ResponseStats carries the server cost figures across the wire.
+type ResponseStats struct {
+	Postings int
+	Seeks    int
+	IOBytes  int
+}
+
+// DecodeResponse parses a TypeResponse body.
+func DecodeResponse(body []byte) ([]Candidate, ResponseStats, error) {
+	var st ResponseStats
+	n, used, err := vbyte.Decode(body)
+	if err != nil || n > maxCandidates {
+		return nil, st, fmt.Errorf("wire: candidate count: %w", orRange(err))
+	}
+	body = body[used:]
+	out := make([]Candidate, n)
+	for i := range out {
+		doc, used, err := vbyte.Decode(body)
+		if err != nil || doc > 1<<31 {
+			return nil, st, fmt.Errorf("wire: candidate %d doc: %w", i, orRange(err))
+		}
+		body = body[used:]
+		enc, rest, err := decodeBig(body)
+		if err != nil {
+			return nil, st, fmt.Errorf("wire: candidate %d score: %w", i, err)
+		}
+		body = rest
+		out[i] = Candidate{Doc: index.DocID(doc), Enc: enc}
+	}
+	for _, dst := range []*int{&st.Postings, &st.Seeks, &st.IOBytes} {
+		v, used, err := vbyte.Decode(body)
+		if err != nil {
+			return nil, st, fmt.Errorf("wire: stats: %w", err)
+		}
+		*dst = int(v)
+		body = body[used:]
+	}
+	if len(body) != 0 {
+		return nil, st, errors.New("wire: trailing bytes after response")
+	}
+	return out, st, nil
+}
+
+func writeFrame(w io.Writer, body []byte) error {
+	if len(body) > MaxFrame {
+		return fmt.Errorf("wire: frame of %d bytes exceeds limit", len(body))
+	}
+	var lenb [4]byte
+	binary.LittleEndian.PutUint32(lenb[:], uint32(len(body)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+func appendBig(dst []byte, v *big.Int) []byte {
+	b := v.Bytes()
+	dst = vbyte.Append(dst, uint64(len(b)))
+	return append(dst, b...)
+}
+
+func decodeBig(buf []byte) (*big.Int, []byte, error) {
+	n, used, err := vbyte.Decode(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if n > maxIntBytes {
+		return nil, nil, fmt.Errorf("big integer of %d bytes exceeds limit", n)
+	}
+	buf = buf[used:]
+	if uint64(len(buf)) < n {
+		return nil, nil, errors.New("truncated big integer")
+	}
+	return new(big.Int).SetBytes(buf[:n]), buf[n:], nil
+}
+
+func orRange(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("value out of range")
+}

@@ -1,0 +1,198 @@
+package wire
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/core"
+	"embellish/internal/detrand"
+	"embellish/internal/index"
+	"embellish/internal/simio"
+	"embellish/internal/wordnet"
+)
+
+func sampleKey(t *testing.T) *benaloh.PrivateKey {
+	t.Helper()
+	k, err := benaloh.GenerateKey(detrand.New("wire-test"), 192, benaloh.Pow3(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+func sampleQuery(t *testing.T, k *benaloh.PrivateKey) *core.Query {
+	t.Helper()
+	q := &core.Query{Pub: &k.PublicKey}
+	rnd := detrand.New("wire-flags")
+	for i := 0; i < 6; i++ {
+		flag, err := k.EncryptInt(rnd, int64(i%2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		q.Entries = append(q.Entries, core.QueryEntry{Term: wordnet.TermID(i * 7), Flag: flag})
+	}
+	return q
+}
+
+func TestQueryRoundTrip(t *testing.T) {
+	k := sampleKey(t)
+	q := sampleQuery(t, k)
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeQuery {
+		t.Fatalf("type = %d", typ)
+	}
+	got, err := DecodeQuery(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Pub.N.Cmp(q.Pub.N) != 0 || got.Pub.G.Cmp(q.Pub.G) != 0 || got.Pub.R.Cmp(q.Pub.R) != 0 {
+		t.Fatal("public key mangled")
+	}
+	if len(got.Entries) != len(q.Entries) {
+		t.Fatalf("%d entries, want %d", len(got.Entries), len(q.Entries))
+	}
+	for i := range q.Entries {
+		if got.Entries[i].Term != q.Entries[i].Term || got.Entries[i].Flag.Cmp(q.Entries[i].Flag) != 0 {
+			t.Fatalf("entry %d mangled", i)
+		}
+		// Flags still decrypt to the right bit.
+		m, err := k.DecryptInt(got.Entries[i].Flag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m != int64(i%2) {
+			t.Fatalf("entry %d decrypts to %d", i, m)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	k := sampleKey(t)
+	resp := &core.Response{}
+	rnd := detrand.New("wire-resp")
+	for i := 0; i < 4; i++ {
+		enc, err := k.EncryptInt(rnd, int64(i*10))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Docs = append(resp.Docs, core.DocScore{Doc: index.DocID(100 + i), Enc: enc})
+	}
+	stats := core.Stats{Postings: 42, IO: simio.Accounting{Seeks: 3, Bytes: 9001}}
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, resp, stats); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeResponse {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	cands, st, err := DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Postings != 42 || st.Seeks != 3 || st.IOBytes != 9001 {
+		t.Fatalf("stats mangled: %+v", st)
+	}
+	if len(cands) != 4 {
+		t.Fatalf("%d candidates", len(cands))
+	}
+	for i, c := range cands {
+		if int(c.Doc) != 100+i {
+			t.Fatalf("candidate %d doc %d", i, c.Doc)
+		}
+		m, err := k.DecryptInt(c.Enc)
+		if err != nil || m != int64(i*10) {
+			t.Fatalf("candidate %d decrypts to %d (%v)", i, m, err)
+		}
+	}
+}
+
+func TestErrorMessage(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteError(&buf, "boom"); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeError {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	if string(body) != "boom" {
+		t.Fatalf("body %q", body)
+	}
+}
+
+func TestReadMessageRejectsHugeFrame(t *testing.T) {
+	// Forged length header far beyond MaxFrame must be rejected without
+	// allocation.
+	buf := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := ReadMessage(bytes.NewReader(buf)); err == nil {
+		t.Fatal("4GiB frame accepted")
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	k := sampleKey(t)
+	q := sampleQuery(t, k)
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, _, err := ReadMessage(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("truncated frame accepted")
+	}
+}
+
+func TestDecodeQueryRejectsMalformed(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x81},                      // N of length 1 but no bytes... (length=1, truncated)
+		bytes.Repeat([]byte{0}, 30), // unterminated varints
+	}
+	for i, body := range cases {
+		if _, err := DecodeQuery(body); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeQueryRejectsFlagOutsideGroup(t *testing.T) {
+	k := sampleKey(t)
+	q := sampleQuery(t, k)
+	// Corrupt one flag to exceed the modulus.
+	q.Entries[0].Flag = new(big.Int).Add(k.N, big.NewInt(5))
+	var buf bytes.Buffer
+	if err := WriteQuery(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeQuery(body); err == nil {
+		t.Fatal("flag outside Z_n accepted")
+	}
+}
+
+func TestDecodeResponseRejectsTrailing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteResponse(&buf, &core.Response{}, core.Stats{}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecodeResponse(append(body, 0x99)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}

@@ -1,0 +1,348 @@
+// Package wngen synthesizes a WordNet-scale lexical database.
+//
+// The paper's bucket-formation pipeline (Sections 3.2-3.4) consumes the
+// WordNet noun database: 117,798 nouns mapping to 82,115 synsets, arranged
+// in a hypernym hierarchy rooted at 'entity' whose depth distribution is
+// shown in Figure 2 (specificity 0-18, with roughly one third of the terms
+// at specificity 7). The real database cannot ship with this repository,
+// so this package generates a synthetic lexicon with the same structural
+// properties:
+//
+//   - a single hypernym DAG rooted at a synset named 'entity';
+//   - per-level synset counts shaped so the resulting term-specificity
+//     histogram matches Figure 2;
+//   - an average of ~1.43 lemmas per synset, with polysemous lemmas and
+//     multi-word compound lemmas in WordNet-like proportions;
+//   - antonym, derivational, meronym/holonym and domain relations at
+//     plausible densities (the sequencing algorithm consumes these).
+//
+// Every metric in the paper's evaluation depends only on this graph
+// structure plus the specificity values, never on the actual word strings,
+// so the substitution preserves the experiments' behaviour. Generation is
+// deterministic given the seed.
+package wngen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"embellish/internal/wordnet"
+)
+
+// Config controls the shape and scale of the generated lexicon.
+type Config struct {
+	// Synsets is the target number of synsets. Defaults to 82115, the
+	// WordNet 2.1 noun synset count cited in Section 3.2.
+	Synsets int
+	// TermsPerSynset is the mean number of lemmas per synset. Defaults to
+	// 1.4346 (117798 nouns / 82115 synsets).
+	TermsPerSynset float64
+	// PolysemyRate is the probability that a synset reuses an existing
+	// lemma (giving that lemma a second sense). Defaults to 0.04.
+	PolysemyRate float64
+	// CompoundRate is the probability that a generated lemma is a
+	// multi-word compound. Defaults to 0.25.
+	CompoundRate float64
+	// AntonymRate, DerivationRate, MeronymRate and DomainRate are the
+	// expected number of edges of each type per synset.
+	AntonymRate    float64
+	DerivationRate float64
+	MeronymRate    float64
+	DomainRate     float64
+	// Seed seeds the deterministic generator.
+	Seed int64
+}
+
+// DefaultConfig returns the configuration that reproduces the WordNet noun
+// database scale used throughout the paper.
+func DefaultConfig() Config {
+	return Config{
+		Synsets:        82115,
+		TermsPerSynset: 117798.0 / 82115.0,
+		PolysemyRate:   0.04,
+		CompoundRate:   0.25,
+		AntonymRate:    0.02,
+		DerivationRate: 0.35,
+		MeronymRate:    0.15,
+		DomainRate:     0.06,
+		Seed:           1,
+	}
+}
+
+// ScaledConfig returns DefaultConfig scaled to approximately n synsets,
+// for fast tests and examples.
+func ScaledConfig(n int, seed int64) Config {
+	c := DefaultConfig()
+	c.Synsets = n
+	c.Seed = seed
+	return c
+}
+
+// levelShape is the fraction of synsets at each hypernym depth 0..18. It
+// is shaped to reproduce Figure 2: specificity ranges 0-18; exactly one
+// synset has specificity 0 and four have specificity 1 (both called out in
+// the paper's text); the mode is at 7 with roughly a third of all terms.
+var levelShape = [19]float64{
+	0, 0, // levels 0 and 1 are pinned to 1 and 4 synsets exactly
+	0.004, 0.014, 0.042, 0.090, 0.152, 0.300, 0.152, 0.092,
+	0.060, 0.036, 0.023, 0.014, 0.009, 0.0055, 0.0033, 0.0018, 0.0009,
+}
+
+// Generate builds a synthetic lexical database. The returned database is
+// frozen (specificity computed) and ready for sequencing.
+func Generate(cfg Config) *wordnet.Database {
+	if cfg.Synsets <= 0 {
+		cfg.Synsets = DefaultConfig().Synsets
+	}
+	if cfg.TermsPerSynset < 1 {
+		cfg.TermsPerSynset = DefaultConfig().TermsPerSynset
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	db := wordnet.NewDatabase()
+	nm := newNamer(rng, cfg.CompoundRate)
+
+	// Determine the per-level synset counts.
+	counts := levelCounts(cfg.Synsets)
+
+	// Build the hypernym hierarchy level by level. Each synset at level L
+	// picks a parent from level L-1 by preferential attachment, so the
+	// per-synset fan-out is heavy-tailed at every depth — as in the real
+	// WordNet noun hierarchy, where a handful of synsets at each level
+	// (taxonomic genera, body parts, chemical families, ...) anchor large
+	// hyponym fans while most have one or two. Heavy-tailed fan-out at all
+	// depths keeps synset connectivity from degenerating into a function
+	// of depth, which matters downstream: Algorithm 1 seeds its sequences
+	// in decreasing-connectivity order, and the stationarity of term
+	// specificity along the resulting sequence (which the paper's Figure
+	// 5(a) result relies on) holds only when high-connectivity seeds occur
+	// at every depth. A small fraction of synsets picks a second parent
+	// (WordNet's noun hierarchy is a DAG, not a tree).
+	levels := make([][]wordnet.SynsetID, len(counts))
+	var allTerms []wordnet.TermID
+	addSynset := func(level int) wordnet.SynsetID {
+		if level == 0 && db.NumSynsets() == 0 {
+			// The hierarchy root is literally 'entity', as in WordNet.
+			return db.AddSynset([]wordnet.TermID{db.AddTerm("entity")}, "that which is perceived to have its own distinct existence")
+		}
+		nTerms := 1
+		// Geometric-ish extra lemmas so the mean matches TermsPerSynset.
+		for rng.Float64() < cfg.TermsPerSynset-1 && nTerms < 5 {
+			nTerms++
+		}
+		terms := make([]wordnet.TermID, 0, nTerms)
+		for i := 0; i < nTerms; i++ {
+			if len(allTerms) > 64 && rng.Float64() < cfg.PolysemyRate {
+				// Reuse an existing lemma: polysemy.
+				t := allTerms[rng.Intn(len(allTerms))]
+				terms = append(terms, t)
+				continue
+			}
+			t := db.AddTerm(nm.fresh(db))
+			allTerms = append(allTerms, t)
+			terms = append(terms, t)
+		}
+		return db.AddSynset(terms, fmt.Sprintf("synthetic sense (level %d)", level))
+	}
+	for level, n := range counts {
+		levels[level] = make([]wordnet.SynsetID, 0, n)
+		// attach lists every parent once per child it already has (plus
+		// once unconditionally), so sampling from it is preferential
+		// attachment: P(parent) ∝ 1 + #children. This yields the
+		// power-law fan-out observed in WordNet.
+		var attach []wordnet.SynsetID
+		if level > 0 {
+			attach = append(attach, levels[level-1]...)
+		}
+		for i := 0; i < n; i++ {
+			id := addSynset(level)
+			levels[level] = append(levels[level], id)
+			if level > 0 {
+				parent := attach[rng.Intn(len(attach))]
+				db.AddRelation(parent, id, wordnet.RelHyponym)
+				attach = append(attach, parent)
+				if rng.Float64() < 0.03 && len(levels[level-1]) > 1 {
+					second := levels[level-1][rng.Intn(len(levels[level-1]))]
+					db.AddRelation(second, id, wordnet.RelHyponym)
+				}
+			}
+		}
+	}
+
+	// Non-hierarchy relations. In WordNet these link synsets that are
+	// already semantically close — an antonym or derivational relative of
+	// a concept sits in the same corner of the hierarchy, and a part
+	// (meronym) sits near its whole. Wiring them to RANDOM targets would
+	// turn the graph into a small world whose pairwise distances all
+	// collapse to a few hops, destroying the distance variance the
+	// Figure 5(b)/6(b) metrics depend on; so targets are drawn from the
+	// local neighborhood (siblings and cousins). Domain edges are the
+	// one genuinely non-local type: they link specific synsets to
+	// shallow topic synsets, as in WordNet; the paper both skips them in
+	// sequencing and penalizes them (weight 3) in the distance metric.
+	parentOf := make([]wordnet.SynsetID, db.NumSynsets())
+	for l := 1; l < len(levels); l++ {
+		for _, s := range levels[l] {
+			for _, r := range db.Synset(s).Relations {
+				if r.Type == wordnet.RelHypernym {
+					parentOf[s] = r.To
+					break
+				}
+			}
+		}
+	}
+	// pickNear returns a sibling (same parent) or, failing that, a
+	// cousin (same grandparent) of s at the same level.
+	pickNear := func(s wordnet.SynsetID, l int) (wordnet.SynsetID, bool) {
+		p := parentOf[s]
+		var cands []wordnet.SynsetID
+		for _, r := range db.Synset(p).Relations {
+			if r.Type == wordnet.RelHyponym && r.To != s {
+				cands = append(cands, r.To)
+			}
+		}
+		if len(cands) == 0 && l >= 2 {
+			gp := parentOf[p]
+			for _, r := range db.Synset(gp).Relations {
+				if r.Type != wordnet.RelHyponym || r.To == p {
+					continue
+				}
+				for _, rr := range db.Synset(r.To).Relations {
+					if rr.Type == wordnet.RelHyponym {
+						cands = append(cands, rr.To)
+					}
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return 0, false
+		}
+		return cands[rng.Intn(len(cands))], true
+	}
+	pickAtLevel := func(l int) wordnet.SynsetID {
+		return levels[l][rng.Intn(len(levels[l]))]
+	}
+	for l := 2; l < len(levels); l++ {
+		for _, s := range levels[l] {
+			if rng.Float64() < cfg.AntonymRate {
+				if t, ok := pickNear(s, l); ok {
+					db.AddRelation(s, t, wordnet.RelAntonym)
+				}
+			}
+			if rng.Float64() < cfg.DerivationRate {
+				if t, ok := pickNear(s, l); ok {
+					db.AddRelation(s, t, wordnet.RelDerivation)
+				}
+			}
+			if rng.Float64() < cfg.MeronymRate {
+				// A whole is a near relative one level up: the parent's
+				// sibling or the parent itself.
+				w := parentOf[s]
+				if t, ok := pickNear(w, l-1); ok && rng.Float64() < 0.5 {
+					w = t
+				}
+				db.AddRelation(w, s, wordnet.RelMeronym)
+			}
+			if rng.Float64() < cfg.DomainRate {
+				lt := 3 + rng.Intn(3)
+				if lt < len(levels) {
+					db.AddRelation(s, pickAtLevel(lt), wordnet.RelDomainTopic)
+				}
+			}
+		}
+	}
+
+	db.Freeze()
+	return db
+}
+
+// levelCounts apportions n synsets across hypernym depths according to
+// levelShape, pinning level 0 to exactly 1 synset and level 1 to exactly
+// min(4, ...) synsets as reported in Section 3.2.
+func levelCounts(n int) []int {
+	counts := make([]int, len(levelShape))
+	counts[0] = 1
+	counts[1] = 4
+	if n < 6 {
+		// Degenerate scale: a root plus a short chain.
+		counts = counts[:2]
+		counts[1] = n - 1
+		if counts[1] < 0 {
+			counts[1] = 0
+		}
+		return counts
+	}
+	remaining := n - 5
+	var shapeSum float64
+	for _, f := range levelShape[2:] {
+		shapeSum += f
+	}
+	assigned := 0
+	for l := 2; l < len(levelShape); l++ {
+		c := int(float64(remaining) * levelShape[l] / shapeSum)
+		if c == 0 {
+			c = 1 // keep the full 0..18 depth range populated
+		}
+		counts[l] = c
+		assigned += c
+	}
+	// Put any rounding remainder at the mode (level 7).
+	counts[7] += remaining - assigned
+	if counts[7] < 1 {
+		counts[7] = 1
+	}
+	return counts
+}
+
+// namer produces fresh pseudo-English lemmas from syllables. Names are
+// only labels; no experiment depends on them, but they must be unique and
+// look plausible in examples.
+type namer struct {
+	rng          *rand.Rand
+	compoundRate float64
+	used         map[string]bool
+}
+
+var onsets = []string{"", "b", "c", "d", "f", "g", "h", "j", "k", "l", "m",
+	"n", "p", "r", "s", "t", "v", "w", "z", "br", "ch", "cl", "cr", "dr",
+	"fl", "gr", "ph", "pl", "pr", "sc", "sh", "sp", "st", "th", "tr"}
+var nuclei = []string{"a", "e", "i", "o", "u", "ae", "ea", "ia", "io", "ou", "y"}
+var codas = []string{"", "", "l", "m", "n", "r", "s", "t", "x", "st", "nd", "ph", "rm", "ss"}
+
+func newNamer(rng *rand.Rand, compoundRate float64) *namer {
+	return &namer{rng: rng, compoundRate: compoundRate, used: make(map[string]bool)}
+}
+
+func (nm *namer) syllable() string {
+	return onsets[nm.rng.Intn(len(onsets))] +
+		nuclei[nm.rng.Intn(len(nuclei))] +
+		codas[nm.rng.Intn(len(codas))]
+}
+
+func (nm *namer) word(minSyl, maxSyl int) string {
+	n := minSyl + nm.rng.Intn(maxSyl-minSyl+1)
+	s := ""
+	for i := 0; i < n; i++ {
+		s += nm.syllable()
+	}
+	return s
+}
+
+// fresh returns a lemma not yet present in db and not previously issued.
+func (nm *namer) fresh(db *wordnet.Database) string {
+	for {
+		var s string
+		if nm.rng.Float64() < nm.compoundRate {
+			s = nm.word(1, 3) + " " + nm.word(1, 3)
+		} else {
+			s = nm.word(2, 4)
+		}
+		if nm.used[s] {
+			continue
+		}
+		if _, exists := db.Lookup(s); exists {
+			continue
+		}
+		nm.used[s] = true
+		return s
+	}
+}

@@ -1,0 +1,164 @@
+package wngen
+
+import (
+	"testing"
+
+	"embellish/internal/wordnet"
+)
+
+func TestGenerateScale(t *testing.T) {
+	db := Generate(ScaledConfig(3000, 1))
+	if got := db.NumSynsets(); got < 2900 || got > 3100 {
+		t.Fatalf("NumSynsets = %d, want ≈3000", got)
+	}
+	// Mean lemmas per synset ≈ 1.43 implies terms slightly above synsets
+	// minus polysemy reuse.
+	if db.NumTerms() < db.NumSynsets() {
+		t.Fatalf("NumTerms %d < NumSynsets %d; generator is under-producing lemmas",
+			db.NumTerms(), db.NumSynsets())
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(ScaledConfig(500, 42))
+	b := Generate(ScaledConfig(500, 42))
+	if a.NumTerms() != b.NumTerms() || a.NumSynsets() != b.NumSynsets() {
+		t.Fatal("same seed produced different scales")
+	}
+	for i := 0; i < a.NumTerms(); i++ {
+		if a.Lemma(wordnet.TermID(i)) != b.Lemma(wordnet.TermID(i)) {
+			t.Fatalf("lemma %d differs: %q vs %q", i,
+				a.Lemma(wordnet.TermID(i)), b.Lemma(wordnet.TermID(i)))
+		}
+	}
+}
+
+func TestGenerateSeedSensitivity(t *testing.T) {
+	a := Generate(ScaledConfig(500, 1))
+	b := Generate(ScaledConfig(500, 2))
+	same := true
+	for i := 0; i < 50 && i < a.NumTerms() && i < b.NumTerms(); i++ {
+		if a.Lemma(wordnet.TermID(i)) != b.Lemma(wordnet.TermID(i)) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical lexicons")
+	}
+}
+
+func TestSpecificityShapeMatchesFigure2(t *testing.T) {
+	db := Generate(ScaledConfig(20000, 3))
+	h := db.SpecificityHistogram()
+	if len(h) < 19 {
+		t.Fatalf("specificity range %d, want 0..18 populated", len(h)-1)
+	}
+	if h[0] < 1 {
+		t.Fatal("no specificity-0 term ('entity' root)")
+	}
+	// The mode must be at 7 (Figure 2: about one-third of terms at 7).
+	mode, best := 0, 0
+	total := 0
+	for s, c := range h {
+		total += c
+		if c > best {
+			best, mode = c, s
+		}
+	}
+	if mode != 7 {
+		t.Fatalf("specificity mode at %d, want 7 (histogram %v)", mode, h)
+	}
+	frac := float64(h[7]) / float64(total)
+	if frac < 0.2 || frac > 0.45 {
+		t.Fatalf("fraction at specificity 7 = %.2f, want ≈1/3", frac)
+	}
+}
+
+func TestExactLowLevelCounts(t *testing.T) {
+	// Section 3.2: exactly one synset has specificity 0 and four have
+	// specificity 1.
+	db := Generate(ScaledConfig(10000, 5))
+	c0, c1 := 0, 0
+	for i := 0; i < db.NumSynsets(); i++ {
+		switch db.SynsetSpecificity(wordnet.SynsetID(i)) {
+		case 0:
+			c0++
+		case 1:
+			c1++
+		}
+	}
+	if c0 != 1 || c1 != 4 {
+		t.Fatalf("level counts (0: %d, 1: %d), want (1, 4)", c0, c1)
+	}
+}
+
+func TestRelationsPresent(t *testing.T) {
+	db := Generate(ScaledConfig(5000, 9))
+	counts := make(map[wordnet.RelationType]int)
+	for i := 0; i < db.NumSynsets(); i++ {
+		for _, r := range db.Synset(wordnet.SynsetID(i)).Relations {
+			counts[r.Type]++
+		}
+	}
+	for _, typ := range []wordnet.RelationType{
+		wordnet.RelHypernym, wordnet.RelHyponym, wordnet.RelAntonym,
+		wordnet.RelDerivation, wordnet.RelMeronym, wordnet.RelHolonym,
+		wordnet.RelDomainTopic,
+	} {
+		if counts[typ] == 0 {
+			t.Errorf("generator produced no %v relations", typ)
+		}
+	}
+}
+
+func TestEveryTermHasSynset(t *testing.T) {
+	db := Generate(ScaledConfig(2000, 11))
+	for i := 0; i < db.NumTerms(); i++ {
+		if len(db.SynsetsOf(wordnet.TermID(i))) == 0 {
+			t.Fatalf("term %d (%q) belongs to no synset", i, db.Lemma(wordnet.TermID(i)))
+		}
+	}
+}
+
+func TestPolysemyOccurs(t *testing.T) {
+	db := Generate(ScaledConfig(5000, 13))
+	poly := 0
+	for i := 0; i < db.NumTerms(); i++ {
+		if len(db.SynsetsOf(wordnet.TermID(i))) > 1 {
+			poly++
+		}
+	}
+	if poly == 0 {
+		t.Fatal("no polysemous terms generated")
+	}
+}
+
+func TestCompoundLemmas(t *testing.T) {
+	db := Generate(ScaledConfig(2000, 17))
+	compounds := 0
+	for i := 0; i < db.NumTerms(); i++ {
+		for _, r := range db.Lemma(wordnet.TermID(i)) {
+			if r == ' ' {
+				compounds++
+				break
+			}
+		}
+	}
+	if compounds == 0 {
+		t.Fatal("no multi-word lemmas generated")
+	}
+}
+
+func TestDefaultConfigFullScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-scale generation in -short mode")
+	}
+	db := Generate(DefaultConfig())
+	if got := db.NumSynsets(); got < 80000 || got > 84000 {
+		t.Fatalf("NumSynsets = %d, want ≈82115", got)
+	}
+	if got := db.NumTerms(); got < 100000 {
+		t.Fatalf("NumTerms = %d, want ≈117798", got)
+	}
+}

@@ -1,0 +1,208 @@
+package wordnet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"embellish/internal/vbyte"
+)
+
+// On-disk format: magic "ELEX" | version u8 | lemma count + (len,bytes)*
+// | synset count + per synset (term ids, relations as (type,to) pairs,
+// gloss) | crc32(payload). Inverse relations are stored explicitly (they
+// are cheap and keep the loader trivial); the loader re-freezes, so
+// specificity caches are rebuilt rather than persisted.
+
+const (
+	lexMagic      = "ELEX"
+	lexVersion    = 1
+	maxReasonable = 1 << 31
+)
+
+// WriteTo serializes a frozen database. It implements io.WriterTo.
+func (db *Database) WriteTo(w io.Writer) (int64, error) {
+	if !db.frozen {
+		return 0, errors.New("wordnet: serialize requires a frozen database")
+	}
+	var payload []byte
+	payload = append(payload, lexMagic...)
+	payload = append(payload, lexVersion)
+	payload = vbyte.Append(payload, uint64(len(db.lemmas)))
+	for _, l := range db.lemmas {
+		payload = vbyte.Append(payload, uint64(len(l)))
+		payload = append(payload, l...)
+	}
+	payload = vbyte.Append(payload, uint64(len(db.synsets)))
+	for _, ss := range db.synsets {
+		payload = vbyte.Append(payload, uint64(len(ss.Terms)))
+		for _, t := range ss.Terms {
+			payload = vbyte.Append(payload, uint64(t))
+		}
+		payload = vbyte.Append(payload, uint64(len(ss.Relations)))
+		for _, r := range ss.Relations {
+			payload = append(payload, byte(r.Type))
+			payload = vbyte.Append(payload, uint64(r.To))
+		}
+		payload = vbyte.Append(payload, uint64(len(ss.Gloss)))
+		payload = append(payload, ss.Gloss...)
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(payload))
+	n, err := w.Write(payload)
+	total := int64(n)
+	if err != nil {
+		return total, err
+	}
+	n, err = w.Write(tail[:])
+	return total + int64(n), err
+}
+
+// ReadDatabase deserializes a database written by WriteTo. The result is
+// frozen (specificity recomputed) and ready for use.
+func ReadDatabase(r io.Reader) (*Database, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("wordnet: reading file: %w", err)
+	}
+	if len(data) < len(lexMagic)+1+4 {
+		return nil, errors.New("wordnet: file too short")
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("wordnet: checksum mismatch; file corrupt")
+	}
+	br := bufio.NewReader(bytes.NewReader(payload))
+
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) != lexMagic {
+		return nil, errors.New("wordnet: bad magic; not a lexicon file")
+	}
+	ver, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if ver != lexVersion {
+		return nil, fmt.Errorf("wordnet: unsupported version %d", ver)
+	}
+
+	db := NewDatabase()
+	nLemmas, err := readUvarint(br)
+	if err != nil || nLemmas > maxReasonable {
+		return nil, fmt.Errorf("wordnet: lemma count: %w", orImplausible(err))
+	}
+	for i := uint64(0); i < nLemmas; i++ {
+		slen, err := readUvarint(br)
+		if err != nil || slen > 1<<20 {
+			return nil, fmt.Errorf("wordnet: lemma %d length: %w", i, orImplausible(err))
+		}
+		b := make([]byte, slen)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return nil, err
+		}
+		lemma := string(b)
+		if _, dup := db.termIdx[lemma]; dup {
+			return nil, fmt.Errorf("wordnet: duplicate lemma %q", lemma)
+		}
+		db.AddTerm(lemma)
+	}
+
+	nSynsets, err := readUvarint(br)
+	if err != nil || nSynsets > maxReasonable {
+		return nil, fmt.Errorf("wordnet: synset count: %w", orImplausible(err))
+	}
+	type pendingRel struct {
+		from SynsetID
+		rel  Relation
+	}
+	var rels []pendingRel
+	for i := uint64(0); i < nSynsets; i++ {
+		nTerms, err := readUvarint(br)
+		if err != nil || nTerms > nLemmas {
+			return nil, fmt.Errorf("wordnet: synset %d term count: %w", i, orImplausible(err))
+		}
+		terms := make([]TermID, nTerms)
+		for j := range terms {
+			t, err := readUvarint(br)
+			if err != nil || t >= nLemmas {
+				return nil, fmt.Errorf("wordnet: synset %d term %d: %w", i, j, orImplausible(err))
+			}
+			terms[j] = TermID(t)
+		}
+		nRels, err := readUvarint(br)
+		if err != nil || nRels > maxReasonable {
+			return nil, fmt.Errorf("wordnet: synset %d relation count: %w", i, orImplausible(err))
+		}
+		thisRels := make([]Relation, 0, nRels)
+		for j := uint64(0); j < nRels; j++ {
+			tb, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			if RelationType(tb) >= numRelationTypes {
+				return nil, fmt.Errorf("wordnet: synset %d: unknown relation type %d", i, tb)
+			}
+			to, err := readUvarint(br)
+			if err != nil || to >= nSynsets {
+				return nil, fmt.Errorf("wordnet: synset %d relation %d target: %w", i, j, orImplausible(err))
+			}
+			thisRels = append(thisRels, Relation{Type: RelationType(tb), To: SynsetID(to)})
+		}
+		glen, err := readUvarint(br)
+		if err != nil || glen > 1<<20 {
+			return nil, fmt.Errorf("wordnet: synset %d gloss length: %w", i, orImplausible(err))
+		}
+		g := make([]byte, glen)
+		if _, err := io.ReadFull(br, g); err != nil {
+			return nil, err
+		}
+		id := db.AddSynset(terms, string(g))
+		// Relations are restored verbatim below (AddRelation would
+		// duplicate the stored inverses); record them for the second
+		// pass once all synsets exist.
+		for _, r := range thisRels {
+			rels = append(rels, pendingRel{from: id, rel: r})
+		}
+	}
+	for _, pr := range rels {
+		db.synsets[pr.from].Relations = append(db.synsets[pr.from].Relations, pr.rel)
+	}
+	db.Freeze()
+	return db, nil
+}
+
+func orImplausible(err error) error {
+	if err != nil {
+		return err
+	}
+	return errors.New("implausible count")
+}
+
+func readUvarint(br io.ByteReader) (uint64, error) {
+	var v uint64
+	var shift uint
+	for i := 0; ; i++ {
+		b, err := br.ReadByte()
+		if err != nil {
+			return 0, err
+		}
+		if i == vbyte.MaxLen {
+			return 0, errors.New("overlong varint")
+		}
+		if b&0x80 != 0 {
+			return v | uint64(b&0x7f)<<shift, nil
+		}
+		v |= uint64(b) << shift
+		shift += 7
+		if shift >= 64 {
+			return 0, errors.New("varint overflow")
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package wordnet
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPersistRoundTripMini(t *testing.T) {
+	db := MiniLexicon()
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDatabase(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumTerms() != db.NumTerms() || got.NumSynsets() != db.NumSynsets() {
+		t.Fatalf("size mismatch: %d/%d terms, %d/%d synsets",
+			got.NumTerms(), db.NumTerms(), got.NumSynsets(), db.NumSynsets())
+	}
+	for i := 0; i < db.NumTerms(); i++ {
+		tm := TermID(i)
+		if got.Lemma(tm) != db.Lemma(tm) {
+			t.Fatalf("lemma %d: %q vs %q", i, got.Lemma(tm), db.Lemma(tm))
+		}
+		if got.Specificity(tm) != db.Specificity(tm) {
+			t.Fatalf("specificity of %q: %d vs %d", db.Lemma(tm), got.Specificity(tm), db.Specificity(tm))
+		}
+	}
+	for i := 0; i < db.NumSynsets(); i++ {
+		a, b := got.Synset(SynsetID(i)), db.Synset(SynsetID(i))
+		if len(a.Terms) != len(b.Terms) || len(a.Relations) != len(b.Relations) || a.Gloss != b.Gloss {
+			t.Fatalf("synset %d shape mismatch", i)
+		}
+		for j := range a.Relations {
+			if a.Relations[j] != b.Relations[j] {
+				t.Fatalf("synset %d relation %d: %+v vs %+v", i, j, a.Relations[j], b.Relations[j])
+			}
+		}
+	}
+	// Behavioural check: connectivity ordering (drives Algorithm 1) is
+	// preserved.
+	ao, bo := got.SynsetsByConnectivity(), db.SynsetsByConnectivity()
+	for i := range bo {
+		if ao[i] != bo[i] {
+			t.Fatalf("connectivity order diverges at %d", i)
+		}
+	}
+}
+
+func TestPersistRequiresFrozen(t *testing.T) {
+	db := NewDatabase()
+	db.AddSynset([]TermID{db.AddTerm("x")}, "")
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err == nil {
+		t.Fatal("unfrozen database serialized")
+	}
+}
+
+func TestPersistDetectsCorruption(t *testing.T) {
+	db := MiniLexicon()
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)/3] ^= 0x55
+	if _, err := ReadDatabase(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt lexicon accepted")
+	}
+}
+
+func TestPersistRejectsTruncation(t *testing.T) {
+	db := MiniLexicon()
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{0, 4, 9, buf.Len() / 2} {
+		if _, err := ReadDatabase(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

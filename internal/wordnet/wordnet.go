@@ -1,0 +1,392 @@
+// Package wordnet implements a WordNet-style lexical database: terms
+// (lemmas) grouped into synsets (senses), with typed semantic relations
+// between synsets. It is the substrate for the decoy-selection mechanism of
+// Pang, Ding and Xiao (VLDB 2010): dictionary sequencing (Algorithm 1) and
+// bucket formation (Algorithm 2) both consume this structure, and term
+// specificity (Section 3.2 of the paper) is derived from the hypernym
+// hierarchy stored here.
+//
+// The real WordNet 2.x noun database is not redistributable inside this
+// repository, so the package offers two sources of data with identical
+// semantics: MiniLexicon, a hand-curated lexicon containing the paper's
+// running-example vocabulary, and the synthetic generator in
+// internal/wngen, which reproduces the scale and specificity distribution
+// of the WordNet noun hierarchy (117,798 nouns, 82,115 synsets, Figure 2).
+package wordnet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TermID identifies a lemma in a Database. IDs are dense, starting at 0.
+type TermID int32
+
+// SynsetID identifies a synset in a Database. IDs are dense, starting at 0.
+type SynsetID int32
+
+// RelationType enumerates the synset relation types used by the paper.
+type RelationType uint8
+
+// Relation types, in the traversal order prescribed by Algorithm 1
+// (line 18): derivational relations first, then antonyms, hyponyms,
+// hypernyms, meronyms and holonyms. Domain membership is recorded but
+// deliberately skipped by the sequencing algorithm, because such word
+// associations "tend to be less direct" (Section 3.3).
+const (
+	RelDerivation RelationType = iota
+	RelAntonym
+	RelHyponym
+	RelHypernym
+	RelMeronym
+	RelHolonym
+	RelDomainTopic  // this synset belongs to the topic domain of the target
+	RelDomainMember // the target belongs to the topic domain of this synset
+	numRelationTypes
+)
+
+// NumRelationTypes is the number of distinct relation types.
+const NumRelationTypes = int(numRelationTypes)
+
+// String returns the conventional WordNet name of the relation type.
+func (r RelationType) String() string {
+	switch r {
+	case RelDerivation:
+		return "derivation"
+	case RelAntonym:
+		return "antonym"
+	case RelHyponym:
+		return "hyponym"
+	case RelHypernym:
+		return "hypernym"
+	case RelMeronym:
+		return "meronym"
+	case RelHolonym:
+		return "holonym"
+	case RelDomainTopic:
+		return "domain-topic"
+	case RelDomainMember:
+		return "domain-member"
+	}
+	return fmt.Sprintf("relation(%d)", uint8(r))
+}
+
+// Inverse returns the relation type of the reverse edge. Every relation in
+// a Database is stored symmetrically: adding an edge of type t from a to b
+// also adds an edge of type t.Inverse() from b to a.
+func (r RelationType) Inverse() RelationType {
+	switch r {
+	case RelHyponym:
+		return RelHypernym
+	case RelHypernym:
+		return RelHyponym
+	case RelMeronym:
+		return RelHolonym
+	case RelHolonym:
+		return RelMeronym
+	case RelDomainTopic:
+		return RelDomainMember
+	case RelDomainMember:
+		return RelDomainTopic
+	}
+	return r // derivation and antonym are their own inverses
+}
+
+// Relation is a typed, directed edge from one synset to another.
+type Relation struct {
+	Type RelationType
+	To   SynsetID
+}
+
+// Synset is a set of terms sharing one sense, plus its outgoing relations.
+type Synset struct {
+	ID        SynsetID
+	Terms     []TermID
+	Relations []Relation
+	Gloss     string
+}
+
+// Database is an in-memory lexical database. It is built once (via Add*
+// methods or a generator) and then treated as read-only; concurrent reads
+// are safe after Freeze.
+type Database struct {
+	lemmas  []string
+	termIdx map[string]TermID
+	synsets []Synset
+	// termSynsets[t] lists the synsets whose Terms include t.
+	termSynsets [][]SynsetID
+
+	frozen bool
+	// specificity caches; valid only after Freeze.
+	synSpec  []int
+	termSpec []int
+}
+
+// NewDatabase returns an empty database.
+func NewDatabase() *Database {
+	return &Database{termIdx: make(map[string]TermID)}
+}
+
+// NumTerms reports the number of distinct lemmas.
+func (db *Database) NumTerms() int { return len(db.lemmas) }
+
+// NumSynsets reports the number of synsets.
+func (db *Database) NumSynsets() int { return len(db.synsets) }
+
+// Lemma returns the string form of a term.
+func (db *Database) Lemma(t TermID) string { return db.lemmas[t] }
+
+// Lookup resolves a lemma to its TermID. The second result reports whether
+// the lemma exists.
+func (db *Database) Lookup(lemma string) (TermID, bool) {
+	t, ok := db.termIdx[lemma]
+	return t, ok
+}
+
+// AddTerm interns a lemma and returns its TermID. Adding an existing lemma
+// returns the existing ID.
+func (db *Database) AddTerm(lemma string) TermID {
+	if t, ok := db.termIdx[lemma]; ok {
+		return t
+	}
+	if db.frozen {
+		panic("wordnet: AddTerm on frozen database")
+	}
+	t := TermID(len(db.lemmas))
+	db.lemmas = append(db.lemmas, lemma)
+	db.termIdx[lemma] = t
+	db.termSynsets = append(db.termSynsets, nil)
+	return t
+}
+
+// AddSynset creates a new synset containing the given terms and returns its
+// ID. Terms may appear in multiple synsets (polysemy).
+func (db *Database) AddSynset(terms []TermID, gloss string) SynsetID {
+	if db.frozen {
+		panic("wordnet: AddSynset on frozen database")
+	}
+	id := SynsetID(len(db.synsets))
+	ss := Synset{ID: id, Terms: append([]TermID(nil), terms...), Gloss: gloss}
+	db.synsets = append(db.synsets, ss)
+	for _, t := range terms {
+		db.termSynsets[t] = append(db.termSynsets[t], id)
+	}
+	return id
+}
+
+// AddRelation records a typed edge from a to b and the inverse edge from b
+// to a. Self-loops and duplicate edges are ignored.
+func (db *Database) AddRelation(a, b SynsetID, typ RelationType) {
+	if db.frozen {
+		panic("wordnet: AddRelation on frozen database")
+	}
+	if a == b {
+		return
+	}
+	if db.hasRelation(a, b, typ) {
+		return
+	}
+	db.synsets[a].Relations = append(db.synsets[a].Relations, Relation{Type: typ, To: b})
+	db.synsets[b].Relations = append(db.synsets[b].Relations, Relation{Type: typ.Inverse(), To: a})
+}
+
+func (db *Database) hasRelation(a, b SynsetID, typ RelationType) bool {
+	for _, r := range db.synsets[a].Relations {
+		if r.To == b && r.Type == typ {
+			return true
+		}
+	}
+	return false
+}
+
+// Synset returns the synset with the given ID. The returned pointer is
+// owned by the database; callers must not mutate it.
+func (db *Database) Synset(id SynsetID) *Synset { return &db.synsets[id] }
+
+// SynsetsOf returns the synsets containing term t.
+func (db *Database) SynsetsOf(t TermID) []SynsetID { return db.termSynsets[t] }
+
+// RelationCount returns the number of outgoing relations of a synset,
+// the connectivity measure used to order seeds in Algorithm 1.
+func (db *Database) RelationCount(id SynsetID) int {
+	return len(db.synsets[id].Relations)
+}
+
+// Freeze computes the specificity caches and marks the database read-only.
+// It must be called before Specificity queries. Freeze is idempotent.
+func (db *Database) Freeze() {
+	if db.frozen {
+		return
+	}
+	db.computeSpecificity()
+	db.frozen = true
+}
+
+// computeSpecificity assigns every synset the length of the shortest
+// hypernym path from it to a root (a synset with no hypernyms), per
+// Section 3.2. The computation is a multi-source BFS from all roots,
+// expanding along hyponym edges. Synsets unreachable from any root (which
+// cannot occur in a well-formed hierarchy) receive the maximum observed
+// depth plus one, so that they still sort as highly specific.
+func (db *Database) computeSpecificity() {
+	n := len(db.synsets)
+	db.synSpec = make([]int, n)
+	for i := range db.synSpec {
+		db.synSpec[i] = -1
+	}
+	queue := make([]SynsetID, 0, n)
+	for i := range db.synsets {
+		if !db.hasHypernym(SynsetID(i)) {
+			db.synSpec[i] = 0
+			queue = append(queue, SynsetID(i))
+		}
+	}
+	maxDepth := 0
+	for head := 0; head < len(queue); head++ {
+		s := queue[head]
+		d := db.synSpec[s]
+		for _, r := range db.synsets[s].Relations {
+			if r.Type != RelHyponym {
+				continue
+			}
+			if db.synSpec[r.To] == -1 {
+				db.synSpec[r.To] = d + 1
+				if d+1 > maxDepth {
+					maxDepth = d + 1
+				}
+				queue = append(queue, r.To)
+			}
+		}
+	}
+	for i := range db.synSpec {
+		if db.synSpec[i] == -1 {
+			db.synSpec[i] = maxDepth + 1
+		}
+	}
+	// A term's specificity is the minimum over its synsets: the shortest
+	// path from the term's synset to a root in its hypernym hierarchy.
+	db.termSpec = make([]int, len(db.lemmas))
+	for t := range db.termSpec {
+		best := -1
+		for _, s := range db.termSynsets[t] {
+			if d := db.synSpec[s]; best == -1 || d < best {
+				best = d
+			}
+		}
+		if best == -1 {
+			best = maxDepth + 1 // term in no synset; treat as maximally specific
+		}
+		db.termSpec[t] = best
+	}
+}
+
+func (db *Database) hasHypernym(s SynsetID) bool {
+	for _, r := range db.synsets[s].Relations {
+		if r.Type == RelHypernym {
+			return true
+		}
+	}
+	return false
+}
+
+// SynsetSpecificity returns the specificity of a synset. Freeze must have
+// been called.
+func (db *Database) SynsetSpecificity(s SynsetID) int {
+	db.mustBeFrozen()
+	return db.synSpec[s]
+}
+
+// Specificity returns the specificity of a term: the length of the
+// shortest hypernym path from any of its synsets to a root. Freeze must
+// have been called.
+func (db *Database) Specificity(t TermID) int {
+	db.mustBeFrozen()
+	return db.termSpec[t]
+}
+
+func (db *Database) mustBeFrozen() {
+	if !db.frozen {
+		panic("wordnet: database not frozen; call Freeze first")
+	}
+}
+
+// SpecificityHistogram returns counts of terms per specificity value,
+// indexed by specificity. This regenerates Figure 2 of the paper.
+func (db *Database) SpecificityHistogram() []int {
+	db.mustBeFrozen()
+	maxSpec := 0
+	for _, s := range db.termSpec {
+		if s > maxSpec {
+			maxSpec = s
+		}
+	}
+	h := make([]int, maxSpec+1)
+	for _, s := range db.termSpec {
+		h[s]++
+	}
+	return h
+}
+
+// AllTerms returns all term IDs in increasing order.
+func (db *Database) AllTerms() []TermID {
+	out := make([]TermID, len(db.lemmas))
+	for i := range out {
+		out[i] = TermID(i)
+	}
+	return out
+}
+
+// SynsetsByConnectivity returns all synset IDs ordered by decreasing
+// number of relations, the processing order of Algorithm 1 line 12. The
+// paper does not specify how ties are broken; ties are broken by a
+// deterministic hash of the ID rather than the ID itself, because IDs
+// typically correlate with insertion order (and, for generated
+// lexicons, with hierarchy depth) — an ascending-ID tie-break would
+// smuggle that ordering into the sequence and reintroduce exactly the
+// specificity trend the bucket construction needs to avoid.
+func (db *Database) SynsetsByConnectivity() []SynsetID {
+	ids := make([]SynsetID, len(db.synsets))
+	for i := range ids {
+		ids[i] = SynsetID(i)
+	}
+	sort.SliceStable(ids, func(i, j int) bool {
+		ci, cj := len(db.synsets[ids[i]].Relations), len(db.synsets[ids[j]].Relations)
+		if ci != cj {
+			return ci > cj
+		}
+		hi, hj := mix32(uint32(ids[i])), mix32(uint32(ids[j]))
+		if hi != hj {
+			return hi < hj
+		}
+		return ids[i] < ids[j]
+	})
+	return ids
+}
+
+// mix32 is a finalizing integer hash (Murmur3 avalanche), deterministic
+// across runs and platforms.
+func mix32(x uint32) uint32 {
+	x ^= x >> 16
+	x *= 0x85ebca6b
+	x ^= x >> 13
+	x *= 0xc2b2ae35
+	x ^= x >> 16
+	return x
+}
+
+// RelatedInOrder returns the synsets related to ss, grouped in the
+// traversal order of Algorithm 1 line 18: derivational relations,
+// antonyms, hyponyms, hypernyms, meronyms, holonyms. Domain relations are
+// excluded. Within a type, targets appear in insertion order.
+func (db *Database) RelatedInOrder(ss SynsetID) []SynsetID {
+	var out []SynsetID
+	rels := db.synsets[ss].Relations
+	for _, want := range []RelationType{RelDerivation, RelAntonym, RelHyponym, RelHypernym, RelMeronym, RelHolonym} {
+		for _, r := range rels {
+			if r.Type == want {
+				out = append(out, r.To)
+			}
+		}
+	}
+	return out
+}

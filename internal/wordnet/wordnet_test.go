@@ -1,0 +1,309 @@
+package wordnet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func buildTiny() *Database {
+	db := NewDatabase()
+	entity := db.AddSynset([]TermID{db.AddTerm("entity")}, "root")
+	obj := db.AddSynset([]TermID{db.AddTerm("object")}, "")
+	animal := db.AddSynset([]TermID{db.AddTerm("animal"), db.AddTerm("beast")}, "")
+	db.AddRelation(entity, obj, RelHyponym)
+	db.AddRelation(obj, animal, RelHyponym)
+	return db
+}
+
+func TestAddTermInterns(t *testing.T) {
+	db := NewDatabase()
+	a := db.AddTerm("water")
+	b := db.AddTerm("water")
+	if a != b {
+		t.Fatalf("AddTerm returned distinct ids %d, %d for same lemma", a, b)
+	}
+	if db.NumTerms() != 1 {
+		t.Fatalf("NumTerms = %d, want 1", db.NumTerms())
+	}
+	if got, _ := db.Lookup("water"); got != a {
+		t.Fatalf("Lookup = %d, want %d", got, a)
+	}
+	if _, ok := db.Lookup("fire"); ok {
+		t.Fatal("Lookup of absent lemma reported ok")
+	}
+}
+
+func TestRelationSymmetry(t *testing.T) {
+	db := buildTiny()
+	entity := SynsetID(0)
+	obj := SynsetID(1)
+	// entity --hyponym--> object implies object --hypernym--> entity.
+	found := false
+	for _, r := range db.Synset(obj).Relations {
+		if r.Type == RelHypernym && r.To == entity {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inverse hypernym edge missing")
+	}
+}
+
+func TestRelationDeduplication(t *testing.T) {
+	db := buildTiny()
+	before := db.RelationCount(0)
+	db.AddRelation(SynsetID(0), SynsetID(1), RelHyponym) // duplicate
+	if db.RelationCount(0) != before {
+		t.Fatal("duplicate relation was added")
+	}
+	db.AddRelation(SynsetID(0), SynsetID(0), RelAntonym) // self-loop
+	if db.RelationCount(0) != before {
+		t.Fatal("self-loop relation was added")
+	}
+}
+
+func TestInverseTypes(t *testing.T) {
+	pairs := map[RelationType]RelationType{
+		RelHypernym:     RelHyponym,
+		RelHyponym:      RelHypernym,
+		RelMeronym:      RelHolonym,
+		RelHolonym:      RelMeronym,
+		RelAntonym:      RelAntonym,
+		RelDerivation:   RelDerivation,
+		RelDomainTopic:  RelDomainMember,
+		RelDomainMember: RelDomainTopic,
+	}
+	for r, want := range pairs {
+		if r.Inverse() != want {
+			t.Errorf("%v.Inverse() = %v, want %v", r, r.Inverse(), want)
+		}
+		if r.Inverse().Inverse() != r {
+			t.Errorf("%v: Inverse is not an involution", r)
+		}
+	}
+}
+
+func TestSpecificityChain(t *testing.T) {
+	db := buildTiny()
+	db.Freeze()
+	want := map[string]int{"entity": 0, "object": 1, "animal": 2, "beast": 2}
+	for lemma, spec := range want {
+		id, ok := db.Lookup(lemma)
+		if !ok {
+			t.Fatalf("missing %q", lemma)
+		}
+		if got := db.Specificity(id); got != spec {
+			t.Errorf("Specificity(%q) = %d, want %d", lemma, got, spec)
+		}
+	}
+}
+
+func TestPolysemousTermUsesMinSpecificity(t *testing.T) {
+	db := NewDatabase()
+	root := db.AddSynset([]TermID{db.AddTerm("entity")}, "")
+	mid := db.AddSynset([]TermID{db.AddTerm("state")}, "")
+	deep := db.AddSynset([]TermID{db.AddTerm("deepthing")}, "")
+	db.AddRelation(root, mid, RelHyponym)
+	db.AddRelation(mid, deep, RelHyponym)
+	// 'dual' appears at depth 1 and depth 3.
+	dual := db.AddTerm("dual")
+	s1 := db.AddSynset([]TermID{dual}, "")
+	db.AddRelation(root, s1, RelHyponym)
+	s3 := db.AddSynset([]TermID{dual}, "")
+	db.AddRelation(deep, s3, RelHyponym)
+	db.Freeze()
+	if got := db.Specificity(dual); got != 1 {
+		t.Fatalf("polysemous specificity = %d, want 1 (the minimum)", got)
+	}
+}
+
+func TestSpecificityHistogramSums(t *testing.T) {
+	db := MiniLexicon()
+	h := db.SpecificityHistogram()
+	sum := 0
+	for _, c := range h {
+		sum += c
+	}
+	if sum != db.NumTerms() {
+		t.Fatalf("histogram sums to %d, want %d", sum, db.NumTerms())
+	}
+}
+
+func TestMiniLexiconPaperSpecificities(t *testing.T) {
+	// Section 3.4 quotes these exact specificity values.
+	want := map[string]int{
+		"sir thomas wyatt":        7,
+		"hypocapnia":              6,
+		"ectozoon":                7,
+		"fool's gold":             6,
+		"love knot":               10,
+		"mainspring":              9,
+		"osteosarcoma":            14,
+		"yellow-breasted bunting": 14,
+		"huntsville":              9,
+		"pigeon loft":             7,
+		"brama":                   7,
+		"terrorism":               9,
+		"smyrna":                  7,
+		"lut desert":              6,
+		"acipenser":               7,
+		"abu sayyaf":              7,
+		"sign of the zodiac":      5,
+		"amaranthaceae":           8,
+		"american chestnut":       11,
+		"family eschrichtiidae":   7,
+	}
+	db := MiniLexicon()
+	for lemma, spec := range want {
+		id, ok := db.Lookup(lemma)
+		if !ok {
+			t.Errorf("mini lexicon missing %q", lemma)
+			continue
+		}
+		if got := db.Specificity(id); got != spec {
+			t.Errorf("Specificity(%q) = %d, want %d", lemma, got, spec)
+		}
+	}
+}
+
+func TestMiniLexiconPolysemousPrivacy(t *testing.T) {
+	// Section 3.2's example: 'privacy' has two senses, one synonymous with
+	// 'seclusion', the other with 'secrecy' and 'concealment'.
+	db := MiniLexicon()
+	id, ok := db.Lookup("privacy")
+	if !ok {
+		t.Fatal("mini lexicon missing 'privacy'")
+	}
+	if n := len(db.SynsetsOf(id)); n != 2 {
+		t.Fatalf("'privacy' has %d senses, want 2", n)
+	}
+}
+
+func TestMiniLexiconSingleRoot(t *testing.T) {
+	db := MiniLexicon()
+	roots := 0
+	for i := 0; i < db.NumSynsets(); i++ {
+		if db.SynsetSpecificity(SynsetID(i)) == 0 {
+			roots++
+		}
+	}
+	if roots != 1 {
+		t.Fatalf("mini lexicon has %d roots, want 1 ('entity')", roots)
+	}
+}
+
+func TestSynsetsByConnectivityOrdered(t *testing.T) {
+	db := MiniLexicon()
+	ids := db.SynsetsByConnectivity()
+	if len(ids) != db.NumSynsets() {
+		t.Fatalf("got %d ids, want %d", len(ids), db.NumSynsets())
+	}
+	for i := 1; i < len(ids); i++ {
+		if db.RelationCount(ids[i]) > db.RelationCount(ids[i-1]) {
+			t.Fatalf("order violated at %d: %d > %d", i,
+				db.RelationCount(ids[i]), db.RelationCount(ids[i-1]))
+		}
+	}
+}
+
+func TestRelatedInOrderGroupsTypes(t *testing.T) {
+	db := MiniLexicon()
+	terror, _ := db.Lookup("terrorism")
+	ss := db.SynsetsOf(terror)[0]
+	rel := db.RelatedInOrder(ss)
+	// terrorism has a hypernym (war crime), a derivational link
+	// (terrorist organization) and domain members (excluded).
+	for _, r := range rel {
+		for _, e := range db.Synset(ss).Relations {
+			if e.To == r && (e.Type == RelDomainMember || e.Type == RelDomainTopic) {
+				t.Fatalf("RelatedInOrder included a domain relation to synset %d", r)
+			}
+		}
+	}
+	if len(rel) == 0 {
+		t.Fatal("RelatedInOrder returned nothing for a connected synset")
+	}
+}
+
+func TestFreezeIdempotent(t *testing.T) {
+	db := buildTiny()
+	db.Freeze()
+	db.Freeze() // must not panic or recompute incorrectly
+	if db.Specificity(0) != 0 {
+		t.Fatal("specificity changed after second Freeze")
+	}
+}
+
+func TestFrozenMutationPanics(t *testing.T) {
+	db := buildTiny()
+	db.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddTerm on frozen database did not panic")
+		}
+	}()
+	db.AddTerm("new")
+}
+
+func TestRelationTypeStringTotal(t *testing.T) {
+	for r := RelationType(0); r < RelationType(NumRelationTypes); r++ {
+		if s := r.String(); s == "" {
+			t.Errorf("empty String for relation %d", r)
+		}
+	}
+}
+
+// Property: in any random hypernym forest, a child's specificity is
+// exactly one more than the minimum parent specificity (when reachable).
+func TestSpecificityParentChildProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		if seed < 0 {
+			seed = -seed
+		}
+		db := NewDatabase()
+		root := db.AddSynset([]TermID{db.AddTerm("entity")}, "")
+		ids := []SynsetID{root}
+		rng := seed
+		next := func(n int) int {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v := int(rng % int64(n))
+			if v < 0 {
+				v += n
+			}
+			return v
+		}
+		for i := 0; i < 60; i++ {
+			id := db.AddSynset([]TermID{db.AddTerm(lemmaName(i))}, "")
+			parent := ids[next(len(ids))]
+			db.AddRelation(parent, id, RelHyponym)
+			// Occasionally a second parent (DAG).
+			if next(10) == 0 {
+				db.AddRelation(ids[next(len(ids))], id, RelHyponym)
+			}
+			ids = append(ids, id)
+		}
+		db.Freeze()
+		for _, id := range ids[1:] {
+			minParent := -1
+			for _, r := range db.Synset(id).Relations {
+				if r.Type == RelHypernym {
+					p := db.SynsetSpecificity(r.To)
+					if minParent == -1 || p < minParent {
+						minParent = p
+					}
+				}
+			}
+			if db.SynsetSpecificity(id) != minParent+1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func lemmaName(i int) string {
+	return string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,131 @@
+package embellish
+
+import (
+	"errors"
+
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+// Lexicon is the term-association database that drives decoy selection:
+// terms grouped into synsets, synsets linked by typed semantic relations,
+// and specificity derived from the hypernym hierarchy (Section 3.2 of
+// the paper). The paper uses the WordNet noun database; this library
+// accepts any source with the same shape.
+type Lexicon struct {
+	db *wordnet.Database
+	// building is true until Freeze; the Engine freezes automatically.
+	building bool
+}
+
+// RelationType labels a semantic relation between two senses.
+type RelationType uint8
+
+// Relation types, in Algorithm 1's order of closeness. AddRelation
+// stores the inverse direction automatically (hyponym/hypernym,
+// meronym/holonym; derivation, antonym and domain are symmetric enough
+// for the algorithms' purposes).
+const (
+	Derivation RelationType = iota // derivationally related, e.g. man/manhood
+	Antonym
+	Hyponym // specialization: AddRelation(general, specific, Hyponym)
+	Meronym // part-of: AddRelation(whole, part, Meronym)
+	Domain  // topic/usage domain membership (skipped by sequencing)
+)
+
+// relMap converts the public relation labels to the internal ones.
+var relMap = map[RelationType]wordnet.RelationType{
+	Derivation: wordnet.RelDerivation,
+	Antonym:    wordnet.RelAntonym,
+	Hyponym:    wordnet.RelHyponym,
+	Meronym:    wordnet.RelMeronym,
+	Domain:     wordnet.RelDomainTopic,
+}
+
+// NewLexicon returns an empty lexicon to be populated with AddSynset and
+// AddRelation.
+func NewLexicon() *Lexicon {
+	return &Lexicon{db: wordnet.NewDatabase(), building: true}
+}
+
+// MiniLexicon returns the hand-curated lexicon containing the paper's
+// running-example vocabulary (osteosarcoma, amaranthaceae, hypocapnia,
+// abu sayyaf, ...). Useful for demos and tests.
+func MiniLexicon() *Lexicon {
+	return &Lexicon{db: wordnet.MiniLexicon()}
+}
+
+// SyntheticLexicon generates a WordNet-scale lexicon with n synsets
+// (117,798 terms / 82,115 synsets at n=82115, the paper's scale) whose
+// specificity histogram matches the paper's Figure 2. Deterministic
+// given the seed.
+func SyntheticLexicon(n int, seed int64) *Lexicon {
+	return &Lexicon{db: wngen.Generate(wngen.ScaledConfig(n, seed))}
+}
+
+// SynsetID identifies a sense added via AddSynset.
+type SynsetID = wordnet.SynsetID
+
+// AddSynset records one sense shared by the given lemmas (multi-word
+// lemmas like "abu sayyaf" are allowed) and returns its identifier.
+func (l *Lexicon) AddSynset(lemmas []string, gloss string) (SynsetID, error) {
+	if !l.building {
+		return 0, errors.New("embellish: lexicon is frozen (already used by an engine)")
+	}
+	if len(lemmas) == 0 {
+		return 0, errors.New("embellish: synset needs at least one lemma")
+	}
+	terms := make([]wordnet.TermID, len(lemmas))
+	for i, s := range lemmas {
+		if t, ok := l.db.Lookup(s); ok {
+			terms[i] = t
+			continue
+		}
+		terms[i] = l.db.AddTerm(s)
+	}
+	return l.db.AddSynset(terms, gloss), nil
+}
+
+// AddRelation links two senses. For hierarchical types the direction
+// matters: AddRelation(general, specific, Hyponym) and
+// AddRelation(whole, part, Meronym).
+func (l *Lexicon) AddRelation(a, b SynsetID, typ RelationType) error {
+	if !l.building {
+		return errors.New("embellish: lexicon is frozen (already used by an engine)")
+	}
+	rt, ok := relMap[typ]
+	if !ok {
+		return errors.New("embellish: unknown relation type")
+	}
+	l.db.AddRelation(a, b, rt)
+	return nil
+}
+
+// NumTerms reports the number of distinct lemmas.
+func (l *Lexicon) NumTerms() int { return l.db.NumTerms() }
+
+// NumSynsets reports the number of senses.
+func (l *Lexicon) NumSynsets() int { return l.db.NumSynsets() }
+
+// Specificity returns the specificity of a lemma (shortest hypernym path
+// from any of its synsets to a hierarchy root), or false when the lemma
+// is not in the lexicon. Only meaningful after the lexicon has been used
+// by an engine (which freezes it), or on the built-in lexicons.
+func (l *Lexicon) Specificity(lemma string) (int, bool) {
+	t, ok := l.db.Lookup(lemma)
+	if !ok {
+		return 0, false
+	}
+	if l.building {
+		return 0, false
+	}
+	return l.db.Specificity(t), true
+}
+
+// freeze finalizes the lexicon for use by an engine.
+func (l *Lexicon) freeze() {
+	if l.building {
+		l.db.Freeze()
+		l.building = false
+	}
+}

@@ -1,0 +1,114 @@
+package embellish
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"embellish/internal/core"
+	"embellish/internal/wire"
+)
+
+// Network deployment: the paper's protocol is client-server — the
+// client embellishes and decrypts, the engine only ever sees the
+// embellished query. Serve turns an Engine into a long-running service
+// speaking the internal/wire framing; SearchRemote runs the client side
+// of one query against any such service. Both endpoints typically load
+// the same engine file (Save/LoadEngine), which is how they come to
+// agree on the bucket organization.
+
+// Serve accepts connections until the listener is closed, handling each
+// connection concurrently. It returns the listener's accept error
+// (net.ErrClosed after a clean shutdown).
+func (e *Engine) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = e.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn answers queries on one connection until EOF or a transport
+// error. Malformed queries are answered with a protocol error message
+// and the connection stays up; transport failures end the session.
+func (e *Engine) ServeConn(conn io.ReadWriter) error {
+	for {
+		typ, body, err := wire.ReadMessage(conn)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
+		}
+		if typ != wire.TypeQuery {
+			if werr := wire.WriteError(conn, fmt.Sprintf("unexpected message type %d", typ)); werr != nil {
+				return werr
+			}
+			continue
+		}
+		q, err := wire.DecodeQuery(body)
+		if err != nil {
+			if werr := wire.WriteError(conn, err.Error()); werr != nil {
+				return werr
+			}
+			continue
+		}
+		resp, stats, err := e.server.Process(q)
+		if err != nil {
+			if werr := wire.WriteError(conn, err.Error()); werr != nil {
+				return werr
+			}
+			continue
+		}
+		if err := wire.WriteResponse(conn, resp, stats); err != nil {
+			return err
+		}
+	}
+}
+
+// SearchRemote runs one private query against a remote engine: Algorithm
+// 3 locally, Algorithm 4 on the server, Algorithm 5 locally. The
+// connection can be reused across calls.
+func (c *Client) SearchRemote(conn io.ReadWriter, query string, k int) ([]Result, error) {
+	eq, err := c.Embellish(query)
+	if err != nil {
+		return nil, err
+	}
+	if err := wire.WriteQuery(conn, eq.inner); err != nil {
+		return nil, fmt.Errorf("embellish: sending query: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: reading response: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return nil, fmt.Errorf("embellish: server error: %s", body)
+	case wire.TypeResponse:
+	default:
+		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	cands, _, err := wire.DecodeResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	resp := &core.Response{}
+	for _, cand := range cands {
+		resp.Docs = append(resp.Docs, core.DocScore{Doc: cand.Doc, Enc: cand.Enc})
+	}
+	ranked, err := c.inner.PostFilter(resp, k)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(ranked))
+	for i, r := range ranked {
+		out[i] = Result{DocID: int(r.Doc), Score: r.Score}
+	}
+	return out, nil
+}

@@ -1,0 +1,85 @@
+package embellish
+
+import "fmt"
+
+// Options configures engine construction.
+type Options struct {
+	// BucketSize (the paper's BktSz) is the number of terms per bucket:
+	// each genuine search term travels with BucketSize-1 decoys. Larger
+	// buckets widen the anonymity set at the cost of processing more
+	// inverted lists per query. Must satisfy 2 <= BucketSize <= N/2 for
+	// a searchable dictionary of N terms.
+	BucketSize int
+	// SegmentSize (the paper's SegSz) controls how far apart terms may
+	// be re-ordered to equalize specificity within buckets; 0 selects
+	// the maximum N/BucketSize, which the paper's Figure 5 experiments
+	// recommend (larger segments improve the specificity match without
+	// hurting the semantic-distance match).
+	SegmentSize int
+	// KeyBits is the Benaloh modulus size for client keys. 512 and up
+	// for real deployments; tests use smaller values for speed.
+	KeyBits int
+	// ScoreSpace is the exponent k of the Benaloh plaintext space
+	// r = 3^k. Relevance scores accumulate modulo r, so r must exceed
+	// the maximum possible quantized score of a document.
+	ScoreSpace int
+	// QuantLevels is the integer quantization resolution for posting
+	// impacts (footnote 1 of the paper requires integer impacts).
+	QuantLevels int
+	// Stopwords enables stopword removal in the analyzer (the paper's
+	// configuration; stemming is not applied).
+	Stopwords bool
+	// Scoring selects the similarity function. The private retrieval
+	// scheme works with any impact-based similarity model (Appendix B of
+	// the paper names Okapi explicitly); Cosine is Equation 3.
+	Scoring Scoring
+	// Parallelism sets the worker count for server-side score
+	// accumulation: 0 keeps the paper's sequential Algorithm 4, -1
+	// selects GOMAXPROCS, and any positive value pins the worker count.
+	// The homomorphic accumulation commutes, so results are identical.
+	Parallelism int
+}
+
+// Scoring selects the similarity function used to precompute posting
+// impacts.
+type Scoring uint8
+
+const (
+	// Cosine is the paper's Equation 3 scoring (the default).
+	Cosine Scoring = iota
+	// BM25 is Okapi BM25 with the standard parameters (k1=1.2, b=0.75).
+	BM25
+)
+
+// DefaultOptions mirrors the paper's defaults: BktSz=8 (the Figure 8
+// setting), maximal SegSz, and 512-bit keys.
+func DefaultOptions() Options {
+	return Options{
+		BucketSize:  8,
+		SegmentSize: 0,
+		KeyBits:     512,
+		ScoreSpace:  12,
+		QuantLevels: 255,
+		Stopwords:   true,
+	}
+}
+
+// validate rejects unusable combinations early, with actionable errors.
+func (o Options) validate() error {
+	if o.BucketSize < 2 {
+		return fmt.Errorf("embellish: BucketSize %d too small; a bucket needs at least one decoy slot", o.BucketSize)
+	}
+	if o.KeyBits < 64 {
+		return fmt.Errorf("embellish: KeyBits %d too small for Benaloh key generation", o.KeyBits)
+	}
+	if o.ScoreSpace < 1 {
+		return fmt.Errorf("embellish: ScoreSpace must be at least 1, got %d", o.ScoreSpace)
+	}
+	if o.QuantLevels < 1 || o.QuantLevels > 1<<20 {
+		return fmt.Errorf("embellish: QuantLevels %d out of range", o.QuantLevels)
+	}
+	if o.Scoring > BM25 {
+		return fmt.Errorf("embellish: unknown scoring %d", o.Scoring)
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package embellish
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"embellish/internal/bucket"
+	"embellish/internal/core"
+	"embellish/internal/index"
+	"embellish/internal/textproc"
+	"embellish/internal/wordnet"
+)
+
+// Engine persistence bundles the three build artifacts — lexicon,
+// inverted index and bucket organization — into one file, so a
+// deployment indexes its corpus once and both endpoints load the same
+// organization (the protocol requires client and server to agree on it
+// exactly). Format: magic "EENG" | version | options | three
+// length-prefixed sections, each self-checksummed by its own codec.
+
+const (
+	engineMagic   = "EENG"
+	engineVersion = 1
+)
+
+// Save serializes the engine. The client key pair is NOT part of the
+// engine (keys belong to users); only public artifacts are written.
+func (e *Engine) Save(w io.Writer) error {
+	if _, err := io.WriteString(w, engineMagic); err != nil {
+		return err
+	}
+	header := []byte{
+		engineVersion,
+		boolByte(e.opts.Stopwords),
+		byte(e.opts.Scoring),
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	var opts [16]byte
+	binary.LittleEndian.PutUint32(opts[0:], uint32(e.opts.BucketSize))
+	binary.LittleEndian.PutUint32(opts[4:], uint32(e.opts.SegmentSize))
+	binary.LittleEndian.PutUint32(opts[8:], uint32(e.opts.KeyBits))
+	binary.LittleEndian.PutUint32(opts[12:], uint32(e.opts.ScoreSpace))
+	if _, err := w.Write(opts[:]); err != nil {
+		return err
+	}
+	var quant [4]byte
+	binary.LittleEndian.PutUint32(quant[:], uint32(e.opts.QuantLevels))
+	if _, err := w.Write(quant[:]); err != nil {
+		return err
+	}
+
+	for _, section := range []io.WriterTo{e.lex.db, e.index, e.org} {
+		if err := writeSection(w, section); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEngine deserializes an engine written by Save. The loaded engine
+// serves queries immediately; clients are created per user as usual.
+func LoadEngine(r io.Reader) (*Engine, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("embellish: reading engine magic: %w", err)
+	}
+	if string(magic[:]) != engineMagic {
+		return nil, errors.New("embellish: not an engine file")
+	}
+	var header [3]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, err
+	}
+	if header[0] != engineVersion {
+		return nil, fmt.Errorf("embellish: unsupported engine version %d", header[0])
+	}
+	var opts Options
+	opts.Stopwords = header[1] != 0
+	opts.Scoring = Scoring(header[2])
+	var fixed [20]byte
+	if _, err := io.ReadFull(r, fixed[:]); err != nil {
+		return nil, err
+	}
+	opts.BucketSize = int(binary.LittleEndian.Uint32(fixed[0:]))
+	opts.SegmentSize = int(binary.LittleEndian.Uint32(fixed[4:]))
+	opts.KeyBits = int(binary.LittleEndian.Uint32(fixed[8:]))
+	opts.ScoreSpace = int(binary.LittleEndian.Uint32(fixed[12:]))
+	opts.QuantLevels = int(binary.LittleEndian.Uint32(fixed[16:]))
+	if err := opts.validate(); err != nil {
+		return nil, fmt.Errorf("embellish: engine file options: %w", err)
+	}
+
+	db, err := readSection(r, func(sr io.Reader) (*wordnet.Database, error) {
+		return wordnet.ReadDatabase(sr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("embellish: lexicon section: %w", err)
+	}
+	ix, err := readSection(r, func(sr io.Reader) (*index.Index, error) {
+		return index.ReadIndex(sr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("embellish: index section: %w", err)
+	}
+	org, err := readSection(r, func(sr io.Reader) (*bucket.Organization, error) {
+		return bucket.ReadOrganization(sr)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("embellish: organization section: %w", err)
+	}
+
+	e := &Engine{
+		opts:  opts,
+		lex:   &Lexicon{db: db},
+		index: ix,
+		org:   org,
+	}
+	// Rebuild the derived pieces exactly as NewEngine does.
+	e.analyzer = textproc.NewAnalyzer()
+	if !opts.Stopwords {
+		e.analyzer.Stopwords = nil
+	}
+	lemmas := make([]string, 0, db.NumTerms())
+	for _, t := range db.AllTerms() {
+		lemmas = append(lemmas, db.Lemma(t))
+	}
+	e.analyzer.Matcher = textproc.NewDictionaryMatcher(lemmas)
+	for b := 0; b < org.NumBuckets(); b++ {
+		for _, t := range org.Bucket(b) {
+			e.searchable = append(e.searchable, t)
+		}
+	}
+	e.server = core.NewServer(ix, org, db)
+	return e, nil
+}
+
+func writeSection(w io.Writer, wt io.WriterTo) error {
+	// Buffer the section to learn its length (sections are in-memory
+	// artifacts; their size is bounded by the corpus already held in
+	// RAM).
+	var buf countingBuffer
+	if _, err := wt.WriteTo(&buf); err != nil {
+		return err
+	}
+	var lenb [8]byte
+	binary.LittleEndian.PutUint64(lenb[:], uint64(len(buf.data)))
+	if _, err := w.Write(lenb[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(buf.data)
+	return err
+}
+
+func readSection[T any](r io.Reader, decode func(io.Reader) (T, error)) (T, error) {
+	var zero T
+	var lenb [8]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return zero, err
+	}
+	n := binary.LittleEndian.Uint64(lenb[:])
+	if n > 1<<40 {
+		return zero, errors.New("section implausibly large")
+	}
+	return decode(io.LimitReader(r, int64(n)))
+}
+
+type countingBuffer struct{ data []byte }
+
+func (b *countingBuffer) Write(p []byte) (int, error) {
+	b.data = append(b.data, p...)
+	return len(p), nil
+}
+
+func boolByte(b bool) byte {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,118 @@
+package embellish
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"embellish/internal/detrand"
+)
+
+func TestEngineSaveLoadRoundTrip(t *testing.T) {
+	e, c := testEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadEngine(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumDocs() != e.NumDocs() ||
+		loaded.NumSearchableTerms() != e.NumSearchableTerms() ||
+		loaded.NumBuckets() != e.NumBuckets() {
+		t.Fatalf("shape mismatch after load: %d/%d docs, %d/%d terms, %d/%d buckets",
+			loaded.NumDocs(), e.NumDocs(),
+			loaded.NumSearchableTerms(), e.NumSearchableTerms(),
+			loaded.NumBuckets(), e.NumBuckets())
+	}
+
+	// A query embellished against the ORIGINAL engine must process
+	// identically on the LOADED engine: that is the operational point of
+	// persistence (client and server share one organization).
+	query := e.lex.db.Lemma(e.searchable[2]) + " " + e.lex.db.Lemma(e.searchable[7])
+	q, err := c.Embellish(query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respA, err := e.Process(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	respB, err := loaded.Process(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := c.Decode(respA, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := c.Decode(respB, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ra) != len(rb) {
+		t.Fatalf("result sizes differ: %d vs %d", len(ra), len(rb))
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+
+	// And a fresh client against the loaded engine still satisfies
+	// Claim 1 end to end.
+	c2, err := loaded.NewClient(detrand.New("persist-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	private, err := c2.Search(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := loaded.PlaintextSearch(query, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain {
+		if private[i] != plain[i] {
+			t.Fatalf("loaded engine rank %d: %+v vs %+v", i, private[i], plain[i])
+		}
+	}
+}
+
+func TestLoadEngineRejectsGarbage(t *testing.T) {
+	if _, err := LoadEngine(strings.NewReader("not an engine")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := LoadEngine(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadEngineRejectsCorruptSection(t *testing.T) {
+	e, _ := testEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Damage a byte inside the first (lexicon) section payload.
+	data[64] ^= 0xaa
+	if _, err := LoadEngine(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupt engine file accepted")
+	}
+}
+
+func TestLoadEngineRejectsTruncation(t *testing.T) {
+	e, _ := testEngine(t)
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range []int{5, 30, buf.Len() / 2} {
+		if _, err := LoadEngine(bytes.NewReader(buf.Bytes()[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
