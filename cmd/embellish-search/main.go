@@ -5,10 +5,17 @@
 // an unprotected search — while printing exactly what the search engine
 // observed.
 //
+// With -connect, Algorithm 4 instead runs on a remote embellish-server:
+// load the engine file both endpoints share (-load, so client and
+// server agree on the bucket organization) and the query travels over
+// the wire protocol.
+//
 // Usage:
 //
 //	embellish-search [-lexicon mini|synthetic] [-synsets N] [-docs N]
 //	                 [-bktsz B] [-keybits K] [-query "terms..."] [-topk K]
+//	embellish-search -connect HOST:PORT -load engine.bin
+//	                 [-keybits K] [-query "terms..."] [-topk K]
 //
 // With no -query, a random searchable term pair is used.
 package main
@@ -17,6 +24,7 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"os"
 	"strings"
 
@@ -36,40 +44,62 @@ func main() {
 		query   = flag.String("query", "", "query text (default: random searchable terms)")
 		topk    = flag.Int("topk", 10, "results to print")
 		seed    = flag.Int64("seed", 1, "world seed")
+		connect = flag.String("connect", "", "run the query against a remote embellish-server at this address")
+		load    = flag.String("load", "", "load the engine file shared with the server (required with -connect)")
 	)
 	flag.Parse()
 
+	var engine *embellish.Engine
 	var db *wordnet.Database
-	var lex *embellish.Lexicon
-	switch *lexKind {
-	case "mini":
-		db = wordnet.MiniLexicon()
-		lex = embellish.MiniLexicon()
-	case "synthetic":
-		db = wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
-		lex = embellish.SyntheticLexicon(*synsets, *seed)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown -lexicon %q\n", *lexKind)
-		os.Exit(2)
-	}
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+		engine, err = embellish.LoadEngine(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load:", err)
+			os.Exit(1)
+		}
+	} else {
+		if *connect != "" {
+			fmt.Fprintln(os.Stderr, "-connect requires -load: both endpoints must share one engine file")
+			os.Exit(2)
+		}
+		var lex *embellish.Lexicon
+		switch *lexKind {
+		case "mini":
+			db = wordnet.MiniLexicon()
+			lex = embellish.MiniLexicon()
+		case "synthetic":
+			db = wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
+			lex = embellish.SyntheticLexicon(*synsets, *seed)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown -lexicon %q\n", *lexKind)
+			os.Exit(2)
+		}
 
-	// Synthesize a corpus over the lexicon's vocabulary.
-	ccfg := corpus.DefaultConfig()
-	ccfg.NumDocs = *docs
-	ccfg.Seed = *seed + 1
-	corp := corpus.Generate(db, ccfg)
-	documents := make([]embellish.Document, len(corp.Docs))
-	for i, d := range corp.Docs {
-		documents[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
-	}
+		// Synthesize a corpus over the lexicon's vocabulary.
+		ccfg := corpus.DefaultConfig()
+		ccfg.NumDocs = *docs
+		ccfg.Seed = *seed + 1
+		corp := corpus.Generate(db, ccfg)
+		documents := make([]embellish.Document, len(corp.Docs))
+		for i, d := range corp.Docs {
+			documents[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+		}
 
-	opts := embellish.DefaultOptions()
-	opts.BucketSize = *bktSz
-	opts.KeyBits = *keyBits
-	engine, err := embellish.NewEngine(lex, documents, opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "engine:", err)
-		os.Exit(1)
+		opts := embellish.DefaultOptions()
+		opts.BucketSize = *bktSz
+		opts.KeyBits = *keyBits
+		var err error
+		engine, err = embellish.NewEngine(lex, documents, opts)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "engine:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
 		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
@@ -84,39 +114,50 @@ func main() {
 	if q == "" {
 		// Pick two random searchable lemmas through the public API.
 		rng := rand.New(rand.NewSource(*seed + 2))
-		var lemmas []string
-		for _, t := range db.AllTerms() {
-			if _, ok := engine.Bucket(db.Lemma(t)); ok {
-				lemmas = append(lemmas, db.Lemma(t))
-			}
-		}
+		lemmas := engine.SearchableLemmas()
 		q = lemmas[rng.Intn(len(lemmas))] + " " + lemmas[rng.Intn(len(lemmas))]
 	}
 	fmt.Printf("\ngenuine query: %q\n", q)
 
-	eq, err := client.Embellish(q)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "embellish:", err)
-		os.Exit(1)
-	}
-	if len(eq.Skipped) > 0 {
-		fmt.Printf("skipped (not in dictionary): %v\n", eq.Skipped)
-	}
-	fmt.Printf("the search engine sees %d terms (%d bytes):\n  %s\n",
-		len(eq.Terms()), eq.Bytes(), strings.Join(eq.Terms(), ", "))
+	var results []embellish.Result
+	if *connect != "" {
+		conn, err := net.Dial("tcp", *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer conn.Close()
+		results, err = client.SearchRemote(conn, q, *topk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "remote search:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("remote search via %s\n", *connect)
+	} else {
+		eq, err := client.Embellish(q)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "embellish:", err)
+			os.Exit(1)
+		}
+		if len(eq.Skipped) > 0 {
+			fmt.Printf("skipped (not in dictionary): %v\n", eq.Skipped)
+		}
+		fmt.Printf("the search engine sees %d terms (%d bytes):\n  %s\n",
+			len(eq.Terms()), eq.Bytes(), strings.Join(eq.Terms(), ", "))
 
-	resp, err := engine.Process(eq)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "process:", err)
-		os.Exit(1)
-	}
-	fmt.Printf("server: %d postings scanned, %d buckets fetched, %d candidates, %.2f ms simulated I/O\n",
-		resp.Stats.PostingsScanned, resp.Stats.BucketsFetched, resp.Stats.Candidates, resp.Stats.SimulatedIOms)
+		resp, err := engine.Process(eq)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "process:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("server: %d postings scanned, %d buckets fetched, %d candidates, %.2f ms simulated I/O\n",
+			resp.Stats.PostingsScanned, resp.Stats.BucketsFetched, resp.Stats.Candidates, resp.Stats.SimulatedIOms)
 
-	results, err := client.Decode(resp, *topk)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "decode:", err)
-		os.Exit(1)
+		results, err = client.Decode(resp, *topk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "decode:", err)
+			os.Exit(1)
+		}
 	}
 	fmt.Println("\nprivate search results:")
 	for i, r := range results {

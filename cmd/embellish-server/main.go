@@ -1,8 +1,10 @@
 // Command embellish-server runs a private-retrieval search engine as a
-// network service. It either builds an engine from a synthetic world
-// (and optionally saves it) or loads a previously saved engine file, and
-// then serves the wire protocol on a TCP address. Clients connect with
-// the library's Client.SearchRemote, or interactively with
+// concurrent network service. It either builds an engine from a
+// synthetic world (and optionally saves it) or loads a previously saved
+// engine file, and then serves the wire protocol on a TCP address with
+// one goroutine per connection, a connection limit, and graceful
+// shutdown on SIGINT/SIGTERM. Clients connect with the library's
+// Client.SearchRemote / SearchRemoteBatch, or interactively with
 // cmd/embellish-search -connect.
 //
 // Usage:
@@ -10,14 +12,20 @@
 //	embellish-server [-listen :7878] [-load engine.bin]
 //	                 [-lexicon mini|synthetic] [-synsets N] [-docs N]
 //	                 [-bktsz B] [-save engine.bin] [-once]
+//	                 [-shards N] [-window W] [-workers N]
+//	                 [-max-conns N] [-idle-timeout D] [-stats-every D]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"embellish"
 	"embellish/internal/corpus"
@@ -36,6 +44,14 @@ func main() {
 		bktSz   = flag.Int("bktsz", 8, "bucket size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		once    = flag.Bool("once", false, "serve a single connection and exit (for scripting)")
+
+		shards     = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
+		window     = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
+		workers    = flag.Int("workers", -1, "score-accumulation workers (-1 GOMAXPROCS, 0 single-threaded, N pinned)")
+		maxConns   = flag.Int("max-conns", 0, "simultaneous connection cap (0 default, -1 unlimited)")
+		idle       = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 never)")
+		statsEvery = flag.Duration("stats-every", 0, "print serving stats at this interval (0 off)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -79,6 +95,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	if err := engine.ConfigureExecution(*shards, *window, *workers); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
 		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
 
@@ -113,9 +132,52 @@ func main() {
 		conn.Close()
 		return
 	}
-	if err := engine.Serve(l); err != nil {
-		fatal(err)
+
+	srv := engine.NewNetServer(embellish.ServeConfig{
+		MaxConns:    *maxConns,
+		IdleTimeout: *idle,
+	})
+	if *statsEvery > 0 {
+		go func() {
+			for range time.Tick(*statsEvery) {
+				printStats(srv.Stats())
+			}
+		}()
 	}
+
+	// Graceful shutdown: first signal drains in-flight queries, second
+	// aborts immediately.
+	sigs := make(chan os.Signal, 2)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			fatal(err)
+		}
+	case sig := <-sigs:
+		fmt.Printf("received %v, draining (deadline %v)\n", sig, *drain)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		go func() {
+			<-sigs
+			cancel()
+		}()
+		if err := srv.Shutdown(ctx); err != nil {
+			fmt.Fprintln(os.Stderr, "embellish-server: shutdown:", err)
+		}
+		cancel()
+	}
+	printStats(srv.Stats())
+}
+
+func printStats(st embellish.ServeStats) {
+	avg := time.Duration(0)
+	if st.Queries > 0 {
+		avg = st.QueryTime / time.Duration(st.Queries)
+	}
+	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), avg %v, max %v\n",
+		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, avg, st.MaxQueryTime)
 }
 
 func fatal(err error) {

@@ -98,6 +98,7 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	}
 	e.org = org
 	e.server = core.NewServer(e.index, org, lex.db)
+	e.applyExecution()
 	return e, nil
 }
 
@@ -109,6 +110,17 @@ func (e *Engine) NumSearchableTerms() int { return len(e.searchable) }
 
 // NumBuckets reports the number of decoy buckets.
 func (e *Engine) NumBuckets() int { return e.org.NumBuckets() }
+
+// SearchableLemmas returns the lemmas of the searchable dictionary —
+// the terms a query may contain and still be both protected and
+// matched against the corpus. The slice is freshly allocated.
+func (e *Engine) SearchableLemmas() []string {
+	out := make([]string, len(e.searchable))
+	for i, t := range e.searchable {
+		out[i] = e.lex.db.Lemma(t)
+	}
+	return out
+}
 
 // Bucket returns the lemmas co-bucketed with the given term — the decoys
 // that accompany it in every embellished query — or false when the term
@@ -176,6 +188,55 @@ type ProcessStats struct {
 	SimulatedIOms float64
 }
 
+// processCore routes one embellished core query through the configured
+// execution pipeline: the sharded worker pool when Shards is set, the
+// legacy term-striped plan when only Parallelism is, and the paper's
+// sequential Algorithm 4 otherwise. Parallelism 0 is honored as
+// single-threaded execution in every plan — on a sharded server one
+// worker walks the shards serially. Every plan produces ciphertexts
+// that decrypt to identical scores.
+func (e *Engine) processCore(q *core.Query) (*core.Response, core.Stats, error) {
+	workers := 0 // GOMAXPROCS
+	switch {
+	case e.opts.Parallelism > 0:
+		workers = e.opts.Parallelism
+	case e.opts.Parallelism == 0:
+		workers = 1
+	}
+	switch {
+	case e.server.NumShards() > 0:
+		return e.server.ProcessParallel(q, workers)
+	case e.opts.Parallelism == 0:
+		return e.server.Process(q)
+	default:
+		return e.server.ProcessParallel(q, workers)
+	}
+}
+
+// ConfigureExecution adjusts the runtime execution knobs — they tune
+// how scores are computed, never what they decrypt to, and are not part
+// of the persisted engine file (load an engine, then configure it for
+// the deployment's hardware). The arguments follow the Options fields
+// of the same names; see Options for the encodings of 0 and -1.
+func (e *Engine) ConfigureExecution(shards, precomputeWindow, parallelism int) error {
+	opts := e.opts
+	opts.Shards = shards
+	opts.PrecomputeWindow = precomputeWindow
+	opts.Parallelism = parallelism
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	e.opts = opts
+	e.applyExecution()
+	return nil
+}
+
+// applyExecution pushes the execution options into the core server.
+func (e *Engine) applyExecution() {
+	e.server.SetSharding(e.opts.Shards)
+	e.server.SetPrecompute(e.opts.precomputeWindow())
+}
+
 // Process executes Algorithm 4: accumulate each candidate document's
 // encrypted relevance score over every term of the embellished query.
 // The engine cannot distinguish genuine terms from decoys; decoy flags
@@ -184,19 +245,7 @@ func (e *Engine) Process(q *Query) (*Response, error) {
 	if q == nil || q.inner == nil {
 		return nil, errors.New("embellish: nil query")
 	}
-	var (
-		resp *core.Response
-		st   core.Stats
-		err  error
-	)
-	switch {
-	case e.opts.Parallelism == 0:
-		resp, st, err = e.server.Process(q.inner)
-	case e.opts.Parallelism < 0:
-		resp, st, err = e.server.ProcessParallel(q.inner, 0)
-	default:
-		resp, st, err = e.server.ProcessParallel(q.inner, e.opts.Parallelism)
-	}
+	resp, st, err := e.processCore(q.inner)
 	if err != nil {
 		return nil, err
 	}

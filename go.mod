@@ -1,0 +1,3 @@
+module embellish
+
+go 1.24.0

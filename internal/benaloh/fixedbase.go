@@ -1,0 +1,119 @@
+package benaloh
+
+import "math/big"
+
+// FixedBase is a fixed-base windowed-exponentiation table for one
+// ciphertext. The server's Algorithm 4 inner loop raises the same flag
+// ciphertext E(u) to a small public exponent p (the quantized impact)
+// once per posting; a full square-and-multiply Exp costs ~1.5 modular
+// multiplications per exponent bit on every posting, whereas a fixed-base
+// table pays that cost once per query term and then answers each E(u)^p
+// with at most digits-1 multiplications — table lookups plus a few
+// products.
+//
+// The table uses radix 2^w: tables[i][d] = base^(d·2^{w·i}) mod n for
+// d ∈ [0, 2^w) and i over the ⌈maxBits/w⌉ windows needed to cover the
+// largest expected exponent. Pow(e) multiplies one entry per nonzero
+// base-2^w digit of e.
+type FixedBase struct {
+	n      *big.Int
+	window uint
+	mask   int64
+	tables [][]*big.Int
+	maxExp int64
+	// setupMuls is the number of modular multiplications spent building
+	// the table, so callers can account precomputation in their CPU cost
+	// models.
+	setupMuls int
+}
+
+// DefaultWindow is the table radix exponent used when callers pass 0:
+// 4-bit windows cover the conventional 255-level impact quantization
+// with two windows, so each E(u)^p costs at most one multiplication.
+const DefaultWindow = 4
+
+// NewFixedBase builds the windowed table for base^e with e ∈ [0, maxExp].
+// window is the radix exponent w (0 selects DefaultWindow). The table
+// costs about ⌈bits(maxExp)/w⌉·(2^w-2)+⌈bits(maxExp)/w⌉-1 modular
+// multiplications to build; it pays for itself when the base is reused
+// across more than a handful of exponentiations.
+func (pk *PublicKey) NewFixedBase(base *big.Int, maxExp int64, window uint) *FixedBase {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	if maxExp < 1 {
+		maxExp = 1
+	}
+	bits := 0
+	for v := maxExp; v > 0; v >>= 1 {
+		bits++
+	}
+	numWindows := (bits + int(window) - 1) / int(window)
+	fb := &FixedBase{
+		n:      pk.N,
+		window: window,
+		mask:   (1 << window) - 1,
+		maxExp: maxExp,
+		tables: make([][]*big.Int, numWindows),
+	}
+	size := 1 << window
+	// windowBase = base^(2^{w·i}), advanced by repeated squaring between
+	// windows; each table row is windowBase^d for d = 0..2^w-1.
+	windowBase := base
+	for i := 0; i < numWindows; i++ {
+		row := make([]*big.Int, size)
+		row[0] = one
+		row[1] = new(big.Int).Set(windowBase)
+		for d := 2; d < size; d++ {
+			row[d] = new(big.Int).Mul(row[d-1], windowBase)
+			row[d].Mod(row[d], fb.n)
+			fb.setupMuls++
+		}
+		fb.tables[i] = row
+		if i+1 < numWindows {
+			next := new(big.Int).Set(windowBase)
+			for s := uint(0); s < window; s++ {
+				next.Mul(next, next)
+				next.Mod(next, fb.n)
+				fb.setupMuls++
+			}
+			windowBase = next
+		}
+	}
+	return fb
+}
+
+// SetupMuls reports the modular multiplications spent building the table.
+func (fb *FixedBase) SetupMuls() int { return fb.setupMuls }
+
+// MaxExp reports the largest exponent the table covers.
+func (fb *FixedBase) MaxExp() int64 { return fb.maxExp }
+
+// Pow returns base^e mod n for 0 <= e <= MaxExp, spending at most one
+// modular multiplication per nonzero base-2^w digit of e (beyond the
+// first). muls reports how many multiplications were performed, for CPU
+// cost accounting. The result is a fresh big.Int the caller may mutate.
+func (fb *FixedBase) Pow(e int64) (c *big.Int, muls int) {
+	acc := new(big.Int)
+	set := false
+	for i := 0; e > 0 && i < len(fb.tables); i++ {
+		d := e & fb.mask
+		e >>= fb.window
+		if d == 0 {
+			continue
+		}
+		entry := fb.tables[i][d]
+		if !set {
+			acc.Set(entry)
+			set = true
+		} else {
+			acc.Mul(acc, entry)
+			acc.Mod(acc, fb.n)
+			muls++
+		}
+	}
+	if !set {
+		acc.SetInt64(1)
+	}
+	return acc, muls
+}

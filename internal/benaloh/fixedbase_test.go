@@ -1,0 +1,112 @@
+package benaloh
+
+import (
+	"math/big"
+	"testing"
+
+	"embellish/internal/detrand"
+)
+
+func fbTestKey(t testing.TB) *PrivateKey {
+	t.Helper()
+	key, err := GenerateKey(detrand.New("fixedbase"), 256, Pow3(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestFixedBasePowMatchesExp checks every exponent in range against the
+// generic modular exponentiation, across several window widths.
+func TestFixedBasePowMatchesExp(t *testing.T) {
+	key := fbTestKey(t)
+	pk := &key.PublicKey
+	c, err := pk.EncryptInt(detrand.New("fb-flag"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxExp = 255
+	for _, window := range []uint{1, 2, 3, 4, 5, 8} {
+		fb := pk.NewFixedBase(c, maxExp, window)
+		for e := int64(0); e <= maxExp; e++ {
+			got, _ := fb.Pow(e)
+			want := new(big.Int).Exp(c, big.NewInt(e), pk.N)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("window %d: Pow(%d) = %v, want %v", window, e, got, want)
+			}
+		}
+	}
+}
+
+// TestFixedBasePowFreshResult verifies Pow returns values the caller can
+// mutate without corrupting the table (the server accumulates scores
+// in place on top of Pow results).
+func TestFixedBasePowFreshResult(t *testing.T) {
+	key := fbTestKey(t)
+	pk := &key.PublicKey
+	c, err := pk.EncryptInt(detrand.New("fb-mut"), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := pk.NewFixedBase(c, 255, 4)
+	for _, e := range []int64{0, 1, 3, 16, 17, 255} {
+		v, _ := fb.Pow(e)
+		want := new(big.Int).Set(v)
+		v.SetInt64(-12345) // simulate caller mutation
+		again, _ := fb.Pow(e)
+		if again.Cmp(want) != 0 {
+			t.Fatalf("Pow(%d) corrupted by caller mutation: got %v want %v", e, again, want)
+		}
+	}
+}
+
+// TestFixedBaseHomomorphism drives the table through the actual use:
+// accumulating E(u)^p homomorphically and decrypting the sum.
+func TestFixedBaseHomomorphism(t *testing.T) {
+	key := fbTestKey(t)
+	pk := &key.PublicKey
+	rng := detrand.New("fb-homo")
+	flag, err := pk.EncryptInt(rng, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb := pk.NewFixedBase(flag, 255, 0)
+	acc, err := pk.EncryptZero(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := int64(0)
+	for _, p := range []int64{1, 7, 100, 255, 30} {
+		contrib, _ := fb.Pow(p)
+		pk.AddInto(acc, contrib)
+		sum += p
+	}
+	m, err := key.DecryptInt(acc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m != sum {
+		t.Fatalf("decrypted %d, want %d", m, sum)
+	}
+}
+
+func BenchmarkScalarMul(b *testing.B) {
+	key := fbTestKey(b)
+	pk := &key.PublicKey
+	c, _ := pk.EncryptInt(detrand.New("fb-bench"), 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pk.ScalarMul(c, int64(1+i%255))
+	}
+}
+
+func BenchmarkFixedBasePow(b *testing.B) {
+	key := fbTestKey(b)
+	pk := &key.PublicKey
+	c, _ := pk.EncryptInt(detrand.New("fb-bench"), 1)
+	fb := pk.NewFixedBase(c, 255, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fb.Pow(int64(1 + i%255))
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"io"
 	"math/big"
 	"math/rand"
+	"runtime"
 
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
@@ -182,7 +183,46 @@ type Server struct {
 	// the whole bucket.
 	bucketBytes []int
 	Disk        simio.Model
+	// sharded is the document-partitioned view driving the worker-pool
+	// pipeline of ProcessParallel; nil keeps the term-striped fallback.
+	sharded *index.Sharded
+	// window is the fixed-base exponentiation radix exponent; 0 disables
+	// precomputation and every E(u)^p is a full modular exponentiation.
+	window uint
 }
+
+// SetSharding partitions the server's index into n document shards for
+// the worker-pool pipeline of ProcessParallel: n < 0 selects GOMAXPROCS
+// shards, n == 0 removes the sharded view (restoring the term-striped
+// fallback). The partition is computed once and reused by every query;
+// it copies the postings, roughly doubling the index's resident memory
+// while sharding is enabled. Not safe to call concurrently with
+// Process calls; configure before serving.
+func (s *Server) SetSharding(n int) {
+	if n == 0 {
+		s.sharded = nil
+		return
+	}
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	s.sharded = s.Index.Shard(n)
+}
+
+// NumShards reports the configured shard count (0 when unsharded).
+func (s *Server) NumShards() int {
+	if s.sharded == nil {
+		return 0
+	}
+	return s.sharded.NumShards()
+}
+
+// SetPrecompute enables fixed-base windowed exponentiation for the
+// per-term flag powers E(u)^p: window is the radix exponent w (tables of
+// 2^w entries per window of the exponent), and 0 disables the tables.
+// Precomputation changes only which group operations compute E(u)^p —
+// the ciphertexts, and hence the protocol transcript, are identical.
+func (s *Server) SetPrecompute(window uint) { s.window = window }
 
 // NewServer wires an index to a bucket organization. db supplies the
 // lemma spelling of each organization term so it can be matched against
@@ -255,13 +295,13 @@ func (s *Server) Process(q *Query) (*Response, Stats, error) {
 	acc := make(map[index.DocID]*big.Int)
 	for _, e := range q.Entries {
 		list := s.ListFor(e.Term)
+		pow, setup := s.powerFn(pk, e.Flag, len(list))
+		st.ModMuls += setup
 		for i := range list {
 			p := list[i]
 			st.Postings++
-			// E(u)^p via modular exponentiation; count its multiplications
-			// for the CPU cost model (~1.5 per exponent bit).
-			contrib := pk.ScalarMul(e.Flag, int64(p.Quantized))
-			st.ModMuls += mulsForExponent(int64(p.Quantized))
+			contrib, muls := pow(int64(p.Quantized))
+			st.ModMuls += muls
 			if cur, ok := acc[p.Doc]; ok {
 				pk.AddInto(cur, contrib)
 				st.ModMuls++
@@ -278,6 +318,30 @@ func (s *Server) Process(q *Query) (*Response, Stats, error) {
 	sortDocScores(resp.Docs)
 	st.Candidates = len(resp.Docs)
 	return resp, st, nil
+}
+
+// fixedBaseMinPostings is the inverted-list length at which building a
+// fixed-base table pays for its setup multiplications; shorter lists
+// fall back to plain exponentiation.
+const fixedBaseMinPostings = 4
+
+// powerFn returns the E(u)^p evaluator for one query entry — a
+// fixed-base windowed table when precomputation is enabled and the
+// term's list is long enough to amortize it, otherwise plain modular
+// exponentiation. The second return is the setup cost in modular
+// multiplications; the evaluator reports its per-call cost. Both paths
+// yield the identical group element, so the choice is invisible to the
+// client and to the protocol transcript.
+func (s *Server) powerFn(pk *benaloh.PublicKey, flag *big.Int, postings int) (func(int64) (*big.Int, int), int) {
+	if s.window == 0 || postings < fixedBaseMinPostings {
+		return func(p int64) (*big.Int, int) {
+			// E(u)^p via modular exponentiation; count its multiplications
+			// for the CPU cost model (~1.5 per exponent bit).
+			return pk.ScalarMul(flag, p), mulsForExponent(p)
+		}, 0
+	}
+	fb := pk.NewFixedBase(flag, int64(s.Index.QuantLevels), s.window)
+	return fb.Pow, fb.SetupMuls()
 }
 
 // mulsForExponent estimates the modular multiplications of one

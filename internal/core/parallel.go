@@ -5,20 +5,31 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"embellish/internal/index"
 	"embellish/internal/wordnet"
 )
 
-// ProcessParallel is Algorithm 4 with the per-term inverted-list scans
-// fanned out over workers goroutines (0 selects GOMAXPROCS). The
-// homomorphic accumulation is commutative and associative — ciphertext
-// multiplication mod n — so each worker folds its share of the query's
-// terms into a private accumulator map and the shards merge pairwise
-// afterwards. The result is identical to Process up to ciphertext
+// ProcessParallel is Algorithm 4 executed by a worker pool. With a
+// sharded index (Server.SetSharding), the postings are partitioned by
+// document: each worker claims whole shards from a work queue and folds
+// every query term's shard-local sub-list into a private accumulator
+// map. Shards own disjoint document sets, so the per-shard encrypted
+// score maps never overlap and the final merge is pure concatenation —
+// no cross-shard homomorphic additions, no locks on the hot path. The
+// per-term flag powers E(u)^p are served from fixed-base tables built
+// once per query (Server.SetPrecompute) and shared read-only by all
+// workers.
+//
+// Without a sharded view the legacy term-striped plan runs: workers
+// split the query's terms and merge their overlapping accumulators
+// pairwise with homomorphic additions afterwards.
+//
+// Either way the result is identical to Process up to ciphertext
 // randomization: each E(score) is a different group element than the
 // sequential run would produce, but decrypts to the same score, and the
-// server learns nothing either way.
+// server learns nothing either way. workers <= 0 selects GOMAXPROCS.
 func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error) {
 	if len(q.Entries) == 0 {
 		return nil, Stats{}, errors.New("core: empty query")
@@ -26,10 +37,15 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 || len(q.Entries) < 2*workers {
-		return s.Process(q)
+	if s.sharded != nil {
+		return s.processSharded(q, workers)
 	}
+	return s.processTermStriped(q, workers)
+}
 
+// chargeIO accounts one seek per distinct bucket named by the query
+// (Section 4's contiguous bucket layout) and returns the stats skeleton.
+func (s *Server) chargeIO(q *Query) Stats {
 	var st Stats
 	terms := make([]wordnet.TermID, len(q.Entries))
 	for i, e := range q.Entries {
@@ -38,7 +54,133 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 	for _, b := range s.Org.BucketsFor(terms) {
 		st.IO.Charge(s.bucketBytes[b])
 	}
+	return st
+}
 
+// entryPlan is the per-query-term execution state shared read-only by
+// all shard workers: the resolved index term and the E(u)^p evaluator.
+type entryPlan struct {
+	term int32 // index term number, -1 when absent from the corpus
+	pow  func(int64) (*big.Int, int)
+}
+
+// processSharded runs the document-sharded worker-pool pipeline.
+func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error) {
+	st := s.chargeIO(q)
+	pk := q.Pub
+	sh := s.sharded
+	nsh := sh.NumShards()
+	if workers > nsh {
+		workers = nsh
+	}
+
+	// Phase 1: resolve terms and build the per-entry fixed-base tables,
+	// fanned out over the pool (tables are independent of each other).
+	plans := make([]entryPlan, len(q.Entries))
+	setupMuls := make([]int64, workers)
+	var nextEntry int32
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt32(&nextEntry, 1)) - 1
+				if i >= len(q.Entries) {
+					return
+				}
+				e := q.Entries[i]
+				plans[i].term = -1
+				if int(e.Term) < len(s.termOf) {
+					plans[i].term = s.termOf[e.Term]
+				}
+				if plans[i].term < 0 {
+					continue
+				}
+				postings := len(s.Index.List(int(plans[i].term)))
+				pow, setup := s.powerFn(pk, e.Flag, postings)
+				plans[i].pow = pow
+				setupMuls[w] += int64(setup)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, m := range setupMuls {
+		st.ModMuls += int(m)
+	}
+
+	// Phase 2: workers claim shards and fold every entry's shard-local
+	// sub-list into a shard-private accumulator. Document-disjointness
+	// makes the shard maps non-overlapping.
+	type shardOut struct {
+		acc      map[index.DocID]*big.Int
+		modMuls  int
+		postings int
+	}
+	outs := make([]shardOut, nsh)
+	var nextShard int32
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				si := int(atomic.AddInt32(&nextShard, 1)) - 1
+				if si >= nsh {
+					return
+				}
+				acc := make(map[index.DocID]*big.Int)
+				muls, posts := 0, 0
+				for pi := range plans {
+					pl := &plans[pi]
+					if pl.term < 0 {
+						continue
+					}
+					for _, p := range sh.List(int(pl.term), si) {
+						posts++
+						contrib, m := pl.pow(int64(p.Quantized))
+						muls += m
+						if cur, ok := acc[p.Doc]; ok {
+							pk.AddInto(cur, contrib)
+							muls++
+						} else {
+							acc[p.Doc] = contrib
+						}
+					}
+				}
+				outs[si] = shardOut{acc: acc, modMuls: muls, postings: posts}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Phase 3: aggregate stats and concatenate the disjoint shard maps.
+	total := 0
+	for i := range outs {
+		st.ModMuls += outs[i].modMuls
+		st.Postings += outs[i].postings
+		total += len(outs[i].acc)
+	}
+	resp := &Response{ctxBytes: pk.CiphertextBytes()}
+	resp.Docs = make([]DocScore, 0, total)
+	for i := range outs {
+		for d, c := range outs[i].acc {
+			resp.Docs = append(resp.Docs, DocScore{Doc: d, Enc: c})
+		}
+	}
+	sortDocScores(resp.Docs)
+	st.Candidates = len(resp.Docs)
+	return resp, st, nil
+}
+
+// processTermStriped is the legacy parallel plan: stripe the query's
+// terms over the workers and homomorphically merge the overlapping
+// per-worker accumulators afterwards. Retained for servers that have
+// not configured sharding.
+func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, error) {
+	if workers == 1 || len(q.Entries) < 2*workers {
+		return s.Process(q)
+	}
+	st := s.chargeIO(q)
 	pk := q.Pub
 	type shard struct {
 		acc      map[index.DocID]*big.Int
@@ -56,11 +198,13 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 			for i := w; i < len(q.Entries); i += workers {
 				e := q.Entries[i]
 				list := s.ListFor(e.Term)
+				pow, setup := s.powerFn(pk, e.Flag, len(list))
+				muls += setup
 				for j := range list {
 					p := list[j]
 					posts++
-					contrib := pk.ScalarMul(e.Flag, int64(p.Quantized))
-					muls += mulsForExponent(int64(p.Quantized))
+					contrib, m := pow(int64(p.Quantized))
+					muls += m
 					if cur, ok := acc[p.Doc]; ok {
 						pk.AddInto(cur, contrib)
 						muls++
@@ -76,8 +220,8 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 
 	// Merge shards into the first shard's accumulator.
 	merged := shards[0].acc
-	st.ModMuls = shards[0].modMuls
-	st.Postings = shards[0].postings
+	st.ModMuls += shards[0].modMuls
+	st.Postings += shards[0].postings
 	for _, sh := range shards[1:] {
 		st.ModMuls += sh.modMuls
 		st.Postings += sh.postings

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestShardedMatchesSequential: the document-sharded worker-pool
+// pipeline, with and without fixed-base precomputation, must decrypt to
+// exactly the sequential Algorithm 4 scores for every candidate.
+func TestShardedMatchesSequential(t *testing.T) {
+	w, _ := world(t)
+	rng := rand.New(rand.NewSource(91))
+	for _, cfg := range []struct {
+		shards  int
+		window  uint
+		workers int
+	}{
+		{shards: 1, window: 0, workers: 1},
+		{shards: 2, window: 0, workers: 2},
+		{shards: 4, window: 4, workers: 2},
+		{shards: 8, window: 4, workers: 8},
+		{shards: 3, window: 2, workers: 16}, // more workers than shards
+	} {
+		c, s := newPair(t, 90)
+		_, seqServer := newPair(t, 90)
+		genuine := pickGenuine(w, rng, 3)
+		q, _, err := c.Embellish(genuine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqResp, seqStats, err := seqServer.Process(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetSharding(cfg.shards)
+		s.SetPrecompute(cfg.window)
+		if s.NumShards() != cfg.shards {
+			t.Fatalf("NumShards = %d, want %d", s.NumShards(), cfg.shards)
+		}
+		shResp, shStats, err := s.ProcessParallel(q, cfg.workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if shStats.Postings != seqStats.Postings || shStats.Candidates != seqStats.Candidates {
+			t.Fatalf("%+v: stats diverge: %+v vs %+v", cfg, shStats, seqStats)
+		}
+		if shStats.IO != seqStats.IO {
+			t.Fatalf("%+v: IO accounting diverges", cfg)
+		}
+		seqRanked, err := c.PostFilter(seqResp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shRanked, err := c.PostFilter(shResp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(seqRanked) != len(shRanked) {
+			t.Fatalf("%+v: %d vs %d candidates", cfg, len(shRanked), len(seqRanked))
+		}
+		for i := range seqRanked {
+			if seqRanked[i] != shRanked[i] {
+				t.Fatalf("%+v rank %d: %+v vs %+v", cfg, i, shRanked[i], seqRanked[i])
+			}
+		}
+	}
+}
+
+// TestPrecomputeMatchesSequential: fixed-base precomputation on the
+// sequential path must not change any decrypted score, and must lower
+// the modeled multiplication count on long lists.
+func TestPrecomputeMatchesSequential(t *testing.T) {
+	w, _ := world(t)
+	c, plain := newPair(t, 94)
+	_, pre := newPair(t, 94)
+	pre.SetPrecompute(4)
+	genuine := pickGenuine(w, rand.New(rand.NewSource(95)), 3)
+	q, _, err := c.Embellish(genuine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainResp, plainStats, err := plain.Process(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	preResp, preStats, err := pre.Process(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if preStats.Postings != plainStats.Postings {
+		t.Fatalf("postings diverge: %d vs %d", preStats.Postings, plainStats.Postings)
+	}
+	a, err := c.PostFilter(plainResp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.PostFilter(preResp, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("%d vs %d candidates", len(b), len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("rank %d: %+v vs %+v", i, b[i], a[i])
+		}
+	}
+}
+
+// TestShardedConcurrentQueries runs many queries against one sharded
+// server from concurrent goroutines; run under -race this doubles as
+// the data-race check for the shared sharded view and fixed-base plans.
+func TestShardedConcurrentQueries(t *testing.T) {
+	w, _ := world(t)
+	c, s := newPair(t, 96)
+	s.SetSharding(4)
+	s.SetPrecompute(4)
+	rng := rand.New(rand.NewSource(97))
+
+	type job struct {
+		q    *Query
+		want []Ranked
+	}
+	jobs := make([]job, 6)
+	for i := range jobs {
+		genuine := pickGenuine(w, rng, 2)
+		q, _, err := c.Embellish(genuine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, _, err := s.Process(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := c.PostFilter(resp, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{q: q, want: want}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for _, jb := range jobs {
+		wg.Add(1)
+		go func(jb job) {
+			defer wg.Done()
+			resp, _, err := s.ProcessParallel(jb.q, 2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			got, err := c.PostFilter(resp, 0)
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range jb.want {
+				if got[i] != jb.want[i] {
+					errs <- errMismatch{}
+					return
+				}
+			}
+		}(jb)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type errMismatch struct{}
+
+func (errMismatch) Error() string { return "sharded ranking diverged from sequential" }

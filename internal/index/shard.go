@@ -1,0 +1,73 @@
+package index
+
+// Sharded is a document-partitioned view of an Index: every inverted
+// list is split into n sub-lists by DocID, so shard s holds exactly the
+// postings of documents d with d mod n == s. Because the partition is by
+// document — not by term — the per-shard score accumulators of a query
+// are disjoint: a worker that folds shard s's postings can never touch a
+// document owned by another shard, so merging shard results is pure
+// concatenation, with no cross-shard homomorphic additions and no locks.
+//
+// Within each sub-list the original decreasing-impact order is
+// preserved, so shard-local top-k traversals remain valid.
+//
+// The view materializes its own copy of every posting (the original
+// lists stay live in the wrapped Index), so configuring sharding
+// roughly doubles the memory held by the postings store — the price of
+// contiguous per-shard scans.
+//
+// A Sharded view is immutable after construction and safe for concurrent
+// readers, like the Index it wraps.
+type Sharded struct {
+	ix *Index
+	n  int
+	// lists[t][s] is the shard-s slice of term t's inverted list.
+	lists [][][]Posting
+}
+
+// NumShards returns the shard count n.
+func (sh *Sharded) NumShards() int { return sh.n }
+
+// Index returns the underlying unsharded index.
+func (sh *Sharded) Index() *Index { return sh.ix }
+
+// ShardOf returns the shard owning document d.
+func (sh *Sharded) ShardOf(d DocID) int { return int(d) % sh.n }
+
+// List returns the shard-s sub-list of term t, impact-ordered. The
+// returned slice is owned by the view.
+func (sh *Sharded) List(t, s int) []Posting { return sh.lists[t][s] }
+
+// Shard partitions the index into n document shards. n < 1 is treated
+// as 1 (a single shard containing every posting).
+func (ix *Index) Shard(n int) *Sharded {
+	if n < 1 {
+		n = 1
+	}
+	sh := &Sharded{ix: ix, n: n, lists: make([][][]Posting, len(ix.lists))}
+	counts := make([]int, n)
+	for t, list := range ix.lists {
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := range list {
+			counts[int(list[i].Doc)%n]++
+		}
+		parts := make([][]Posting, n)
+		// One backing array per term, carved into n sub-slices: the
+		// postings are copied once (see the type comment on memory
+		// cost), and each shard's slice stays contiguous.
+		backing := make([]Posting, len(list))
+		off := 0
+		for s := 0; s < n; s++ {
+			parts[s] = backing[off : off : off+counts[s]]
+			off += counts[s]
+		}
+		for i := range list {
+			s := int(list[i].Doc) % n
+			parts[s] = append(parts[s], list[i])
+		}
+		sh.lists[t] = parts
+	}
+	return sh
+}

@@ -1,0 +1,88 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func buildShardTestIndex(t *testing.T, docs, vocab int) *Index {
+	t.Helper()
+	rng := rand.New(rand.NewSource(7))
+	b := NewBuilder()
+	for d := 0; d < docs; d++ {
+		n := 5 + rng.Intn(20)
+		toks := make([]string, n)
+		for i := range toks {
+			toks[i] = fmt.Sprintf("w%d", rng.Intn(vocab))
+		}
+		b.Add(DocID(d), toks)
+	}
+	return b.Build()
+}
+
+// TestShardPartition verifies every posting lands in exactly one shard,
+// in the shard its document maps to, with impact order preserved.
+func TestShardPartition(t *testing.T) {
+	ix := buildShardTestIndex(t, 200, 40)
+	for _, n := range []int{1, 2, 3, 8, 17} {
+		sh := ix.Shard(n)
+		if sh.NumShards() != n {
+			t.Fatalf("NumShards = %d, want %d", sh.NumShards(), n)
+		}
+		for ti := 0; ti < ix.NumTerms(); ti++ {
+			full := ix.List(ti)
+			total := 0
+			seen := make(map[DocID]bool, len(full))
+			for s := 0; s < n; s++ {
+				part := sh.List(ti, s)
+				total += len(part)
+				for i, p := range part {
+					if int(p.Doc)%n != s {
+						t.Fatalf("n=%d term %d: doc %d in shard %d", n, ti, p.Doc, s)
+					}
+					if seen[p.Doc] {
+						t.Fatalf("n=%d term %d: doc %d appears twice", n, ti, p.Doc)
+					}
+					seen[p.Doc] = true
+					if i > 0 && part[i-1].Impact < p.Impact {
+						t.Fatalf("n=%d term %d shard %d: impact order broken at %d", n, ti, s, i)
+					}
+				}
+			}
+			if total != len(full) {
+				t.Fatalf("n=%d term %d: shards hold %d postings, index has %d", n, ti, total, len(full))
+			}
+			for _, p := range full {
+				if !seen[p.Doc] {
+					t.Fatalf("n=%d term %d: doc %d lost", n, ti, p.Doc)
+				}
+			}
+		}
+	}
+}
+
+// TestShardDegenerate covers n<1 clamping and shard counts exceeding the
+// document count.
+func TestShardDegenerate(t *testing.T) {
+	ix := buildShardTestIndex(t, 10, 8)
+	sh := ix.Shard(0)
+	if sh.NumShards() != 1 {
+		t.Fatalf("Shard(0) produced %d shards, want 1", sh.NumShards())
+	}
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		if got, want := len(sh.List(ti, 0)), len(ix.List(ti)); got != want {
+			t.Fatalf("term %d: single shard holds %d postings, want %d", ti, got, want)
+		}
+	}
+	wide := ix.Shard(64)
+	for ti := 0; ti < ix.NumTerms(); ti++ {
+		total := 0
+		for s := 0; s < 64; s++ {
+			total += len(wide.List(ti, s))
+		}
+		if total != len(ix.List(ti)) {
+			t.Fatalf("term %d: 64-way shards hold %d postings, want %d", ti, total, len(ix.List(ti)))
+		}
+	}
+}

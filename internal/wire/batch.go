@@ -1,0 +1,182 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"embellish/internal/benaloh"
+	"embellish/internal/core"
+	"embellish/internal/index"
+	"embellish/internal/vbyte"
+	"embellish/internal/wordnet"
+)
+
+// Batch messages amortize framing and round-trips when one client
+// session issues several embellished queries at once (a user tab
+// restoring saved searches, or a proxy multiplexing users): the Benaloh
+// public key — hundreds of bytes of modulus — is serialized once for the
+// whole batch instead of once per query, and the server answers all
+// queries in a single frame.
+
+// MaxBatch caps the number of queries in one batch frame.
+const MaxBatch = 1024
+
+// WriteBatchQuery frames and writes a batch of embellished queries that
+// share one public key (they must come from the same client key pair).
+func WriteBatchQuery(w io.Writer, qs []*core.Query) error {
+	if len(qs) == 0 {
+		return errors.New("wire: empty batch")
+	}
+	if len(qs) > MaxBatch {
+		return fmt.Errorf("wire: batch of %d exceeds limit %d", len(qs), MaxBatch)
+	}
+	pub := qs[0].Pub
+	if pub == nil {
+		return errors.New("wire: nil public key")
+	}
+	for _, q := range qs[1:] {
+		if q.Pub == nil || q.Pub.N.Cmp(pub.N) != 0 || q.Pub.G.Cmp(pub.G) != 0 || q.Pub.R.Cmp(pub.R) != 0 {
+			return errors.New("wire: batch queries must share one public key")
+		}
+	}
+	var body []byte
+	body = append(body, TypeBatchQuery)
+	body = appendBig(body, pub.N)
+	body = appendBig(body, pub.G)
+	body = appendBig(body, pub.R)
+	body = vbyte.Append(body, uint64(len(qs)))
+	for _, q := range qs {
+		body = vbyte.Append(body, uint64(len(q.Entries)))
+		for _, e := range q.Entries {
+			body = vbyte.Append(body, uint64(e.Term))
+			body = appendBig(body, e.Flag)
+		}
+	}
+	return writeFrame(w, body)
+}
+
+// DecodeBatchQuery parses a TypeBatchQuery body. The returned queries
+// share one PublicKey value.
+func DecodeBatchQuery(body []byte) ([]*core.Query, error) {
+	pubN, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: batch N: %w", err)
+	}
+	pubG, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: batch G: %w", err)
+	}
+	pubR, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: batch R: %w", err)
+	}
+	if pubN.Sign() <= 0 || pubG.Sign() <= 0 || pubR.Sign() <= 0 {
+		return nil, errors.New("wire: nonpositive key parameter")
+	}
+	pub := &benaloh.PublicKey{N: pubN, G: pubG, R: pubR}
+	nq, used, err := vbyte.Decode(body)
+	if err != nil || nq == 0 || nq > MaxBatch {
+		return nil, fmt.Errorf("wire: batch count: %w", orRange(err))
+	}
+	body = body[used:]
+	out := make([]*core.Query, nq)
+	for qi := range out {
+		n, used, err := vbyte.Decode(body)
+		if err != nil || n > maxEntries {
+			return nil, fmt.Errorf("wire: batch query %d entry count: %w", qi, orRange(err))
+		}
+		body = body[used:]
+		q := &core.Query{Pub: pub, Entries: make([]core.QueryEntry, n)}
+		for i := range q.Entries {
+			term, used, err := vbyte.Decode(body)
+			if err != nil || term >= 1<<31 {
+				return nil, fmt.Errorf("wire: batch query %d entry %d term: %w", qi, i, orRange(err))
+			}
+			body = body[used:]
+			flag, rest, err := decodeBig(body)
+			if err != nil {
+				return nil, fmt.Errorf("wire: batch query %d entry %d flag: %w", qi, i, err)
+			}
+			if flag.Sign() <= 0 || flag.Cmp(pubN) >= 0 {
+				return nil, fmt.Errorf("wire: batch query %d entry %d flag outside Z_n", qi, i)
+			}
+			body = rest
+			q.Entries[i] = core.QueryEntry{Term: wordnet.TermID(term), Flag: flag}
+		}
+		out[qi] = q
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing bytes after batch query")
+	}
+	return out, nil
+}
+
+// WriteBatchResponse frames and writes the per-query candidate sets and
+// cost figures answering one batch query, in batch order.
+func WriteBatchResponse(w io.Writer, resps []*core.Response, stats []core.Stats) error {
+	if len(resps) != len(stats) {
+		return errors.New("wire: responses and stats length mismatch")
+	}
+	var body []byte
+	body = append(body, TypeBatchResponse)
+	body = vbyte.Append(body, uint64(len(resps)))
+	for i, resp := range resps {
+		body = vbyte.Append(body, uint64(len(resp.Docs)))
+		for _, d := range resp.Docs {
+			body = vbyte.Append(body, uint64(d.Doc))
+			body = appendBig(body, d.Enc)
+		}
+		body = vbyte.Append(body, uint64(stats[i].Postings))
+		body = vbyte.Append(body, uint64(stats[i].IO.Seeks))
+		body = vbyte.Append(body, uint64(stats[i].IO.Bytes))
+	}
+	return writeFrame(w, body)
+}
+
+// DecodeBatchResponse parses a TypeBatchResponse body.
+func DecodeBatchResponse(body []byte) ([][]Candidate, []ResponseStats, error) {
+	nq, used, err := vbyte.Decode(body)
+	if err != nil || nq == 0 || nq > MaxBatch {
+		return nil, nil, fmt.Errorf("wire: batch response count: %w", orRange(err))
+	}
+	body = body[used:]
+	cands := make([][]Candidate, nq)
+	stats := make([]ResponseStats, nq)
+	for qi := range cands {
+		n, used, err := vbyte.Decode(body)
+		if err != nil || n > maxCandidates {
+			return nil, nil, fmt.Errorf("wire: batch response %d candidate count: %w", qi, orRange(err))
+		}
+		body = body[used:]
+		out := make([]Candidate, n)
+		for i := range out {
+			doc, used, err := vbyte.Decode(body)
+			if err != nil || doc >= 1<<31 {
+				return nil, nil, fmt.Errorf("wire: batch response %d candidate %d doc: %w", qi, i, orRange(err))
+			}
+			body = body[used:]
+			enc, rest, err := decodeBig(body)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wire: batch response %d candidate %d score: %w", qi, i, err)
+			}
+			body = rest
+			out[i] = Candidate{Doc: index.DocID(doc), Enc: enc}
+		}
+		cands[qi] = out
+		var st ResponseStats
+		for _, dst := range []*int{&st.Postings, &st.Seeks, &st.IOBytes} {
+			v, used, err := vbyte.Decode(body)
+			if err != nil {
+				return nil, nil, fmt.Errorf("wire: batch response %d stats: %w", qi, err)
+			}
+			*dst = int(v)
+			body = body[used:]
+		}
+		stats[qi] = st
+	}
+	if len(body) != 0 {
+		return nil, nil, errors.New("wire: trailing bytes after batch response")
+	}
+	return cands, stats, nil
+}

@@ -28,9 +28,11 @@ import (
 
 // Message types.
 const (
-	TypeQuery    = 1
-	TypeResponse = 2
-	TypeError    = 3
+	TypeQuery         = 1
+	TypeResponse      = 2
+	TypeError         = 3
+	TypeBatchQuery    = 4
+	TypeBatchResponse = 5
 )
 
 // Caps on attacker-controlled sizes.
@@ -126,7 +128,7 @@ func DecodeQuery(body []byte) (*core.Query, error) {
 	q.Entries = make([]core.QueryEntry, n)
 	for i := range q.Entries {
 		term, used, err := vbyte.Decode(body)
-		if err != nil || term > 1<<31 {
+		if err != nil || term >= 1<<31 {
 			return nil, fmt.Errorf("wire: entry %d term: %w", i, orRange(err))
 		}
 		body = body[used:]
@@ -170,7 +172,7 @@ func DecodeResponse(body []byte) ([]Candidate, ResponseStats, error) {
 	out := make([]Candidate, n)
 	for i := range out {
 		doc, used, err := vbyte.Decode(body)
-		if err != nil || doc > 1<<31 {
+		if err != nil || doc >= 1<<31 {
 			return nil, st, fmt.Errorf("wire: candidate %d doc: %w", i, orRange(err))
 		}
 		body = body[used:]

@@ -1,10 +1,14 @@
 package embellish
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
 	"net"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"embellish/internal/core"
 	"embellish/internal/wire"
@@ -12,64 +16,306 @@ import (
 
 // Network deployment: the paper's protocol is client-server — the
 // client embellishes and decrypts, the engine only ever sees the
-// embellished query. Serve turns an Engine into a long-running service
-// speaking the internal/wire framing; SearchRemote runs the client side
-// of one query against any such service. Both endpoints typically load
-// the same engine file (Save/LoadEngine), which is how they come to
-// agree on the bucket organization.
+// embellished query. NetServer turns an Engine into a long-running
+// concurrent service speaking the internal/wire framing: one goroutine
+// per connection, a connection limit, graceful shutdown, and per-query
+// timing. SearchRemote runs the client side of one query against any
+// such service; SearchRemoteBatch amortizes framing over several
+// queries. Both endpoints typically load the same engine file
+// (Save/LoadEngine), which is how they come to agree on the bucket
+// organization.
 
-// Serve accepts connections until the listener is closed, handling each
-// connection concurrently. It returns the listener's accept error
-// (net.ErrClosed after a clean shutdown).
-func (e *Engine) Serve(l net.Listener) error {
+// DefaultMaxConns is the simultaneous-connection limit applied when
+// ServeConfig.MaxConns is zero.
+const DefaultMaxConns = 1024
+
+// ServeConfig tunes a NetServer.
+type ServeConfig struct {
+	// MaxConns caps simultaneous connections: above the cap, new
+	// connections are answered with a protocol error and closed. 0
+	// selects DefaultMaxConns; negative disables the cap.
+	MaxConns int
+	// IdleTimeout closes a connection when no query arrives within the
+	// window (a dead peer would otherwise hold a connection slot
+	// forever). 0 disables the deadline.
+	IdleTimeout time.Duration
+}
+
+// ServeStats is a snapshot of a NetServer's counters.
+type ServeStats struct {
+	// Accepted and Rejected count connections; Rejected ones were turned
+	// away at the MaxConns cap.
+	Accepted, Rejected int64
+	// Active is the number of currently open connections.
+	Active int64
+	// Queries counts queries answered (each batch member counts once).
+	Queries int64
+	// Errors counts protocol-level errors answered with a wire error
+	// message (the connection survives those).
+	Errors int64
+	// QueryTime is the total server-side processing time across all
+	// queries; MaxQueryTime is the slowest single query.
+	QueryTime, MaxQueryTime time.Duration
+}
+
+// NetServer serves the private-retrieval wire protocol for one Engine
+// over any number of listeners and connections concurrently. The
+// zero value is not usable; construct with Engine.NewNetServer.
+type NetServer struct {
+	engine   *Engine
+	maxConns int
+	idle     time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	shutdown  bool
+
+	accepted atomic.Int64
+	rejected atomic.Int64
+	active   atomic.Int64
+	queries  atomic.Int64
+	errs     atomic.Int64
+	busyNs   atomic.Int64 // total processing time
+	maxNs    atomic.Int64 // slowest single query
+	inflight atomic.Int64 // queries currently being processed
+}
+
+// NewNetServer builds a concurrent protocol server around the engine.
+func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
+	maxConns := cfg.MaxConns
+	if maxConns == 0 {
+		maxConns = e.opts.MaxConns
+	}
+	if maxConns == 0 {
+		maxConns = DefaultMaxConns
+	}
+	return &NetServer{
+		engine:    e,
+		maxConns:  maxConns,
+		idle:      cfg.IdleTimeout,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the server's counters.
+func (s *NetServer) Stats() ServeStats {
+	return ServeStats{
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Active:       s.active.Load(),
+		Queries:      s.queries.Load(),
+		Errors:       s.errs.Load(),
+		QueryTime:    time.Duration(s.busyNs.Load()),
+		MaxQueryTime: time.Duration(s.maxNs.Load()),
+	}
+}
+
+// Serve accepts connections until the listener is closed (directly or
+// via Shutdown), handling each connection in its own goroutine. It
+// returns the listener's accept error — net.ErrClosed after a clean
+// shutdown becomes nil.
+func (s *NetServer) Serve(l net.Listener) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		l.Close()
+		return errors.New("embellish: server is shut down")
+	}
+	s.listeners[l] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, l)
+		s.mu.Unlock()
+	}()
+
 	for {
 		conn, err := l.Accept()
 		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
 			return err
 		}
+		if !s.register(conn) {
+			// Over the cap (or shutting down): tell the peer why before
+			// hanging up, so clients fail with a useful error.
+			s.rejected.Add(1)
+			_ = wire.WriteError(conn, "server at connection limit")
+			conn.Close()
+			continue
+		}
+		s.accepted.Add(1)
 		go func() {
-			defer conn.Close()
-			_ = e.ServeConn(conn)
+			defer s.unregister(conn)
+			_ = s.serveConn(conn, conn)
 		}()
 	}
 }
 
-// ServeConn answers queries on one connection until EOF or a transport
+func (s *NetServer) register(conn net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return false
+	}
+	if s.maxConns > 0 && len(s.conns) >= s.maxConns {
+		return false
+	}
+	s.conns[conn] = struct{}{}
+	s.active.Add(1)
+	return true
+}
+
+func (s *NetServer) unregister(conn net.Conn) {
+	conn.Close()
+	s.mu.Lock()
+	if _, ok := s.conns[conn]; ok {
+		delete(s.conns, conn)
+		s.active.Add(-1)
+	}
+	s.mu.Unlock()
+}
+
+// Shutdown gracefully stops the server: close the listeners, wait for
+// in-flight queries to finish (up to the context deadline), then close
+// all connections. It returns the context's error when the deadline
+// fired before the server drained.
+func (s *NetServer) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.shutdown = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	s.mu.Unlock()
+
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	var err error
+drain:
+	for s.inflight.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			err = ctx.Err()
+			break drain
+		case <-tick.C:
+		}
+	}
+
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	return err
+}
+
+// serveConn answers queries on one transport until EOF or a transport
 // error. Malformed queries are answered with a protocol error message
 // and the connection stays up; transport failures end the session.
-func (e *Engine) ServeConn(conn io.ReadWriter) error {
+// deadliner is the connection for deadline control, nil for plain
+// io.ReadWriter transports.
+func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 	for {
-		typ, body, err := wire.ReadMessage(conn)
+		if s.idle > 0 && deadliner != nil {
+			_ = deadliner.SetReadDeadline(time.Now().Add(s.idle))
+		}
+		typ, body, err := wire.ReadMessage(rw)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return nil
 			}
 			return err
 		}
-		if typ != wire.TypeQuery {
-			if werr := wire.WriteError(conn, fmt.Sprintf("unexpected message type %d", typ)); werr != nil {
-				return werr
-			}
-			continue
+		switch typ {
+		case wire.TypeQuery:
+			// inflight spans decode through response write (for batches,
+			// the whole batch), so a graceful Shutdown never cuts a
+			// connection between computing an answer and delivering it.
+			s.inflight.Add(1)
+			err = s.answerQuery(rw, body)
+			s.inflight.Add(-1)
+		case wire.TypeBatchQuery:
+			s.inflight.Add(1)
+			err = s.answerBatch(rw, body)
+			s.inflight.Add(-1)
+		default:
+			s.errs.Add(1)
+			err = wire.WriteError(rw, fmt.Sprintf("unexpected message type %d", typ))
 		}
-		q, err := wire.DecodeQuery(body)
 		if err != nil {
-			if werr := wire.WriteError(conn, err.Error()); werr != nil {
-				return werr
-			}
-			continue
-		}
-		resp, stats, err := e.server.Process(q)
-		if err != nil {
-			if werr := wire.WriteError(conn, err.Error()); werr != nil {
-				return werr
-			}
-			continue
-		}
-		if err := wire.WriteResponse(conn, resp, stats); err != nil {
 			return err
 		}
 	}
+}
+
+// process runs one embellished query through the engine's configured
+// pipeline, timing it into the server counters. The caller (serveConn)
+// holds the inflight count for the whole message exchange.
+func (s *NetServer) process(q *core.Query) (*core.Response, core.Stats, error) {
+	start := time.Now()
+	resp, st, err := s.engine.processCore(q)
+	elapsed := time.Since(start)
+	s.queries.Add(1)
+	s.busyNs.Add(int64(elapsed))
+	for {
+		cur := s.maxNs.Load()
+		if int64(elapsed) <= cur || s.maxNs.CompareAndSwap(cur, int64(elapsed)) {
+			break
+		}
+	}
+	return resp, st, err
+}
+
+func (s *NetServer) answerQuery(rw io.ReadWriter, body []byte) error {
+	q, err := wire.DecodeQuery(body)
+	if err != nil {
+		s.errs.Add(1)
+		return wire.WriteError(rw, err.Error())
+	}
+	resp, stats, err := s.process(q)
+	if err != nil {
+		s.errs.Add(1)
+		return wire.WriteError(rw, err.Error())
+	}
+	return wire.WriteResponse(rw, resp, stats)
+}
+
+func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {
+	qs, err := wire.DecodeBatchQuery(body)
+	if err != nil {
+		s.errs.Add(1)
+		return wire.WriteError(rw, err.Error())
+	}
+	resps := make([]*core.Response, len(qs))
+	stats := make([]core.Stats, len(qs))
+	for i, q := range qs {
+		resp, st, err := s.process(q)
+		if err != nil {
+			s.errs.Add(1)
+			return wire.WriteError(rw, fmt.Sprintf("batch query %d: %v", i, err))
+		}
+		resps[i] = resp
+		stats[i] = st
+	}
+	return wire.WriteBatchResponse(rw, resps, stats)
+}
+
+// Serve accepts connections on a default-configured NetServer. Kept as
+// the simple entry point; deployments needing connection limits,
+// timeouts or graceful shutdown construct a NetServer explicitly.
+func (e *Engine) Serve(l net.Listener) error {
+	return e.NewNetServer(ServeConfig{}).Serve(l)
+}
+
+// ServeConn answers queries on one transport until EOF or a transport
+// error, without connection accounting — the transport is managed by
+// the caller.
+func (e *Engine) ServeConn(conn io.ReadWriter) error {
+	deadliner, _ := conn.(net.Conn)
+	return e.NewNetServer(ServeConfig{}).serveConn(conn, deadliner)
 }
 
 // SearchRemote runs one private query against a remote engine: Algorithm
@@ -98,6 +344,61 @@ func (c *Client) SearchRemote(conn io.ReadWriter, query string, k int) ([]Result
 	if err != nil {
 		return nil, err
 	}
+	return c.decodeCandidates(cands, k)
+}
+
+// SearchRemoteBatch runs several private queries against a remote
+// engine in one round-trip: every query is embellished locally, the
+// batch travels as a single frame carrying the public key once, and the
+// per-query rankings come back in order. Queries that cannot be
+// embellished fail the whole batch (the caller knows exactly which —
+// the error names the query index).
+func (c *Client) SearchRemoteBatch(conn io.ReadWriter, queries []string, k int) ([][]Result, error) {
+	if len(queries) == 0 {
+		return nil, errors.New("embellish: empty batch")
+	}
+	qs := make([]*core.Query, len(queries))
+	for i, query := range queries {
+		eq, err := c.Embellish(query)
+		if err != nil {
+			return nil, fmt.Errorf("embellish: batch query %d: %w", i, err)
+		}
+		qs[i] = eq.inner
+	}
+	if err := wire.WriteBatchQuery(conn, qs); err != nil {
+		return nil, fmt.Errorf("embellish: sending batch: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: reading batch response: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return nil, fmt.Errorf("embellish: server error: %s", body)
+	case wire.TypeBatchResponse:
+	default:
+		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	cands, _, err := wire.DecodeBatchResponse(body)
+	if err != nil {
+		return nil, err
+	}
+	if len(cands) != len(queries) {
+		return nil, fmt.Errorf("embellish: batch response has %d results for %d queries", len(cands), len(queries))
+	}
+	out := make([][]Result, len(cands))
+	for i := range cands {
+		res, err := c.decodeCandidates(cands[i], k)
+		if err != nil {
+			return nil, fmt.Errorf("embellish: batch result %d: %w", i, err)
+		}
+		out[i] = res
+	}
+	return out, nil
+}
+
+// decodeCandidates runs Algorithm 5 over wire candidates.
+func (c *Client) decodeCandidates(cands []wire.Candidate, k int) ([]Result, error) {
 	resp := &core.Response{}
 	for _, cand := range cands {
 		resp.Docs = append(resp.Docs, core.DocScore{Doc: cand.Doc, Enc: cand.Enc})

@@ -1,6 +1,10 @@
 package embellish
 
-import "fmt"
+import (
+	"fmt"
+
+	"embellish/internal/benaloh"
+)
 
 // Options configures engine construction.
 type Options struct {
@@ -34,10 +38,35 @@ type Options struct {
 	// the paper names Okapi explicitly); Cosine is Equation 3.
 	Scoring Scoring
 	// Parallelism sets the worker count for server-side score
-	// accumulation: 0 keeps the paper's sequential Algorithm 4, -1
-	// selects GOMAXPROCS, and any positive value pins the worker count.
-	// The homomorphic accumulation commutes, so results are identical.
+	// accumulation: 0 keeps single-threaded execution (the paper's
+	// sequential Algorithm 4, or one worker walking the shards serially
+	// when Shards is set), -1 selects GOMAXPROCS, and any positive
+	// value pins the worker count. The homomorphic accumulation
+	// commutes, so results are identical.
 	Parallelism int
+	// Shards partitions the inverted index by document for the
+	// worker-pool accumulator: shard s owns the postings of documents d
+	// with d mod n == s, so per-shard encrypted score maps are disjoint
+	// and merge without homomorphic additions. 0 disables sharding
+	// (the seed term-striped plan), -1 selects GOMAXPROCS shards, and
+	// any positive value pins the shard count. The sharded view copies
+	// the postings once at configuration time (roughly doubling index
+	// memory) in exchange for contiguous per-shard scans. Sharding
+	// never changes decrypted scores — only which goroutine computes
+	// them; set Parallelism to size the worker pool.
+	Shards int
+	// PrecomputeWindow enables fixed-base windowed exponentiation for
+	// the per-term flag powers E(u)^p: the server builds one table of
+	// 2^w-entry windows per query term and answers each posting's power
+	// with table lookups plus at most one multiplication, instead of a
+	// full modular exponentiation per posting. 0 disables the tables,
+	// -1 selects the default window (4 bits), and 1..8 pin the window
+	// width. Ciphertexts are identical either way.
+	PrecomputeWindow int
+	// MaxConns caps simultaneous connections in Engine.Serve and
+	// NetServers built with a zero ServeConfig.MaxConns. 0 selects
+	// DefaultMaxConns; negative disables the cap.
+	MaxConns int
 }
 
 // Scoring selects the similarity function used to precompute posting
@@ -81,5 +110,23 @@ func (o Options) validate() error {
 	if o.Scoring > BM25 {
 		return fmt.Errorf("embellish: unknown scoring %d", o.Scoring)
 	}
+	if o.Shards < -1 || o.Shards > 1<<12 {
+		return fmt.Errorf("embellish: Shards %d out of range [-1, %d]", o.Shards, 1<<12)
+	}
+	if o.PrecomputeWindow < -1 || o.PrecomputeWindow > 8 {
+		return fmt.Errorf("embellish: PrecomputeWindow %d out of range [-1, 8]", o.PrecomputeWindow)
+	}
 	return nil
+}
+
+// precomputeWindow resolves the PrecomputeWindow knob to a radix
+// exponent for internal/benaloh (0 = disabled).
+func (o Options) precomputeWindow() uint {
+	switch {
+	case o.PrecomputeWindow < 0:
+		return benaloh.DefaultWindow
+	case o.PrecomputeWindow > 0:
+		return uint(o.PrecomputeWindow)
+	}
+	return 0
 }

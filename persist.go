@@ -135,6 +135,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		}
 	}
 	e.server = core.NewServer(ix, org, db)
+	e.applyExecution()
 	return e, nil
 }
 
