@@ -1,0 +1,82 @@
+package embellish
+
+// Live-index benchmarks: the cost of online updates and the query-side
+// price of a segmented, tombstoned corpus. BenchmarkLive* is the smoke
+// set CI runs with -benchtime 1x; cmd/embellish-bench emits the
+// machine-readable trajectory file (BENCH_PR2.json) on a bigger world.
+
+import (
+	"testing"
+
+	"embellish/internal/detrand"
+)
+
+func liveBenchEngine(b *testing.B) (*Engine, *Client) {
+	b.Helper()
+	opts := DefaultOptions()
+	opts.BucketSize = 4
+	opts.KeyBits = 256
+	opts.ScoreSpace = 10
+	e, err := NewEngine(MiniLexicon(), demoDocs(b), opts)
+	if err != nil {
+		b.Fatalf("NewEngine: %v", err)
+	}
+	c, err := e.NewClient(detrand.New("live-bench"))
+	if err != nil {
+		b.Fatalf("NewClient: %v", err)
+	}
+	return e, c
+}
+
+// BenchmarkLiveAddDocuments measures online ingest: 10 documents per
+// batch, each batch becoming one segment (merges amortized in).
+func BenchmarkLiveAddDocuments(b *testing.B) {
+	e, _ := liveBenchEngine(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.AddDocuments(moreDocs(e, 10, i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(10*b.N), "docs")
+}
+
+// BenchmarkLiveQueryStatic is the baseline: private query against the
+// engine before any update.
+func BenchmarkLiveQueryStatic(b *testing.B) {
+	e, c := liveBenchEngine(b)
+	eq, err := c.Embellish(testQueries(e, 1)[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Process(eq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLiveQueryAfterUpdates is the same query after adds, deletes
+// and the merges they trigger — the steady-state live corpus.
+func BenchmarkLiveQueryAfterUpdates(b *testing.B) {
+	e, c := liveBenchEngine(b)
+	for round := 0; round < 6; round++ {
+		if err := e.AddDocuments(moreDocs(e, 10, round)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := e.DeleteDocuments([]int{3, 17, 125, 150}); err != nil {
+		b.Fatal(err)
+	}
+	eq, err := c.Embellish(testQueries(e, 1)[0])
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Process(eq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

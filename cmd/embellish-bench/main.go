@@ -1,0 +1,162 @@
+// Command embellish-bench tracks the performance trajectory of the
+// live segmented index: it builds a synthetic world, measures private
+// query latency on the static engine, times an online add of a
+// fraction of new documents against a from-scratch rebuild, measures
+// query latency on the updated engine, and writes the figures as
+// machine-readable JSON (BENCH_PR2.json by default) so successive PRs
+// can be compared.
+//
+// Usage:
+//
+//	embellish-bench [-docs 1200] [-synsets 2500] [-add-frac 0.1]
+//	                [-queries 12] [-bktsz 8] [-keybits 256] [-seed 1]
+//	                [-quick] [-out BENCH_PR2.json]
+//
+// -quick shrinks the world for CI smoke runs.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"embellish"
+	"embellish/internal/corpus"
+	"embellish/internal/wngen"
+)
+
+// Report is the machine-readable benchmark output.
+type Report struct {
+	// World shape.
+	Docs     int   `json:"docs"`
+	Added    int   `json:"added"`
+	Synsets  int   `json:"synsets"`
+	BktSz    int   `json:"bktsz"`
+	KeyBits  int   `json:"keybits"`
+	Queries  int   `json:"queries"`
+	Seed     int64 `json:"seed"`
+	Segments int   `json:"segments_after_add"`
+
+	// Query latency (server-side Engine.Process, milliseconds).
+	StaticQueryMs float64 `json:"static_query_ms"`
+	LiveQueryMs   float64 `json:"live_query_ms"`
+
+	// Update path.
+	AddSeconds     float64 `json:"add_seconds"`
+	AddDocsPerSec  float64 `json:"add_docs_per_sec"`
+	RebuildSeconds float64 `json:"rebuild_seconds"`
+	// Speedup is rebuild/add — the incremental-path advantage the
+	// acceptance criterion bounds at >= 5x.
+	Speedup float64 `json:"speedup_vs_rebuild"`
+}
+
+func main() {
+	var (
+		docs    = flag.Int("docs", 1200, "base corpus size")
+		synsets = flag.Int("synsets", 2500, "synthetic lexicon size")
+		addFrac = flag.Float64("add-frac", 0.1, "fraction of new documents to add online")
+		queries = flag.Int("queries", 12, "queries to average latency over")
+		bktSz   = flag.Int("bktsz", 8, "bucket size")
+		keyBits = flag.Int("keybits", 256, "Benaloh key size")
+		seed    = flag.Int64("seed", 1, "world seed")
+		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
+		out     = flag.String("out", "BENCH_PR2.json", "output JSON path")
+	)
+	flag.Parse()
+	if *quick {
+		*docs, *synsets, *queries = 300, 1500, 4
+	}
+
+	extra := int(float64(*docs) * *addFrac)
+	db := wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = *docs + extra
+	ccfg.Seed = *seed + 1
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+	base, added := world[:*docs], world[*docs:]
+
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = *bktSz
+	opts.KeyBits = *keyBits
+	engine, err := embellish.NewEngine(embellish.SyntheticLexicon(*synsets, *seed), base, opts)
+	if err != nil {
+		fatal(err)
+	}
+	client, err := engine.NewClient(nil)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Embellish the query set once; latency measures the server side.
+	lemmas := engine.SearchableLemmas()
+	embellished := make([]*embellish.Query, *queries)
+	for i := range embellished {
+		q := lemmas[(7*i)%len(lemmas)] + " " + lemmas[(13*i+5)%len(lemmas)]
+		embellished[i], err = client.Embellish(q)
+		if err != nil {
+			fatal(fmt.Errorf("embellish %q: %w", q, err))
+		}
+	}
+	rep := Report{
+		Docs: *docs, Added: extra, Synsets: *synsets, BktSz: *bktSz,
+		KeyBits: *keyBits, Queries: *queries, Seed: *seed,
+	}
+	rep.StaticQueryMs = avgQueryMs(engine, embellished)
+
+	t0 := time.Now()
+	if err := engine.AddDocuments(added); err != nil {
+		fatal(err)
+	}
+	rep.AddSeconds = time.Since(t0).Seconds()
+	rep.AddDocsPerSec = float64(extra) / rep.AddSeconds
+	rep.Segments = engine.NumSegments()
+	rep.LiveQueryMs = avgQueryMs(engine, embellished)
+
+	// Time only the engine build: a redeploy reuses its lexicon, so
+	// lexicon generation stays outside the window.
+	lex2 := embellish.SyntheticLexicon(*synsets, *seed)
+	t0 = time.Now()
+	if _, err := embellish.NewEngine(lex2, world, opts); err != nil {
+		fatal(err)
+	}
+	rep.RebuildSeconds = time.Since(t0).Seconds()
+	rep.Speedup = rep.RebuildSeconds / rep.AddSeconds
+
+	blob, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		fatal(err)
+	}
+	os.Stdout.Write(blob)
+	fmt.Printf("wrote %s: add %d docs in %.3fs (%.0f docs/s), rebuild %.3fs, speedup %.1fx\n",
+		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
+}
+
+// avgQueryMs runs every embellished query once through Engine.Process
+// and returns the mean latency in milliseconds.
+func avgQueryMs(e *embellish.Engine, qs []*embellish.Query) float64 {
+	total := time.Duration(0)
+	for _, q := range qs {
+		t0 := time.Now()
+		if _, err := e.Process(q); err != nil {
+			fatal(err)
+		}
+		total += time.Since(t0)
+	}
+	return total.Seconds() * 1000 / float64(len(qs))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "embellish-bench:", err)
+	os.Exit(1)
+}

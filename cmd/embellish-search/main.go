@@ -10,12 +10,21 @@
 // server agree on the bucket organization) and the query travels over
 // the wire protocol.
 //
+// With -add (a file of one document per line) and/or -delete (a
+// comma-separated id list) the corpus is updated LIVE before the query
+// runs — locally, or on the remote server when combined with -connect
+// (the server must run -allow-updates; the same updates are applied to
+// the locally loaded engine so the Claim 1 comparison tracks the
+// server's corpus exactly).
+//
 // Usage:
 //
 //	embellish-search [-lexicon mini|synthetic] [-synsets N] [-docs N]
 //	                 [-bktsz B] [-keybits K] [-query "terms..."] [-topk K]
+//	                 [-add docs.txt] [-delete "3,17"]
 //	embellish-search -connect HOST:PORT -load engine.bin
 //	                 [-keybits K] [-query "terms..."] [-topk K]
+//	                 [-add docs.txt] [-delete "3,17"]
 //
 // With no -query, a random searchable term pair is used.
 package main
@@ -26,6 +35,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 
 	"embellish"
@@ -46,6 +56,8 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world seed")
 		connect = flag.String("connect", "", "run the query against a remote embellish-server at this address")
 		load    = flag.String("load", "", "load the engine file shared with the server (required with -connect)")
+		addFile = flag.String("add", "", "add documents live before querying: file with one document per line")
+		delIDs  = flag.String("delete", "", "delete documents live before querying: comma-separated ids")
 	)
 	flag.Parse()
 
@@ -104,6 +116,21 @@ func main() {
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
 		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
 
+	var conn net.Conn
+	if *connect != "" {
+		var err error
+		conn, err = net.Dial("tcp", *connect)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "connect:", err)
+			os.Exit(1)
+		}
+		defer conn.Close()
+	}
+	if err := applyUpdates(engine, conn, *addFile, *delIDs); err != nil {
+		fmt.Fprintln(os.Stderr, "update:", err)
+		os.Exit(1)
+	}
+
 	client, err := engine.NewClient(nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "client:", err)
@@ -121,12 +148,6 @@ func main() {
 
 	var results []embellish.Result
 	if *connect != "" {
-		conn, err := net.Dial("tcp", *connect)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "connect:", err)
-			os.Exit(1)
-		}
-		defer conn.Close()
 		results, err = client.SearchRemote(conn, q, *topk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "remote search:", err)
@@ -179,4 +200,61 @@ func main() {
 		}
 	}
 	fmt.Printf("\nClaim 1 check — private ranking equals plaintext ranking: %v\n", match)
+}
+
+// applyUpdates runs the -add / -delete live updates: on the remote
+// server when conn is non-nil (mirrored locally so the Claim 1
+// comparison tracks the server's corpus), else on the local engine.
+func applyUpdates(engine *embellish.Engine, conn net.Conn, addFile, delIDs string) error {
+	if addFile != "" {
+		data, err := os.ReadFile(addFile)
+		if err != nil {
+			return err
+		}
+		base := engine.NextDocID()
+		var docs []embellish.Document
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				docs = append(docs, embellish.Document{ID: base + len(docs), Text: line})
+			}
+		}
+		if len(docs) == 0 {
+			return fmt.Errorf("%s holds no documents", addFile)
+		}
+		if conn != nil {
+			st, err := embellish.AddDocumentsRemote(conn, docs)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("added %d docs remotely: server now %d live docs in %d segments\n",
+				len(docs), st.LiveDocs, st.Segments)
+		}
+		if err := engine.AddDocuments(docs); err != nil {
+			return err
+		}
+		fmt.Printf("added docs %d..%d live (%d segments locally)\n",
+			base, base+len(docs)-1, engine.NumSegments())
+	}
+	if delIDs != "" {
+		var ids []int
+		for _, f := range strings.Split(delIDs, ",") {
+			id, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil {
+				return fmt.Errorf("bad -delete id %q: %w", f, err)
+			}
+			ids = append(ids, id)
+		}
+		if conn != nil {
+			st, err := embellish.DeleteDocumentsRemote(conn, ids)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("deleted %d docs remotely: server now %d live docs\n", len(ids), st.LiveDocs)
+		}
+		if err := engine.DeleteDocuments(ids); err != nil {
+			return err
+		}
+		fmt.Printf("deleted docs %v live (%d live docs locally)\n", ids, engine.NumDocs())
+	}
+	return nil
 }

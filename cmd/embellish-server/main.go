@@ -14,6 +14,13 @@
 //	                 [-bktsz B] [-save engine.bin] [-once]
 //	                 [-shards N] [-window W] [-workers N]
 //	                 [-max-conns N] [-idle-timeout D] [-stats-every D]
+//	                 [-allow-updates] [-max-segments N]
+//
+// With -allow-updates the server accepts online corpus updates
+// (AddDocuments / DeleteDocuments over the wire, e.g. from
+// cmd/embellish-search -add/-delete); queries keep running — and keep
+// matching plaintext rankings — while segments are appended, tombstoned
+// and merged.
 package main
 
 import (
@@ -45,13 +52,15 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world seed")
 		once    = flag.Bool("once", false, "serve a single connection and exit (for scripting)")
 
-		shards     = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
-		window     = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
-		workers    = flag.Int("workers", -1, "score-accumulation workers (-1 GOMAXPROCS, 0 single-threaded, N pinned)")
-		maxConns   = flag.Int("max-conns", 0, "simultaneous connection cap (0 default, -1 unlimited)")
-		idle       = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 never)")
-		statsEvery = flag.Duration("stats-every", 0, "print serving stats at this interval (0 off)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		shards       = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
+		window       = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
+		workers      = flag.Int("workers", -1, "score-accumulation workers (-1 GOMAXPROCS, 0 single-threaded, N pinned)")
+		maxConns     = flag.Int("max-conns", 0, "simultaneous connection cap (0 default, -1 unlimited)")
+		allowUpdates = flag.Bool("allow-updates", false, "accept online corpus updates over the wire")
+		maxSegments  = flag.Int("max-segments", 0, "live-index segment bound before background merge (0 default, -1 never merge)")
+		idle         = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 never)")
+		statsEvery   = flag.Duration("stats-every", 0, "print serving stats at this interval (0 off)")
+		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -98,6 +107,11 @@ func main() {
 	if err := engine.ConfigureExecution(*shards, *window, *workers); err != nil {
 		fatal(err)
 	}
+	// Merge policy is runtime-only (not persisted), so apply it in the
+	// -load path too.
+	if err := engine.ConfigureMergePolicy(*maxSegments); err != nil {
+		fatal(err)
+	}
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
 		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
 
@@ -134,9 +148,13 @@ func main() {
 	}
 
 	srv := engine.NewNetServer(embellish.ServeConfig{
-		MaxConns:    *maxConns,
-		IdleTimeout: *idle,
+		MaxConns:     *maxConns,
+		IdleTimeout:  *idle,
+		AllowUpdates: *allowUpdates,
 	})
+	if *allowUpdates {
+		fmt.Println("online updates ENABLED: this listener accepts corpus adds/deletes")
+	}
 	if *statsEvery > 0 {
 		go func() {
 			for range time.Tick(*statsEvery) {
@@ -176,8 +194,8 @@ func printStats(st embellish.ServeStats) {
 	if st.Queries > 0 {
 		avg = st.QueryTime / time.Duration(st.Queries)
 	}
-	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), avg %v, max %v\n",
-		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, avg, st.MaxQueryTime)
+	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), %d updates, avg %v, max %v\n",
+		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, st.Updates, avg, st.MaxQueryTime)
 }
 
 func fatal(err error) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"sync"
 
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
@@ -21,18 +22,26 @@ type Document struct {
 	Text string
 }
 
-// Engine is the search-engine side of the system: the inverted index,
-// the bucket organization (public knowledge), and the Algorithm 4 score
-// accumulator. An Engine is immutable after construction and safe for
-// concurrent use.
+// Engine is the search-engine side of the system: the segmented live
+// index, the bucket organization (public knowledge), and the Algorithm
+// 4 score accumulator. An Engine is safe for concurrent use: searches
+// evaluate against an atomically loaded index snapshot and are never
+// blocked, while AddDocuments / DeleteDocuments serialize on a write
+// lock and publish new snapshots. The searchable dictionary and the
+// bucket organization are pinned at construction — the protocol
+// requires every client to know them exactly, so extending them means
+// rebuilding and redistributing the engine file.
 type Engine struct {
 	opts       Options
 	lex        *Lexicon
 	analyzer   *textproc.Analyzer
-	index      *index.Index
+	live       *index.Live
 	org        *bucket.Organization
 	server     *core.Server
 	searchable []wordnet.TermID
+	// updateMu serializes the write path (AddDocuments, DeleteDocuments)
+	// so document-id assignment stays dense; readers never take it.
+	updateMu sync.Mutex
 }
 
 // NewEngine indexes the documents and builds the bucket organization
@@ -74,12 +83,14 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	for _, d := range docs {
 		b.Add(index.DocID(d.ID), e.analyzer.Analyze(d.Text))
 	}
-	e.index = b.Build()
+	baseIx := b.Build()
+	e.live = index.NewLive(baseIx)
+	e.live.SetMaxSegments(opts.maxSegments())
 
 	// Searchable dictionary = lexicon ∩ index vocabulary, in Algorithm 1
 	// sequence order.
 	for _, t := range sequence.Run(lex.db) {
-		if _, ok := e.index.LookupTerm(lex.db.Lemma(t)); ok {
+		if _, ok := baseIx.LookupTerm(lex.db.Lemma(t)); ok {
 			e.searchable = append(e.searchable, t)
 		}
 	}
@@ -97,13 +108,22 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 		return nil, fmt.Errorf("embellish: bucket formation: %w", err)
 	}
 	e.org = org
-	e.server = core.NewServer(e.index, org, lex.db)
+	e.server = core.NewLiveServer(e.live, org, lex.db)
 	e.applyExecution()
 	return e, nil
 }
 
-// NumDocs reports the number of indexed documents.
-func (e *Engine) NumDocs() int { return e.index.NumDocs }
+// NumDocs reports the number of live (indexed and not deleted)
+// documents.
+func (e *Engine) NumDocs() int { return e.live.Snapshot().LiveDocs() }
+
+// NumSegments reports the current segment count of the live index.
+func (e *Engine) NumSegments() int { return e.live.NumSegments() }
+
+// NextDocID returns the id AddDocuments will assign to the next
+// document. Ids are dense over everything ever added; deleted ids are
+// never reused, so after deletions NextDocID exceeds NumDocs.
+func (e *Engine) NextDocID() int { return int(e.live.Snapshot().NextDoc) }
 
 // NumSearchableTerms reports the size of the searchable dictionary.
 func (e *Engine) NumSearchableTerms() int { return len(e.searchable) }
@@ -183,6 +203,9 @@ type ProcessStats struct {
 	BucketsFetched int
 	// Candidates is the size of the returned candidate set R.
 	Candidates int
+	// TombstonesSkipped is the number of scanned postings that belonged
+	// to deleted documents; skipping them costs no homomorphic work.
+	TombstonesSkipped int
 	// SimulatedIOms is the disk time under the library's analytic disk
 	// model (1 KB blocks; see internal/simio).
 	SimulatedIOms float64
@@ -231,6 +254,27 @@ func (e *Engine) ConfigureExecution(shards, precomputeWindow, parallelism int) e
 	return nil
 }
 
+// ConfigureMergePolicy adjusts the live-index segment bound — the
+// Options.MaxSegments knob, with the same encoding (0 default, -1
+// disable automatic merging, >= 1 pinned) — at runtime. Like the
+// execution knobs it is not part of the persisted engine file, so
+// loaded engines start at the default; deployments reapply their
+// policy after LoadEngine.
+func (e *Engine) ConfigureMergePolicy(maxSegments int) error {
+	// updateMu orders the opts write against the write path, which reads
+	// opts while building segments.
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	opts := e.opts
+	opts.MaxSegments = maxSegments
+	if err := opts.validate(); err != nil {
+		return err
+	}
+	e.opts = opts
+	e.live.SetMaxSegments(opts.maxSegments())
+	return nil
+}
+
 // applyExecution pushes the execution options into the core server.
 func (e *Engine) applyExecution() {
 	e.server.SetSharding(e.opts.Shards)
@@ -252,13 +296,94 @@ func (e *Engine) Process(q *Query) (*Response, error) {
 	return &Response{
 		inner: resp,
 		Stats: ProcessStats{
-			PostingsScanned: st.Postings,
-			BucketsFetched:  st.IO.Seeks,
-			Candidates:      st.Candidates,
-			SimulatedIOms:   st.IOms(e.server.Disk),
+			PostingsScanned:   st.Postings,
+			BucketsFetched:    st.IO.Seeks,
+			Candidates:        st.Candidates,
+			TombstonesSkipped: st.Tombstoned,
+			SimulatedIOms:     st.IOms(e.server.Disk),
 		},
 	}, nil
 }
+
+// AddDocuments indexes additional documents online. The documents
+// become a new immutable segment quantized against the scale pinned at
+// engine creation, so their homomorphic exponents E(u)^p stay
+// comparable with every existing segment and Claim 1 keeps holding.
+// Document ids must continue the engine's dense id sequence, i.e.
+// docs[i].ID == NextDocID()+i. Concurrent searches are never blocked;
+// they keep evaluating the snapshot they loaded and observe the new
+// documents on their next query.
+//
+// New vocabulary is indexed and reachable through PlaintextSearch, but
+// the searchable dictionary and bucket organization are pinned at
+// engine creation: terms outside them cannot be privately queried
+// without rebuilding the engine and redistributing its file.
+//
+// Like Lucene segments, each batch computes its impacts from its OWN
+// corpus statistics (N, f_t, average length), so a tiny batch weighs
+// its terms less sharply than the base segment does; Claim 1 is
+// unaffected — private and plaintext read the same stored impacts —
+// but rankings can differ from a from-scratch rebuild of the same
+// corpus. Prefer adding in meaningful batches, and rebuild when
+// statistical freshness matters more than availability.
+func (e *Engine) AddDocuments(docs []Document) error {
+	if len(docs) == 0 {
+		return errors.New("embellish: no documents to add")
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	base := int(e.live.Snapshot().NextDoc)
+	for i, d := range docs {
+		if d.ID != base+i {
+			return fmt.Errorf("embellish: document ids must continue the dense sequence: got %d at position %d, want %d (see NextDocID)",
+				d.ID, i, base+i)
+		}
+	}
+	b := index.NewBuilder()
+	b.QuantLevels = int32(e.opts.QuantLevels)
+	b.Scale = e.live.Scale()
+	if e.opts.Scoring == BM25 {
+		b.Scoring = index.ScoringBM25
+	}
+	for i, d := range docs {
+		b.Add(index.DocID(i), e.analyzer.Analyze(d.Text))
+	}
+	_, err := e.live.Append(b.Build())
+	return err
+}
+
+// DeleteDocuments removes documents online by tombstoning their ids:
+// subsequent searches skip their postings without any homomorphic
+// work, and the next merge rewrites the postings away. Every id must be
+// live — unknown and already-deleted ids are rejected and the call
+// changes nothing. Concurrent searches are never blocked.
+func (e *Engine) DeleteDocuments(ids []int) error {
+	if len(ids) == 0 {
+		return errors.New("embellish: no documents to delete")
+	}
+	ds := make([]index.DocID, len(ids))
+	for i, id := range ids {
+		// Bound BEFORE the int32 conversion: a wrapped id would silently
+		// tombstone some other document.
+		if id < 0 || id > 1<<31-1 {
+			return fmt.Errorf("embellish: document id %d out of range", id)
+		}
+		ds[i] = index.DocID(id)
+	}
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	if err := e.live.Delete(ds); err != nil {
+		return fmt.Errorf("embellish: %w", err)
+	}
+	return nil
+}
+
+// Compact synchronously folds the live index into a single segment,
+// rewriting every tombstoned posting away. Searches are never blocked.
+// The background merge policy (Options.MaxSegments) normally keeps the
+// segment set bounded on its own; Compact is for deployments that want
+// a deterministic full rewrite, e.g. before Save.
+func (e *Engine) Compact() { e.live.Compact() }
 
 // Client is the user side: it owns the Benaloh private key, embellishes
 // queries, and decrypts responses. A Client is not safe for concurrent
@@ -357,26 +482,60 @@ func (c *Client) Search(query string, k int) ([]Result, error) {
 	return c.Decode(resp, k)
 }
 
-// PlaintextSearch runs the same query against the engine WITHOUT any
+// Snapshot pins one state of the live corpus: the segment set and
+// tombstones a concurrently updating engine had at the moment of the
+// call. A Snapshot stays valid and internally consistent forever — use
+// it to compare a search result against the plaintext ranking of the
+// exact corpus state the query observed, or to page through results
+// while updates continue.
+type Snapshot struct {
+	e    *Engine
+	snap *index.Snapshot
+}
+
+// Snapshot captures the engine's current live corpus state.
+func (e *Engine) Snapshot() *Snapshot {
+	return &Snapshot{e: e, snap: e.live.Snapshot()}
+}
+
+// NumDocs reports the snapshot's live document count.
+func (s *Snapshot) NumDocs() int { return s.snap.LiveDocs() }
+
+// NumSegments reports the snapshot's segment count.
+func (s *Snapshot) NumSegments() int { return len(s.snap.Segs) }
+
+// Version is the snapshot's update-sequence number; every add, delete
+// and merge increments it.
+func (s *Snapshot) Version() uint64 { return s.snap.Version }
+
+// PlaintextSearch runs the query against this snapshot WITHOUT any
 // privacy protection, returning the quantized-score ranking a
-// conventional engine would produce. Provided so applications (and the
-// repository's tests) can verify Claim 1: private and plaintext rankings
-// are identical.
-func (e *Engine) PlaintextSearch(query string, k int) ([]Result, error) {
-	tokens := e.analyzer.Analyze(query)
-	var qt []int
+// conventional engine would produce on that corpus state.
+func (s *Snapshot) PlaintextSearch(query string, k int) ([]Result, error) {
+	tokens := s.e.analyzer.Analyze(query)
+	var qt []string
 	for _, tok := range tokens {
-		if ti, ok := e.index.LookupTerm(tok); ok {
-			qt = append(qt, ti)
+		if s.snap.HasToken(tok) {
+			qt = append(qt, tok)
 		}
 	}
 	if len(qt) == 0 {
 		return nil, errors.New("embellish: no query term occurs in the corpus")
 	}
-	res := e.index.QuantizedTopK(qt, k)
+	res := s.snap.QuantizedTopK(qt, k)
 	out := make([]Result, len(res))
 	for i, r := range res {
 		out[i] = Result{DocID: int(r.Doc), Score: int64(r.Score)}
 	}
 	return out, nil
+}
+
+// PlaintextSearch runs the same query against the engine's CURRENT
+// corpus state WITHOUT any privacy protection, returning the
+// quantized-score ranking a conventional engine would produce. Provided
+// so applications (and the repository's tests) can verify Claim 1:
+// private and plaintext rankings are identical. Under concurrent
+// updates, capture a Snapshot instead and query both sides against it.
+func (e *Engine) PlaintextSearch(query string, k int) ([]Result, error) {
+	return e.Snapshot().PlaintextSearch(query, k)
 }

@@ -12,7 +12,7 @@ import (
 
 // demoDocs builds a small corpus over the mini lexicon's vocabulary so
 // facade tests exercise realistic multi-word terms.
-func demoDocs(t *testing.T) []Document {
+func demoDocs(t testing.TB) []Document {
 	t.Helper()
 	lex := MiniLexicon()
 	var lemmas []string

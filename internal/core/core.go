@@ -21,6 +21,8 @@ import (
 	"math/big"
 	"math/rand"
 	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
@@ -170,52 +172,86 @@ func sortRanked(rs []Ranked) {
 	lessSwap(rs)
 }
 
-// Server is the search-engine endpoint. It owns the inverted index, the
-// bucket organization (public), and the bucket-aligned storage layout.
+// Server is the search-engine endpoint. It owns the live segmented
+// index, the bucket organization (public), and the bucket-aligned
+// storage layout. Queries always evaluate against one atomically loaded
+// index snapshot, so online updates never block or torment a reader.
 type Server struct {
-	Index *index.Index
-	Org   *bucket.Organization
-	// termOf maps a dictionary TermID to its index term number; terms of
-	// the organization absent from the corpus map to -1 (empty list).
-	termOf []int32
-	// bucketBytes[b] is the on-disk footprint of bucket b's inverted
-	// lists, stored contiguously per Section 4 so that one seek fetches
-	// the whole bucket.
-	bucketBytes []int
-	Disk        simio.Model
-	// sharded is the document-partitioned view driving the worker-pool
-	// pipeline of ProcessParallel; nil keeps the term-striped fallback.
-	sharded *index.Sharded
+	// Live is the segmented index view; online appends, deletions and
+	// merges swap its snapshot atomically.
+	Live *index.Live
+	Org  *bucket.Organization
+	// db supplies the lemma spelling of each organization term so it can
+	// be matched against each segment's dictionary.
+	db   *wordnet.Database
+	Disk simio.Model
+	// shardN is the document-shard count of the worker-pool pipeline; 0
+	// keeps the term-striped fallback.
+	shardN int
 	// window is the fixed-base exponentiation radix exponent; 0 disables
 	// precomputation and every E(u)^p is a full modular exponentiation.
 	window uint
+
+	// resolved caches the per-segment term resolution and bucket
+	// footprints derived from one index snapshot; it is reassembled on
+	// the first query after an update (resolve). Segments are immutable,
+	// so segCache memoizes each segment's resolution across snapshots —
+	// a delete-only swap reuses every row, and an append resolves just
+	// the new segment.
+	resolveMu sync.Mutex
+	resolved  atomic.Pointer[resolvedState]
+	segCache  map[*index.Segment]*segResolved
+}
+
+// segResolved is one immutable segment's resolution against the
+// organization: the TermID → segment term number map and the segment's
+// byte contribution to each bucket.
+type segResolved struct {
+	termOf      []int32
+	bucketBytes []int
+}
+
+// resolvedState bundles everything a query needs that is derived from
+// one index snapshot, so a single atomic load yields a consistent view.
+type resolvedState struct {
+	snap *index.Snapshot
+	// termOf[si] maps a dictionary TermID to segment si's term number;
+	// organization terms absent from the segment map to -1.
+	termOf [][]int32
+	// bucketBytes[b] is the on-disk footprint of bucket b's inverted
+	// lists across all segments, stored contiguously per Section 4 so
+	// that one seek fetches the whole bucket.
+	bucketBytes []int
+}
+
+// term resolves a dictionary term to segment si's term number (-1 when
+// absent). Out-of-dictionary ids from hostile queries resolve to -1.
+func (r *resolvedState) term(si int, t wordnet.TermID) int32 {
+	m := r.termOf[si]
+	if int(t) < 0 || int(t) >= len(m) {
+		return -1
+	}
+	return m[t]
 }
 
 // SetSharding partitions the server's index into n document shards for
 // the worker-pool pipeline of ProcessParallel: n < 0 selects GOMAXPROCS
-// shards, n == 0 removes the sharded view (restoring the term-striped
-// fallback). The partition is computed once and reused by every query;
-// it copies the postings, roughly doubling the index's resident memory
-// while sharding is enabled. Not safe to call concurrently with
-// Process calls; configure before serving.
+// shards, n == 0 removes the sharded views (restoring the term-striped
+// fallback). Each segment's partition is computed once (appends and
+// merges cover new segments automatically) and copies that segment's
+// postings, roughly doubling the postings' resident memory while
+// sharding is enabled. Not safe to call concurrently with Process
+// calls; configure before serving.
 func (s *Server) SetSharding(n int) {
-	if n == 0 {
-		s.sharded = nil
-		return
-	}
 	if n < 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	s.sharded = s.Index.Shard(n)
+	s.shardN = n
+	s.Live.SetSharding(n)
 }
 
 // NumShards reports the configured shard count (0 when unsharded).
-func (s *Server) NumShards() int {
-	if s.sharded == nil {
-		return 0
-	}
-	return s.sharded.NumShards()
-}
+func (s *Server) NumShards() int { return s.shardN }
 
 // SetPrecompute enables fixed-base windowed exponentiation for the
 // per-term flag powers E(u)^p: window is the radix exponent w (tables of
@@ -224,34 +260,113 @@ func (s *Server) NumShards() int {
 // the ciphertexts, and hence the protocol transcript, are identical.
 func (s *Server) SetPrecompute(window uint) { s.window = window }
 
-// NewServer wires an index to a bucket organization. db supplies the
-// lemma spelling of each organization term so it can be matched against
-// the index dictionary.
+// NewServer wires a static single index to a bucket organization — the
+// paper's original deployment shape, kept for callers that never
+// update. It is a one-segment live server.
 func NewServer(ix *index.Index, org *bucket.Organization, db *wordnet.Database) *Server {
-	s := &Server{Index: ix, Org: org, Disk: simio.Default()}
-	s.termOf = make([]int32, db.NumTerms())
-	for i := range s.termOf {
-		s.termOf[i] = -1
-	}
-	s.bucketBytes = make([]int, org.NumBuckets())
-	for b := 0; b < org.NumBuckets(); b++ {
-		for _, t := range org.Bucket(b) {
-			if ti, ok := ix.LookupTerm(db.Lemma(t)); ok {
-				s.termOf[t] = int32(ti)
-				s.bucketBytes[b] += ix.ListBytes(ti)
-			}
-		}
-	}
+	return NewLiveServer(index.NewLive(ix), org, db)
+}
+
+// NewLiveServer wires a live segmented index to a bucket organization.
+// db supplies the lemma spelling of each organization term so it can be
+// matched against each segment's dictionary.
+func NewLiveServer(live *index.Live, org *bucket.Organization, db *wordnet.Database) *Server {
+	s := &Server{Live: live, Org: org, db: db, Disk: simio.Default(),
+		segCache: make(map[*index.Segment]*segResolved)}
+	s.resolve()
 	return s
 }
 
-// ListFor returns the inverted list of a dictionary term, or nil when the
-// term does not occur in the corpus.
+// resolve returns the resolution cache for the CURRENT index snapshot,
+// rebuilding it when an online update has swapped the snapshot since
+// the last query. Concurrent queries during a rebuild either reuse the
+// old cache (consistent with the old snapshot they would then use) or
+// wait on the mutex and share the fresh one.
+func (s *Server) resolve() *resolvedState {
+	snap := s.Live.Snapshot()
+	if r := s.resolved.Load(); r != nil && r.snap == snap {
+		return r
+	}
+	s.resolveMu.Lock()
+	defer s.resolveMu.Unlock()
+	snap = s.Live.Snapshot() // re-load: catch up to the latest swap
+	if r := s.resolved.Load(); r != nil && r.snap == snap {
+		return r
+	}
+	r := &resolvedState{snap: snap}
+	r.termOf = make([][]int32, len(snap.Segs))
+	r.bucketBytes = make([]int, s.Org.NumBuckets())
+	alive := make(map[*index.Segment]bool, len(snap.Segs))
+	for si, seg := range snap.Segs {
+		alive[seg] = true
+		sr, ok := s.segCache[seg]
+		if !ok {
+			sr = s.resolveSegment(seg)
+			s.segCache[seg] = sr
+		}
+		r.termOf[si] = sr.termOf
+		for b, n := range sr.bucketBytes {
+			r.bucketBytes[b] += n
+		}
+	}
+	// Drop rows of segments the snapshot no longer holds (merged away):
+	// in-flight queries keep their own resolvedState, so this only
+	// bounds the cache, never invalidates a reader.
+	for seg := range s.segCache {
+		if !alive[seg] {
+			delete(s.segCache, seg)
+		}
+	}
+	s.resolved.Store(r)
+	return r
+}
+
+// resolveSegment computes one segment's resolution; called once per
+// segment lifetime, under resolveMu.
+func (s *Server) resolveSegment(seg *index.Segment) *segResolved {
+	sr := &segResolved{
+		termOf:      make([]int32, s.db.NumTerms()),
+		bucketBytes: make([]int, s.Org.NumBuckets()),
+	}
+	for i := range sr.termOf {
+		sr.termOf[i] = -1
+	}
+	for b := 0; b < s.Org.NumBuckets(); b++ {
+		for _, t := range s.Org.Bucket(b) {
+			if ti, ok := seg.LookupTerm(s.db.Lemma(t)); ok {
+				sr.termOf[t] = int32(ti)
+				sr.bucketBytes[b] += seg.ListBytes(ti)
+			}
+		}
+	}
+	return sr
+}
+
+// ListFor returns the live postings of a dictionary term — concatenated
+// across segments, tombstoned documents removed — or nil when the term
+// does not occur in the corpus. On the common static single-segment
+// server the underlying list is returned without copying.
 func (s *Server) ListFor(t wordnet.TermID) []index.Posting {
-	if int(t) >= len(s.termOf) || s.termOf[t] < 0 {
+	r := s.resolve()
+	if len(r.snap.Segs) == 1 && r.snap.Tombs.Count() == 0 {
+		if ti := r.term(0, t); ti >= 0 {
+			return r.snap.Segs[0].List(int(ti))
+		}
 		return nil
 	}
-	return s.Index.List(int(s.termOf[t]))
+	var out []index.Posting
+	for si, seg := range r.snap.Segs {
+		ti := r.term(si, t)
+		if ti < 0 {
+			continue
+		}
+		for _, p := range seg.List(int(ti)) {
+			if !r.snap.Deleted(p.Doc) {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
 }
 
 // Stats records the server-side cost of one query execution, feeding the
@@ -261,8 +376,12 @@ type Stats struct {
 	// accumulation E(score)·E(u)^p costs one modular exponentiation with
 	// a small exponent p, accounted as its square-and-multiply length.
 	ModMuls int
-	// Postings is the number of inverted-list entries scanned.
+	// Postings is the number of inverted-list entries scanned, including
+	// tombstoned ones (they are read, then skipped).
 	Postings int
+	// Tombstoned counts scanned postings skipped because their document
+	// is deleted; skipped postings cost no group operations.
+	Tombstoned int
 	// IO aggregates the simulated disk accesses (one seek per distinct
 	// bucket, Section 4's layout).
 	IO simio.Accounting
@@ -273,33 +392,42 @@ type Stats struct {
 // IOms returns the simulated I/O time in milliseconds.
 func (st Stats) IOms(m simio.Model) float64 { return st.IO.Ms(m) }
 
-// Process implements Algorithm 4: for every (genuine or decoy) term in
-// the embellished query, walk its inverted list and fold E(u_i)^{p_ij}
-// into the candidate document's encrypted score.
-func (s *Server) Process(q *Query) (*Response, Stats, error) {
-	if len(q.Entries) == 0 {
-		return nil, Stats{}, errors.New("core: empty query")
+// totalPostings counts a query term's postings across every segment —
+// the size powerFn uses to decide whether a fixed-base table pays off.
+func (r *resolvedState) totalPostings(t wordnet.TermID) int {
+	total := 0
+	for si, seg := range r.snap.Segs {
+		if ti := r.term(si, t); ti >= 0 {
+			total += len(seg.List(int(ti)))
+		}
 	}
-	var st Stats
+	return total
+}
 
-	// Charge I/O: one seek per distinct bucket named by the query.
-	terms := make([]wordnet.TermID, len(q.Entries))
-	for i, e := range q.Entries {
-		terms[i] = e.Term
+// foldEntry folds one embellished-query entry into acc: build the
+// E(u)^p evaluator sized by the entry's total postings (one fixed-base
+// table serves every segment), then walk the entry's list segment by
+// segment, skipping tombstoned documents BEFORE any group operation.
+// Shared by the sequential plan and the term-striped workers, which
+// pass worker-local acc and stats.
+func (s *Server) foldEntry(r *resolvedState, e QueryEntry, pk *benaloh.PublicKey, acc map[index.DocID]*big.Int, st *Stats) {
+	total := r.totalPostings(e.Term)
+	if total == 0 {
+		return
 	}
-	for _, b := range s.Org.BucketsFor(terms) {
-		st.IO.Charge(s.bucketBytes[b])
-	}
-
-	pk := q.Pub
-	acc := make(map[index.DocID]*big.Int)
-	for _, e := range q.Entries {
-		list := s.ListFor(e.Term)
-		pow, setup := s.powerFn(pk, e.Flag, len(list))
-		st.ModMuls += setup
-		for i := range list {
-			p := list[i]
+	pow, setup := s.powerFn(pk, e.Flag, total)
+	st.ModMuls += setup
+	for si, seg := range r.snap.Segs {
+		ti := r.term(si, e.Term)
+		if ti < 0 {
+			continue
+		}
+		for _, p := range seg.List(int(ti)) {
 			st.Postings++
+			if r.snap.Deleted(p.Doc) {
+				st.Tombstoned++
+				continue
+			}
 			contrib, muls := pow(int64(p.Quantized))
 			st.ModMuls += muls
 			if cur, ok := acc[p.Doc]; ok {
@@ -309,6 +437,24 @@ func (s *Server) Process(q *Query) (*Response, Stats, error) {
 				acc[p.Doc] = contrib
 			}
 		}
+	}
+}
+
+// Process implements Algorithm 4: for every (genuine or decoy) term in
+// the embellished query, walk its inverted list — segment by segment,
+// skipping tombstoned documents without any homomorphic work — and fold
+// E(u_i)^{p_ij} into the candidate document's encrypted score.
+func (s *Server) Process(q *Query) (*Response, Stats, error) {
+	if len(q.Entries) == 0 {
+		return nil, Stats{}, errors.New("core: empty query")
+	}
+	r := s.resolve()
+	st := s.chargeIO(q, r)
+
+	pk := q.Pub
+	acc := make(map[index.DocID]*big.Int)
+	for _, e := range q.Entries {
+		s.foldEntry(r, e, pk, acc, &st)
 	}
 	resp := &Response{ctxBytes: pk.CiphertextBytes()}
 	resp.Docs = make([]DocScore, 0, len(acc))
@@ -340,7 +486,7 @@ func (s *Server) powerFn(pk *benaloh.PublicKey, flag *big.Int, postings int) (fu
 			return pk.ScalarMul(flag, p), mulsForExponent(p)
 		}, 0
 	}
-	fb := pk.NewFixedBase(flag, int64(s.Index.QuantLevels), s.window)
+	fb := pk.NewFixedBase(flag, int64(s.Live.QuantLevels()), s.window)
 	return fb.Pow, fb.SetupMuls()
 }
 

@@ -11,20 +11,22 @@ import (
 	"embellish/internal/wordnet"
 )
 
-// ProcessParallel is Algorithm 4 executed by a worker pool. With a
-// sharded index (Server.SetSharding), the postings are partitioned by
-// document: each worker claims whole shards from a work queue and folds
-// every query term's shard-local sub-list into a private accumulator
-// map. Shards own disjoint document sets, so the per-shard encrypted
-// score maps never overlap and the final merge is pure concatenation —
-// no cross-shard homomorphic additions, no locks on the hot path. The
-// per-term flag powers E(u)^p are served from fixed-base tables built
-// once per query (Server.SetPrecompute) and shared read-only by all
-// workers.
+// ProcessParallel is Algorithm 4 executed by a worker pool. With
+// sharding enabled (Server.SetSharding), the postings are partitioned
+// by document: each worker claims whole shards from a work queue and
+// folds every query term's shard-local sub-lists — one per segment —
+// into a private accumulator map. Shards own disjoint document sets
+// across ALL segments (the partition is by global doc id), so the
+// per-shard encrypted score maps never overlap and the final merge is
+// pure concatenation — no cross-shard homomorphic additions, no locks
+// on the hot path. Tombstoned documents are skipped before any group
+// operation. The per-term flag powers E(u)^p are served from fixed-base
+// tables built once per query (Server.SetPrecompute) and shared
+// read-only by all workers.
 //
-// Without a sharded view the legacy term-striped plan runs: workers
-// split the query's terms and merge their overlapping accumulators
-// pairwise with homomorphic additions afterwards.
+// Without sharding the legacy term-striped plan runs: workers split the
+// query's terms and merge their overlapping accumulators pairwise with
+// homomorphic additions afterwards.
 //
 // Either way the result is identical to Process up to ciphertext
 // randomization: each E(score) is a different group element than the
@@ -37,7 +39,7 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if s.sharded != nil {
+	if s.shardN > 0 {
 		return s.processSharded(q, workers)
 	}
 	return s.processTermStriped(q, workers)
@@ -45,31 +47,34 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 
 // chargeIO accounts one seek per distinct bucket named by the query
 // (Section 4's contiguous bucket layout) and returns the stats skeleton.
-func (s *Server) chargeIO(q *Query) Stats {
+func (s *Server) chargeIO(q *Query, r *resolvedState) Stats {
 	var st Stats
 	terms := make([]wordnet.TermID, len(q.Entries))
 	for i, e := range q.Entries {
 		terms[i] = e.Term
 	}
 	for _, b := range s.Org.BucketsFor(terms) {
-		st.IO.Charge(s.bucketBytes[b])
+		st.IO.Charge(r.bucketBytes[b])
 	}
 	return st
 }
 
 // entryPlan is the per-query-term execution state shared read-only by
-// all shard workers: the resolved index term and the E(u)^p evaluator.
+// all shard workers: the per-segment resolved term numbers and the
+// E(u)^p evaluator. pow is nil when the term occurs in no segment.
 type entryPlan struct {
-	term int32 // index term number, -1 when absent from the corpus
-	pow  func(int64) (*big.Int, int)
+	terms []int32 // index term number per segment, -1 when absent
+	pow   func(int64) (*big.Int, int)
 }
 
-// processSharded runs the document-sharded worker-pool pipeline.
+// processSharded runs the document-sharded worker-pool pipeline against
+// one index snapshot.
 func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error) {
-	st := s.chargeIO(q)
+	r := s.resolve()
+	st := s.chargeIO(q, r)
 	pk := q.Pub
-	sh := s.sharded
-	nsh := sh.NumShards()
+	segs := r.snap.Segs
+	nsh := s.shardN
 	if workers > nsh {
 		workers = nsh
 	}
@@ -90,15 +95,22 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 					return
 				}
 				e := q.Entries[i]
-				plans[i].term = -1
-				if int(e.Term) < len(s.termOf) {
-					plans[i].term = s.termOf[e.Term]
+				// Resolve per-segment terms and the total posting count in
+				// one pass (the plan needs both, so totalPostings alone
+				// would rescan).
+				terms := make([]int32, len(segs))
+				total := 0
+				for si, seg := range segs {
+					terms[si] = r.term(si, e.Term)
+					if terms[si] >= 0 {
+						total += len(seg.List(int(terms[si])))
+					}
 				}
-				if plans[i].term < 0 {
+				plans[i].terms = terms
+				if total == 0 {
 					continue
 				}
-				postings := len(s.Index.List(int(plans[i].term)))
-				pow, setup := s.powerFn(pk, e.Flag, postings)
+				pow, setup := s.powerFn(pk, e.Flag, total)
 				plans[i].pow = pow
 				setupMuls[w] += int64(setup)
 			}
@@ -110,12 +122,16 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 	}
 
 	// Phase 2: workers claim shards and fold every entry's shard-local
-	// sub-list into a shard-private accumulator. Document-disjointness
-	// makes the shard maps non-overlapping.
+	// sub-lists (one per segment) into a shard-private accumulator.
+	// Global-doc-id-disjointness makes the shard maps non-overlapping.
+	// Segments carry a prebuilt sharded view; a segment whose view is
+	// missing or built for another shard count is filter-scanned
+	// instead, which is slower but yields the identical postings.
 	type shardOut struct {
-		acc      map[index.DocID]*big.Int
-		modMuls  int
-		postings int
+		acc        map[index.DocID]*big.Int
+		modMuls    int
+		postings   int
+		tombstoned int
 	}
 	outs := make([]shardOut, nsh)
 	var nextShard int32
@@ -129,25 +145,47 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 					return
 				}
 				acc := make(map[index.DocID]*big.Int)
-				muls, posts := 0, 0
+				muls, posts, tombs := 0, 0, 0
+				scan := func(p index.Posting, pl *entryPlan) {
+					posts++
+					if r.snap.Deleted(p.Doc) {
+						tombs++
+						return
+					}
+					contrib, m := pl.pow(int64(p.Quantized))
+					muls += m
+					if cur, ok := acc[p.Doc]; ok {
+						pk.AddInto(cur, contrib)
+						muls++
+					} else {
+						acc[p.Doc] = contrib
+					}
+				}
 				for pi := range plans {
 					pl := &plans[pi]
-					if pl.term < 0 {
+					if pl.pow == nil {
 						continue
 					}
-					for _, p := range sh.List(int(pl.term), si) {
-						posts++
-						contrib, m := pl.pow(int64(p.Quantized))
-						muls += m
-						if cur, ok := acc[p.Doc]; ok {
-							pk.AddInto(cur, contrib)
-							muls++
+					for sgi, seg := range segs {
+						ti := pl.terms[sgi]
+						if ti < 0 {
+							continue
+						}
+						if view := seg.ShardedView(); view != nil && view.NumShards() == nsh {
+							for _, p := range view.List(int(ti), si) {
+								scan(p, pl)
+							}
 						} else {
-							acc[p.Doc] = contrib
+							for _, p := range seg.List(int(ti)) {
+								if int(p.Doc)%nsh != si {
+									continue
+								}
+								scan(p, pl)
+							}
 						}
 					}
 				}
-				outs[si] = shardOut{acc: acc, modMuls: muls, postings: posts}
+				outs[si] = shardOut{acc: acc, modMuls: muls, postings: posts, tombstoned: tombs}
 			}
 		}()
 	}
@@ -158,6 +196,7 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 	for i := range outs {
 		st.ModMuls += outs[i].modMuls
 		st.Postings += outs[i].postings
+		st.Tombstoned += outs[i].tombstoned
 		total += len(outs[i].acc)
 	}
 	resp := &Response{ctxBytes: pk.CiphertextBytes()}
@@ -180,51 +219,38 @@ func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, er
 	if workers == 1 || len(q.Entries) < 2*workers {
 		return s.Process(q)
 	}
-	st := s.chargeIO(q)
+	r := s.resolve()
+	st := s.chargeIO(q, r)
 	pk := q.Pub
-	type shard struct {
-		acc      map[index.DocID]*big.Int
-		modMuls  int
-		postings int
+	type stripe struct {
+		acc   map[index.DocID]*big.Int
+		stats Stats
 	}
-	shards := make([]shard, workers)
+	stripes := make([]stripe, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
 			acc := make(map[index.DocID]*big.Int)
-			muls, posts := 0, 0
+			var wst Stats
 			for i := w; i < len(q.Entries); i += workers {
-				e := q.Entries[i]
-				list := s.ListFor(e.Term)
-				pow, setup := s.powerFn(pk, e.Flag, len(list))
-				muls += setup
-				for j := range list {
-					p := list[j]
-					posts++
-					contrib, m := pow(int64(p.Quantized))
-					muls += m
-					if cur, ok := acc[p.Doc]; ok {
-						pk.AddInto(cur, contrib)
-						muls++
-					} else {
-						acc[p.Doc] = contrib
-					}
-				}
+				s.foldEntry(r, q.Entries[i], pk, acc, &wst)
 			}
-			shards[w] = shard{acc: acc, modMuls: muls, postings: posts}
+			stripes[w] = stripe{acc: acc, stats: wst}
 		}(w)
 	}
 	wg.Wait()
 
-	// Merge shards into the first shard's accumulator.
-	merged := shards[0].acc
-	st.ModMuls += shards[0].modMuls
-	st.Postings += shards[0].postings
-	for _, sh := range shards[1:] {
-		st.ModMuls += sh.modMuls
-		st.Postings += sh.postings
+	// Merge stripes into the first stripe's accumulator.
+	merged := stripes[0].acc
+	st.ModMuls += stripes[0].stats.ModMuls
+	st.Postings += stripes[0].stats.Postings
+	st.Tombstoned += stripes[0].stats.Tombstoned
+	for _, sh := range stripes[1:] {
+		st.ModMuls += sh.stats.ModMuls
+		st.Postings += sh.stats.Postings
+		st.Tombstoned += sh.stats.Tombstoned
 		for d, c := range sh.acc {
 			if cur, ok := merged[d]; ok {
 				pk.AddInto(cur, c)

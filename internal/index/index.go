@@ -37,9 +37,15 @@ type Posting struct {
 }
 
 // Index is an impact-ordered inverted index. Build it with a Builder;
-// afterwards it is immutable and safe for concurrent readers.
+// afterwards it is immutable and safe for concurrent readers. In a
+// segmented Live set an Index is one segment (see live.go); segment
+// postings carry global document ids.
 type Index struct {
-	// NumDocs is N, the number of documents indexed.
+	// NumDocs is the exclusive bound of the document-id space: every
+	// posting satisfies Doc < NumDocs. For a freshly built index the ids
+	// are dense from 0, so this equals the number of documents indexed;
+	// for a segment of a Live set it is the global bound, not the
+	// segment's own document count.
 	NumDocs int
 	// terms maps the dictionary string to a dense term number.
 	terms map[string]int
@@ -91,6 +97,33 @@ func (ix *Index) Vocabulary() []string { return ix.vocab }
 // paper's layout: one ⟨document id, impact⟩ pair per posting (4+4 bytes).
 func (ix *Index) ListBytes(i int) int { return 8 * len(ix.lists[i]) }
 
+// MaxImpact returns the quantization scale: the raw impact that maps to
+// QuantLevels. A pinned-scale build (Builder.Scale) reports the pinned
+// value, which need not be an impact present in any list.
+func (ix *Index) MaxImpact() float64 { return ix.maxImpact }
+
+// NumPostings returns the total posting count across all inverted
+// lists — the segment-size metric of the Live merge policy.
+func (ix *Index) NumPostings() int {
+	n := 0
+	for _, list := range ix.lists {
+		n += len(list)
+	}
+	return n
+}
+
+// offsetDocs shifts every posting's document id by base and widens
+// NumDocs into the matching doc-id bound, turning a locally built index
+// (dense ids from 0) into a segment of a larger global id space.
+func (ix *Index) offsetDocs(base DocID) {
+	for _, list := range ix.lists {
+		for i := range list {
+			list[i].Doc += base
+		}
+	}
+	ix.NumDocs += int(base)
+}
+
 // Builder accumulates documents and produces an Index.
 type Builder struct {
 	// Scoring selects the similarity function (cosine Equation 3 by
@@ -109,6 +142,14 @@ type Builder struct {
 	// QuantLevels sets the integer quantization resolution; impacts map
 	// to 1..QuantLevels. Default 255.
 	QuantLevels int32
+	// Scale pins the quantization scale — the raw impact that maps to
+	// QuantLevels — instead of deriving it from this build's own maximum
+	// impact. A segmented Live set quantizes every segment against the
+	// scale pinned at engine creation so that quantized impacts (the
+	// homomorphic exponents E(u)^p) stay comparable across segments;
+	// impacts above the pinned scale clamp to QuantLevels. 0 derives the
+	// scale from the data, the single-index behavior.
+	Scale float64
 }
 
 // NewBuilder returns an empty Builder with default quantization.
@@ -199,12 +240,16 @@ func (b *Builder) Build() *Index {
 		}
 		ix.lists[ti] = list
 	}
-	ix.maxImpact = maxImpact
+	scale := b.Scale
+	if scale <= 0 {
+		scale = maxImpact
+	}
+	ix.maxImpact = scale
 	// Quantize to 1..QuantLevels and order by decreasing impact (ties by
 	// ascending doc for determinism).
 	for ti, list := range ix.lists {
 		for i := range list {
-			q := int32(math.Ceil(list[i].Impact / maxImpact * float64(b.QuantLevels)))
+			q := int32(math.Ceil(list[i].Impact / scale * float64(b.QuantLevels)))
 			if q < 1 {
 				q = 1
 			}

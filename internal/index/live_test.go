@@ -1,0 +1,255 @@
+package index
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// buildBase indexes a small fixed corpus and wraps it as a live set.
+func buildBase(t *testing.T) (*Live, *Index) {
+	t.Helper()
+	b := NewBuilder()
+	docs := [][]string{
+		{"apple", "banana", "apple"},
+		{"banana", "cherry"},
+		{"cherry", "cherry", "durian"},
+		{"apple", "durian", "banana", "cherry"},
+	}
+	for i, toks := range docs {
+		b.Add(DocID(i), toks)
+	}
+	ix := b.Build()
+	return NewLive(ix), ix
+}
+
+// pinnedSegment builds a local mini-index over tokens with the live
+// set's pinned scale.
+func pinnedSegment(lv *Live, docs [][]string) *Index {
+	b := NewBuilder()
+	b.Scale = lv.Scale()
+	for i, toks := range docs {
+		b.Add(DocID(i), toks)
+	}
+	return b.Build()
+}
+
+func resultDocs(rs []Result) []DocID {
+	out := make([]DocID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Doc
+	}
+	return out
+}
+
+func TestLiveAppendAssignsGlobalIDs(t *testing.T) {
+	lv, _ := buildBase(t)
+	base, err := lv.Append(pinnedSegment(lv, [][]string{{"apple", "elder"}, {"elder", "elder"}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 4 {
+		t.Fatalf("first appended doc id = %d, want 4", base)
+	}
+	sn := lv.Snapshot()
+	if sn.NextDoc != 6 || len(sn.Segs) != 2 || sn.LiveDocs() != 6 {
+		t.Fatalf("snapshot shape: NextDoc=%d segs=%d live=%d", sn.NextDoc, len(sn.Segs), sn.LiveDocs())
+	}
+	// The new term is retrievable with a global doc id.
+	res := sn.QuantizedTopK([]string{"elder"}, 0)
+	if len(res) != 2 || res[0].Doc != 5 || res[1].Doc != 4 {
+		t.Fatalf("elder results = %+v, want docs 5 then 4", res)
+	}
+	// An old term now spans both segments.
+	res = sn.QuantizedTopK([]string{"apple"}, 0)
+	seen := map[DocID]bool{}
+	for _, r := range res {
+		seen[r.Doc] = true
+	}
+	for _, d := range []DocID{0, 3, 4} {
+		if !seen[d] {
+			t.Fatalf("apple results %v missing doc %d", resultDocs(res), d)
+		}
+	}
+}
+
+func TestLiveAppendRejectsUnpinnedScale(t *testing.T) {
+	lv, _ := buildBase(t)
+	b := NewBuilder() // no Scale: derives its own
+	b.Add(0, []string{"zebra", "zebra", "yak"})
+	if _, err := lv.Append(b.Build()); err == nil {
+		t.Fatal("segment with its own scale accepted")
+	}
+	b2 := NewBuilder()
+	b2.Scale = lv.Scale()
+	b2.QuantLevels = 31
+	b2.Add(0, []string{"zebra"})
+	if _, err := lv.Append(b2.Build()); err == nil {
+		t.Fatal("segment with mismatched QuantLevels accepted")
+	}
+}
+
+func TestLiveDeleteTombstones(t *testing.T) {
+	lv, _ := buildBase(t)
+	if err := lv.Delete([]DocID{1}); err != nil {
+		t.Fatal(err)
+	}
+	sn := lv.Snapshot()
+	if sn.LiveDocs() != 3 || !sn.Deleted(1) {
+		t.Fatalf("after delete: live=%d deleted(1)=%v", sn.LiveDocs(), sn.Deleted(1))
+	}
+	for _, r := range sn.QuantizedTopK([]string{"banana", "cherry"}, 0) {
+		if r.Doc == 1 {
+			t.Fatal("tombstoned doc 1 still scored")
+		}
+	}
+	// Not-live ids are rejected: never assigned, already deleted, and
+	// repeats within one call.
+	if err := lv.Delete([]DocID{99}); err == nil {
+		t.Fatal("unassigned id accepted")
+	}
+	if err := lv.Delete([]DocID{1}); err == nil {
+		t.Fatal("double delete accepted")
+	}
+	if err := lv.Delete([]DocID{2, 2}); err == nil {
+		t.Fatal("repeated id within one call accepted")
+	}
+	// A failed call must not leave partial tombstones behind.
+	if lv.Snapshot().Deleted(2) {
+		t.Fatal("failed delete leaked a tombstone")
+	}
+}
+
+func TestLiveMergePreservesScores(t *testing.T) {
+	lv, _ := buildBase(t)
+	for i := 0; i < 3; i++ {
+		docs := [][]string{{"apple", "fig"}, {"fig", fmt.Sprintf("term%d", i)}}
+		if _, err := lv.Append(pinnedSegment(lv, docs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := lv.Delete([]DocID{0, 5}); err != nil {
+		t.Fatal(err)
+	}
+	query := []string{"apple", "banana", "fig"}
+	preSnap := lv.Snapshot()
+	before := preSnap.QuantizedTopK(query, 0)
+
+	lv.Compact()
+	sn := lv.Snapshot()
+	if len(sn.Segs) != 1 {
+		t.Fatalf("Compact left %d segments", len(sn.Segs))
+	}
+	after := sn.QuantizedTopK(query, 0)
+	if len(before) != len(after) {
+		t.Fatalf("result count changed across compact: %d vs %d", len(before), len(after))
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("rank %d changed across compact: %+v vs %+v", i, before[i], after[i])
+		}
+	}
+	// Tombstoned postings were rewritten away but the ids stay dead.
+	if sn.NumPostings() >= preSnap.NumPostings() {
+		t.Fatalf("compact did not shrink postings: %d vs %d", sn.NumPostings(), preSnap.NumPostings())
+	}
+	if !sn.Deleted(0) || sn.LiveDocs() != 8 {
+		t.Fatalf("tombstone bookkeeping lost: deleted(0)=%v live=%d", sn.Deleted(0), sn.LiveDocs())
+	}
+	if err := lv.Delete([]DocID{0}); err == nil {
+		t.Fatal("compacted-away id deletable again")
+	}
+}
+
+func TestLiveMergePolicyBoundsSegments(t *testing.T) {
+	lv, _ := buildBase(t)
+	lv.SetMaxSegments(2)
+	for i := 0; i < 5; i++ {
+		if _, err := lv.Append(pinnedSegment(lv, [][]string{{"grape", "apple"}})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The policy merges in the background; wait for it to settle.
+	deadline := time.Now().Add(5 * time.Second)
+	for lv.NumSegments() > 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("merge policy left %d segments", lv.NumSegments())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	sn := lv.Snapshot()
+	res := sn.QuantizedTopK([]string{"grape"}, 0)
+	if len(res) != 5 {
+		t.Fatalf("grape docs after merges = %d, want 5", len(res))
+	}
+	if sn.LiveDocs() != 9 {
+		t.Fatalf("live docs = %d, want 9", sn.LiveDocs())
+	}
+}
+
+func TestLiveVersionsAndSnapshotStability(t *testing.T) {
+	lv, _ := buildBase(t)
+	s0 := lv.Snapshot()
+	if _, err := lv.Append(pinnedSegment(lv, [][]string{{"apple"}})); err != nil {
+		t.Fatal(err)
+	}
+	s1 := lv.Snapshot()
+	if err := lv.Delete([]DocID{4}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := lv.Snapshot()
+	if !(s0.Version < s1.Version && s1.Version < s2.Version) {
+		t.Fatalf("versions not monotonic: %d %d %d", s0.Version, s1.Version, s2.Version)
+	}
+	// Old snapshots are unaffected by later updates.
+	if s0.LiveDocs() != 4 || s1.LiveDocs() != 5 || s2.LiveDocs() != 4 {
+		t.Fatalf("live counts: %d %d %d", s0.LiveDocs(), s1.LiveDocs(), s2.LiveDocs())
+	}
+	if s1.Deleted(4) {
+		t.Fatal("snapshot s1 sees a later tombstone")
+	}
+}
+
+func TestLiveFromPartsValidation(t *testing.T) {
+	lv, base := buildBase(t)
+	seg := pinnedSegment(lv, [][]string{{"apple"}})
+	seg.offsetDocs(4)
+	if _, err := NewLiveFromParts([]*Index{base, seg}, []DocID{1}, 5); err != nil {
+		t.Fatalf("valid parts rejected: %v", err)
+	}
+	if _, err := NewLiveFromParts(nil, nil, 0); err == nil {
+		t.Fatal("empty segment list accepted")
+	}
+	if _, err := NewLiveFromParts([]*Index{base, seg}, nil, 4); err == nil {
+		t.Fatal("doc bound past NextDoc accepted")
+	}
+	if _, err := NewLiveFromParts([]*Index{base, seg}, []DocID{7}, 5); err == nil {
+		t.Fatal("tombstone past NextDoc accepted")
+	}
+	b := NewBuilder()
+	b.Add(0, []string{"solo"})
+	alien := b.Build() // own scale, almost surely != pinned
+	if _, err := NewLiveFromParts([]*Index{base, alien}, nil, 5); err == nil {
+		t.Fatal("scale mismatch accepted")
+	}
+}
+
+func TestTombstoneDocIDsRoundTrip(t *testing.T) {
+	lv, _ := buildBase(t)
+	if _, err := lv.Append(pinnedSegment(lv, [][]string{{"a"}, {"b"}, {"c"}})); err != nil {
+		t.Fatal(err)
+	}
+	want := []DocID{0, 2, 5, 6}
+	if err := lv.Delete(want); err != nil {
+		t.Fatal(err)
+	}
+	got := lv.Snapshot().Tombs.DocIDs()
+	if len(got) != len(want) {
+		t.Fatalf("DocIDs = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("DocIDs = %v, want %v", got, want)
+		}
+	}
+}

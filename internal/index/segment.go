@@ -1,0 +1,84 @@
+package index
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Segment is one immutable mini-index of a Live segment set. Its
+// postings carry GLOBAL document ids (offset at append time), and its
+// impacts are quantized against the quantization scale pinned when the
+// Live set was created, so the homomorphic exponents E(u)^p remain
+// comparable across segments.
+//
+// A Segment optionally caches the document-partitioned Sharded view of
+// itself for the worker-pool execution plan. The view is built under
+// the Live writer lock and published atomically; readers that find no
+// view (or one with a stale shard count) fall back to filtering the
+// full lists, which is slower but identical in output.
+type Segment struct {
+	*Index
+	sharded atomic.Pointer[Sharded]
+}
+
+// NewSegment wraps an index as a segment.
+func NewSegment(ix *Index) *Segment { return &Segment{Index: ix} }
+
+// ShardedView returns the cached document-partitioned view, or nil when
+// sharding is not configured (or not yet built for this segment).
+func (s *Segment) ShardedView() *Sharded { return s.sharded.Load() }
+
+// ensureSharded builds (or drops, for n <= 0) the cached sharded view.
+// Callers hold the owning Live's writer lock; publication is atomic so
+// concurrent readers see either the old view or the new one.
+func (s *Segment) ensureSharded(n int) {
+	if n <= 0 {
+		s.sharded.Store(nil)
+		return
+	}
+	if v := s.sharded.Load(); v != nil && v.NumShards() == n {
+		return
+	}
+	s.sharded.Store(s.Index.Shard(n))
+}
+
+// mergeSegments rewrites several segments into one, dropping postings
+// of tombstoned documents. Impacts and quantized values are copied
+// verbatim — a merge never recomputes statistics, so every surviving
+// posting scores exactly as it did before and rankings are unchanged.
+// Per-list impact order is restored by re-sorting the concatenation.
+func mergeSegments(segs []*Segment, dead *Tombstones) *Segment {
+	out := &Index{
+		terms:       make(map[string]int),
+		QuantLevels: segs[0].QuantLevels,
+		maxImpact:   segs[0].maxImpact,
+	}
+	for _, seg := range segs {
+		if seg.NumDocs > out.NumDocs {
+			out.NumDocs = seg.NumDocs
+		}
+		for ti, term := range seg.vocab {
+			oi, ok := out.terms[term]
+			if !ok {
+				oi = len(out.vocab)
+				out.terms[term] = oi
+				out.vocab = append(out.vocab, term)
+				out.lists = append(out.lists, nil)
+			}
+			for _, p := range seg.lists[ti] {
+				if !dead.Has(p.Doc) {
+					out.lists[oi] = append(out.lists[oi], p)
+				}
+			}
+		}
+	}
+	for _, list := range out.lists {
+		sort.Slice(list, func(i, j int) bool {
+			if list[i].Impact != list[j].Impact {
+				return list[i].Impact > list[j].Impact
+			}
+			return list[i].Doc < list[j].Doc
+		})
+	}
+	return NewSegment(out)
+}

@@ -1,0 +1,123 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"embellish/internal/vbyte"
+)
+
+func TestAddDocsRoundTrip(t *testing.T) {
+	docs := []DocText{
+		{ID: 300, Text: "osteosarcoma therapy outcomes"},
+		{ID: 301, Text: ""},
+		{ID: 302, Text: strings.Repeat("x", 1000)},
+	}
+	var buf bytes.Buffer
+	if err := WriteAddDocs(&buf, docs); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeAddDocs {
+		t.Fatalf("type = %d, want %d", typ, TypeAddDocs)
+	}
+	got, err := DecodeAddDocs(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(docs) {
+		t.Fatalf("decoded %d docs, want %d", len(got), len(docs))
+	}
+	for i := range docs {
+		if got[i] != docs[i] {
+			t.Fatalf("doc %d = %+v, want %+v", i, got[i], docs[i])
+		}
+	}
+}
+
+func TestDeleteDocsRoundTrip(t *testing.T) {
+	ids := []uint32{0, 7, 299}
+	var buf bytes.Buffer
+	if err := WriteDeleteDocs(&buf, ids); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeDeleteDocs {
+		t.Fatalf("type = %d err = %v", typ, err)
+	}
+	got, err := DecodeDeleteDocs(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ids {
+		if got[i] != ids[i] {
+			t.Fatalf("ids = %v, want %v", got, ids)
+		}
+	}
+}
+
+func TestAdminOKRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteAdminOK(&buf, 1234, 5); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeAdminOK {
+		t.Fatalf("type = %d err = %v", typ, err)
+	}
+	live, segs, err := DecodeAdminOK(body)
+	if err != nil || live != 1234 || segs != 5 {
+		t.Fatalf("decoded %d/%d err %v", live, segs, err)
+	}
+}
+
+func TestAdminDecodersRejectHostileInput(t *testing.T) {
+	if _, err := DecodeAddDocs(nil); err == nil {
+		t.Fatal("empty add body accepted")
+	}
+	if _, err := DecodeDeleteDocs(nil); err == nil {
+		t.Fatal("empty delete body accepted")
+	}
+	// A count larger than the cap must be rejected before allocation.
+	huge := vbyte.Append(nil, 1<<30)
+	if _, err := DecodeAddDocs(huge); err == nil {
+		t.Fatal("huge add count accepted")
+	}
+	if _, err := DecodeDeleteDocs(huge); err == nil {
+		t.Fatal("huge delete count accepted")
+	}
+	// Ids at or past 2^31 would wrap int32 doc ids negative.
+	bad := vbyte.Append(nil, 1)
+	bad = vbyte.Append(bad, 1<<31)
+	if _, err := DecodeDeleteDocs(bad); err == nil {
+		t.Fatal("delete id >= 2^31 accepted")
+	}
+	// Truncated document text.
+	trunc := vbyte.Append(nil, 1)
+	trunc = vbyte.Append(trunc, 5)   // id
+	trunc = vbyte.Append(trunc, 100) // text length
+	trunc = append(trunc, "short"...)
+	if _, err := DecodeAddDocs(trunc); err == nil {
+		t.Fatal("truncated add text accepted")
+	}
+	// Trailing bytes.
+	var buf bytes.Buffer
+	if err := WriteDeleteDocs(&buf, []uint32{3}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeDeleteDocs(append(body, 0)); err == nil {
+		t.Fatal("trailing delete bytes accepted")
+	}
+	// Oversized writes are refused client-side.
+	if err := WriteAddDocs(&buf, make([]DocText, MaxAdminDocs+1)); err == nil {
+		t.Fatal("oversized add accepted")
+	}
+}

@@ -39,6 +39,12 @@ type ServeConfig struct {
 	// window (a dead peer would otherwise hold a connection slot
 	// forever). 0 disables the deadline.
 	IdleTimeout time.Duration
+	// AllowUpdates opts the server in to the admin messages
+	// (TypeAddDocs / TypeDeleteDocs) that add and delete documents
+	// online. Off by default: updates come from the corpus owner, not
+	// from searching users, so a deployment must deliberately expose
+	// them — typically on a separate, access-controlled listener.
+	AllowUpdates bool
 }
 
 // ServeStats is a snapshot of a NetServer's counters.
@@ -50,6 +56,8 @@ type ServeStats struct {
 	Active int64
 	// Queries counts queries answered (each batch member counts once).
 	Queries int64
+	// Updates counts applied admin operations (adds and deletes).
+	Updates int64
 	// Errors counts protocol-level errors answered with a wire error
 	// message (the connection survives those).
 	Errors int64
@@ -62,9 +70,10 @@ type ServeStats struct {
 // over any number of listeners and connections concurrently. The
 // zero value is not usable; construct with Engine.NewNetServer.
 type NetServer struct {
-	engine   *Engine
-	maxConns int
-	idle     time.Duration
+	engine       *Engine
+	maxConns     int
+	idle         time.Duration
+	allowUpdates bool
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -75,6 +84,7 @@ type NetServer struct {
 	rejected atomic.Int64
 	active   atomic.Int64
 	queries  atomic.Int64
+	updates  atomic.Int64
 	errs     atomic.Int64
 	busyNs   atomic.Int64 // total processing time
 	maxNs    atomic.Int64 // slowest single query
@@ -91,11 +101,12 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		maxConns = DefaultMaxConns
 	}
 	return &NetServer{
-		engine:    e,
-		maxConns:  maxConns,
-		idle:      cfg.IdleTimeout,
-		listeners: make(map[net.Listener]struct{}),
-		conns:     make(map[net.Conn]struct{}),
+		engine:       e,
+		maxConns:     maxConns,
+		idle:         cfg.IdleTimeout,
+		allowUpdates: cfg.AllowUpdates,
+		listeners:    make(map[net.Listener]struct{}),
+		conns:        make(map[net.Conn]struct{}),
 	}
 }
 
@@ -106,6 +117,7 @@ func (s *NetServer) Stats() ServeStats {
 		Rejected:     s.rejected.Load(),
 		Active:       s.active.Load(),
 		Queries:      s.queries.Load(),
+		Updates:      s.updates.Load(),
 		Errors:       s.errs.Load(),
 		QueryTime:    time.Duration(s.busyNs.Load()),
 		MaxQueryTime: time.Duration(s.maxNs.Load()),
@@ -241,6 +253,13 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			s.inflight.Add(1)
 			err = s.answerBatch(rw, body)
 			s.inflight.Add(-1)
+		case wire.TypeAddDocs, wire.TypeDeleteDocs:
+			// inflight also spans admin operations so a graceful Shutdown
+			// never cuts a connection between applying an update and
+			// acknowledging it.
+			s.inflight.Add(1)
+			err = s.answerAdmin(rw, typ, body)
+			s.inflight.Add(-1)
 		default:
 			s.errs.Add(1)
 			err = wire.WriteError(rw, fmt.Sprintf("unexpected message type %d", typ))
@@ -281,6 +300,48 @@ func (s *NetServer) answerQuery(rw io.ReadWriter, body []byte) error {
 		return wire.WriteError(rw, err.Error())
 	}
 	return wire.WriteResponse(rw, resp, stats)
+}
+
+// answerAdmin applies one online corpus update — behind the opt-in
+// AllowUpdates flag — and acknowledges with the resulting corpus shape.
+// Rejected and malformed requests are answered with a wire error and
+// the connection stays up.
+func (s *NetServer) answerAdmin(rw io.ReadWriter, typ byte, body []byte) error {
+	if !s.allowUpdates {
+		s.errs.Add(1)
+		return wire.WriteError(rw, "live updates are disabled on this server")
+	}
+	var err error
+	switch typ {
+	case wire.TypeAddDocs:
+		var dts []wire.DocText
+		if dts, err = wire.DecodeAddDocs(body); err == nil {
+			docs := make([]Document, len(dts))
+			for i, d := range dts {
+				docs[i] = Document{ID: int(d.ID), Text: d.Text}
+			}
+			err = s.engine.AddDocuments(docs)
+		}
+	case wire.TypeDeleteDocs:
+		var ids []uint32
+		if ids, err = wire.DecodeDeleteDocs(body); err == nil {
+			del := make([]int, len(ids))
+			for i, id := range ids {
+				del[i] = int(id)
+			}
+			err = s.engine.DeleteDocuments(del)
+		}
+	}
+	if err != nil {
+		s.errs.Add(1)
+		return wire.WriteError(rw, err.Error())
+	}
+	s.updates.Add(1)
+	// One snapshot for the whole ack, so the (docs, segments) pair is
+	// internally consistent even when other updates or merges land
+	// between the apply and the ack.
+	snap := s.engine.Snapshot()
+	return wire.WriteAdminOK(rw, snap.NumDocs(), snap.NumSegments())
 }
 
 func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {
@@ -395,6 +456,120 @@ func (c *Client) SearchRemoteBatch(conn io.ReadWriter, queries []string, k int) 
 		out[i] = res
 	}
 	return out, nil
+}
+
+// AdminStatus reports a remote server's corpus shape after an applied
+// online update.
+type AdminStatus struct {
+	// LiveDocs is the server's live (non-deleted) document count.
+	LiveDocs int
+	// Segments is the server's live-index segment count.
+	Segments int
+}
+
+// AddDocumentsRemote adds documents to a remote engine that was started
+// with updates enabled (ServeConfig.AllowUpdates). Document ids must
+// continue the remote engine's dense sequence, exactly as with
+// Engine.AddDocuments; when both endpoints share an engine file, the
+// local engine's NextDocID supplies them. Ingests larger than one
+// admin frame (wire.MaxAdminDocs documents) are batched across frames;
+// each frame is applied atomically on the server, so an error partway
+// through a batched ingest means the earlier frames ARE applied — the
+// returned status always reflects the server's state after the last
+// acknowledged frame. The connection can be reused for queries before
+// and after.
+func AddDocumentsRemote(conn io.ReadWriter, docs []Document) (AdminStatus, error) {
+	if len(docs) == 0 {
+		return AdminStatus{}, errors.New("embellish: no documents to add")
+	}
+	dts := make([]wire.DocText, len(docs))
+	for i, d := range docs {
+		if d.ID < 0 || d.ID > 1<<31-1 {
+			return AdminStatus{}, fmt.Errorf("embellish: document id %d out of range", d.ID)
+		}
+		dts[i] = wire.DocText{ID: uint32(d.ID), Text: d.Text}
+	}
+	// Chunk by count AND by cumulative text bytes: every document can be
+	// individually valid yet a MaxAdminDocs-sized frame of large ones
+	// would blow the wire frame cap.
+	const maxChunkBytes = 16 << 20
+	var st AdminStatus
+	sent := 0
+	for start := 0; start < len(dts); {
+		end, bytes := start, 0
+		for end < len(dts) && end-start < wire.MaxAdminDocs {
+			bytes += len(dts[end].Text)
+			if end > start && bytes > maxChunkBytes {
+				break
+			}
+			end++
+		}
+		chunk := dts[start:end]
+		next, err := adminRoundTrip(conn, func() error { return wire.WriteAddDocs(conn, chunk) })
+		if err != nil {
+			if sent > 0 {
+				return st, fmt.Errorf("embellish: %d of %d documents applied: %w", sent, len(dts), err)
+			}
+			return st, err
+		}
+		st = next
+		sent += len(chunk)
+		start = end
+	}
+	return st, nil
+}
+
+// DeleteDocumentsRemote tombstones documents on a remote engine that
+// was started with updates enabled (ServeConfig.AllowUpdates). Deletes
+// larger than one admin frame batch across frames like
+// AddDocumentsRemote.
+func DeleteDocumentsRemote(conn io.ReadWriter, ids []int) (AdminStatus, error) {
+	if len(ids) == 0 {
+		return AdminStatus{}, errors.New("embellish: no documents to delete")
+	}
+	u := make([]uint32, len(ids))
+	for i, id := range ids {
+		if id < 0 || id > 1<<31-1 {
+			return AdminStatus{}, fmt.Errorf("embellish: document id %d out of range", id)
+		}
+		u[i] = uint32(id)
+	}
+	var st AdminStatus
+	for start := 0; start < len(u); start += wire.MaxAdminDocs {
+		chunk := u[start:min(start+wire.MaxAdminDocs, len(u))]
+		next, err := adminRoundTrip(conn, func() error { return wire.WriteDeleteDocs(conn, chunk) })
+		if err != nil {
+			if start > 0 {
+				return st, fmt.Errorf("embellish: %d of %d deletions applied: %w", start, len(u), err)
+			}
+			return st, err
+		}
+		st = next
+	}
+	return st, nil
+}
+
+// adminRoundTrip sends one admin frame and reads the acknowledgement.
+func adminRoundTrip(conn io.ReadWriter, write func() error) (AdminStatus, error) {
+	if err := write(); err != nil {
+		return AdminStatus{}, fmt.Errorf("embellish: sending update: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		return AdminStatus{}, fmt.Errorf("embellish: reading update response: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return AdminStatus{}, fmt.Errorf("embellish: server error: %s", body)
+	case wire.TypeAdminOK:
+	default:
+		return AdminStatus{}, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	live, segs, err := wire.DecodeAdminOK(body)
+	if err != nil {
+		return AdminStatus{}, err
+	}
+	return AdminStatus{LiveDocs: live, Segments: segs}, nil
 }
 
 // decodeCandidates runs Algorithm 5 over wire candidates.

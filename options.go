@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"embellish/internal/benaloh"
+	"embellish/internal/index"
 )
 
 // Options configures engine construction.
@@ -65,9 +66,21 @@ type Options struct {
 	PrecomputeWindow int
 	// MaxConns caps simultaneous connections in Engine.Serve and
 	// NetServers built with a zero ServeConfig.MaxConns. 0 selects
-	// DefaultMaxConns; negative disables the cap.
+	// DefaultMaxConns; -1 disables the cap (any other negative value is
+	// rejected).
 	MaxConns int
+	// MaxSegments bounds the live segment set: when AddDocuments leaves
+	// more than MaxSegments segments, a background merge folds the
+	// smallest ones together, rewriting deleted postings away. 0 selects
+	// DefaultMaxSegments, -1 disables automatic merging (Engine.Compact
+	// remains available), and values >= 1 pin the bound. Like the
+	// execution knobs this is runtime-only and not persisted.
+	MaxSegments int
 }
+
+// DefaultMaxSegments is the live-index segment bound applied when
+// Options.MaxSegments is zero.
+const DefaultMaxSegments = index.DefaultMaxSegments
 
 // Scoring selects the similarity function used to precompute posting
 // impacts.
@@ -116,7 +129,28 @@ func (o Options) validate() error {
 	if o.PrecomputeWindow < -1 || o.PrecomputeWindow > 8 {
 		return fmt.Errorf("embellish: PrecomputeWindow %d out of range [-1, 8]", o.PrecomputeWindow)
 	}
+	if o.Parallelism < -1 || o.Parallelism > 1<<12 {
+		return fmt.Errorf("embellish: Parallelism %d out of range [-1, %d]; -1 selects GOMAXPROCS, 0 single-threaded", o.Parallelism, 1<<12)
+	}
+	if o.MaxConns < -1 {
+		return fmt.Errorf("embellish: MaxConns %d out of range; -1 disables the cap, 0 selects the default", o.MaxConns)
+	}
+	if o.MaxSegments < -1 || o.MaxSegments > 1<<12 {
+		return fmt.Errorf("embellish: MaxSegments %d out of range [-1, %d]; -1 disables merging, 0 selects the default", o.MaxSegments, 1<<12)
+	}
 	return nil
+}
+
+// maxSegments resolves the MaxSegments knob for internal/index
+// (<= 0 = automatic merging disabled).
+func (o Options) maxSegments() int {
+	switch {
+	case o.MaxSegments == 0:
+		return DefaultMaxSegments
+	case o.MaxSegments < 0:
+		return 0
+	}
+	return o.MaxSegments
 }
 
 // precomputeWindow resolves the PrecomputeWindow knob to a radix

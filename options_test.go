@@ -1,0 +1,120 @@
+package embellish
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOptionsValidateExecutionKnobs pins the documented semantics of
+// every execution/serving knob: -1 and 0 are the only special values;
+// anything below -1 or past the sanity cap is rejected with an error
+// naming the field.
+func TestOptionsValidateExecutionKnobs(t *testing.T) {
+	base := DefaultOptions()
+	base.KeyBits = 256
+	cases := []struct {
+		name    string
+		mutate  func(*Options)
+		wantErr string // empty = must validate
+	}{
+		{"defaults", func(o *Options) {}, ""},
+		{"shards gomaxprocs", func(o *Options) { o.Shards = -1 }, ""},
+		{"shards pinned", func(o *Options) { o.Shards = 16 }, ""},
+		{"shards below -1", func(o *Options) { o.Shards = -2 }, "Shards"},
+		{"shards huge", func(o *Options) { o.Shards = 1<<12 + 1 }, "Shards"},
+		{"window default", func(o *Options) { o.PrecomputeWindow = -1 }, ""},
+		{"window below -1", func(o *Options) { o.PrecomputeWindow = -2 }, "PrecomputeWindow"},
+		{"window too wide", func(o *Options) { o.PrecomputeWindow = 9 }, "PrecomputeWindow"},
+		{"parallelism single", func(o *Options) { o.Parallelism = 0 }, ""},
+		{"parallelism gomaxprocs", func(o *Options) { o.Parallelism = -1 }, ""},
+		{"parallelism below -1", func(o *Options) { o.Parallelism = -5 }, "Parallelism"},
+		{"parallelism huge", func(o *Options) { o.Parallelism = 1<<12 + 1 }, "Parallelism"},
+		{"maxconns unlimited", func(o *Options) { o.MaxConns = -1 }, ""},
+		{"maxconns below -1", func(o *Options) { o.MaxConns = -7 }, "MaxConns"},
+		{"maxsegments disable", func(o *Options) { o.MaxSegments = -1 }, ""},
+		{"maxsegments pinned", func(o *Options) { o.MaxSegments = 3 }, ""},
+		{"maxsegments below -1", func(o *Options) { o.MaxSegments = -2 }, "MaxSegments"},
+		{"maxsegments huge", func(o *Options) { o.MaxSegments = 1<<12 + 1 }, "MaxSegments"},
+	}
+	for _, tc := range cases {
+		o := base
+		tc.mutate(&o)
+		err := o.validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		} else if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not name %s", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestConfigureExecutionRejectsBadKnobs checks the runtime path applies
+// the same validation, leaves a rejected engine fully working, and
+// actually applies accepted values.
+func TestConfigureExecutionRejectsBadKnobs(t *testing.T) {
+	e, c := liveTestEngine(t, 0)
+	for _, bad := range [][3]int{
+		{-2, 0, 0}, // shards
+		{0, 9, 0},  // window
+		{0, -2, 0}, // window below -1
+		{0, 0, -2}, // parallelism
+		{1 << 13, 0, 0},
+	} {
+		if err := e.ConfigureExecution(bad[0], bad[1], bad[2]); err == nil {
+			t.Fatalf("ConfigureExecution(%v) accepted", bad)
+		}
+	}
+	query := liveQueries(e)[0]
+	assertClaim1(t, e, c, query)
+
+	if err := e.ConfigureExecution(2, 4, 2); err != nil {
+		t.Fatalf("valid ConfigureExecution rejected: %v", err)
+	}
+	assertClaim1(t, e, c, query)
+	if err := e.AddDocuments(moreDocs(e, 4, 99)); err != nil {
+		t.Fatal(err)
+	}
+	// The sharded pipeline keeps matching plaintext after an update on
+	// the reconfigured engine.
+	assertClaim1(t, e, c, query)
+}
+
+// TestConfigureMergePolicy checks the runtime merge-policy knob: it is
+// validated, applies to loaded engines (MaxSegments is not persisted),
+// and -1 really disables background merging.
+func TestConfigureMergePolicy(t *testing.T) {
+	e, c := liveTestEngine(t, 0)
+	if err := e.ConfigureMergePolicy(-2); err == nil {
+		t.Fatal("ConfigureMergePolicy(-2) accepted")
+	}
+	if err := e.ConfigureMergePolicy(-1); err != nil {
+		t.Fatalf("disable rejected: %v", err)
+	}
+	for round := 0; round < 4; round++ {
+		if err := e.AddDocuments(moreDocs(e, 2, 60+round)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.NumSegments() != 5 {
+		t.Fatalf("merging disabled but %d segments, want 5", e.NumSegments())
+	}
+	// Re-enabling with a tight bound folds the set back down.
+	if err := e.ConfigureMergePolicy(2); err != nil {
+		t.Fatalf("re-enable rejected: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for e.NumSegments() > 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("merge policy left %d segments", e.NumSegments())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	assertClaim1(t, e, c, liveQueries(e)[1])
+}

@@ -4,56 +4,96 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
+	"math"
 
 	"embellish/internal/bucket"
 	"embellish/internal/core"
 	"embellish/internal/index"
 	"embellish/internal/textproc"
+	"embellish/internal/vbyte"
 	"embellish/internal/wordnet"
 )
 
-// Engine persistence bundles the three build artifacts — lexicon,
-// inverted index and bucket organization — into one file, so a
+// Engine persistence bundles the build artifacts — lexicon, live
+// segmented index and bucket organization — into one file, so a
 // deployment indexes its corpus once and both endpoints load the same
 // organization (the protocol requires client and server to agree on it
-// exactly). Format: magic "EENG" | version | options | three
-// length-prefixed sections, each self-checksummed by its own codec.
+// exactly).
+//
+// Version 2 (written by Save): magic "EENG" | version | options |
+// lexicon section | organization section | quantization scale f64 |
+// next doc id u32 | segment count u32 | one length-prefixed section per
+// segment | tombstone section. Every section is self-checksummed by its
+// own codec, so a segment corrupted on disk is caught independently of
+// its neighbors.
+//
+// Version 1 (the legacy single-index layout: lexicon | index |
+// organization) still loads, as a live set of one segment with no
+// tombstones; saveV1 can still write it for engines in that state.
 
 const (
 	engineMagic   = "EENG"
-	engineVersion = 1
+	engineVersion = 2
+
+	// maxSaneSegments bounds the attacker-controlled segment count
+	// during load.
+	maxSaneSegments = 1 << 16
 )
 
-// Save serializes the engine. The client key pair is NOT part of the
-// engine (keys belong to users); only public artifacts are written.
+// Save serializes the engine, capturing one consistent snapshot of the
+// live index even while updates continue. The client key pair is NOT
+// part of the engine (keys belong to users); only public artifacts are
+// written.
 func (e *Engine) Save(w io.Writer) error {
-	if _, err := io.WriteString(w, engineMagic); err != nil {
+	snap := e.live.Snapshot()
+	// Never write a file the loader would refuse: with merging disabled
+	// a long-lived engine could exceed the load-side segment bound.
+	if len(snap.Segs) > maxSaneSegments {
+		return fmt.Errorf("embellish: %d segments exceed the loadable bound %d; Compact before saving",
+			len(snap.Segs), maxSaneSegments)
+	}
+	if err := e.writeHeader(w, engineVersion); err != nil {
 		return err
 	}
-	header := []byte{
-		engineVersion,
-		boolByte(e.opts.Stopwords),
-		byte(e.opts.Scoring),
-	}
-	if _, err := w.Write(header); err != nil {
+	if err := writeSection(w, e.lex.db); err != nil {
 		return err
 	}
-	var opts [16]byte
-	binary.LittleEndian.PutUint32(opts[0:], uint32(e.opts.BucketSize))
-	binary.LittleEndian.PutUint32(opts[4:], uint32(e.opts.SegmentSize))
-	binary.LittleEndian.PutUint32(opts[8:], uint32(e.opts.KeyBits))
-	binary.LittleEndian.PutUint32(opts[12:], uint32(e.opts.ScoreSpace))
-	if _, err := w.Write(opts[:]); err != nil {
+	if err := writeSection(w, e.org); err != nil {
 		return err
 	}
-	var quant [4]byte
-	binary.LittleEndian.PutUint32(quant[:], uint32(e.opts.QuantLevels))
-	if _, err := w.Write(quant[:]); err != nil {
+	var fixed [16]byte
+	binary.LittleEndian.PutUint64(fixed[0:], math.Float64bits(e.live.Scale()))
+	binary.LittleEndian.PutUint32(fixed[8:], uint32(snap.NextDoc))
+	binary.LittleEndian.PutUint32(fixed[12:], uint32(len(snap.Segs)))
+	if _, err := w.Write(fixed[:]); err != nil {
 		return err
 	}
+	for _, seg := range snap.Segs {
+		if err := writeSection(w, seg); err != nil {
+			return err
+		}
+	}
+	return writeSection(w, tombstonesWriter{ids: snap.Tombs.DocIDs()})
+}
 
-	for _, section := range []io.WriterTo{e.lex.db, e.index, e.org} {
+// saveV1 writes the legacy single-index format, readable by pre-live
+// deployments. It refuses engines whose live state the format cannot
+// express (more than one segment, or tombstones); Compact first, unless
+// documents were deleted — deletions make ids sparse, which v1 cannot
+// carry. Kept unexported: the compat path must stay testable, and tests
+// are the writer of record for v1 fixtures.
+func (e *Engine) saveV1(w io.Writer) error {
+	snap := e.live.Snapshot()
+	if len(snap.Segs) != 1 || snap.Tombs.Count() != 0 {
+		return fmt.Errorf("embellish: v1 format cannot express %d segments with %d deletions",
+			len(snap.Segs), snap.Tombs.Count())
+	}
+	if err := e.writeHeader(w, 1); err != nil {
+		return err
+	}
+	for _, section := range []io.WriterTo{e.lex.db, snap.Segs[0], e.org} {
 		if err := writeSection(w, section); err != nil {
 			return err
 		}
@@ -61,8 +101,34 @@ func (e *Engine) Save(w io.Writer) error {
 	return nil
 }
 
-// LoadEngine deserializes an engine written by Save. The loaded engine
-// serves queries immediately; clients are created per user as usual.
+// writeHeader writes the magic, version and options block shared by
+// both format versions.
+func (e *Engine) writeHeader(w io.Writer, version byte) error {
+	if _, err := io.WriteString(w, engineMagic); err != nil {
+		return err
+	}
+	header := []byte{
+		version,
+		boolByte(e.opts.Stopwords),
+		byte(e.opts.Scoring),
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	var opts [20]byte
+	binary.LittleEndian.PutUint32(opts[0:], uint32(e.opts.BucketSize))
+	binary.LittleEndian.PutUint32(opts[4:], uint32(e.opts.SegmentSize))
+	binary.LittleEndian.PutUint32(opts[8:], uint32(e.opts.KeyBits))
+	binary.LittleEndian.PutUint32(opts[12:], uint32(e.opts.ScoreSpace))
+	binary.LittleEndian.PutUint32(opts[16:], uint32(e.opts.QuantLevels))
+	_, err := w.Write(opts[:])
+	return err
+}
+
+// LoadEngine deserializes an engine written by Save (version 2) or by a
+// pre-live deployment (version 1, loaded as a single segment). The
+// loaded engine serves queries — and accepts online updates —
+// immediately; clients are created per user as usual.
 func LoadEngine(r io.Reader) (*Engine, error) {
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
@@ -75,8 +141,9 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, err
 	}
-	if header[0] != engineVersion {
-		return nil, fmt.Errorf("embellish: unsupported engine version %d", header[0])
+	version := header[0]
+	if version != 1 && version != engineVersion {
+		return nil, fmt.Errorf("embellish: unsupported engine version %d", version)
 	}
 	var opts Options
 	opts.Stopwords = header[1] != 0
@@ -100,24 +167,68 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("embellish: lexicon section: %w", err)
 	}
-	ix, err := readSection(r, func(sr io.Reader) (*index.Index, error) {
-		return index.ReadIndex(sr)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("embellish: index section: %w", err)
+
+	var org *bucket.Organization
+	var live *index.Live
+	if version == 1 {
+		ix, err := readSection(r, func(sr io.Reader) (*index.Index, error) {
+			return index.ReadIndex(sr)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("embellish: index section: %w", err)
+		}
+		org, err = readSection(r, func(sr io.Reader) (*bucket.Organization, error) {
+			return bucket.ReadOrganization(sr)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("embellish: organization section: %w", err)
+		}
+		live = index.NewLive(ix)
+	} else {
+		org, err = readSection(r, func(sr io.Reader) (*bucket.Organization, error) {
+			return bucket.ReadOrganization(sr)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("embellish: organization section: %w", err)
+		}
+		var fixed2 [16]byte
+		if _, err := io.ReadFull(r, fixed2[:]); err != nil {
+			return nil, fmt.Errorf("embellish: live header: %w", err)
+		}
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(fixed2[0:]))
+		nextDoc := binary.LittleEndian.Uint32(fixed2[8:])
+		nSegs := binary.LittleEndian.Uint32(fixed2[12:])
+		if nSegs == 0 || nSegs > maxSaneSegments || nextDoc > 1<<31-1 {
+			return nil, fmt.Errorf("embellish: implausible live header: %d segments, next doc %d", nSegs, nextDoc)
+		}
+		ixs := make([]*index.Index, nSegs)
+		for i := range ixs {
+			ixs[i], err = readSection(r, func(sr io.Reader) (*index.Index, error) {
+				return index.ReadIndex(sr)
+			})
+			if err != nil {
+				return nil, fmt.Errorf("embellish: segment %d: %w", i, err)
+			}
+		}
+		deleted, err := readSection(r, readTombstonesSection)
+		if err != nil {
+			return nil, fmt.Errorf("embellish: tombstone section: %w", err)
+		}
+		live, err = index.NewLiveFromParts(ixs, deleted, index.DocID(nextDoc))
+		if err != nil {
+			return nil, fmt.Errorf("embellish: %w", err)
+		}
+		if live.Scale() != scale {
+			return nil, fmt.Errorf("embellish: header scale %g disagrees with segment scale %g", scale, live.Scale())
+		}
 	}
-	org, err := readSection(r, func(sr io.Reader) (*bucket.Organization, error) {
-		return bucket.ReadOrganization(sr)
-	})
-	if err != nil {
-		return nil, fmt.Errorf("embellish: organization section: %w", err)
-	}
+	live.SetMaxSegments(opts.maxSegments())
 
 	e := &Engine{
-		opts:  opts,
-		lex:   &Lexicon{db: db},
-		index: ix,
-		org:   org,
+		opts: opts,
+		lex:  &Lexicon{db: db},
+		live: live,
+		org:  org,
 	}
 	// Rebuild the derived pieces exactly as NewEngine does.
 	e.analyzer = textproc.NewAnalyzer()
@@ -134,9 +245,84 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 			e.searchable = append(e.searchable, t)
 		}
 	}
-	e.server = core.NewServer(ix, org, db)
+	e.server = core.NewLiveServer(live, org, db)
 	e.applyExecution()
 	return e, nil
+}
+
+// Tombstone section codec: magic "ETMB" | count vbyte | ids as vbyte
+// deltas (first absolute, then gaps) | crc32 of everything before it.
+const tombstoneMagic = "ETMB"
+
+type tombstonesWriter struct{ ids []index.DocID }
+
+func (tw tombstonesWriter) WriteTo(w io.Writer) (int64, error) {
+	buf := []byte(tombstoneMagic)
+	buf = vbyte.Append(buf, uint64(len(tw.ids)))
+	prev := index.DocID(0)
+	for i, d := range tw.ids {
+		if i == 0 {
+			buf = vbyte.Append(buf, uint64(d))
+		} else {
+			buf = vbyte.Append(buf, uint64(d-prev))
+		}
+		prev = d
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc32.ChecksumIEEE(buf))
+	buf = append(buf, tail[:]...)
+	n, err := w.Write(buf)
+	return int64(n), err
+}
+
+func readTombstonesSection(r io.Reader) ([]index.DocID, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(tombstoneMagic)+1+4 {
+		return nil, errors.New("tombstone section too short")
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("tombstone checksum mismatch; file corrupt")
+	}
+	if string(payload[:len(tombstoneMagic)]) != tombstoneMagic {
+		return nil, errors.New("bad tombstone magic")
+	}
+	payload = payload[len(tombstoneMagic):]
+	count, used, err := vbyte.Decode(payload)
+	// Each id costs at least one payload byte, so a count past the
+	// remaining payload is forged — reject before allocating.
+	if err != nil || count > 1<<31 || count > uint64(len(payload)) {
+		return nil, errors.New("implausible tombstone count")
+	}
+	payload = payload[used:]
+	ids := make([]index.DocID, count)
+	cur := uint64(0)
+	for i := range ids {
+		v, used, err := vbyte.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("tombstone %d: %w", i, err)
+		}
+		payload = payload[used:]
+		if i == 0 {
+			cur = v
+		} else {
+			if v == 0 {
+				return nil, errors.New("tombstone ids not strictly increasing")
+			}
+			cur += v
+		}
+		if cur > 1<<31-1 {
+			return nil, errors.New("tombstone id out of range")
+		}
+		ids[i] = index.DocID(cur)
+	}
+	if len(payload) != 0 {
+		return nil, errors.New("trailing bytes after tombstones")
+	}
+	return ids, nil
 }
 
 func writeSection(w io.Writer, wt io.WriterTo) error {
