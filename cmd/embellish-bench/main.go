@@ -1,18 +1,26 @@
 // Command embellish-bench tracks the performance trajectory of the
-// live segmented index: it builds a synthetic world, measures private
-// query latency on the static engine, times an online add of a
-// fraction of new documents against a from-scratch rebuild, measures
-// query latency on the updated engine, and writes the figures as
-// machine-readable JSON (BENCH_PR2.json by default) so successive PRs
+// live segmented index and the private document-retrieval path: it
+// builds a synthetic world, measures private query latency on the
+// static engine, times an online add of a fraction of new documents
+// against a from-scratch rebuild, measures query latency on the
+// updated engine, then measures per-document PIR fetch latency against
+// plaintext fetch at two corpus sizes, and writes the figures as
+// machine-readable JSON (BENCH_PR3.json by default) so successive PRs
 // can be compared.
 //
 // Usage:
 //
 //	embellish-bench [-docs 1200] [-synsets 2500] [-add-frac 0.1]
 //	                [-queries 12] [-bktsz 8] [-keybits 256] [-seed 1]
-//	                [-quick] [-out BENCH_PR2.json]
+//	                [-fetch-sizes "1200,12000"] [-fetch-count 2]
+//	                [-fetch-block 1024] [-fetch-keybits 64]
+//	                [-quick] [-out BENCH_PR3.json]
 //
-// -quick shrinks the world for CI smoke runs.
+// -quick shrinks the world for CI smoke runs. The PIR fetch costs one
+// |n|-bit modular multiplication per stored corpus BIT per block
+// fetched (the Kushilevitz-Ostrovsky server scan), so the fetch legs
+// deliberately run small moduli; the latency gap to plaintext fetch is
+// the point of the experiment, mirroring the Figure 7/8 story.
 package main
 
 import (
@@ -20,12 +28,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"embellish"
 	"embellish/internal/corpus"
 	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
 )
 
 // Report is the machine-readable benchmark output.
@@ -51,6 +61,30 @@ type Report struct {
 	// Speedup is rebuild/add — the incremental-path advantage the
 	// acceptance criterion bounds at >= 5x.
 	Speedup float64 `json:"speedup_vs_rebuild"`
+
+	// Private document retrieval: per-fetch PIR latency vs plaintext
+	// fetch, one leg per corpus size.
+	Fetch []FetchLeg `json:"fetch"`
+}
+
+// FetchLeg is the PIR-vs-plaintext document fetch comparison at one
+// corpus size.
+type FetchLeg struct {
+	Docs         int     `json:"docs"`
+	StoredBytes  int     `json:"stored_bytes"`
+	Blocks       int     `json:"blocks"`
+	BlockSize    int     `json:"block_size"`
+	FetchKeyBits int     `json:"fetch_keybits"`
+	Fetches      int     `json:"fetches"`
+	PIRRuns      int     `json:"pir_runs"`
+	PIRMsPerDoc  float64 `json:"pir_ms_per_doc"`
+	PIRDocsSec   float64 `json:"pir_docs_per_sec"`
+	PlainUsDoc   float64 `json:"plain_us_per_doc"`
+	// Slowdown is PIR latency over plaintext latency — the privacy
+	// price of hiding WHICH document was fetched.
+	Slowdown    float64 `json:"pir_slowdown_vs_plain"`
+	QueryBytes  int     `json:"query_bytes"`
+	AnswerBytes int     `json:"answer_bytes"`
 }
 
 func main() {
@@ -63,11 +97,19 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR2.json", "output JSON path")
+		out     = flag.String("out", "BENCH_PR3.json", "output JSON path")
+
+		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
+		fetchCount = flag.Int("fetch-count", 2, "documents fetched per leg")
+		fetchBlock = flag.Int("fetch-block", 1024, "PIR block size in bytes for the fetch legs")
+		fetchBits  = flag.Int("fetch-keybits", 64, "PIR modulus size for the fetch legs")
 	)
 	flag.Parse()
 	if *quick {
 		*docs, *synsets, *queries = 300, 1500, 4
+		if *fetchSizes == "1200,12000" {
+			*fetchSizes = "120,600"
+		}
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -129,6 +171,22 @@ func main() {
 	rep.RebuildSeconds = time.Since(t0).Seconds()
 	rep.Speedup = rep.RebuildSeconds / rep.AddSeconds
 
+	if *fetchSizes != "" {
+		for _, field := range strings.Split(*fetchSizes, ",") {
+			size, err := strconv.Atoi(strings.TrimSpace(field))
+			if err != nil {
+				fatal(fmt.Errorf("bad -fetch-sizes entry %q: %w", field, err))
+			}
+			leg, err := fetchLeg(db, *synsets, size, *bktSz, *keyBits, *fetchBits, *fetchBlock, *fetchCount, *seed)
+			if err != nil {
+				fatal(err)
+			}
+			rep.Fetch = append(rep.Fetch, leg)
+			fmt.Printf("fetch leg %d docs: PIR %.1f ms/doc (%.2f docs/s, %d runs), plain %.1f us/doc, slowdown %.0fx\n",
+				leg.Docs, leg.PIRMsPerDoc, leg.PIRDocsSec, leg.PIRRuns, leg.PlainUsDoc, leg.Slowdown)
+		}
+	}
+
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -140,6 +198,81 @@ func main() {
 	os.Stdout.Write(blob)
 	fmt.Printf("wrote %s: add %d docs in %.3fs (%.0f docs/s), rebuild %.3fs, speedup %.1fx\n",
 		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
+}
+
+// fetchLeg builds a retrieval-enabled engine over a size-doc corpus
+// and measures per-document fetch latency: the real PIR protocol via
+// Client.FetchDocuments against a direct Engine.Document read.
+func fetchLeg(db *wordnet.Database, synsets, size, bktSz, keyBits, fetchBits, blockSize, fetches int, seed int64) (FetchLeg, error) {
+	var leg FetchLeg
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = size
+	ccfg.Seed = seed + 3
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	stored := 0
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+		stored += len(world[i].Text)
+	}
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = bktSz
+	opts.KeyBits = keyBits
+	opts.StoreDocuments = true
+	opts.BlockSize = blockSize
+	opts.RetrievalKeyBits = fetchBits
+	e, err := embellish.NewEngine(embellish.SyntheticLexicon(synsets, seed), world, opts)
+	if err != nil {
+		return leg, fmt.Errorf("fetch leg %d docs: %w", size, err)
+	}
+	c, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	leg.Docs = size
+	leg.StoredBytes = stored
+	leg.BlockSize = blockSize
+	leg.Blocks = (stored + blockSize - 1) / blockSize // lower bound; per-doc padding adds a few
+	leg.FetchKeyBits = fetchBits
+	leg.Fetches = fetches
+
+	// Deterministic spread of fetched ids across the corpus.
+	ids := make([]int, fetches)
+	for i := range ids {
+		ids[i] = (i*size)/fetches + size/(2*fetches)
+	}
+	t0 := time.Now()
+	for _, id := range ids {
+		docs, st, err := c.FetchDocuments([]int{id})
+		if err != nil {
+			return leg, fmt.Errorf("PIR fetch %d: %w", id, err)
+		}
+		direct, err := e.Document(id)
+		if err != nil || string(docs[0]) != string(direct) {
+			return leg, fmt.Errorf("fetch %d: PIR bytes disagree with direct read (%v)", id, err)
+		}
+		leg.PIRRuns += st.Runs
+		leg.QueryBytes += st.QueryBytes
+		leg.AnswerBytes += st.AnswerBytes
+	}
+	pir := time.Since(t0)
+	leg.PIRMsPerDoc = pir.Seconds() * 1000 / float64(fetches)
+	leg.PIRDocsSec = float64(fetches) / pir.Seconds()
+
+	// Plaintext leg: the same documents, read directly, averaged over
+	// enough repetitions to be measurable.
+	const plainReps = 2000
+	t0 = time.Now()
+	for i := 0; i < plainReps; i++ {
+		if _, err := e.Document(ids[i%len(ids)]); err != nil {
+			return leg, err
+		}
+	}
+	leg.PlainUsDoc = time.Since(t0).Seconds() * 1e6 / plainReps
+	if leg.PlainUsDoc > 0 {
+		leg.Slowdown = leg.PIRMsPerDoc * 1000 / leg.PlainUsDoc
+	}
+	return leg, nil
 }
 
 // avgQueryMs runs every embellished query once through Engine.Process

@@ -17,14 +17,24 @@
 // the locally loaded engine so the Claim 1 comparison tracks the
 // server's corpus exactly).
 //
+// With -fetch N the top N result documents are retrieved after the
+// ranking — privately through per-block PIR by default (the engine
+// must hold a document store: build with -store, or serve/load an
+// engine file saved from one; a remote server must also run
+// -allow-retrieval), or in the clear with -fetch-mode plain for a
+// side-by-side cost comparison. The PIR path reveals only how many
+// blocks were fetched, never which document won the ranking.
+//
 // Usage:
 //
 //	embellish-search [-lexicon mini|synthetic] [-synsets N] [-docs N]
 //	                 [-bktsz B] [-keybits K] [-query "terms..."] [-topk K]
 //	                 [-add docs.txt] [-delete "3,17"]
+//	                 [-store] [-block-size B] [-fetch N] [-fetch-mode private|plain]
 //	embellish-search -connect HOST:PORT -load engine.bin
 //	                 [-keybits K] [-query "terms..."] [-topk K]
 //	                 [-add docs.txt] [-delete "3,17"]
+//	                 [-fetch N] [-fetch-mode private|plain]
 //
 // With no -query, a random searchable term pair is used.
 package main
@@ -37,6 +47,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"embellish"
 	"embellish/internal/corpus"
@@ -58,6 +69,12 @@ func main() {
 		load    = flag.String("load", "", "load the engine file shared with the server (required with -connect)")
 		addFile = flag.String("add", "", "add documents live before querying: file with one document per line")
 		delIDs  = flag.String("delete", "", "delete documents live before querying: comma-separated ids")
+
+		store     = flag.Bool("store", false, "store document bytes so results can be fetched (build path only)")
+		blockSize = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
+		fetchN    = flag.Int("fetch", 0, "retrieve the top N result documents after ranking (0 off)")
+		fetchMode = flag.String("fetch-mode", "private", "document retrieval mode: private (PIR) or plain")
+		fetchBits = flag.Int("fetch-keybits", 0, "PIR modulus size for -fetch (0 inherits the engine's key size)")
 	)
 	flag.Parse()
 
@@ -106,6 +123,8 @@ func main() {
 		opts := embellish.DefaultOptions()
 		opts.BucketSize = *bktSz
 		opts.KeyBits = *keyBits
+		opts.StoreDocuments = *store || *fetchN > 0
+		opts.BlockSize = *blockSize
 		var err error
 		engine, err = embellish.NewEngine(lex, documents, opts)
 		if err != nil {
@@ -135,6 +154,14 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "client:", err)
 		os.Exit(1)
+	}
+	if *fetchBits > 0 {
+		// The PIR modulus is a per-client choice, so this works on loaded
+		// engine files too (Options.RetrievalKeyBits is build-time only).
+		if err := client.SetRetrievalKeyBits(*fetchBits); err != nil {
+			fmt.Fprintln(os.Stderr, "fetch-keybits:", err)
+			os.Exit(1)
+		}
 	}
 
 	q := *query
@@ -185,6 +212,13 @@ func main() {
 		fmt.Printf("  %2d. doc %d (score %d)\n", i+1, r.DocID, r.Score)
 	}
 
+	if *fetchN > 0 {
+		if err := fetchWinners(engine, client, conn, results, *fetchN, *fetchMode); err != nil {
+			fmt.Fprintln(os.Stderr, "fetch:", err)
+			os.Exit(1)
+		}
+	}
+
 	plain, err := engine.PlaintextSearch(q, *topk)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "plaintext:", err)
@@ -200,6 +234,61 @@ func main() {
 		}
 	}
 	fmt.Printf("\nClaim 1 check — private ranking equals plaintext ranking: %v\n", match)
+}
+
+// fetchWinners retrieves the top fetchN positive-score result
+// documents — per-block PIR (mode "private"), remotely when conn is
+// non-nil, or a direct read (mode "plain") for cost comparison — and
+// prints each document (truncated) with the retrieval cost.
+func fetchWinners(engine *embellish.Engine, client *embellish.Client, conn net.Conn, results []embellish.Result, fetchN int, mode string) error {
+	var ids []int
+	for _, r := range results {
+		if r.Score > 0 && len(ids) < fetchN {
+			ids = append(ids, r.DocID)
+		}
+	}
+	if len(ids) == 0 {
+		return fmt.Errorf("no positive-score results to fetch")
+	}
+	var docs [][]byte
+	t0 := time.Now()
+	switch mode {
+	case "private":
+		var st embellish.FetchStats
+		var err error
+		if conn != nil {
+			docs, st, err = client.FetchDocumentsRemote(conn, ids)
+		} else {
+			docs, st, err = client.FetchDocuments(ids)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nfetched %d documents privately in %v: %d PIR runs, %d query bytes up, %d answer bytes down\n",
+			len(ids), time.Since(t0).Round(time.Microsecond), st.Runs, st.QueryBytes, st.AnswerBytes)
+		fmt.Println("the server cannot tell which documents were fetched, only how many blocks")
+	case "plain":
+		for _, id := range ids {
+			d, err := engine.Document(id)
+			if err != nil {
+				return err
+			}
+			docs = append(docs, d)
+		}
+		fmt.Printf("\nread %d documents in the clear from the LOCAL engine copy in %v\n",
+			len(ids), time.Since(t0).Round(time.Microsecond))
+		fmt.Println("(a conventional remote download would reveal every fetched id to the server)")
+	default:
+		return fmt.Errorf("unknown -fetch-mode %q", mode)
+	}
+	for i, d := range docs {
+		text := string(d)
+		if len(text) > 72 {
+			text = text[:72] + "..."
+		}
+		fmt.Printf("  doc %d (%d bytes): %s\n", ids[i], len(d), text)
+	}
+	return nil
 }
 
 // applyUpdates runs the -add / -delete live updates: on the remote

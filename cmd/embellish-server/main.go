@@ -15,12 +15,21 @@
 //	                 [-shards N] [-window W] [-workers N]
 //	                 [-max-conns N] [-idle-timeout D] [-stats-every D]
 //	                 [-allow-updates] [-max-segments N]
+//	                 [-store] [-block-size B] [-allow-retrieval]
 //
 // With -allow-updates the server accepts online corpus updates
 // (AddDocuments / DeleteDocuments over the wire, e.g. from
 // cmd/embellish-search -add/-delete); queries keep running — and keep
 // matching plaintext rankings — while segments are appended, tombstoned
 // and merged.
+//
+// With -store the built engine also keeps the document BYTES in a PIR
+// block store (persisted in the engine file when combined with -save),
+// and with -allow-retrieval the server answers private document
+// fetches: clients rank with -connect and then fetch the winners with
+// -fetch without revealing which documents won (cmd/embellish-search
+// -fetch). Loaded engines carry their store in the file; -store only
+// affects the build path.
 package main
 
 import (
@@ -51,6 +60,10 @@ func main() {
 		bktSz   = flag.Int("bktsz", 8, "bucket size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		once    = flag.Bool("once", false, "serve a single connection and exit (for scripting)")
+
+		store          = flag.Bool("store", false, "store document bytes for private retrieval (build path only)")
+		blockSize      = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
+		allowRetrieval = flag.Bool("allow-retrieval", false, "answer private document fetches (requires a stored corpus)")
 
 		shards       = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
 		window       = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
@@ -98,6 +111,8 @@ func main() {
 		}
 		opts := embellish.DefaultOptions()
 		opts.BucketSize = *bktSz
+		opts.StoreDocuments = *store
+		opts.BlockSize = *blockSize
 		var err error
 		engine, err = embellish.NewEngine(lex, documents, opts)
 		if err != nil {
@@ -114,6 +129,11 @@ func main() {
 	}
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
 		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
+	if engine.StoresDocuments() {
+		fmt.Println("document store: present (documents can be fetched privately)")
+	} else if *allowRetrieval {
+		fmt.Println("WARNING: -allow-retrieval set but the engine stores no documents; fetches will be refused (build with -store)")
+	}
 
 	if *save != "" {
 		f, err := os.Create(*save)
@@ -148,12 +168,16 @@ func main() {
 	}
 
 	srv := engine.NewNetServer(embellish.ServeConfig{
-		MaxConns:     *maxConns,
-		IdleTimeout:  *idle,
-		AllowUpdates: *allowUpdates,
+		MaxConns:       *maxConns,
+		IdleTimeout:    *idle,
+		AllowUpdates:   *allowUpdates,
+		AllowRetrieval: *allowRetrieval,
 	})
 	if *allowUpdates {
 		fmt.Println("online updates ENABLED: this listener accepts corpus adds/deletes")
+	}
+	if *allowRetrieval {
+		fmt.Println("private retrieval ENABLED: this listener answers PIR document fetches")
 	}
 	if *statsEvery > 0 {
 		go func() {
@@ -194,8 +218,8 @@ func printStats(st embellish.ServeStats) {
 	if st.Queries > 0 {
 		avg = st.QueryTime / time.Duration(st.Queries)
 	}
-	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), %d updates, avg %v, max %v\n",
-		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, st.Updates, avg, st.MaxQueryTime)
+	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), %d updates, %d PIR retrievals, avg %v, max %v\n",
+		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, st.Updates, st.Retrievals, avg, st.MaxQueryTime)
 }
 
 func fatal(err error) {

@@ -10,7 +10,9 @@ import (
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
 	"embellish/internal/core"
+	"embellish/internal/docstore"
 	"embellish/internal/index"
+	"embellish/internal/pir"
 	"embellish/internal/sequence"
 	"embellish/internal/textproc"
 	"embellish/internal/wordnet"
@@ -39,6 +41,10 @@ type Engine struct {
 	org        *bucket.Organization
 	server     *core.Server
 	searchable []wordnet.TermID
+	// store holds the document bytes laid out into PIR blocks for
+	// private retrieval (Options.StoreDocuments); nil when the engine
+	// only ranks.
+	store *docstore.Store
 	// updateMu serializes the write path (AddDocuments, DeleteDocuments)
 	// so document-id assignment stays dense; readers never take it.
 	updateMu sync.Mutex
@@ -79,6 +85,31 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	b.QuantLevels = int32(opts.QuantLevels)
 	if opts.Scoring == BM25 {
 		b.Scoring = index.ScoringBM25
+	}
+	if opts.StoreDocuments {
+		store, err := docstore.New(opts.BlockSize)
+		if err != nil {
+			return nil, fmt.Errorf("embellish: %w", err)
+		}
+		// The store requires the dense-id contract NewEngine already
+		// implies (AddDocuments continues the sequence from NumDocs),
+		// and the same per-document size cap AddDocuments enforces —
+		// the wire params codec rejects larger extents, so an oversized
+		// document here would break every remote fetch later.
+		texts := make([][]byte, len(docs))
+		for i, d := range docs {
+			if d.ID != i {
+				return nil, fmt.Errorf("embellish: StoreDocuments requires dense document ids: got %d at position %d", d.ID, i)
+			}
+			if len(d.Text) > maxStoredDocBytes {
+				return nil, fmt.Errorf("embellish: document %d text of %d bytes exceeds the storable limit %d", d.ID, len(d.Text), maxStoredDocBytes)
+			}
+			texts[i] = []byte(d.Text)
+		}
+		if err := store.AddBatch(0, texts); err != nil {
+			return nil, fmt.Errorf("embellish: %w", err)
+		}
+		e.store = store
 	}
 	for _, d := range docs {
 		b.Add(index.DocID(d.ID), e.analyzer.Analyze(d.Text))
@@ -338,6 +369,12 @@ func (e *Engine) AddDocuments(docs []Document) error {
 			return fmt.Errorf("embellish: document ids must continue the dense sequence: got %d at position %d, want %d (see NextDocID)",
 				d.ID, i, base+i)
 		}
+		// Validate EVERYTHING before the first store/index mutation: a
+		// mid-batch failure would leave the doc store permanently ahead
+		// of the index, bricking every later update.
+		if e.store != nil && len(d.Text) > maxStoredDocBytes {
+			return fmt.Errorf("embellish: document %d text of %d bytes exceeds the storable limit %d", d.ID, len(d.Text), maxStoredDocBytes)
+		}
 	}
 	b := index.NewBuilder()
 	b.QuantLevels = int32(e.opts.QuantLevels)
@@ -348,7 +385,28 @@ func (e *Engine) AddDocuments(docs []Document) error {
 	for i, d := range docs {
 		b.Add(index.DocID(i), e.analyzer.Analyze(d.Text))
 	}
-	_, err := e.live.Append(b.Build())
+	// Build the segment FIRST and pre-check Append's preconditions, so
+	// nothing below can fail after the store mutation: a store left
+	// ahead of the index would brick every later update.
+	local := b.Build()
+	if local.QuantLevels != e.live.QuantLevels() || local.Scale() != e.live.Scale() {
+		return fmt.Errorf("embellish: batch quantization (scale %g, %d levels) does not match the engine's pinned (%g, %d)",
+			local.Scale(), local.QuantLevels, e.live.Scale(), e.live.QuantLevels())
+	}
+	// Store bytes BEFORE publishing the index segment: a searcher that
+	// ranks a new document must already be able to fetch it. Both writes
+	// happen under updateMu, so the store's dense-id sequence tracks the
+	// index's exactly.
+	if e.store != nil {
+		texts := make([][]byte, len(docs))
+		for i, d := range docs {
+			texts[i] = []byte(d.Text)
+		}
+		if err := e.store.AddBatch(base, texts); err != nil {
+			return fmt.Errorf("embellish: document store: %w", err)
+		}
+	}
+	_, err := e.live.Append(local)
 	return err
 }
 
@@ -375,6 +433,15 @@ func (e *Engine) DeleteDocuments(ids []int) error {
 	if err := e.live.Delete(ds); err != nil {
 		return fmt.Errorf("embellish: %w", err)
 	}
+	// Tombstone the stored bytes AFTER the index: the document stops
+	// being ranked first, then stops being fetchable. The ids were
+	// validated live by the index delete, and both stores share one
+	// update history under updateMu, so this cannot fail.
+	if e.store != nil {
+		if err := e.store.DeleteBatch(ids); err != nil {
+			return fmt.Errorf("embellish: document store: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -391,6 +458,11 @@ func (e *Engine) Compact() { e.live.Compact() }
 type Client struct {
 	engine *Engine
 	inner  *core.Client
+	// fetchKey is the PIR key for private document fetches, generated
+	// lazily on the first FetchDocuments/FetchDocumentsRemote call;
+	// fetchBits overrides its size (SetRetrievalKeyBits).
+	fetchKey  *pir.ClientKey
+	fetchBits int
 }
 
 // NewClient generates a fresh key pair and returns a client bound to the
@@ -491,11 +563,27 @@ func (c *Client) Search(query string, k int) ([]Result, error) {
 type Snapshot struct {
 	e    *Engine
 	snap *index.Snapshot
+	// store pins the document-store state alongside the index state
+	// (nil when the engine stores no documents). Both are captured
+	// under the write lock, so they reflect ONE point in the update
+	// history: every document the snapshot ranks is readable through
+	// Snapshot.Document, and each view stays internally consistent
+	// forever.
+	store *docstore.Snapshot
 }
 
-// Snapshot captures the engine's current live corpus state.
+// Snapshot captures the engine's current live corpus state. On a
+// storing engine the call serializes briefly with writers (the index
+// and store captures must land between updates, not inside one);
+// store-less engines stay lock-free.
 func (e *Engine) Snapshot() *Snapshot {
-	return &Snapshot{e: e, snap: e.live.Snapshot()}
+	if e.store == nil {
+		return &Snapshot{e: e, snap: e.live.Snapshot()}
+	}
+	e.updateMu.Lock()
+	s := &Snapshot{e: e, snap: e.live.Snapshot(), store: e.store.Snapshot()}
+	e.updateMu.Unlock()
+	return s
 }
 
 // NumDocs reports the snapshot's live document count.
@@ -507,6 +595,18 @@ func (s *Snapshot) NumSegments() int { return len(s.snap.Segs) }
 // Version is the snapshot's update-sequence number; every add, delete
 // and merge increments it.
 func (s *Snapshot) Version() uint64 { return s.snap.Version }
+
+// LiveDocIDs returns the snapshot's live (assigned and not deleted)
+// document ids in increasing order. Allocates the full slice; meant
+// for audits and tests, not hot paths.
+func (s *Snapshot) LiveDocIDs() []int {
+	ds := s.snap.LiveDocIDs()
+	out := make([]int, len(ds))
+	for i, d := range ds {
+		out[i] = int(d)
+	}
+	return out
+}
 
 // PlaintextSearch runs the query against this snapshot WITHOUT any
 // privacy protection, returning the quantized-score ranking a

@@ -25,6 +25,11 @@ func main() {
 	opts.BucketSize = 4 // each genuine term travels with 3 decoys
 	opts.KeyBits = 256  // demo-sized keys; use >= 512 in production
 	opts.ScoreSpace = 10
+	// Keep the document BYTES too, laid out into PIR blocks, so the
+	// winners can be fetched privately after the ranking (step 4).
+	opts.StoreDocuments = true
+	opts.BlockSize = 256
+	opts.RetrievalKeyBits = 96 // demo-sized PIR modulus; >= 1024 in production
 
 	engine, err := embellish.NewEngine(lex, docs, opts)
 	if err != nil {
@@ -88,6 +93,23 @@ func main() {
 		}
 	}
 	fmt.Printf("\nranking matches unprotected search: %v\n", same)
+
+	// Step 4 — private retrieval: fetch the winning document through
+	// Kushilevitz-Ostrovsky PIR. Downloading it in the clear would tell
+	// the server which document won; the PIR fetch reveals only how
+	// many blocks were transferred.
+	winner := results[0].DocID
+	fetched, stats, err := client.FetchDocuments([]int{winner})
+	if err != nil {
+		log.Fatal(err)
+	}
+	preview := string(fetched[0])
+	if len(preview) > 60 {
+		preview = preview[:60] + "..."
+	}
+	fmt.Printf("\nPIR-fetched doc %d (%d bytes in %d protocol runs): %s\n",
+		winner, len(fetched[0]), stats.Runs, preview)
+	fmt.Println("the server never learned which document was fetched")
 }
 
 // demoCorpus fabricates themed articles over the mini lexicon's

@@ -1,0 +1,176 @@
+package docstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"embellish/internal/vbyte"
+)
+
+// Section codec for the engine file's optional doc-store section:
+// magic "EDOC" | present byte | when present: block size vbyte |
+// document count vbyte | per document: block count vbyte, length
+// vbyte, content crc32 vbyte, deleted byte (First is implied by the
+// tiling invariant) | raw block bytes | crc32 (little-endian) of
+// everything before it.
+
+const sectionMagic = "EDOC"
+
+// maxSaneDocs bounds the attacker-controlled document count during
+// load; each document costs at least 3 payload bytes, so the byte
+// budget check below is the effective bound for real files.
+const maxSaneDocs = 1 << 26
+
+// Write serializes the snapshot as one self-checksummed section; a nil
+// snapshot writes the absent marker (an engine without a doc store).
+// Block bytes stream straight to w through the running checksum — the
+// section is never concatenated in memory, so Save's transient cost
+// stays one buffered copy (the caller's), not two.
+func Write(w io.Writer, sn *Snapshot) (int64, error) {
+	cw := &crcWriter{w: w}
+	header := []byte(sectionMagic)
+	if sn == nil {
+		header = append(header, 0)
+	} else {
+		header = append(header, 1)
+		header = vbyte.Append(header, uint64(sn.blockSize))
+		header = vbyte.Append(header, uint64(len(sn.exts)))
+		for _, ext := range sn.exts {
+			header = vbyte.Append(header, uint64(ext.Blocks))
+			header = vbyte.Append(header, uint64(ext.Length))
+			header = vbyte.Append(header, uint64(ext.Crc))
+			if ext.Deleted {
+				header = append(header, 1)
+			} else {
+				header = append(header, 0)
+			}
+		}
+	}
+	if _, err := cw.Write(header); err != nil {
+		return cw.n, err
+	}
+	if sn != nil {
+		for _, b := range sn.blocks {
+			if _, err := cw.Write(b); err != nil {
+				return cw.n, err
+			}
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], cw.crc)
+	n, err := w.Write(tail[:])
+	return cw.n + int64(n), err
+}
+
+// crcWriter forwards to w while maintaining the section checksum.
+type crcWriter struct {
+	w   io.Writer
+	n   int64
+	crc uint32
+}
+
+func (cw *crcWriter) Write(p []byte) (int, error) {
+	cw.crc = crc32.Update(cw.crc, crc32.IEEETable, p)
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// Read reverses Write. It returns (nil, nil) for the absent marker.
+func Read(r io.Reader) (*Store, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(sectionMagic)+1+4 {
+		return nil, errors.New("docstore: section too short")
+	}
+	payload, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(tail) {
+		return nil, errors.New("docstore: checksum mismatch; section corrupt")
+	}
+	if string(payload[:len(sectionMagic)]) != sectionMagic {
+		return nil, errors.New("docstore: bad section magic")
+	}
+	payload = payload[len(sectionMagic):]
+	present, payload := payload[0], payload[1:]
+	switch present {
+	case 0:
+		if len(payload) != 0 {
+			return nil, errors.New("docstore: trailing bytes after absent marker")
+		}
+		return nil, nil
+	case 1:
+	default:
+		return nil, fmt.Errorf("docstore: bad presence byte %d", present)
+	}
+	blockSize, used, err := vbyte.Decode(payload)
+	if err != nil || blockSize < 1 || blockSize > MaxBlockSize {
+		return nil, errors.New("docstore: implausible block size")
+	}
+	payload = payload[used:]
+	nDocs, used, err := vbyte.Decode(payload)
+	// Each document costs at least 4 payload bytes; a count past the
+	// remaining payload is forged — reject before allocating.
+	if err != nil || nDocs > maxSaneDocs || nDocs*4 > uint64(len(payload)) {
+		return nil, errors.New("docstore: implausible document count")
+	}
+	payload = payload[used:]
+	exts := make([]Extent, nDocs)
+	next := uint64(0)
+	for i := range exts {
+		blocks, used, err := vbyte.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: document %d blocks: %w", i, err)
+		}
+		payload = payload[used:]
+		length, used, err := vbyte.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: document %d length: %w", i, err)
+		}
+		payload = payload[used:]
+		crc, used, err := vbyte.Decode(payload)
+		if err != nil {
+			return nil, fmt.Errorf("docstore: document %d checksum: %w", i, err)
+		}
+		if crc > 1<<32-1 {
+			return nil, fmt.Errorf("docstore: document %d checksum out of range", i)
+		}
+		payload = payload[used:]
+		if len(payload) < 1 {
+			return nil, fmt.Errorf("docstore: document %d truncated", i)
+		}
+		del := payload[0]
+		payload = payload[1:]
+		if del > 1 {
+			return nil, fmt.Errorf("docstore: document %d bad deleted byte %d", i, del)
+		}
+		// Bound the implied block total by the remaining payload before
+		// trusting it: blocks*blockSize bytes must still be present. The
+		// 2^32 ceilings keep next*blockSize far from uint64 overflow.
+		if blocks > 1<<32 || length > 1<<32 {
+			return nil, fmt.Errorf("docstore: document %d extent implausible", i)
+		}
+		next += blocks
+		if next*blockSize > uint64(len(payload)) {
+			return nil, fmt.Errorf("docstore: document %d extent exceeds the section", i)
+		}
+		if length > blocks*blockSize {
+			return nil, fmt.Errorf("docstore: document %d length %d exceeds its %d blocks", i, length, blocks)
+		}
+		exts[i] = Extent{
+			First:   uint32(next - blocks),
+			Blocks:  uint32(blocks),
+			Length:  uint32(length),
+			Crc:     uint32(crc),
+			Deleted: del == 1,
+		}
+	}
+	if uint64(len(payload)) != next*blockSize {
+		return nil, fmt.Errorf("docstore: %d block bytes for %d blocks of %d", len(payload), next, blockSize)
+	}
+	return FromParts(int(blockSize), exts, payload)
+}

@@ -62,6 +62,13 @@ type Index struct {
 	maxImpact float64
 }
 
+// Scale returns the quantization scale the index's impacts were
+// quantized against (Builder.Scale, or the batch maximum when unset).
+// Live.Append requires it to match the live set's pinned scale;
+// callers can pre-check with this accessor before mutating adjacent
+// state.
+func (ix *Index) Scale() float64 { return ix.maxImpact }
+
 // NumTerms returns the dictionary size.
 func (ix *Index) NumTerms() int { return len(ix.vocab) }
 

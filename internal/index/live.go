@@ -116,6 +116,20 @@ func (sn *Snapshot) LiveDocs() int { return int(sn.NextDoc) - sn.Tombs.Count() }
 // Deleted reports whether document d is tombstoned in this snapshot.
 func (sn *Snapshot) Deleted(d DocID) bool { return sn.Tombs.Has(d) }
 
+// LiveDocIDs returns every live (assigned and not tombstoned) document
+// id in increasing order — the id set a PIR document store must be
+// able to serve for this snapshot. Allocates the full slice; meant for
+// audits, tests and store rebuilds, not hot paths.
+func (sn *Snapshot) LiveDocIDs() []DocID {
+	out := make([]DocID, 0, sn.LiveDocs())
+	for d := DocID(0); d < sn.NextDoc; d++ {
+		if !sn.Tombs.Has(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
 // NumPostings totals the postings across all segments (tombstoned
 // postings included until a merge rewrites them away).
 func (sn *Snapshot) NumPostings() int {

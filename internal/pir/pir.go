@@ -15,6 +15,7 @@ package pir
 import (
 	"crypto/rand"
 	"errors"
+	"fmt"
 	"io"
 	"math/big"
 )
@@ -222,6 +223,52 @@ func (m *Matrix) Process(q *Query) (*Answer, Stats, error) {
 			st.ModMuls++
 		}
 		ans.Gammas[i] = g
+	}
+	return ans, st, nil
+}
+
+// ProcessColumns computes the same server response as Matrix.Process
+// over a database given as one byte slice per column (MSB-first within
+// each byte, exactly the Matrix.SetColumn layout), without
+// materializing a Matrix. Column j must hold at least colBytes bytes;
+// the logical matrix has colBytes*8 rows. This is the serving path for
+// block stores whose columns are appended and retired independently —
+// rebuilding a row-major bit matrix on every append would copy the
+// whole database.
+func ProcessColumns(cols [][]byte, colBytes int, q *Query) (*Answer, Stats, error) {
+	if len(q.Values) != len(cols) {
+		return nil, Stats{}, errors.New("pir: query width does not match column count")
+	}
+	if colBytes <= 0 {
+		return nil, Stats{}, errors.New("pir: nonpositive column size")
+	}
+	for j, col := range cols {
+		if len(col) < colBytes {
+			return nil, Stats{}, fmt.Errorf("pir: column %d holds %d of %d bytes", j, len(col), colBytes)
+		}
+	}
+	sq := make([]*big.Int, len(cols))
+	var st Stats
+	for j, v := range q.Values {
+		sq[j] = new(big.Int).Mul(v, v)
+		sq[j].Mod(sq[j], q.N)
+		st.ModMuls++
+	}
+	rows := colBytes * 8
+	ans := &Answer{Gammas: make([]*big.Int, rows)}
+	for r := 0; r < rows; r++ {
+		byteIdx, mask := r>>3, byte(1)<<(7-r&7)
+		g := big.NewInt(1)
+		for j := range cols {
+			if cols[j][byteIdx]&mask != 0 {
+				g.Mul(g, q.Values[j])
+			} else {
+				g.Mul(g, sq[j])
+			}
+			g.Mod(g, q.N)
+			st.ModMuls++
+		}
+		ans.Gammas[r] = g
 	}
 	return ans, st, nil
 }

@@ -1,0 +1,228 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+
+	"embellish/internal/docstore"
+	"embellish/internal/pir"
+	"embellish/internal/vbyte"
+)
+
+// Retrieval messages carry the second privacy stage over the wire:
+// after ranking privately, the client fetches the winning documents
+// through Kushilevitz-Ostrovsky PIR without revealing which ones won.
+// A server exposes them only behind the serving layer's AllowRetrieval
+// flag.
+//
+// TypePIRParams: sent with an EMPTY body it is the client's request;
+// the response body is the public block mapping — block size vbyte,
+// block count vbyte, document count vbyte, then per document: first
+// block vbyte, block count vbyte, byte length vbyte, content crc32
+// vbyte, deleted byte.
+// TypePIRQuery: modulus big | value count vbyte | one group element
+// per block column.
+// TypePIRResponse: gamma count vbyte | one group element per matrix
+// row (8 per block byte).
+
+// Retrieval message types (9-11; 1-5 are the ranking protocol, 6-8
+// admin).
+const (
+	TypePIRParams   = 9
+	TypePIRQuery    = 10
+	TypePIRResponse = 11
+)
+
+// Retrieval caps on attacker-controlled sizes.
+const (
+	// maxPIRDocs and maxPIRBlocks bound the params table.
+	maxPIRDocs   = 1 << 26
+	maxPIRBlocks = 1 << 26
+	// maxPIRModulusBytes bounds the client-chosen modulus: every server
+	// answer costs 8*blockSize*cols modular multiplications at this
+	// width, so an over-wide modulus is a CPU-exhaustion vector long
+	// before it is a bandwidth one. 8192-bit moduli are far beyond the
+	// paper's cost model.
+	maxPIRModulusBytes = 1 << 10
+)
+
+// WritePIRParamsRequest frames the client's empty params request.
+func WritePIRParamsRequest(w io.Writer) error {
+	return writeFrame(w, []byte{TypePIRParams})
+}
+
+// WritePIRParams frames and writes the server's block mapping.
+func WritePIRParams(w io.Writer, p docstore.Params) error {
+	var body []byte
+	body = append(body, TypePIRParams)
+	body = vbyte.Append(body, uint64(p.BlockSize))
+	body = vbyte.Append(body, uint64(p.NumBlocks))
+	body = vbyte.Append(body, uint64(len(p.Exts)))
+	for _, ext := range p.Exts {
+		body = vbyte.Append(body, uint64(ext.First))
+		body = vbyte.Append(body, uint64(ext.Blocks))
+		body = vbyte.Append(body, uint64(ext.Length))
+		body = vbyte.Append(body, uint64(ext.Crc))
+		if ext.Deleted {
+			body = append(body, 1)
+		} else {
+			body = append(body, 0)
+		}
+	}
+	return writeFrame(w, body)
+}
+
+// DecodePIRParams parses a TypePIRParams response body.
+func DecodePIRParams(body []byte) (docstore.Params, error) {
+	var p docstore.Params
+	blockSize, used, err := vbyte.Decode(body)
+	if err != nil || blockSize < 1 || blockSize > docstore.MaxBlockSize {
+		return p, fmt.Errorf("wire: params block size: %w", orRange(err))
+	}
+	body = body[used:]
+	numBlocks, used, err := vbyte.Decode(body)
+	if err != nil || numBlocks > maxPIRBlocks {
+		return p, fmt.Errorf("wire: params block count: %w", orRange(err))
+	}
+	body = body[used:]
+	nDocs, used, err := vbyte.Decode(body)
+	// Each document costs at least 4 body bytes, so a count past the
+	// remaining body is forged — reject before allocating.
+	if err != nil || nDocs > maxPIRDocs || nDocs*4 > uint64(len(body)) {
+		return p, fmt.Errorf("wire: params document count: %w", orRange(err))
+	}
+	body = body[used:]
+	p.BlockSize = int(blockSize)
+	p.NumBlocks = int(numBlocks)
+	p.Exts = make([]docstore.Extent, nDocs)
+	for i := range p.Exts {
+		var fields [4]uint64
+		for f := range fields {
+			v, used, err := vbyte.Decode(body)
+			if err != nil {
+				return p, fmt.Errorf("wire: params document %d: %w", i, err)
+			}
+			fields[f] = v
+			body = body[used:]
+		}
+		first, blocks, length, crc := fields[0], fields[1], fields[2], fields[3]
+		if first+blocks < first || first+blocks > numBlocks {
+			return p, fmt.Errorf("wire: params document %d extent outside the block array", i)
+		}
+		if length >= 1<<31 || length > blocks*blockSize {
+			return p, fmt.Errorf("wire: params document %d length %d exceeds its blocks", i, length)
+		}
+		if crc > 1<<32-1 {
+			return p, fmt.Errorf("wire: params document %d checksum out of range", i)
+		}
+		if len(body) < 1 || body[0] > 1 {
+			return p, fmt.Errorf("wire: params document %d deleted flag", i)
+		}
+		p.Exts[i] = docstore.Extent{
+			First:   uint32(first),
+			Blocks:  uint32(blocks),
+			Length:  uint32(length),
+			Crc:     uint32(crc),
+			Deleted: body[0] == 1,
+		}
+		body = body[1:]
+	}
+	if len(body) != 0 {
+		return p, errors.New("wire: trailing bytes after params")
+	}
+	return p, nil
+}
+
+// WritePIRQuery frames and writes one PIR block query.
+func WritePIRQuery(w io.Writer, q *pir.Query) error {
+	if q == nil || q.N == nil || len(q.Values) == 0 {
+		return errors.New("wire: nil PIR query")
+	}
+	var body []byte
+	body = append(body, TypePIRQuery)
+	body = appendBig(body, q.N)
+	body = vbyte.Append(body, uint64(len(q.Values)))
+	for _, v := range q.Values {
+		body = appendBig(body, v)
+	}
+	return writeFrame(w, body)
+}
+
+// DecodePIRQuery parses a TypePIRQuery body. Every value is bounded to
+// (0, N) and the modulus width is capped: the answer computation costs
+// one |N|-bit multiplication per database bit, so the decoder is the
+// server's CPU-exhaustion gate.
+func DecodePIRQuery(body []byte) (*pir.Query, error) {
+	n, body, err := decodeBig(body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: PIR modulus: %w", err)
+	}
+	if n.Sign() <= 0 || (n.BitLen()+7)/8 > maxPIRModulusBytes {
+		return nil, errors.New("wire: PIR modulus out of range")
+	}
+	count, used, err := vbyte.Decode(body)
+	// Each value costs at least 2 body bytes (length prefix + one
+	// byte), so a count past half the remaining body is forged — reject
+	// before allocating the pointer slice.
+	if err != nil || count == 0 || count > maxPIRBlocks || count*2 > uint64(len(body)) {
+		return nil, fmt.Errorf("wire: PIR value count: %w", orRange(err))
+	}
+	body = body[used:]
+	q := &pir.Query{N: n, Values: make([]*big.Int, count)}
+	for i := range q.Values {
+		v, rest, err := decodeBig(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: PIR value %d: %w", i, err)
+		}
+		if v.Sign() <= 0 || v.Cmp(n) >= 0 {
+			return nil, fmt.Errorf("wire: PIR value %d outside Z_n", i)
+		}
+		q.Values[i] = v
+		body = rest
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing bytes after PIR query")
+	}
+	return q, nil
+}
+
+// WritePIRAnswer frames and writes the server's PIR answer.
+func WritePIRAnswer(w io.Writer, a *pir.Answer) error {
+	if a == nil || len(a.Gammas) == 0 {
+		return errors.New("wire: nil PIR answer")
+	}
+	var body []byte
+	body = append(body, TypePIRResponse)
+	body = vbyte.Append(body, uint64(len(a.Gammas)))
+	for _, g := range a.Gammas {
+		body = appendBig(body, g)
+	}
+	return writeFrame(w, body)
+}
+
+// DecodePIRAnswer parses a TypePIRResponse body.
+func DecodePIRAnswer(body []byte) (*pir.Answer, error) {
+	count, used, err := vbyte.Decode(body)
+	// A gamma costs at least 1 body byte (its length prefix), so a
+	// count past the remaining body is forged — reject before
+	// allocating the pointer slice.
+	if err != nil || count == 0 || count > 8*docstore.MaxBlockSize || count > uint64(len(body)) {
+		return nil, fmt.Errorf("wire: PIR gamma count: %w", orRange(err))
+	}
+	body = body[used:]
+	a := &pir.Answer{Gammas: make([]*big.Int, count)}
+	for i := range a.Gammas {
+		g, rest, err := decodeBig(body)
+		if err != nil {
+			return nil, fmt.Errorf("wire: PIR gamma %d: %w", i, err)
+		}
+		a.Gammas[i] = g
+		body = rest
+	}
+	if len(body) != 0 {
+		return nil, errors.New("wire: trailing bytes after PIR answer")
+	}
+	return a, nil
+}

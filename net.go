@@ -45,6 +45,13 @@ type ServeConfig struct {
 	// from searching users, so a deployment must deliberately expose
 	// them — typically on a separate, access-controlled listener.
 	AllowUpdates bool
+	// AllowRetrieval opts the server in to the private document-fetch
+	// messages (TypePIRParams / TypePIRQuery). Off by default: each PIR
+	// answer costs ~8·BlockSize·NumBlocks modular multiplications, so a
+	// deployment must deliberately expose that CPU surface. Requires an
+	// engine built with Options.StoreDocuments (or loaded from a
+	// version-3 file carrying a store).
+	AllowRetrieval bool
 }
 
 // ServeStats is a snapshot of a NetServer's counters.
@@ -58,6 +65,9 @@ type ServeStats struct {
 	Queries int64
 	// Updates counts applied admin operations (adds and deletes).
 	Updates int64
+	// Retrievals counts answered PIR block queries (one per protocol
+	// execution; a k-block document fetch counts k times).
+	Retrievals int64
 	// Errors counts protocol-level errors answered with a wire error
 	// message (the connection survives those).
 	Errors int64
@@ -70,25 +80,27 @@ type ServeStats struct {
 // over any number of listeners and connections concurrently. The
 // zero value is not usable; construct with Engine.NewNetServer.
 type NetServer struct {
-	engine       *Engine
-	maxConns     int
-	idle         time.Duration
-	allowUpdates bool
+	engine         *Engine
+	maxConns       int
+	idle           time.Duration
+	allowUpdates   bool
+	allowRetrieval bool
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	shutdown  bool
 
-	accepted atomic.Int64
-	rejected atomic.Int64
-	active   atomic.Int64
-	queries  atomic.Int64
-	updates  atomic.Int64
-	errs     atomic.Int64
-	busyNs   atomic.Int64 // total processing time
-	maxNs    atomic.Int64 // slowest single query
-	inflight atomic.Int64 // queries currently being processed
+	accepted   atomic.Int64
+	rejected   atomic.Int64
+	active     atomic.Int64
+	queries    atomic.Int64
+	updates    atomic.Int64
+	retrievals atomic.Int64
+	errs       atomic.Int64
+	busyNs     atomic.Int64 // total processing time
+	maxNs      atomic.Int64 // slowest single query
+	inflight   atomic.Int64 // queries currently being processed
 }
 
 // NewNetServer builds a concurrent protocol server around the engine.
@@ -101,12 +113,13 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		maxConns = DefaultMaxConns
 	}
 	return &NetServer{
-		engine:       e,
-		maxConns:     maxConns,
-		idle:         cfg.IdleTimeout,
-		allowUpdates: cfg.AllowUpdates,
-		listeners:    make(map[net.Listener]struct{}),
-		conns:        make(map[net.Conn]struct{}),
+		engine:         e,
+		maxConns:       maxConns,
+		idle:           cfg.IdleTimeout,
+		allowUpdates:   cfg.AllowUpdates,
+		allowRetrieval: cfg.AllowRetrieval,
+		listeners:      make(map[net.Listener]struct{}),
+		conns:          make(map[net.Conn]struct{}),
 	}
 }
 
@@ -118,6 +131,7 @@ func (s *NetServer) Stats() ServeStats {
 		Active:       s.active.Load(),
 		Queries:      s.queries.Load(),
 		Updates:      s.updates.Load(),
+		Retrievals:   s.retrievals.Load(),
 		Errors:       s.errs.Load(),
 		QueryTime:    time.Duration(s.busyNs.Load()),
 		MaxQueryTime: time.Duration(s.maxNs.Load()),
@@ -260,6 +274,10 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			s.inflight.Add(1)
 			err = s.answerAdmin(rw, typ, body)
 			s.inflight.Add(-1)
+		case wire.TypePIRParams, wire.TypePIRQuery:
+			s.inflight.Add(1)
+			err = s.answerRetrieval(rw, typ, body)
+			s.inflight.Add(-1)
 		default:
 			s.errs.Add(1)
 			err = wire.WriteError(rw, fmt.Sprintf("unexpected message type %d", typ))
@@ -342,6 +360,43 @@ func (s *NetServer) answerAdmin(rw io.ReadWriter, typ byte, body []byte) error {
 	// between the apply and the ack.
 	snap := s.engine.Snapshot()
 	return wire.WriteAdminOK(rw, snap.NumDocs(), snap.NumSegments())
+}
+
+// answerRetrieval serves the private document-fetch messages — behind
+// the opt-in AllowRetrieval flag — from one store snapshot per
+// message. Refusals and malformed queries are answered with a wire
+// error and the connection stays up, matching the admin path.
+func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) error {
+	if !s.allowRetrieval {
+		s.errs.Add(1)
+		return wire.WriteError(rw, "private document retrieval is disabled on this server")
+	}
+	snap, err := s.engine.storeSnapshot()
+	if err != nil {
+		s.errs.Add(1)
+		return wire.WriteError(rw, "this server stores no documents")
+	}
+	switch typ {
+	case wire.TypePIRParams:
+		if len(body) != 0 {
+			s.errs.Add(1)
+			return wire.WriteError(rw, "params request carries no body")
+		}
+		return wire.WritePIRParams(rw, snap.Params())
+	default: // wire.TypePIRQuery
+		q, err := wire.DecodePIRQuery(body)
+		if err != nil {
+			s.errs.Add(1)
+			return wire.WriteError(rw, err.Error())
+		}
+		ans, _, err := snap.Answer(q)
+		if err != nil {
+			s.errs.Add(1)
+			return wire.WriteError(rw, err.Error())
+		}
+		s.retrievals.Add(1)
+		return wire.WritePIRAnswer(rw, ans)
+	}
 }
 
 func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {

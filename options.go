@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"embellish/internal/benaloh"
+	"embellish/internal/docstore"
 	"embellish/internal/index"
 )
 
@@ -69,6 +70,28 @@ type Options struct {
 	// DefaultMaxConns; -1 disables the cap (any other negative value is
 	// rejected).
 	MaxConns int
+	// StoreDocuments opts the engine in to storing the document BYTES
+	// (not just the inverted index) in a PIR block store, enabling the
+	// paper's second privacy stage: fetching the winning documents
+	// after a private ranking without revealing which ones won
+	// (Client.FetchDocuments / FetchDocumentsRemote). The store is part
+	// of the persisted engine file (format version 3). Off by default —
+	// it roughly doubles the engine's memory footprint.
+	StoreDocuments bool
+	// BlockSize is the PIR block size in bytes for the document store:
+	// documents are laid out into fixed-size blocks and one PIR
+	// protocol execution fetches one block. Smaller blocks shrink the
+	// per-execution answer but cost more executions per document; the
+	// server-side work is ~8·BlockSize·NumBlocks modular
+	// multiplications either way. 0 selects docstore.DefaultBlockSize
+	// (512). Ignored unless StoreDocuments is set; persisted with the
+	// store.
+	BlockSize int
+	// RetrievalKeyBits sizes the Kushilevitz-Ostrovsky PIR modulus used
+	// by document fetches. 0 inherits KeyBits. Like KeyBits it is a
+	// client-side security knob: tests and benchmarks use small values
+	// for speed, real deployments want >= 1024.
+	RetrievalKeyBits int
 	// MaxSegments bounds the live segment set: when AddDocuments leaves
 	// more than MaxSegments segments, a background merge folds the
 	// smallest ones together, rewriting deleted postings away. 0 selects
@@ -138,7 +161,21 @@ func (o Options) validate() error {
 	if o.MaxSegments < -1 || o.MaxSegments > 1<<12 {
 		return fmt.Errorf("embellish: MaxSegments %d out of range [-1, %d]; -1 disables merging, 0 selects the default", o.MaxSegments, 1<<12)
 	}
+	if o.BlockSize < 0 || o.BlockSize > docstore.MaxBlockSize {
+		return fmt.Errorf("embellish: BlockSize %d out of range [0, %d]", o.BlockSize, docstore.MaxBlockSize)
+	}
+	if o.RetrievalKeyBits != 0 && o.RetrievalKeyBits < 64 {
+		return fmt.Errorf("embellish: RetrievalKeyBits %d too small for PIR key generation", o.RetrievalKeyBits)
+	}
 	return nil
+}
+
+// retrievalKeyBits resolves the PIR key size (0 inherits KeyBits).
+func (o Options) retrievalKeyBits() int {
+	if o.RetrievalKeyBits > 0 {
+		return o.RetrievalKeyBits
+	}
+	return o.KeyBits
 }
 
 // maxSegments resolves the MaxSegments knob for internal/index

@@ -10,6 +10,7 @@ import (
 
 	"embellish/internal/bucket"
 	"embellish/internal/core"
+	"embellish/internal/docstore"
 	"embellish/internal/index"
 	"embellish/internal/textproc"
 	"embellish/internal/vbyte"
@@ -17,25 +18,29 @@ import (
 )
 
 // Engine persistence bundles the build artifacts — lexicon, live
-// segmented index and bucket organization — into one file, so a
-// deployment indexes its corpus once and both endpoints load the same
-// organization (the protocol requires client and server to agree on it
-// exactly).
+// segmented index, bucket organization and (optionally) the PIR
+// document store — into one file, so a deployment indexes its corpus
+// once and both endpoints load the same organization (the protocol
+// requires client and server to agree on it exactly).
 //
-// Version 2 (written by Save): magic "EENG" | version | options |
+// Version 3 (written by Save): magic "EENG" | version | options |
 // lexicon section | organization section | quantization scale f64 |
 // next doc id u32 | segment count u32 | one length-prefixed section per
-// segment | tombstone section. Every section is self-checksummed by its
-// own codec, so a segment corrupted on disk is caught independently of
-// its neighbors.
+// segment | tombstone section | doc-store section (an absent marker
+// when the engine only ranks). Every section is self-checksummed by
+// its own codec, so a segment corrupted on disk is caught
+// independently of its neighbors.
 //
-// Version 1 (the legacy single-index layout: lexicon | index |
-// organization) still loads, as a live set of one segment with no
-// tombstones; saveV1 can still write it for engines in that state.
+// Version 2 (the pre-retrieval layout, identical up to and including
+// the tombstone section) still loads, as an engine without a document
+// store; saveV2 can still write it, dropping any store. Version 1 (the
+// legacy single-index layout: lexicon | index | organization) also
+// still loads, as a live set of one segment with no tombstones; saveV1
+// can still write it for engines in that state.
 
 const (
 	engineMagic   = "EENG"
-	engineVersion = 2
+	engineVersion = 3
 
 	// maxSaneSegments bounds the attacker-controlled segment count
 	// during load.
@@ -43,18 +48,40 @@ const (
 )
 
 // Save serializes the engine, capturing one consistent snapshot of the
-// live index even while updates continue. The client key pair is NOT
-// part of the engine (keys belong to users); only public artifacts are
-// written.
+// live index — and, when present, the document store — even while
+// updates continue. The client key pair is NOT part of the engine
+// (keys belong to users); only public artifacts are written.
 func (e *Engine) Save(w io.Writer) error {
+	return e.save(w, engineVersion)
+}
+
+// saveV2 writes the pre-retrieval format, readable by deployments that
+// predate the document store; any store is dropped. Kept unexported:
+// the compat path must stay testable, and tests are the writer of
+// record for v2 fixtures.
+func (e *Engine) saveV2(w io.Writer) error {
+	return e.save(w, 2)
+}
+
+func (e *Engine) save(w io.Writer, version byte) error {
+	// The index and store snapshots are captured under updateMu so the
+	// saved pair reflects one point in the update history (each is
+	// individually immutable, but a writer landing between two lock-free
+	// captures would desynchronize their document counts).
+	e.updateMu.Lock()
 	snap := e.live.Snapshot()
+	var store *docstore.Snapshot
+	if e.store != nil {
+		store = e.store.Snapshot()
+	}
+	e.updateMu.Unlock()
 	// Never write a file the loader would refuse: with merging disabled
 	// a long-lived engine could exceed the load-side segment bound.
 	if len(snap.Segs) > maxSaneSegments {
 		return fmt.Errorf("embellish: %d segments exceed the loadable bound %d; Compact before saving",
 			len(snap.Segs), maxSaneSegments)
 	}
-	if err := e.writeHeader(w, engineVersion); err != nil {
+	if err := e.writeHeader(w, version); err != nil {
 		return err
 	}
 	if err := writeSection(w, e.lex.db); err != nil {
@@ -75,8 +102,20 @@ func (e *Engine) Save(w io.Writer) error {
 			return err
 		}
 	}
-	return writeSection(w, tombstonesWriter{ids: snap.Tombs.DocIDs()})
+	if err := writeSection(w, tombstonesWriter{ids: snap.Tombs.DocIDs()}); err != nil {
+		return err
+	}
+	if version < 3 {
+		return nil
+	}
+	return writeSection(w, docStoreSection{sn: store})
 }
+
+// docStoreSection adapts the docstore codec to the section writer; a
+// nil snapshot writes the absent marker.
+type docStoreSection struct{ sn *docstore.Snapshot }
+
+func (d docStoreSection) WriteTo(w io.Writer) (int64, error) { return docstore.Write(w, d.sn) }
 
 // saveV1 writes the legacy single-index format, readable by pre-live
 // deployments. It refuses engines whose live state the format cannot
@@ -142,7 +181,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		return nil, err
 	}
 	version := header[0]
-	if version != 1 && version != engineVersion {
+	if version < 1 || version > engineVersion {
 		return nil, fmt.Errorf("embellish: unsupported engine version %d", version)
 	}
 	var opts Options
@@ -170,6 +209,7 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 
 	var org *bucket.Organization
 	var live *index.Live
+	var store *docstore.Store
 	if version == 1 {
 		ix, err := readSection(r, func(sr io.Reader) (*index.Index, error) {
 			return index.ReadIndex(sr)
@@ -221,14 +261,46 @@ func LoadEngine(r io.Reader) (*Engine, error) {
 		if live.Scale() != scale {
 			return nil, fmt.Errorf("embellish: header scale %g disagrees with segment scale %g", scale, live.Scale())
 		}
+		if version >= 3 {
+			store, err = readSection(r, docstore.Read)
+			if err != nil {
+				return nil, fmt.Errorf("embellish: doc-store section: %w", err)
+			}
+			if store != nil {
+				sn := store.Snapshot()
+				if sn.NumDocs() != int(nextDoc) {
+					return nil, fmt.Errorf("embellish: doc store holds %d documents, index assigned %d",
+						sn.NumDocs(), nextDoc)
+				}
+				// The store's Deleted flags must agree with the index
+				// tombstones id by id: a crafted file desynchronizing them
+				// would yield ranked-but-unfetchable documents, and a later
+				// DeleteDocuments would fail halfway (index applied, store
+				// refusing) — permanent inconsistency.
+				tombs := live.Snapshot().Tombs
+				for id := 0; id < int(nextDoc); id++ {
+					ext, _ := sn.Extent(id)
+					if ext.Deleted != tombs.Has(index.DocID(id)) {
+						return nil, fmt.Errorf("embellish: doc store and index disagree on document %d's deletion", id)
+					}
+				}
+			}
+		}
 	}
 	live.SetMaxSegments(opts.maxSegments())
+	if store != nil {
+		// The store knobs travel with the store, not the options block:
+		// a v2 file (or a store-less v3) loads with them unset.
+		opts.StoreDocuments = true
+		opts.BlockSize = store.BlockSize()
+	}
 
 	e := &Engine{
-		opts: opts,
-		lex:  &Lexicon{db: db},
-		live: live,
-		org:  org,
+		opts:  opts,
+		lex:   &Lexicon{db: db},
+		live:  live,
+		org:   org,
+		store: store,
 	}
 	// Rebuild the derived pieces exactly as NewEngine does.
 	e.analyzer = textproc.NewAnalyzer()

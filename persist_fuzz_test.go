@@ -1,0 +1,50 @@
+package embellish
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// FuzzLoadEngine: an engine file is untrusted input (deployments ship
+// them between machines), so the loader must survive arbitrary bytes —
+// clean errors, no panics, no unbounded allocations — and any input it
+// ACCEPTS must yield an internally consistent engine. Seeded with the
+// checked-in v1/v2/v3 golden files, so the fuzzer starts from the full
+// accepted grammar including the doc-store section.
+func FuzzLoadEngine(f *testing.F) {
+	for _, version := range []int{1, 2, 3} {
+		data, err := os.ReadFile(filepath.Join("testdata", "engine_v"+string(rune('0'+version))+".bin"))
+		if err != nil {
+			f.Fatalf("golden seed: %v", err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+	}
+	f.Add([]byte("EENG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := LoadEngine(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Accepted engines must be coherent enough to serve.
+		if e.NumDocs() < 0 || e.NextDocID() < e.NumDocs() {
+			t.Fatalf("incoherent doc counts: %d live, next %d", e.NumDocs(), e.NextDocID())
+		}
+		if e.NumSegments() < 1 {
+			t.Fatalf("engine with %d segments accepted", e.NumSegments())
+		}
+		if e.NumBuckets() < 1 || e.NumSearchableTerms() < 1 {
+			t.Fatalf("empty organization accepted: %d buckets, %d terms", e.NumBuckets(), e.NumSearchableTerms())
+		}
+		if e.StoresDocuments() {
+			// The store's id space must track the index's: every live id
+			// reads without panicking (errors are fine — a deleted doc).
+			for _, id := range []int{0, e.NextDocID() - 1} {
+				_, _ = e.Document(id)
+			}
+		}
+	})
+}

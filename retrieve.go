@@ -1,0 +1,263 @@
+package embellish
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"embellish/internal/docstore"
+	"embellish/internal/pir"
+	"embellish/internal/wire"
+)
+
+// Private document retrieval: the second stage of the paper's privacy
+// story. Stage one (Embellish/Process/Decode) ranks without revealing
+// the query; this file fetches the winning documents without revealing
+// which ones won. The engine lays document bytes out into fixed-size
+// PIR blocks (Options.StoreDocuments); the client maps each ranked doc
+// id to its block range through the public block mapping and runs one
+// Kushilevitz-Ostrovsky PIR execution per block, locally against the
+// engine or remotely over the wire protocol (TypePIRParams /
+// TypePIRQuery / TypePIRResponse, behind ServeConfig.AllowRetrieval).
+//
+// What the server observes: the number of PIR executions — i.e. the
+// block count of each fetched document — and nothing else. Which
+// blocks were touched is hidden by the quadratic-residuosity
+// assumption, exactly as in Section 5.2's PIR baseline. The block
+// layout itself is churn-stable (tombstoned documents are padded out,
+// never compacted away), so fetch offsets do not leak corpus updates.
+
+// StoresDocuments reports whether the engine holds a document store
+// (Options.StoreDocuments at construction, or loaded from a version-3
+// engine file) and can therefore serve document fetches.
+func (e *Engine) StoresDocuments() bool { return e.store != nil }
+
+// Document returns document id's stored bytes, read directly in the
+// clear — the server-side/test path; remote users fetch privately with
+// Client.FetchDocumentsRemote. It errors for unassigned ids, for
+// tombstoned documents, and on engines without a document store.
+func (e *Engine) Document(id int) ([]byte, error) {
+	sn, err := e.storeSnapshot()
+	if err != nil {
+		return nil, err
+	}
+	b, err := sn.Document(id)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: %w", err)
+	}
+	return b, nil
+}
+
+// Document returns document id's bytes as pinned by this snapshot: a
+// document deleted after the snapshot was taken still reads, exactly
+// like PlaintextSearch still ranks it.
+func (s *Snapshot) Document(id int) ([]byte, error) {
+	if s.store == nil {
+		return nil, errNoStore
+	}
+	b, err := s.store.Document(id)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: %w", err)
+	}
+	return b, nil
+}
+
+var errNoStore = errors.New("embellish: engine stores no documents (enable Options.StoreDocuments)")
+
+// maxStoredDocBytes bounds a single stored document so the docstore's
+// uint32 extents can never overflow; AddDocuments validates against it
+// BEFORE mutating anything.
+const maxStoredDocBytes = 1 << 30
+
+func (e *Engine) storeSnapshot() (*docstore.Snapshot, error) {
+	if e.store == nil {
+		return nil, errNoStore
+	}
+	return e.store.Snapshot(), nil
+}
+
+// SetRetrievalKeyBits overrides the PIR modulus size for this client's
+// document fetches. The default comes from the engine's
+// Options.RetrievalKeyBits (falling back to KeyBits) — but that knob
+// is not persisted, so clients of LOADED engines use this to pick
+// their own security/latency point; the modulus is a per-client
+// choice the server never constrains (beyond the wire-protocol
+// ceiling). Must be called before the first fetch.
+func (c *Client) SetRetrievalKeyBits(bits int) error {
+	if bits < 64 {
+		return fmt.Errorf("embellish: RetrievalKeyBits %d too small for PIR key generation", bits)
+	}
+	if c.fetchKey != nil {
+		return errors.New("embellish: the PIR key is already generated; set the size before the first fetch")
+	}
+	c.fetchBits = bits
+	return nil
+}
+
+// pirKey returns the client's PIR key, generating it on first use (key
+// generation costs two primes, so clients that never fetch never pay).
+func (c *Client) pirKey() (*pir.ClientKey, error) {
+	if c.fetchKey == nil {
+		bits := c.fetchBits
+		if bits == 0 {
+			bits = c.engine.opts.retrievalKeyBits()
+		}
+		key, err := pir.GenerateKey(c.inner.CryptoRand, bits)
+		if err != nil {
+			return nil, fmt.Errorf("embellish: PIR key generation: %w", err)
+		}
+		c.fetchKey = key
+	}
+	return c.fetchKey, nil
+}
+
+// pirTransport abstracts where the PIR server lives: in-process
+// (localPIR) or across a connection (remotePIR). Params is fetched
+// once per FetchDocuments call; Answer runs one protocol execution.
+type pirTransport interface {
+	Params() (docstore.Params, error)
+	Answer(q *pir.Query) (*pir.Answer, error)
+}
+
+// localPIR serves fetches from one pinned store snapshot, so a
+// multi-document fetch reads an internally consistent corpus state.
+type localPIR struct{ sn *docstore.Snapshot }
+
+func (l localPIR) Params() (docstore.Params, error) { return l.sn.Params(), nil }
+func (l localPIR) Answer(q *pir.Query) (*pir.Answer, error) {
+	ans, _, err := l.sn.Answer(q)
+	return ans, err
+}
+
+// remotePIR speaks the wire protocol over one connection.
+type remotePIR struct{ conn io.ReadWriter }
+
+func (r remotePIR) Params() (docstore.Params, error) {
+	if err := wire.WritePIRParamsRequest(r.conn); err != nil {
+		return docstore.Params{}, fmt.Errorf("embellish: requesting PIR params: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(r.conn)
+	if err != nil {
+		return docstore.Params{}, fmt.Errorf("embellish: reading PIR params: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return docstore.Params{}, fmt.Errorf("embellish: server error: %s", body)
+	case wire.TypePIRParams:
+	default:
+		return docstore.Params{}, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	return wire.DecodePIRParams(body)
+}
+
+func (r remotePIR) Answer(q *pir.Query) (*pir.Answer, error) {
+	if err := wire.WritePIRQuery(r.conn, q); err != nil {
+		return nil, fmt.Errorf("embellish: sending PIR query: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(r.conn)
+	if err != nil {
+		return nil, fmt.Errorf("embellish: reading PIR answer: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return nil, fmt.Errorf("embellish: server error: %s", body)
+	case wire.TypePIRResponse:
+	default:
+		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	return wire.DecodePIRAnswer(body)
+}
+
+// FetchStats describes the cost of one FetchDocuments call, feeding
+// the PIR-vs-plaintext cost comparison of the Section 5.2 experiments.
+type FetchStats struct {
+	// Runs is the number of PIR protocol executions (one per block).
+	Runs int
+	// QueryBytes and AnswerBytes total the protocol traffic.
+	QueryBytes, AnswerBytes int
+}
+
+// FetchDocuments privately fetches the given documents from the
+// engine's own store — the in-process mirror of FetchDocumentsRemote,
+// running the identical PIR protocol so tests and benchmarks measure
+// the real fetch path. Results align with ids. The whole call reads
+// one pinned store snapshot.
+func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
+	sn, err := c.engine.storeSnapshot()
+	if err != nil {
+		return nil, FetchStats{}, err
+	}
+	return c.fetchVia(localPIR{sn: sn}, ids)
+}
+
+// FetchDocumentsRemote privately fetches the given documents from a
+// remote engine over the wire protocol. The server must run with
+// ServeConfig.AllowRetrieval and a document store; the connection can
+// be reused for searches before and after, so one session typically
+// ranks (SearchRemote) and then fetches the winners. The server
+// observes only the number of blocks fetched, never which ones.
+func (c *Client) FetchDocumentsRemote(conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
+	return c.fetchVia(remotePIR{conn: conn}, ids)
+}
+
+// fetchVia runs the client side of the fetch protocol: obtain the
+// block mapping, then one PIR execution per block of each document.
+// Any unfetchable id (never assigned, or tombstoned) fails the whole
+// call — the error names the id, and no partial results are returned.
+func (c *Client) fetchVia(t pirTransport, ids []int) ([][]byte, FetchStats, error) {
+	var st FetchStats
+	if len(ids) == 0 {
+		return nil, st, errors.New("embellish: no documents to fetch")
+	}
+	key, err := c.pirKey()
+	if err != nil {
+		return nil, st, err
+	}
+	params, err := t.Params()
+	if err != nil {
+		return nil, st, err
+	}
+	// Validate every id BEFORE the first (expensive) PIR run.
+	for _, id := range ids {
+		if id < 0 || id >= len(params.Exts) {
+			return nil, st, fmt.Errorf("embellish: document %d does not exist", id)
+		}
+		if params.Exts[id].Deleted {
+			return nil, st, fmt.Errorf("embellish: document %d is deleted", id)
+		}
+	}
+	out := make([][]byte, len(ids))
+	for i, id := range ids {
+		ext := params.Exts[id]
+		doc := make([]byte, 0, int(ext.Blocks)*params.BlockSize)
+		for b := 0; b < int(ext.Blocks); b++ {
+			q, err := key.NewQuery(c.inner.CryptoRand, params.NumBlocks, int(ext.First)+b)
+			if err != nil {
+				return nil, st, fmt.Errorf("embellish: document %d block %d: %w", id, b, err)
+			}
+			st.Runs++
+			st.QueryBytes += key.QueryBytes(params.NumBlocks)
+			ans, err := t.Answer(q)
+			if err != nil {
+				return nil, st, fmt.Errorf("embellish: document %d block %d: %w", id, b, err)
+			}
+			if len(ans.Gammas) != 8*params.BlockSize {
+				return nil, st, fmt.Errorf("embellish: document %d block %d: answer has %d rows, want %d",
+					id, b, len(ans.Gammas), 8*params.BlockSize)
+			}
+			st.AnswerBytes += key.AnswerBytes(len(ans.Gammas))
+			doc = append(doc, pir.ColumnBytes(key.Decode(ans))[:params.BlockSize]...)
+		}
+		doc = doc[:ext.Length]
+		// A document deleted between the mapping fetch and the last block
+		// fetch decodes as (partially) zeroed blocks — the server zeroes
+		// tombstoned blocks in place. The content checksum turns that
+		// silent corruption into an error.
+		if crc32.ChecksumIEEE(doc) != ext.Crc {
+			return nil, st, fmt.Errorf("embellish: document %d bytes fail their checksum (deleted or corrupted mid-fetch)", id)
+		}
+		out[i] = doc
+	}
+	return out, st, nil
+}

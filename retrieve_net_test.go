@@ -1,0 +1,279 @@
+package embellish
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"embellish/internal/detrand"
+)
+
+// startRetrievalServer serves the engine over TCP and returns the
+// address plus a cleanup-registered shutdown.
+func startRetrievalServer(t *testing.T, e *Engine, cfg ServeConfig) string {
+	t.Helper()
+	srv := e.NewNetServer(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-done; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return l.Addr().String()
+}
+
+// TestRemoteSearchThenPIRFetchDuringChurn is the end-to-end acceptance
+// path: a remote client ranks privately over TCP and then PIR-fetches
+// the winning documents over the same connection, byte-identical to
+// the indexed text, while another goroutine churns the corpus with
+// adds and deletes the whole time. A quiescent final pass ties the
+// fetched bytes to PlaintextSearch's selection exactly.
+func TestRemoteSearchThenPIRFetchDuringChurn(t *testing.T) {
+	lemmas := miniLemmas()
+	e, _, texts := storeWorld(t, 30, 32)
+	var mu sync.Mutex // guards texts
+	addr := startRetrievalServer(t, e, ServeConfig{AllowUpdates: true, AllowRetrieval: true})
+
+	queries := []string{
+		lemmas[1] + " " + lemmas[6],
+		lemmas[11] + " " + lemmas[16],
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn: grow the corpus, delete only filler docs
+		defer wg.Done()
+		var fillers []int
+		// Bounded and throttled: PIR fetch cost scales with the block
+		// count, so unchecked growth would starve the fetch rounds.
+		for i := 0; i < 25; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			base := e.NextDocID()
+			docs := make([]Document, 2)
+			mu.Lock()
+			for j := range docs {
+				id := base + j
+				if j == 0 {
+					texts[id] = fillerDocText(id, lemmas)
+					fillers = append(fillers, id)
+				} else {
+					texts[id] = storeDocText(id, lemmas)
+				}
+				docs[j] = Document{ID: id, Text: texts[id]}
+			}
+			mu.Unlock()
+			if err := e.AddDocuments(docs); err != nil {
+				t.Errorf("churn add: %v", err)
+				return
+			}
+			if len(fillers) > 3 {
+				id := fillers[0]
+				fillers = fillers[1:]
+				if err := e.DeleteDocuments([]int{id}); err != nil {
+					t.Errorf("churn delete %d: %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := e.NewClient(detrand.New("remote-fetcher"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		query := queries[round%len(queries)]
+		res, err := c.SearchRemote(conn, query, 5)
+		if err != nil {
+			t.Fatalf("round %d search: %v", round, err)
+		}
+		var winners []int
+		for _, r := range res {
+			if r.Score > 0 {
+				winners = append(winners, r.DocID)
+			}
+		}
+		if len(winners) == 0 {
+			t.Fatalf("round %d: query %q matched nothing", round, query)
+		}
+		got, st, err := c.FetchDocumentsRemote(conn, winners)
+		if err != nil {
+			t.Fatalf("round %d fetch: %v", round, err)
+		}
+		if st.Runs == 0 {
+			t.Fatalf("round %d: no PIR executions accounted", round)
+		}
+		mu.Lock()
+		for i, id := range winners {
+			if want := texts[id]; string(got[i]) != want {
+				mu.Unlock()
+				t.Fatalf("round %d doc %d: fetched %q, want %q", round, id, got[i], want)
+			}
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// Quiescent pass: with churn stopped, the remote ranking equals
+	// PlaintextSearch on the same corpus state, and the PIR-fetched
+	// bytes equal the direct reads of exactly those selected documents.
+	snap := e.Snapshot()
+	query := queries[0]
+	res, err := c.SearchRemote(conn, query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := snap.PlaintextSearch(query, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < len(plain) {
+		t.Fatalf("remote returned %d results for %d plaintext hits", len(res), len(plain))
+	}
+	ids := make([]int, len(plain))
+	for i, p := range plain {
+		if res[i].DocID != p.DocID || res[i].Score != p.Score {
+			t.Fatalf("rank %d: remote %+v, plaintext %+v", i, res[i], p)
+		}
+		ids[i] = p.DocID
+	}
+	got, _, err := c.FetchDocumentsRemote(conn, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		direct, err := snap.Document(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[i]) != string(direct) {
+			t.Fatalf("doc %d: PIR fetch %q != direct %q", id, got[i], direct)
+		}
+	}
+	// A deleted id is refused remotely too.
+	var deletedID = -1
+	mu.Lock()
+	for id, text := range texts {
+		if strings.Contains(text, "#filler-") {
+			if _, err := e.Document(id); err != nil {
+				deletedID = id
+				break
+			}
+		}
+	}
+	mu.Unlock()
+	if deletedID >= 0 {
+		if _, _, err := c.FetchDocumentsRemote(conn, []int{deletedID}); err == nil {
+			t.Fatalf("tombstoned doc %d fetched remotely", deletedID)
+		}
+	}
+}
+
+// TestRetrievalDisabledByDefault: a server without AllowRetrieval
+// refuses params and query messages with a wire error (and keeps the
+// connection serving searches); a retrieval-enabled server over a
+// store-less engine explains itself too.
+func TestRetrievalDisabledByDefault(t *testing.T) {
+	e, _, _ := storeWorld(t, 30, 32)
+	addr := startRetrievalServer(t, e, ServeConfig{})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := e.NewClient(detrand.New("gate-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.FetchDocumentsRemote(conn, []int{0})
+	if err == nil || !strings.Contains(err.Error(), "disabled") {
+		t.Fatalf("retrieval not refused: %v", err)
+	}
+	// The connection survives the refusal: searches still work.
+	lemmas := miniLemmas()
+	if _, err := c.SearchRemote(conn, lemmas[1], 3); err != nil {
+		t.Fatalf("search after refused retrieval: %v", err)
+	}
+
+	// Retrieval enabled but nothing stored.
+	plain, pc := liveTestEngine(t, 0)
+	addr2 := startRetrievalServer(t, plain, ServeConfig{AllowRetrieval: true})
+	conn2, err := net.Dial("tcp", addr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	_, _, err = pc.FetchDocumentsRemote(conn2, []int{0})
+	if err == nil || !strings.Contains(err.Error(), "stores no documents") {
+		t.Fatalf("store-less retrieval not refused: %v", err)
+	}
+}
+
+// TestServeStatsCountRetrievals: the Retrievals counter tracks PIR
+// protocol executions.
+func TestServeStatsCountRetrievals(t *testing.T) {
+	e, _, _ := storeWorld(t, 20, 32)
+	srv := e.NewNetServer(ServeConfig{AllowRetrieval: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.NewClient(detrand.New("stats-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := c.FetchDocumentsRemote(conn, []int{2, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	stats := srv.Stats()
+	if stats.Retrievals != int64(st.Runs) {
+		t.Fatalf("server counted %d retrievals, client ran %d", stats.Retrievals, st.Runs)
+	}
+	if fmt.Sprint(st.Runs) == "0" {
+		t.Fatal("no PIR executions ran")
+	}
+}
