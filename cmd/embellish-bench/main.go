@@ -3,9 +3,11 @@
 // builds a synthetic world, measures private query latency on the
 // static engine, times an online add of a fraction of new documents
 // against a from-scratch rebuild, measures query latency on the
-// updated engine, then measures per-document PIR fetch latency against
+// updated engine, then measures per-document PIR fetch latency —
+// sequential reference scan vs. the windowed/parallel serving plan
+// vs. the pipelined remote protocol over a real TCP loopback — against
 // plaintext fetch at two corpus sizes, and writes the figures as
-// machine-readable JSON (BENCH_PR3.json by default) so successive PRs
+// machine-readable JSON (BENCH_PR4.json by default) so successive PRs
 // can be compared.
 //
 // Usage:
@@ -14,20 +16,26 @@
 //	                [-queries 12] [-bktsz 8] [-keybits 256] [-seed 1]
 //	                [-fetch-sizes "1200,12000"] [-fetch-count 2]
 //	                [-fetch-block 1024] [-fetch-keybits 64]
-//	                [-quick] [-out BENCH_PR3.json]
+//	                [-fetch-pipeline 16] [-pir-workers -1]
+//	                [-quick] [-out BENCH_PR4.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
 // |n|-bit modular multiplication per stored corpus BIT per block
 // fetched (the Kushilevitz-Ostrovsky server scan), so the fetch legs
 // deliberately run small moduli; the latency gap to plaintext fetch is
-// the point of the experiment, mirroring the Figure 7/8 story.
+// the point of the experiment, mirroring the Figure 7/8 story, and the
+// sequential-vs-parallel gap is the constant factor the serving plan
+// claws back from it.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -68,20 +76,42 @@ type Report struct {
 }
 
 // FetchLeg is the PIR-vs-plaintext document fetch comparison at one
-// corpus size.
+// corpus size, measured on three serving plans: the sequential
+// reference scan (PIRWorkers=0, pipeline depth 1 — the paper's cost
+// model), the windowed/parallel plan (PIRWorkers=-1), and the
+// pipelined remote protocol (batch frames over a TCP loopback against
+// a parallel-serving NetServer).
 type FetchLeg struct {
-	Docs         int     `json:"docs"`
-	StoredBytes  int     `json:"stored_bytes"`
-	Blocks       int     `json:"blocks"`
-	BlockSize    int     `json:"block_size"`
-	FetchKeyBits int     `json:"fetch_keybits"`
-	Fetches      int     `json:"fetches"`
-	PIRRuns      int     `json:"pir_runs"`
-	PIRMsPerDoc  float64 `json:"pir_ms_per_doc"`
-	PIRDocsSec   float64 `json:"pir_docs_per_sec"`
-	PlainUsDoc   float64 `json:"plain_us_per_doc"`
-	// Slowdown is PIR latency over plaintext latency — the privacy
-	// price of hiding WHICH document was fetched.
+	Docs         int `json:"docs"`
+	StoredBytes  int `json:"stored_bytes"`
+	Blocks       int `json:"blocks"`
+	BlockSize    int `json:"block_size"`
+	FetchKeyBits int `json:"fetch_keybits"`
+	Fetches      int `json:"fetches"`
+	PIRRuns      int `json:"pir_runs"`
+
+	// Sequential reference plan.
+	SeqMsPerDoc float64 `json:"seq_ms_per_doc"`
+	SeqDocsSec  float64 `json:"seq_docs_per_sec"`
+
+	// Windowed/parallel serving plan (local fetch, PIRWorkers=-1).
+	ParWorkers  int     `json:"par_workers"`
+	ParMsPerDoc float64 `json:"par_ms_per_doc"`
+	// ParSpeedup is sequential/parallel latency — the acceptance
+	// criterion bounds it at >= 2x at the large corpus size.
+	ParSpeedup float64 `json:"par_speedup_vs_seq"`
+
+	// Pipelined remote protocol (batched PIR over TCP loopback,
+	// parallel serving).
+	PipeDepth    int     `json:"pipe_depth"`
+	PipeMsPerDoc float64 `json:"pipe_ms_per_doc"`
+	PipeSpeedup  float64 `json:"pipe_speedup_vs_seq"`
+
+	PlainUsDoc float64 `json:"plain_us_per_doc"`
+	// Slowdown is sequential-PIR latency over plaintext latency — the
+	// privacy price of hiding WHICH document was fetched, under the
+	// paper's cost model; the parallel/pipelined plans divide it by
+	// their speedups.
 	Slowdown    float64 `json:"pir_slowdown_vs_plain"`
 	QueryBytes  int     `json:"query_bytes"`
 	AnswerBytes int     `json:"answer_bytes"`
@@ -97,12 +127,14 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR3.json", "output JSON path")
+		out     = flag.String("out", "BENCH_PR4.json", "output JSON path")
 
 		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
 		fetchCount = flag.Int("fetch-count", 2, "documents fetched per leg")
 		fetchBlock = flag.Int("fetch-block", 1024, "PIR block size in bytes for the fetch legs")
 		fetchBits  = flag.Int("fetch-keybits", 64, "PIR modulus size for the fetch legs")
+		fetchPipe  = flag.Int("fetch-pipeline", 16, "fetch-pipeline depth for the pipelined leg")
+		pirWorkers = flag.Int("pir-workers", -1, "PIR serving workers for the parallel/pipelined legs (-1 GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *quick {
@@ -177,13 +209,18 @@ func main() {
 			if err != nil {
 				fatal(fmt.Errorf("bad -fetch-sizes entry %q: %w", field, err))
 			}
-			leg, err := fetchLeg(db, *synsets, size, *bktSz, *keyBits, *fetchBits, *fetchBlock, *fetchCount, *seed)
+			leg, err := fetchLeg(db, legConfig{
+				synsets: *synsets, size: size, bktSz: *bktSz, keyBits: *keyBits,
+				fetchBits: *fetchBits, blockSize: *fetchBlock, fetches: *fetchCount,
+				pipeline: *fetchPipe, workers: *pirWorkers, seed: *seed,
+			})
 			if err != nil {
 				fatal(err)
 			}
 			rep.Fetch = append(rep.Fetch, leg)
-			fmt.Printf("fetch leg %d docs: PIR %.1f ms/doc (%.2f docs/s, %d runs), plain %.1f us/doc, slowdown %.0fx\n",
-				leg.Docs, leg.PIRMsPerDoc, leg.PIRDocsSec, leg.PIRRuns, leg.PlainUsDoc, leg.Slowdown)
+			fmt.Printf("fetch leg %d docs: seq %.1f ms/doc, parallel %.1f ms/doc (%.1fx), pipelined %.1f ms/doc (%.1fx), plain %.1f us/doc, seq slowdown %.0fx\n",
+				leg.Docs, leg.SeqMsPerDoc, leg.ParMsPerDoc, leg.ParSpeedup,
+				leg.PipeMsPerDoc, leg.PipeSpeedup, leg.PlainUsDoc, leg.Slowdown)
 		}
 	}
 
@@ -200,14 +237,24 @@ func main() {
 		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
 }
 
+// legConfig parameterizes one fetch leg.
+type legConfig struct {
+	synsets, size, bktSz, keyBits int
+	fetchBits, blockSize, fetches int
+	pipeline, workers             int
+	seed                          int64
+}
+
 // fetchLeg builds a retrieval-enabled engine over a size-doc corpus
-// and measures per-document fetch latency: the real PIR protocol via
-// Client.FetchDocuments against a direct Engine.Document read.
-func fetchLeg(db *wordnet.Database, synsets, size, bktSz, keyBits, fetchBits, blockSize, fetches int, seed int64) (FetchLeg, error) {
+// and measures per-document fetch latency on three serving plans —
+// sequential reference, windowed/parallel, and the pipelined remote
+// protocol over a TCP loopback — all against a direct Engine.Document
+// read. Every plan's bytes are verified identical to the direct read.
+func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 	var leg FetchLeg
 	ccfg := corpus.DefaultConfig()
-	ccfg.NumDocs = size
-	ccfg.Seed = seed + 3
+	ccfg.NumDocs = cfg.size
+	ccfg.Seed = cfg.seed + 3
 	corp := corpus.Generate(db, ccfg)
 	world := make([]embellish.Document, len(corp.Docs))
 	stored := 0
@@ -216,53 +263,141 @@ func fetchLeg(db *wordnet.Database, synsets, size, bktSz, keyBits, fetchBits, bl
 		stored += len(world[i].Text)
 	}
 	opts := embellish.DefaultOptions()
-	opts.BucketSize = bktSz
-	opts.KeyBits = keyBits
+	opts.BucketSize = cfg.bktSz
+	opts.KeyBits = cfg.keyBits
 	opts.StoreDocuments = true
-	opts.BlockSize = blockSize
-	opts.RetrievalKeyBits = fetchBits
-	e, err := embellish.NewEngine(embellish.SyntheticLexicon(synsets, seed), world, opts)
+	opts.BlockSize = cfg.blockSize
+	opts.RetrievalKeyBits = cfg.fetchBits
+	e, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), world, opts)
 	if err != nil {
-		return leg, fmt.Errorf("fetch leg %d docs: %w", size, err)
+		return leg, fmt.Errorf("fetch leg %d docs: %w", cfg.size, err)
 	}
-	c, err := e.NewClient(nil)
+	leg.Docs = cfg.size
+	leg.StoredBytes = stored
+	leg.BlockSize = cfg.blockSize
+	leg.Blocks = (stored + cfg.blockSize - 1) / cfg.blockSize // lower bound; per-doc padding adds a few
+	leg.FetchKeyBits = cfg.fetchBits
+	leg.Fetches = cfg.fetches
+	leg.ParWorkers = cfg.workers
+	if cfg.workers < 0 {
+		leg.ParWorkers = runtime.GOMAXPROCS(0)
+	}
+	leg.PipeDepth = cfg.pipeline
+
+	// Deterministic spread of fetched ids across the corpus.
+	ids := make([]int, cfg.fetches)
+	for i := range ids {
+		ids[i] = (i*cfg.size)/cfg.fetches + cfg.size/(2*cfg.fetches)
+	}
+
+	// timePlan fetches every id one document per call (per-document
+	// latency, like a real top-k fetch loop) and verifies the bytes.
+	timePlan := func(fetch func(id int) ([][]byte, embellish.FetchStats, error), account bool) (float64, error) {
+		t0 := time.Now()
+		for _, id := range ids {
+			docs, st, err := fetch(id)
+			if err != nil {
+				return 0, fmt.Errorf("PIR fetch %d: %w", id, err)
+			}
+			direct, err := e.Document(id)
+			if err != nil || string(docs[0]) != string(direct) {
+				return 0, fmt.Errorf("fetch %d: PIR bytes disagree with direct read (%v)", id, err)
+			}
+			if account {
+				leg.PIRRuns += st.Runs
+				leg.QueryBytes += st.QueryBytes
+				leg.AnswerBytes += st.AnswerBytes
+			}
+		}
+		return time.Since(t0).Seconds() * 1000 / float64(len(ids)), nil
+	}
+
+	// Sequential reference: the paper's cost model — single-threaded
+	// scan, one synchronous execution per block.
+	if err := e.ConfigurePIRWorkers(0); err != nil {
+		return leg, err
+	}
+	seqClient, err := e.NewClient(nil)
 	if err != nil {
 		return leg, err
 	}
-	leg.Docs = size
-	leg.StoredBytes = stored
-	leg.BlockSize = blockSize
-	leg.Blocks = (stored + blockSize - 1) / blockSize // lower bound; per-doc padding adds a few
-	leg.FetchKeyBits = fetchBits
-	leg.Fetches = fetches
+	if err := seqClient.SetFetchPipeline(1); err != nil {
+		return leg, err
+	}
+	if leg.SeqMsPerDoc, err = timePlan(func(id int) ([][]byte, embellish.FetchStats, error) {
+		return seqClient.FetchDocuments([]int{id})
+	}, true); err != nil {
+		return leg, err
+	}
+	leg.SeqDocsSec = 1000 / leg.SeqMsPerDoc
 
-	// Deterministic spread of fetched ids across the corpus.
-	ids := make([]int, fetches)
-	for i := range ids {
-		ids[i] = (i*size)/fetches + size/(2*fetches)
+	// Windowed/parallel plan. A fresh client (fresh modulus of the same
+	// size) keeps the measurement honest: answers are recomputed, not
+	// replayed.
+	if err := e.ConfigurePIRWorkers(cfg.workers); err != nil {
+		return leg, err
 	}
-	t0 := time.Now()
-	for _, id := range ids {
-		docs, st, err := c.FetchDocuments([]int{id})
-		if err != nil {
-			return leg, fmt.Errorf("PIR fetch %d: %w", id, err)
-		}
-		direct, err := e.Document(id)
-		if err != nil || string(docs[0]) != string(direct) {
-			return leg, fmt.Errorf("fetch %d: PIR bytes disagree with direct read (%v)", id, err)
-		}
-		leg.PIRRuns += st.Runs
-		leg.QueryBytes += st.QueryBytes
-		leg.AnswerBytes += st.AnswerBytes
+	parClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
 	}
-	pir := time.Since(t0)
-	leg.PIRMsPerDoc = pir.Seconds() * 1000 / float64(fetches)
-	leg.PIRDocsSec = float64(fetches) / pir.Seconds()
+	if leg.ParMsPerDoc, err = timePlan(func(id int) ([][]byte, embellish.FetchStats, error) {
+		return parClient.FetchDocuments([]int{id})
+	}, false); err != nil {
+		return leg, err
+	}
+	if leg.ParMsPerDoc > 0 {
+		leg.ParSpeedup = leg.SeqMsPerDoc / leg.ParMsPerDoc
+	}
+
+	// Pipelined remote protocol: batch frames over TCP loopback against
+	// a NetServer running the parallel plan.
+	srv := e.NewNetServer(embellish.ServeConfig{AllowRetrieval: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return leg, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return leg, err
+	}
+	pipeClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	// 0 means "library default", matching embellish-search's contract.
+	if cfg.pipeline > 0 {
+		if err := pipeClient.SetFetchPipeline(cfg.pipeline); err != nil {
+			return leg, err
+		}
+	} else {
+		leg.PipeDepth = embellish.DefaultFetchPipeline
+	}
+	if leg.PipeMsPerDoc, err = timePlan(func(id int) ([][]byte, embellish.FetchStats, error) {
+		return pipeClient.FetchDocumentsRemote(conn, []int{id})
+	}, false); err != nil {
+		return leg, err
+	}
+	if leg.PipeMsPerDoc > 0 {
+		leg.PipeSpeedup = leg.SeqMsPerDoc / leg.PipeMsPerDoc
+	}
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	if err := srv.Shutdown(ctx); err != nil {
+		cancel()
+		return leg, err
+	}
+	cancel()
+	if err := <-done; err != nil {
+		return leg, err
+	}
 
 	// Plaintext leg: the same documents, read directly, averaged over
 	// enough repetitions to be measurable.
 	const plainReps = 2000
-	t0 = time.Now()
+	t0 := time.Now()
 	for i := 0; i < plainReps; i++ {
 		if _, err := e.Document(ids[i%len(ids)]); err != nil {
 			return leg, err
@@ -270,7 +405,7 @@ func fetchLeg(db *wordnet.Database, synsets, size, bktSz, keyBits, fetchBits, bl
 	}
 	leg.PlainUsDoc = time.Since(t0).Seconds() * 1e6 / plainReps
 	if leg.PlainUsDoc > 0 {
-		leg.Slowdown = leg.PIRMsPerDoc * 1000 / leg.PlainUsDoc
+		leg.Slowdown = leg.SeqMsPerDoc * 1000 / leg.PlainUsDoc
 	}
 	return leg, nil
 }

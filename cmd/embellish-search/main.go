@@ -31,10 +31,12 @@
 //	                 [-bktsz B] [-keybits K] [-query "terms..."] [-topk K]
 //	                 [-add docs.txt] [-delete "3,17"]
 //	                 [-store] [-block-size B] [-fetch N] [-fetch-mode private|plain]
+//	                 [-fetch-keybits K] [-fetch-pipeline D] [-pir-workers N]
 //	embellish-search -connect HOST:PORT -load engine.bin
 //	                 [-keybits K] [-query "terms..."] [-topk K]
 //	                 [-add docs.txt] [-delete "3,17"]
 //	                 [-fetch N] [-fetch-mode private|plain]
+//	                 [-fetch-keybits K] [-fetch-pipeline D]
 //
 // With no -query, a random searchable term pair is used.
 package main
@@ -70,11 +72,13 @@ func main() {
 		addFile = flag.String("add", "", "add documents live before querying: file with one document per line")
 		delIDs  = flag.String("delete", "", "delete documents live before querying: comma-separated ids")
 
-		store     = flag.Bool("store", false, "store document bytes so results can be fetched (build path only)")
-		blockSize = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
-		fetchN    = flag.Int("fetch", 0, "retrieve the top N result documents after ranking (0 off)")
-		fetchMode = flag.String("fetch-mode", "private", "document retrieval mode: private (PIR) or plain")
-		fetchBits = flag.Int("fetch-keybits", 0, "PIR modulus size for -fetch (0 inherits the engine's key size)")
+		store      = flag.Bool("store", false, "store document bytes so results can be fetched (build path only)")
+		blockSize  = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
+		fetchN     = flag.Int("fetch", 0, "retrieve the top N result documents after ranking (0 off)")
+		fetchMode  = flag.String("fetch-mode", "private", "document retrieval mode: private (PIR) or plain")
+		fetchBits  = flag.Int("fetch-keybits", 0, "PIR modulus size for -fetch (0 inherits the engine's key size)")
+		fetchPipe  = flag.Int("fetch-pipeline", 0, "block queries kept in flight during -fetch (0 default, 1 sequential round-trips)")
+		pirWorkers = flag.Int("pir-workers", 0, "PIR fetch-serving workers for the local engine (0 sequential reference, -1 GOMAXPROCS, N pinned)")
 	)
 	flag.Parse()
 
@@ -161,6 +165,23 @@ func main() {
 		if err := client.SetRetrievalKeyBits(*fetchBits); err != nil {
 			fmt.Fprintln(os.Stderr, "fetch-keybits:", err)
 			os.Exit(1)
+		}
+	}
+	if *fetchPipe > 0 {
+		if err := client.SetFetchPipeline(*fetchPipe); err != nil {
+			fmt.Fprintln(os.Stderr, "fetch-pipeline:", err)
+			os.Exit(1)
+		}
+	}
+	if *pirWorkers != 0 {
+		// Runtime-only, like the execution knobs: applies to locally
+		// served fetches (a remote server picks its own plan).
+		if err := engine.ConfigurePIRWorkers(*pirWorkers); err != nil {
+			fmt.Fprintln(os.Stderr, "pir-workers:", err)
+			os.Exit(1)
+		}
+		if *connect != "" {
+			fmt.Fprintln(os.Stderr, "note: -pir-workers tunes only locally served fetches; the remote server picks its own plan (embellish-server -pir-workers)")
 		}
 	}
 

@@ -16,6 +16,7 @@
 //	                 [-max-conns N] [-idle-timeout D] [-stats-every D]
 //	                 [-allow-updates] [-max-segments N]
 //	                 [-store] [-block-size B] [-allow-retrieval]
+//	                 [-pir-workers N]
 //
 // With -allow-updates the server accepts online corpus updates
 // (AddDocuments / DeleteDocuments over the wire, e.g. from
@@ -64,6 +65,7 @@ func main() {
 		store          = flag.Bool("store", false, "store document bytes for private retrieval (build path only)")
 		blockSize      = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
 		allowRetrieval = flag.Bool("allow-retrieval", false, "answer private document fetches (requires a stored corpus)")
+		pirWorkers     = flag.Int("pir-workers", 0, "PIR fetch-serving workers (0 sequential reference, -1 GOMAXPROCS, N pinned)")
 
 		shards       = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
 		window       = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
@@ -125,6 +127,11 @@ func main() {
 	// Merge policy is runtime-only (not persisted), so apply it in the
 	// -load path too.
 	if err := engine.ConfigureMergePolicy(*maxSegments); err != nil {
+		fatal(err)
+	}
+	// PIR serving plan is runtime-only as well; the NetServer inherits
+	// it (ServeConfig.PIRWorkers left at 0).
+	if err := engine.ConfigurePIRWorkers(*pirWorkers); err != nil {
 		fatal(err)
 	}
 	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",

@@ -1,0 +1,156 @@
+package embellish
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// TestDocsLinksResolve is the documentation-suite link check: every
+// relative markdown link in README.md and docs/ must point to a file
+// that exists in the repository, and every anchor into a markdown
+// file must match one of its headings. External http(s) links are not
+// fetched (tests run offline) — only their syntax is accepted.
+func TestDocsLinksResolve(t *testing.T) {
+	files := []string{"README.md", "ROADMAP.md", "CHANGES.md"}
+	entries, err := os.ReadDir("docs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".md") {
+			files = append(files, filepath.Join("docs", e.Name()))
+		}
+	}
+	if len(files) < 7 { // README, ROADMAP, CHANGES + the 4 docs/ pages
+		t.Fatalf("only %d markdown files found; docs suite incomplete: %v", len(files), files)
+	}
+
+	// [text](target) — good enough for the plain links these docs use;
+	// images and reference-style links would need more.
+	linkRe := regexp.MustCompile(`\]\(([^)\s]+)\)`)
+	for _, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			if strings.HasPrefix(target, "http://") || strings.HasPrefix(target, "https://") ||
+				strings.HasPrefix(target, "mailto:") {
+				continue
+			}
+			path, anchor, _ := strings.Cut(target, "#")
+			resolved := filepath.Join(filepath.Dir(file), path)
+			if path == "" {
+				resolved = file // same-file anchor
+			}
+			info, err := os.Stat(resolved)
+			if err != nil {
+				t.Errorf("%s links to %q: %v", file, target, err)
+				continue
+			}
+			if anchor != "" && !info.IsDir() {
+				if !hasAnchor(t, resolved, anchor) {
+					t.Errorf("%s links to %q: no heading matches #%s", file, target, anchor)
+				}
+			}
+		}
+	}
+}
+
+// hasAnchor reports whether the markdown file has a heading whose
+// GitHub-style slug equals anchor.
+func hasAnchor(t *testing.T, file, anchor string) bool {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "#") {
+			continue
+		}
+		if headingSlug(strings.TrimLeft(line, "# ")) == anchor {
+			return true
+		}
+	}
+	return false
+}
+
+// headingSlug approximates GitHub's anchor slugging: lowercase, drop
+// everything but letters/digits/spaces/hyphens/underscores, spaces to
+// hyphens.
+func headingSlug(h string) string {
+	h = strings.ToLower(strings.TrimSpace(h))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r == ' ':
+			b.WriteByte('-')
+		case r == '-' || r == '_' ||
+			(r >= 'a' && r <= 'z') || (r >= '0' && r <= '9'):
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// TestDocsMentionCurrentSurface guards against the docs drifting
+// behind the code: the flag tables and knob references in the docs
+// must name the knobs the binaries actually expose, and the wire
+// reference must cover every message type constant.
+func TestDocsMentionCurrentSurface(t *testing.T) {
+	perf, err := os.ReadFile("docs/PERFORMANCE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, knob := range []string{
+		"Shards", "PrecomputeWindow", "Parallelism", "PIRWorkers",
+		"BlockSize", "RetrievalKeyBits", "SetFetchPipeline", "MaxSegments",
+		"BENCH_PR4.json",
+	} {
+		if !strings.Contains(string(perf), knob) {
+			t.Errorf("docs/PERFORMANCE.md does not mention %s", knob)
+		}
+	}
+	wire, err := os.ReadFile("docs/WIRE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for typ := 1; typ <= 13; typ++ {
+		if !strings.Contains(string(wire), fmt.Sprintf("| %d |", typ)) {
+			t.Errorf("docs/WIRE.md type table misses message type %d", typ)
+		}
+	}
+	for _, name := range []string{
+		"TypeQuery", "TypeResponse", "TypeError", "TypeBatchQuery",
+		"TypeBatchResponse", "TypeAddDocs", "TypeDeleteDocs", "TypeAdminOK",
+		"TypePIRParams", "TypePIRQuery", "TypePIRResponse",
+		"TypePIRBatchQuery", "TypePIRBatchResponse",
+		"AllowUpdates", "AllowRetrieval",
+	} {
+		if !strings.Contains(string(wire), name) {
+			t.Errorf("docs/WIRE.md does not document %s", name)
+		}
+	}
+	threat, err := os.ReadFile("docs/THREAT_MODEL.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, topic := range []string{"timing", "length", "bucketsize", "honest"} {
+		if !strings.Contains(strings.ToLower(string(threat)), topic) {
+			t.Errorf("docs/THREAT_MODEL.md does not discuss %s", topic)
+		}
+	}
+	readme, err := os.ReadFile("README.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(readme), "THREAT_MODEL.md") {
+		t.Error("README.md does not link the threat model")
+	}
+}

@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
@@ -20,7 +22,12 @@ import (
 
 // Document is one indexable text.
 type Document struct {
-	ID   int
+	// ID is the document's corpus id. NewEngine accepts any ids, but
+	// storing engines (Options.StoreDocuments) and AddDocuments require
+	// the dense sequence 0,1,2,... that NextDocID continues.
+	ID int
+	// Text is the raw document body: what gets analyzed, indexed and —
+	// on storing engines — kept for private retrieval.
 	Text string
 }
 
@@ -48,6 +55,11 @@ type Engine struct {
 	// updateMu serializes the write path (AddDocuments, DeleteDocuments)
 	// so document-id assignment stays dense; readers never take it.
 	updateMu sync.Mutex
+	// pirWorkers is the live PIR fetch-serving plan (the
+	// Options.PIRWorkers encoding), held in an atomic so
+	// ConfigurePIRWorkers can retune a serving engine without racing
+	// the fetch paths that read it per answer.
+	pirWorkers atomic.Int64
 }
 
 // NewEngine indexes the documents and builds the bucket organization
@@ -140,6 +152,7 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	}
 	e.org = org
 	e.server = core.NewLiveServer(e.live, org, lex.db)
+	e.pirWorkers.Store(int64(opts.PIRWorkers))
 	e.applyExecution()
 	return e, nil
 }
@@ -283,6 +296,47 @@ func (e *Engine) ConfigureExecution(shards, precomputeWindow, parallelism int) e
 	e.opts = opts
 	e.applyExecution()
 	return nil
+}
+
+// ConfigurePIRWorkers adjusts the PIR fetch-serving plan — the
+// Options.PIRWorkers knob, with the same encoding (0 the sequential
+// reference path, -1 GOMAXPROCS workers, >= 1 pinned). Answers are
+// byte-identical in every plan. Like the other execution knobs it is
+// not persisted (loaded engines start sequential); unlike them it is
+// safe to call on a LIVE engine — the plan lives in its own atomic
+// (e.opts is deliberately NOT touched, so this never races readers of
+// the options struct), in-flight fetches finish on the old plan and
+// later ones pick up the new one.
+func (e *Engine) ConfigurePIRWorkers(n int) error {
+	if err := validatePIRWorkers(n); err != nil {
+		return err
+	}
+	e.pirWorkers.Store(int64(n))
+	return nil
+}
+
+// livePIRWorkers reads the current fetch-serving plan; safe from any
+// goroutine.
+func (e *Engine) livePIRWorkers() int { return int(e.pirWorkers.Load()) }
+
+// answerPIR serves one PIR block query from a pinned store snapshot
+// through the plan the workers knob selects: the sequential reference
+// scan at 0, the windowed/parallel pir.ProcessColumnsExec otherwise
+// (-1 = GOMAXPROCS). Every plan returns byte-identical gammas.
+func answerPIR(snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, error) {
+	var (
+		ans *pir.Answer
+		err error
+	)
+	switch {
+	case workers == 0:
+		ans, _, err = snap.Answer(q)
+	case workers < 0:
+		ans, _, err = snap.AnswerExec(q, pir.Exec{Workers: runtime.GOMAXPROCS(0)})
+	default:
+		ans, _, err = snap.AnswerExec(q, pir.Exec{Workers: workers})
+	}
+	return ans, err
 }
 
 // ConfigureMergePolicy adjusts the live-index segment bound — the
@@ -460,9 +514,12 @@ type Client struct {
 	inner  *core.Client
 	// fetchKey is the PIR key for private document fetches, generated
 	// lazily on the first FetchDocuments/FetchDocumentsRemote call;
-	// fetchBits overrides its size (SetRetrievalKeyBits).
-	fetchKey  *pir.ClientKey
-	fetchBits int
+	// fetchBits overrides its size (SetRetrievalKeyBits); fetchDepth is
+	// the fetch-pipeline window (SetFetchPipeline; 0 selects
+	// DefaultFetchPipeline).
+	fetchKey   *pir.ClientKey
+	fetchBits  int
+	fetchDepth int
 }
 
 // NewClient generates a fresh key pair and returns a client bound to the
@@ -518,6 +575,8 @@ func (c *Client) Embellish(query string) (*Query, error) {
 
 // Result is one decrypted, ranked result document.
 type Result struct {
+	// DocID identifies the ranked document; on storing engines it can
+	// be fetched privately with Client.FetchDocuments.
 	DocID int
 	// Score is the quantized relevance score accumulated from the
 	// genuine terms only.

@@ -140,16 +140,40 @@ func (sn *Snapshot) Params() Params {
 // len(q.Values) blocks. Accepting any width up to the current block
 // count keeps fetches valid across concurrent appends: a client
 // querying against an older Params simply addresses the prefix that
-// existed when it fetched the mapping.
+// existed when it fetched the mapping. Answer is the sequential
+// reference path — one modular multiplication per addressed corpus
+// bit, the paper's Section 5.2 cost model; AnswerExec computes the
+// identical answer faster.
 func (sn *Snapshot) Answer(q *pir.Query) (*pir.Answer, pir.Stats, error) {
-	w := len(q.Values)
-	if w < 1 {
-		return nil, pir.Stats{}, errors.New("docstore: empty PIR query")
-	}
-	if w > len(sn.blocks) {
-		return nil, pir.Stats{}, fmt.Errorf("docstore: query addresses %d blocks, store holds %d", w, len(sn.blocks))
+	w, err := sn.queryWidth(q)
+	if err != nil {
+		return nil, pir.Stats{}, err
 	}
 	return pir.ProcessColumns(sn.blocks[:w], sn.blockSize, q)
+}
+
+// AnswerExec answers the same PIR execution as Answer — byte-identical
+// gammas, property-tested — through pir.ProcessColumnsExec's windowed
+// tables and worker pool. The prefix-addressing semantics are
+// identical.
+func (sn *Snapshot) AnswerExec(q *pir.Query, ex pir.Exec) (*pir.Answer, pir.Stats, error) {
+	w, err := sn.queryWidth(q)
+	if err != nil {
+		return nil, pir.Stats{}, err
+	}
+	return pir.ProcessColumnsExec(sn.blocks[:w], sn.blockSize, q, ex)
+}
+
+// queryWidth validates a PIR query's width against the block array.
+func (sn *Snapshot) queryWidth(q *pir.Query) (int, error) {
+	w := len(q.Values)
+	if w < 1 {
+		return 0, errors.New("docstore: empty PIR query")
+	}
+	if w > len(sn.blocks) {
+		return 0, fmt.Errorf("docstore: query addresses %d blocks, store holds %d", w, len(sn.blocks))
+	}
+	return w, nil
 }
 
 // Store is the mutable, concurrency-safe document store. Readers pin

@@ -1,0 +1,291 @@
+package pir
+
+import (
+	"math/big"
+	"sync"
+)
+
+// This file is the tuned serving path for Kushilevitz-Ostrovsky
+// answers. Matrix.Process and ProcessColumns remain the sequential
+// reference — one modular multiplication per database bit, the paper's
+// Section 5.2 cost model. ProcessColumnsExec computes the exact same
+// answer (property-tested byte-identical) with two constant-factor
+// reductions that exploit the algebra, not the security assumptions:
+//
+//   - windowed subset products: columns are grouped w at a time and the
+//     2^w possible products of each group (query value at 1-bits,
+//     squared value at 0-bits) are precomputed ONCE. Every row then
+//     multiplies one table entry per group — ~cols/w multiplications
+//     per row instead of cols. The tables cost ~2^(w+1) multiplications
+//     per group, amortized over all 8·colBytes rows;
+//   - column partitioning: groups are split across a worker pool, each
+//     worker computing per-row partial products over its own column
+//     range, and the partials are recombined with workers-1
+//     multiplications per row.
+//
+// Both transformations only reassociate the per-row product
+// Π_j v_ij mod n; multiplication modulo n is commutative and
+// associative and every operand is a canonical residue, so the gammas
+// are bit-for-bit the sequential ones. The privacy argument is
+// untouched: the server still evaluates the same function of the same
+// uninterpretable query values.
+
+// MaxWindow caps the window width: tables hold 2^w entries per group,
+// so width 8 already amortizes the per-row work 8x while keeping table
+// memory at 32 big.Ints per column.
+const MaxWindow = 8
+
+// Exec tunes ProcessColumnsExec. The zero value selects a single
+// worker and an automatic window — already several times faster than
+// the sequential reference on block-sized matrices, with identical
+// answers.
+type Exec struct {
+	// Workers is the column-partition worker count; values below 2
+	// compute on a single goroutine. Workers beyond the number of
+	// column groups are not spawned.
+	Workers int
+	// Window is the column-group width for the precomputed
+	// subset-product tables: 0 picks a width from the matrix shape,
+	// 1 disables grouping (the per-column multiplication pattern of the
+	// sequential path), 2..MaxWindow pin the width.
+	Window int
+}
+
+// autoWindow picks the window width minimizing the per-column cost
+// model (rows/w row multiplications + 2^(w+1)/w table build), bounded
+// by MaxWindow and by a table-memory ceiling.
+func autoWindow(rows, cols, modBytes int) int {
+	best, bestCost := 1, rows+4
+	for w := 1; w <= MaxWindow; w++ {
+		cost := (rows + 2<<w) / w
+		if cost < bestCost {
+			best, bestCost = w, cost
+		}
+	}
+	// Keep the tables under ~256 MiB of big.Int payload even for wide
+	// moduli over huge stores.
+	for best > 1 {
+		groups := int64((cols + best - 1) / best)
+		if groups<<best*int64(modBytes+32) <= 256<<20 {
+			break
+		}
+		best--
+	}
+	return best
+}
+
+// validateColumns is the shared precondition check of the column
+// serving paths.
+func validateColumns(cols [][]byte, colBytes int, q *Query) error {
+	if len(q.Values) != len(cols) {
+		return errQueryWidth
+	}
+	if colBytes <= 0 {
+		return errColumnSize
+	}
+	for j, col := range cols {
+		if len(col) < colBytes {
+			return shortColumnError(j, len(col), colBytes)
+		}
+	}
+	return nil
+}
+
+// ProcessColumnsExec computes the same server response as
+// ProcessColumns — byte-identical gammas for identical data and query
+// — through the windowed subset-product tables and, when ex.Workers
+// exceeds 1, a column-partitioned worker pool. Stats.ModMuls counts
+// the multiplications actually performed, so it reflects the fast
+// path's reduced cost rather than the sequential cost model.
+func ProcessColumnsExec(cols [][]byte, colBytes int, q *Query, ex Exec) (*Answer, Stats, error) {
+	if err := validateColumns(cols, colBytes, q); err != nil {
+		return nil, Stats{}, err
+	}
+	if len(cols) == 0 {
+		return ProcessColumns(cols, colBytes, q)
+	}
+	rows := colBytes * 8
+	window := ex.Window
+	if window <= 0 {
+		window = autoWindow(rows, len(cols), (q.N.BitLen()+7)/8)
+	}
+	if window > MaxWindow {
+		window = MaxWindow
+	}
+	if window > len(cols) {
+		window = len(cols)
+	}
+	groups := (len(cols) + window - 1) / window
+	workers := ex.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+
+	// Partition GROUPS (not raw columns) across workers so every
+	// worker's column range is a whole number of windows.
+	parts := make([]colPartial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		gLo := w * groups / workers
+		gHi := (w + 1) * groups / workers
+		lo := gLo * window
+		hi := gHi * window
+		if hi > len(cols) {
+			hi = len(cols)
+		}
+		wg.Add(1)
+		go func(part *colPartial, lo, hi int) {
+			defer wg.Done()
+			*part = processPartial(cols, q, rows, window, lo, hi)
+		}(&parts[w], lo, hi)
+	}
+	wg.Wait()
+
+	// Recombine: the per-row product over all columns is the product of
+	// the per-partition partial products, in partition order.
+	ans := &Answer{Gammas: parts[0].gammas}
+	st := Stats{ModMuls: parts[0].muls}
+	for w := 1; w < workers; w++ {
+		for r := 0; r < rows; r++ {
+			g := ans.Gammas[r]
+			g.Mul(g, parts[w].gammas[r])
+			g.Mod(g, q.N)
+			st.ModMuls++
+		}
+		st.ModMuls += parts[w].muls
+	}
+	return ans, st, nil
+}
+
+// colPartial is one worker's per-row partial products over its column
+// range, plus the multiplications it performed.
+type colPartial struct {
+	gammas []*big.Int
+	muls   int
+}
+
+// processPartial serves columns [lo, hi) of the database: it squares
+// the query values, builds one subset-product table per window-sized
+// column group, and folds each row's group patterns through the
+// tables group-major. The inner loops are deliberately allocation-
+// free — a reused QuoRem scratch replaces Mod (which allocates a
+// quotient per call) and row accumulators live in one backing array —
+// because at demo-sized moduli the allocator, not the multiplier,
+// otherwise dominates the scan.
+func processPartial(cols [][]byte, q *Query, rows, window, lo, hi int) colPartial {
+	var p colPartial
+	colBytes := (rows + 7) / 8
+	// Reused scratch: dst = a*b mod N without allocating per call. dst
+	// may alias a or b (the product lands in prod first).
+	var prod, quo big.Int
+	mulMod := func(dst, a, b *big.Int) {
+		prod.Mul(a, b)
+		quo.QuoRem(&prod, q.N, dst)
+		p.muls++
+	}
+	// Squares once per column, exactly as the sequential path.
+	sq := make([]*big.Int, hi-lo)
+	for j := range sq {
+		v := q.Values[lo+j]
+		sq[j] = new(big.Int)
+		mulMod(sq[j], v, v)
+	}
+	// Group-major accumulation: for each window-sized column group,
+	// build the subset-product table (entry pat = product over the
+	// group's columns of q_j at 1-bits, q_j^2 at 0-bits), transpose the
+	// group's bits into one pattern byte per row with sequential
+	// column scans, and fold table[pat] into every row's accumulator.
+	// The multiplication order per row is identical to the sequential
+	// column order, and every operand is a canonical residue.
+	acc := make([]big.Int, rows)
+	pats := make([]byte, rows)
+	groups := (hi - lo + window - 1) / window
+	for gi := 0; gi < groups; gi++ {
+		start := lo + gi*window
+		end := start + window
+		if end > hi {
+			end = hi
+		}
+		table := []*big.Int{sq[start-lo], q.Values[start]}
+		for j := start + 1; j < end; j++ {
+			next := make([]*big.Int, len(table)*2)
+			bit := len(table)
+			for pat, v := range table {
+				t0, t1 := new(big.Int), new(big.Int)
+				mulMod(t0, v, sq[j-lo])
+				mulMod(t1, v, q.Values[j])
+				next[pat] = t0
+				next[pat|bit] = t1
+			}
+			table = next
+		}
+		groupPatterns(cols, start, end, colBytes, pats)
+		if gi == 0 {
+			// First group: the accumulator IS the table entry (the
+			// sequential path's 1·v first step), no multiplication.
+			for r := range acc {
+				acc[r].Set(table[pats[r]])
+			}
+			continue
+		}
+		for r := range acc {
+			mulMod(&acc[r], &acc[r], table[pats[r]])
+		}
+	}
+	p.gammas = make([]*big.Int, rows)
+	for r := range p.gammas {
+		p.gammas[r] = &acc[r]
+	}
+	return p
+}
+
+// groupPatterns transposes columns [start, end) into one pattern byte
+// per row: bit k of pats[r] is column start+k's bit at row r. Each
+// column's bytes are scanned once, sequentially — the cache-friendly
+// orientation of the bit matrix walk.
+func groupPatterns(cols [][]byte, start, end, colBytes int, pats []byte) {
+	for i := range pats {
+		pats[i] = 0
+	}
+	for k := 0; start+k < end; k++ {
+		col := cols[start+k]
+		kbit := byte(1) << k
+		for byteIdx := 0; byteIdx < colBytes; byteIdx++ {
+			b := col[byteIdx]
+			if b == 0 {
+				// Zero bytes are the common case in padded and
+				// tombstoned blocks; skip the bit spread.
+				continue
+			}
+			base := byteIdx * 8
+			// MSB-first, matching Matrix.SetColumn's layout.
+			if b&0x80 != 0 {
+				pats[base] |= kbit
+			}
+			if b&0x40 != 0 {
+				pats[base+1] |= kbit
+			}
+			if b&0x20 != 0 {
+				pats[base+2] |= kbit
+			}
+			if b&0x10 != 0 {
+				pats[base+3] |= kbit
+			}
+			if b&0x08 != 0 {
+				pats[base+4] |= kbit
+			}
+			if b&0x04 != 0 {
+				pats[base+5] |= kbit
+			}
+			if b&0x02 != 0 {
+				pats[base+6] |= kbit
+			}
+			if b&0x01 != 0 {
+				pats[base+7] |= kbit
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package pir
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// randomColumns builds a random column-major database plus the
+// equivalent materialized Matrix.
+func randomColumns(t *testing.T, seed int64, nCols, colBytes int) ([][]byte, *Matrix) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]byte, nCols)
+	m := NewMatrix(colBytes*8, nCols)
+	for j := range cols {
+		cols[j] = make([]byte, colBytes)
+		rng.Read(cols[j])
+		m.SetColumn(j, cols[j])
+	}
+	return cols, m
+}
+
+// TestProcessColumnsExecIdentical is the core identity property of the
+// fast path: for every worker count and window width — including
+// degenerate ones (more workers than groups, window wider than the
+// database) — the gammas are bit-for-bit those of the sequential
+// ProcessColumns AND of the materialized Matrix.Process, and they
+// decode to the target column.
+func TestProcessColumnsExecIdentical(t *testing.T) {
+	k := testKey(t)
+	const nCols, colBytes = 13, 3
+	cols, m := randomColumns(t, 42, nCols, colBytes)
+	execs := []Exec{
+		{},
+		{Workers: 1, Window: 1},
+		{Workers: 2, Window: 2},
+		{Workers: 3, Window: 4},
+		{Workers: 16, Window: 8},
+		{Workers: 5, Window: 0},
+		{Workers: 2, Window: 64}, // clamped to MaxWindow
+	}
+	for target := 0; target < nCols; target++ {
+		q, err := k.NewQuery(newDetRand(fmt.Sprintf("exec-%d", target)), nCols, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantSt, err := ProcessColumns(cols, colBytes, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantM, _, err := m.Process(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want.Gammas {
+			if want.Gammas[i].Cmp(wantM.Gammas[i]) != 0 {
+				t.Fatalf("reference paths disagree at row %d", i)
+			}
+		}
+		for _, ex := range execs {
+			got, st, err := ProcessColumnsExec(cols, colBytes, q, ex)
+			if err != nil {
+				t.Fatalf("exec %+v: %v", ex, err)
+			}
+			if len(got.Gammas) != len(want.Gammas) {
+				t.Fatalf("exec %+v: %d gammas, want %d", ex, len(got.Gammas), len(want.Gammas))
+			}
+			for i := range got.Gammas {
+				if got.Gammas[i].Cmp(want.Gammas[i]) != 0 {
+					t.Fatalf("exec %+v target %d row %d: gamma differs from sequential", ex, target, i)
+				}
+			}
+			// On a matrix this short the tables can cost more muls than
+			// they save (TestExecWindowSavesWork covers the saving on
+			// block-shaped matrices); here only plausibility is checked.
+			if st.ModMuls <= 0 || st.ModMuls > wantSt.ModMuls+(2<<MaxWindow)*nCols {
+				t.Fatalf("exec %+v: implausible mul count %d (sequential %d)", ex, st.ModMuls, wantSt.ModMuls)
+			}
+			if got := ColumnBytes(k.Decode(got)); !bytes.Equal(got, cols[target]) {
+				t.Fatalf("exec %+v target %d: decoded %x, want %x", ex, target, got, cols[target])
+			}
+		}
+	}
+}
+
+// TestExecWindowSavesWork: on a block-shaped matrix (many rows), the
+// windowed path must perform materially fewer multiplications than the
+// sequential cost model — that reduction is the whole point.
+func TestExecWindowSavesWork(t *testing.T) {
+	k := testKey(t)
+	cols, _ := randomColumns(t, 7, 24, 64) // 512 rows
+	q, err := k.NewQuery(newDetRand("exec-work"), len(cols), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, seqSt, err := ProcessColumns(cols, 64, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, winSt, err := ProcessColumnsExec(cols, 64, q, Exec{Window: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winSt.ModMuls*2 >= seqSt.ModMuls {
+		t.Fatalf("window 8 did not halve the work: %d vs sequential %d", winSt.ModMuls, seqSt.ModMuls)
+	}
+}
+
+// TestExecValidation: the fast path enforces the same preconditions as
+// the sequential one.
+func TestExecValidation(t *testing.T) {
+	k := testKey(t)
+	cols := [][]byte{make([]byte, 4), make([]byte, 4)}
+	q, err := k.NewQuery(newDetRand("exec-bad"), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ProcessColumnsExec(cols, 4, q, Exec{}); err == nil {
+		t.Fatal("width mismatch accepted")
+	}
+	q2, err := k.NewQuery(newDetRand("exec-bad2"), 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ProcessColumnsExec(cols, 0, q2, Exec{}); err == nil {
+		t.Fatal("zero column size accepted")
+	}
+	if _, _, err := ProcessColumnsExec([][]byte{make([]byte, 2), make([]byte, 4)}, 4, q2, Exec{}); err == nil {
+		t.Fatal("short column accepted")
+	}
+}
+
+// TestAutoWindowBounds: the heuristic stays within [1, MaxWindow] and
+// widens with the row count (more rows amortize bigger tables).
+func TestAutoWindowBounds(t *testing.T) {
+	for _, rows := range []int{1, 8, 64, 4096, 8192, 1 << 20} {
+		for _, cols := range []int{1, 10, 1000, 1 << 20} {
+			w := autoWindow(rows, cols, 8)
+			if w < 1 || w > MaxWindow {
+				t.Fatalf("autoWindow(%d, %d) = %d out of range", rows, cols, w)
+			}
+		}
+	}
+	if small, big := autoWindow(8, 100, 8), autoWindow(8192, 100, 8); small > big {
+		t.Fatalf("window shrank with more rows: rows=8 -> %d, rows=8192 -> %d", small, big)
+	}
+	if w := autoWindow(8192, 1000, 8); w < 4 {
+		t.Fatalf("block-shaped matrix picked window %d; expected a wide window", w)
+	}
+}
+
+func benchmarkColumns(b *testing.B, ex *Exec) {
+	k, err := GenerateKey(newDetRand("bench"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	const nCols, colBytes = 128, 128 // 1024 rows
+	cols := make([][]byte, nCols)
+	for j := range cols {
+		cols[j] = make([]byte, colBytes)
+		rng.Read(cols[j])
+	}
+	q, err := k.NewQuery(newDetRand("bench-q"), nCols, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ex == nil {
+			_, _, err = ProcessColumns(cols, colBytes, q)
+		} else {
+			_, _, err = ProcessColumnsExec(cols, colBytes, q, *ex)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessColumnsSequential(b *testing.B) { benchmarkColumns(b, nil) }
+func BenchmarkProcessColumnsWindowed(b *testing.B)   { benchmarkColumns(b, &Exec{}) }
+func BenchmarkProcessColumnsParallel(b *testing.B) {
+	benchmarkColumns(b, &Exec{Workers: runtime.GOMAXPROCS(0)})
+}

@@ -22,6 +22,17 @@ import (
 
 var one = big.NewInt(1)
 
+// Validation errors shared by the column serving paths (ProcessColumns
+// and ProcessColumnsExec).
+var (
+	errQueryWidth = errors.New("pir: query width does not match column count")
+	errColumnSize = errors.New("pir: nonpositive column size")
+)
+
+func shortColumnError(j, got, want int) error {
+	return fmt.Errorf("pir: column %d holds %d of %d bytes", j, got, want)
+}
+
 // Matrix is the server-side database: a rows×cols bit matrix stored
 // row-major, one bit per cell.
 type Matrix struct {
@@ -236,16 +247,8 @@ func (m *Matrix) Process(q *Query) (*Answer, Stats, error) {
 // rebuilding a row-major bit matrix on every append would copy the
 // whole database.
 func ProcessColumns(cols [][]byte, colBytes int, q *Query) (*Answer, Stats, error) {
-	if len(q.Values) != len(cols) {
-		return nil, Stats{}, errors.New("pir: query width does not match column count")
-	}
-	if colBytes <= 0 {
-		return nil, Stats{}, errors.New("pir: nonpositive column size")
-	}
-	for j, col := range cols {
-		if len(col) < colBytes {
-			return nil, Stats{}, fmt.Errorf("pir: column %d holds %d of %d bytes", j, len(col), colBytes)
-		}
+	if err := validateColumns(cols, colBytes, q); err != nil {
+		return nil, Stats{}, err
 	}
 	sq := make([]*big.Int, len(cols))
 	var st Stats

@@ -84,6 +84,18 @@ func FuzzDecodeMessage(f *testing.F) {
 			_, _ = DecodePIRQuery(body)
 		case TypePIRResponse:
 			_, _ = DecodePIRAnswer(body)
+		case TypePIRBatchQuery:
+			if qs, err := DecodePIRBatchQuery(body); err == nil {
+				for i, q := range qs {
+					for j, v := range q.Values {
+						if v == nil || v.Sign() <= 0 || v.Cmp(q.N) >= 0 {
+							t.Fatalf("batch query %d value %d escaped validation", i, j)
+						}
+					}
+				}
+			}
+		case TypePIRBatchResponse:
+			_, _, _ = DecodePIRBatchAnswer(body)
 		}
 	})
 }
@@ -111,6 +123,10 @@ func seedFrames(f *testing.F) {
 		f.Fatal(err)
 	}
 	add(func(w *bytes.Buffer) error { return WritePIRQuery(w, q) })
+	add(func(w *bytes.Buffer) error { return WritePIRBatchQuery(w, []*pir.Query{q, q}) })
+	add(func(w *bytes.Buffer) error {
+		return WritePIRBatchAnswer(w, 1, &pir.Answer{Gammas: []*big.Int{big.NewInt(5), big.NewInt(9)}})
+	})
 	add(func(w *bytes.Buffer) error {
 		return WritePIRParams(w, docstore.Params{BlockSize: 8, NumBlocks: 3, Exts: []docstore.Extent{
 			{First: 0, Blocks: 2, Length: 9}, {First: 2, Blocks: 1, Length: 4, Deleted: true}}})

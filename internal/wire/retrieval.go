@@ -190,16 +190,24 @@ func DecodePIRQuery(body []byte) (*pir.Query, error) {
 
 // WritePIRAnswer frames and writes the server's PIR answer.
 func WritePIRAnswer(w io.Writer, a *pir.Answer) error {
-	if a == nil || len(a.Gammas) == 0 {
-		return errors.New("wire: nil PIR answer")
+	body, err := appendAnswer([]byte{TypePIRResponse}, a)
+	if err != nil {
+		return err
 	}
-	var body []byte
-	body = append(body, TypePIRResponse)
+	return writeFrame(w, body)
+}
+
+// appendAnswer encodes one PIR answer (gamma count + gammas) — the
+// shared tail of TypePIRResponse and TypePIRBatchResponse bodies.
+func appendAnswer(body []byte, a *pir.Answer) ([]byte, error) {
+	if a == nil || len(a.Gammas) == 0 {
+		return nil, errors.New("wire: nil PIR answer")
+	}
 	body = vbyte.Append(body, uint64(len(a.Gammas)))
 	for _, g := range a.Gammas {
 		body = appendBig(body, g)
 	}
-	return writeFrame(w, body)
+	return body, nil
 }
 
 // DecodePIRAnswer parses a TypePIRResponse body.

@@ -46,12 +46,23 @@ type ServeConfig struct {
 	// them — typically on a separate, access-controlled listener.
 	AllowUpdates bool
 	// AllowRetrieval opts the server in to the private document-fetch
-	// messages (TypePIRParams / TypePIRQuery). Off by default: each PIR
-	// answer costs ~8·BlockSize·NumBlocks modular multiplications, so a
-	// deployment must deliberately expose that CPU surface. Requires an
-	// engine built with Options.StoreDocuments (or loaded from a
-	// version-3 file carrying a store).
+	// messages (TypePIRParams / TypePIRQuery / TypePIRBatchQuery). Off
+	// by default: each PIR answer costs ~8·BlockSize·NumBlocks modular
+	// multiplications, so a deployment must deliberately expose that
+	// CPU surface. Requires an engine built with
+	// Options.StoreDocuments (or loaded from a version-3 file carrying
+	// a store).
 	AllowRetrieval bool
+	// PIRWorkers caps the per-query parallelism of the PIR answers
+	// this server computes, overriding the engine's Options.PIRWorkers
+	// knob: 0 inherits the engine option (read at answer time, so
+	// Engine.ConfigurePIRWorkers affects live servers exactly like the
+	// other execution knobs), -1 selects GOMAXPROCS workers with the
+	// windowed fast path, and any positive value pins the worker
+	// count. Values outside the Options.PIRWorkers range [-1, 4096]
+	// are clamped to it (the constructor has no error path). Answers
+	// are byte-identical in every plan.
+	PIRWorkers int
 }
 
 // ServeStats is a snapshot of a NetServer's counters.
@@ -85,6 +96,9 @@ type NetServer struct {
 	idle           time.Duration
 	allowUpdates   bool
 	allowRetrieval bool
+	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
+	// engine's Options.PIRWorkers at answer time.
+	pirOverride int
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -112,15 +126,38 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 	if maxConns == 0 {
 		maxConns = DefaultMaxConns
 	}
+	// Clamp the override to the validated Options.PIRWorkers range:
+	// the engine value passed validation, but the ServeConfig override
+	// arrives unchecked and an unbounded count would size a per-query
+	// goroutine pool.
+	pirOverride := cfg.PIRWorkers
+	if pirOverride < -1 {
+		pirOverride = -1
+	}
+	if pirOverride > maxPIRWorkers {
+		pirOverride = maxPIRWorkers
+	}
 	return &NetServer{
 		engine:         e,
 		maxConns:       maxConns,
 		idle:           cfg.IdleTimeout,
 		allowUpdates:   cfg.AllowUpdates,
 		allowRetrieval: cfg.AllowRetrieval,
+		pirOverride:    pirOverride,
 		listeners:      make(map[net.Listener]struct{}),
 		conns:          make(map[net.Conn]struct{}),
 	}
+}
+
+// pirWorkers resolves the serving plan for one PIR answer: the
+// ServeConfig override when set, else the engine's CURRENT plan —
+// read atomically at answer time, so ConfigurePIRWorkers affects
+// live servers.
+func (s *NetServer) pirWorkers() int {
+	if s.pirOverride != 0 {
+		return s.pirOverride
+	}
+	return s.engine.livePIRWorkers()
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -274,13 +311,13 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			s.inflight.Add(1)
 			err = s.answerAdmin(rw, typ, body)
 			s.inflight.Add(-1)
-		case wire.TypePIRParams, wire.TypePIRQuery:
+		case wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery:
 			s.inflight.Add(1)
 			err = s.answerRetrieval(rw, typ, body)
 			s.inflight.Add(-1)
 		default:
 			s.errs.Add(1)
-			err = wire.WriteError(rw, fmt.Sprintf("unexpected message type %d", typ))
+			err = wire.WriteError(rw, fmt.Sprintf("%s %d", wire.UnknownTypeRefusal, typ))
 		}
 		if err != nil {
 			return err
@@ -383,13 +420,36 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 			return wire.WriteError(rw, "params request carries no body")
 		}
 		return wire.WritePIRParams(rw, snap.Params())
+	case wire.TypePIRBatchQuery:
+		// One snapshot answers the whole batch, so a pipelined fetch
+		// reads an internally consistent corpus prefix. Answers stream
+		// back one frame each as they are computed; a failing block is
+		// answered with a wire error that ends the batch (the
+		// connection survives, matching the single-query path).
+		qs, err := wire.DecodePIRBatchQuery(body)
+		if err != nil {
+			s.errs.Add(1)
+			return wire.WriteError(rw, err.Error())
+		}
+		for i, q := range qs {
+			ans, err := answerPIR(snap, q, s.pirWorkers())
+			if err != nil {
+				s.errs.Add(1)
+				return wire.WriteError(rw, fmt.Sprintf("batch block %d: %v", i, err))
+			}
+			s.retrievals.Add(1)
+			if err := wire.WritePIRBatchAnswer(rw, i, ans); err != nil {
+				return err
+			}
+		}
+		return nil
 	default: // wire.TypePIRQuery
 		q, err := wire.DecodePIRQuery(body)
 		if err != nil {
 			s.errs.Add(1)
 			return wire.WriteError(rw, err.Error())
 		}
-		ans, _, err := snap.Answer(q)
+		ans, err := answerPIR(snap, q, s.pirWorkers())
 		if err != nil {
 			s.errs.Add(1)
 			return wire.WriteError(rw, err.Error())

@@ -92,6 +92,20 @@ type Options struct {
 	// client-side security knob: tests and benchmarks use small values
 	// for speed, real deployments want >= 1024.
 	RetrievalKeyBits int
+	// PIRWorkers sets the execution plan for serving PIR document
+	// fetches (the per-block Kushilevitz-Ostrovsky database scans): 0
+	// keeps the sequential reference path — one modular multiplication
+	// per stored corpus bit, the paper's Section 5.2 cost model; -1
+	// selects a GOMAXPROCS-wide column-partitioned worker pool with the
+	// windowed multiply fast path (internal/pir.ProcessColumnsExec);
+	// any positive value pins the worker count (1 enables the windowed
+	// fast path without extra goroutines). Answers are byte-identical
+	// in every plan — the knob tunes only how fast the server
+	// multiplies. Like Parallelism it is runtime-only and not
+	// persisted; Engine.ConfigurePIRWorkers retunes it safely on a
+	// live engine, and NetServers can override it per server with
+	// ServeConfig.PIRWorkers.
+	PIRWorkers int
 	// MaxSegments bounds the live segment set: when AddDocuments leaves
 	// more than MaxSegments segments, a background merge folds the
 	// smallest ones together, rewriting deleted postings away. 0 selects
@@ -104,6 +118,20 @@ type Options struct {
 // DefaultMaxSegments is the live-index segment bound applied when
 // Options.MaxSegments is zero.
 const DefaultMaxSegments = index.DefaultMaxSegments
+
+// maxPIRWorkers bounds the PIR serving worker count — shared by
+// Options validation and the NetServer's ServeConfig clamp so the two
+// can never diverge.
+const maxPIRWorkers = 1 << 12
+
+// validatePIRWorkers is the one range check for the PIRWorkers
+// encoding, shared by Options.validate and Engine.ConfigurePIRWorkers.
+func validatePIRWorkers(n int) error {
+	if n < -1 || n > maxPIRWorkers {
+		return fmt.Errorf("embellish: PIRWorkers %d out of range [-1, %d]; -1 selects GOMAXPROCS, 0 the sequential reference path", n, maxPIRWorkers)
+	}
+	return nil
+}
 
 // Scoring selects the similarity function used to precompute posting
 // impacts.
@@ -166,6 +194,9 @@ func (o Options) validate() error {
 	}
 	if o.RetrievalKeyBits != 0 && o.RetrievalKeyBits < 64 {
 		return fmt.Errorf("embellish: RetrievalKeyBits %d too small for PIR key generation", o.RetrievalKeyBits)
+	}
+	if err := validatePIRWorkers(o.PIRWorkers); err != nil {
+		return err
 	}
 	return nil
 }

