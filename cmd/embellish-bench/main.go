@@ -6,8 +6,11 @@
 // updated engine, then measures per-document PIR fetch latency —
 // sequential reference scan vs. the windowed/parallel serving plan
 // vs. the pipelined remote protocol over a real TCP loopback — against
-// plaintext fetch at two corpus sizes, and writes the figures as
-// machine-readable JSON (BENCH_PR4.json by default) so successive PRs
+// plaintext fetch at two corpus sizes; then measures the durability
+// tax and payoff: write-ahead-logged ingest (fsync=interval) against
+// in-memory ingest, and checkpoint+log recovery against re-ingesting
+// the same operations through the public API. Figures land as
+// machine-readable JSON (BENCH_PR5.json by default) so successive PRs
 // can be compared.
 //
 // Usage:
@@ -17,7 +20,10 @@
 //	                [-fetch-sizes "1200,12000"] [-fetch-count 2]
 //	                [-fetch-block 1024] [-fetch-keybits 64]
 //	                [-fetch-pipeline 16] [-pir-workers -1]
-//	                [-quick] [-out BENCH_PR4.json]
+//	                [-durable-docs 8000] [-durable-synsets 6000]
+//	                [-durable-ops 200] [-durable-batch 3]
+//	                [-durable-every 64]
+//	                [-quick] [-out BENCH_PR5.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
 // |n|-bit modular multiplication per stored corpus BIT per block
@@ -73,6 +79,46 @@ type Report struct {
 	// Private document retrieval: per-fetch PIR latency vs plaintext
 	// fetch, one leg per corpus size.
 	Fetch []FetchLeg `json:"fetch"`
+
+	// Crash-safe durability: journaled-ingest overhead and
+	// checkpoint+replay recovery speed.
+	Durable DurableLeg `json:"durable"`
+}
+
+// DurableLeg measures the write-ahead log on its own world: the
+// ingest overhead of journaling every update batch (fsync=interval —
+// the acceptance criterion bounds it at <= 3x the in-memory rate),
+// and the recovery payoff — OpenDurable (newest checkpoint + log-tail
+// replay) against re-ingesting the same operations through the public
+// API (the criterion bounds the speedup at >= 10x).
+type DurableLeg struct {
+	BaseDocs  int    `json:"base_docs"`
+	Synsets   int    `json:"synsets"`
+	Ops       int    `json:"ops"`
+	DocsPerOp int    `json:"docs_per_op"`
+	Fsync     string `json:"fsync"`
+	// CheckpointEvery is the explicit checkpoint cadence during the
+	// durable ingest; the log tail recovery replays is bounded by it.
+	CheckpointEvery int `json:"checkpoint_every"`
+
+	// Ingest: the same operation stream applied in-memory and journaled.
+	MemAddSeconds   float64 `json:"mem_add_seconds"`
+	MemDocsPerSec   float64 `json:"mem_docs_per_sec"`
+	DurAddSeconds   float64 `json:"durable_add_seconds"`
+	DurDocsPerSec   float64 `json:"durable_docs_per_sec"`
+	DurableOverhead float64 `json:"durable_overhead_vs_mem"`
+
+	// Checkpoint cost model: total time and final snapshot size.
+	Checkpoints       int     `json:"checkpoints"`
+	CheckpointSeconds float64 `json:"checkpoint_seconds"`
+	CheckpointBytes   int64   `json:"checkpoint_bytes"`
+	WALBytes          int64   `json:"wal_bytes"`
+
+	// Recovery: checkpoint load + tail replay vs full recompute.
+	ReplayedOps     int     `json:"replayed_ops"`
+	RecoverSeconds  float64 `json:"recover_seconds"`
+	ReingestSeconds float64 `json:"reingest_seconds"`
+	ReplaySpeedup   float64 `json:"recovery_speedup_vs_reingest"`
 }
 
 // FetchLeg is the PIR-vs-plaintext document fetch comparison at one
@@ -127,7 +173,7 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR4.json", "output JSON path")
+		out     = flag.String("out", "BENCH_PR5.json", "output JSON path")
 
 		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
 		fetchCount = flag.Int("fetch-count", 2, "documents fetched per leg")
@@ -135,6 +181,12 @@ func main() {
 		fetchBits  = flag.Int("fetch-keybits", 64, "PIR modulus size for the fetch legs")
 		fetchPipe  = flag.Int("fetch-pipeline", 16, "fetch-pipeline depth for the pipelined leg")
 		pirWorkers = flag.Int("pir-workers", -1, "PIR serving workers for the parallel/pipelined legs (-1 GOMAXPROCS)")
+
+		durDocs    = flag.Int("durable-docs", 8000, "base corpus size for the durability leg (0 disables)")
+		durSynsets = flag.Int("durable-synsets", 6000, "lexicon size for the durability leg")
+		durOps     = flag.Int("durable-ops", 200, "journaled update batches for the durability leg")
+		durBatch   = flag.Int("durable-batch", 3, "documents per journaled batch")
+		durEvery   = flag.Int("durable-every", 64, "checkpoint every this many batches during the durable ingest")
 	)
 	flag.Parse()
 	if *quick {
@@ -142,6 +194,7 @@ func main() {
 		if *fetchSizes == "1200,12000" {
 			*fetchSizes = "120,600"
 		}
+		*durDocs, *durSynsets, *durOps, *durBatch, *durEvery = 300, 1500, 30, 2, 8
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -222,6 +275,20 @@ func main() {
 				leg.Docs, leg.SeqMsPerDoc, leg.ParMsPerDoc, leg.ParSpeedup,
 				leg.PipeMsPerDoc, leg.PipeSpeedup, leg.PlainUsDoc, leg.Slowdown)
 		}
+	}
+
+	if *durDocs > 0 && *durOps > 0 {
+		leg, err := durableLeg(durableConfig{
+			docs: *durDocs, synsets: *durSynsets, bktSz: *bktSz, keyBits: *keyBits,
+			ops: *durOps, batch: *durBatch, every: *durEvery, seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		rep.Durable = leg
+		fmt.Printf("durable leg %d docs + %d ops: mem add %.0f docs/s, journaled %.0f docs/s (%.2fx overhead); recover %.3fs vs reingest %.3fs (%.1fx)\n",
+			leg.BaseDocs, leg.Ops, leg.MemDocsPerSec, leg.DurDocsPerSec, leg.DurableOverhead,
+			leg.RecoverSeconds, leg.ReingestSeconds, leg.ReplaySpeedup)
 	}
 
 	blob, err := json.MarshalIndent(rep, "", "  ")
@@ -406,6 +473,180 @@ func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 	leg.PlainUsDoc = time.Since(t0).Seconds() * 1e6 / plainReps
 	if leg.PlainUsDoc > 0 {
 		leg.Slowdown = leg.SeqMsPerDoc * 1000 / leg.PlainUsDoc
+	}
+	return leg, nil
+}
+
+// durableConfig parameterizes the durability leg.
+type durableConfig struct {
+	docs, synsets, bktSz, keyBits int
+	ops, batch, every             int
+	seed                          int64
+}
+
+// durableLeg measures the write-ahead log: journaled-ingest overhead
+// (fsync=interval vs the identical in-memory op stream) and recovery
+// speed (OpenDurable — newest checkpoint + log-tail replay — vs
+// recomputing the same state through NewEngine + the same public-API
+// ops). Every engine ends at the identical corpus; the recovered one
+// is ranking-checked against the in-memory reference.
+func durableLeg(cfg durableConfig) (DurableLeg, error) {
+	leg := DurableLeg{
+		BaseDocs: cfg.docs, Synsets: cfg.synsets, Ops: cfg.ops, DocsPerOp: cfg.batch,
+		Fsync: "interval", CheckpointEvery: cfg.every,
+	}
+	db := wngen.Generate(wngen.ScaledConfig(cfg.synsets, cfg.seed))
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.docs + cfg.ops*cfg.batch
+	ccfg.Seed = cfg.seed + 5
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+	base := world[:cfg.docs]
+	batches := make([][]embellish.Document, cfg.ops)
+	for i := range batches {
+		start := cfg.docs + i*cfg.batch
+		batches[i] = world[start : start+cfg.batch]
+	}
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = cfg.bktSz
+	opts.KeyBits = cfg.keyBits
+	lex := func() *embellish.Lexicon { return embellish.SyntheticLexicon(cfg.synsets, cfg.seed) }
+	added := float64(cfg.ops * cfg.batch)
+
+	ingest := func(e *embellish.Engine, checkpoint bool) (addSecs, ckptSecs float64, ckpts int, err error) {
+		for i, b := range batches {
+			t0 := time.Now()
+			if err := e.AddDocuments(b); err != nil {
+				return 0, 0, 0, err
+			}
+			addSecs += time.Since(t0).Seconds()
+			if checkpoint && cfg.every > 0 && (i+1)%cfg.every == 0 && i+1 < len(batches) {
+				t0 = time.Now()
+				if err := e.Checkpoint(); err != nil {
+					return 0, 0, 0, err
+				}
+				ckptSecs += time.Since(t0).Seconds()
+				ckpts++
+			}
+		}
+		return addSecs, ckptSecs, ckpts, nil
+	}
+
+	// In-memory reference: the same op stream without a journal.
+	mem, err := embellish.NewEngine(lex(), base, opts)
+	if err != nil {
+		return leg, fmt.Errorf("durable leg: %w", err)
+	}
+	if leg.MemAddSeconds, _, _, err = ingest(mem, false); err != nil {
+		return leg, err
+	}
+	leg.MemDocsPerSec = added / leg.MemAddSeconds
+
+	// Journaled ingest with periodic checkpoints. The interval policy
+	// is the acceptance criterion's configuration: appends hit the page
+	// cache, a background flusher syncs.
+	dir, err := os.MkdirTemp("", "embellish-bench-wal-")
+	if err != nil {
+		return leg, err
+	}
+	defer os.RemoveAll(dir)
+	dopts := opts
+	dopts.Durability = embellish.Durability{
+		Dir: dir, Fsync: embellish.FsyncInterval,
+		CheckpointEveryOps: -1, CheckpointEveryBytes: -1, // explicit cadence below
+	}
+	dur, err := embellish.NewEngine(lex(), base, dopts)
+	if err != nil {
+		return leg, fmt.Errorf("durable leg: %w", err)
+	}
+	var ckptSecs float64
+	if leg.DurAddSeconds, ckptSecs, leg.Checkpoints, err = ingest(dur, true); err != nil {
+		return leg, err
+	}
+	leg.DurDocsPerSec = added / leg.DurAddSeconds
+	leg.DurableOverhead = leg.DurAddSeconds / leg.MemAddSeconds
+	leg.CheckpointSeconds = ckptSecs
+	if st, ok := dur.WALStatus(); ok {
+		leg.ReplayedOps = int(st.Seq - st.CheckpointSeq)
+	}
+	if err := dur.Close(); err != nil {
+		return leg, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return leg, err
+	}
+	for _, ent := range entries {
+		info, err := ent.Info()
+		if err != nil {
+			continue
+		}
+		if strings.HasSuffix(ent.Name(), ".log") {
+			leg.WALBytes += info.Size()
+		} else if strings.HasSuffix(ent.Name(), ".bin") {
+			leg.CheckpointBytes += info.Size()
+		}
+	}
+
+	// Recovery: the crash-restart path.
+	t0 := time.Now()
+	rec, err := embellish.OpenDurable(dir, embellish.Options{})
+	if err != nil {
+		return leg, fmt.Errorf("durable leg recovery: %w", err)
+	}
+	leg.RecoverSeconds = time.Since(t0).Seconds()
+	defer rec.Close()
+	if rec.NumDocs() != mem.NumDocs() || rec.NextDocID() != mem.NextDocID() {
+		return leg, fmt.Errorf("recovered corpus %d/%d docs, reference %d/%d",
+			rec.NumDocs(), rec.NextDocID(), mem.NumDocs(), mem.NextDocID())
+	}
+
+	// Re-ingest: what a deployment without a journal does after a crash
+	// — rebuild the engine, replay every operation through the public
+	// API, and re-establish durability so the next crash is survivable
+	// too (recovery above ends in exactly that state). The lexicon, as
+	// in the rebuild leg above, is reusable and stays outside the
+	// window.
+	relex := lex()
+	redir, err := os.MkdirTemp("", "embellish-bench-reingest-")
+	if err != nil {
+		return leg, err
+	}
+	defer os.RemoveAll(redir)
+	t0 = time.Now()
+	re, err := embellish.NewEngine(relex, base, opts)
+	if err != nil {
+		return leg, err
+	}
+	if _, _, _, err := ingest(re, false); err != nil {
+		return leg, err
+	}
+	if err := re.EnableDurability(embellish.Durability{Dir: redir, Fsync: embellish.FsyncInterval}); err != nil {
+		return leg, err
+	}
+	leg.ReingestSeconds = time.Since(t0).Seconds()
+	if err := re.Close(); err != nil {
+		return leg, err
+	}
+	leg.ReplaySpeedup = leg.ReingestSeconds / leg.RecoverSeconds
+
+	// The three engines must rank identically: recovery is only a win
+	// if it reproduces the corpus exactly.
+	lemmas := mem.SearchableLemmas()
+	q := lemmas[3] + " " + lemmas[11]
+	want, err := mem.PlaintextSearch(q, 10)
+	if err != nil {
+		return leg, err
+	}
+	got, err := rec.PlaintextSearch(q, 10)
+	if err != nil {
+		return leg, err
+	}
+	if fmt.Sprint(want) != fmt.Sprint(got) {
+		return leg, fmt.Errorf("recovered ranking %v differs from reference %v", got, want)
 	}
 	return leg, nil
 }

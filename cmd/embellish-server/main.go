@@ -17,6 +17,16 @@
 //	                 [-allow-updates] [-max-segments N]
 //	                 [-store] [-block-size B] [-allow-retrieval]
 //	                 [-pir-workers N]
+//	                 [-data-dir DIR] [-fsync record|interval|off]
+//	                 [-checkpoint-every N]
+//
+// With -data-dir the server is crash-safe: every accepted update is
+// journaled to a write-ahead log in DIR before it is acknowledged, and
+// checkpoints periodically fold the log into a snapshot. A directory
+// that already holds durable state is RECOVERED on boot — the server
+// resumes the corpus exactly as of the last journaled operation, even
+// after a SIGKILL mid-ingest — while an empty directory is initialized
+// from the built (or -load'ed) engine. See docs/DURABILITY.md.
 //
 // With -allow-updates the server accepts online corpus updates
 // (AddDocuments / DeleteDocuments over the wire, e.g. from
@@ -62,6 +72,10 @@ func main() {
 		seed    = flag.Int64("seed", 1, "world seed")
 		once    = flag.Bool("once", false, "serve a single connection and exit (for scripting)")
 
+		dataDir   = flag.String("data-dir", "", "durable state directory (WAL + checkpoints); existing state is recovered on boot")
+		fsyncMode = flag.String("fsync", "record", "WAL fsync policy with -data-dir: record, interval or off")
+		ckptEvery = flag.Int("checkpoint-every", 0, "checkpoint after this many journaled updates (0 default, -1 disable)")
+
 		store          = flag.Bool("store", false, "store document bytes for private retrieval (build path only)")
 		blockSize      = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
 		allowRetrieval = flag.Bool("allow-retrieval", false, "answer private document fetches (requires a stored corpus)")
@@ -79,8 +93,41 @@ func main() {
 	)
 	flag.Parse()
 
+	var durability embellish.Durability
+	if *dataDir != "" {
+		policy, err := parseFsync(*fsyncMode)
+		if err != nil {
+			fatal(err)
+		}
+		durability = embellish.Durability{Dir: *dataDir, Fsync: policy, CheckpointEveryOps: *ckptEvery}
+	}
+
 	var engine *embellish.Engine
-	if *load != "" {
+	recovered := false
+	if *dataDir != "" {
+		has, err := embellish.HasDurableState(*dataDir)
+		if err != nil {
+			fatal(err)
+		}
+		if has {
+			if *load != "" {
+				fatal(fmt.Errorf("%s already holds durable state; it would shadow -load %s (use one or the other)", *dataDir, *load))
+			}
+			var opts embellish.Options
+			opts.Durability = durability
+			engine, err = embellish.OpenDurable(*dataDir, opts)
+			if err != nil {
+				fatal(err)
+			}
+			st, _ := engine.WALStatus()
+			fmt.Printf("recovered durable engine from %s: journal seq %d (checkpoint %d)\n",
+				*dataDir, st.Seq, st.CheckpointSeq)
+			recovered = true
+		}
+	}
+	if recovered {
+		// corpus comes from the durable state; nothing to build or load
+	} else if *load != "" {
 		f, err := os.Open(*load)
 		if err != nil {
 			fatal(err)
@@ -120,6 +167,14 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+	}
+	// A freshly built or -load'ed engine becomes durable here; the
+	// recovered path is durable already.
+	if *dataDir != "" && !recovered {
+		if err := engine.EnableDurability(durability); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("durable state initialized in %s\n", *dataDir)
 	}
 	if err := engine.ConfigureExecution(*shards, *window, *workers); err != nil {
 		fatal(err)
@@ -171,6 +226,9 @@ func main() {
 			fatal(err)
 		}
 		conn.Close()
+		if err := engine.Close(); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -218,6 +276,27 @@ func main() {
 		cancel()
 	}
 	printStats(srv.Stats())
+	// Graceful Shutdown above already checkpointed a durable engine;
+	// Close flushes and releases the journal.
+	if err := engine.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "embellish-server: closing journal:", err)
+	}
+	if st, ok := engine.WALStatus(); ok {
+		fmt.Printf("durable: journal seq %d, checkpoint %d (%s)\n", st.Seq, st.CheckpointSeq, st.Dir)
+	}
+}
+
+// parseFsync maps the -fsync flag onto the Durability policy.
+func parseFsync(mode string) (embellish.FsyncPolicy, error) {
+	switch mode {
+	case "record", "always":
+		return embellish.FsyncEveryRecord, nil
+	case "interval":
+		return embellish.FsyncInterval, nil
+	case "off", "never":
+		return embellish.FsyncNever, nil
+	}
+	return 0, fmt.Errorf("unknown -fsync mode %q (record, interval or off)", mode)
 }
 
 func printStats(st embellish.ServeStats) {

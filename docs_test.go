@@ -25,7 +25,7 @@ func TestDocsLinksResolve(t *testing.T) {
 			files = append(files, filepath.Join("docs", e.Name()))
 		}
 	}
-	if len(files) < 7 { // README, ROADMAP, CHANGES + the 4 docs/ pages
+	if len(files) < 8 { // README, ROADMAP, CHANGES + the 5 docs/ pages
 		t.Fatalf("only %d markdown files found; docs suite incomplete: %v", len(files), files)
 	}
 
@@ -111,10 +111,27 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	for _, knob := range []string{
 		"Shards", "PrecomputeWindow", "Parallelism", "PIRWorkers",
 		"BlockSize", "RetrievalKeyBits", "SetFetchPipeline", "MaxSegments",
-		"BENCH_PR4.json",
+		"Durability", "CheckpointEveryOps", "BENCH_PR5.json",
 	} {
 		if !strings.Contains(string(perf), knob) {
 			t.Errorf("docs/PERFORMANCE.md does not mention %s", knob)
+		}
+	}
+	durability, err := os.ReadFile("docs/DURABILITY.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		// The API surface and policy names the durability layer exposes...
+		"OpenDurable", "EnableDurability", "Checkpoint", "WALStatus",
+		"FsyncEveryRecord", "FsyncInterval", "FsyncNever",
+		"CheckpointEveryOps", "CheckpointEveryBytes",
+		"-data-dir", "-fsync", "-checkpoint-every",
+		// ...and the on-disk grammar recovery depends on.
+		"EWAL", "crc32", "checkpoint-", "wal-",
+	} {
+		if !strings.Contains(string(durability), name) {
+			t.Errorf("docs/DURABILITY.md does not document %s", name)
 		}
 	}
 	wire, err := os.ReadFile("docs/WIRE.md")

@@ -1,0 +1,167 @@
+package embellish
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"embellish/internal/detrand"
+)
+
+// TestNetServerDurability drives the server-side durability lifecycle:
+// remote admin ops are journaled, the ops-threshold triggers a
+// BACKGROUND checkpoint, graceful Shutdown leaves the directory
+// checkpoint-clean, and an abrupt restart (recovering the directory
+// as-is) serves the exact corpus remote clients saw acknowledged.
+func TestNetServerDurability(t *testing.T) {
+	dir := t.TempDir()
+	lemmas := miniLemmas()
+	texts := make(map[int]string, 20)
+	docs := make([]Document, 20)
+	for i := range docs {
+		texts[i] = storeDocText(i, lemmas)
+		docs[i] = Document{ID: i, Text: texts[i]}
+	}
+	opts := DefaultOptions()
+	opts.BucketSize = 4
+	opts.KeyBits = 256
+	opts.ScoreSpace = 10
+	opts.StoreDocuments = true
+	opts.BlockSize = 32
+	opts.RetrievalKeyBits = 96
+	opts.Durability = Durability{Dir: dir, Fsync: FsyncEveryRecord, CheckpointEveryOps: 2, CheckpointEveryBytes: -1}
+	e, err := NewEngine(MiniLexicon(), docs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	srv := e.NewNetServer(ServeConfig{AllowUpdates: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Three remote adds + one delete cross the 2-op threshold twice.
+	for i := 0; i < 3; i++ {
+		id := e.NextDocID()
+		texts[id] = storeDocText(id, lemmas)
+		if _, err := AddDocumentsRemote(conn, []Document{{ID: id, Text: texts[id]}}); err != nil {
+			t.Fatalf("remote add %d: %v", i, err)
+		}
+	}
+	if _, err := DeleteDocumentsRemote(conn, []int{5}); err != nil {
+		t.Fatal(err)
+	}
+	delete(texts, 5)
+
+	// The background checkpoint is asynchronous; wait for it to fold
+	// the journal below the threshold.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, ok := e.WALStatus()
+		if !ok {
+			t.Fatal("server engine is not durable")
+		}
+		if st.LastAsyncError != "" {
+			t.Fatalf("background checkpoint failed: %s", st.LastAsyncError)
+		}
+		if st.CheckpointSeq > 0 && st.OpsSinceCheckpoint < 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("background checkpoint never fired: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// One more journaled op, then graceful Shutdown: the drain
+	// checkpoint must leave nothing to replay.
+	id := e.NextDocID()
+	texts[id] = storeDocText(id, lemmas)
+	if _, err := AddDocumentsRemote(conn, []Document{{ID: id, Text: texts[id]}}); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	st, _ := e.WALStatus()
+	if st.Seq != 5 || st.CheckpointSeq != 5 || st.OpsSinceCheckpoint != 0 {
+		t.Fatalf("after graceful shutdown: %+v, want checkpoint at seq 5", st)
+	}
+
+	// Abrupt-restart equivalence: recover the directory as a fresh
+	// process would and compare the corpus and rankings end to end.
+	r, err := OpenDurable(copyDurableDir(t, dir), Options{})
+	if err != nil {
+		t.Fatalf("restart recovery: %v", err)
+	}
+	defer r.Close()
+	if rst, _ := r.WALStatus(); rst.Seq != 5 {
+		t.Fatalf("restart recovered seq %d, want 5", rst.Seq)
+	}
+	assertCorpusEquals(t, r, texts)
+
+	// And it serves remotely: rank + PIR fetch through a fresh server.
+	srv2 := r.NewNetServer(ServeConfig{AllowRetrieval: true})
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done2 := make(chan error, 1)
+	go func() { done2 <- srv2.Serve(l2) }()
+	conn2, err := net.Dial("tcp", l2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	c, err := r.NewClient(detrand.New("durable-net-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := lemmas[1] + " " + lemmas[6]
+	remote, err := c.SearchRemote(conn2, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := r.PlaintextSearch(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var scored []Result
+	for _, res := range remote {
+		if res.Score > 0 {
+			scored = append(scored, res)
+		}
+	}
+	if fmt.Sprint(scored) != fmt.Sprint(plain) {
+		t.Fatalf("post-restart remote ranking %v != plaintext %v", scored, plain)
+	}
+	winner := scored[0].DocID
+	got, _, err := c.FetchDocumentsRemote(conn2, []int{winner})
+	if err != nil || string(got[0]) != texts[winner] {
+		t.Fatalf("post-restart PIR fetch %d = %q (%v), want %q", winner, got, err, texts[winner])
+	}
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel2()
+	if err := srv2.Shutdown(ctx2); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done2; err != nil {
+		t.Fatal(err)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"embellish/internal/pir"
 	"embellish/internal/sequence"
 	"embellish/internal/textproc"
+	"embellish/internal/wal"
 	"embellish/internal/wordnet"
 )
 
@@ -55,6 +56,10 @@ type Engine struct {
 	// updateMu serializes the write path (AddDocuments, DeleteDocuments)
 	// so document-id assignment stays dense; readers never take it.
 	updateMu sync.Mutex
+	// wal is the crash-safe journaling state (Options.Durability /
+	// EnableDurability); nil on in-memory engines. Its non-atomic
+	// fields are guarded by updateMu.
+	wal *walState
 	// pirWorkers is the live PIR fetch-serving plan (the
 	// Options.PIRWorkers encoding), held in an atomic so
 	// ConfigurePIRWorkers can retune a serving engine without racing
@@ -154,6 +159,14 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	e.server = core.NewLiveServer(e.live, org, lex.db)
 	e.pirWorkers.Store(int64(opts.PIRWorkers))
 	e.applyExecution()
+	if opts.Durability.Dir != "" {
+		// The freshly built corpus becomes checkpoint 0; every later
+		// update is journaled. An engine that fails here is unusable by
+		// contract — the caller asked for durability.
+		if err := e.EnableDurability(opts.Durability); err != nil {
+			return nil, err
+		}
+	}
 	return e, nil
 }
 
@@ -412,6 +425,13 @@ func (e *Engine) Process(q *Query) (*Response, error) {
 // corpus. Prefer adding in meaningful batches, and rebuild when
 // statistical freshness matters more than availability.
 func (e *Engine) AddDocuments(docs []Document) error {
+	return e.addDocuments(docs, true)
+}
+
+// addDocuments is AddDocuments with the journaling switch: the public
+// path journals, write-ahead-log replay (which re-applies records
+// already journaled) does not.
+func (e *Engine) addDocuments(docs []Document, journal bool) error {
 	if len(docs) == 0 {
 		return errors.New("embellish: no documents to add")
 	}
@@ -447,15 +467,34 @@ func (e *Engine) AddDocuments(docs []Document) error {
 		return fmt.Errorf("embellish: batch quantization (scale %g, %d levels) does not match the engine's pinned (%g, %d)",
 			local.Scale(), local.QuantLevels, e.live.Scale(), e.live.QuantLevels())
 	}
+	// Journal AFTER every validation (a journaled operation must be
+	// appliable on replay) and BEFORE any index/store mutation (an
+	// applied operation must be recoverable). Still under updateMu, so
+	// journal order is apply order.
+	// One byte copy serves both consumers: the journal frames the
+	// slices into its record (without retaining them) and the store
+	// copies them into fresh block arrays.
+	var texts [][]byte
+	if (journal && e.wal != nil) || e.store != nil {
+		texts = make([][]byte, len(docs))
+		for i, d := range docs {
+			texts[i] = []byte(d.Text)
+		}
+	}
+	if journal && e.wal != nil {
+		rec := &wal.Record{Op: wal.OpAddDocs, Docs: make([]wal.DocText, len(docs))}
+		for i, d := range docs {
+			rec.Docs[i] = wal.DocText{ID: uint32(d.ID), Text: texts[i]}
+		}
+		if err := e.journalLocked(rec); err != nil {
+			return err
+		}
+	}
 	// Store bytes BEFORE publishing the index segment: a searcher that
 	// ranks a new document must already be able to fetch it. Both writes
 	// happen under updateMu, so the store's dense-id sequence tracks the
 	// index's exactly.
 	if e.store != nil {
-		texts := make([][]byte, len(docs))
-		for i, d := range docs {
-			texts[i] = []byte(d.Text)
-		}
 		if err := e.store.AddBatch(base, texts); err != nil {
 			return fmt.Errorf("embellish: document store: %w", err)
 		}
@@ -470,6 +509,12 @@ func (e *Engine) AddDocuments(docs []Document) error {
 // live — unknown and already-deleted ids are rejected and the call
 // changes nothing. Concurrent searches are never blocked.
 func (e *Engine) DeleteDocuments(ids []int) error {
+	return e.deleteDocuments(ids, true)
+}
+
+// deleteDocuments is DeleteDocuments with the journaling switch (see
+// addDocuments).
+func (e *Engine) deleteDocuments(ids []int, journal bool) error {
 	if len(ids) == 0 {
 		return errors.New("embellish: no documents to delete")
 	}
@@ -484,6 +529,20 @@ func (e *Engine) DeleteDocuments(ids []int) error {
 	}
 	e.updateMu.Lock()
 	defer e.updateMu.Unlock()
+	if journal && e.wal != nil {
+		// Dry-run the tombstone update first: a journal record must
+		// never encode an operation the index would reject on replay.
+		if err := e.live.Snapshot().ValidateDelete(ds); err != nil {
+			return fmt.Errorf("embellish: %w", err)
+		}
+		rec := &wal.Record{Op: wal.OpDeleteDocs, IDs: make([]uint32, len(ids))}
+		for i, id := range ids {
+			rec.IDs[i] = uint32(id)
+		}
+		if err := e.journalLocked(rec); err != nil {
+			return err
+		}
+	}
 	if err := e.live.Delete(ds); err != nil {
 		return fmt.Errorf("embellish: %w", err)
 	}

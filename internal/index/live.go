@@ -130,6 +130,17 @@ func (sn *Snapshot) LiveDocIDs() []DocID {
 	return out
 }
 
+// ValidateDelete reports — without applying anything — whether every
+// id could be deleted from this snapshot: assigned, still live, and
+// not repeated within ids. Engines that journal deletions to a
+// write-ahead log validate against the snapshot they hold under the
+// write lock BEFORE appending the journal record, so a record never
+// encodes an operation the index would then reject.
+func (sn *Snapshot) ValidateDelete(ids []DocID) error {
+	_, err := sn.Tombs.withDeleted(ids, sn.NextDoc)
+	return err
+}
+
 // NumPostings totals the postings across all segments (tombstoned
 // postings included until a merge rewrites them away).
 func (sn *Snapshot) NumPostings() int {

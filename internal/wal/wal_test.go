@@ -1,0 +1,372 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// testRecords is a small mixed workload: the three ops, varied sizes.
+func testRecords() []*Record {
+	return []*Record{
+		{Op: OpCheckpoint, Seq: 0},
+		{Op: OpAddDocs, Seq: 1, Docs: []DocText{
+			{ID: 0, Text: []byte("alpha beta")},
+			{ID: 1, Text: []byte("")},
+			{ID: 2, Text: bytes.Repeat([]byte("x"), 300)},
+		}},
+		{Op: OpDeleteDocs, Seq: 2, IDs: []uint32{1}},
+		{Op: OpAddDocs, Seq: 3, Docs: []DocText{{ID: 3, Text: []byte("gamma")}}},
+		{Op: OpDeleteDocs, Seq: 4, IDs: []uint32{0, 3}},
+	}
+}
+
+func writeLog(t *testing.T, dir string, startSeq uint64, recs []*Record) string {
+	t.Helper()
+	path := LogPath(dir, startSeq)
+	w, err := Create(path, startSeq, SyncNever, 0)
+	if err != nil {
+		t.Fatalf("Create: %v", err)
+	}
+	for _, r := range recs {
+		if _, err := w.Append(r); err != nil {
+			t.Fatalf("Append %+v: %v", r, err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return path
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	path := writeLog(t, dir, 0, recs)
+	var got []*Record
+	res, err := ReplayLog(path, 0, func(r *Record) error {
+		// The decoder aliases the file buffer; copy for comparison.
+		cp := &Record{Op: r.Op, Seq: r.Seq, IDs: append([]uint32(nil), r.IDs...)}
+		for _, d := range r.Docs {
+			cp.Docs = append(cp.Docs, DocText{ID: d.ID, Text: append([]byte{}, d.Text...)})
+		}
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplayLog: %v", err)
+	}
+	if res.Torn || res.Records != len(recs) {
+		t.Fatalf("replay result %+v, want %d records untorn", res, len(recs))
+	}
+	for i, r := range recs {
+		if !reflect.DeepEqual(r, got[i]) {
+			t.Fatalf("record %d round-tripped as %+v, want %+v", i, got[i], r)
+		}
+	}
+	fi, err := os.Stat(path)
+	if err != nil || res.GoodBytes != fi.Size() {
+		t.Fatalf("GoodBytes %d, file size %d (%v)", res.GoodBytes, fi.Size(), err)
+	}
+}
+
+// TestReplayTornAtEveryByte: a log cut at ANY byte offset replays some
+// prefix of its records without error — never a panic, never a bogus
+// record, and the prefix only grows with the cut point.
+func TestReplayTornAtEveryByte(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	path := writeLog(t, dir, 0, recs)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for cut := 0; cut <= len(data); cut++ {
+		cutPath := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(cutPath, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		count := 0
+		res, err := ReplayLog(cutPath, 0, func(r *Record) error {
+			if r.Seq != recs[count].Seq || r.Op != recs[count].Op {
+				t.Fatalf("cut %d: record %d decoded as op %d seq %d", cut, count, r.Op, r.Seq)
+			}
+			count++
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("cut %d: replay error: %v", cut, err)
+		}
+		if count < prev {
+			t.Fatalf("cut %d: prefix shrank from %d to %d records", cut, prev, count)
+		}
+		if cut < len(data) && !res.Torn && count != len(recs) {
+			// Only a cut exactly on a record boundary may be untorn.
+			if res.GoodBytes != int64(cut) {
+				t.Fatalf("cut %d: untorn mid-record (good %d)", cut, res.GoodBytes)
+			}
+		}
+		prev = count
+	}
+	if prev != len(recs) {
+		t.Fatalf("full file replayed %d records, want %d", prev, len(recs))
+	}
+}
+
+// TestReplayRejectsCorruption: complete records with valid checksums
+// but malformed bodies are corruption, not torn tails.
+func TestReplayRejectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	for name, rec := range map[string][]byte{
+		"unknown op":      mustFrame(t, []byte{99, 0x81}),
+		"empty body":      mustFrame(t, nil),
+		"trailing bytes":  mustFrame(t, []byte{byte(OpCheckpoint), 0x81, 0xff}),
+		"forged count":    mustFrame(t, []byte{byte(OpAddDocs), 0x81, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x86}),
+		"doc overrun":     mustFrame(t, []byte{byte(OpAddDocs), 0x81, 0x81, 0x80, 0xff}),
+		"delete id bound": mustFrame(t, []byte{byte(OpDeleteDocs), 0x81, 0x81, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x7f, 0x81}),
+	} {
+		path := filepath.Join(dir, "corrupt.log")
+		w, err := Create(path, 7, SyncNever, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append(&Record{Op: OpCheckpoint, Seq: 7}); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write(rec); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := ReplayLog(path, 7, func(*Record) error { return nil }); err == nil {
+			t.Errorf("%s: corrupt record replayed without error", name)
+		}
+		os.Remove(path)
+	}
+}
+
+// mustFrame wraps a raw body in a valid length+crc frame, so the
+// decoder sees a COMPLETE record and must judge the body itself.
+func mustFrame(t *testing.T, body []byte) []byte {
+	t.Helper()
+	out := make([]byte, 4, 8+len(body))
+	binary.LittleEndian.PutUint32(out, uint32(len(body)))
+	out = append(out, body...)
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], crc32.ChecksumIEEE(body))
+	return append(out, crc[:]...)
+}
+
+// TestDecodeRejectsHugeFrameLength: a corrupt frame length near the
+// u32 maximum must read as a torn tail, never as offset arithmetic
+// that could wrap on multi-GiB segments.
+func TestDecodeRejectsHugeFrameLength(t *testing.T) {
+	for _, l := range []uint32{^uint32(0), ^uint32(0) - 3, 1<<31 + 1} {
+		buf := make([]byte, 64)
+		binary.LittleEndian.PutUint32(buf, l)
+		rec, n, torn, err := decodeRecord(buf)
+		if rec != nil || n != 0 || !torn || err != nil {
+			t.Fatalf("frame length %#x: (%v, %d, %v, %v), want torn", l, rec, n, torn, err)
+		}
+	}
+}
+
+func TestReplayHeaderValidation(t *testing.T) {
+	dir := t.TempDir()
+	// A bad header over INTACT records cannot be a creation tear (the
+	// header is durable before the first append): silently truncating
+	// would destroy acknowledged operations, so it must error loudly.
+	path := writeLog(t, dir, 3, []*Record{{Op: OpCheckpoint, Seq: 3}})
+	if _, err := ReplayLog(path, 4, nil); err == nil {
+		t.Error("mismatched header sequence over intact records accepted")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[0] ^= 0xff // corrupt the magic over the same intact record
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayLog(path, 3, nil); err == nil {
+		t.Error("corrupted magic over intact records accepted")
+	}
+	// Header trouble over an EMPTY remainder is the crash-during-
+	// creation signature and replays as a torn creation, zero records.
+	empty := writeLog(t, dir, 9, nil)
+	if err := os.Truncate(empty, int64(HeaderSize)); err != nil {
+		t.Fatal(err)
+	}
+	edata, err := os.ReadFile(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edata[7] ^= 0xff // tear the seq bytes of a record-less segment
+	if err := os.WriteFile(empty, edata, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayLog(empty, 9, nil)
+	if err != nil || !res.Torn || res.Records != 0 || res.GoodBytes != 0 {
+		t.Errorf("torn record-less header: %+v, %v; want torn creation", res, err)
+	}
+	for name, content := range map[string][]byte{
+		"garbage": []byte("NOTAWALFILEATALL"),
+		"short":   []byte("EWA"),
+		"zeroed":  make([]byte, 40),
+	} {
+		bad := filepath.Join(dir, "bad.log")
+		if err := os.WriteFile(bad, content, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		res, err := ReplayLog(bad, 0, nil)
+		if err != nil || !res.Torn || res.Records != 0 {
+			t.Errorf("%s header: %+v, %v; want torn creation", name, res, err)
+		}
+	}
+	// An intact magic with an unknown VERSION is a format signal, not a
+	// crash, and must stay a loud error.
+	versioned := filepath.Join(dir, "versioned.log")
+	if err := os.WriteFile(versioned, []byte("EWAL\x07\x00\x00\x00\x00\x00\x00\x00\x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReplayLog(versioned, 0, nil); err == nil {
+		t.Error("unknown log version accepted")
+	}
+}
+
+// TestOpenTruncatesTornTail: Open resumes appending after the last good
+// record, and the resulting log replays the old prefix plus the new
+// records.
+func TestOpenTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	recs := testRecords()
+	path := writeLog(t, dir, 0, recs[:3])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear mid-way through the last record.
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res, err := ReplayLog(path, 0, func(*Record) error { return nil })
+	if err != nil || !res.Torn || res.Records != 2 {
+		t.Fatalf("torn replay: %+v, %v", res, err)
+	}
+	w, err := Open(path, 0, res.GoodBytes, SyncEveryRecord, 0)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := w.Append(recs[3]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var seqs []uint64
+	res, err = ReplayLog(path, 0, func(r *Record) error {
+		seqs = append(seqs, r.Seq)
+		return nil
+	})
+	if err != nil || res.Torn {
+		t.Fatalf("replay after reopen: %+v, %v", res, err)
+	}
+	if !reflect.DeepEqual(seqs, []uint64{0, 1, 3}) {
+		t.Fatalf("reopened log replays seqs %v", seqs)
+	}
+	// Torn HEADER: Open rewrites the segment from scratch.
+	if err := os.WriteFile(path, []byte("EW"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = Open(path, 5, 2, SyncNever, 0)
+	if err != nil {
+		t.Fatalf("Open over torn header: %v", err)
+	}
+	if _, err := w.Append(&Record{Op: OpCheckpoint, Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err = ReplayLog(path, 5, func(*Record) error { return nil })
+	if err != nil || res.Torn || res.Records != 1 {
+		t.Fatalf("rewritten segment: %+v, %v", res, err)
+	}
+}
+
+func TestScan(t *testing.T) {
+	dir := t.TempDir()
+	if st, err := Scan(filepath.Join(dir, "missing")); err != nil || len(st.Checkpoints)+len(st.Logs) != 0 {
+		t.Fatalf("missing dir: %+v, %v", st, err)
+	}
+	for _, name := range []string{
+		"checkpoint-0000000000000000.bin",
+		"checkpoint-000000000000002a.bin",
+		"wal-000000000000002a.log",
+		"wal-0000000000000000.log",
+		"checkpoint-0000000000000001.bin.tmp", // in-flight: ignored
+		"checkpoint-xyz.bin",                  // malformed: ignored
+		"notes.txt",
+	} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := Scan(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(st.Checkpoints, []uint64{0, 0x2a}) || !reflect.DeepEqual(st.Logs, []uint64{0, 0x2a}) {
+		t.Fatalf("Scan = %+v", st)
+	}
+}
+
+func TestWriterPolicies(t *testing.T) {
+	dir := t.TempDir()
+	for i, policy := range []SyncPolicy{SyncEveryRecord, SyncInterval, SyncNever} {
+		path := LogPath(dir, uint64(i))
+		w, err := Create(path, uint64(i), policy, 5*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := w.Append(&Record{Op: OpCheckpoint, Seq: uint64(i)})
+		if err != nil || n == 0 {
+			t.Fatalf("policy %d: append %d, %v", policy, n, err)
+		}
+		if w.Bytes() != int64(n) {
+			t.Fatalf("policy %d: Bytes %d after appending %d", policy, w.Bytes(), n)
+		}
+		if policy == SyncInterval {
+			time.Sleep(25 * time.Millisecond) // let the flusher run once
+		}
+		if err := w.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.Append(&Record{Op: OpCheckpoint, Seq: 9}); err == nil {
+			t.Fatal("append after Close succeeded")
+		}
+		res, err := ReplayLog(path, uint64(i), func(*Record) error { return nil })
+		if err != nil || res.Records != 1 {
+			t.Fatalf("policy %d: replay %+v, %v", policy, res, err)
+		}
+	}
+	// Create refuses to clobber an existing segment.
+	if _, err := Create(LogPath(dir, 0), 0, SyncNever, 0); err == nil {
+		t.Fatal("Create over an existing segment succeeded")
+	}
+}

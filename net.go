@@ -272,6 +272,12 @@ drain:
 		c.Close()
 	}
 	s.mu.Unlock()
+	// A graceful shutdown leaves a durable engine checkpoint-clean, so
+	// the next boot loads the snapshot and replays nothing. Runs after
+	// the drain: every acknowledged update is in the captured state.
+	if cerr := s.engine.checkpointIfDirty(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -392,6 +398,11 @@ func (s *NetServer) answerAdmin(rw io.ReadWriter, typ byte, body []byte) error {
 		return wire.WriteError(rw, err.Error())
 	}
 	s.updates.Add(1)
+	// On durable engines, fold the journal into a checkpoint in the
+	// background once the Durability thresholds are crossed — bounding
+	// both log growth and the next restart's replay time. Single-flight
+	// and off the request path, so the ack below never waits on it.
+	s.engine.maybeCheckpointAsync()
 	// One snapshot for the whole ack, so the (docs, segments) pair is
 	// internally consistent even when other updates or merges land
 	// between the apply and the ack.

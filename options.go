@@ -106,6 +106,14 @@ type Options struct {
 	// live engine, and NetServers can override it per server with
 	// ServeConfig.PIRWorkers.
 	PIRWorkers int
+	// Durability opts the engine in to crash-safe persistence: every
+	// AddDocuments/DeleteDocuments batch is journaled to a write-ahead
+	// log in Durability.Dir before it is applied, and checkpoints
+	// periodically fold the log into a full snapshot. An empty Dir (the
+	// zero value) keeps the engine in-memory; see the Durability type,
+	// OpenDurable and docs/DURABILITY.md. Like the execution knobs, the
+	// policy itself is runtime-only — checkpoint files never embed it.
+	Durability Durability
 	// MaxSegments bounds the live segment set: when AddDocuments leaves
 	// more than MaxSegments segments, a background merge folds the
 	// smallest ones together, rewriting deleted postings away. 0 selects
@@ -196,6 +204,9 @@ func (o Options) validate() error {
 		return fmt.Errorf("embellish: RetrievalKeyBits %d too small for PIR key generation", o.RetrievalKeyBits)
 	}
 	if err := validatePIRWorkers(o.PIRWorkers); err != nil {
+		return err
+	}
+	if err := o.Durability.validate(); err != nil {
 		return err
 	}
 	return nil

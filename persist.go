@@ -63,25 +63,61 @@ func (e *Engine) saveV2(w io.Writer) error {
 	return e.save(w, 2)
 }
 
+// engineState is one consistent captured state of the engine: the
+// index snapshot, the document-store snapshot, and — on durable
+// engines — the write-ahead-log position the pair corresponds to.
+type engineState struct {
+	snap  *index.Snapshot
+	store *docstore.Snapshot
+	// opts is the options struct as of the capture. The header is
+	// serialized from this copy, never from live e.opts — a background
+	// checkpoint races ConfigureMergePolicy/ConfigureExecution, which
+	// replace e.opts under updateMu.
+	opts Options
+	// seq is the last journaled operation folded into snap/store; 0 on
+	// in-memory engines. Capturing it in the SAME lock hold as the
+	// snapshots is what makes checkpoints sound: a seq read in a
+	// separate acquisition could race a concurrent AddDocuments and
+	// name a state one batch away from the snapshots, making recovery
+	// double-apply or drop that batch.
+	seq uint64
+}
+
+// captureStateLocked captures the engine state; the caller holds
+// updateMu.
+func (e *Engine) captureStateLocked() engineState {
+	st := engineState{snap: e.live.Snapshot(), opts: e.opts}
+	if e.store != nil {
+		st.store = e.store.Snapshot()
+	}
+	if e.wal != nil {
+		st.seq = e.wal.seq
+	}
+	return st
+}
+
 func (e *Engine) save(w io.Writer, version byte) error {
 	// The index and store snapshots are captured under updateMu so the
 	// saved pair reflects one point in the update history (each is
 	// individually immutable, but a writer landing between two lock-free
 	// captures would desynchronize their document counts).
 	e.updateMu.Lock()
-	snap := e.live.Snapshot()
-	var store *docstore.Snapshot
-	if e.store != nil {
-		store = e.store.Snapshot()
-	}
+	st := e.captureStateLocked()
 	e.updateMu.Unlock()
+	return e.writeState(w, version, st)
+}
+
+// writeState serializes one captured state in the given format
+// version. Shared by Save and the durability checkpoints.
+func (e *Engine) writeState(w io.Writer, version byte, st engineState) error {
+	snap, store := st.snap, st.store
 	// Never write a file the loader would refuse: with merging disabled
 	// a long-lived engine could exceed the load-side segment bound.
 	if len(snap.Segs) > maxSaneSegments {
 		return fmt.Errorf("embellish: %d segments exceed the loadable bound %d; Compact before saving",
 			len(snap.Segs), maxSaneSegments)
 	}
-	if err := e.writeHeader(w, version); err != nil {
+	if err := writeEngineHeader(w, version, st.opts); err != nil {
 		return err
 	}
 	if err := writeSection(w, e.lex.db); err != nil {
@@ -129,7 +165,7 @@ func (e *Engine) saveV1(w io.Writer) error {
 		return fmt.Errorf("embellish: v1 format cannot express %d segments with %d deletions",
 			len(snap.Segs), snap.Tombs.Count())
 	}
-	if err := e.writeHeader(w, 1); err != nil {
+	if err := writeEngineHeader(w, 1, e.opts); err != nil {
 		return err
 	}
 	for _, section := range []io.WriterTo{e.lex.db, snap.Segs[0], e.org} {
@@ -140,26 +176,26 @@ func (e *Engine) saveV1(w io.Writer) error {
 	return nil
 }
 
-// writeHeader writes the magic, version and options block shared by
-// both format versions.
-func (e *Engine) writeHeader(w io.Writer, version byte) error {
+// writeEngineHeader writes the magic, version and options block shared
+// by all format versions, from a captured options copy.
+func writeEngineHeader(w io.Writer, version byte, o Options) error {
 	if _, err := io.WriteString(w, engineMagic); err != nil {
 		return err
 	}
 	header := []byte{
 		version,
-		boolByte(e.opts.Stopwords),
-		byte(e.opts.Scoring),
+		boolByte(o.Stopwords),
+		byte(o.Scoring),
 	}
 	if _, err := w.Write(header); err != nil {
 		return err
 	}
 	var opts [20]byte
-	binary.LittleEndian.PutUint32(opts[0:], uint32(e.opts.BucketSize))
-	binary.LittleEndian.PutUint32(opts[4:], uint32(e.opts.SegmentSize))
-	binary.LittleEndian.PutUint32(opts[8:], uint32(e.opts.KeyBits))
-	binary.LittleEndian.PutUint32(opts[12:], uint32(e.opts.ScoreSpace))
-	binary.LittleEndian.PutUint32(opts[16:], uint32(e.opts.QuantLevels))
+	binary.LittleEndian.PutUint32(opts[0:], uint32(o.BucketSize))
+	binary.LittleEndian.PutUint32(opts[4:], uint32(o.SegmentSize))
+	binary.LittleEndian.PutUint32(opts[8:], uint32(o.KeyBits))
+	binary.LittleEndian.PutUint32(opts[12:], uint32(o.ScoreSpace))
+	binary.LittleEndian.PutUint32(opts[16:], uint32(o.QuantLevels))
 	_, err := w.Write(opts[:])
 	return err
 }
