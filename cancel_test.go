@@ -1,0 +1,317 @@
+package embellish
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"embellish/internal/core"
+	"embellish/internal/detrand"
+	"embellish/internal/wire"
+)
+
+// cancelOvershootSlack bounds how long a cancelled scan may keep
+// running past its deadline before we call the cancellation late. The
+// engine checks ctx every cancelCheckPostings postings AND against the
+// wall clock (a single-P runtime delays the context timer goroutine),
+// so the true overshoot is sub-millisecond; the slack here is generous
+// because the race detector slows every check by an order of magnitude.
+const cancelOvershootSlack = 250 * time.Millisecond
+
+// cancelCorpus builds a random corpus over the mini lexicon from the
+// given seed, shaped like demoDocs but reseedable so the cancellation
+// property is exercised across corpora, not one fixed index.
+func cancelCorpus(t *testing.T, seed int64, ndocs int) []Document {
+	t.Helper()
+	lex := MiniLexicon()
+	var lemmas []string
+	for _, tm := range lex.db.AllTerms() {
+		lemmas = append(lemmas, lex.db.Lemma(tm))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	docs := make([]Document, ndocs)
+	for i := range docs {
+		var b strings.Builder
+		n := 30 + rng.Intn(40)
+		for j := 0; j < n; j++ {
+			b.WriteString(lemmas[rng.Intn(len(lemmas))])
+			b.WriteByte(' ')
+		}
+		docs[i] = Document{ID: i, Text: b.String()}
+	}
+	return docs
+}
+
+func cancelEngine(t *testing.T, seed int64, store bool) (*Engine, *Client) {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.BucketSize = 4
+	opts.KeyBits = 256
+	opts.ScoreSpace = 10
+	if store {
+		opts.StoreDocuments = true
+		opts.RetrievalKeyBits = 64
+	}
+	e, err := NewEngine(MiniLexicon(), cancelCorpus(t, seed, 120), opts)
+	if err != nil {
+		t.Fatalf("NewEngine(seed %d): %v", seed, err)
+	}
+	c, err := e.NewClient(detrand.New(fmt.Sprintf("cancel-test-%d", seed)))
+	if err != nil {
+		t.Fatalf("NewClient: %v", err)
+	}
+	return e, c
+}
+
+// cancelQuery embellishes a multi-term query wide enough that a scan
+// takes measurable time even on the small test corpus.
+func cancelQuery(t *testing.T, e *Engine, c *Client, rng *rand.Rand, terms int) *Query {
+	t.Helper()
+	parts := make([]string, terms)
+	for i := range parts {
+		parts[i] = e.lex.db.Lemma(e.searchable[rng.Intn(len(e.searchable))])
+	}
+	q, err := c.Embellish(strings.Join(parts, " "))
+	if err != nil {
+		t.Fatalf("Embellish: %v", err)
+	}
+	return q
+}
+
+// respBytes serializes a response exactly as the wire layer would, so
+// "the engine answers byte-identically after a cancellation" is checked
+// against the bytes a remote client would actually receive.
+func respBytes(t *testing.T, resp *Response) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := wire.WriteResponse(&buf, resp.inner, core.Stats{}); err != nil {
+		t.Fatalf("WriteResponse: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestCancellationProperty is the satellite property test: across
+// random corpora, all three execution plans, and deadlines sampled
+// across the scan's latency range, a cancelled ProcessContext (a)
+// returns a CancelledError satisfying errors.Is on the context
+// sentinel, (b) returns promptly (bounded overshoot), (c) reports
+// partial work strictly inside the full scan's, and (d) leaves the
+// engine answering the same query byte-identically afterwards — all
+// without leaking goroutines.
+func TestCancellationProperty(t *testing.T) {
+	plans := []struct {
+		name                        string
+		shards, window, parallelism int
+	}{
+		{"sequential", 0, -1, 0},
+		{"striped", 0, -1, 2},
+		{"sharded", 2, -1, 2},
+	}
+	meta := rand.New(rand.NewSource(0xE11E))
+	for _, seed := range []int64{meta.Int63(), meta.Int63()} {
+		seed := seed
+		t.Run(fmt.Sprintf("corpus%d", seed%1000), func(t *testing.T) {
+			before := runtime.NumGoroutine()
+			e, c := cancelEngine(t, seed, false)
+			rng := rand.New(rand.NewSource(seed + 1))
+			q := cancelQuery(t, e, c, rng, 8)
+
+			for _, pl := range plans {
+				t.Run(pl.name, func(t *testing.T) {
+					if err := e.ConfigureExecution(pl.shards, pl.window, pl.parallelism); err != nil {
+						t.Fatalf("ConfigureExecution: %v", err)
+					}
+					// Baseline: full latency and reference bytes for this plan.
+					warm, err := e.Process(q)
+					if err != nil {
+						t.Fatalf("warm Process: %v", err)
+					}
+					start := time.Now()
+					base, err := e.Process(q)
+					full := time.Since(start)
+					if err != nil {
+						t.Fatalf("baseline Process: %v", err)
+					}
+					baseBytes := respBytes(t, base)
+					if !bytes.Equal(baseBytes, respBytes(t, warm)) {
+						t.Fatal("two uncancelled runs of one query disagree; byte-identity check is meaningless")
+					}
+					fullPostings := warm.Stats.PostingsScanned
+
+					// Deadlines sampled across the latency range. Runs that
+					// finish under a sampled deadline are legitimate (the
+					// fraction draws can land past the scan's end on a fast
+					// corpus); at least the earliest fraction must cancel.
+					fractions := []float64{0.05, 0.2 + 0.3*rng.Float64(), 0.5 + 0.4*rng.Float64()}
+					cancelledOnce := false
+					for _, frac := range fractions {
+						deadline := time.Duration(float64(full) * frac)
+						if deadline <= 0 {
+							deadline = time.Microsecond
+						}
+						ctx, cancel := context.WithTimeout(context.Background(), deadline)
+						t0 := time.Now()
+						resp, err := e.ProcessContext(ctx, q)
+						elapsed := time.Since(t0)
+						cancel()
+						if err == nil {
+							if !bytes.Equal(respBytes(t, resp), baseBytes) {
+								t.Fatalf("frac %.2f: uncancelled run diverged from baseline", frac)
+							}
+							continue
+						}
+						cancelledOnce = true
+						var cerr *CancelledError
+						if !errors.As(err, &cerr) {
+							t.Fatalf("frac %.2f: cancelled scan returned %T (%v), want *CancelledError", frac, err, err)
+						}
+						if !errors.Is(err, context.DeadlineExceeded) {
+							t.Fatalf("frac %.2f: errors.Is(err, DeadlineExceeded) = false (err %v)", frac, err)
+						}
+						if resp != nil {
+							t.Fatalf("frac %.2f: partial response returned alongside cancellation", frac)
+						}
+						if over := elapsed - deadline; over > cancelOvershootSlack {
+							t.Fatalf("frac %.2f: cancellation overshot deadline by %v (slack %v)", frac, over, cancelOvershootSlack)
+						}
+						if cerr.Stats.Candidates != 0 {
+							t.Fatalf("frac %.2f: cancelled stats report %d candidates, want 0", frac, cerr.Stats.Candidates)
+						}
+						if cerr.Stats.PostingsScanned > fullPostings {
+							t.Fatalf("frac %.2f: partial postings %d exceed full scan's %d", frac, cerr.Stats.PostingsScanned, fullPostings)
+						}
+					}
+					if !cancelledOnce {
+						t.Fatal("no sampled deadline cancelled the scan; corpus too small to exercise the property")
+					}
+
+					// The engine must keep serving this query byte-identically
+					// after an arbitrary number of abandoned scans.
+					after, err := e.Process(q)
+					if err != nil {
+						t.Fatalf("post-cancel Process: %v", err)
+					}
+					if !bytes.Equal(respBytes(t, after), baseBytes) {
+						t.Fatal("response after cancellations is not byte-identical to baseline")
+					}
+
+					// Pre-cancelled context: the scan must stop before any
+					// entry work and surface context.Canceled.
+					pctx, pcancel := context.WithCancel(context.Background())
+					pcancel()
+					if _, err := e.ProcessContext(pctx, q); !errors.Is(err, context.Canceled) {
+						t.Fatalf("pre-cancelled ProcessContext: err %v, want context.Canceled", err)
+					}
+				})
+			}
+
+			// No plan may leak scan workers: give exited goroutines a
+			// moment to be reaped, then require the count to settle back
+			// to (near) the pre-engine level.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if n := runtime.NumGoroutine(); n <= before+2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutines did not settle: started %d, now %d", before, runtime.NumGoroutine())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// TestCancellationFetchDocuments covers the retrieval half of the
+// satellite: a cancelled private fetch stops mid-database, surfaces the
+// context sentinel with no partial results, and leaves the store
+// serving byte-identical documents afterwards.
+func TestCancellationFetchDocuments(t *testing.T) {
+	before := runtime.NumGoroutine()
+	_, c := cancelEngine(t, 424242, true)
+	ids := []int{3, 57, 111}
+
+	baseline, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("baseline FetchDocuments: %v", err)
+	}
+	start := time.Now()
+	again, _, err := c.FetchDocuments(ids)
+	full := time.Since(start)
+	if err != nil {
+		t.Fatalf("second FetchDocuments: %v", err)
+	}
+	for i := range baseline {
+		if !bytes.Equal(baseline[i], again[i]) {
+			t.Fatalf("two uncancelled fetches of doc %d disagree", ids[i])
+		}
+	}
+
+	// Pre-cancelled context: no block scan may start.
+	pctx, pcancel := context.WithCancel(context.Background())
+	pcancel()
+	if docs, _, err := c.FetchDocumentsContext(pctx, ids); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled fetch: err %v, want context.Canceled", err)
+	} else if docs != nil {
+		t.Fatal("pre-cancelled fetch returned partial results")
+	}
+
+	// Mid-fetch deadline: a third of the measured full latency lands
+	// inside the block scans. A run that still finishes is retried with
+	// a tighter deadline; every cancelled run must be prompt and
+	// partial-result-free.
+	deadline := full / 3
+	cancelled := false
+	for attempt := 0; attempt < 8 && !cancelled; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		t0 := time.Now()
+		docs, _, err := c.FetchDocumentsContext(ctx, ids)
+		elapsed := time.Since(t0)
+		cancel()
+		if err == nil {
+			deadline /= 2
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cancelled fetch: err %v, want context.DeadlineExceeded", err)
+		}
+		if docs != nil {
+			t.Fatal("cancelled fetch returned partial results")
+		}
+		if over := elapsed - deadline; over > cancelOvershootSlack {
+			t.Fatalf("fetch cancellation overshot deadline by %v (slack %v)", over, cancelOvershootSlack)
+		}
+		cancelled = true
+	}
+	if !cancelled {
+		t.Fatalf("no deadline cancelled the fetch (full latency %v)", full)
+	}
+
+	// The store must serve the same bytes after an abandoned fetch.
+	after, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("post-cancel FetchDocuments: %v", err)
+	}
+	for i := range baseline {
+		if !bytes.Equal(baseline[i], after[i]) {
+			t.Fatalf("doc %d differs after an abandoned fetch", ids[i])
+		}
+	}
+
+	settle := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= before+2 {
+			break
+		}
+		if time.Now().After(settle) {
+			t.Fatalf("goroutines did not settle: started %d, now %d", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

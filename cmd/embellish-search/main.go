@@ -37,6 +37,7 @@
 //	                 [-add docs.txt] [-delete "3,17"]
 //	                 [-fetch N] [-fetch-mode private|plain]
 //	                 [-fetch-keybits K] [-fetch-pipeline D]
+//	                 [-server-stats]
 //
 // With no -query, a random searchable term pair is used.
 package main
@@ -79,6 +80,7 @@ func main() {
 		fetchBits  = flag.Int("fetch-keybits", 0, "PIR modulus size for -fetch (0 inherits the engine's key size)")
 		fetchPipe  = flag.Int("fetch-pipeline", 0, "block queries kept in flight during -fetch (0 default, 1 sequential round-trips)")
 		pirWorkers = flag.Int("pir-workers", 0, "PIR fetch-serving workers for the local engine (0 sequential reference, -1 GOMAXPROCS, N pinned)")
+		srvStats   = flag.Bool("server-stats", false, "with -connect: print the remote server's serving counters after the query")
 	)
 	flag.Parse()
 
@@ -255,6 +257,24 @@ func main() {
 		}
 	}
 	fmt.Printf("\nClaim 1 check — private ranking equals plaintext ranking: %v\n", match)
+
+	if *srvStats {
+		if conn == nil {
+			fmt.Fprintln(os.Stderr, "-server-stats requires -connect")
+			os.Exit(2)
+		}
+		st, err := embellish.ServerStats(conn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "server-stats:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nserver stats: %d queries (%d errors), %d updates, %d retrievals; %d inflight, %d queued; shed %d full / %d timeout; %d deadline cancellations\n",
+			st.Queries, st.Errors, st.Updates, st.Retrievals, st.Inflight, st.Queued, st.ShedQueueFull, st.ShedQueueTimeout, st.Deadlines)
+		if st.Durable {
+			fmt.Printf("server durable: journal seq %d, checkpoint %d (age %v)\n",
+				st.WALSeq, st.WALCheckpointSeq, st.CheckpointAge.Round(time.Millisecond))
+		}
+	}
 }
 
 // fetchWinners retrieves the top fetchN positive-score result

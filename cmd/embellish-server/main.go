@@ -19,6 +19,18 @@
 //	                 [-pir-workers N]
 //	                 [-data-dir DIR] [-fsync record|interval|off]
 //	                 [-checkpoint-every N]
+//	                 [-max-inflight N] [-queue-depth N] [-queue-timeout D]
+//	                 [-request-timeout D] [-metrics ADDR]
+//
+// With -max-inflight the server runs bounded admission control: at
+// most N requests execute at once, excess requests park in a FIFO
+// queue (-queue-depth, -queue-timeout), and overload is shed with a
+// typed retry-hint error instead of collapsing every request's
+// latency. -request-timeout cancels individual scans mid-flight at a
+// server-side deadline. -metrics exposes the serving counters over
+// HTTP (Prometheus text at /metrics, JSON at /stats.json); the same
+// counters are also served in-protocol to any wire client. See
+// docs/OPERATIONS.md.
 //
 // With -data-dir the server is crash-safe: every accepted update is
 // journaled to a write-ahead log in DIR before it is acknowledged, and
@@ -45,9 +57,11 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -90,6 +104,12 @@ func main() {
 		idle         = flag.Duration("idle-timeout", 5*time.Minute, "close connections idle longer than this (0 never)")
 		statsEvery   = flag.Duration("stats-every", 0, "print serving stats at this interval (0 off)")
 		drain        = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+
+		maxInflight  = flag.Int("max-inflight", 0, "admission control: max executing requests (0 off, -1 GOMAXPROCS, N pinned)")
+		queueDepth   = flag.Int("queue-depth", 0, "admission queue depth with -max-inflight (0 default)")
+		queueTimeout = flag.Duration("queue-timeout", 0, "max queue wait before shedding with -max-inflight (0 default, negative forever)")
+		reqTimeout   = flag.Duration("request-timeout", 0, "server-side deadline per request; scans are cancelled mid-flight (0 off)")
+		metricsAddr  = flag.String("metrics", "", "HTTP listen address for /metrics and /stats.json (empty off)")
 	)
 	flag.Parse()
 
@@ -237,12 +257,42 @@ func main() {
 		IdleTimeout:    *idle,
 		AllowUpdates:   *allowUpdates,
 		AllowRetrieval: *allowRetrieval,
+		MaxInflight:    *maxInflight,
+		QueueDepth:     *queueDepth,
+		QueueTimeout:   *queueTimeout,
+		RequestTimeout: *reqTimeout,
 	})
 	if *allowUpdates {
 		fmt.Println("online updates ENABLED: this listener accepts corpus adds/deletes")
 	}
 	if *allowRetrieval {
 		fmt.Println("private retrieval ENABLED: this listener answers PIR document fetches")
+	}
+	if *maxInflight != 0 {
+		fmt.Printf("admission control ENABLED: max-inflight %d, queue depth %d, queue timeout %v\n",
+			*maxInflight, *queueDepth, *queueTimeout)
+	}
+	if *reqTimeout > 0 {
+		fmt.Printf("request deadline ENABLED: scans cancelled after %v\n", *reqTimeout)
+	}
+	if *metricsAddr != "" {
+		ml, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics on http://%s/metrics\n", ml.Addr())
+		mux := http.NewServeMux()
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			w.Write(srv.MetricsText())
+		})
+		mux.HandleFunc("/stats.json", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			enc.Encode(srv.Stats())
+		})
+		go http.Serve(ml, mux)
 	}
 	if *statsEvery > 0 {
 		go func() {
@@ -306,6 +356,14 @@ func printStats(st embellish.ServeStats) {
 	}
 	fmt.Printf("stats: conns %d accepted / %d rejected / %d active; queries %d (%d errors), %d updates, %d PIR retrievals, avg %v, max %v\n",
 		st.Accepted, st.Rejected, st.Active, st.Queries, st.Errors, st.Updates, st.Retrievals, avg, st.MaxQueryTime)
+	if st.QueuedTotal > 0 || st.ShedQueueFull > 0 || st.ShedQueueTimeout > 0 || st.Deadlines > 0 || st.Inflight > 0 || st.Queued > 0 {
+		fmt.Printf("admission: %d inflight, %d queued (%d ever queued, max wait %v); shed %d full / %d timeout; %d deadline cancellations\n",
+			st.Inflight, st.Queued, st.QueuedTotal, st.MaxQueueWait, st.ShedQueueFull, st.ShedQueueTimeout, st.Deadlines)
+	}
+	if st.Durable {
+		fmt.Printf("durable: journal seq %d, checkpoint %d (age %v)\n",
+			st.WALSeq, st.WALCheckpointSeq, st.CheckpointAge.Round(time.Millisecond))
+	}
 }
 
 func fatal(err error) {

@@ -25,7 +25,7 @@ func TestDocsLinksResolve(t *testing.T) {
 			files = append(files, filepath.Join("docs", e.Name()))
 		}
 	}
-	if len(files) < 8 { // README, ROADMAP, CHANGES + the 5 docs/ pages
+	if len(files) < 9 { // README, ROADMAP, CHANGES + the 6 docs/ pages
 		t.Fatalf("only %d markdown files found; docs suite incomplete: %v", len(files), files)
 	}
 
@@ -111,10 +111,35 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	for _, knob := range []string{
 		"Shards", "PrecomputeWindow", "Parallelism", "PIRWorkers",
 		"BlockSize", "RetrievalKeyBits", "SetFetchPipeline", "MaxSegments",
-		"Durability", "CheckpointEveryOps", "BENCH_PR5.json",
+		"Durability", "CheckpointEveryOps", "BENCH_PR6.json",
+		"OPERATIONS.md",
 	} {
 		if !strings.Contains(string(perf), knob) {
 			t.Errorf("docs/PERFORMANCE.md does not mention %s", knob)
+		}
+	}
+	ops, err := os.ReadFile("docs/OPERATIONS.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		// The serving knobs and their CLI spellings...
+		"MaxInflight", "QueueDepth", "QueueTimeout", "RequestTimeout",
+		"IdleTimeout", "-max-inflight", "-queue-depth", "-queue-timeout",
+		"-request-timeout", "-metrics",
+		// ...the typed error surface and cancellation API...
+		"ErrOverloaded", "ErrRemoteDeadline", "OverloadRefusal",
+		"DeadlineRefusal", "CancelledError", "ProcessContext",
+		"FetchDocumentsContext",
+		// ...the metrics surface...
+		"TypeStats", "ServerStats", "/metrics", "/stats.json",
+		"ShedQueueFull", "ShedQueueTimeout", "WALSeq",
+		// ...and the load harness.
+		"BENCH_PR6.json", "-load-rates", "-load-strict",
+		"work_fraction", "p99_ms",
+	} {
+		if !strings.Contains(string(ops), name) {
+			t.Errorf("docs/OPERATIONS.md does not document %s", name)
 		}
 	}
 	durability, err := os.ReadFile("docs/DURABILITY.md")
@@ -138,7 +163,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for typ := 1; typ <= 13; typ++ {
+	for typ := 1; typ <= 14; typ++ {
 		if !strings.Contains(string(wire), fmt.Sprintf("| %d |", typ)) {
 			t.Errorf("docs/WIRE.md type table misses message type %d", typ)
 		}
@@ -147,7 +172,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypeQuery", "TypeResponse", "TypeError", "TypeBatchQuery",
 		"TypeBatchResponse", "TypeAddDocs", "TypeDeleteDocs", "TypeAdminOK",
 		"TypePIRParams", "TypePIRQuery", "TypePIRResponse",
-		"TypePIRBatchQuery", "TypePIRBatchResponse",
+		"TypePIRBatchQuery", "TypePIRBatchResponse", "TypeStats",
 		"AllowUpdates", "AllowRetrieval",
 	} {
 		if !strings.Contains(string(wire), name) {

@@ -147,7 +147,11 @@ type walState struct {
 	// durable checkpoint's.
 	logStart uint64
 	lastCkpt uint64
-	closed   bool
+	// lastCkptAt is when the newest checkpoint landed — wall-clock
+	// feedstock for the metrics surface's checkpoint age. On recovery
+	// it comes from the checkpoint file's mtime.
+	lastCkptAt time.Time
+	closed     bool
 	// asyncErr records the last background-checkpoint failure
 	// (surfaced via WALStatus; the next synchronous Checkpoint or
 	// Close also reports errors directly).
@@ -213,6 +217,7 @@ func (e *Engine) EnableDurability(d Durability) error {
 	if err := e.writeCheckpointFile(ws, e.captureStateLocked()); err != nil {
 		return err
 	}
+	ws.lastCkptAt = time.Now()
 	w, err := wal.Create(wal.LogPath(d.Dir, 0), 0, d.syncPolicy(), d.FsyncEvery)
 	if err == nil {
 		if _, err = w.Append(&wal.Record{Op: wal.OpCheckpoint, Seq: 0}); err != nil {
@@ -318,6 +323,11 @@ func OpenDurable(dir string, opts Options) (*Engine, error) {
 	}
 
 	ws := &walState{cfg: d, seq: lastSeq, lastCkpt: ckptSeq}
+	// The recovered checkpoint's age survives the restart through its
+	// file mtime; a stat failure leaves the zero time ("age unknown").
+	if fi, err := os.Stat(wal.CheckpointPath(dir, ckptSeq)); err == nil {
+		ws.lastCkptAt = fi.ModTime()
+	}
 	// Seed the automatic-checkpoint counters with the replayed tail:
 	// a crash-loop of short-lived boots must still cross the
 	// thresholds, or the log chain (and every restart's replay) would
@@ -519,6 +529,9 @@ func (e *Engine) Checkpoint() error {
 	if advanced {
 		ws.lastCkpt = st.seq
 	}
+	// Even a same-sequence re-checkpoint refreshes the snapshot file,
+	// so the metrics-facing age resets either way.
+	ws.lastCkptAt = time.Now()
 	// A completed checkpoint clears any stale background failure:
 	// WALStatus should report current health, not history.
 	ws.asyncErr = nil
@@ -678,6 +691,9 @@ type WALStatus struct {
 	// LastAsyncError is the most recent background-checkpoint failure,
 	// empty when healthy.
 	LastAsyncError string
+	// LastCheckpointAt is when the newest checkpoint landed (the file's
+	// mtime after recovery); the zero time means unknown.
+	LastCheckpointAt time.Time
 }
 
 // WALStatus reports the durable engine's journal position; ok is false
@@ -695,6 +711,7 @@ func (e *Engine) WALStatus() (WALStatus, bool) {
 		CheckpointSeq:        ws.lastCkpt,
 		OpsSinceCheckpoint:   ws.opsSinceCkpt.Load(),
 		BytesSinceCheckpoint: ws.bytesSinceCkpt.Load(),
+		LastCheckpointAt:     ws.lastCkptAt,
 	}
 	if ws.asyncErr != nil {
 		st.LastAsyncError = ws.asyncErr.Error()

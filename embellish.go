@@ -1,6 +1,8 @@
 package embellish
 
 import (
+	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -18,6 +20,7 @@ import (
 	"embellish/internal/sequence"
 	"embellish/internal/textproc"
 	"embellish/internal/wal"
+	"embellish/internal/wire"
 	"embellish/internal/wordnet"
 )
 
@@ -240,6 +243,19 @@ func (q *Query) Terms() []string { return q.termNames }
 // Bytes reports the network size of the query.
 func (q *Query) Bytes() int { return q.inner.Bytes() }
 
+// WireFrame returns the query as one encoded wire frame — the exact
+// bytes Client.SearchRemote writes. Embellishment (the client-side
+// crypto) happens once; the frame is then reusable across connections
+// and requests, which is what an open-loop load generator needs to
+// keep client cost out of the measured server latency.
+func (q *Query) WireFrame() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := wire.WriteQuery(&buf, q.inner); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
 // Response carries encrypted candidate scores back to the client.
 type Response struct {
 	inner *core.Response
@@ -276,6 +292,13 @@ type ProcessStats struct {
 // worker walks the shards serially. Every plan produces ciphertexts
 // that decrypt to identical scores.
 func (e *Engine) processCore(q *core.Query) (*core.Response, core.Stats, error) {
+	return e.processCoreCtx(context.Background(), q)
+}
+
+// processCoreCtx is processCore under a context: every execution plan
+// checks ctx inside its posting walk and stops mid-scan on
+// cancellation, returning ctx.Err() with the partial-work stats.
+func (e *Engine) processCoreCtx(ctx context.Context, q *core.Query) (*core.Response, core.Stats, error) {
 	workers := 0 // GOMAXPROCS
 	switch {
 	case e.opts.Parallelism > 0:
@@ -285,11 +308,11 @@ func (e *Engine) processCore(q *core.Query) (*core.Response, core.Stats, error) 
 	}
 	switch {
 	case e.server.NumShards() > 0:
-		return e.server.ProcessParallel(q, workers)
+		return e.server.ProcessParallelCtx(ctx, q, workers)
 	case e.opts.Parallelism == 0:
-		return e.server.Process(q)
+		return e.server.ProcessCtx(ctx, q)
 	default:
-		return e.server.ProcessParallel(q, workers)
+		return e.server.ProcessParallelCtx(ctx, q, workers)
 	}
 }
 
@@ -337,17 +360,24 @@ func (e *Engine) livePIRWorkers() int { return int(e.pirWorkers.Load()) }
 // scan at 0, the windowed/parallel pir.ProcessColumnsExec otherwise
 // (-1 = GOMAXPROCS). Every plan returns byte-identical gammas.
 func answerPIR(snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, error) {
+	return answerPIRCtx(context.Background(), snap, q, workers)
+}
+
+// answerPIRCtx is answerPIR under a context: a cancelled block scan
+// stops within a bounded slice of work in every plan and returns
+// ctx.Err().
+func answerPIRCtx(ctx context.Context, snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, error) {
 	var (
 		ans *pir.Answer
 		err error
 	)
 	switch {
 	case workers == 0:
-		ans, _, err = snap.Answer(q)
+		ans, _, err = snap.AnswerCtx(ctx, q)
 	case workers < 0:
-		ans, _, err = snap.AnswerExec(q, pir.Exec{Workers: runtime.GOMAXPROCS(0)})
+		ans, _, err = snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: runtime.GOMAXPROCS(0)})
 	default:
-		ans, _, err = snap.AnswerExec(q, pir.Exec{Workers: workers})
+		ans, _, err = snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: workers})
 	}
 	return ans, err
 }
@@ -379,28 +409,71 @@ func (e *Engine) applyExecution() {
 	e.server.SetPrecompute(e.opts.precomputeWindow())
 }
 
+// CancelledError reports a query stopped mid-scan by context
+// cancellation or deadline expiry, carrying the partial-work
+// accounting of the cycles the abandoned query burned before it
+// stopped. It wraps the context error, so
+// errors.Is(err, context.DeadlineExceeded) and
+// errors.Is(err, context.Canceled) both see through it.
+type CancelledError struct {
+	// Stats accounts the work performed before the stop: postings
+	// scanned, buckets charged, tombstones skipped. Candidates is
+	// always zero — partial candidate sets are discarded, never
+	// returned.
+	Stats ProcessStats
+	// Err is the underlying context error (context.Canceled or
+	// context.DeadlineExceeded).
+	Err error
+}
+
+func (c *CancelledError) Error() string {
+	return fmt.Sprintf("embellish: query cancelled after %d postings: %v", c.Stats.PostingsScanned, c.Err)
+}
+
+// Unwrap exposes the context error to errors.Is / errors.As.
+func (c *CancelledError) Unwrap() error { return c.Err }
+
 // Process executes Algorithm 4: accumulate each candidate document's
 // encrypted relevance score over every term of the embellished query.
 // The engine cannot distinguish genuine terms from decoys; decoy flags
 // encrypt zero, so they perturb only ciphertexts, never scores.
 func (e *Engine) Process(q *Query) (*Response, error) {
+	return e.ProcessContext(context.Background(), q)
+}
+
+// ProcessContext is Process under a context: the posting walk checks
+// ctx periodically (every execution plan, including the sharded and
+// term-striped worker pools) and stops mid-scan when ctx is cancelled
+// or its deadline expires. A cancelled query returns a *CancelledError
+// wrapping ctx.Err() — errors.Is(err, context.DeadlineExceeded) works
+// — whose Stats field accounts the partial work performed, and leaves
+// the engine fully serviceable: subsequent queries are unaffected.
+func (e *Engine) ProcessContext(ctx context.Context, q *Query) (*Response, error) {
 	if q == nil || q.inner == nil {
 		return nil, errors.New("embellish: nil query")
 	}
-	resp, st, err := e.processCore(q.inner)
+	resp, st, err := e.processCoreCtx(ctx, q.inner)
 	if err != nil {
+		// Sentinel check rather than comparing against ctx.Err(): a
+		// scan that stopped on its wall-clock deadline check can
+		// return DeadlineExceeded before the context's timer fires.
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return nil, &CancelledError{Stats: e.processStats(st), Err: err}
+		}
 		return nil, err
 	}
-	return &Response{
-		inner: resp,
-		Stats: ProcessStats{
-			PostingsScanned:   st.Postings,
-			BucketsFetched:    st.IO.Seeks,
-			Candidates:        st.Candidates,
-			TombstonesSkipped: st.Tombstoned,
-			SimulatedIOms:     st.IOms(e.server.Disk),
-		},
-	}, nil
+	return &Response{inner: resp, Stats: e.processStats(st)}, nil
+}
+
+// processStats maps core accounting onto the public ProcessStats.
+func (e *Engine) processStats(st core.Stats) ProcessStats {
+	return ProcessStats{
+		PostingsScanned:   st.Postings,
+		BucketsFetched:    st.IO.Seeks,
+		Candidates:        st.Candidates,
+		TombstonesSkipped: st.Tombstoned,
+		SimulatedIOms:     st.IOms(e.server.Disk),
+	}
 }
 
 // AddDocuments indexes additional documents online. The documents

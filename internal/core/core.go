@@ -15,6 +15,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"embellish/internal/benaloh"
 	"embellish/internal/bucket"
@@ -404,16 +406,41 @@ func (r *resolvedState) totalPostings(t wordnet.TermID) int {
 	return total
 }
 
+// cancelCheckPostings is how many postings foldEntry accumulates
+// between context checks: frequent enough that a deadline lands within
+// a handful of group operations, rare enough that the atomic load in
+// ctx.Done() is invisible next to the modular arithmetic.
+const cancelCheckPostings = 64
+
 // foldEntry folds one embellished-query entry into acc: build the
 // E(u)^p evaluator sized by the entry's total postings (one fixed-base
 // table serves every segment), then walk the entry's list segment by
 // segment, skipping tombstoned documents BEFORE any group operation.
 // Shared by the sequential plan and the term-striped workers, which
-// pass worker-local acc and stats.
-func (s *Server) foldEntry(r *resolvedState, e QueryEntry, pk *benaloh.PublicKey, acc map[index.DocID]*big.Int, st *Stats) {
+// pass worker-local acc and stats. The context is checked every
+// cancelCheckPostings postings; on cancellation the entry's partial
+// work stays accounted in st and ctx.Err() is returned.
+func (s *Server) foldEntry(ctx context.Context, r *resolvedState, e QueryEntry, pk *benaloh.PublicKey, acc map[index.DocID]*big.Int, st *Stats) error {
 	total := r.totalPostings(e.Term)
 	if total == 0 {
-		return
+		return nil
+	}
+	done := ctx.Done()
+	var dl time.Time
+	var hasDL bool
+	if done != nil {
+		dl, hasDL = ctx.Deadline()
+		// Check BEFORE the fixed-base setup: the table build is the one
+		// block of unchecked work large enough to matter, so a deadline
+		// that fires between entries must not pay for another table.
+		select {
+		case <-done:
+			return ctx.Err()
+		default:
+		}
+		if hasDL && !time.Now().Before(dl) {
+			return context.DeadlineExceeded
+		}
 	}
 	pow, setup := s.powerFn(pk, e.Flag, total)
 	st.ModMuls += setup
@@ -423,6 +450,20 @@ func (s *Server) foldEntry(r *resolvedState, e QueryEntry, pk *benaloh.PublicKey
 			continue
 		}
 		for _, p := range seg.List(int(ti)) {
+			if done != nil && st.Postings&(cancelCheckPostings-1) == 0 {
+				select {
+				case <-done:
+					return ctx.Err()
+				default:
+				}
+				// Also check the wall clock: on a single-P runtime the
+				// context's timer goroutine cannot run while this scan
+				// holds the CPU, so the done channel can close tens of
+				// milliseconds after the deadline actually passed.
+				if hasDL && !time.Now().Before(dl) {
+					return context.DeadlineExceeded
+				}
+			}
 			st.Postings++
 			if r.snap.Deleted(p.Doc) {
 				st.Tombstoned++
@@ -438,6 +479,7 @@ func (s *Server) foldEntry(r *resolvedState, e QueryEntry, pk *benaloh.PublicKey
 			}
 		}
 	}
+	return nil
 }
 
 // Process implements Algorithm 4: for every (genuine or decoy) term in
@@ -445,6 +487,16 @@ func (s *Server) foldEntry(r *resolvedState, e QueryEntry, pk *benaloh.PublicKey
 // skipping tombstoned documents without any homomorphic work — and fold
 // E(u_i)^{p_ij} into the candidate document's encrypted score.
 func (s *Server) Process(q *Query) (*Response, Stats, error) {
+	return s.ProcessCtx(context.Background(), q)
+}
+
+// ProcessCtx is Process under a context: the posting walk checks ctx
+// periodically and stops mid-scan when the context is cancelled or its
+// deadline expires. On cancellation the returned Stats account the
+// postings and multiplications actually performed before the stop —
+// the partial-work figures operational layers charge abandoned queries
+// for — and the error is ctx.Err(). The partial response is discarded.
+func (s *Server) ProcessCtx(ctx context.Context, q *Query) (*Response, Stats, error) {
 	if len(q.Entries) == 0 {
 		return nil, Stats{}, errors.New("core: empty query")
 	}
@@ -454,7 +506,9 @@ func (s *Server) Process(q *Query) (*Response, Stats, error) {
 	pk := q.Pub
 	acc := make(map[index.DocID]*big.Int)
 	for _, e := range q.Entries {
-		s.foldEntry(r, e, pk, acc, &st)
+		if err := s.foldEntry(ctx, r, e, pk, acc, &st); err != nil {
+			return nil, st, err
+		}
 	}
 	resp := &Response{ctxBytes: pk.CiphertextBytes()}
 	resp.Docs = make([]DocScore, 0, len(acc))
@@ -464,6 +518,18 @@ func (s *Server) Process(q *Query) (*Response, Stats, error) {
 	sortDocScores(resp.Docs)
 	st.Candidates = len(resp.Docs)
 	return resp, st, nil
+}
+
+// ctxScanErr is the error a cancelled scan reports: the context's own
+// error once its timer has fired, else DeadlineExceeded — a scan only
+// stops early on the done channel or on a wall-clock deadline check,
+// and the latter can observe the deadline before the context's own
+// timer goroutine has had a chance to run.
+func ctxScanErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
 }
 
 // fixedBaseMinPostings is the inverted-list length at which building a

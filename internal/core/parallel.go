@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"math/big"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"embellish/internal/index"
 	"embellish/internal/wordnet"
@@ -33,6 +35,16 @@ import (
 // sequential run would produce, but decrypts to the same score, and the
 // server learns nothing either way. workers <= 0 selects GOMAXPROCS.
 func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error) {
+	return s.ProcessParallelCtx(context.Background(), q, workers)
+}
+
+// ProcessParallelCtx is ProcessParallel under a context: every worker
+// checks ctx periodically inside its posting walk and stops early when
+// the context is cancelled or its deadline expires. On cancellation
+// the returned Stats aggregate the partial work of every worker (the
+// figures the serving layer charges abandoned queries for) and the
+// error is ctx.Err(); the partial response is discarded.
+func (s *Server) ProcessParallelCtx(ctx context.Context, q *Query, workers int) (*Response, Stats, error) {
 	if len(q.Entries) == 0 {
 		return nil, Stats{}, errors.New("core: empty query")
 	}
@@ -40,9 +52,9 @@ func (s *Server) ProcessParallel(q *Query, workers int) (*Response, Stats, error
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if s.shardN > 0 {
-		return s.processSharded(q, workers)
+		return s.processSharded(ctx, q, workers)
 	}
-	return s.processTermStriped(q, workers)
+	return s.processTermStriped(ctx, q, workers)
 }
 
 // chargeIO accounts one seek per distinct bucket named by the query
@@ -68,8 +80,10 @@ type entryPlan struct {
 }
 
 // processSharded runs the document-sharded worker-pool pipeline against
-// one index snapshot.
-func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error) {
+// one index snapshot. Workers poll ctx at entry claims and every
+// cancelCheckPostings postings; a cancelled worker records the partial
+// stats of its current shard before exiting.
+func (s *Server) processSharded(ctx context.Context, q *Query, workers int) (*Response, Stats, error) {
 	r := s.resolve()
 	st := s.chargeIO(q, r)
 	pk := q.Pub
@@ -78,6 +92,12 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 	if workers > nsh {
 		workers = nsh
 	}
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	// aborted is set by any worker that observes cancellation — the
+	// phase-3 gate cannot rely on ctx.Err() alone, because a wall-clock
+	// deadline check can fire before the context's timer goroutine runs.
+	var aborted atomic.Bool
 
 	// Phase 1: resolve terms and build the per-entry fixed-base tables,
 	// fanned out over the pool (tables are independent of each other).
@@ -90,6 +110,13 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 		go func(w int) {
 			defer wg.Done()
 			for {
+				if done != nil {
+					select {
+					case <-done:
+						return
+					default:
+					}
+				}
 				i := int(atomic.AddInt32(&nextEntry, 1)) - 1
 				if i >= len(q.Entries) {
 					return
@@ -120,6 +147,9 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 	for _, m := range setupMuls {
 		st.ModMuls += int(m)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, st, err
+	}
 
 	// Phase 2: workers claim shards and fold every entry's shard-local
 	// sub-lists (one per segment) into a shard-private accumulator.
@@ -146,6 +176,28 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 				}
 				acc := make(map[index.DocID]*big.Int)
 				muls, posts, tombs := 0, 0, 0
+				cancelled := false
+				check := func() bool {
+					if done == nil {
+						return false
+					}
+					select {
+					case <-done:
+						cancelled = true
+						aborted.Store(true)
+						return true
+					default:
+					}
+					// Wall-clock fallback: on a single-P runtime the
+					// timer goroutine cannot close done while workers
+					// hold every CPU.
+					if hasDL && !time.Now().Before(dl) {
+						cancelled = true
+						aborted.Store(true)
+						return true
+					}
+					return false
+				}
 				scan := func(p index.Posting, pl *entryPlan) {
 					posts++
 					if r.snap.Deleted(p.Doc) {
@@ -161,6 +213,7 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 						acc[p.Doc] = contrib
 					}
 				}
+			planLoop:
 				for pi := range plans {
 					pl := &plans[pi]
 					if pl.pow == nil {
@@ -173,6 +226,9 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 						}
 						if view := seg.ShardedView(); view != nil && view.NumShards() == nsh {
 							for _, p := range view.List(int(ti), si) {
+								if posts&(cancelCheckPostings-1) == 0 && check() {
+									break planLoop
+								}
 								scan(p, pl)
 							}
 						} else {
@@ -180,12 +236,21 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 								if int(p.Doc)%nsh != si {
 									continue
 								}
+								if posts&(cancelCheckPostings-1) == 0 && check() {
+									break planLoop
+								}
 								scan(p, pl)
 							}
 						}
 					}
 				}
+				// Record the shard's (possibly partial) work before
+				// exiting so cancellation still accounts every posting
+				// scanned and multiplication performed.
 				outs[si] = shardOut{acc: acc, modMuls: muls, postings: posts, tombstoned: tombs}
+				if cancelled {
+					return
+				}
 			}
 		}()
 	}
@@ -198,6 +263,9 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 		st.Postings += outs[i].postings
 		st.Tombstoned += outs[i].tombstoned
 		total += len(outs[i].acc)
+	}
+	if aborted.Load() || ctx.Err() != nil {
+		return nil, st, ctxScanErr(ctx)
 	}
 	resp := &Response{ctxBytes: pk.CiphertextBytes()}
 	resp.Docs = make([]DocScore, 0, total)
@@ -215,9 +283,9 @@ func (s *Server) processSharded(q *Query, workers int) (*Response, Stats, error)
 // terms over the workers and homomorphically merge the overlapping
 // per-worker accumulators afterwards. Retained for servers that have
 // not configured sharding.
-func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, error) {
+func (s *Server) processTermStriped(ctx context.Context, q *Query, workers int) (*Response, Stats, error) {
 	if workers == 1 || len(q.Entries) < 2*workers {
-		return s.Process(q)
+		return s.ProcessCtx(ctx, q)
 	}
 	r := s.resolve()
 	st := s.chargeIO(q, r)
@@ -225,6 +293,7 @@ func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, er
 	type stripe struct {
 		acc   map[index.DocID]*big.Int
 		stats Stats
+		err   error
 	}
 	stripes := make([]stripe, workers)
 	var wg sync.WaitGroup
@@ -234,23 +303,40 @@ func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, er
 			defer wg.Done()
 			acc := make(map[index.DocID]*big.Int)
 			var wst Stats
+			var werr error
 			for i := w; i < len(q.Entries); i += workers {
-				s.foldEntry(r, q.Entries[i], pk, acc, &wst)
+				if werr = s.foldEntry(ctx, r, q.Entries[i], pk, acc, &wst); werr != nil {
+					break
+				}
 			}
-			stripes[w] = stripe{acc: acc, stats: wst}
+			stripes[w] = stripe{acc: acc, stats: wst, err: werr}
 		}(w)
 	}
 	wg.Wait()
 
-	// Merge stripes into the first stripe's accumulator.
-	merged := stripes[0].acc
+	// A cancelled stripe still reports its partial stats; sum every
+	// stripe's work before deciding whether to merge or abort.
+	cancelled := false
+	var scanErr error
 	st.ModMuls += stripes[0].stats.ModMuls
 	st.Postings += stripes[0].stats.Postings
 	st.Tombstoned += stripes[0].stats.Tombstoned
+	for _, sh := range stripes {
+		if sh.err != nil {
+			cancelled = true
+			if scanErr == nil {
+				scanErr = sh.err
+			}
+		}
+	}
+	merged := stripes[0].acc
 	for _, sh := range stripes[1:] {
 		st.ModMuls += sh.stats.ModMuls
 		st.Postings += sh.stats.Postings
 		st.Tombstoned += sh.stats.Tombstoned
+		if cancelled {
+			continue
+		}
 		for d, c := range sh.acc {
 			if cur, ok := merged[d]; ok {
 				pk.AddInto(cur, c)
@@ -259,6 +345,12 @@ func (s *Server) processTermStriped(q *Query, workers int) (*Response, Stats, er
 				merged[d] = c
 			}
 		}
+	}
+	if cancelled {
+		// scanErr, not ctx.Err(): a stripe that stopped on the
+		// wall-clock deadline check may report DeadlineExceeded before
+		// the context's own timer has fired.
+		return nil, st, scanErr
 	}
 
 	resp := &Response{ctxBytes: pk.CiphertextBytes()}

@@ -30,6 +30,7 @@
 package docstore
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -145,11 +146,18 @@ func (sn *Snapshot) Params() Params {
 // bit, the paper's Section 5.2 cost model; AnswerExec computes the
 // identical answer faster.
 func (sn *Snapshot) Answer(q *pir.Query) (*pir.Answer, pir.Stats, error) {
+	return sn.AnswerCtx(context.Background(), q)
+}
+
+// AnswerCtx is Answer under a context: the block scan stops mid-store
+// when ctx is cancelled or its deadline expires, returning ctx.Err()
+// and the stats of the multiplications actually performed.
+func (sn *Snapshot) AnswerCtx(ctx context.Context, q *pir.Query) (*pir.Answer, pir.Stats, error) {
 	w, err := sn.queryWidth(q)
 	if err != nil {
 		return nil, pir.Stats{}, err
 	}
-	return pir.ProcessColumns(sn.blocks[:w], sn.blockSize, q)
+	return pir.ProcessColumnsCtx(ctx, sn.blocks[:w], sn.blockSize, q)
 }
 
 // AnswerExec answers the same PIR execution as Answer — byte-identical
@@ -157,11 +165,18 @@ func (sn *Snapshot) Answer(q *pir.Query) (*pir.Answer, pir.Stats, error) {
 // tables and worker pool. The prefix-addressing semantics are
 // identical.
 func (sn *Snapshot) AnswerExec(q *pir.Query, ex pir.Exec) (*pir.Answer, pir.Stats, error) {
+	return sn.AnswerExecCtx(context.Background(), q, ex)
+}
+
+// AnswerExecCtx is AnswerExec under a context, with the cancellation
+// semantics of pir.ProcessColumnsExecCtx: every worker stops within a
+// bounded slice of work and the partial multiplications stay counted.
+func (sn *Snapshot) AnswerExecCtx(ctx context.Context, q *pir.Query, ex pir.Exec) (*pir.Answer, pir.Stats, error) {
 	w, err := sn.queryWidth(q)
 	if err != nil {
 		return nil, pir.Stats{}, err
 	}
-	return pir.ProcessColumnsExec(sn.blocks[:w], sn.blockSize, q, ex)
+	return pir.ProcessColumnsExecCtx(ctx, sn.blocks[:w], sn.blockSize, q, ex)
 }
 
 // queryWidth validates a PIR query's width against the block array.

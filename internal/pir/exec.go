@@ -1,6 +1,7 @@
 package pir
 
 import (
+	"context"
 	"math/big"
 	"sync"
 )
@@ -98,11 +99,21 @@ func validateColumns(cols [][]byte, colBytes int, q *Query) error {
 // the multiplications actually performed, so it reflects the fast
 // path's reduced cost rather than the sequential cost model.
 func ProcessColumnsExec(cols [][]byte, colBytes int, q *Query, ex Exec) (*Answer, Stats, error) {
+	return ProcessColumnsExecCtx(context.Background(), cols, colBytes, q, ex)
+}
+
+// ProcessColumnsExecCtx is ProcessColumnsExec under a context: every
+// worker checks ctx at each column-group boundary and periodically
+// inside the row-accumulation loops, so a cancelled scan stops within
+// a bounded slice of work on every goroutine. On cancellation the
+// returned Stats count the multiplications actually performed across
+// all workers before they stopped, and the error is ctx.Err().
+func ProcessColumnsExecCtx(ctx context.Context, cols [][]byte, colBytes int, q *Query, ex Exec) (*Answer, Stats, error) {
 	if err := validateColumns(cols, colBytes, q); err != nil {
 		return nil, Stats{}, err
 	}
 	if len(cols) == 0 {
-		return ProcessColumns(cols, colBytes, q)
+		return ProcessColumnsCtx(ctx, cols, colBytes, q)
 	}
 	rows := colBytes * 8
 	window := ex.Window
@@ -139,15 +150,27 @@ func ProcessColumnsExec(cols [][]byte, colBytes int, q *Query, ex Exec) (*Answer
 		wg.Add(1)
 		go func(part *colPartial, lo, hi int) {
 			defer wg.Done()
-			*part = processPartial(cols, q, rows, window, lo, hi)
+			*part = processPartial(ctx, cols, q, rows, window, lo, hi)
 		}(&parts[w], lo, hi)
 	}
 	wg.Wait()
 
 	// Recombine: the per-row product over all columns is the product of
-	// the per-partition partial products, in partition order.
+	// the per-partition partial products, in partition order. A
+	// cancelled worker leaves its muls count but no usable gammas, so
+	// sum the work first and report ctx.Err() if any worker stopped.
+	st := Stats{}
+	cancelled := false
+	for w := 0; w < workers; w++ {
+		st.ModMuls += parts[w].muls
+		if parts[w].err != nil {
+			cancelled = true
+		}
+	}
+	if cancelled {
+		return nil, st, ctx.Err()
+	}
 	ans := &Answer{Gammas: parts[0].gammas}
-	st := Stats{ModMuls: parts[0].muls}
 	for w := 1; w < workers; w++ {
 		for r := 0; r < rows; r++ {
 			g := ans.Gammas[r]
@@ -155,17 +178,25 @@ func ProcessColumnsExec(cols [][]byte, colBytes int, q *Query, ex Exec) (*Answer
 			g.Mod(g, q.N)
 			st.ModMuls++
 		}
-		st.ModMuls += parts[w].muls
 	}
 	return ans, st, nil
 }
 
 // colPartial is one worker's per-row partial products over its column
-// range, plus the multiplications it performed.
+// range, plus the multiplications it performed. A non-nil err means
+// the worker stopped early on context cancellation; gammas are then
+// incomplete and must not be recombined.
 type colPartial struct {
 	gammas []*big.Int
 	muls   int
+	err    error
 }
+
+// cancelCheckRows is how many row accumulations a worker performs
+// between context checks — small enough that cancellation lands within
+// microseconds at realistic moduli, large enough that the atomic load
+// in ctx.Done() stays invisible next to the modular multiplies.
+const cancelCheckRows = 512
 
 // processPartial serves columns [lo, hi) of the database: it squares
 // the query values, builds one subset-product table per window-sized
@@ -175,9 +206,22 @@ type colPartial struct {
 // quotient per call) and row accumulators live in one backing array —
 // because at demo-sized moduli the allocator, not the multiplier,
 // otherwise dominates the scan.
-func processPartial(cols [][]byte, q *Query, rows, window, lo, hi int) colPartial {
+func processPartial(ctx context.Context, cols [][]byte, q *Query, rows, window, lo, hi int) colPartial {
 	var p colPartial
 	colBytes := (rows + 7) / 8
+	done := ctx.Done()
+	stop := func() bool {
+		if done == nil {
+			return false
+		}
+		select {
+		case <-done:
+			p.err = ctx.Err()
+			return true
+		default:
+			return false
+		}
+	}
 	// Reused scratch: dst = a*b mod N without allocating per call. dst
 	// may alias a or b (the product lands in prod first).
 	var prod, quo big.Int
@@ -204,6 +248,9 @@ func processPartial(cols [][]byte, q *Query, rows, window, lo, hi int) colPartia
 	pats := make([]byte, rows)
 	groups := (hi - lo + window - 1) / window
 	for gi := 0; gi < groups; gi++ {
+		if stop() {
+			return p
+		}
 		start := lo + gi*window
 		end := start + window
 		if end > hi {
@@ -232,6 +279,9 @@ func processPartial(cols [][]byte, q *Query, rows, window, lo, hi int) colPartia
 			continue
 		}
 		for r := range acc {
+			if r&(cancelCheckRows-1) == 0 && stop() {
+				return p
+			}
 			mulMod(&acc[r], &acc[r], table[pats[r]])
 		}
 	}

@@ -13,6 +13,7 @@
 package pir
 
 import (
+	"context"
 	"crypto/rand"
 	"errors"
 	"fmt"
@@ -247,6 +248,17 @@ func (m *Matrix) Process(q *Query) (*Answer, Stats, error) {
 // rebuilding a row-major bit matrix on every append would copy the
 // whole database.
 func ProcessColumns(cols [][]byte, colBytes int, q *Query) (*Answer, Stats, error) {
+	return ProcessColumnsCtx(context.Background(), cols, colBytes, q)
+}
+
+// ProcessColumnsCtx is ProcessColumns under a context: the row scan
+// checks ctx once per row and stops mid-database when the context is
+// cancelled or its deadline expires, returning ctx.Err() with the
+// Stats of the work actually performed (the partial accounting lets
+// callers charge abandoned queries for the cycles they burned). The
+// partially-computed answer is discarded — a half-product leaks
+// nothing but is useless to the client.
+func ProcessColumnsCtx(ctx context.Context, cols [][]byte, colBytes int, q *Query) (*Answer, Stats, error) {
 	if err := validateColumns(cols, colBytes, q); err != nil {
 		return nil, Stats{}, err
 	}
@@ -259,7 +271,15 @@ func ProcessColumns(cols [][]byte, colBytes int, q *Query) (*Answer, Stats, erro
 	}
 	rows := colBytes * 8
 	ans := &Answer{Gammas: make([]*big.Int, rows)}
+	done := ctx.Done()
 	for r := 0; r < rows; r++ {
+		if done != nil {
+			select {
+			case <-done:
+				return nil, st, ctx.Err()
+			default:
+			}
+		}
 		byteIdx, mask := r>>3, byte(1)<<(7-r&7)
 		g := big.NewInt(1)
 		for j := range cols {

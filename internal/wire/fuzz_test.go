@@ -96,6 +96,8 @@ func FuzzDecodeMessage(f *testing.F) {
 			}
 		case TypePIRBatchResponse:
 			_, _, _ = DecodePIRBatchAnswer(body)
+		case TypeStats:
+			_, _ = DecodeStats(body)
 		}
 	})
 }
@@ -138,6 +140,10 @@ func seedFrames(f *testing.F) {
 	add(func(w *bytes.Buffer) error { return WriteDeleteDocs(w, []uint32{3, 7}) })
 	add(func(w *bytes.Buffer) error { return WriteAdminOK(w, 10, 2) })
 	add(func(w *bytes.Buffer) error { return WriteError(w, "seed error") })
+	add(func(w *bytes.Buffer) error {
+		return WriteStats(w, Stats{Accepted: 12, Queries: 99, QueryNs: 1 << 40, Inflight: 3,
+			Queued: 2, ShedQueueFull: 1, Durable: 1, WALSeq: 77, WALCheckpointSeq: 70})
+	})
 }
 
 // FuzzPIRQuery goes one layer deeper than FuzzDecodeMessage: bodies

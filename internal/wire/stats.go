@@ -1,0 +1,135 @@
+package wire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"embellish/internal/vbyte"
+)
+
+// TypeStats is the operational-metrics message (type 14). Sent with an
+// EMPTY body it is the client's request; the server answers with the
+// same type carrying its serving counters. Like the admin messages it
+// is not part of the private-retrieval protocol — it exposes only
+// aggregate load figures (queue depth, latency sums, WAL lag), never
+// anything about any individual query, which stays protected by the
+// embellishment and PIR layers.
+const TypeStats = 14
+
+// Typed error-body prefixes for the operational layer. Like
+// UnknownTypeRefusal they are matched as prefixes by clients, so they
+// are FROZEN once a server ships them; the text after the prefix may
+// carry detail (retry hints, timings) and may change freely.
+const (
+	// OverloadRefusal prefixes the shed-with-retry-hint error a server
+	// sends when its admission queue (or connection cap) is full, or
+	// when a queued request waited out the queue timeout. The request
+	// was NOT started; clients should back off and retry.
+	OverloadRefusal = "server overloaded"
+	// DeadlineRefusal prefixes the error a server sends when its
+	// per-request deadline expired mid-scan. The request burned partial
+	// work and was abandoned; retrying immediately will likely expire
+	// again unless the query shrinks or the load drops.
+	DeadlineRefusal = "server deadline exceeded"
+)
+
+// maxStatsFields caps the field count a peer may claim, far above the
+// current schema so the encoding can grow without a protocol break
+// while a forged count still cannot force large allocations.
+const maxStatsFields = 64
+
+// Stats is the wire form of the server's serving counters. Fields are
+// encoded positionally as vbytes, in declaration order — APPEND-ONLY:
+// new fields go at the end, and decoders tolerate both shorter (older
+// server) and longer (newer server) field lists, defaulting missing
+// trailing fields to zero.
+type Stats struct {
+	// Connection lifecycle.
+	Accepted uint64 // connections accepted
+	Rejected uint64 // connections refused at the conn cap
+	Active   uint64 // connections open now
+	// Request counters.
+	Queries    uint64 // search queries answered (batch members included)
+	Updates    uint64 // admin add/delete frames applied
+	Retrievals uint64 // PIR executions answered
+	Errors     uint64 // error frames written
+	// Query latency (engine processing only, not queue wait).
+	QueryNs    uint64 // total nanoseconds across all queries
+	MaxQueryNs uint64 // slowest single query
+	// Admission control.
+	Inflight         uint64 // requests executing now
+	Queued           uint64 // requests parked in the admission queue now
+	QueuedTotal      uint64 // requests that ever waited in the queue
+	QueueWaitNs      uint64 // total queue wait across queued requests
+	MaxQueueWaitNs   uint64 // longest single queue wait
+	ShedQueueFull    uint64 // requests shed because the queue was full
+	ShedQueueTimeout uint64 // requests shed after waiting out the queue timeout
+	Deadlines        uint64 // requests stopped by the server-side deadline
+	// Durability (zero on in-memory engines; Durable distinguishes
+	// "in-memory" from "durable with zero lag").
+	Durable          uint64 // 1 when a write-ahead log is attached
+	WALSeq           uint64 // last journaled sequence number
+	WALCheckpointSeq uint64 // sequence covered by the newest checkpoint
+	CheckpointAgeNs  uint64 // nanoseconds since that checkpoint was taken
+}
+
+// fields returns the positional encoding order. Append-only.
+func (s *Stats) fields() []*uint64 {
+	return []*uint64{
+		&s.Accepted, &s.Rejected, &s.Active,
+		&s.Queries, &s.Updates, &s.Retrievals, &s.Errors,
+		&s.QueryNs, &s.MaxQueryNs,
+		&s.Inflight, &s.Queued, &s.QueuedTotal,
+		&s.QueueWaitNs, &s.MaxQueueWaitNs,
+		&s.ShedQueueFull, &s.ShedQueueTimeout, &s.Deadlines,
+		&s.Durable, &s.WALSeq, &s.WALCheckpointSeq, &s.CheckpointAgeNs,
+	}
+}
+
+// WriteStatsRequest frames the client's empty stats request.
+func WriteStatsRequest(w io.Writer) error {
+	return writeFrame(w, []byte{TypeStats})
+}
+
+// WriteStats frames and writes the server's stats response: a field
+// count followed by that many vbyte-coded values in the positional
+// order of Stats.fields.
+func WriteStats(w io.Writer, st Stats) error {
+	fs := st.fields()
+	var body []byte
+	body = append(body, TypeStats)
+	body = vbyte.Append(body, uint64(len(fs)))
+	for _, f := range fs {
+		body = vbyte.Append(body, *f)
+	}
+	return writeFrame(w, body)
+}
+
+// DecodeStats parses a non-empty TypeStats body. Field counts beyond
+// the current schema are tolerated (the extra values are read and
+// dropped — a newer server); counts up to maxStatsFields bound the
+// decode work against forged headers.
+func DecodeStats(body []byte) (Stats, error) {
+	var st Stats
+	n, used, err := vbyte.Decode(body)
+	if err != nil || n == 0 || n > maxStatsFields {
+		return st, fmt.Errorf("wire: stats field count: %w", orRange(err))
+	}
+	body = body[used:]
+	fs := st.fields()
+	for i := 0; i < int(n); i++ {
+		v, used, err := vbyte.Decode(body)
+		if err != nil {
+			return Stats{}, fmt.Errorf("wire: stats field %d: %w", i, err)
+		}
+		body = body[used:]
+		if i < len(fs) {
+			*fs[i] = v
+		}
+	}
+	if len(body) != 0 {
+		return Stats{}, errors.New("wire: trailing bytes after stats")
+	}
+	return st, nil
+}

@@ -1,0 +1,129 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"embellish/internal/vbyte"
+)
+
+func sampleStats() Stats {
+	return Stats{
+		Accepted: 101, Rejected: 3, Active: 7,
+		Queries: 5000, Updates: 12, Retrievals: 900, Errors: 4,
+		QueryNs: 1 << 44, MaxQueryNs: 1 << 30,
+		Inflight: 8, Queued: 5, QueuedTotal: 620,
+		QueueWaitNs: 1 << 33, MaxQueueWaitNs: 1 << 28,
+		ShedQueueFull: 17, ShedQueueTimeout: 6, Deadlines: 2,
+		Durable: 1, WALSeq: 812, WALCheckpointSeq: 800, CheckpointAgeNs: 1 << 36,
+	}
+}
+
+func TestStatsRoundTrip(t *testing.T) {
+	want := sampleStats()
+	var buf bytes.Buffer
+	if err := WriteStats(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != TypeStats {
+		t.Fatalf("type = %d, want %d", typ, TypeStats)
+	}
+	got, err := DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("decoded %+v, want %+v", got, want)
+	}
+}
+
+func TestStatsRequestIsEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteStatsRequest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeStats {
+		t.Fatalf("type = %d err = %v", typ, err)
+	}
+	if len(body) != 0 {
+		t.Fatalf("request body has %d bytes, want 0", len(body))
+	}
+}
+
+// TestStatsForwardCompat proves both directions of schema drift: a
+// SHORTER field list (older server) decodes with the missing trailing
+// fields zero, and a LONGER one (newer server) decodes with the extra
+// values dropped — in both cases without error.
+func TestStatsForwardCompat(t *testing.T) {
+	// Older server: only the first three fields.
+	var body []byte
+	body = vbyte.Append(body, 3)
+	for _, v := range []uint64{11, 22, 33} {
+		body = vbyte.Append(body, v)
+	}
+	got, err := DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Accepted != 11 || got.Rejected != 22 || got.Active != 33 || got.Queries != 0 {
+		t.Fatalf("short decode = %+v", got)
+	}
+
+	// Newer server: the full schema plus extra trailing fields.
+	full := sampleStats()
+	fs := full.fields()
+	body = body[:0]
+	body = vbyte.Append(body, uint64(len(fs)+2))
+	for _, f := range fs {
+		body = vbyte.Append(body, *f)
+	}
+	body = vbyte.Append(body, 12345)
+	body = vbyte.Append(body, 67890)
+	got, err = DecodeStats(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != full {
+		t.Fatalf("long decode = %+v, want %+v", got, full)
+	}
+}
+
+// TestStatsHostileBodies pins the decoder's forged-input behavior to
+// the package convention: bad counts, truncation and trailing garbage
+// are clean errors, never panics or allocations driven by the header.
+func TestStatsHostileBodies(t *testing.T) {
+	cases := []struct {
+		name string
+		body []byte
+	}{
+		{"empty", nil},
+		{"zero count", vbyte.Append(nil, 0)},
+		{"count over cap", vbyte.Append(nil, maxStatsFields+1)},
+		{"huge count", vbyte.Append(nil, 1<<40)},
+		{"truncated fields", vbyte.Append(nil, 5)},
+		{"trailing bytes", append(vbyte.Append(vbyte.Append(nil, 1), 9), 0xff)},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeStats(tc.body); err == nil {
+			t.Errorf("%s: decoded without error", tc.name)
+		}
+	}
+}
+
+// TestStatsFieldCountPinned fails when a field is added without
+// bumping this constant — the reminder that the encoding is
+// positional and append-only.
+func TestStatsFieldCountPinned(t *testing.T) {
+	var st Stats
+	if n := len(st.fields()); n != 21 {
+		t.Fatalf("Stats encodes %d fields, test expects 21; fields are append-only — update this test after appending", n)
+	}
+	if maxStatsFields < len(st.fields()) {
+		t.Fatal("maxStatsFields fell below the schema size")
+	}
+}

@@ -1,0 +1,148 @@
+package embellish
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"embellish/internal/wire"
+)
+
+// The metrics surface: the same ServeStats snapshot is exported three
+// ways — over the wire protocol (TypeStats, served without admission
+// so it stays readable under saturation), as a Prometheus-style text
+// page for the embellish-server -metrics HTTP listener, and to remote
+// clients via ServerStats. All three read the identical counters, so
+// an operator's dashboard and a client's retry policy never disagree
+// about what the server is doing.
+
+// statsPayload flattens one counter snapshot into the positional wire
+// schema.
+func (s *NetServer) statsPayload() wire.Stats {
+	st := s.Stats()
+	p := wire.Stats{
+		Accepted:         uint64(st.Accepted),
+		Rejected:         uint64(st.Rejected),
+		Active:           uint64(st.Active),
+		Queries:          uint64(st.Queries),
+		Updates:          uint64(st.Updates),
+		Retrievals:       uint64(st.Retrievals),
+		Errors:           uint64(st.Errors),
+		QueryNs:          uint64(st.QueryTime),
+		MaxQueryNs:       uint64(st.MaxQueryTime),
+		Inflight:         uint64(st.Inflight),
+		Queued:           uint64(st.Queued),
+		QueuedTotal:      uint64(st.QueuedTotal),
+		QueueWaitNs:      uint64(st.QueueWait),
+		MaxQueueWaitNs:   uint64(st.MaxQueueWait),
+		ShedQueueFull:    uint64(st.ShedQueueFull),
+		ShedQueueTimeout: uint64(st.ShedQueueTimeout),
+		Deadlines:        uint64(st.Deadlines),
+		WALSeq:           st.WALSeq,
+		WALCheckpointSeq: st.WALCheckpointSeq,
+		CheckpointAgeNs:  uint64(st.CheckpointAge),
+	}
+	if st.Durable {
+		p.Durable = 1
+	}
+	return p
+}
+
+// answerStats serves one TypeStats request. The request carries no
+// body — a non-empty one is a malformed frame, refused like every
+// other malformed request (the connection stays up).
+func (s *NetServer) answerStats(rw io.ReadWriter, body []byte) error {
+	if len(body) != 0 {
+		s.errs.Add(1)
+		return wire.WriteError(rw, "stats request carries no body")
+	}
+	return wire.WriteStats(rw, s.statsPayload())
+}
+
+// MetricsText renders the counter snapshot as a Prometheus-style text
+// exposition — one embellish_* line per field — for the optional
+// -metrics HTTP listener in cmd/embellish-server. Durations are
+// exported in seconds, matching Prometheus convention.
+func (s *NetServer) MetricsText() []byte {
+	st := s.Stats()
+	var b []byte
+	line := func(name string, v interface{}) {
+		b = fmt.Appendf(b, "embellish_%s %v\n", name, v)
+	}
+	secs := func(d int64) float64 { return float64(d) / 1e9 }
+	line("connections_accepted_total", st.Accepted)
+	line("connections_rejected_total", st.Rejected)
+	line("connections_active", st.Active)
+	line("queries_total", st.Queries)
+	line("updates_total", st.Updates)
+	line("retrievals_total", st.Retrievals)
+	line("errors_total", st.Errors)
+	line("query_seconds_total", secs(int64(st.QueryTime)))
+	line("query_seconds_max", secs(int64(st.MaxQueryTime)))
+	line("inflight", st.Inflight)
+	line("queue_depth", st.Queued)
+	line("queued_total", st.QueuedTotal)
+	line("queue_wait_seconds_total", secs(int64(st.QueueWait)))
+	line("queue_wait_seconds_max", secs(int64(st.MaxQueueWait)))
+	line("shed_queue_full_total", st.ShedQueueFull)
+	line("shed_queue_timeout_total", st.ShedQueueTimeout)
+	line("deadline_cancellations_total", st.Deadlines)
+	durable := 0
+	if st.Durable {
+		durable = 1
+	}
+	line("durable", durable)
+	line("wal_seq", st.WALSeq)
+	line("wal_checkpoint_seq", st.WALCheckpointSeq)
+	line("checkpoint_age_seconds", secs(int64(st.CheckpointAge)))
+	return b
+}
+
+// ServerStats fetches a remote server's counter snapshot over an open
+// protocol connection. Any wire client may call it — the server
+// answers without admission control, so it works even while the
+// server is saturated (which is exactly when it matters). Fields the
+// remote server is too old to send decode as zero.
+func ServerStats(conn io.ReadWriter) (ServeStats, error) {
+	if err := wire.WriteStatsRequest(conn); err != nil {
+		return ServeStats{}, fmt.Errorf("embellish: sending stats request: %w", err)
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		return ServeStats{}, fmt.Errorf("embellish: reading stats: %w", err)
+	}
+	switch typ {
+	case wire.TypeError:
+		return ServeStats{}, remoteError(body)
+	case wire.TypeStats:
+	default:
+		return ServeStats{}, fmt.Errorf("embellish: unexpected message type %d", typ)
+	}
+	p, err := wire.DecodeStats(body)
+	if err != nil {
+		return ServeStats{}, err
+	}
+	return ServeStats{
+		Accepted:         int64(p.Accepted),
+		Rejected:         int64(p.Rejected),
+		Active:           int64(p.Active),
+		Queries:          int64(p.Queries),
+		Updates:          int64(p.Updates),
+		Retrievals:       int64(p.Retrievals),
+		Errors:           int64(p.Errors),
+		QueryTime:        time.Duration(p.QueryNs),
+		MaxQueryTime:     time.Duration(p.MaxQueryNs),
+		Inflight:         int64(p.Inflight),
+		Queued:           int64(p.Queued),
+		QueuedTotal:      int64(p.QueuedTotal),
+		QueueWait:        time.Duration(p.QueueWaitNs),
+		MaxQueueWait:     time.Duration(p.MaxQueueWaitNs),
+		ShedQueueFull:    int64(p.ShedQueueFull),
+		ShedQueueTimeout: int64(p.ShedQueueTimeout),
+		Deadlines:        int64(p.Deadlines),
+		Durable:          p.Durable != 0,
+		WALSeq:           p.WALSeq,
+		WALCheckpointSeq: p.WALCheckpointSeq,
+		CheckpointAge:    time.Duration(p.CheckpointAgeNs),
+	}, nil
+}

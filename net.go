@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -63,6 +65,34 @@ type ServeConfig struct {
 	// are clamped to it (the constructor has no error path). Answers
 	// are byte-identical in every plan.
 	PIRWorkers int
+	// MaxInflight enables bounded admission control: at most this many
+	// requests execute at once, and requests past the limit park in a
+	// FIFO queue (QueueDepth, QueueTimeout) instead of piling onto the
+	// CPU. Under overload the server then sheds with a typed
+	// retry-hint error (the wire.OverloadRefusal prefix) rather than
+	// letting every request's latency collapse together. 0 disables
+	// admission control (every request executes immediately — the
+	// pre-queue behavior); -1 selects GOMAXPROCS; positive values pin
+	// the limit.
+	MaxInflight int
+	// QueueDepth bounds the admission queue when MaxInflight is set: a
+	// request arriving with QueueDepth requests already parked is shed
+	// immediately. 0 selects DefaultQueueDepth.
+	QueueDepth int
+	// QueueTimeout bounds one request's queue wait when MaxInflight is
+	// set: a request still parked when it expires is shed with the
+	// overload error. 0 selects DefaultQueueTimeout; negative waits
+	// forever.
+	QueueTimeout time.Duration
+	// RequestTimeout is the server-side deadline for one request's
+	// engine work (search queries, batch frames and PIR scans — admin
+	// updates are exempt, see docs/OPERATIONS.md): a scan still
+	// running when it expires is cancelled mid-scan (the partial work
+	// is accounted and freed) and answered with the
+	// wire.DeadlineRefusal error. The clock starts when the request is
+	// ADMITTED, not when it arrives — queue wait is bounded separately
+	// by QueueTimeout. 0 disables the deadline.
+	RequestTimeout time.Duration
 }
 
 // ServeStats is a snapshot of a NetServer's counters.
@@ -85,6 +115,27 @@ type ServeStats struct {
 	// QueryTime is the total server-side processing time across all
 	// queries; MaxQueryTime is the slowest single query.
 	QueryTime, MaxQueryTime time.Duration
+	// Inflight is the number of requests executing right now; Queued is
+	// the number parked in the admission queue right now; QueuedTotal
+	// counts every request that ever had to queue.
+	Inflight, Queued, QueuedTotal int64
+	// QueueWait is the total time requests spent parked in the
+	// admission queue; MaxQueueWait is the longest single wait.
+	QueueWait, MaxQueueWait time.Duration
+	// ShedQueueFull and ShedQueueTimeout count requests shed with the
+	// wire.OverloadRefusal error because the queue was at capacity, or
+	// because the request's queue wait exceeded QueueTimeout.
+	ShedQueueFull, ShedQueueTimeout int64
+	// Deadlines counts requests cancelled mid-scan by RequestTimeout
+	// and answered with the wire.DeadlineRefusal error.
+	Deadlines int64
+	// Durable reports whether the served engine journals updates;
+	// WALSeq / WALCheckpointSeq are its last journaled operation and
+	// newest checkpoint, and CheckpointAge is the time since that
+	// checkpoint landed. All zero on non-durable engines.
+	Durable                  bool
+	WALSeq, WALCheckpointSeq uint64
+	CheckpointAge            time.Duration
 }
 
 // NetServer serves the private-retrieval wire protocol for one Engine
@@ -99,6 +150,14 @@ type NetServer struct {
 	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
 	// engine's Options.PIRWorkers at answer time.
 	pirOverride int
+	// adm is the bounded admission queue; nil when MaxInflight is 0
+	// (admission control disabled).
+	adm        *admission
+	reqTimeout time.Duration
+	// testHookAdmitted, when set, runs after a request clears admission
+	// and before it executes — the test seam that makes slot occupancy
+	// deterministic. Never set in production.
+	testHookAdmitted func(typ byte)
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
@@ -115,6 +174,13 @@ type NetServer struct {
 	busyNs     atomic.Int64 // total processing time
 	maxNs      atomic.Int64 // slowest single query
 	inflight   atomic.Int64 // queries currently being processed
+
+	queuedTotal    atomic.Int64
+	queueWaitNs    atomic.Int64
+	maxQueueWaitNs atomic.Int64
+	shedFull       atomic.Int64
+	shedTimeout    atomic.Int64
+	deadlines      atomic.Int64
 }
 
 // NewNetServer builds a concurrent protocol server around the engine.
@@ -137,6 +203,22 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 	if pirOverride > maxPIRWorkers {
 		pirOverride = maxPIRWorkers
 	}
+	var adm *admission
+	if cfg.MaxInflight != 0 {
+		slots := cfg.MaxInflight
+		if slots < 0 {
+			slots = runtime.GOMAXPROCS(0)
+		}
+		depth := cfg.QueueDepth
+		if depth <= 0 {
+			depth = DefaultQueueDepth
+		}
+		timeout := cfg.QueueTimeout
+		if timeout == 0 {
+			timeout = DefaultQueueTimeout
+		}
+		adm = newAdmission(slots, depth, timeout)
+	}
 	return &NetServer{
 		engine:         e,
 		maxConns:       maxConns,
@@ -144,6 +226,8 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		allowUpdates:   cfg.AllowUpdates,
 		allowRetrieval: cfg.AllowRetrieval,
 		pirOverride:    pirOverride,
+		adm:            adm,
+		reqTimeout:     cfg.RequestTimeout,
 		listeners:      make(map[net.Listener]struct{}),
 		conns:          make(map[net.Conn]struct{}),
 	}
@@ -162,17 +246,36 @@ func (s *NetServer) pirWorkers() int {
 
 // Stats returns a snapshot of the server's counters.
 func (s *NetServer) Stats() ServeStats {
-	return ServeStats{
-		Accepted:     s.accepted.Load(),
-		Rejected:     s.rejected.Load(),
-		Active:       s.active.Load(),
-		Queries:      s.queries.Load(),
-		Updates:      s.updates.Load(),
-		Retrievals:   s.retrievals.Load(),
-		Errors:       s.errs.Load(),
-		QueryTime:    time.Duration(s.busyNs.Load()),
-		MaxQueryTime: time.Duration(s.maxNs.Load()),
+	st := ServeStats{
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Active:           s.active.Load(),
+		Queries:          s.queries.Load(),
+		Updates:          s.updates.Load(),
+		Retrievals:       s.retrievals.Load(),
+		Errors:           s.errs.Load(),
+		QueryTime:        time.Duration(s.busyNs.Load()),
+		MaxQueryTime:     time.Duration(s.maxNs.Load()),
+		Inflight:         s.inflight.Load(),
+		QueuedTotal:      s.queuedTotal.Load(),
+		QueueWait:        time.Duration(s.queueWaitNs.Load()),
+		MaxQueueWait:     time.Duration(s.maxQueueWaitNs.Load()),
+		ShedQueueFull:    s.shedFull.Load(),
+		ShedQueueTimeout: s.shedTimeout.Load(),
+		Deadlines:        s.deadlines.Load(),
 	}
+	if s.adm != nil {
+		st.Queued = int64(s.adm.queued())
+	}
+	if ws, ok := s.engine.WALStatus(); ok {
+		st.Durable = true
+		st.WALSeq = ws.Seq
+		st.WALCheckpointSeq = ws.CheckpointSeq
+		if !ws.LastCheckpointAt.IsZero() {
+			st.CheckpointAge = time.Since(ws.LastCheckpointAt)
+		}
+	}
+	return st
 }
 
 // Serve accepts connections until the listener is closed (directly or
@@ -206,7 +309,7 @@ func (s *NetServer) Serve(l net.Listener) error {
 			// Over the cap (or shutting down): tell the peer why before
 			// hanging up, so clients fail with a useful error.
 			s.rejected.Add(1)
-			_ = wire.WriteError(conn, "server at connection limit")
+			_ = wire.WriteError(conn, wire.OverloadRefusal+": connection limit reached; retry later")
 			conn.Close()
 			continue
 		}
@@ -267,6 +370,12 @@ drain:
 		}
 	}
 
+	// Shed whatever is still parked in the admission queue (normally
+	// empty after the drain — queued requests hold inflight) before
+	// cutting the transports under them.
+	if s.adm != nil {
+		s.adm.abort()
+	}
 	s.mu.Lock()
 	for c := range s.conns {
 		c.Close()
@@ -298,29 +407,26 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			}
 			return err
 		}
+		// The idle window measures PEER silence only. A request is now in
+		// hand, so clear the read deadline before it queues or executes —
+		// a request parked in the admission queue longer than IdleTimeout
+		// must not leave a deadline meant for dead peers armed against its
+		// connection. The loop re-arms a fresh deadline before its own
+		// next read, but the stale expiry would be live for any read
+		// issued between dispatch and that re-arm — the batch handlers
+		// are one frame-read refactor away from exactly that.
+		if s.idle > 0 && deadliner != nil {
+			_ = deadliner.SetReadDeadline(time.Time{})
+		}
 		switch typ {
-		case wire.TypeQuery:
-			// inflight spans decode through response write (for batches,
-			// the whole batch), so a graceful Shutdown never cuts a
-			// connection between computing an answer and delivering it.
-			s.inflight.Add(1)
-			err = s.answerQuery(rw, body)
-			s.inflight.Add(-1)
-		case wire.TypeBatchQuery:
-			s.inflight.Add(1)
-			err = s.answerBatch(rw, body)
-			s.inflight.Add(-1)
-		case wire.TypeAddDocs, wire.TypeDeleteDocs:
-			// inflight also spans admin operations so a graceful Shutdown
-			// never cuts a connection between applying an update and
-			// acknowledging it.
-			s.inflight.Add(1)
-			err = s.answerAdmin(rw, typ, body)
-			s.inflight.Add(-1)
-		case wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery:
-			s.inflight.Add(1)
-			err = s.answerRetrieval(rw, typ, body)
-			s.inflight.Add(-1)
+		case wire.TypeQuery, wire.TypeBatchQuery, wire.TypeAddDocs, wire.TypeDeleteDocs,
+			wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery:
+			err = s.admitAndDispatch(rw, typ, body)
+		case wire.TypeStats:
+			// Served without admission: the stats surface must stay
+			// readable while the server is saturated — that is when an
+			// operator most needs it.
+			err = s.answerStats(rw, body)
 		default:
 			s.errs.Add(1)
 			err = wire.WriteError(rw, fmt.Sprintf("%s %d", wire.UnknownTypeRefusal, typ))
@@ -331,12 +437,80 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 	}
 }
 
+// admitAndDispatch runs one request through the admission queue (when
+// enabled) and then the per-type handler. inflight is raised BEFORE
+// acquiring a slot so a graceful Shutdown's drain covers queued
+// requests too — a request parked in the queue is work the server has
+// accepted responsibility for.
+func (s *NetServer) admitAndDispatch(rw io.ReadWriter, typ byte, body []byte) error {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	if s.adm != nil {
+		wait, err := s.adm.acquire()
+		if wait > 0 {
+			s.queuedTotal.Add(1)
+			ns := int64(wait)
+			s.queueWaitNs.Add(ns)
+			for {
+				cur := s.maxQueueWaitNs.Load()
+				if ns <= cur || s.maxQueueWaitNs.CompareAndSwap(cur, ns) {
+					break
+				}
+			}
+		}
+		if err != nil {
+			s.errs.Add(1)
+			switch {
+			case errors.Is(err, errQueueFull):
+				s.shedFull.Add(1)
+				return wire.WriteError(rw, wire.OverloadRefusal+": admission queue full; retry later")
+			case errors.Is(err, errQueueTimeout):
+				s.shedTimeout.Add(1)
+				return wire.WriteError(rw, wire.OverloadRefusal+": queue wait exceeded; retry later")
+			default: // errQueueClosed
+				return wire.WriteError(rw, wire.OverloadRefusal+": server is shutting down")
+			}
+		}
+		defer s.adm.release()
+	}
+	if s.testHookAdmitted != nil {
+		s.testHookAdmitted(typ)
+	}
+	switch typ {
+	case wire.TypeQuery:
+		// inflight spans decode through response write (for batches,
+		// the whole batch), so a graceful Shutdown never cuts a
+		// connection between computing an answer and delivering it.
+		return s.answerQuery(rw, body)
+	case wire.TypeBatchQuery:
+		return s.answerBatch(rw, body)
+	case wire.TypeAddDocs, wire.TypeDeleteDocs:
+		// inflight also spans admin operations so a graceful Shutdown
+		// never cuts a connection between applying an update and
+		// acknowledging it.
+		return s.answerAdmin(rw, typ, body)
+	default: // wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery
+		return s.answerRetrieval(rw, typ, body)
+	}
+}
+
+// requestCtx starts the server-side deadline for one admitted request.
+// The clock starts here — after admission — so queue wait never eats
+// into a request's execution budget (QueueTimeout bounds that wait
+// separately).
+func (s *NetServer) requestCtx() (context.Context, context.CancelFunc) {
+	if s.reqTimeout > 0 {
+		return context.WithTimeout(context.Background(), s.reqTimeout)
+	}
+	return context.Background(), func() {}
+}
+
 // process runs one embellished query through the engine's configured
 // pipeline, timing it into the server counters. The caller (serveConn)
 // holds the inflight count for the whole message exchange.
-func (s *NetServer) process(q *core.Query) (*core.Response, core.Stats, error) {
+func (s *NetServer) process(ctx context.Context, q *core.Query) (*core.Response, core.Stats, error) {
 	start := time.Now()
-	resp, st, err := s.engine.processCore(q)
+	resp, st, err := s.engine.processCoreCtx(ctx, q)
 	elapsed := time.Since(start)
 	s.queries.Add(1)
 	s.busyNs.Add(int64(elapsed))
@@ -349,14 +523,40 @@ func (s *NetServer) process(q *core.Query) (*core.Response, core.Stats, error) {
 	return resp, st, err
 }
 
+// deadlineError answers one deadline-cancelled request with the typed
+// DeadlineRefusal wire error (the connection stays up) and counts it.
+func (s *NetServer) deadlineError(rw io.ReadWriter, detail string) error {
+	s.deadlines.Add(1)
+	s.errs.Add(1)
+	return wire.WriteError(rw, wire.DeadlineRefusal+": "+detail)
+}
+
+// isCtxErr reports whether err is the context's own cancellation —
+// the signal that the scan was cut short by the server deadline, as
+// opposed to failing on its own.
+func isCtxErr(ctx context.Context, err error) bool {
+	if err == nil {
+		return false
+	}
+	// Sentinel check rather than comparing against ctx.Err(): a scan
+	// stopped by its wall-clock deadline check reports DeadlineExceeded
+	// before the context's own timer has necessarily fired.
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 func (s *NetServer) answerQuery(rw io.ReadWriter, body []byte) error {
 	q, err := wire.DecodeQuery(body)
 	if err != nil {
 		s.errs.Add(1)
 		return wire.WriteError(rw, err.Error())
 	}
-	resp, stats, err := s.process(q)
+	ctx, cancel := s.requestCtx()
+	defer cancel()
+	resp, stats, err := s.process(ctx, q)
 	if err != nil {
+		if isCtxErr(ctx, err) {
+			return s.deadlineError(rw, fmt.Sprintf("query cancelled after %d postings", stats.Postings))
+		}
 		s.errs.Add(1)
 		return wire.WriteError(rw, err.Error())
 	}
@@ -442,9 +642,16 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 			s.errs.Add(1)
 			return wire.WriteError(rw, err.Error())
 		}
+		// One deadline covers the whole batch frame, matching the
+		// search-batch path.
+		ctx, cancel := s.requestCtx()
+		defer cancel()
 		for i, q := range qs {
-			ans, err := answerPIR(snap, q, s.pirWorkers())
+			ans, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
 			if err != nil {
+				if isCtxErr(ctx, err) {
+					return s.deadlineError(rw, fmt.Sprintf("batch cancelled in block %d", i))
+				}
 				s.errs.Add(1)
 				return wire.WriteError(rw, fmt.Sprintf("batch block %d: %v", i, err))
 			}
@@ -460,8 +667,13 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 			s.errs.Add(1)
 			return wire.WriteError(rw, err.Error())
 		}
-		ans, err := answerPIR(snap, q, s.pirWorkers())
+		ctx, cancel := s.requestCtx()
+		defer cancel()
+		ans, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
 		if err != nil {
+			if isCtxErr(ctx, err) {
+				return s.deadlineError(rw, "block scan cancelled")
+			}
 			s.errs.Add(1)
 			return wire.WriteError(rw, err.Error())
 		}
@@ -476,11 +688,18 @@ func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {
 		s.errs.Add(1)
 		return wire.WriteError(rw, err.Error())
 	}
+	// One deadline covers the whole batch: the peer sent one frame and
+	// gets one response, so the batch is the unit of server work.
+	ctx, cancel := s.requestCtx()
+	defer cancel()
 	resps := make([]*core.Response, len(qs))
 	stats := make([]core.Stats, len(qs))
 	for i, q := range qs {
-		resp, st, err := s.process(q)
+		resp, st, err := s.process(ctx, q)
 		if err != nil {
+			if isCtxErr(ctx, err) {
+				return s.deadlineError(rw, fmt.Sprintf("batch cancelled in query %d", i))
+			}
 			s.errs.Add(1)
 			return wire.WriteError(rw, fmt.Sprintf("batch query %d: %v", i, err))
 		}
@@ -505,6 +724,38 @@ func (e *Engine) ServeConn(conn io.ReadWriter) error {
 	return e.NewNetServer(ServeConfig{}).serveConn(conn, deadliner)
 }
 
+// Client-visible classifications of a server refusal. Both are
+// transient: the request was not executed (or was cancelled mid-scan),
+// the connection survives, and a retry — after backoff for
+// ErrOverloaded — may succeed.
+var (
+	// ErrOverloaded is wrapped by client calls when the server shed the
+	// request under admission control (queue full, queue timeout, or
+	// connection cap).
+	ErrOverloaded = errors.New("embellish: server overloaded")
+	// ErrRemoteDeadline is wrapped by client calls when the server
+	// cancelled the request mid-scan at its RequestTimeout.
+	ErrRemoteDeadline = errors.New("embellish: server deadline exceeded")
+)
+
+// remoteError classifies one TypeError body from a server: typed
+// overload and deadline refusals wrap the matching sentinel (so
+// callers can errors.Is their way to a retry policy); everything else
+// stays an opaque server error.
+func remoteError(body []byte) error {
+	msg := string(body)
+	switch {
+	case strings.HasPrefix(msg, wire.OverloadRefusal):
+		// The sentinel's text already says "server overloaded"; keep
+		// only the server's detail after the typed prefix.
+		return fmt.Errorf("%w%s", ErrOverloaded, strings.TrimPrefix(msg, wire.OverloadRefusal))
+	case strings.HasPrefix(msg, wire.DeadlineRefusal):
+		return fmt.Errorf("%w%s", ErrRemoteDeadline, strings.TrimPrefix(msg, wire.DeadlineRefusal))
+	default:
+		return fmt.Errorf("embellish: server error: %s", msg)
+	}
+}
+
 // SearchRemote runs one private query against a remote engine: Algorithm
 // 3 locally, Algorithm 4 on the server, Algorithm 5 locally. The
 // connection can be reused across calls.
@@ -522,7 +773,7 @@ func (c *Client) SearchRemote(conn io.ReadWriter, query string, k int) ([]Result
 	}
 	switch typ {
 	case wire.TypeError:
-		return nil, fmt.Errorf("embellish: server error: %s", body)
+		return nil, remoteError(body)
 	case wire.TypeResponse:
 	default:
 		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
@@ -561,7 +812,7 @@ func (c *Client) SearchRemoteBatch(conn io.ReadWriter, queries []string, k int) 
 	}
 	switch typ {
 	case wire.TypeError:
-		return nil, fmt.Errorf("embellish: server error: %s", body)
+		return nil, remoteError(body)
 	case wire.TypeBatchResponse:
 	default:
 		return nil, fmt.Errorf("embellish: unexpected message type %d", typ)
@@ -686,7 +937,7 @@ func adminRoundTrip(conn io.ReadWriter, write func() error) (AdminStatus, error)
 	}
 	switch typ {
 	case wire.TypeError:
-		return AdminStatus{}, fmt.Errorf("embellish: server error: %s", body)
+		return AdminStatus{}, remoteError(body)
 	case wire.TypeAdminOK:
 	default:
 		return AdminStatus{}, fmt.Errorf("embellish: unexpected message type %d", typ)

@@ -1,6 +1,7 @@
 package embellish
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -161,7 +162,9 @@ type pirTransport interface {
 	// query, in consumption order — the ordered-reassembly contract.
 	// It returns after qs closes and every answer is delivered, or on
 	// the first generation, serving, transport or delivery error.
-	Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error
+	// Cancellation of ctx stops the run between (or, for in-process
+	// serving, inside) protocol executions with ctx.Err().
+	Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error
 }
 
 // localPIR serves fetches from one pinned store snapshot, so a
@@ -175,11 +178,11 @@ type localPIR struct {
 
 func (l localPIR) Params() (docstore.Params, error) { return l.sn.Params(), nil }
 
-func (l localPIR) Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+func (l localPIR) Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
 	for q := range qs {
 		// Serving errors go back bare: fetchVia attaches the document
 		// and block context (and the "embellish:" prefix) itself.
-		ans, err := answerPIR(l.sn, q, l.workers)
+		ans, err := answerPIRCtx(ctx, l.sn, q, l.workers)
 		if err != nil {
 			return err
 		}
@@ -187,7 +190,7 @@ func (l localPIR) Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) err
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // remotePIR speaks the wire protocol over one connection: sequential
@@ -208,7 +211,7 @@ func (r remotePIR) Params() (docstore.Params, error) {
 	}
 	switch typ {
 	case wire.TypeError:
-		return docstore.Params{}, fmt.Errorf("embellish: server error: %s", body)
+		return docstore.Params{}, remoteError(body)
 	case wire.TypePIRParams:
 	default:
 		return docstore.Params{}, fmt.Errorf("embellish: unexpected message type %d", typ)
@@ -216,17 +219,23 @@ func (r remotePIR) Params() (docstore.Params, error) {
 	return wire.DecodePIRParams(body)
 }
 
-func (r remotePIR) Run(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+func (r remotePIR) Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
 	if r.depth <= 1 {
-		return r.runSequential(qs, deliver)
+		return r.runSequential(ctx, qs, deliver)
 	}
-	return r.runPipelined(qs, deliver)
+	return r.runPipelined(ctx, qs, deliver)
 }
 
 // runSequential is the depth-1 protocol: one synchronous TypePIRQuery
-// round-trip per block, wire-compatible with pre-batch servers.
-func (r remotePIR) runSequential(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+// round-trip per block, wire-compatible with pre-batch servers. The
+// context is checked between round-trips — a cancelled fetch stops
+// before committing the next query, leaving the stream frame-aligned
+// and the connection reusable.
+func (r remotePIR) runSequential(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
 	for q := range qs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if err := wire.WritePIRQuery(r.conn, q); err != nil {
 			return fmt.Errorf("embellish: sending PIR query: %w", err)
 		}
@@ -236,7 +245,7 @@ func (r remotePIR) runSequential(qs <-chan *pir.Query, deliver func(*pir.Answer)
 		}
 		switch typ {
 		case wire.TypeError:
-			return fmt.Errorf("embellish: server error: %s", body)
+			return remoteError(body)
 		case wire.TypePIRResponse:
 		default:
 			return fmt.Errorf("embellish: unexpected message type %d", typ)
@@ -249,7 +258,7 @@ func (r remotePIR) runSequential(qs <-chan *pir.Query, deliver func(*pir.Answer)
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // maxPIRBatchFrameBytes budgets one batch frame well under the wire
@@ -297,7 +306,7 @@ func pirBatchLimit(depth, numValues, modBits int) int {
 // also unblocks the writer). In every case the writer goroutine exits
 // once the connection is closed; it never outlives a successful or
 // drained call.
-func (r remotePIR) runPipelined(qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+func (r remotePIR) runPipelined(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
 	var (
 		committed  atomic.Int64 // answer frames the server owes us (queries written)
 		abortOnce  sync.Once
@@ -377,6 +386,13 @@ func (r remotePIR) runPipelined(qs <-chan *pir.Query, deliver func(*pir.Answer) 
 	consumed := 0
 	greenLit := false
 	for n := range sizes {
+		if err := ctx.Err(); err != nil {
+			// Cancelled between batches: stop the writer and drain the
+			// answers the server still owes, so the stream stays
+			// frame-aligned and the connection survives the abandon.
+			stop()
+			return r.drain(consumed, &committed, writerDone, commitPing, err)
+		}
 		for i := 0; i < n; i++ {
 			typ, body, err := wire.ReadMessage(r.conn)
 			if err != nil {
@@ -397,7 +413,7 @@ func (r remotePIR) runPipelined(qs <-chan *pir.Query, deliver func(*pir.Answer) 
 				// The server aborted this batch partway; the remaining
 				// frame accounting is unknowable, so the connection is
 				// not reusable after this error.
-				return fmt.Errorf("embellish: server error: %s", body)
+				return remoteError(body)
 			case wire.TypePIRBatchResponse:
 			default:
 				return fmt.Errorf("embellish: unexpected message type %d", typ)
@@ -473,11 +489,20 @@ type FetchStats struct {
 // engine's PIRWorkers knob selects, and query generation overlaps
 // serving through the client's fetch pipeline (SetFetchPipeline).
 func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
+	return c.FetchDocumentsContext(context.Background(), ids)
+}
+
+// FetchDocumentsContext is FetchDocuments under a context: a cancelled
+// or deadline-expired fetch stops its block scans mid-database (the
+// serving plan checks ctx inside the multiplication loops) and returns
+// an error satisfying errors.Is(err, ctx.Err()). No partial results
+// are returned.
+func (c *Client) FetchDocumentsContext(ctx context.Context, ids []int) ([][]byte, FetchStats, error) {
 	sn, err := c.engine.storeSnapshot()
 	if err != nil {
 		return nil, FetchStats{}, err
 	}
-	return c.fetchVia(localPIR{sn: sn, workers: c.engine.livePIRWorkers()}, ids)
+	return c.fetchVia(ctx, localPIR{sn: sn, workers: c.engine.livePIRWorkers()}, ids)
 }
 
 // FetchDocumentsRemote privately fetches the given documents from a
@@ -503,14 +528,24 @@ func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
 // failure the stream state is undefined: close the connection and
 // dial a fresh one.
 func (c *Client) FetchDocumentsRemote(conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
+	return c.FetchDocumentsRemoteContext(context.Background(), conn, ids)
+}
+
+// FetchDocumentsRemoteContext is FetchDocumentsRemote under a context:
+// cancellation is honored at frame boundaries — the client stops
+// committing new block queries and drains the answers already in
+// flight, so the connection stays reusable after an abandoned fetch.
+// (The server applies its own per-request deadline to each scan; see
+// ServeConfig.RequestTimeout.)
+func (c *Client) FetchDocumentsRemoteContext(ctx context.Context, conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
 	depth := c.pipelineDepth()
-	out, st, err := c.fetchVia(remotePIR{conn: conn, depth: depth}, ids)
+	out, st, err := c.fetchVia(ctx, remotePIR{conn: conn, depth: depth}, ids)
 	if depth > 1 && errors.Is(err, errBatchUnsupported) {
 		// A server predating the batch messages refused the very first
 		// batch frame (the pipeline slow-starts, so exactly one frame
 		// was exchanged and the stream is still aligned): retry the
 		// whole fetch through the sequential protocol it does speak.
-		return c.fetchVia(remotePIR{conn: conn, depth: 1}, ids)
+		return c.fetchVia(ctx, remotePIR{conn: conn, depth: 1}, ids)
 	}
 	return out, st, err
 }
@@ -526,7 +561,7 @@ var errBatchUnsupported = errors.New("embellish: server does not speak batched P
 // its last block arrives. Any unfetchable id (never assigned, or
 // tombstoned) fails the whole call — the error names the id, and no
 // partial results are returned.
-func (c *Client) fetchVia(t pirTransport, ids []int) ([][]byte, FetchStats, error) {
+func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]byte, FetchStats, error) {
 	var st FetchStats
 	if len(ids) == 0 {
 		return nil, st, errors.New("embellish: no documents to fetch")
@@ -628,7 +663,7 @@ func (c *Client) fetchVia(t pirTransport, ids []int) ([][]byte, FetchStats, erro
 		}
 		return nil
 	}
-	err = t.Run(qch, deliver)
+	err = t.Run(ctx, qch, deliver)
 	close(done)
 	wg.Wait()
 	st.QueryBytes = genQueryBytes
