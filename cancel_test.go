@@ -315,3 +315,98 @@ func TestCancellationFetchDocuments(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestCancellationAmortizedFetch extends the overshoot regression to
+// the amortized multi-query path: with a parallel plan and batch
+// amortization forced on, a multi-document fetch pushes whole batches
+// through ONE database pass (pir.ProcessColumnsMulti), so a deadline
+// landing inside that pass exercises the multi scanner's cancellation
+// checks. A cancelled fetch must stop promptly (bounded overshoot),
+// surface the context sentinel with no partial results, and the
+// amortized path must keep serving bytes identical to the per-query
+// path before and after the abandonment.
+func TestCancellationAmortizedFetch(t *testing.T) {
+	e, c := cancelEngine(t, 515151, true)
+	if err := e.ConfigurePIRWorkers(2); err != nil {
+		t.Fatalf("ConfigurePIRWorkers: %v", err)
+	}
+	if err := e.ConfigurePIRBatchAmortize(1); err != nil {
+		t.Fatalf("ConfigurePIRBatchAmortize: %v", err)
+	}
+	ids := []int{5, 19, 42, 77, 103}
+
+	baseline, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("amortized FetchDocuments: %v", err)
+	}
+	start := time.Now()
+	if _, _, err := c.FetchDocuments(ids); err != nil {
+		t.Fatalf("second amortized FetchDocuments: %v", err)
+	}
+	full := time.Since(start)
+
+	// The escape hatch must not change a single byte.
+	if err := e.ConfigurePIRBatchAmortize(-1); err != nil {
+		t.Fatalf("ConfigurePIRBatchAmortize(-1): %v", err)
+	}
+	perQuery, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("per-query FetchDocuments: %v", err)
+	}
+	for i := range baseline {
+		if !bytes.Equal(baseline[i], perQuery[i]) {
+			t.Fatalf("doc %d differs between amortized and per-query serving", ids[i])
+		}
+	}
+	if err := e.ConfigurePIRBatchAmortize(1); err != nil {
+		t.Fatalf("ConfigurePIRBatchAmortize(1): %v", err)
+	}
+
+	// Pre-cancelled context: the batch scan must not start.
+	pctx, pcancel := context.WithCancel(context.Background())
+	pcancel()
+	if docs, _, err := c.FetchDocumentsContext(pctx, ids); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled amortized fetch: err %v, want context.Canceled", err)
+	} else if docs != nil {
+		t.Fatal("pre-cancelled amortized fetch returned partial results")
+	}
+
+	// Mid-fetch deadline: must land inside the one-pass batch scan.
+	deadline := full / 3
+	cancelled := false
+	for attempt := 0; attempt < 8 && !cancelled; attempt++ {
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		t0 := time.Now()
+		docs, _, err := c.FetchDocumentsContext(ctx, ids)
+		elapsed := time.Since(t0)
+		cancel()
+		if err == nil {
+			deadline /= 2
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("cancelled amortized fetch: err %v, want context.DeadlineExceeded", err)
+		}
+		if docs != nil {
+			t.Fatal("cancelled amortized fetch returned partial results")
+		}
+		if over := elapsed - deadline; over > cancelOvershootSlack {
+			t.Fatalf("amortized cancellation overshot deadline by %v (slack %v)", over, cancelOvershootSlack)
+		}
+		cancelled = true
+	}
+	if !cancelled {
+		t.Fatalf("no deadline cancelled the amortized fetch (full latency %v)", full)
+	}
+
+	// Byte-identity must survive the abandonment.
+	after, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("post-cancel amortized FetchDocuments: %v", err)
+	}
+	for i := range baseline {
+		if !bytes.Equal(baseline[i], after[i]) {
+			t.Fatalf("doc %d differs after an abandoned amortized fetch", ids[i])
+		}
+	}
+}

@@ -5,12 +5,15 @@
 // against a from-scratch rebuild, measures query latency on the
 // updated engine, then measures per-document PIR fetch latency —
 // sequential reference scan vs. the windowed/parallel serving plan
-// vs. the pipelined remote protocol over a real TCP loopback — against
+// vs. the pipelined remote protocol over a real TCP loopback vs. the
+// amortized multi-query path (every block query of the fetch answered
+// in ONE database pass on the Montgomery kernel, locally and over the
+// batched wire protocol) — against
 // plaintext fetch at two corpus sizes; then measures the durability
 // tax and payoff: write-ahead-logged ingest (fsync=interval) against
 // in-memory ingest, and checkpoint+log recovery against re-ingesting
 // the same operations through the public API. Figures land as
-// machine-readable JSON (BENCH_PR5.json by default) so successive PRs
+// machine-readable JSON (BENCH_PR7.json by default) so successive PRs
 // can be compared.
 //
 // Usage:
@@ -23,7 +26,7 @@
 //	                [-durable-docs 8000] [-durable-synsets 6000]
 //	                [-durable-ops 200] [-durable-batch 3]
 //	                [-durable-every 64]
-//	                [-quick] [-out BENCH_PR5.json]
+//	                [-quick] [-out BENCH_PR7.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
 // |n|-bit modular multiplication per stored corpus BIT per block
@@ -153,10 +156,22 @@ type FetchLeg struct {
 	ParSpeedup float64 `json:"par_speedup_vs_seq"`
 
 	// Pipelined remote protocol (batched PIR over TCP loopback,
-	// parallel serving).
+	// parallel serving, per-query scans).
 	PipeDepth    int     `json:"pipe_depth"`
 	PipeMsPerDoc float64 `json:"pipe_ms_per_doc"`
 	PipeSpeedup  float64 `json:"pipe_speedup_vs_seq"`
+
+	// Amortized multi-query serving (PIRBatchAmortize on): ONE
+	// FetchDocuments call covers every id, so all block queries of the
+	// fetch are answered in a single database pass on the Montgomery
+	// kernel. AmortBatch is the number of block queries amortized over.
+	AmortBatch    int     `json:"amort_batch"`
+	AmortMsPerDoc float64 `json:"amort_ms_per_doc"`
+	AmortSpeedup  float64 `json:"amort_speedup_vs_seq"`
+	// The same one-call fetch over the batched wire protocol against an
+	// amortizing NetServer — the headline figure successive PRs track.
+	AmortPipeMsPerDoc float64 `json:"amort_pipe_ms_per_doc"`
+	AmortPipeSpeedup  float64 `json:"amort_pipe_speedup_vs_seq"`
 
 	PlainUsDoc float64 `json:"plain_us_per_doc"`
 	// Slowdown is sequential-PIR latency over plaintext latency — the
@@ -178,7 +193,7 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR6.json", "output JSON path")
+		out     = flag.String("out", "BENCH_PR7.json", "output JSON path")
 		only    = flag.String("only", "", "run a single section: load (empty runs everything)")
 
 		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
@@ -297,9 +312,12 @@ func main() {
 				fatal(err)
 			}
 			rep.Fetch = append(rep.Fetch, leg)
-			fmt.Printf("fetch leg %d docs: seq %.1f ms/doc, parallel %.1f ms/doc (%.1fx), pipelined %.1f ms/doc (%.1fx), plain %.1f us/doc, seq slowdown %.0fx\n",
+			fmt.Printf("fetch leg %d docs: seq %.1f ms/doc, parallel %.1f ms/doc (%.1fx), pipelined %.1f ms/doc (%.1fx), amortized %.1f ms/doc (%.1fx, batch %d), amortized+pipelined %.1f ms/doc (%.1fx), plain %.1f us/doc, seq slowdown %.0fx\n",
 				leg.Docs, leg.SeqMsPerDoc, leg.ParMsPerDoc, leg.ParSpeedup,
-				leg.PipeMsPerDoc, leg.PipeSpeedup, leg.PlainUsDoc, leg.Slowdown)
+				leg.PipeMsPerDoc, leg.PipeSpeedup,
+				leg.AmortMsPerDoc, leg.AmortSpeedup, leg.AmortBatch,
+				leg.AmortPipeMsPerDoc, leg.AmortPipeSpeedup,
+				leg.PlainUsDoc, leg.Slowdown)
 		}
 	}
 
@@ -371,10 +389,14 @@ type legConfig struct {
 }
 
 // fetchLeg builds a retrieval-enabled engine over a size-doc corpus
-// and measures per-document fetch latency on three serving plans —
-// sequential reference, windowed/parallel, and the pipelined remote
-// protocol over a TCP loopback — all against a direct Engine.Document
-// read. Every plan's bytes are verified identical to the direct read.
+// and measures per-document fetch latency on five serving plans —
+// sequential reference, windowed/parallel, the pipelined remote
+// protocol over a TCP loopback, and the amortized multi-query path
+// both locally and over the wire — all against a direct
+// Engine.Document read. Every plan's bytes are verified identical to
+// the direct read. The seq/par/pipe legs run with amortization
+// disabled so their figures stay comparable with earlier reports; the
+// amort legs then re-enable it.
 func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 	var leg FetchLeg
 	ccfg := corpus.DefaultConfig()
@@ -396,6 +418,11 @@ func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 	e, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), world, opts)
 	if err != nil {
 		return leg, fmt.Errorf("fetch leg %d docs: %w", cfg.size, err)
+	}
+	// Comparability: the legacy legs measure per-query serving exactly
+	// as earlier reports did; the amortized legs below flip this on.
+	if err := e.ConfigurePIRBatchAmortize(-1); err != nil {
+		return leg, err
 	}
 	leg.Docs = cfg.size
 	leg.StoredBytes = stored
@@ -435,6 +462,24 @@ func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 			}
 		}
 		return time.Since(t0).Seconds() * 1000 / float64(len(ids)), nil
+	}
+
+	// timeBatch fetches every id in ONE call (the top-k shape the
+	// amortized path is built for) and verifies the bytes.
+	timeBatch := func(fetch func() ([][]byte, embellish.FetchStats, error)) (float64, embellish.FetchStats, error) {
+		t0 := time.Now()
+		docs, st, err := fetch()
+		elapsed := time.Since(t0).Seconds() * 1000 / float64(len(ids))
+		if err != nil {
+			return 0, st, fmt.Errorf("amortized PIR fetch: %w", err)
+		}
+		for i, id := range ids {
+			direct, err := e.Document(id)
+			if err != nil || string(docs[i]) != string(direct) {
+				return 0, st, fmt.Errorf("amortized fetch %d: PIR bytes disagree with direct read (%v)", id, err)
+			}
+		}
+		return elapsed, st, nil
 	}
 
 	// Sequential reference: the paper's cost model — single-threaded
@@ -508,6 +553,53 @@ func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 	if leg.PipeMsPerDoc > 0 {
 		leg.PipeSpeedup = leg.SeqMsPerDoc / leg.PipeMsPerDoc
 	}
+
+	// Amortized multi-query serving: every block query of the whole
+	// fetch in one database pass on the Montgomery kernel. Local first.
+	if err := e.ConfigurePIRBatchAmortize(1); err != nil {
+		return leg, err
+	}
+	amortClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	var amortStats embellish.FetchStats
+	if leg.AmortMsPerDoc, amortStats, err = timeBatch(func() ([][]byte, embellish.FetchStats, error) {
+		return amortClient.FetchDocuments(ids)
+	}); err != nil {
+		return leg, err
+	}
+	leg.AmortBatch = amortStats.Runs
+	if leg.AmortMsPerDoc > 0 {
+		leg.AmortSpeedup = leg.SeqMsPerDoc / leg.AmortMsPerDoc
+	}
+
+	// The same one-call fetch over the wire: the server's zero override
+	// now inherits the engine's amortize-on knob, and the client's
+	// pipelined writer packs full batch frames.
+	amortConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return leg, err
+	}
+	amortPipeClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	if cfg.pipeline > 0 {
+		if err := amortPipeClient.SetFetchPipeline(cfg.pipeline); err != nil {
+			return leg, err
+		}
+	}
+	if leg.AmortPipeMsPerDoc, _, err = timeBatch(func() ([][]byte, embellish.FetchStats, error) {
+		return amortPipeClient.FetchDocumentsRemote(amortConn, ids)
+	}); err != nil {
+		return leg, err
+	}
+	if leg.AmortPipeMsPerDoc > 0 {
+		leg.AmortPipeSpeedup = leg.SeqMsPerDoc / leg.AmortPipeMsPerDoc
+	}
+	amortConn.Close()
+
 	conn.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	if err := srv.Shutdown(ctx); err != nil {

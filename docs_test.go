@@ -110,8 +110,10 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	}
 	for _, knob := range []string{
 		"Shards", "PrecomputeWindow", "Parallelism", "PIRWorkers",
+		"PIRBatchAmortize", "ConfigurePIRBatchAmortize",
 		"BlockSize", "RetrievalKeyBits", "SetFetchPipeline", "MaxSegments",
-		"Durability", "CheckpointEveryOps", "BENCH_PR6.json",
+		"Durability", "CheckpointEveryOps", "BENCH_PR7.json",
+		"amort_ms_per_doc", "amort_pipe_ms_per_doc", "Montgomery",
 		"OPERATIONS.md",
 	} {
 		if !strings.Contains(string(perf), knob) {
@@ -134,8 +136,9 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		// ...the metrics surface...
 		"TypeStats", "ServerStats", "/metrics", "/stats.json",
 		"ShedQueueFull", "ShedQueueTimeout", "WALSeq",
+		"PIRModMuls", "PIRTableMuls",
 		// ...and the load harness.
-		"BENCH_PR6.json", "-load-rates", "-load-strict",
+		"BENCH_PR7.json", "-load-rates", "-load-strict",
 		"work_fraction", "p99_ms",
 	} {
 		if !strings.Contains(string(ops), name) {
@@ -173,7 +176,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypeBatchResponse", "TypeAddDocs", "TypeDeleteDocs", "TypeAdminOK",
 		"TypePIRParams", "TypePIRQuery", "TypePIRResponse",
 		"TypePIRBatchQuery", "TypePIRBatchResponse", "TypeStats",
-		"AllowUpdates", "AllowRetrieval",
+		"AllowUpdates", "AllowRetrieval", "PIRBatchAmortize",
 	} {
 		if !strings.Contains(string(wire), name) {
 			t.Errorf("docs/WIRE.md does not document %s", name)

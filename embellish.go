@@ -68,6 +68,11 @@ type Engine struct {
 	// ConfigurePIRWorkers can retune a serving engine without racing
 	// the fetch paths that read it per answer.
 	pirWorkers atomic.Int64
+	// pirAmortize is the live multi-query amortization switch (the
+	// Options.PIRBatchAmortize encoding: 0 default-on, -1 off, 1 on),
+	// in an atomic for the same reason. The zero value is the default,
+	// so loaded engines amortize without any explicit store.
+	pirAmortize atomic.Int64
 }
 
 // NewEngine indexes the documents and builds the bucket organization
@@ -161,6 +166,7 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	e.org = org
 	e.server = core.NewLiveServer(e.live, org, lex.db)
 	e.pirWorkers.Store(int64(opts.PIRWorkers))
+	e.pirAmortize.Store(int64(opts.PIRBatchAmortize))
 	e.applyExecution()
 	if opts.Durability.Dir != "" {
 		// The freshly built corpus becomes checkpoint 0; every later
@@ -355,31 +361,60 @@ func (e *Engine) ConfigurePIRWorkers(n int) error {
 // goroutine.
 func (e *Engine) livePIRWorkers() int { return int(e.pirWorkers.Load()) }
 
+// ConfigurePIRBatchAmortize flips the multi-query amortization escape
+// hatch — the Options.PIRBatchAmortize knob, same encoding (0 default
+// = amortize, -1 off, 1 on) — on a live engine. Like PIRWorkers it
+// lives in its own atomic, is not persisted, and only changes HOW
+// batches are served: answers are byte-identical either way.
+func (e *Engine) ConfigurePIRBatchAmortize(n int) error {
+	if err := validatePIRBatchAmortize(n); err != nil {
+		return err
+	}
+	e.pirAmortize.Store(int64(n))
+	return nil
+}
+
+// livePIRBatchAmortize reports whether batched block queries should be
+// served through the one-pass multi-query scan; safe from any
+// goroutine.
+func (e *Engine) livePIRBatchAmortize() bool { return e.pirAmortize.Load() >= 0 }
+
 // answerPIR serves one PIR block query from a pinned store snapshot
 // through the plan the workers knob selects: the sequential reference
 // scan at 0, the windowed/parallel pir.ProcessColumnsExec otherwise
 // (-1 = GOMAXPROCS). Every plan returns byte-identical gammas.
-func answerPIR(snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, error) {
+func answerPIR(snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, pir.Stats, error) {
 	return answerPIRCtx(context.Background(), snap, q, workers)
 }
 
 // answerPIRCtx is answerPIR under a context: a cancelled block scan
 // stops within a bounded slice of work in every plan and returns
-// ctx.Err().
-func answerPIRCtx(ctx context.Context, snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, error) {
-	var (
-		ans *pir.Answer
-		err error
-	)
+// ctx.Err(). The Stats count the multiplications actually performed —
+// partial on cancellation — so serving layers can meter work.
+func answerPIRCtx(ctx context.Context, snap *docstore.Snapshot, q *pir.Query, workers int) (*pir.Answer, pir.Stats, error) {
 	switch {
 	case workers == 0:
-		ans, _, err = snap.AnswerCtx(ctx, q)
+		return snap.AnswerCtx(ctx, q)
 	case workers < 0:
-		ans, _, err = snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: runtime.GOMAXPROCS(0)})
+		return snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: runtime.GOMAXPROCS(0)})
 	default:
-		ans, _, err = snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: workers})
+		return snap.AnswerExecCtx(ctx, q, pir.Exec{Workers: workers})
 	}
-	return ans, err
+}
+
+// answerPIRMultiCtx serves a whole batch of equal-width, same-modulus
+// PIR queries in ONE pass over the snapshot (docstore.AnswerMulti):
+// the block bytes are read and transposed once for the batch, and the
+// row loops run on the Montgomery kernel. Answers are byte-identical
+// to per-query answerPIRCtx runs, in batch order, with per-query
+// Stats. The workers encoding matches answerPIRCtx; the sequential
+// reference plan (workers == 0) still shares the one-pass scan but on
+// a single goroutine.
+func answerPIRMultiCtx(ctx context.Context, snap *docstore.Snapshot, qs []*pir.Query, workers int) ([]*pir.Answer, []pir.Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return snap.AnswerMultiExecCtx(ctx, qs, pir.Exec{Workers: workers})
 }
 
 // ConfigureMergePolicy adjusts the live-index segment bound — the

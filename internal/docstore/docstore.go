@@ -179,6 +179,38 @@ func (sn *Snapshot) AnswerExecCtx(ctx context.Context, q *pir.Query, ex pir.Exec
 	return pir.ProcessColumnsExecCtx(ctx, sn.blocks[:w], sn.blockSize, q, ex)
 }
 
+// AnswerMulti answers every query of a batch over the snapshot in one
+// database pass (pir.ProcessColumnsMulti): the block bytes are read
+// and transposed once for the whole batch. All queries must share one
+// modulus and address the same prefix width; answers come back in
+// batch order, byte-identical to independent Answer runs, with
+// per-query Stats.
+func (sn *Snapshot) AnswerMulti(qs []*pir.Query) ([]*pir.Answer, []pir.Stats, error) {
+	return sn.AnswerMultiCtx(context.Background(), qs)
+}
+
+// AnswerMultiCtx is AnswerMulti under a context, with the batch
+// cancellation semantics of pir.ProcessColumnsMultiExecCtx.
+func (sn *Snapshot) AnswerMultiCtx(ctx context.Context, qs []*pir.Query) ([]*pir.Answer, []pir.Stats, error) {
+	return sn.AnswerMultiExecCtx(ctx, qs, pir.Exec{})
+}
+
+// AnswerMultiExecCtx is AnswerMultiCtx with execution tuning: workers
+// partition column groups and ex.Window pins the (batch-amortized)
+// window width.
+func (sn *Snapshot) AnswerMultiExecCtx(ctx context.Context, qs []*pir.Query, ex pir.Exec) ([]*pir.Answer, []pir.Stats, error) {
+	if len(qs) == 0 {
+		return nil, nil, errors.New("docstore: empty PIR batch")
+	}
+	w, err := sn.queryWidth(qs[0])
+	if err != nil {
+		return nil, nil, err
+	}
+	// The one-pass scan serves one prefix width; pir validates that
+	// every query matches it (callers group mixed-width batches).
+	return pir.ProcessColumnsMultiExecCtx(ctx, sn.blocks[:w], sn.blockSize, qs, ex)
+}
+
 // queryWidth validates a PIR query's width against the block array.
 func (sn *Snapshot) queryWidth(q *pir.Query) (int, error) {
 	w := len(q.Values)

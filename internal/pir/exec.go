@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/big"
 	"sync"
+	"time"
 )
 
 // This file is the tuned serving path for Kushilevitz-Ostrovsky
@@ -158,17 +159,20 @@ func ProcessColumnsExecCtx(ctx context.Context, cols [][]byte, colBytes int, q *
 	// Recombine: the per-row product over all columns is the product of
 	// the per-partition partial products, in partition order. A
 	// cancelled worker leaves its muls count but no usable gammas, so
-	// sum the work first and report ctx.Err() if any worker stopped.
+	// sum the work first and report the first worker error if any
+	// stopped (the worker's own error, not ctx.Err(): the wall-clock
+	// poll can fire while ctx.Err() is still nil).
 	st := Stats{}
-	cancelled := false
+	var cancelErr error
 	for w := 0; w < workers; w++ {
 		st.ModMuls += parts[w].muls
-		if parts[w].err != nil {
-			cancelled = true
+		st.TableMuls += parts[w].tableMuls
+		if parts[w].err != nil && cancelErr == nil {
+			cancelErr = parts[w].err
 		}
 	}
-	if cancelled {
-		return nil, st, ctx.Err()
+	if cancelErr != nil {
+		return nil, st, cancelErr
 	}
 	ans := &Answer{Gammas: parts[0].gammas}
 	for w := 1; w < workers; w++ {
@@ -187,9 +191,10 @@ func ProcessColumnsExecCtx(ctx context.Context, cols [][]byte, colBytes int, q *
 // the worker stopped early on context cancellation; gammas are then
 // incomplete and must not be recombined.
 type colPartial struct {
-	gammas []*big.Int
-	muls   int
-	err    error
+	gammas    []*big.Int
+	muls      int
+	tableMuls int
+	err       error
 }
 
 // cancelCheckRows is how many row accumulations a worker performs
@@ -210,17 +215,25 @@ func processPartial(ctx context.Context, cols [][]byte, q *Query, rows, window, 
 	var p colPartial
 	colBytes := (rows + 7) / 8
 	done := ctx.Done()
+	// Wall-clock deadline poll alongside the Done check: under
+	// GOMAXPROCS=1 a busy worker can starve the runtime timer that
+	// would close Done (the same fix the core plans received in the
+	// deadline work).
+	dl, hasDL := ctx.Deadline()
 	stop := func() bool {
-		if done == nil {
-			return false
+		if done != nil {
+			select {
+			case <-done:
+				p.err = ctxScanErr(ctx)
+				return true
+			default:
+			}
 		}
-		select {
-		case <-done:
-			p.err = ctx.Err()
+		if hasDL && !time.Now().Before(dl) {
+			p.err = ctxScanErr(ctx)
 			return true
-		default:
-			return false
 		}
+		return false
 	}
 	// Reused scratch: dst = a*b mod N without allocating per call. dst
 	// may alias a or b (the product lands in prod first).
@@ -236,6 +249,7 @@ func processPartial(ctx context.Context, cols [][]byte, q *Query, rows, window, 
 		v := q.Values[lo+j]
 		sq[j] = new(big.Int)
 		mulMod(sq[j], v, v)
+		p.tableMuls++
 	}
 	// Group-major accumulation: for each window-sized column group,
 	// build the subset-product table (entry pat = product over the
@@ -264,6 +278,7 @@ func processPartial(ctx context.Context, cols [][]byte, q *Query, rows, window, 
 				t0, t1 := new(big.Int), new(big.Int)
 				mulMod(t0, v, sq[j-lo])
 				mulMod(t1, v, q.Values[j])
+				p.tableMuls += 2
 				next[pat] = t0
 				next[pat|bit] = t1
 			}

@@ -1,0 +1,207 @@
+package pir
+
+import (
+	"math/big"
+	"math/bits"
+	"math/rand"
+	"testing"
+)
+
+// refMulMod is the big.Int reference the kernel must match bit for bit.
+func refMulMod(a, b, n *big.Int) *big.Int {
+	out := new(big.Int).Mul(a, b)
+	return out.Mod(out, n)
+}
+
+// TestMontRoundTrip: ToMont then FromMont is the identity on canonical
+// residues, across modulus widths from one word to several.
+func TestMontRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nBits := range []int{8, 16, 63, 64, 65, 127, 128, 256, 521, 1024} {
+		n := randOdd(rng, nBits)
+		m, err := NewMont(n)
+		if err != nil {
+			t.Fatalf("NewMont(%v): %v", n, err)
+		}
+		for trial := 0; trial < 50; trial++ {
+			x := new(big.Int).Rand(rng, n)
+			mx, err := m.ToMont(x)
+			if err != nil {
+				t.Fatalf("ToMont(%v) mod %v: %v", x, n, err)
+			}
+			back := m.FromMont(mx)
+			if back.Cmp(x) != 0 {
+				t.Fatalf("round trip mod %v: %v came back as %v", n, x, back)
+			}
+		}
+	}
+}
+
+// TestMontMulMatchesBigInt cross-checks the REDC product against the
+// big.Int reference for random operands over random odd moduli.
+func TestMontMulMatchesBigInt(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, nBits := range []int{8, 33, 64, 100, 192, 512} {
+		for rep := 0; rep < 20; rep++ {
+			n := randOdd(rng, nBits)
+			m, err := NewMont(n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for trial := 0; trial < 30; trial++ {
+				a := new(big.Int).Rand(rng, n)
+				b := new(big.Int).Rand(rng, n)
+				ma, _ := m.ToMont(a)
+				mb, _ := m.ToMont(b)
+				dst := make([]big.Word, m.Words())
+				m.Mul(dst, ma, mb)
+				got := m.FromMont(dst)
+				want := refMulMod(a, b, n)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("mod %v: %v*%v = %v, want %v", n, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMontEdgeModuli exercises the moduli where the < 2n accumulator
+// bound and the final conditional subtract matter most: n just under a
+// word boundary (R ≈ n, so values crowd the top of the range), the
+// all-ones word, and tiny moduli.
+func TestMontEdgeModuli(t *testing.T) {
+	w := uint(bits.UintSize)
+	edges := []*big.Int{
+		big.NewInt(3),
+		big.NewInt(5),
+		big.NewInt(255),
+		// 2^W - 1: the largest single-word modulus, n one short of R.
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), w), big.NewInt(1)),
+		// 2^W - 3, 2^(2W) - 1, 2^(2W) - 3: R ≈ n at two words too.
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), w), big.NewInt(3)),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 2*w), big.NewInt(1)),
+		new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 2*w), big.NewInt(3)),
+	}
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range edges {
+		m, err := NewMont(n)
+		if err != nil {
+			t.Fatalf("NewMont(%v): %v", n, err)
+		}
+		// The extreme residues plus a random sample.
+		cases := []*big.Int{
+			big.NewInt(0), big.NewInt(1), big.NewInt(2),
+			new(big.Int).Sub(n, big.NewInt(1)),
+			new(big.Int).Sub(n, big.NewInt(2)),
+		}
+		for i := 0; i < 20; i++ {
+			cases = append(cases, new(big.Int).Rand(rng, n))
+		}
+		for _, a := range cases {
+			if a.Sign() < 0 || a.Cmp(n) >= 0 {
+				continue // n-2 underflows for n=3 etc.
+			}
+			for _, b := range cases {
+				if b.Sign() < 0 || b.Cmp(n) >= 0 {
+					continue
+				}
+				ma, err := m.ToMont(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mb, err := m.ToMont(b)
+				if err != nil {
+					t.Fatal(err)
+				}
+				dst := make([]big.Word, m.Words())
+				m.Mul(dst, ma, mb)
+				got := m.FromMont(dst)
+				want := refMulMod(a, b, n)
+				if got.Cmp(want) != 0 {
+					t.Fatalf("mod %v: %v*%v = %v, want %v", n, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestMontMulAliasing: dst may alias either operand.
+func TestMontMulAliasing(t *testing.T) {
+	n := big.NewInt(1000003)
+	m, err := NewMont(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := big.NewInt(123457)
+	b := big.NewInt(987643)
+	want := refMulMod(a, b, n)
+
+	ma, _ := m.ToMont(a)
+	mb, _ := m.ToMont(b)
+	m.Mul(ma, ma, mb) // dst aliases a
+	if got := m.FromMont(ma); got.Cmp(want) != 0 {
+		t.Fatalf("dst=a aliasing: got %v want %v", got, want)
+	}
+	ma, _ = m.ToMont(a)
+	m.Mul(mb, ma, mb) // dst aliases b
+	if got := m.FromMont(mb); got.Cmp(want) != 0 {
+		t.Fatalf("dst=b aliasing: got %v want %v", got, want)
+	}
+	// Squaring in place.
+	ma, _ = m.ToMont(a)
+	m.Mul(ma, ma, ma)
+	if got, want := m.FromMont(ma), refMulMod(a, a, n); got.Cmp(want) != 0 {
+		t.Fatalf("in-place square: got %v want %v", got, want)
+	}
+}
+
+// TestMontRejections: even, tiny, oversize moduli and non-canonical
+// inputs are errors, not wrong answers.
+func TestMontRejections(t *testing.T) {
+	for _, n := range []*big.Int{
+		big.NewInt(4), big.NewInt(2), big.NewInt(1024),
+		new(big.Int).Lsh(big.NewInt(1), 100), // even, multi-word
+	} {
+		if _, err := NewMont(n); err == nil {
+			t.Errorf("NewMont accepted even modulus %v", n)
+		}
+	}
+	for _, n := range []*big.Int{big.NewInt(0), big.NewInt(1), big.NewInt(-7)} {
+		if _, err := NewMont(n); err == nil {
+			t.Errorf("NewMont accepted degenerate modulus %v", n)
+		}
+	}
+	// One word beyond the wire protocol's 8192-bit modulus ceiling.
+	wide := new(big.Int).Lsh(big.NewInt(1), 8192)
+	wide.Add(wide, big.NewInt(1)) // odd
+	if _, err := NewMont(wide); err == nil {
+		t.Error("NewMont accepted a modulus beyond maxMontWords")
+	}
+
+	n := big.NewInt(1000003)
+	m, err := NewMont(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.ToMont(big.NewInt(-1)); err == nil {
+		t.Error("ToMont accepted a negative value")
+	}
+	if _, err := m.ToMont(n); err == nil {
+		t.Error("ToMont accepted x = n")
+	}
+	if _, err := m.ToMont(new(big.Int).Add(n, big.NewInt(5))); err == nil {
+		t.Error("ToMont accepted x > n")
+	}
+	if _, err := m.ToMont(big.NewInt(0)); err != nil {
+		t.Errorf("ToMont rejected the canonical residue 0: %v", err)
+	}
+}
+
+// randOdd returns a random odd integer of exactly nBits bits (top and
+// bottom bits forced to 1).
+func randOdd(rng *rand.Rand, nBits int) *big.Int {
+	n := new(big.Int).Rand(rng, new(big.Int).Lsh(big.NewInt(1), uint(nBits)))
+	n.SetBit(n, nBits-1, 1)
+	n.SetBit(n, 0, 1)
+	return n
+}

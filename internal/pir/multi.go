@@ -1,0 +1,711 @@
+package pir
+
+import (
+	"context"
+	"errors"
+	"math/big"
+	"sync"
+	"time"
+)
+
+// This file is the amortized multi-query serving path: all k queries
+// of one batch are answered in ONE scan of the column store. The
+// per-query subset-product tables still cost 2^w-ish multiplications
+// each — independent query values cannot share a table — but the
+// expensive shared work is paid once per batch instead of once per
+// query:
+//
+//   - the database bytes are read and bit-transposed into row patterns
+//     once per column group, not once per query. The pattern buffer
+//     (2 bytes/row) then feeds all k row scans from cache;
+//   - the whole scan runs on the Montgomery REDC kernel
+//     (montgomery.go): query values and tables are converted into
+//     Montgomery form once per batch, the row loops multiply word
+//     slices with no per-operation quotient or allocation, and the
+//     k·rows gammas convert back out at the end;
+//   - batches justify wider windows: the table-build term of the
+//     window cost model is divided by k (the transposition — the part
+//     that actually scales with window width per row — is shared), so
+//     autoWindowMulti admits windows beyond MaxWindow, up to
+//     MaxBatchWindow.
+//
+// Answers are byte-identical to k independent ProcessColumns runs:
+// the per-row product is only reassociated (commutative monoid), every
+// operand is a canonical residue, and the Montgomery form is an exact
+// bijection entered and left by exact multiplications. Client-chosen
+// moduli the REDC kernel rejects (even ones) fall back to a big.Int
+// one-pass loop that still shares the transposition.
+
+// MaxBatchWindow caps the window width for multi-query scans. The true
+// per-query optimum (rows + 2^(w+1))/w sits at w = 9..10 for
+// block-sized stores (rows = 8192) — beyond MaxWindow, whose smaller
+// cap keeps single-query table build from dominating. With the build
+// cost amortized over a batch the wider window is worth building.
+const MaxBatchWindow = 10
+
+// MaxMulti caps the batch width one multi-query scan accepts,
+// mirroring the wire protocol's batch-frame cap.
+const MaxMulti = 64
+
+// Validation errors of the multi-query serving path.
+var (
+	errEmptyBatch   = errors.New("pir: empty query batch")
+	errBatchSize    = errors.New("pir: query batch exceeds MaxMulti")
+	errBatchModulus = errors.New("pir: batch queries disagree on modulus")
+	errBatchWidth   = errors.New("pir: batch queries disagree on width")
+)
+
+// autoWindowMulti picks the window width for a k-query batch. The
+// per-column, per-query cost is rows/w row multiplications plus
+// 2^(w+1)/w table build — but the row-side constant the window
+// actually buys down (byte reads, bit transposition) is shared by the
+// whole batch, so the build term is charged at 1/k: batches push the
+// optimum wider. Bounded by MaxBatchWindow and by a ceiling on the k
+// simultaneously-live group tables.
+func autoWindowMulti(rows, cols, modBytes, k int) int {
+	best, bestCost := 1, int(^uint(0)>>1)
+	for w := 1; w <= MaxBatchWindow; w++ {
+		cost := (rows + (2<<w)/k) / w
+		if cost < bestCost {
+			best, bestCost = w, cost
+		}
+	}
+	// One group's tables for all k queries are live at a time; keep
+	// them comfortably in memory even for wide moduli.
+	for best > 1 {
+		if int64(k)<<best*int64(modBytes+32) <= 256<<20 {
+			break
+		}
+		best--
+	}
+	return best
+}
+
+// ctxScanErr is the error a scan reports when its cancellation poll
+// fires. The wall-clock deadline check can observe an expired deadline
+// before the context's own timer goroutine has run (GOMAXPROCS=1
+// starves timers), in which case ctx.Err() is still nil — report
+// DeadlineExceeded directly rather than a nil error.
+func ctxScanErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.DeadlineExceeded
+}
+
+// ProcessColumnsMulti answers every query of the batch over the same
+// column store in one database scan, returning per-query answers and
+// per-query Stats in batch order. All queries must share one modulus
+// and one width; answers are byte-identical to len(qs) independent
+// ProcessColumns runs.
+func ProcessColumnsMulti(cols [][]byte, colBytes int, qs []*Query) ([]*Answer, []Stats, error) {
+	return ProcessColumnsMultiCtx(context.Background(), cols, colBytes, qs)
+}
+
+// ProcessColumnsMultiCtx is ProcessColumnsMulti under a context; see
+// ProcessColumnsMultiExecCtx for the cancellation contract.
+func ProcessColumnsMultiCtx(ctx context.Context, cols [][]byte, colBytes int, qs []*Query) ([]*Answer, []Stats, error) {
+	return ProcessColumnsMultiExecCtx(ctx, cols, colBytes, qs, Exec{})
+}
+
+// ProcessColumnsMultiExec is ProcessColumnsMulti with execution
+// tuning: ex.Workers partitions column groups across goroutines
+// exactly as ProcessColumnsExec does, and ex.Window pins the window
+// width (0 selects autoWindowMulti's batch-amortized choice, which may
+// exceed MaxWindow up to MaxBatchWindow).
+func ProcessColumnsMultiExec(cols [][]byte, colBytes int, qs []*Query, ex Exec) ([]*Answer, []Stats, error) {
+	return ProcessColumnsMultiExecCtx(context.Background(), cols, colBytes, qs, ex)
+}
+
+// ProcessColumnsMultiExecCtx is the full multi-query serving path.
+// Cancellation is all-or-nothing for the batch: workers poll the
+// context (Done channel plus wall-clock deadline) at group boundaries
+// and every cancelCheckRows row accumulations, and on cancellation no
+// answers are returned — but the per-query Stats still count the
+// multiplications actually performed, so abandoned batches are charged
+// for the cycles they burned.
+func ProcessColumnsMultiExecCtx(ctx context.Context, cols [][]byte, colBytes int, qs []*Query, ex Exec) ([]*Answer, []Stats, error) {
+	if len(qs) == 0 {
+		return nil, nil, errEmptyBatch
+	}
+	if len(qs) > MaxMulti {
+		return nil, nil, errBatchSize
+	}
+	for _, q := range qs[1:] {
+		if q.N.Cmp(qs[0].N) != 0 {
+			return nil, nil, errBatchModulus
+		}
+		if len(q.Values) != len(qs[0].Values) {
+			return nil, nil, errBatchWidth
+		}
+	}
+	if err := validateColumns(cols, colBytes, qs[0]); err != nil {
+		return nil, nil, err
+	}
+	k := len(qs)
+	if len(cols) == 0 {
+		// Width-zero batch: nothing to share; serve the trivial
+		// all-ones answers through the sequential path.
+		answers := make([]*Answer, k)
+		stats := make([]Stats, k)
+		for i, q := range qs {
+			ans, st, err := ProcessColumnsCtx(ctx, cols, colBytes, q)
+			stats[i] = st
+			if err != nil {
+				return nil, stats, err
+			}
+			answers[i] = ans
+		}
+		return answers, stats, nil
+	}
+	rows := colBytes * 8
+	modBytes := (qs[0].N.BitLen() + 7) / 8
+	window := ex.Window
+	if window <= 0 {
+		window = autoWindowMulti(rows, len(cols), modBytes, k)
+	}
+	if window > MaxBatchWindow {
+		window = MaxBatchWindow
+	}
+	if window > len(cols) {
+		window = len(cols)
+	}
+	groups := (len(cols) + window - 1) / window
+	workers := ex.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > groups {
+		workers = groups
+	}
+
+	// One Montgomery context per batch (read-only, shared by all
+	// workers); a rejected modulus — even, tiny, or beyond the wire
+	// width ceiling — selects the big.Int fallback scan.
+	mont, _ := NewMont(qs[0].N)
+
+	// Partition GROUPS across workers, as ProcessColumnsExec does, so
+	// every worker's column range is a whole number of windows.
+	parts := make([]multiPartial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		gLo := w * groups / workers
+		gHi := (w + 1) * groups / workers
+		lo := gLo * window
+		hi := gHi * window
+		if hi > len(cols) {
+			hi = len(cols)
+		}
+		wg.Add(1)
+		go func(part *multiPartial, lo, hi int) {
+			defer wg.Done()
+			if mont != nil {
+				*part = multiPartialMont(ctx, cols, qs, mont, rows, window, lo, hi)
+			} else {
+				*part = multiPartialBig(ctx, cols, qs, rows, window, lo, hi)
+			}
+		}(&parts[w], lo, hi)
+	}
+	wg.Wait()
+
+	stats := make([]Stats, k)
+	var cancelErr error
+	for w := range parts {
+		for i := 0; i < k; i++ {
+			stats[i].ModMuls += parts[w].muls[i]
+			stats[i].TableMuls += parts[w].tableMuls[i]
+		}
+		if parts[w].err != nil && cancelErr == nil {
+			cancelErr = parts[w].err
+		}
+	}
+	if cancelErr != nil {
+		return nil, stats, cancelErr
+	}
+
+	// Recombine the per-partition partials row-wise (workers-1
+	// multiplications per row per query, still in Montgomery form on
+	// the fast path) and convert the gammas out. The recombine stays
+	// under the same cancellation contract as the scan.
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	stop := func() bool {
+		if done != nil {
+			select {
+			case <-done:
+				return true
+			default:
+			}
+		}
+		return hasDL && !time.Now().Before(dl)
+	}
+	answers := make([]*Answer, k)
+	if mont != nil {
+		kw := mont.Words()
+		for i := 0; i < k; i++ {
+			acc := parts[0].mont[i]
+			for w := 1; w < workers; w++ {
+				other := parts[w].mont[i]
+				for r := 0; r < rows; r++ {
+					if r&(cancelCheckRows-1) == 0 && stop() {
+						return nil, stats, ctxScanErr(ctx)
+					}
+					a := acc[r*kw : (r+1)*kw]
+					mont.Mul(a, a, other[r*kw:(r+1)*kw])
+					stats[i].ModMuls++
+				}
+			}
+			gammas := make([]*big.Int, rows)
+			for r := 0; r < rows; r++ {
+				if r&(cancelCheckRows-1) == 0 && stop() {
+					return nil, stats, ctxScanErr(ctx)
+				}
+				gammas[r] = mont.FromMont(acc[r*kw : (r+1)*kw])
+				stats[i].ModMuls++
+				stats[i].TableMuls++
+			}
+			answers[i] = &Answer{Gammas: gammas}
+		}
+		return answers, stats, nil
+	}
+	var prod, quo big.Int
+	for i := 0; i < k; i++ {
+		gammas := parts[0].big[i]
+		for w := 1; w < workers; w++ {
+			other := parts[w].big[i]
+			for r := 0; r < rows; r++ {
+				if r&(cancelCheckRows-1) == 0 && stop() {
+					return nil, stats, ctxScanErr(ctx)
+				}
+				prod.Mul(gammas[r], other[r])
+				quo.QuoRem(&prod, qs[0].N, gammas[r])
+				stats[i].ModMuls++
+			}
+		}
+		answers[i] = &Answer{Gammas: gammas}
+	}
+	return answers, stats, nil
+}
+
+// multiPartial is one worker's per-query, per-row partial products
+// over its column range. Exactly one of mont (Montgomery-form words,
+// rows×Words() per query) or big (big.Int gammas per query) is
+// populated. A non-nil err means the worker stopped on cancellation;
+// partials are then incomplete and must not be recombined, but the
+// per-query muls counts still record the work performed.
+type multiPartial struct {
+	mont      [][]big.Word
+	big       [][]*big.Int
+	muls      []int
+	tableMuls []int
+	err       error
+}
+
+// multiPartialMont serves columns [lo, hi) for every query of the
+// batch in one pass over the bytes, on the Montgomery kernel. Layout:
+// each query's accumulators, values, squares, and group table are
+// contiguous []big.Word slabs indexed by row (or table pattern) times
+// the modulus word width — no per-row big.Int headers, no allocation
+// inside the group loop.
+func multiPartialMont(ctx context.Context, cols [][]byte, qs []*Query, mont *Mont, rows, window, lo, hi int) multiPartial {
+	if mont.Words() == 1 {
+		return multiPartialMontWord(ctx, cols, qs, mont, rows, window, lo, hi)
+	}
+	k := len(qs)
+	kw := mont.Words()
+	p := multiPartial{
+		mont:      make([][]big.Word, k),
+		muls:      make([]int, k),
+		tableMuls: make([]int, k),
+	}
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	stop := func() bool {
+		if done != nil {
+			select {
+			case <-done:
+				p.err = ctxScanErr(ctx)
+				return true
+			default:
+			}
+		}
+		if hasDL && !time.Now().Before(dl) {
+			p.err = ctxScanErr(ctx)
+			return true
+		}
+		return false
+	}
+	colBytes := (rows + 7) / 8
+	width := hi - lo
+
+	// Convert the range's query values into Montgomery form and square
+	// them there — 2 multiplications per column per query, once per
+	// batch. Out-of-range values are reduced first (the sequential
+	// path's g.Mod tolerates them, so identity demands we do too).
+	toMont := func(dst []big.Word, v *big.Int) {
+		if v.Sign() < 0 || v.Cmp(mont.nInt) >= 0 {
+			v = new(big.Int).Mod(v, mont.nInt)
+		}
+		w, _ := mont.ToMont(v)
+		copy(dst, w)
+	}
+	mv := make([][]big.Word, k)
+	msq := make([][]big.Word, k)
+	for i := 0; i < k; i++ {
+		mv[i] = make([]big.Word, width*kw)
+		msq[i] = make([]big.Word, width*kw)
+		for j := 0; j < width; j++ {
+			if j&(cancelCheckRows-1) == 0 && stop() {
+				return p
+			}
+			v := mv[i][j*kw : (j+1)*kw]
+			toMont(v, qs[i].Values[lo+j])
+			mont.Mul(msq[i][j*kw:(j+1)*kw], v, v)
+			p.muls[i] += 2
+			p.tableMuls[i] += 2
+		}
+	}
+
+	// Group-major one-pass scan. Per group: transpose the group's
+	// database bytes into one pattern per row ONCE (this is the
+	// per-byte work the batch shares), then for each query build its
+	// 2^g subset-product table and fold table[pats[r]] into its row
+	// accumulators. Multiplication is commutative and exact in
+	// Montgomery form, so the final products equal the sequential ones.
+	acc := make([][]big.Word, k)
+	for i := range acc {
+		acc[i] = make([]big.Word, rows*kw)
+	}
+	pats := make([]uint16, rows)
+	tbl := make([]big.Word, (1<<window)*kw)
+	groups := (width + window - 1) / window
+	for gi := 0; gi < groups; gi++ {
+		if stop() {
+			return p
+		}
+		start := lo + gi*window
+		end := start + window
+		if end > hi {
+			end = hi
+		}
+		groupPatterns16(cols, start, end, colBytes, pats)
+		for i := 0; i < k; i++ {
+			// Table build by doubling: adding column j maps every
+			// existing entry pat to pat (times the square) and pat|bit
+			// (times the value) — 2·(2^g − 2) multiplications.
+			j0 := start - lo
+			copy(tbl[0:kw], msq[i][j0*kw:(j0+1)*kw])
+			copy(tbl[kw:2*kw], mv[i][j0*kw:(j0+1)*kw])
+			size := 2
+			for j := start + 1; j < end; j++ {
+				jw := (j - lo) * kw
+				for pat := 0; pat < size; pat++ {
+					src := tbl[pat*kw : (pat+1)*kw]
+					d := (pat | size) * kw
+					mont.Mul(tbl[d:d+kw], src, mv[i][jw:jw+kw])
+					mont.Mul(src, src, msq[i][jw:jw+kw])
+					p.muls[i] += 2
+					p.tableMuls[i] += 2
+				}
+				size *= 2
+			}
+			a := acc[i]
+			if gi == 0 {
+				// First group: the accumulator IS the table entry (the
+				// sequential path's 1·v first step), no multiplication.
+				for r := 0; r < rows; r++ {
+					t := int(pats[r]) * kw
+					copy(a[r*kw:(r+1)*kw], tbl[t:t+kw])
+				}
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				if r&(cancelCheckRows-1) == 0 && stop() {
+					return p
+				}
+				t := int(pats[r]) * kw
+				ar := a[r*kw : (r+1)*kw]
+				mont.Mul(ar, ar, tbl[t:t+kw])
+				p.muls[i]++
+			}
+		}
+	}
+	p.mont = acc
+	return p
+}
+
+// multiPartialMontWord is multiPartialMont specialized for one-word
+// moduli — the shape every demo-sized key takes. The slabs flatten to
+// one word per value and every multiplication is the inlined
+// montMulWord kernel on register-resident constants: no sub-slicing,
+// no method calls, no per-product scratch. Multiplication counts are
+// accumulated in bulk per loop (the totals, including the partial
+// count a cancelled scan reports, are identical to the generic
+// path's per-product increments).
+func multiPartialMontWord(ctx context.Context, cols [][]byte, qs []*Query, mont *Mont, rows, window, lo, hi int) multiPartial {
+	k := len(qs)
+	p := multiPartial{
+		mont:      make([][]big.Word, k),
+		muls:      make([]int, k),
+		tableMuls: make([]int, k),
+	}
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	stop := func() bool {
+		if done != nil {
+			select {
+			case <-done:
+				p.err = ctxScanErr(ctx)
+				return true
+			default:
+			}
+		}
+		if hasDL && !time.Now().Before(dl) {
+			p.err = ctxScanErr(ctx)
+			return true
+		}
+		return false
+	}
+	colBytes := (rows + 7) / 8
+	width := hi - lo
+	nW := uint(mont.n[0])
+	ninv := uint(mont.n0inv)
+
+	mv := make([][]big.Word, k)
+	msq := make([][]big.Word, k)
+	for i := 0; i < k; i++ {
+		mv[i] = make([]big.Word, width)
+		msq[i] = make([]big.Word, width)
+		for j := 0; j < width; j++ {
+			if j&(cancelCheckRows-1) == 0 && stop() {
+				return p
+			}
+			v := qs[i].Values[lo+j]
+			if v.Sign() < 0 || v.Cmp(mont.nInt) >= 0 {
+				v = new(big.Int).Mod(v, mont.nInt)
+			}
+			w, _ := mont.ToMont(v)
+			mv[i][j] = w[0]
+			msq[i][j] = big.Word(montMulWord(uint(w[0]), uint(w[0]), nW, ninv))
+			p.muls[i] += 2
+			p.tableMuls[i] += 2
+		}
+	}
+
+	acc := make([][]big.Word, k)
+	for i := range acc {
+		acc[i] = make([]big.Word, rows)
+	}
+	pats := make([]uint16, rows)
+	tbl := make([]big.Word, 1<<window)
+	groups := (width + window - 1) / window
+	for gi := 0; gi < groups; gi++ {
+		if stop() {
+			return p
+		}
+		start := lo + gi*window
+		end := start + window
+		if end > hi {
+			end = hi
+		}
+		groupPatterns16(cols, start, end, colBytes, pats)
+		for i := 0; i < k; i++ {
+			j0 := start - lo
+			tbl[0] = msq[i][j0]
+			tbl[1] = mv[i][j0]
+			size := 2
+			for j := start + 1; j < end; j++ {
+				jw := j - lo
+				vw, sw := uint(mv[i][jw]), uint(msq[i][jw])
+				for pat := 0; pat < size; pat++ {
+					s := uint(tbl[pat])
+					tbl[pat|size] = big.Word(montMulWord(s, vw, nW, ninv))
+					tbl[pat] = big.Word(montMulWord(s, sw, nW, ninv))
+				}
+				p.muls[i] += 2 * size
+				p.tableMuls[i] += 2 * size
+				size *= 2
+			}
+			a := acc[i]
+			if gi == 0 {
+				for r, pt := range pats {
+					a[r] = tbl[pt]
+				}
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				if r&(cancelCheckRows-1) == 0 && stop() {
+					p.muls[i] += r
+					return p
+				}
+				a[r] = big.Word(montMulWord(uint(a[r]), uint(tbl[pats[r]]), nW, ninv))
+			}
+			p.muls[i] += rows
+		}
+	}
+	p.mont = acc
+	return p
+}
+
+// multiPartialBig is the fallback one-pass scan for moduli the
+// Montgomery kernel rejects (even, tiny, or too wide): the same
+// group-major shared-transposition structure, with the allocation-free
+// big.Int QuoRem idiom of processPartial doing the multiplying.
+func multiPartialBig(ctx context.Context, cols [][]byte, qs []*Query, rows, window, lo, hi int) multiPartial {
+	k := len(qs)
+	n := qs[0].N
+	p := multiPartial{
+		big:       make([][]*big.Int, k),
+		muls:      make([]int, k),
+		tableMuls: make([]int, k),
+	}
+	done := ctx.Done()
+	dl, hasDL := ctx.Deadline()
+	stop := func() bool {
+		if done != nil {
+			select {
+			case <-done:
+				p.err = ctxScanErr(ctx)
+				return true
+			default:
+			}
+		}
+		if hasDL && !time.Now().Before(dl) {
+			p.err = ctxScanErr(ctx)
+			return true
+		}
+		return false
+	}
+	colBytes := (rows + 7) / 8
+	width := hi - lo
+
+	var prod, quo big.Int
+	mulMod := func(dst, a, b *big.Int, i int) {
+		prod.Mul(a, b)
+		quo.QuoRem(&prod, n, dst)
+		p.muls[i]++
+	}
+	// Values reduced to canonical residues (QuoRem's remainder takes
+	// the dividend's sign, so negatives must not reach it) and squared
+	// once per column per query.
+	vals := make([][]*big.Int, k)
+	sq := make([][]*big.Int, k)
+	for i := 0; i < k; i++ {
+		vals[i] = make([]*big.Int, width)
+		sq[i] = make([]*big.Int, width)
+		for j := 0; j < width; j++ {
+			if j&(cancelCheckRows-1) == 0 && stop() {
+				return p
+			}
+			v := qs[i].Values[lo+j]
+			if v.Sign() < 0 || v.Cmp(n) >= 0 {
+				v = new(big.Int).Mod(v, n)
+			}
+			vals[i][j] = v
+			sq[i][j] = new(big.Int)
+			mulMod(sq[i][j], v, v, i)
+			p.tableMuls[i]++
+		}
+	}
+
+	accs := make([][]big.Int, k)
+	for i := range accs {
+		accs[i] = make([]big.Int, rows)
+	}
+	pats := make([]uint16, rows)
+	groups := (width + window - 1) / window
+	for gi := 0; gi < groups; gi++ {
+		if stop() {
+			return p
+		}
+		start := lo + gi*window
+		end := start + window
+		if end > hi {
+			end = hi
+		}
+		groupPatterns16(cols, start, end, colBytes, pats)
+		for i := 0; i < k; i++ {
+			table := []*big.Int{sq[i][start-lo], vals[i][start-lo]}
+			for j := start + 1; j < end; j++ {
+				next := make([]*big.Int, len(table)*2)
+				bit := len(table)
+				for pat, v := range table {
+					t0, t1 := new(big.Int), new(big.Int)
+					mulMod(t0, v, sq[i][j-lo], i)
+					mulMod(t1, v, vals[i][j-lo], i)
+					p.tableMuls[i] += 2
+					next[pat] = t0
+					next[pat|bit] = t1
+				}
+				table = next
+			}
+			a := accs[i]
+			if gi == 0 {
+				for r := 0; r < rows; r++ {
+					a[r].Set(table[pats[r]])
+				}
+				continue
+			}
+			for r := 0; r < rows; r++ {
+				if r&(cancelCheckRows-1) == 0 && stop() {
+					return p
+				}
+				mulMod(&a[r], &a[r], table[pats[r]], i)
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		gammas := make([]*big.Int, rows)
+		for r := range gammas {
+			gammas[r] = &accs[i][r]
+		}
+		p.big[i] = gammas
+	}
+	return p
+}
+
+// groupPatterns16 is groupPatterns for windows wider than 8 columns:
+// bit k of pats[r] is column start+k's bit at row r, transposed with
+// one sequential scan per column.
+func groupPatterns16(cols [][]byte, start, end, colBytes int, pats []uint16) {
+	for i := range pats {
+		pats[i] = 0
+	}
+	for k := 0; start+k < end; k++ {
+		col := cols[start+k]
+		kbit := uint16(1) << k
+		for byteIdx := 0; byteIdx < colBytes; byteIdx++ {
+			b := col[byteIdx]
+			if b == 0 {
+				// Zero bytes dominate padded and tombstoned blocks.
+				continue
+			}
+			base := byteIdx * 8
+			// MSB-first, matching Matrix.SetColumn's layout.
+			if b&0x80 != 0 {
+				pats[base] |= kbit
+			}
+			if b&0x40 != 0 {
+				pats[base+1] |= kbit
+			}
+			if b&0x20 != 0 {
+				pats[base+2] |= kbit
+			}
+			if b&0x10 != 0 {
+				pats[base+3] |= kbit
+			}
+			if b&0x08 != 0 {
+				pats[base+4] |= kbit
+			}
+			if b&0x04 != 0 {
+				pats[base+5] |= kbit
+			}
+			if b&0x02 != 0 {
+				pats[base+6] |= kbit
+			}
+			if b&0x01 != 0 {
+				pats[base+7] |= kbit
+			}
+		}
+	}
+}

@@ -1,0 +1,413 @@
+package pir
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/big"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// churnColumns builds a corpus shaped like a block store under churn:
+// random live columns interleaved with all-zero tombstones and
+// mostly-zero padded tails.
+func churnColumns(t *testing.T, seed int64, nCols, colBytes int) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	cols := make([][]byte, nCols)
+	for j := range cols {
+		cols[j] = make([]byte, colBytes)
+		switch rng.Intn(4) {
+		case 0: // tombstoned block: all zero
+		case 1: // padded tail: data in the first quarter only
+			rng.Read(cols[j][:colBytes/4+1])
+		default:
+			rng.Read(cols[j])
+		}
+	}
+	return cols
+}
+
+// multiBatch builds k queries over one key with distinct targets.
+func multiBatch(t *testing.T, k *ClientKey, label string, nCols, count int) []*Query {
+	t.Helper()
+	qs := make([]*Query, count)
+	for i := range qs {
+		q, err := k.NewQuery(newDetRand(fmt.Sprintf("%s-%d", label, i)), nCols, i%nCols)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i] = q
+	}
+	return qs
+}
+
+// TestProcessColumnsMultiIdentical is the amortization spine's core
+// property: for random corpora under churn, every answer of a
+// multi-query batch is byte-identical to its own independent
+// ProcessColumns run AND to ProcessColumnsExec, across batch widths,
+// worker counts, and window widths (including widths beyond MaxWindow
+// and degenerate clamps), and still decodes to the target column.
+func TestProcessColumnsMultiIdentical(t *testing.T) {
+	k := testKey(t)
+	shapes := []struct{ nCols, colBytes int }{
+		{13, 3},
+		{37, 16},
+		{5, 1},
+	}
+	execs := []Exec{
+		{},
+		{Workers: 1, Window: 1},
+		{Workers: 2, Window: 3},
+		{Workers: 3, Window: 7},
+		{Workers: 16, Window: MaxBatchWindow},
+		{Workers: 2, Window: 64}, // clamped to MaxBatchWindow
+	}
+	for si, shape := range shapes {
+		cols := churnColumns(t, int64(100+si), shape.nCols, shape.colBytes)
+		for _, batch := range []int{1, 2, 5} {
+			qs := multiBatch(t, k, fmt.Sprintf("multi-%d-%d", si, batch), shape.nCols, batch)
+			want := make([]*Answer, batch)
+			for i, q := range qs {
+				ans, _, err := ProcessColumns(cols, shape.colBytes, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ref, _, err := ProcessColumnsExec(cols, shape.colBytes, q, Exec{Workers: 2})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range ans.Gammas {
+					if ans.Gammas[r].Cmp(ref.Gammas[r]) != 0 {
+						t.Fatalf("reference paths disagree at row %d", r)
+					}
+				}
+				want[i] = ans
+			}
+			for _, ex := range execs {
+				got, stats, err := ProcessColumnsMultiExec(cols, shape.colBytes, qs, ex)
+				if err != nil {
+					t.Fatalf("shape %d batch %d exec %+v: %v", si, batch, ex, err)
+				}
+				if len(got) != batch || len(stats) != batch {
+					t.Fatalf("got %d answers / %d stats, want %d", len(got), len(stats), batch)
+				}
+				for i := range got {
+					if len(got[i].Gammas) != len(want[i].Gammas) {
+						t.Fatalf("query %d: %d gammas, want %d", i, len(got[i].Gammas), len(want[i].Gammas))
+					}
+					for r := range got[i].Gammas {
+						if got[i].Gammas[r].Cmp(want[i].Gammas[r]) != 0 {
+							t.Fatalf("shape %d batch %d exec %+v query %d row %d: gamma differs from sequential",
+								si, batch, ex, i, r)
+						}
+					}
+					if stats[i].ModMuls <= 0 || stats[i].TableMuls <= 0 || stats[i].TableMuls > stats[i].ModMuls {
+						t.Fatalf("query %d: implausible stats %+v", i, stats[i])
+					}
+					target := i % shape.nCols
+					if decoded := ColumnBytes(k.Decode(got[i])); !bytes.Equal(decoded, cols[target]) {
+						t.Fatalf("query %d: decoded %x, want %x", i, decoded, cols[target])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMultiEvenModulusFallback: a client-chosen even modulus cannot
+// enter Montgomery form; the fallback scan must still match the
+// sequential reference bit for bit.
+func TestMultiEvenModulusFallback(t *testing.T) {
+	n := big.NewInt(1 << 20) // even: REDC impossible
+	rng := rand.New(rand.NewSource(9))
+	const nCols, colBytes = 11, 4
+	cols := churnColumns(t, 9, nCols, colBytes)
+	qs := make([]*Query, 3)
+	for i := range qs {
+		q := &Query{N: n, Values: make([]*big.Int, nCols)}
+		for j := range q.Values {
+			q.Values[j] = new(big.Int).Rand(rng, n)
+		}
+		qs[i] = q
+	}
+	got, stats, err := ProcessColumnsMultiExec(cols, colBytes, qs, Exec{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range qs {
+		want, _, err := ProcessColumns(cols, colBytes, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := range want.Gammas {
+			if got[i].Gammas[r].Cmp(want.Gammas[r]) != 0 {
+				t.Fatalf("fallback query %d row %d: gamma differs from sequential", i, r)
+			}
+		}
+		if stats[i].ModMuls <= 0 {
+			t.Fatalf("fallback query %d: no work recorded", i)
+		}
+	}
+}
+
+// TestMultiValidation: batch-shape preconditions are errors, not wrong
+// answers.
+func TestMultiValidation(t *testing.T) {
+	k := testKey(t)
+	cols := churnColumns(t, 11, 4, 2)
+	qs := multiBatch(t, k, "val", 4, 2)
+
+	if _, _, err := ProcessColumnsMulti(cols, 2, nil); err != errEmptyBatch {
+		t.Errorf("empty batch: got %v", err)
+	}
+	big1 := make([]*Query, MaxMulti+1)
+	for i := range big1 {
+		big1[i] = qs[0]
+	}
+	if _, _, err := ProcessColumnsMulti(cols, 2, big1); err != errBatchSize {
+		t.Errorf("oversize batch: got %v", err)
+	}
+	k2, err := GenerateKey(newDetRand("val-other-key"), 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := k2.NewQuery(newDetRand("val-other"), 4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ProcessColumnsMulti(cols, 2, []*Query{qs[0], q2}); err != errBatchModulus {
+		t.Errorf("modulus mismatch: got %v", err)
+	}
+	narrow, err := k.NewQuery(newDetRand("val-narrow"), 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ProcessColumnsMulti(cols, 2, []*Query{qs[0], narrow}); err != errBatchWidth {
+		t.Errorf("width mismatch: got %v", err)
+	}
+	if _, _, err := ProcessColumnsMulti(cols[:3], 2, qs); err != errQueryWidth {
+		t.Errorf("column mismatch: got %v", err)
+	}
+	if _, _, err := ProcessColumnsMulti(cols, 0, qs); err != errColumnSize {
+		t.Errorf("zero colBytes: got %v", err)
+	}
+}
+
+// TestMultiStatsPinned pins the batch accounting arithmetic (the
+// satellite fix): with a pinned window and one worker, each query's
+// TableMuls must be exactly
+//
+//	2·width (Montgomery conversions + squares)
+//	+ Σ_groups 2·(2^g − 2) (table build)
+//	+ rows (gamma out-conversions)
+//
+// and ModMuls must exceed TableMuls by exactly the scan cost
+// (groups−1)·rows. Adding workers adds exactly (workers−1)·rows
+// recombine muls per query and nothing else.
+func TestMultiStatsPinned(t *testing.T) {
+	k := testKey(t)
+	const nCols, colBytes, batch, window = 11, 4, 3, 3
+	rows := colBytes * 8
+	cols := churnColumns(t, 13, nCols, colBytes)
+	qs := multiBatch(t, k, "stats", nCols, batch)
+
+	tableBuild := 0
+	groups := (nCols + window - 1) / window
+	for gi := 0; gi < groups; gi++ {
+		g := window
+		if (gi+1)*window > nCols {
+			g = nCols - gi*window
+		}
+		tableBuild += 2 * ((1 << g) - 2)
+	}
+	wantTable := 2*nCols + tableBuild + rows
+	wantTotal := wantTable + (groups-1)*rows
+
+	_, stats, err := ProcessColumnsMultiExec(cols, colBytes, qs, Exec{Workers: 1, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats {
+		if st.TableMuls != wantTable {
+			t.Errorf("query %d: TableMuls = %d, want %d", i, st.TableMuls, wantTable)
+		}
+		if st.ModMuls != wantTotal {
+			t.Errorf("query %d: ModMuls = %d, want %d", i, st.ModMuls, wantTotal)
+		}
+	}
+
+	// Two workers split the groups; each partition converts only its
+	// own columns (still 2·width total across workers) and builds the
+	// same tables, and the recombine adds exactly rows muls per query.
+	_, stats2, err := ProcessColumnsMultiExec(cols, colBytes, qs, Exec{Workers: 2, Window: window})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stats2 {
+		if st.TableMuls != wantTable {
+			t.Errorf("2 workers query %d: TableMuls = %d, want %d", i, st.TableMuls, wantTable)
+		}
+		// The first group of EACH partition skips its scan muls (the
+		// accumulator starts as a table entry), so two workers save
+		// rows scan muls and add rows recombine muls: same total.
+		if st.ModMuls != wantTotal {
+			t.Errorf("2 workers query %d: ModMuls = %d, want %d", i, st.ModMuls, wantTotal)
+		}
+	}
+}
+
+// TestMultiCancelled: a batch under an already-expired deadline stops
+// with a deadline error, returns no answers, and still reports the
+// work performed (possibly zero).
+func TestMultiCancelled(t *testing.T) {
+	k := testKey(t)
+	const nCols, colBytes = 16, 64
+	cols := churnColumns(t, 17, nCols, colBytes)
+	qs := multiBatch(t, k, "cancel", nCols, 4)
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	ans, _, err := ProcessColumnsMultiExecCtx(ctx, cols, colBytes, qs, Exec{Workers: 2})
+	if err == nil {
+		t.Fatal("expired deadline produced no error")
+	}
+	if ans != nil {
+		t.Fatal("cancelled batch returned answers")
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if _, _, err := ProcessColumnsMultiCtx(ctx2, cols, colBytes, qs); err == nil {
+		t.Fatal("cancelled context produced no error")
+	}
+}
+
+// TestMultiAmortizationSmoke is the CI guardrail against silently
+// losing the amortization in a refactor: at batch width 4 on a
+// block-shaped corpus, the one-pass multi-query scan must finish
+// faster in wall time than the same four queries served one at a time
+// through ProcessColumnsExec. The expected margin is several-fold
+// (shared transposition + REDC); the assertion demands only an
+// outright win to stay robust on noisy CI machines.
+func TestMultiAmortizationSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing smoke")
+	}
+	k := testKey(t)
+	const nCols, colBytes, batch = 64, 512, 4 // 4096 rows
+	cols, _ := randomColumns(t, 23, nCols, colBytes)
+	qs := multiBatch(t, k, "amort", nCols, batch)
+
+	perQuery := time.Duration(1<<62 - 1)
+	multi := perQuery
+	// Best of three to damp scheduler noise.
+	for rep := 0; rep < 3; rep++ {
+		start := time.Now()
+		for _, q := range qs {
+			if _, _, err := ProcessColumnsExec(cols, colBytes, q, Exec{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if d := time.Since(start); d < perQuery {
+			perQuery = d
+		}
+		start = time.Now()
+		got, _, err := ProcessColumnsMulti(cols, colBytes, qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(start); d < multi {
+			multi = d
+		}
+		if rep == 0 {
+			for i, q := range qs {
+				want, _, err := ProcessColumns(cols, colBytes, q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for r := range want.Gammas {
+					if got[i].Gammas[r].Cmp(want.Gammas[r]) != 0 {
+						t.Fatalf("amortized query %d row %d differs from sequential", i, r)
+					}
+				}
+			}
+		}
+	}
+	t.Logf("per-query 4x: %v, multi batch of 4: %v (%.1fx)", perQuery, multi,
+		float64(perQuery)/float64(multi))
+	if multi >= perQuery {
+		t.Fatalf("multi-query batch (%v) not faster than per-query serving (%v)", multi, perQuery)
+	}
+}
+
+// TestAutoWindowMultiBounds: batch-amortized windows stay in
+// [1, MaxBatchWindow], never narrow as the batch grows, and exceed the
+// single-query MaxWindow for block-shaped stores once the batch is
+// wide enough to pay for the bigger tables.
+func TestAutoWindowMultiBounds(t *testing.T) {
+	for _, rows := range []int{1, 64, 8192, 1 << 20} {
+		for _, cols := range []int{1, 100, 1 << 16} {
+			prev := 0
+			for _, k := range []int{1, 2, 4, 16, 64} {
+				w := autoWindowMulti(rows, cols, 8, k)
+				if w < 1 || w > MaxBatchWindow {
+					t.Fatalf("autoWindowMulti(%d, %d, 8, %d) = %d out of range", rows, cols, k, w)
+				}
+				if w < prev {
+					t.Fatalf("window narrowed with batch growth: rows=%d cols=%d k=%d: %d -> %d",
+						rows, cols, k, prev, w)
+				}
+				prev = w
+			}
+		}
+	}
+	if w := autoWindowMulti(8192, 1000, 8, 8); w <= MaxWindow {
+		t.Fatalf("block-shaped batch picked window %d; expected beyond MaxWindow=%d", w, MaxWindow)
+	}
+}
+
+// benchmarkMulti measures the amortized one-pass batch against k
+// independent ProcessColumnsExec runs at a block-store-like shape
+// (1 KB columns, 64-bit modulus) — the ratio is the server-side win
+// the fetch benchmarks dilute with client work.
+func benchmarkMulti(b *testing.B, batch int, multi bool) {
+	k, err := GenerateKey(newDetRand("bench-multi"), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	const nCols, colBytes = 512, 1024 // 8192 rows
+	cols := make([][]byte, nCols)
+	for j := range cols {
+		cols[j] = make([]byte, colBytes)
+		rng.Read(cols[j])
+	}
+	qs := make([]*Query, batch)
+	for i := range qs {
+		if qs[i], err = k.NewQuery(newDetRand(fmt.Sprintf("bench-multi-%d", i)), nCols, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ex := Exec{Workers: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if multi {
+			if _, _, err := ProcessColumnsMultiExec(cols, colBytes, qs, ex); err != nil {
+				b.Fatal(err)
+			}
+			continue
+		}
+		for _, q := range qs {
+			if _, _, err := ProcessColumnsExec(cols, colBytes, q, ex); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+func BenchmarkBatch4PerQuery(b *testing.B)  { benchmarkMulti(b, 4, false) }
+func BenchmarkBatch4Multi(b *testing.B)     { benchmarkMulti(b, 4, true) }
+func BenchmarkBatch16PerQuery(b *testing.B) { benchmarkMulti(b, 16, false) }
+func BenchmarkBatch16Multi(b *testing.B)    { benchmarkMulti(b, 16, true) }

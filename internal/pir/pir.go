@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"time"
 )
 
 var one = big.NewInt(1)
@@ -204,6 +205,13 @@ type Answer struct {
 // cost models in the Figure 7/8 experiments.
 type Stats struct {
 	ModMuls int // KeyLen-bit modular multiplications performed
+	// TableMuls is the subset of ModMuls spent on per-query setup
+	// rather than the row scan: column squares, subset-product table
+	// construction, and Montgomery conversions in and out. Batch
+	// serving attributes each query's own setup to that query, so
+	// summing Stats across a batch never double-counts and
+	// ModMuls − TableMuls is exactly the scan cost.
+	TableMuls int
 }
 
 // Process computes the server response: γ_i = Π_j v_ij with v_ij = q_j²
@@ -219,6 +227,7 @@ func (m *Matrix) Process(q *Query) (*Answer, Stats, error) {
 		sq[j] = new(big.Int).Mul(v, v)
 		sq[j].Mod(sq[j], q.N)
 		st.ModMuls++
+		st.TableMuls++
 	}
 	ans := &Answer{Gammas: make([]*big.Int, m.Rows)}
 	tmp := new(big.Int)
@@ -268,17 +277,26 @@ func ProcessColumnsCtx(ctx context.Context, cols [][]byte, colBytes int, q *Quer
 		sq[j] = new(big.Int).Mul(v, v)
 		sq[j].Mod(sq[j], q.N)
 		st.ModMuls++
+		st.TableMuls++
 	}
 	rows := colBytes * 8
 	ans := &Answer{Gammas: make([]*big.Int, rows)}
 	done := ctx.Done()
+	// The Done channel alone is not enough: under GOMAXPROCS=1 a busy
+	// scan can starve the runtime timer that would close it, so the
+	// deadline is also polled against the wall clock (the same fix the
+	// core plans received).
+	dl, hasDL := ctx.Deadline()
 	for r := 0; r < rows; r++ {
 		if done != nil {
 			select {
 			case <-done:
-				return nil, st, ctx.Err()
+				return nil, st, ctxScanErr(ctx)
 			default:
 			}
+		}
+		if hasDL && !time.Now().Before(dl) {
+			return nil, st, ctxScanErr(ctx)
 		}
 		byteIdx, mask := r>>3, byte(1)<<(7-r&7)
 		g := big.NewInt(1)

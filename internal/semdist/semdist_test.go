@@ -144,7 +144,14 @@ func TestScratchStateReset(t *testing.T) {
 }
 
 // Property: triangle inequality holds on the synthetic graph (shortest
-// paths are metrics when weights are symmetric), modulo the cap.
+// paths are metrics when weights are symmetric), modulo the cap and
+// the same-synset shortcut: two terms sharing a synset are at distance
+// zero, but that zero is a membership check, not a graph edge — the
+// synset-graph search never bridges through a shared term, so a
+// composed bound through a zero-distance pair can undercut the
+// searched path by one hop. Zero legs are therefore excluded, and the
+// triple source is pinned (like every other sampler in this file) so
+// the run is deterministic.
 func TestTriangleInequality(t *testing.T) {
 	db := wngen.Generate(wngen.ScaledConfig(800, 19))
 	c := New(db, 0)
@@ -159,9 +166,13 @@ func TestTriangleInequality(t *testing.T) {
 		if ab >= c.MaxDist || bd >= c.MaxDist {
 			return true // capped values carry no triangle guarantee
 		}
+		if ab == 0 || bd == 0 {
+			return true // same-synset shortcut, not a path
+		}
 		return ad <= ab+bd+1e-9
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+	cfg := &quick.Config{MaxCount: 60, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
 		t.Fatal(err)
 	}
 }

@@ -205,6 +205,101 @@ func FuzzPIRQuery(f *testing.F) {
 	})
 }
 
+// FuzzPIRBatchQuery drives the amortized serving path with hostile
+// batch frames: bodies that survive DecodePIRBatchQuery are answered
+// in ONE database pass (docstore.AnswerMulti), and every answer must
+// be byte-identical to the per-query reference — so the Montgomery
+// one-pass kernel is fuzzed against the sequential path, not just the
+// decoder grammar.
+func FuzzPIRBatchQuery(f *testing.F) {
+	key, err := pir.GenerateKey(detrand.New("fuzz-pir-batch"), 96)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, targets := range [][]int{{0}, {0, 2}, {1, 1, 2}} {
+		qs := make([]*pir.Query, len(targets))
+		for i, target := range targets {
+			q, err := key.NewQuery(detrand.New("fuzz-pir-batch-q"), 3, target)
+			if err != nil {
+				f.Fatal(err)
+			}
+			qs[i] = q
+		}
+		var buf bytes.Buffer
+		if err := WritePIRBatchQuery(&buf, qs); err != nil {
+			f.Fatal(err)
+		}
+		_, body, err := ReadMessage(&buf)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(body)
+	}
+	store, err := docstore.New(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, text := range []string{"alpha", "beta", "gamma gamma"} {
+		if err := store.Add(i, []byte(text)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	sn := store.Snapshot()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		qs, err := DecodePIRBatchQuery(body)
+		if err != nil {
+			return
+		}
+		for i, q := range qs {
+			for j, v := range q.Values {
+				if v == nil || v.Sign() <= 0 || v.Cmp(q.N) >= 0 {
+					t.Fatalf("batch query %d value %d escaped validation", i, j)
+				}
+			}
+		}
+		// Same serving-cost ceiling as FuzzPIRQuery, plus the multi
+		// path's equal-width contract: mixed-width frames are grouped by
+		// the server before reaching AnswerMulti, so the fuzz serves
+		// only uniform batches and requires a clean refusal otherwise.
+		for _, q := range qs {
+			if q.N.BitLen() > 512 || len(q.Values) > sn.NumBlocks() {
+				return
+			}
+		}
+		uniform := true
+		for _, q := range qs[1:] {
+			if len(q.Values) != len(qs[0].Values) {
+				uniform = false
+				break
+			}
+		}
+		answers, _, err := sn.AnswerMulti(qs)
+		if !uniform {
+			if err == nil {
+				t.Fatal("mixed-width batch served without error")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("in-range decoded batch refused: %v", err)
+		}
+		for i, q := range qs {
+			ref, _, err := sn.Answer(q)
+			if err != nil {
+				t.Fatalf("per-query reference %d refused: %v", i, err)
+			}
+			if len(answers[i].Gammas) != len(ref.Gammas) {
+				t.Fatalf("query %d: %d gammas, reference has %d", i, len(answers[i].Gammas), len(ref.Gammas))
+			}
+			for j := range ref.Gammas {
+				if answers[i].Gammas[j].Cmp(ref.Gammas[j]) != 0 {
+					t.Fatalf("query %d gamma %d: one-pass answer diverges from per-query reference", i, j)
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadMessage: arbitrary streams must produce clean errors.
 func FuzzReadMessage(f *testing.F) {
 	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})

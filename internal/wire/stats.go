@@ -72,6 +72,9 @@ type Stats struct {
 	WALSeq           uint64 // last journaled sequence number
 	WALCheckpointSeq uint64 // sequence covered by the newest checkpoint
 	CheckpointAgeNs  uint64 // nanoseconds since that checkpoint was taken
+	// PIR work accounting (partial work of cancelled scans included).
+	PIRModMuls   uint64 // modular multiplications spent serving PIR
+	PIRTableMuls uint64 // subset of PIRModMuls spent on per-query setup
 }
 
 // fields returns the positional encoding order. Append-only.
@@ -84,6 +87,7 @@ func (s *Stats) fields() []*uint64 {
 		&s.QueueWaitNs, &s.MaxQueueWaitNs,
 		&s.ShedQueueFull, &s.ShedQueueTimeout, &s.Deadlines,
 		&s.Durable, &s.WALSeq, &s.WALCheckpointSeq, &s.CheckpointAgeNs,
+		&s.PIRModMuls, &s.PIRTableMuls,
 	}
 }
 

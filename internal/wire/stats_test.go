@@ -16,6 +16,7 @@ func sampleStats() Stats {
 		QueueWaitNs: 1 << 33, MaxQueueWaitNs: 1 << 28,
 		ShedQueueFull: 17, ShedQueueTimeout: 6, Deadlines: 2,
 		Durable: 1, WALSeq: 812, WALCheckpointSeq: 800, CheckpointAgeNs: 1 << 36,
+		PIRModMuls: 1 << 40, PIRTableMuls: 1 << 22,
 	}
 }
 
@@ -120,8 +121,8 @@ func TestStatsHostileBodies(t *testing.T) {
 // positional and append-only.
 func TestStatsFieldCountPinned(t *testing.T) {
 	var st Stats
-	if n := len(st.fields()); n != 21 {
-		t.Fatalf("Stats encodes %d fields, test expects 21; fields are append-only — update this test after appending", n)
+	if n := len(st.fields()); n != 23 {
+		t.Fatalf("Stats encodes %d fields, test expects 23; fields are append-only — update this test after appending", n)
 	}
 	if maxStatsFields < len(st.fields()) {
 		t.Fatal("maxStatsFields fell below the schema size")

@@ -41,6 +41,8 @@ func (s *NetServer) statsPayload() wire.Stats {
 		WALSeq:           st.WALSeq,
 		WALCheckpointSeq: st.WALCheckpointSeq,
 		CheckpointAgeNs:  uint64(st.CheckpointAge),
+		PIRModMuls:       uint64(st.PIRModMuls),
+		PIRTableMuls:     uint64(st.PIRTableMuls),
 	}
 	if st.Durable {
 		p.Durable = 1
@@ -95,6 +97,8 @@ func (s *NetServer) MetricsText() []byte {
 	line("wal_seq", st.WALSeq)
 	line("wal_checkpoint_seq", st.WALCheckpointSeq)
 	line("checkpoint_age_seconds", secs(int64(st.CheckpointAge)))
+	line("pir_modmuls_total", st.PIRModMuls)
+	line("pir_table_muls_total", st.PIRTableMuls)
 	return b
 }
 
@@ -144,5 +148,7 @@ func ServerStats(conn io.ReadWriter) (ServeStats, error) {
 		WALSeq:           p.WALSeq,
 		WALCheckpointSeq: p.WALCheckpointSeq,
 		CheckpointAge:    time.Duration(p.CheckpointAgeNs),
+		PIRModMuls:       int64(p.PIRModMuls),
+		PIRTableMuls:     int64(p.PIRTableMuls),
 	}, nil
 }

@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"embellish/internal/core"
+	"embellish/internal/docstore"
+	"embellish/internal/pir"
 	"embellish/internal/wire"
 )
 
@@ -65,6 +67,14 @@ type ServeConfig struct {
 	// are clamped to it (the constructor has no error path). Answers
 	// are byte-identical in every plan.
 	PIRWorkers int
+	// PIRBatchAmortize overrides the engine's Options.PIRBatchAmortize
+	// escape hatch for batch frames served by this server: 0 inherits
+	// the engine knob (read at answer time, so
+	// Engine.ConfigurePIRBatchAmortize affects live servers), -1
+	// forces per-query serving, 1 forces the amortized one-pass
+	// multi-query scan. Values outside [-1, 1] are clamped. Answers
+	// and wire framing are byte-identical either way.
+	PIRBatchAmortize int
 	// MaxInflight enables bounded admission control: at most this many
 	// requests execute at once, and requests past the limit park in a
 	// FIFO queue (QueueDepth, QueueTimeout) instead of piling onto the
@@ -136,6 +146,15 @@ type ServeStats struct {
 	Durable                  bool
 	WALSeq, WALCheckpointSeq uint64
 	CheckpointAge            time.Duration
+	// PIRModMuls is the total modular multiplications spent serving PIR
+	// block queries, including the partial work of cancelled scans —
+	// the cost unit of the paper's Section 5.2 model, and the numerator
+	// operators need to see whether batch amortization is actually
+	// shrinking per-answer cost. PIRTableMuls is the subset spent on
+	// per-query setup (squares, subset-product tables, Montgomery
+	// conversions); each batch query carries exactly its own setup, so
+	// these sums never double-count.
+	PIRModMuls, PIRTableMuls int64
 }
 
 // NetServer serves the private-retrieval wire protocol for one Engine
@@ -148,8 +167,10 @@ type NetServer struct {
 	allowUpdates   bool
 	allowRetrieval bool
 	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
-	// engine's Options.PIRWorkers at answer time.
-	pirOverride int
+	// engine's Options.PIRWorkers at answer time. amortizeOverride is
+	// ServeConfig.PIRBatchAmortize under the same contract.
+	pirOverride      int
+	amortizeOverride int
 	// adm is the bounded admission queue; nil when MaxInflight is 0
 	// (admission control disabled).
 	adm        *admission
@@ -181,6 +202,9 @@ type NetServer struct {
 	shedFull       atomic.Int64
 	shedTimeout    atomic.Int64
 	deadlines      atomic.Int64
+
+	pirModMuls   atomic.Int64
+	pirTableMuls atomic.Int64
 }
 
 // NewNetServer builds a concurrent protocol server around the engine.
@@ -203,6 +227,13 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 	if pirOverride > maxPIRWorkers {
 		pirOverride = maxPIRWorkers
 	}
+	amortizeOverride := cfg.PIRBatchAmortize
+	if amortizeOverride < -1 {
+		amortizeOverride = -1
+	}
+	if amortizeOverride > 1 {
+		amortizeOverride = 1
+	}
 	var adm *admission
 	if cfg.MaxInflight != 0 {
 		slots := cfg.MaxInflight
@@ -220,16 +251,17 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		adm = newAdmission(slots, depth, timeout)
 	}
 	return &NetServer{
-		engine:         e,
-		maxConns:       maxConns,
-		idle:           cfg.IdleTimeout,
-		allowUpdates:   cfg.AllowUpdates,
-		allowRetrieval: cfg.AllowRetrieval,
-		pirOverride:    pirOverride,
-		adm:            adm,
-		reqTimeout:     cfg.RequestTimeout,
-		listeners:      make(map[net.Listener]struct{}),
-		conns:          make(map[net.Conn]struct{}),
+		engine:           e,
+		maxConns:         maxConns,
+		idle:             cfg.IdleTimeout,
+		allowUpdates:     cfg.AllowUpdates,
+		allowRetrieval:   cfg.AllowRetrieval,
+		pirOverride:      pirOverride,
+		amortizeOverride: amortizeOverride,
+		adm:              adm,
+		reqTimeout:       cfg.RequestTimeout,
+		listeners:        make(map[net.Listener]struct{}),
+		conns:            make(map[net.Conn]struct{}),
 	}
 }
 
@@ -242,6 +274,24 @@ func (s *NetServer) pirWorkers() int {
 		return s.pirOverride
 	}
 	return s.engine.livePIRWorkers()
+}
+
+// pirBatchAmortize resolves the batch-amortization switch for one
+// batch frame: the ServeConfig override when set, else the engine's
+// current knob.
+func (s *NetServer) pirBatchAmortize() bool {
+	if s.amortizeOverride != 0 {
+		return s.amortizeOverride > 0
+	}
+	return s.engine.livePIRBatchAmortize()
+}
+
+// countPIRWork folds one answer's Stats into the server-wide mul
+// counters — called on error paths too, so cancelled scans' partial
+// work stays visible to work_fraction consumers.
+func (s *NetServer) countPIRWork(st pir.Stats) {
+	s.pirModMuls.Add(int64(st.ModMuls))
+	s.pirTableMuls.Add(int64(st.TableMuls))
 }
 
 // Stats returns a snapshot of the server's counters.
@@ -263,6 +313,8 @@ func (s *NetServer) Stats() ServeStats {
 		ShedQueueFull:    s.shedFull.Load(),
 		ShedQueueTimeout: s.shedTimeout.Load(),
 		Deadlines:        s.deadlines.Load(),
+		PIRModMuls:       s.pirModMuls.Load(),
+		PIRTableMuls:     s.pirTableMuls.Load(),
 	}
 	if s.adm != nil {
 		st.Queued = int64(s.adm.queued())
@@ -646,8 +698,12 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 		// search-batch path.
 		ctx, cancel := s.requestCtx()
 		defer cancel()
+		if workers := s.pirWorkers(); s.pirBatchAmortize() && workers != 0 && len(qs) > 1 {
+			return s.answerPIRBatchAmortized(rw, ctx, snap, qs, workers)
+		}
 		for i, q := range qs {
-			ans, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
+			ans, st, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
+			s.countPIRWork(st)
 			if err != nil {
 				if isCtxErr(ctx, err) {
 					return s.deadlineError(rw, fmt.Sprintf("batch cancelled in block %d", i))
@@ -669,7 +725,8 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 		}
 		ctx, cancel := s.requestCtx()
 		defer cancel()
-		ans, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
+		ans, st, err := answerPIRCtx(ctx, snap, q, s.pirWorkers())
+		s.countPIRWork(st)
 		if err != nil {
 			if isCtxErr(ctx, err) {
 				return s.deadlineError(rw, "block scan cancelled")
@@ -680,6 +737,57 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 		s.retrievals.Add(1)
 		return wire.WritePIRAnswer(rw, ans)
 	}
+}
+
+// answerPIRBatchAmortized serves one TypePIRBatchQuery frame through
+// the one-pass multi-query scan. The wire semantics are unchanged:
+// answers stream back strictly in batch order, one frame each, and a
+// failure is answered with the same wire errors the per-query path
+// produces. What changes is execution — queries of equal width are
+// computed together in a single pass over the store (prefix addressing
+// under churn means widths MAY differ inside one frame, so positions
+// are grouped by width first), which also means a deadline cancels the
+// whole frame before any answer streams rather than between blocks.
+// Every group's per-query Stats are counted even on failure.
+func (s *NetServer) answerPIRBatchAmortized(rw io.ReadWriter, ctx context.Context, snap *docstore.Snapshot, qs []*pir.Query, workers int) error {
+	var widths []int
+	byWidth := make(map[int][]int)
+	for i, q := range qs {
+		w := len(q.Values)
+		if _, ok := byWidth[w]; !ok {
+			widths = append(widths, w)
+		}
+		byWidth[w] = append(byWidth[w], i)
+	}
+	answers := make([]*pir.Answer, len(qs))
+	for _, w := range widths {
+		idx := byWidth[w]
+		sub := make([]*pir.Query, len(idx))
+		for j, i := range idx {
+			sub[j] = qs[i]
+		}
+		got, stats, err := answerPIRMultiCtx(ctx, snap, sub, workers)
+		for _, st := range stats {
+			s.countPIRWork(st)
+		}
+		if err != nil {
+			if isCtxErr(ctx, err) {
+				return s.deadlineError(rw, fmt.Sprintf("batch cancelled in block %d", idx[0]))
+			}
+			s.errs.Add(1)
+			return wire.WriteError(rw, fmt.Sprintf("batch block %d: %v", idx[0], err))
+		}
+		for j, i := range idx {
+			answers[i] = got[j]
+		}
+	}
+	for i, ans := range answers {
+		s.retrievals.Add(1)
+		if err := wire.WritePIRBatchAnswer(rw, i, ans); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {

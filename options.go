@@ -106,6 +106,20 @@ type Options struct {
 	// live engine, and NetServers can override it per server with
 	// ServeConfig.PIRWorkers.
 	PIRWorkers int
+	// PIRBatchAmortize is the escape hatch for the amortized
+	// multi-query serving path: when a whole batch of equal-width block
+	// queries arrives (a top-k fetch), the server answers all of them
+	// in ONE pass over the document store on the Montgomery kernel
+	// instead of scanning once per query. 0 (the default) and 1 enable
+	// amortization; -1 disables it, falling back to per-query serving —
+	// answers are byte-identical either way, the knob exists to recover
+	// the old execution profile if the fast path misbehaves. Runtime-
+	// only and not persisted; Engine.ConfigurePIRBatchAmortize retunes
+	// a live engine, and NetServers can override it per server with
+	// ServeConfig.PIRBatchAmortize. The sequential reference plan
+	// (PIRWorkers == 0) is never amortized — it exists to measure the
+	// paper's per-query cost model.
+	PIRBatchAmortize int
 	// Durability opts the engine in to crash-safe persistence: every
 	// AddDocuments/DeleteDocuments batch is journaled to a write-ahead
 	// log in Durability.Dir before it is applied, and checkpoints
@@ -137,6 +151,16 @@ const maxPIRWorkers = 1 << 12
 func validatePIRWorkers(n int) error {
 	if n < -1 || n > maxPIRWorkers {
 		return fmt.Errorf("embellish: PIRWorkers %d out of range [-1, %d]; -1 selects GOMAXPROCS, 0 the sequential reference path", n, maxPIRWorkers)
+	}
+	return nil
+}
+
+// validatePIRBatchAmortize is the range check for the PIRBatchAmortize
+// encoding, shared by Options.validate and
+// Engine.ConfigurePIRBatchAmortize.
+func validatePIRBatchAmortize(n int) error {
+	if n < -1 || n > 1 {
+		return fmt.Errorf("embellish: PIRBatchAmortize %d out of range [-1, 1]; -1 disables batch amortization, 0/1 enable it", n)
 	}
 	return nil
 }
@@ -204,6 +228,9 @@ func (o Options) validate() error {
 		return fmt.Errorf("embellish: RetrievalKeyBits %d too small for PIR key generation", o.RetrievalKeyBits)
 	}
 	if err := validatePIRWorkers(o.PIRWorkers); err != nil {
+		return err
+	}
+	if err := validatePIRBatchAmortize(o.PIRBatchAmortize); err != nil {
 		return err
 	}
 	if err := o.Durability.validate(); err != nil {

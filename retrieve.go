@@ -170,19 +170,28 @@ type pirTransport interface {
 // localPIR serves fetches from one pinned store snapshot, so a
 // multi-document fetch reads an internally consistent corpus state.
 // The pipeline overlap here is generation vs. serving: the fetch
-// generator fills the query channel while Run multiplies.
+// generator fills the query channel while Run multiplies. With
+// amortize set (the engine's PIRBatchAmortize knob) and a non-
+// sequential serving plan, Run gathers a whole document's block
+// queries — and, across documents, up to wire.MaxPIRBatch — and
+// serves each gathered batch in ONE pass over the store through
+// answerPIRMultiCtx.
 type localPIR struct {
-	sn      *docstore.Snapshot
-	workers int
+	sn       *docstore.Snapshot
+	workers  int
+	amortize bool
 }
 
 func (l localPIR) Params() (docstore.Params, error) { return l.sn.Params(), nil }
 
 func (l localPIR) Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	if l.amortize && l.workers != 0 {
+		return l.runAmortized(ctx, qs, deliver)
+	}
 	for q := range qs {
 		// Serving errors go back bare: fetchVia attaches the document
 		// and block context (and the "embellish:" prefix) itself.
-		ans, err := answerPIRCtx(ctx, l.sn, q, l.workers)
+		ans, _, err := answerPIRCtx(ctx, l.sn, q, l.workers)
 		if err != nil {
 			return err
 		}
@@ -193,12 +202,58 @@ func (l localPIR) Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*p
 	return ctx.Err()
 }
 
+// runAmortized is localPIR's one-pass batch mode: it collects queries
+// until the generator closes the channel or the batch reaches the
+// wire batch cap, then answers the whole batch in a single scan.
+// Collection blocks on the generator — generation (residuosity draws)
+// is orders of magnitude cheaper than serving (a full database pass),
+// so waiting for a full batch costs microseconds and buys the scan
+// sharing. The generator never waits on deliveries, so blocking here
+// cannot deadlock. Local fetch queries all share one key and one
+// block-count, satisfying the multi path's equal-width contract.
+func (l localPIR) runAmortized(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error {
+	batch := make([]*pir.Query, 0, wire.MaxPIRBatch)
+	serve := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		answers, _, err := answerPIRMultiCtx(ctx, l.sn, batch, l.workers)
+		if err != nil {
+			return err
+		}
+		for _, ans := range answers {
+			if err := deliver(ans); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for q := range qs {
+		batch = append(batch, q)
+		if len(batch) == wire.MaxPIRBatch {
+			if err := serve(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := serve(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
 // remotePIR speaks the wire protocol over one connection: sequential
 // TypePIRQuery round-trips at depth 1, streamed TypePIRBatchQuery /
 // TypePIRBatchResponse frames at deeper windows.
 type remotePIR struct {
 	conn  io.ReadWriter
 	depth int
+	// amortize mirrors the client engine's PIRBatchAmortize knob: when
+	// set, the pipelined writer waits for the generator to fill each
+	// batch frame (after the slow-start probe), so the server sees the
+	// full batch width its one-pass amortized scan needs.
+	amortize bool
 }
 
 func (r remotePIR) Params() (docstore.Params, error) {
@@ -343,11 +398,28 @@ func (r remotePIR) runPipelined(ctx context.Context, qs <-chan *pir.Query, deliv
 				batchMax = pirBatchLimit(r.depth, len(first.Values), first.N.BitLen())
 			}
 			batch := append(make([]*pir.Query, 0, batchMax), first)
-			// Take whatever is already generated, without waiting: slow
-			// generators ship small batches rather than stalling the
-			// window.
+			// The slow-start probe (and every batch when amortization is
+			// off) takes whatever is already generated without waiting:
+			// slow generators ship small batches rather than stalling the
+			// window. After the probe, an amortizing client blocks on the
+			// generator so each frame carries a full batch — the width the
+			// server's one-pass scan amortizes over. Generation is far
+			// cheaper than serving, and the previous batch's scan overlaps
+			// the wait, so blocking costs latency only on the second frame.
 		fill:
 			for len(batch) < batchMax {
+				if r.amortize && !firstBatch {
+					select {
+					case q, ok := <-qs:
+						if !ok {
+							break fill
+						}
+						batch = append(batch, q)
+					case <-abort:
+						return
+					}
+					continue
+				}
 				select {
 				case q, ok := <-qs:
 					if !ok {
@@ -502,7 +574,11 @@ func (c *Client) FetchDocumentsContext(ctx context.Context, ids []int) ([][]byte
 	if err != nil {
 		return nil, FetchStats{}, err
 	}
-	return c.fetchVia(ctx, localPIR{sn: sn, workers: c.engine.livePIRWorkers()}, ids)
+	return c.fetchVia(ctx, localPIR{
+		sn:       sn,
+		workers:  c.engine.livePIRWorkers(),
+		amortize: c.engine.livePIRBatchAmortize(),
+	}, ids)
 }
 
 // FetchDocumentsRemote privately fetches the given documents from a
@@ -539,7 +615,11 @@ func (c *Client) FetchDocumentsRemote(conn io.ReadWriter, ids []int) ([][]byte, 
 // ServeConfig.RequestTimeout.)
 func (c *Client) FetchDocumentsRemoteContext(ctx context.Context, conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
 	depth := c.pipelineDepth()
-	out, st, err := c.fetchVia(ctx, remotePIR{conn: conn, depth: depth}, ids)
+	out, st, err := c.fetchVia(ctx, remotePIR{
+		conn:     conn,
+		depth:    depth,
+		amortize: c.engine.livePIRBatchAmortize(),
+	}, ids)
 	if depth > 1 && errors.Is(err, errBatchUnsupported) {
 		// A server predating the batch messages refused the very first
 		// batch frame (the pipeline slow-starts, so exactly one frame

@@ -369,6 +369,65 @@ func TestFetchFallsBackToSequentialOnPreBatchServer(t *testing.T) {
 	}
 }
 
+// TestServeConfigAmortizeOverrideIdentity: the server-side
+// PIRBatchAmortize override reschedules multiplications, never bytes —
+// a pipelined client fetching from a force-on server and from a
+// force-off server must receive identical documents. The amortized
+// server must also account its PIR work on the wire stats: positive
+// mod-mul totals with the table share a strict subset, so
+// work_fraction dashboards stay meaningful for batch serving.
+func TestServeConfigAmortizeOverrideIdentity(t *testing.T) {
+	e, _, texts := storeWorld(t, 25, 32)
+	ids := []int{0, 6, 12, 19, 24}
+	var results [][][]byte
+	for _, amortize := range []int{1, -1} {
+		addr := startRetrievalServer(t, e, ServeConfig{
+			AllowRetrieval: true, PIRWorkers: -1, PIRBatchAmortize: amortize,
+		})
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer conn.Close()
+		c, err := e.NewClient(detrand.New(fmt.Sprintf("amortize-%d", amortize)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.SetFetchPipeline(16); err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := c.FetchDocumentsRemote(conn, ids)
+		if err != nil {
+			t.Fatalf("amortize %d: %v", amortize, err)
+		}
+		if st.Runs == 0 {
+			t.Fatalf("amortize %d: no runs accounted", amortize)
+		}
+		for i, id := range ids {
+			if string(got[i]) != texts[id] {
+				t.Fatalf("amortize %d doc %d: fetched %q, want %q", amortize, id, got[i], texts[id])
+			}
+		}
+		results = append(results, got)
+
+		ss, err := ServerStats(conn)
+		if err != nil {
+			t.Fatalf("amortize %d: ServerStats: %v", amortize, err)
+		}
+		if ss.PIRModMuls <= 0 {
+			t.Fatalf("amortize %d: PIRModMuls = %d, want > 0", amortize, ss.PIRModMuls)
+		}
+		if ss.PIRTableMuls <= 0 || ss.PIRTableMuls >= ss.PIRModMuls {
+			t.Fatalf("amortize %d: PIRTableMuls = %d not in (0, %d)", amortize, ss.PIRTableMuls, ss.PIRModMuls)
+		}
+	}
+	for i := range results[0] {
+		if !bytes.Equal(results[0][i], results[1][i]) {
+			t.Fatalf("doc %d: amortized and per-query servers disagree", ids[i])
+		}
+	}
+}
+
 // TestConfigurePIRWorkersConcurrentWithFetch: retuning the serving
 // plan on a live engine must not race fetches (the plan lives in its
 // own atomic; e.opts is never rewritten). Run with -race.
