@@ -1,0 +1,263 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"strings"
+	"time"
+
+	"embellish"
+	"embellish/internal/cluster"
+	"embellish/internal/corpus"
+	"embellish/internal/wire"
+	"embellish/internal/wngen"
+)
+
+// ClusterReport is the scatter-gather scaling section: the same corpus
+// served by one partition process and by three, behind the cluster
+// router, driven with byte-identical pre-embellished query frames.
+type ClusterReport struct {
+	BaseDocs  int `json:"base_docs"`
+	GrownDocs int `json:"grown_docs"`
+	Queries   int `json:"queries"`
+	Rounds    int `json:"rounds"`
+
+	Legs []ClusterLeg `json:"legs"`
+
+	// Speedup3P is leg(1 partition) / leg(3 partitions) latency —
+	// above 1.0 means the scatter won wall-clock from partitioning.
+	Speedup3P float64 `json:"speedup_3p_vs_1p"`
+	// Identical reports whether every query returned byte-identical
+	// encrypted candidates from both cluster shapes.
+	Identical bool `json:"rankings_identical"`
+}
+
+// ClusterLeg is one cluster shape's measured query latency.
+type ClusterLeg struct {
+	Partitions int     `json:"partitions"`
+	MsPerQuery float64 `json:"ms_per_query"`
+}
+
+// clusterConfig parameterizes the scatter-gather section.
+type clusterConfig struct {
+	base, grow, synsets int
+	bktSz, keyBits      int
+	queries, rounds     int
+	seed                int64
+}
+
+// clusterWorld is one running cluster shape: n loopback worker
+// servers behind a router, torn down by close.
+type clusterWorld struct {
+	conn    net.Conn
+	servers []*embellish.NetServer
+	router  *cluster.Router
+	engines []*embellish.Engine
+}
+
+func (w *clusterWorld) close() {
+	if w.conn != nil {
+		w.conn.Close()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if w.router != nil {
+		w.router.Shutdown(ctx)
+	}
+	for _, s := range w.servers {
+		s.Shutdown(ctx)
+	}
+	for _, e := range w.engines {
+		e.Close()
+	}
+}
+
+// startCluster loads nparts copies of the template engine, serves
+// each on a loopback listener, routes them, and ingests the grown
+// documents through the router one document per frame (the shape that
+// keeps per-segment statistics — and therefore ciphertexts —
+// identical across cluster sizes).
+func startCluster(template []byte, base int, grown []embellish.Document, nparts int) (*clusterWorld, error) {
+	w := &clusterWorld{}
+	parts := make([]cluster.Partition, nparts)
+	for p := 0; p < nparts; p++ {
+		e, err := embellish.LoadEngine(bytes.NewReader(template))
+		if err != nil {
+			w.close()
+			return nil, fmt.Errorf("load partition %d: %w", p, err)
+		}
+		if err := e.ConfigureMergePolicy(-1); err != nil {
+			w.close()
+			return nil, err
+		}
+		w.engines = append(w.engines, e)
+		srv := e.NewNetServer(embellish.ServeConfig{AllowUpdates: true})
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			w.close()
+			return nil, err
+		}
+		go srv.Serve(l)
+		w.servers = append(w.servers, srv)
+		parts[p] = cluster.Partition{Endpoints: []string{l.Addr().String()}}
+	}
+	r, err := cluster.NewRouter(cluster.Config{Base: base, Partitions: parts, Backoff: time.Millisecond})
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	w.router = r
+	rl, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	go r.Serve(rl)
+	conn, err := net.Dial("tcp", rl.Addr().String())
+	if err != nil {
+		w.close()
+		return nil, err
+	}
+	w.conn = conn
+	for _, d := range grown {
+		if _, err := embellish.AddDocumentsRemote(conn, []embellish.Document{d}); err != nil {
+			w.close()
+			return nil, fmt.Errorf("ingest doc %d via %d-partition router: %w", d.ID, nparts, err)
+		}
+	}
+	return w, nil
+}
+
+// runClusterSection measures scatter-gather query latency on 1 vs 3
+// partitions and checks the encrypted candidate sets are
+// byte-identical between the two shapes.
+func runClusterSection(rep *Report, cfg clusterConfig) error {
+	db := wngen.Generate(wngen.ScaledConfig(cfg.synsets, cfg.seed))
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.base + cfg.grow
+	ccfg.Seed = cfg.seed + 5
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+
+	opts := embellish.DefaultOptions()
+	opts.BucketSize = cfg.bktSz
+	opts.KeyBits = cfg.keyBits
+	tmpl, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), world[:cfg.base], opts)
+	if err != nil {
+		return err
+	}
+	defer tmpl.Close()
+	var saved bytes.Buffer
+	if err := tmpl.Save(&saved); err != nil {
+		return err
+	}
+
+	// Pre-embellish once; the SAME frames drive both cluster shapes,
+	// so any divergence is the router's fault, not the decoy RNG's.
+	client, err := tmpl.NewClient(nil)
+	if err != nil {
+		return err
+	}
+	lemmas := tmpl.SearchableLemmas()
+	frames := make([][]byte, cfg.queries)
+	for i := range frames {
+		q := lemmas[(7*i)%len(lemmas)] + " " + lemmas[(13*i+5)%len(lemmas)]
+		eq, err := client.Embellish(q)
+		if err != nil {
+			return fmt.Errorf("embellish %q: %w", q, err)
+		}
+		if frames[i], err = eq.WireFrame(); err != nil {
+			return err
+		}
+	}
+
+	out := ClusterReport{
+		BaseDocs: cfg.base, GrownDocs: cfg.grow,
+		Queries: cfg.queries, Rounds: cfg.rounds,
+		Identical: true,
+	}
+	var refCands [][]wire.Candidate
+	for _, nparts := range []int{1, 3} {
+		w, err := startCluster(saved.Bytes(), cfg.base, world[cfg.base:], nparts)
+		if err != nil {
+			return err
+		}
+		// Warmup pass doubles as the identity probe.
+		cands := make([][]wire.Candidate, cfg.queries)
+		for i, frame := range frames {
+			if cands[i], err = roundTripQuery(w.conn, frame); err != nil {
+				w.close()
+				return err
+			}
+		}
+		if refCands == nil {
+			refCands = cands
+		} else if !candidatesEqual(refCands, cands) {
+			out.Identical = false
+		}
+		t0 := time.Now()
+		for r := 0; r < cfg.rounds; r++ {
+			for _, frame := range frames {
+				if _, err := roundTripQuery(w.conn, frame); err != nil {
+					w.close()
+					return err
+				}
+			}
+		}
+		ms := time.Since(t0).Seconds() * 1000 / float64(cfg.rounds*cfg.queries)
+		w.close()
+		out.Legs = append(out.Legs, ClusterLeg{Partitions: nparts, MsPerQuery: ms})
+	}
+	if out.Legs[1].MsPerQuery > 0 {
+		out.Speedup3P = out.Legs[0].MsPerQuery / out.Legs[1].MsPerQuery
+	}
+	rep.Cluster = out
+	fmt.Printf("cluster leg %d+%d docs: 1 partition %.1f ms/query, 3 partitions %.1f ms/query (%.2fx), identical rankings: %v\n",
+		cfg.base, cfg.grow, out.Legs[0].MsPerQuery, out.Legs[1].MsPerQuery,
+		out.Speedup3P, out.Identical)
+	return nil
+}
+
+// roundTripQuery writes one pre-encoded query frame and decodes the
+// encrypted candidate response.
+func roundTripQuery(conn net.Conn, frame []byte) ([]wire.Candidate, error) {
+	if _, err := conn.Write(frame); err != nil {
+		return nil, err
+	}
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		return nil, err
+	}
+	if typ == wire.TypeError {
+		return nil, fmt.Errorf("query refused: %s", body)
+	}
+	if typ != wire.TypeResponse {
+		return nil, fmt.Errorf("unexpected response type %d", typ)
+	}
+	cands, _, err := wire.DecodeResponse(body)
+	return cands, err
+}
+
+// candidatesEqual reports whether two per-query candidate sets carry
+// the same documents and the same ciphertext bytes.
+func candidatesEqual(a, b [][]wire.Candidate) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j].Doc != b[i][j].Doc || a[i][j].Enc.Cmp(b[i][j].Enc) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}

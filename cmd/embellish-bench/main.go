@@ -12,9 +12,12 @@
 // plaintext fetch at two corpus sizes; then measures the durability
 // tax and payoff: write-ahead-logged ingest (fsync=interval) against
 // in-memory ingest, and checkpoint+log recovery against re-ingesting
-// the same operations through the public API. Figures land as
-// machine-readable JSON (BENCH_PR7.json by default) so successive PRs
-// can be compared.
+// the same operations through the public API; finally it measures the
+// cluster tier: the same corpus served by one partition process vs.
+// three behind the scatter-gather router, with the encrypted
+// candidate sets checked byte-identical between the shapes. Figures
+// land as machine-readable JSON (BENCH_PR7.json by default) so
+// successive PRs can be compared.
 //
 // Usage:
 //
@@ -26,6 +29,10 @@
 //	                [-durable-docs 8000] [-durable-synsets 6000]
 //	                [-durable-ops 200] [-durable-batch 3]
 //	                [-durable-every 64]
+//	                [-cluster-base 60] [-cluster-docs 12000]
+//	                [-cluster-synsets 2500] [-cluster-keybits 256]
+//	                [-cluster-queries 4] [-cluster-rounds 2]
+//	                [-only load|cluster]
 //	                [-quick] [-out BENCH_PR7.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
@@ -91,6 +98,10 @@ type Report struct {
 	// against a queued-admission server, plus the mid-scan
 	// cancellation probe.
 	Load LoadReport `json:"load"`
+
+	// Cluster serving: scatter-gather scaling of the same corpus on
+	// one partition vs. three behind the router.
+	Cluster ClusterReport `json:"cluster"`
 }
 
 // DurableLeg measures the write-ahead log on its own world: the
@@ -215,6 +226,13 @@ func main() {
 		loadSynsets = flag.Int("load-synsets", 1500, "lexicon size for the load leg")
 		loadBits    = flag.Int("load-keybits", 128, "Benaloh key size for the load leg")
 		loadStrict  = flag.Bool("load-strict", false, "exit nonzero if any load-leg request fails outright (sheds are not failures)")
+
+		clBase    = flag.Int("cluster-base", 60, "template corpus size for the cluster scatter-gather leg (0 disables)")
+		clGrow    = flag.Int("cluster-docs", 12000, "documents ingested through the router for the cluster leg")
+		clSynsets = flag.Int("cluster-synsets", 2500, "lexicon size for the cluster leg")
+		clBits    = flag.Int("cluster-keybits", 256, "Benaloh key size for the cluster leg")
+		clQueries = flag.Int("cluster-queries", 4, "queries per measurement round in the cluster leg")
+		clRounds  = flag.Int("cluster-rounds", 2, "measurement rounds per cluster shape")
 	)
 	flag.Parse()
 	if *quick {
@@ -224,9 +242,20 @@ func main() {
 		}
 		*durDocs, *durSynsets, *durOps, *durBatch, *durEvery = 300, 1500, 30, 2, 8
 		*loadSeconds, *loadDocs, *loadSynsets = 2, 200, 1000
+		// Big enough that the per-partition posting scan, not the
+		// loopback round trip, dominates — the scatter should still
+		// show a real speedup in the smoke run.
+		*clBase, *clGrow, *clSynsets, *clQueries, *clRounds = 60, 3000, 2000, 4, 2
 	}
 
-	if *only == "load" {
+	clusterCfg := clusterConfig{
+		base: *clBase, grow: *clGrow, synsets: *clSynsets,
+		bktSz: *bktSz, keyBits: *clBits,
+		queries: *clQueries, rounds: *clRounds, seed: *seed,
+	}
+	switch *only {
+	case "":
+	case "load":
 		rep := Report{Seed: *seed}
 		runLoadSection(&rep, loadConfig{
 			docs: *loadDocs, synsets: *loadSynsets, bktSz: *bktSz, keyBits: *loadBits,
@@ -234,8 +263,15 @@ func main() {
 		}, *loadStrict)
 		writeReport(&rep, *out)
 		return
-	} else if *only != "" {
-		fatal(fmt.Errorf("unknown -only section %q (only \"load\" is supported)", *only))
+	case "cluster":
+		rep := Report{Seed: *seed}
+		if err := runClusterSection(&rep, clusterCfg); err != nil {
+			fatal(err)
+		}
+		writeReport(&rep, *out)
+		return
+	default:
+		fatal(fmt.Errorf("unknown -only section %q (\"load\" and \"cluster\" are supported)", *only))
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -340,6 +376,12 @@ func main() {
 			docs: *loadDocs, synsets: *loadSynsets, bktSz: *bktSz, keyBits: *loadBits,
 			rates: *loadRates, seconds: *loadSeconds, seed: *seed,
 		}, *loadStrict)
+	}
+
+	if *clBase > 0 {
+		if err := runClusterSection(&rep, clusterCfg); err != nil {
+			fatal(err)
+		}
 	}
 
 	writeReport(&rep, *out)

@@ -21,6 +21,8 @@
 //	                 [-checkpoint-every N]
 //	                 [-max-inflight N] [-queue-depth N] [-queue-timeout D]
 //	                 [-request-timeout D] [-metrics ADDR]
+//	                 [-allow-replication]
+//	                 [-replicate-from ADDR] [-replicate-every D]
 //
 // With -max-inflight the server runs bounded admission control: at
 // most N requests execute at once, excess requests park in a FIFO
@@ -46,6 +48,13 @@
 // matching plaintext rankings — while segments are appended, tombstoned
 // and merged.
 //
+// With -allow-replication a durable server ships its write-ahead log
+// to pulling replicas (TypeWALPull); with -replicate-from the server
+// runs AS a read replica — it tails the named primary's WAL and
+// applies every shipped update to its own durable engine, staying a
+// warm failover target for a cmd/embellish-router partition. See
+// docs/ARCHITECTURE.md ("Cluster tier").
+//
 // With -store the built engine also keeps the document BYTES in a PIR
 // block store (persisted in the engine file when combined with -save),
 // and with -allow-retrieval the server answers private document
@@ -69,6 +78,7 @@ import (
 	"time"
 
 	"embellish"
+	"embellish/internal/cluster"
 	"embellish/internal/corpus"
 	"embellish/internal/wngen"
 	"embellish/internal/wordnet"
@@ -110,8 +120,16 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 0, "max queue wait before shedding with -max-inflight (0 default, negative forever)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "server-side deadline per request; scans are cancelled mid-flight (0 off)")
 		metricsAddr  = flag.String("metrics", "", "HTTP listen address for /metrics and /stats.json (empty off)")
+
+		allowRepl = flag.Bool("allow-replication", false, "ship the write-ahead log to pulling replicas (requires -data-dir)")
+		replFrom  = flag.String("replicate-from", "", "run as a read replica tailing this primary's WAL (requires -data-dir)")
+		replEvery = flag.Duration("replicate-every", 200*time.Millisecond, "replica polling interval with -replicate-from")
 	)
 	flag.Parse()
+
+	if (*allowRepl || *replFrom != "") && *dataDir == "" {
+		fatal(fmt.Errorf("replication needs -data-dir: the WAL is both the shipping source and the replica's cursor"))
+	}
 
 	var durability embellish.Durability
 	if *dataDir != "" {
@@ -253,15 +271,31 @@ func main() {
 	}
 
 	srv := engine.NewNetServer(embellish.ServeConfig{
-		MaxConns:       *maxConns,
-		IdleTimeout:    *idle,
-		AllowUpdates:   *allowUpdates,
-		AllowRetrieval: *allowRetrieval,
-		MaxInflight:    *maxInflight,
-		QueueDepth:     *queueDepth,
-		QueueTimeout:   *queueTimeout,
-		RequestTimeout: *reqTimeout,
+		MaxConns:         *maxConns,
+		IdleTimeout:      *idle,
+		AllowUpdates:     *allowUpdates,
+		AllowRetrieval:   *allowRetrieval,
+		MaxInflight:      *maxInflight,
+		QueueDepth:       *queueDepth,
+		QueueTimeout:     *queueTimeout,
+		RequestTimeout:   *reqTimeout,
+		AllowReplication: *allowRepl,
 	})
+	if *allowRepl {
+		fmt.Println("WAL shipping ENABLED: this listener answers replica pulls")
+	}
+	replCtx, replCancel := context.WithCancel(context.Background())
+	defer replCancel()
+	if *replFrom != "" {
+		rep := &cluster.Replica{Engine: engine, Primary: *replFrom, Interval: *replEvery}
+		srv.SetReplicaStatus(rep.PrimarySeq)
+		go func() {
+			if err := rep.Run(replCtx); err != nil && replCtx.Err() == nil {
+				fmt.Fprintln(os.Stderr, "embellish-server: replication:", err)
+			}
+		}()
+		fmt.Printf("replicating from %s every %v\n", *replFrom, *replEvery)
+	}
 	if *allowUpdates {
 		fmt.Println("online updates ENABLED: this listener accepts corpus adds/deletes")
 	}

@@ -137,6 +137,11 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypeStats", "ServerStats", "/metrics", "/stats.json",
 		"ShedQueueFull", "ShedQueueTimeout", "WALSeq",
 		"PIRModMuls", "PIRTableMuls",
+		// ...the replication and cluster knobs...
+		"-allow-replication", "-replicate-from", "-replicate-every",
+		"-partition", "repl_lag_ops", "ReplPrimarySeq",
+		"RouterFailovers", "embellish_router_",
+		"-only cluster", "BENCH_PR8.json",
 		// ...and the load harness.
 		"BENCH_PR7.json", "-load-rates", "-load-strict",
 		"work_fraction", "p99_ms",
@@ -166,7 +171,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for typ := 1; typ <= 14; typ++ {
+	for typ := 1; typ <= 17; typ++ {
 		if !strings.Contains(string(wire), fmt.Sprintf("| %d |", typ)) {
 			t.Errorf("docs/WIRE.md type table misses message type %d", typ)
 		}
@@ -176,10 +181,25 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypeBatchResponse", "TypeAddDocs", "TypeDeleteDocs", "TypeAdminOK",
 		"TypePIRParams", "TypePIRQuery", "TypePIRResponse",
 		"TypePIRBatchQuery", "TypePIRBatchResponse", "TypeStats",
-		"AllowUpdates", "AllowRetrieval", "PIRBatchAmortize",
+		"TypeWALPull", "TypeWALChunk", "TypeClusterMap",
+		"AllowUpdates", "AllowRetrieval", "AllowReplication",
+		"PIRBatchAmortize",
 	} {
 		if !strings.Contains(string(wire), name) {
 			t.Errorf("docs/WIRE.md does not document %s", name)
+		}
+	}
+	arch, err := os.ReadFile("docs/ARCHITECTURE.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		// The cluster tier: binaries, id math anchors, replication path.
+		"embellish-router", "Config.Base", "TypeWALPull",
+		"AllowReplication", "failover",
+	} {
+		if !strings.Contains(string(arch), name) {
+			t.Errorf("docs/ARCHITECTURE.md does not document %s", name)
 		}
 	}
 	threat, err := os.ReadFile("docs/THREAT_MODEL.md")

@@ -39,9 +39,18 @@ func (c *Client) ExpandQuery(query string, maxPerTerm int) (string, error) {
 		th.MaxPerTerm = maxPerTerm
 	}
 	expanded := th.Expand(terms)
-	out := make([]string, len(expanded))
-	for i, t := range expanded {
-		out[i] = c.engine.lex.db.Lemma(t)
+	// Expand dedupes TermIDs, but distinct synsets can share a lemma
+	// spelling — dedupe the surface strings too, keeping first-occurrence
+	// order, so the expanded query never embellishes one word twice.
+	out := make([]string, 0, len(expanded))
+	seen := make(map[string]bool, len(expanded))
+	for _, t := range expanded {
+		lemma := c.engine.lex.db.Lemma(t)
+		if seen[lemma] {
+			continue
+		}
+		seen[lemma] = true
+		out = append(out, lemma)
 	}
 	return strings.Join(out, " "), nil
 }

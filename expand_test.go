@@ -50,3 +50,26 @@ func TestExpandQueryErrors(t *testing.T) {
 		t.Fatal("out-of-lexicon query accepted")
 	}
 }
+
+func TestExpandQueryNoDuplicateTerms(t *testing.T) {
+	// Regression guard: the expanded string must never analyze back to
+	// the same searchable term twice — a duplicated term would get two
+	// decoy buckets and skew the embellished query's shape. The check
+	// runs through the engine's own analyzer because multi-word lemmas
+	// ("osteogenic sarcoma", "osteogenic tumor") legitimately share
+	// words; only whole-lemma duplicates are bugs.
+	_, c := testEngine(t)
+	for _, q := range []string{"osteosarcoma", "osteosarcoma radiation", "hypocapnia"} {
+		out, err := c.ExpandQuery(q, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, tok := range c.engine.analyzer.Analyze(out) {
+			if seen[tok] {
+				t.Fatalf("query %q expanded with duplicate term %q: %q", q, tok, out)
+			}
+			seen[tok] = true
+		}
+	}
+}

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+	"net"
+
+	"embellish/internal/docstore"
+	"embellish/internal/pir"
+	"embellish/internal/wire"
+)
+
+// PIR routing. The cluster's block space is the concatenation of the
+// partitions' block spaces (all partitions share one BlockSize, pinned
+// by the template engine file): partition p's local block b is global
+// block offset[p]+b. A KO-PIR answer factors across that split — gamma
+// row i is the product over all columns of q_j^bit(i,j), so slicing
+// the query's column vector at the partition boundaries, letting each
+// partition answer over its own columns, and multiplying the per-
+// partition gammas element-wise mod N reconstructs exactly the answer
+// a single store holding the concatenated blocks would have computed.
+//
+// Addressing under churn: partitions only ever append blocks, so a
+// partition's local block indices are stable, but the CONCATENATED
+// offsets shift when an earlier partition grows. The router therefore
+// slices every query against the epoch — the per-partition widths
+// behind the params it served on that same connection. A sub-query
+// sliced with epoch offsets has exactly the width the partition had at
+// params time, which addresses the same local blocks regardless of
+// later appends: the single-store prefix-stability property, preserved
+// per partition.
+
+// pirEpoch is one connection's merged-params snapshot.
+type pirEpoch struct {
+	offsets []int // partition p's first column in the merged space
+	widths  []int // partition p's NumBlocks at params time
+	total   int   // sum of widths
+}
+
+// gatherParams fetches every partition's current block mapping.
+func (r *Router) gatherParams() ([]docstore.Params, error) {
+	parts := make([]docstore.Params, r.n)
+	err := r.scatter(nil, false, func(p int, conn net.Conn) error {
+		if err := wire.WritePIRParamsRequest(conn); err != nil {
+			return err
+		}
+		rbody, err := readReply(conn, wire.TypePIRParams)
+		if err != nil {
+			return err
+		}
+		pp, err := wire.DecodePIRParams(rbody)
+		if err != nil {
+			return err
+		}
+		parts[p] = pp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parts, nil
+}
+
+// mergeParams builds the cluster-global block mapping: blocks
+// concatenate in partition order, and each global document's extent
+// comes from its owner with First shifted by the owner's offset. The
+// global extent table must come out dense — a hole means the corpus
+// was not ingested through the router's round-robin assignment.
+func (r *Router) mergeParams(parts []docstore.Params) (docstore.Params, *pirEpoch, error) {
+	blockSize := parts[0].BlockSize
+	ep := &pirEpoch{offsets: make([]int, r.n), widths: make([]int, r.n)}
+	for p, pp := range parts {
+		if pp.BlockSize != blockSize {
+			return docstore.Params{}, nil, fmt.Errorf("cluster: partition %d block size %d differs from partition 0's %d", p, pp.BlockSize, blockSize)
+		}
+		if len(pp.Exts) < r.base {
+			return docstore.Params{}, nil, fmt.Errorf("cluster: partition %d stores %d documents, fewer than the template base %d", p, len(pp.Exts), r.base)
+		}
+		ep.offsets[p] = ep.total
+		ep.widths[p] = pp.NumBlocks
+		ep.total += pp.NumBlocks
+	}
+	nglobal := r.base
+	for _, pp := range parts {
+		nglobal += len(pp.Exts) - r.base
+	}
+	exts := make([]docstore.Extent, nglobal)
+	seen := make([]bool, nglobal)
+	for p, pp := range parts {
+		for l, ext := range pp.Exts {
+			var g int
+			if l < r.base {
+				if p != l%r.n {
+					continue // template doc reported by its owner only
+				}
+				g = l
+			} else {
+				g = r.globalID(p, l)
+			}
+			if g >= nglobal || seen[g] {
+				return docstore.Params{}, nil, fmt.Errorf("cluster: partition %d local doc %d maps to global id %d outside the dense corpus of %d", p, l, g, nglobal)
+			}
+			ext.First += uint32(ep.offsets[p])
+			exts[g] = ext
+			seen[g] = true
+		}
+	}
+	for g, ok := range seen {
+		if !ok {
+			return docstore.Params{}, nil, fmt.Errorf("cluster: no partition stores global document %d; the corpus was not ingested round-robin", g)
+		}
+	}
+	return docstore.Params{BlockSize: blockSize, NumBlocks: ep.total, Exts: exts}, ep, nil
+}
+
+// handlePIRParams serves the merged block mapping and returns the
+// epoch it was built from, which becomes the connection's slicing
+// snapshot for subsequent PIR queries.
+func (r *Router) handlePIRParams(rw io.ReadWriter, body []byte) (*pirEpoch, error) {
+	if len(body) != 0 {
+		r.errs.Add(1)
+		return nil, wire.WriteError(rw, "params request carries no body")
+	}
+	parts, err := r.gatherParams()
+	if err != nil {
+		return nil, r.refuse(rw, err)
+	}
+	merged, ep, err := r.mergeParams(parts)
+	if err != nil {
+		return nil, r.refuse(rw, err)
+	}
+	return ep, wire.WritePIRParams(rw, merged)
+}
+
+// sliceQuery cuts one global-column query into per-partition
+// sub-queries under the epoch. Partitions whose column range lies
+// entirely past the query's width are skipped (prefix addressing — the
+// paper's protocol lets a narrow query address the store's prefix).
+func (ep *pirEpoch) sliceQuery(q *pir.Query) (ps []int, subs []*pir.Query, err error) {
+	w := len(q.Values)
+	if w > ep.total {
+		return nil, nil, fmt.Errorf("cluster: PIR query over %d columns exceeds the served block space of %d", w, ep.total)
+	}
+	for p := range ep.offsets {
+		lo := ep.offsets[p]
+		hi := lo + ep.widths[p]
+		if hi > w {
+			hi = w
+		}
+		if hi <= lo {
+			continue
+		}
+		ps = append(ps, p)
+		subs = append(subs, &pir.Query{N: q.N, Values: q.Values[lo:hi]})
+	}
+	if len(ps) == 0 {
+		return nil, nil, fmt.Errorf("cluster: PIR query addresses no partition")
+	}
+	return ps, subs, nil
+}
+
+// combineAnswers multiplies per-partition gamma vectors element-wise
+// mod n — the column-split factorization of the KO-PIR answer. Nil
+// entries (partitions the query did not address) contribute the
+// multiplicative identity.
+func combineAnswers(n *big.Int, answers []*pir.Answer) (*pir.Answer, error) {
+	var out *pir.Answer
+	for _, a := range answers {
+		if a == nil {
+			continue
+		}
+		if out == nil {
+			out = &pir.Answer{Gammas: make([]*big.Int, len(a.Gammas))}
+			for i, g := range a.Gammas {
+				out.Gammas[i] = new(big.Int).Set(g)
+			}
+			continue
+		}
+		if len(a.Gammas) != len(out.Gammas) {
+			return nil, fmt.Errorf("cluster: partition answered %d gammas, expected %d", len(a.Gammas), len(out.Gammas))
+		}
+		for i, g := range a.Gammas {
+			out.Gammas[i].Mul(out.Gammas[i], g)
+			out.Gammas[i].Mod(out.Gammas[i], n)
+		}
+	}
+	if out == nil {
+		return nil, fmt.Errorf("cluster: no partition answers to combine")
+	}
+	return out, nil
+}
+
+// ensureEpoch returns the connection's slicing snapshot, establishing
+// one from the partitions' current params if the client somehow sends
+// a PIR query before fetching params on this connection.
+func (r *Router) ensureEpoch(epoch **pirEpoch) (*pirEpoch, error) {
+	if *epoch != nil {
+		return *epoch, nil
+	}
+	parts, err := r.gatherParams()
+	if err != nil {
+		return nil, err
+	}
+	_, ep, err := r.mergeParams(parts)
+	if err != nil {
+		return nil, err
+	}
+	*epoch = ep
+	return ep, nil
+}
+
+// handlePIRQuery routes one block query: slice at the partition
+// boundaries, scatter, multiply the answers back together.
+func (r *Router) handlePIRQuery(rw io.ReadWriter, body []byte, epoch **pirEpoch) error {
+	q, err := wire.DecodePIRQuery(body)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	ep, err := r.ensureEpoch(epoch)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	ps, subs, err := ep.sliceQuery(q)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	answers := make([]*pir.Answer, len(ps))
+	err = r.scatter(ps, false, func(p int, conn net.Conn) error {
+		var sub *pir.Query
+		var slot int
+		for i, pp := range ps {
+			if pp == p {
+				sub, slot = subs[i], i
+			}
+		}
+		if err := wire.WritePIRQuery(conn, sub); err != nil {
+			return err
+		}
+		rbody, err := readReply(conn, wire.TypePIRResponse)
+		if err != nil {
+			return err
+		}
+		a, err := wire.DecodePIRAnswer(rbody)
+		if err != nil {
+			return err
+		}
+		answers[slot] = a
+		return nil
+	})
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	combined, err := combineAnswers(q.N, answers)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	r.retrievals.Add(1)
+	return wire.WritePIRAnswer(rw, combined)
+}
+
+// handlePIRBatch routes one batch frame: each query is sliced, every
+// partition gets one sub-batch of the slices addressed to it, and the
+// combined answers stream back to the client strictly in batch order
+// (the protocol's contract). A worker death mid-stream fails that
+// partition's whole sub-batch, and withEndpoint replays it against the
+// replica — reads are idempotent, so the retry is invisible beyond the
+// latency.
+func (r *Router) handlePIRBatch(rw io.ReadWriter, body []byte, epoch **pirEpoch) error {
+	qs, err := wire.DecodePIRBatchQuery(body)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	ep, err := r.ensureEpoch(epoch)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	// Per partition: which batch members address it, and with what
+	// slice.
+	perQIs := make([][]int, r.n)
+	perSubs := make([][]*pir.Query, r.n)
+	for qi, q := range qs {
+		ps, subs, err := ep.sliceQuery(q)
+		if err != nil {
+			return r.refuse(rw, err)
+		}
+		for i, p := range ps {
+			perQIs[p] = append(perQIs[p], qi)
+			perSubs[p] = append(perSubs[p], subs[i])
+		}
+	}
+	var targets []int
+	for p := 0; p < r.n; p++ {
+		if len(perQIs[p]) > 0 {
+			targets = append(targets, p)
+		}
+	}
+	// answers[qi][p] is partition p's gamma vector for batch member qi.
+	answers := make([][]*pir.Answer, len(qs))
+	for qi := range answers {
+		answers[qi] = make([]*pir.Answer, r.n)
+	}
+	err = r.scatter(targets, false, func(p int, conn net.Conn) error {
+		if err := wire.WritePIRBatchQuery(conn, perSubs[p]); err != nil {
+			return err
+		}
+		// One streamed frame per sub-batch member; indexes are the
+		// positions in the SUB-batch, mapped back through perQIs.
+		got := make([]*pir.Answer, len(perSubs[p]))
+		for range perSubs[p] {
+			rbody, err := readReply(conn, wire.TypePIRBatchResponse)
+			if err != nil {
+				return err
+			}
+			idx, a, err := wire.DecodePIRBatchAnswer(rbody)
+			if err != nil {
+				return err
+			}
+			if idx < 0 || idx >= len(got) || got[idx] != nil {
+				return fmt.Errorf("cluster: partition %d answered batch index %d out of order", p, idx)
+			}
+			got[idx] = a
+		}
+		for i, a := range got {
+			answers[perQIs[p][i]][p] = a
+		}
+		return nil
+	})
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	for qi, q := range qs {
+		combined, err := combineAnswers(q.N, answers[qi])
+		if err != nil {
+			return r.refuse(rw, err)
+		}
+		if err := wire.WritePIRBatchAnswer(rw, qi, combined); err != nil {
+			return err
+		}
+	}
+	r.retrievals.Add(int64(len(qs)))
+	return nil
+}

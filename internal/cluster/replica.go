@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"embellish"
+)
+
+// Replica tails a primary's WAL over the wire protocol and applies the
+// shipped records to a local engine. The replica's engine must itself
+// be durable: applying through the public update path journals every
+// shipped record locally, so the replica's WAL sequence tracks the
+// primary's exactly — which is both the catch-up cursor and the
+// staleness metric, and what makes the replica a drop-in failover
+// target for reads.
+type Replica struct {
+	// Engine is the local engine replaying the primary's history. It
+	// must have durability enabled (the WAL sequence is the cursor).
+	Engine *embellish.Engine
+	// Primary is the primary's wire-protocol address.
+	Primary string
+	// Interval is the polling period between catch-up rounds in Run;
+	// zero means DefaultReplicaInterval.
+	Interval time.Duration
+	// DialTimeout bounds connection establishment; zero means the
+	// router's DefaultDeadline.
+	DialTimeout time.Duration
+
+	mu         sync.Mutex
+	conn       net.Conn
+	primarySeq uint64
+	haveSeq    bool
+	lastErr    error
+}
+
+// DefaultReplicaInterval is the Run polling period when Interval is 0.
+const DefaultReplicaInterval = 200 * time.Millisecond
+
+// CatchUp pulls and applies WAL records until the replica has the
+// primary's full history as of the start of the final pull. It returns
+// the number of operations applied.
+func (rp *Replica) CatchUp(ctx context.Context) (int, error) {
+	if _, ok := rp.Engine.WALStatus(); !ok {
+		return 0, fmt.Errorf("cluster: replica engine is not durable; the WAL sequence is the replication cursor")
+	}
+	applied := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
+		conn, err := rp.connect(ctx)
+		if err != nil {
+			rp.fail(err)
+			return applied, err
+		}
+		st, _ := rp.Engine.WALStatus()
+		chunk, err := embellish.PullWAL(conn, st.Seq)
+		if err != nil {
+			rp.dropConn()
+			rp.fail(err)
+			return applied, err
+		}
+		rp.mu.Lock()
+		rp.primarySeq = chunk.PrimarySeq
+		rp.haveSeq = true
+		rp.lastErr = nil
+		rp.mu.Unlock()
+		n, err := rp.Engine.ApplyReplicated(chunk.Records)
+		applied += n
+		if err != nil {
+			rp.fail(err)
+			return applied, err
+		}
+		if !chunk.More && chunk.LastSeq >= chunk.PrimarySeq {
+			return applied, nil
+		}
+	}
+}
+
+// Run polls CatchUp until the context ends. Transient failures (the
+// primary restarting, a torn connection) are absorbed: the error is
+// recorded for Status and the next tick retries from the replica's
+// journaled cursor.
+func (rp *Replica) Run(ctx context.Context) error {
+	interval := rp.Interval
+	if interval <= 0 {
+		interval = DefaultReplicaInterval
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if _, err := rp.CatchUp(ctx); err != nil && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		select {
+		case <-ctx.Done():
+			rp.dropConn()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// PrimarySeq reports the primary's WAL sequence as of the last
+// successful pull; ok is false before the first contact. Wire it into
+// NetServer.SetReplicaStatus so the replica's TypeStats exposes
+// staleness.
+func (rp *Replica) PrimarySeq() (uint64, bool) {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.primarySeq, rp.haveSeq
+}
+
+// Err returns the most recent replication failure, nil when healthy.
+func (rp *Replica) Err() error {
+	rp.mu.Lock()
+	defer rp.mu.Unlock()
+	return rp.lastErr
+}
+
+func (rp *Replica) connect(ctx context.Context) (net.Conn, error) {
+	rp.mu.Lock()
+	if rp.conn != nil {
+		c := rp.conn
+		rp.mu.Unlock()
+		return c, nil
+	}
+	rp.mu.Unlock()
+	timeout := rp.DialTimeout
+	if timeout <= 0 {
+		timeout = DefaultDeadline
+	}
+	dctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	var d net.Dialer
+	c, err := d.DialContext(dctx, "tcp", rp.Primary)
+	if err != nil {
+		return nil, err
+	}
+	rp.mu.Lock()
+	rp.conn = c
+	rp.mu.Unlock()
+	return c, nil
+}
+
+func (rp *Replica) dropConn() {
+	rp.mu.Lock()
+	if rp.conn != nil {
+		rp.conn.Close()
+		rp.conn = nil
+	}
+	rp.mu.Unlock()
+}
+
+func (rp *Replica) fail(err error) {
+	rp.mu.Lock()
+	rp.lastErr = err
+	rp.mu.Unlock()
+}

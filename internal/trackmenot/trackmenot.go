@@ -63,9 +63,16 @@ func (g *Generator) Ghost(n int) []wordnet.TermID {
 // index of the genuine query within it. This is the observable the
 // search engine sees under TrackMeNot.
 func (g *Generator) Stream(genuine []wordnet.TermID) (batch [][]wordnet.TermID, genuineAt int) {
-	batch = make([][]wordnet.TermID, 0, g.GhostRate+1)
-	genuineAt = g.rng.Intn(g.GhostRate + 1)
-	for i := 0; i <= g.GhostRate; i++ {
+	// A non-positive GhostRate means no cover traffic: the stream is the
+	// genuine query alone. Guarding here keeps a caller-zeroed rate from
+	// panicking rand.Intn with a non-positive argument.
+	rate := g.GhostRate
+	if rate < 0 {
+		rate = 0
+	}
+	batch = make([][]wordnet.TermID, 0, rate+1)
+	genuineAt = g.rng.Intn(rate + 1)
+	for i := 0; i <= rate; i++ {
 		if i == genuineAt {
 			batch = append(batch, genuine)
 			continue
@@ -122,6 +129,11 @@ func (a *Adversary) Guess(batch [][]wordnet.TermID) int {
 // coherent) query per trial. A rate far above 1/(GhostRate+1) means the
 // ghost cover is statistically broken.
 func SuccessRate(g *Generator, adv *Adversary, trials int, genuineFn func() []wordnet.TermID) float64 {
+	if trials <= 0 {
+		// No trials means no evidence either way; 0/0 would be NaN, which
+		// poisons any aggregate the caller folds it into.
+		return 0
+	}
 	hits := 0
 	for i := 0; i < trials; i++ {
 		batch, at := g.Stream(genuineFn())

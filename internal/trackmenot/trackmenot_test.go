@@ -176,3 +176,34 @@ func TestSuccessRateDeterministic(t *testing.T) {
 		t.Fatal("same seed produced different success rates")
 	}
 }
+
+func TestStreamNonPositiveGhostRate(t *testing.T) {
+	_, vocab := vocabDB(t)
+	genuine := []wordnet.TermID{vocab[0], vocab[1]}
+	for _, rate := range []int{0, -1, -7} {
+		g, _ := NewGenerator(vocab, 5)
+		g.GhostRate = rate
+		// Regression: rand.Intn(rate+1) panicked for rate < 0 and must
+		// not; a non-positive rate means a cover-free stream of one.
+		batch, at := g.Stream(genuine)
+		if len(batch) != 1 || at != 0 {
+			t.Fatalf("GhostRate=%d: batch len %d genuineAt %d, want 1/0", rate, len(batch), at)
+		}
+		if &batch[0][0] != &genuine[0] {
+			t.Fatalf("GhostRate=%d: genuine query not passed through", rate)
+		}
+	}
+}
+
+func TestSuccessRateNoTrials(t *testing.T) {
+	db, vocab := vocabDB(t)
+	g, _ := NewGenerator(vocab, 3)
+	adv := &Adversary{Calc: semdist.New(db, 12)}
+	fn := func() []wordnet.TermID { return []wordnet.TermID{vocab[0], vocab[1]} }
+	for _, trials := range []int{0, -5} {
+		// Regression: 0/0 yielded NaN, which poisons averaged sweeps.
+		if rate := SuccessRate(g, adv, trials, fn); rate != 0 {
+			t.Fatalf("SuccessRate with %d trials = %v, want 0", trials, rate)
+		}
+	}
+}

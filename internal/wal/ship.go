@@ -1,0 +1,108 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Shipping turns the journal into a replication log: a primary collects
+// the record suffix a replica is missing (CollectAfter), ships the raw
+// crc-framed record bytes over the wire, and the replica walks them
+// with DecodeShipped. Shipped bytes and on-disk segment bytes share one
+// grammar and one decoder, so every integrity property the recovery
+// path has — crc per record, torn-tail detection, sequence continuity —
+// holds for replication for free.
+
+// ErrShipGap reports that the records a replica asked for have been
+// retired by a checkpoint and are no longer in the log. The replica
+// cannot catch up incrementally; it must re-bootstrap from the
+// primary's engine file or newest checkpoint.
+var ErrShipGap = errors.New("wal: shipped suffix unavailable (retired by checkpoint)")
+
+// errStopCollect aborts a replay early once a chunk is full; it never
+// escapes CollectAfter.
+var errStopCollect = errors.New("wal: collect chunk full")
+
+// EncodeRecord frames one record exactly as a segment append would:
+// u32 length | body | u32 crc32(body).
+func EncodeRecord(rec *Record) ([]byte, error) {
+	return appendRecord(nil, rec)
+}
+
+// DecodeShipped walks a concatenation of record frames — a WAL chunk's
+// payload — and hands every record to apply in order. Unlike a segment
+// file there is no header and no tolerated torn tail: a shipped chunk
+// was cut on a record boundary by the primary, so truncation or a crc
+// mismatch is a transport error, not a crash artifact.
+func DecodeShipped(buf []byte, apply func(*Record) error) error {
+	off := 0
+	for off < len(buf) {
+		rec, n, torn, err := decodeRecord(buf[off:])
+		if err != nil {
+			return fmt.Errorf("wal: shipped record at offset %d: %w", off, err)
+		}
+		if torn {
+			return errors.New("wal: truncated shipped record")
+		}
+		if err := apply(rec); err != nil {
+			return err
+		}
+		off += n
+	}
+	return nil
+}
+
+// CollectAfter gathers the encoded journal suffix with sequence numbers
+// greater than after from the segments in dir: checkpoint markers are
+// dropped (a replica replays operations, it does not checkpoint on the
+// primary's schedule), continuity is enforced — if the first available
+// operation is not after+1 the suffix has been retired and the error
+// wraps ErrShipGap. A positive maxBytes caps the chunk (always keeping
+// at least one record); more reports a truncated collection the caller
+// should resume. A torn segment tail ends the collection cleanly — it
+// is an append still in flight, shipped by the next pull.
+func CollectAfter(dir string, after uint64, maxBytes int) (chunk []byte, last uint64, more bool, err error) {
+	st, err := Scan(dir)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	last = after
+	for i, start := range st.Logs {
+		// A segment holds records with seq > its own start, so when the
+		// NEXT segment starts at or below after, everything here is
+		// already applied — skip without reading.
+		if i+1 < len(st.Logs) && st.Logs[i+1] <= after {
+			continue
+		}
+		res, rerr := ReplayLog(LogPath(dir, start), start, func(rec *Record) error {
+			if rec.Op == OpCheckpoint || rec.Seq <= after {
+				return nil
+			}
+			if maxBytes > 0 && len(chunk) > 0 && len(chunk) >= maxBytes {
+				more = true
+				return errStopCollect
+			}
+			if rec.Seq != last+1 {
+				return fmt.Errorf("%w: next available record is seq %d, wanted %d",
+					ErrShipGap, rec.Seq, last+1)
+			}
+			var aerr error
+			chunk, aerr = appendRecord(chunk, rec)
+			if aerr != nil {
+				return aerr
+			}
+			last = rec.Seq
+			return nil
+		})
+		if errors.Is(rerr, errStopCollect) {
+			return chunk, last, true, nil
+		}
+		if rerr != nil {
+			return nil, 0, false, rerr
+		}
+		if res.Torn {
+			break
+		}
+	}
+	return chunk, last, more, nil
+}

@@ -1,0 +1,250 @@
+package wire
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+)
+
+func TestWALPullRoundTrip(t *testing.T) {
+	for _, seq := range []uint64{0, 1, 127, 128, 1 << 40} {
+		var buf bytes.Buffer
+		if err := WriteWALPull(&buf, seq); err != nil {
+			t.Fatal(err)
+		}
+		typ, body, err := ReadMessage(&buf)
+		if err != nil || typ != TypeWALPull {
+			t.Fatalf("type %d err %v", typ, err)
+		}
+		got, err := DecodeWALPull(body)
+		if err != nil || got != seq {
+			t.Fatalf("seq %d round-tripped to %d (%v)", seq, got, err)
+		}
+	}
+}
+
+func TestWALPullRejectsTrailing(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWALPull(&buf, 7); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeWALPull(append(body, 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	if _, err := DecodeWALPull(nil); err == nil {
+		t.Fatal("empty body accepted")
+	}
+}
+
+func TestWALChunkRoundTrip(t *testing.T) {
+	for _, c := range []WALChunk{
+		{PrimarySeq: 9, LastSeq: 9, More: false},
+		{PrimarySeq: 9, LastSeq: 5, More: true, Records: []byte{1, 2, 3, 4}},
+		{PrimarySeq: 1 << 50, LastSeq: 1<<50 - 1, More: false, Records: bytes.Repeat([]byte{0xAB}, 300)},
+	} {
+		var buf bytes.Buffer
+		if err := WriteWALChunk(&buf, c); err != nil {
+			t.Fatal(err)
+		}
+		typ, body, err := ReadMessage(&buf)
+		if err != nil || typ != TypeWALChunk {
+			t.Fatalf("type %d err %v", typ, err)
+		}
+		got, err := DecodeWALChunk(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.PrimarySeq != c.PrimarySeq || got.LastSeq != c.LastSeq || got.More != c.More || !bytes.Equal(got.Records, c.Records) {
+			t.Fatalf("chunk mangled: %+v vs %+v", got, c)
+		}
+	}
+}
+
+func TestWALChunkRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteWALChunk(&buf, WALChunk{PrimarySeq: 3, LastSeq: 3, Records: []byte{9}}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"empty":        nil,
+		"trailing":     append(append([]byte(nil), body...), 0),
+		"truncated":    body[:len(body)-1],
+		"bad-boolean":  {3, 3, 7, 0},
+		"short-length": {3, 3, 0, 5, 1},
+	} {
+		if _, err := DecodeWALChunk(mut); err == nil {
+			t.Fatalf("%s chunk accepted", name)
+		}
+	}
+}
+
+func TestClusterMapRoundTrip(t *testing.T) {
+	m := ClusterMap{
+		Base: 120,
+		Partitions: [][]string{
+			{"10.0.0.1:7878", "10.0.0.2:7878"},
+			{"10.0.0.3:7878"},
+			{"10.0.0.4:7878", "10.0.0.5:7878", "10.0.0.6:7878"},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeClusterMap {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	got, err := DecodeClusterMap(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != m.Base || len(got.Partitions) != len(m.Partitions) {
+		t.Fatalf("map mangled: %+v", got)
+	}
+	for p := range m.Partitions {
+		if len(got.Partitions[p]) != len(m.Partitions[p]) {
+			t.Fatalf("partition %d endpoint count", p)
+		}
+		for i := range m.Partitions[p] {
+			if got.Partitions[p][i] != m.Partitions[p][i] {
+				t.Fatalf("partition %d endpoint %d: %q", p, i, got.Partitions[p][i])
+			}
+		}
+	}
+}
+
+func TestClusterMapRequestIsEmptyBody(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClusterMapRequest(&buf); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeClusterMap || len(body) != 0 {
+		t.Fatalf("type %d body %d err %v", typ, len(body), err)
+	}
+}
+
+func TestClusterMapRejectsMalformed(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteClusterMap(&buf, ClusterMap{Partitions: [][]string{{"a:1"}}}); err != nil {
+		t.Fatal(err)
+	}
+	_, body, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"empty":           nil,
+		"trailing":        append(append([]byte(nil), body...), 0),
+		"zero-partitions": {0, 0},
+		"forged-count":    {0, 200, 1},
+	} {
+		if _, err := DecodeClusterMap(mut); err == nil {
+			t.Fatalf("%s map accepted", name)
+		}
+	}
+	if err := WriteClusterMap(&buf, ClusterMap{}); err == nil {
+		t.Fatal("empty map encoded")
+	}
+	if err := WriteClusterMap(&buf, ClusterMap{Partitions: [][]string{{}}}); err == nil {
+		t.Fatal("endpointless partition encoded")
+	}
+}
+
+func TestWriteRawMatchesTypedWriter(t *testing.T) {
+	// The router's forward path must put the same bytes on the wire as
+	// the client did: frame(type|body) == the original frame.
+	var orig bytes.Buffer
+	if err := WriteWALPull(&orig, 42); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(bytes.NewReader(orig.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fwd bytes.Buffer
+	if err := WriteRaw(&fwd, typ, body); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fwd.Bytes(), orig.Bytes()) {
+		t.Fatalf("forwarded frame differs:\n%x\n%x", fwd.Bytes(), orig.Bytes())
+	}
+}
+
+func TestWriteCandidateResponseInvertsDecode(t *testing.T) {
+	// Byte-exactness is the cluster-transparency seam: decode, then
+	// re-encode, and the frame is identical.
+	cands := []Candidate{
+		{Doc: 3, Enc: big.NewInt(123456789)},
+		{Doc: 40, Enc: new(big.Int).Lsh(big.NewInt(987), 200)},
+	}
+	st := ResponseStats{Postings: 7, Seeks: 2, IOBytes: 999}
+	var first bytes.Buffer
+	if err := WriteCandidateResponse(&first, cands, st); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(bytes.NewReader(first.Bytes()))
+	if err != nil || typ != TypeResponse {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	gotCands, gotSt, err := DecodeResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteCandidateResponse(&second, gotCands, gotSt); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatal("decode/re-encode is not byte-identical")
+	}
+}
+
+func TestWriteCandidateBatchResponseRoundTrip(t *testing.T) {
+	cands := [][]Candidate{
+		{{Doc: 1, Enc: big.NewInt(10)}, {Doc: 2, Enc: big.NewInt(20)}},
+		{},
+		{{Doc: 9, Enc: big.NewInt(90)}},
+	}
+	stats := []ResponseStats{{Postings: 1}, {Seeks: 2}, {IOBytes: 3}}
+	var buf bytes.Buffer
+	if err := WriteCandidateBatchResponse(&buf, cands, stats); err != nil {
+		t.Fatal(err)
+	}
+	typ, body, err := ReadMessage(&buf)
+	if err != nil || typ != TypeBatchResponse {
+		t.Fatalf("type %d err %v", typ, err)
+	}
+	gotCands, gotStats, err := DecodeBatchResponse(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gotCands) != 3 || len(gotStats) != 3 {
+		t.Fatalf("%d/%d queries decoded", len(gotCands), len(gotStats))
+	}
+	for qi := range cands {
+		if len(gotCands[qi]) != len(cands[qi]) {
+			t.Fatalf("query %d: %d candidates", qi, len(gotCands[qi]))
+		}
+		for i := range cands[qi] {
+			if gotCands[qi][i].Doc != cands[qi][i].Doc || gotCands[qi][i].Enc.Cmp(cands[qi][i].Enc) != 0 {
+				t.Fatalf("query %d candidate %d mangled", qi, i)
+			}
+		}
+		if gotStats[qi] != stats[qi] {
+			t.Fatalf("query %d stats %+v", qi, gotStats[qi])
+		}
+	}
+	if err := WriteCandidateBatchResponse(&buf, cands, stats[:2]); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}

@@ -75,6 +75,14 @@ type Stats struct {
 	// PIR work accounting (partial work of cancelled scans included).
 	PIRModMuls   uint64 // modular multiplications spent serving PIR
 	PIRTableMuls uint64 // subset of PIRModMuls spent on per-query setup
+	// Replication (zero unless the server is a WAL-shipped replica;
+	// ReplPrimarySeq distinguishes "not a replica" from "lag zero").
+	ReplPrimarySeq uint64 // primary's WALSeq at the last successful pull
+	ReplLagOps     uint64 // journal records the replica still trails by
+	// Cluster routing (zero unless the answering process is a router).
+	RouterPartitions uint64 // partitions behind the router
+	RouterRetries    uint64 // per-partition attempts beyond the first
+	RouterFailovers  uint64 // attempts answered by a non-primary endpoint
 }
 
 // fields returns the positional encoding order. Append-only.
@@ -88,6 +96,8 @@ func (s *Stats) fields() []*uint64 {
 		&s.ShedQueueFull, &s.ShedQueueTimeout, &s.Deadlines,
 		&s.Durable, &s.WALSeq, &s.WALCheckpointSeq, &s.CheckpointAgeNs,
 		&s.PIRModMuls, &s.PIRTableMuls,
+		&s.ReplPrimarySeq, &s.ReplLagOps,
+		&s.RouterPartitions, &s.RouterRetries, &s.RouterFailovers,
 	}
 }
 

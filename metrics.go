@@ -16,6 +16,19 @@ import (
 // an operator's dashboard and a client's retry policy never disagree
 // about what the server is doing.
 
+// gauge clamps a signed instantaneous counter for the unsigned wire
+// schema. The live gauges (Active, Inflight, Queued) can read
+// transiently negative — a disconnect accounted on one core before the
+// connect lands on another — and a straight uint64 cast would render
+// that as ~1.8e19 on a dashboard. Monotonic totals never go negative,
+// so only the gauges pass through here.
+func gauge(v int64) uint64 {
+	if v < 0 {
+		return 0
+	}
+	return uint64(v)
+}
+
 // statsPayload flattens one counter snapshot into the positional wire
 // schema.
 func (s *NetServer) statsPayload() wire.Stats {
@@ -23,15 +36,15 @@ func (s *NetServer) statsPayload() wire.Stats {
 	p := wire.Stats{
 		Accepted:         uint64(st.Accepted),
 		Rejected:         uint64(st.Rejected),
-		Active:           uint64(st.Active),
+		Active:           gauge(st.Active),
 		Queries:          uint64(st.Queries),
 		Updates:          uint64(st.Updates),
 		Retrievals:       uint64(st.Retrievals),
 		Errors:           uint64(st.Errors),
 		QueryNs:          uint64(st.QueryTime),
 		MaxQueryNs:       uint64(st.MaxQueryTime),
-		Inflight:         uint64(st.Inflight),
-		Queued:           uint64(st.Queued),
+		Inflight:         gauge(st.Inflight),
+		Queued:           gauge(st.Queued),
 		QueuedTotal:      uint64(st.QueuedTotal),
 		QueueWaitNs:      uint64(st.QueueWait),
 		MaxQueueWaitNs:   uint64(st.MaxQueueWait),
@@ -43,6 +56,8 @@ func (s *NetServer) statsPayload() wire.Stats {
 		CheckpointAgeNs:  uint64(st.CheckpointAge),
 		PIRModMuls:       uint64(st.PIRModMuls),
 		PIRTableMuls:     uint64(st.PIRTableMuls),
+		ReplPrimarySeq:   st.ReplPrimarySeq,
+		ReplLagOps:       st.ReplLag,
 	}
 	if st.Durable {
 		p.Durable = 1
@@ -74,15 +89,15 @@ func (s *NetServer) MetricsText() []byte {
 	secs := func(d int64) float64 { return float64(d) / 1e9 }
 	line("connections_accepted_total", st.Accepted)
 	line("connections_rejected_total", st.Rejected)
-	line("connections_active", st.Active)
+	line("connections_active", gauge(st.Active))
 	line("queries_total", st.Queries)
 	line("updates_total", st.Updates)
 	line("retrievals_total", st.Retrievals)
 	line("errors_total", st.Errors)
 	line("query_seconds_total", secs(int64(st.QueryTime)))
 	line("query_seconds_max", secs(int64(st.MaxQueryTime)))
-	line("inflight", st.Inflight)
-	line("queue_depth", st.Queued)
+	line("inflight", gauge(st.Inflight))
+	line("queue_depth", gauge(st.Queued))
 	line("queued_total", st.QueuedTotal)
 	line("queue_wait_seconds_total", secs(int64(st.QueueWait)))
 	line("queue_wait_seconds_max", secs(int64(st.MaxQueueWait)))
@@ -99,6 +114,8 @@ func (s *NetServer) MetricsText() []byte {
 	line("checkpoint_age_seconds", secs(int64(st.CheckpointAge)))
 	line("pir_modmuls_total", st.PIRModMuls)
 	line("pir_table_muls_total", st.PIRTableMuls)
+	line("repl_primary_seq", st.ReplPrimarySeq)
+	line("repl_lag_ops", st.ReplLag)
 	return b
 }
 
@@ -150,5 +167,10 @@ func ServerStats(conn io.ReadWriter) (ServeStats, error) {
 		CheckpointAge:    time.Duration(p.CheckpointAgeNs),
 		PIRModMuls:       int64(p.PIRModMuls),
 		PIRTableMuls:     int64(p.PIRTableMuls),
+		ReplPrimarySeq:   p.ReplPrimarySeq,
+		ReplLag:          p.ReplLagOps,
+		RouterPartitions: p.RouterPartitions,
+		RouterRetries:    p.RouterRetries,
+		RouterFailovers:  p.RouterFailovers,
 	}, nil
 }

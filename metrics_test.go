@@ -1,0 +1,44 @@
+package embellish
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeClampsNegatives(t *testing.T) {
+	// Regression: the live gauges (Active, Inflight, Queued) can read
+	// transiently negative under disconnect-accounting races, and a raw
+	// uint64 cast rendered them as ~1.8e19 on dashboards.
+	cases := map[int64]uint64{-1: 0, -1 << 40: 0, 0: 0, 7: 7, 1 << 40: 1 << 40}
+	for in, want := range cases {
+		if got := gauge(in); got != want {
+			t.Fatalf("gauge(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestStatsPayloadClampsGauges(t *testing.T) {
+	e, _ := testEngine(t)
+	srv := e.NewNetServer(ServeConfig{})
+	// Force the gauges negative the way a lost decrement race would.
+	srv.active.Add(-3)
+	srv.inflight.Add(-2)
+	p := srv.statsPayload()
+	if p.Active != 0 || p.Inflight != 0 {
+		t.Fatalf("negative gauges leaked into the wire payload: active=%d inflight=%d",
+			p.Active, p.Inflight)
+	}
+	text := string(srv.MetricsText())
+	for _, line := range []string{
+		"embellish_connections_active 0\n",
+		"embellish_inflight 0\n",
+		"embellish_queue_depth 0\n",
+	} {
+		if !strings.Contains(text, line) {
+			t.Fatalf("metrics text missing %q:\n%s", line, text)
+		}
+	}
+	if strings.Contains(text, "1844674407") {
+		t.Fatalf("wrapped negative gauge in metrics text:\n%s", text)
+	}
+}

@@ -94,6 +94,14 @@ type ServeConfig struct {
 	// overload error. 0 selects DefaultQueueTimeout; negative waits
 	// forever.
 	QueueTimeout time.Duration
+	// AllowReplication opts the server in to the WAL-shipping message
+	// (TypeWALPull) that lets read replicas pull the journal suffix
+	// they are missing. Off by default: shipped records carry raw
+	// document bytes, so a deployment must deliberately expose them —
+	// typically on the same access-controlled listener as the admin
+	// messages. Requires a durable engine (the journal is the
+	// replication log).
+	AllowReplication bool
 	// RequestTimeout is the server-side deadline for one request's
 	// engine work (search queries, batch frames and PIR scans — admin
 	// updates are exempt, see docs/OPERATIONS.md): a scan still
@@ -146,6 +154,12 @@ type ServeStats struct {
 	Durable                  bool
 	WALSeq, WALCheckpointSeq uint64
 	CheckpointAge            time.Duration
+	// ReplPrimarySeq and ReplLag surface a replica's staleness: the
+	// primary's newest journaled operation at the last successful pull,
+	// and how many operations this server still trails it by. Both zero
+	// unless SetReplicaStatus wired a replication probe (ReplPrimarySeq
+	// distinguishes "not a replica" from "replica with zero lag").
+	ReplPrimarySeq, ReplLag uint64
 	// PIRModMuls is the total modular multiplications spent serving PIR
 	// block queries, including the partial work of cancelled scans —
 	// the cost unit of the paper's Section 5.2 model, and the numerator
@@ -155,17 +169,24 @@ type ServeStats struct {
 	// conversions); each batch query carries exactly its own setup, so
 	// these sums never double-count.
 	PIRModMuls, PIRTableMuls int64
+	// RouterPartitions, RouterRetries and RouterFailovers are filled
+	// only when the stats came from a cluster router: the partition
+	// count behind it, per-partition attempts beyond the first, and
+	// attempts answered by a non-primary endpoint. A plain NetServer
+	// reports all three as zero.
+	RouterPartitions, RouterRetries, RouterFailovers uint64
 }
 
 // NetServer serves the private-retrieval wire protocol for one Engine
 // over any number of listeners and connections concurrently. The
 // zero value is not usable; construct with Engine.NewNetServer.
 type NetServer struct {
-	engine         *Engine
-	maxConns       int
-	idle           time.Duration
-	allowUpdates   bool
-	allowRetrieval bool
+	engine           *Engine
+	maxConns         int
+	idle             time.Duration
+	allowUpdates     bool
+	allowRetrieval   bool
+	allowReplication bool
 	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
 	// engine's Options.PIRWorkers at answer time. amortizeOverride is
 	// ServeConfig.PIRBatchAmortize under the same contract.
@@ -184,6 +205,10 @@ type NetServer struct {
 	listeners map[net.Listener]struct{}
 	conns     map[net.Conn]struct{}
 	shutdown  bool
+	// replicaStatus, when set (SetReplicaStatus), reports the primary's
+	// newest known sequence number for the staleness rows of the stats
+	// surface. Guarded by mu.
+	replicaStatus func() (uint64, bool)
 
 	accepted   atomic.Int64
 	rejected   atomic.Int64
@@ -256,6 +281,7 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		idle:             cfg.IdleTimeout,
 		allowUpdates:     cfg.AllowUpdates,
 		allowRetrieval:   cfg.AllowRetrieval,
+		allowReplication: cfg.AllowReplication,
 		pirOverride:      pirOverride,
 		amortizeOverride: amortizeOverride,
 		adm:              adm,
@@ -325,6 +351,17 @@ func (s *NetServer) Stats() ServeStats {
 		st.WALCheckpointSeq = ws.CheckpointSeq
 		if !ws.LastCheckpointAt.IsZero() {
 			st.CheckpointAge = time.Since(ws.LastCheckpointAt)
+		}
+	}
+	s.mu.Lock()
+	replicaStatus := s.replicaStatus
+	s.mu.Unlock()
+	if replicaStatus != nil {
+		if primarySeq, ok := replicaStatus(); ok {
+			st.ReplPrimarySeq = primarySeq
+			if primarySeq > st.WALSeq {
+				st.ReplLag = primarySeq - st.WALSeq
+			}
 		}
 	}
 	return st
@@ -479,6 +516,11 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			// readable while the server is saturated — that is when an
 			// operator most needs it.
 			err = s.answerStats(rw, body)
+		case wire.TypeWALPull:
+			// Also served without admission: replicas are the failover
+			// targets, and saturation is exactly when they must not be
+			// starved into staleness. See replication.go.
+			err = s.answerWALPull(rw, body)
 		default:
 			s.errs.Add(1)
 			err = wire.WriteError(rw, fmt.Sprintf("%s %d", wire.UnknownTypeRefusal, typ))
