@@ -15,7 +15,10 @@
 // the same operations through the public API; finally it measures the
 // cluster tier: the same corpus served by one partition process vs.
 // three behind the scatter-gather router, with the encrypted
-// candidate sets checked byte-identical between the shapes. Figures
+// candidate sets checked byte-identical between the shapes; and the
+// privacy serving tier: the paper's risk-vs-bucket-size figure read
+// back from a risk-auditing server over the wire, plus the tail-latency
+// tax of decoy cover traffic (see docs/THREAT_MODEL.md). Figures
 // land as machine-readable JSON (BENCH_PR7.json by default) so
 // successive PRs can be compared.
 //
@@ -32,7 +35,10 @@
 //	                [-cluster-base 60] [-cluster-docs 12000]
 //	                [-cluster-synsets 2500] [-cluster-keybits 256]
 //	                [-cluster-queries 4] [-cluster-rounds 2]
-//	                [-only load|cluster]
+//	                [-privacy-docs 3000] [-privacy-synsets 2500]
+//	                [-privacy-trials 25] [-privacy-bktszs "2,4,8"]
+//	                [-privacy-ghosts 4] [-privacy-queries 40]
+//	                [-only load|cluster|privacy]
 //	                [-quick] [-out BENCH_PR7.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
@@ -102,6 +108,10 @@ type Report struct {
 	// Cluster serving: scatter-gather scaling of the same corpus on
 	// one partition vs. three behind the router.
 	Cluster ClusterReport `json:"cluster"`
+
+	// Privacy serving: the risk-vs-bucket-size figure through the
+	// networked stack plus the decoy-overhead latency leg.
+	Privacy PrivacyReport `json:"privacy"`
 }
 
 // DurableLeg measures the write-ahead log on its own world: the
@@ -233,6 +243,14 @@ func main() {
 		clBits    = flag.Int("cluster-keybits", 256, "Benaloh key size for the cluster leg")
 		clQueries = flag.Int("cluster-queries", 4, "queries per measurement round in the cluster leg")
 		clRounds  = flag.Int("cluster-rounds", 2, "measurement rounds per cluster shape")
+
+		privDocs    = flag.Int("privacy-docs", 3000, "corpus size for the privacy serving legs (0 disables)")
+		privSynsets = flag.Int("privacy-synsets", 2500, "lexicon size for the privacy serving legs")
+		privTrials  = flag.Int("privacy-trials", 25, "audited queries per risk leg")
+		privQSize   = flag.Int("privacy-qsize", 4, "genuine terms per audited query")
+		privBktSzs  = flag.String("privacy-bktszs", "2,4,8", "bucket sizes swept by the served risk figure")
+		privGhosts  = flag.Int("privacy-ghosts", 4, "decoys per genuine query in the decoy-overhead leg")
+		privQueries = flag.Int("privacy-queries", 40, "genuine queries timed per decoy-overhead pass")
 	)
 	flag.Parse()
 	if *quick {
@@ -242,6 +260,7 @@ func main() {
 		}
 		*durDocs, *durSynsets, *durOps, *durBatch, *durEvery = 300, 1500, 30, 2, 8
 		*loadSeconds, *loadDocs, *loadSynsets = 2, 200, 1000
+		*privDocs, *privSynsets, *privTrials, *privQueries = 300, 1500, 10, 20
 		// Big enough that the per-partition posting scan, not the
 		// loopback round trip, dominates — the scatter should still
 		// show a real speedup in the smoke run.
@@ -253,8 +272,28 @@ func main() {
 		bktSz: *bktSz, keyBits: *clBits,
 		queries: *clQueries, rounds: *clRounds, seed: *seed,
 	}
+	var privBkts []int
+	for _, f := range strings.Split(*privBktSzs, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			fatal(fmt.Errorf("bad -privacy-bktszs entry %q: %w", f, err))
+		}
+		privBkts = append(privBkts, n)
+	}
+	privacyCfg := privacyConfig{
+		docs: *privDocs, synsets: *privSynsets, keyBits: *keyBits,
+		trials: *privTrials, querySize: *privQSize, bktSzs: privBkts,
+		ghostRate: *privGhosts, latQueries: *privQueries, seed: *seed,
+	}
 	switch *only {
 	case "":
+	case "privacy":
+		rep := Report{Seed: *seed}
+		if err := runPrivacySection(&rep, privacyCfg); err != nil {
+			fatal(err)
+		}
+		writeReport(&rep, *out)
+		return
 	case "load":
 		rep := Report{Seed: *seed}
 		runLoadSection(&rep, loadConfig{
@@ -271,7 +310,7 @@ func main() {
 		writeReport(&rep, *out)
 		return
 	default:
-		fatal(fmt.Errorf("unknown -only section %q (\"load\" and \"cluster\" are supported)", *only))
+		fatal(fmt.Errorf("unknown -only section %q (\"load\", \"cluster\" and \"privacy\" are supported)", *only))
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -380,6 +419,12 @@ func main() {
 
 	if *clBase > 0 {
 		if err := runClusterSection(&rep, clusterCfg); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *privDocs > 0 {
+		if err := runPrivacySection(&rep, privacyCfg); err != nil {
 			fatal(err)
 		}
 	}

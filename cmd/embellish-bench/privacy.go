@@ -1,0 +1,279 @@
+package main
+
+// The privacy serving legs: the paper's risk-vs-bucket-size figure
+// reproduced THROUGH the networked stack (a synced remote client
+// queries a risk-auditing NetServer over a TCP loopback and reads the
+// served per-session risk report — the same numbers the in-process
+// evaluator of record computes, pinned equal by the test battery), and
+// the decoy-overhead leg: client-observed genuine-query latency with
+// the decoy stream off vs. on, the operational price of ghost cover.
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"embellish"
+	"embellish/internal/corpus"
+	"embellish/internal/wngen"
+)
+
+// PrivacyReport is the served-privacy section of the benchmark.
+type PrivacyReport struct {
+	// World shape.
+	Docs      int   `json:"docs"`
+	Synsets   int   `json:"synsets"`
+	KeyBits   int   `json:"keybits"`
+	Trials    int   `json:"trials"`
+	QuerySize int   `json:"query_size"`
+	Seed      int64 `json:"seed"`
+
+	// Risk is the figure: one leg per bucket size, mean observed risk
+	// strictly decreasing as buckets widen.
+	Risk []RiskLeg `json:"risk"`
+
+	// DecoyOverhead is the latency price of ghost cover.
+	DecoyOverhead DecoyOverheadLeg `json:"decoy_overhead"`
+}
+
+// RiskLeg is the served risk figure at one bucket size: the audited
+// session's mean/worst observed risk as reported by the server playing
+// the paper's adversary over the wire.
+type RiskLeg struct {
+	BktSz    int     `json:"bktsz"`
+	Queries  int     `json:"queries"`
+	Audited  int     `json:"audited"`
+	Skipped  int     `json:"skipped"`
+	MeanRisk float64 `json:"mean_risk"`
+	MaxRisk  float64 `json:"max_risk"`
+}
+
+// DecoyOverheadLeg compares client-observed genuine-query latency with
+// the decoy stream disabled (GhostRate<0 — plain SearchRemote
+// behaviour) against a stream sending GhostRate decoys per genuine
+// query on the same server. The overhead ratio is what an operator
+// budgets for when turning cover traffic on.
+type DecoyOverheadLeg struct {
+	GhostRate  int `json:"ghost_rate"`
+	Queries    int `json:"queries"`
+	DecoysSent int `json:"decoys_sent"`
+
+	OffP50Ms float64 `json:"off_p50_ms"`
+	OffP99Ms float64 `json:"off_p99_ms"`
+	OnP50Ms  float64 `json:"on_p50_ms"`
+	OnP99Ms  float64 `json:"on_p99_ms"`
+	// P99Overhead is on/off at p99 — the decoy tax on tail latency.
+	P99Overhead float64 `json:"p99_overhead"`
+}
+
+// privacyConfig parameterizes the privacy serving legs.
+type privacyConfig struct {
+	docs, synsets, keyBits int
+	trials, querySize      int
+	bktSzs                 []int
+	ghostRate, latQueries  int
+	seed                   int64
+}
+
+// runPrivacySection builds one synthetic world, then for each bucket
+// size serves it over a loopback NetServer with lexicon sync and risk
+// auditing enabled and measures the audited session's risk figure with
+// a SYNCED remote client (no local engine copy — the full served
+// path). The widest organization then hosts the decoy-overhead leg.
+func runPrivacySection(rep *Report, cfg privacyConfig) error {
+	p := PrivacyReport{
+		Docs: cfg.docs, Synsets: cfg.synsets, KeyBits: cfg.keyBits,
+		Trials: cfg.trials, QuerySize: cfg.querySize, Seed: cfg.seed,
+	}
+	db := wngen.Generate(wngen.ScaledConfig(cfg.synsets, cfg.seed))
+	ccfg := corpus.DefaultConfig()
+	ccfg.NumDocs = cfg.docs
+	ccfg.Seed = cfg.seed + 11
+	corp := corpus.Generate(db, ccfg)
+	world := make([]embellish.Document, len(corp.Docs))
+	for i, d := range corp.Docs {
+		world[i] = embellish.Document{ID: d.ID, Text: strings.Join(d.Tokens, " ")}
+	}
+
+	var lastEngine *embellish.Engine
+	for _, bktSz := range cfg.bktSzs {
+		opts := embellish.DefaultOptions()
+		opts.BucketSize = bktSz
+		opts.KeyBits = cfg.keyBits
+		e, err := embellish.NewEngine(embellish.SyntheticLexicon(cfg.synsets, cfg.seed), world, opts)
+		if err != nil {
+			return fmt.Errorf("privacy leg bktsz %d: %w", bktSz, err)
+		}
+		lastEngine = e
+		leg, err := riskLeg(e, bktSz, cfg)
+		if err != nil {
+			return err
+		}
+		p.Risk = append(p.Risk, leg)
+		fmt.Printf("privacy leg bktsz %d: %d queries audited over the wire, mean risk %.6f, worst %.6f\n",
+			bktSz, leg.Audited, leg.MeanRisk, leg.MaxRisk)
+	}
+
+	// The figure's shape is the claim: widening buckets must strictly
+	// shrink the adversary's expected agreement.
+	for i := 1; i < len(p.Risk); i++ {
+		if p.Risk[i].MeanRisk >= p.Risk[i-1].MeanRisk {
+			return fmt.Errorf("privacy figure broken: risk %.6f at bktsz %d >= %.6f at bktsz %d",
+				p.Risk[i].MeanRisk, p.Risk[i].BktSz, p.Risk[i-1].MeanRisk, p.Risk[i-1].BktSz)
+		}
+	}
+
+	if lastEngine != nil && cfg.latQueries > 0 {
+		leg, err := decoyOverheadLeg(lastEngine, cfg)
+		if err != nil {
+			return err
+		}
+		p.DecoyOverhead = leg
+		fmt.Printf("decoy overhead at rate %d: off p99 %.1f ms, on p99 %.1f ms (%.2fx), %d decoys sent\n",
+			leg.GhostRate, leg.OffP99Ms, leg.OnP99Ms, leg.P99Overhead, leg.DecoysSent)
+	}
+	rep.Privacy = p
+	return nil
+}
+
+// servePrivacy starts a loopback NetServer with the privacy surfaces
+// enabled and returns its address plus a stopper.
+func servePrivacy(e *embellish.Engine) (string, func() error, error) {
+	srv := e.NewNetServer(embellish.ServeConfig{
+		AllowLexiconSync: true,
+		RiskAudit:        true,
+	})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	stop := func() error {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return err
+		}
+		return <-done
+	}
+	return l.Addr().String(), stop, nil
+}
+
+// randomQueries draws trials querySize-term queries over the synced
+// searchable dictionary, mirroring the evaluator's query model.
+func randomQueries(lemmas []string, trials, querySize int, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed + 13))
+	out := make([]string, trials)
+	for i := range out {
+		perm := rng.Perm(len(lemmas))
+		terms := make([]string, 0, querySize)
+		for _, j := range perm[:querySize] {
+			terms = append(terms, lemmas[j])
+		}
+		out[i] = strings.Join(terms, " ")
+	}
+	return out
+}
+
+// riskLeg syncs the lexicon over the wire, runs the query set through
+// the served stack, and reads the server's own per-session risk report.
+func riskLeg(e *embellish.Engine, bktSz int, cfg privacyConfig) (RiskLeg, error) {
+	leg := RiskLeg{BktSz: bktSz, Queries: cfg.trials}
+	addr, stop, err := servePrivacy(e)
+	if err != nil {
+		return leg, err
+	}
+	defer stop()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return leg, err
+	}
+	defer conn.Close()
+	world, err := embellish.SyncLexicon(conn)
+	if err != nil {
+		return leg, fmt.Errorf("privacy leg bktsz %d: sync: %w", bktSz, err)
+	}
+	client, err := world.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	for _, q := range randomQueries(world.SearchableLemmas(), cfg.trials, cfg.querySize, cfg.seed) {
+		if _, err := client.SearchRemote(conn, q, 10); err != nil {
+			return leg, fmt.Errorf("privacy leg bktsz %d: query %q: %w", bktSz, q, err)
+		}
+	}
+	report, err := embellish.SessionRiskAudit(conn)
+	if err != nil {
+		return leg, err
+	}
+	if report.Audited == 0 {
+		return leg, fmt.Errorf("privacy leg bktsz %d: server audited no queries (%d skipped)", bktSz, report.Skipped)
+	}
+	leg.Audited = report.Audited
+	leg.Skipped = report.Skipped
+	leg.MeanRisk = report.MeanRisk
+	leg.MaxRisk = report.MaxRisk
+	return leg, nil
+}
+
+// decoyOverheadLeg measures genuine-query latency with cover traffic
+// off vs. on against the same server. Both passes use a DecoyStream so
+// the only difference is the ghost traffic itself.
+func decoyOverheadLeg(e *embellish.Engine, cfg privacyConfig) (DecoyOverheadLeg, error) {
+	leg := DecoyOverheadLeg{GhostRate: cfg.ghostRate, Queries: cfg.latQueries}
+	addr, stop, err := servePrivacy(e)
+	if err != nil {
+		return leg, err
+	}
+	defer stop()
+
+	run := func(rate int) (p50, p99 float64, decoys int, err error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		defer conn.Close()
+		world, err := embellish.SyncLexicon(conn)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		client, err := world.NewClient(nil)
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		stream, err := client.NewDecoyStream(embellish.DecoyStreamConfig{GhostRate: rate, Seed: cfg.seed + 17})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		queries := randomQueries(world.SearchableLemmas(), cfg.latQueries, cfg.querySize, cfg.seed+19)
+		lats := make([]float64, 0, len(queries))
+		for _, q := range queries {
+			t0 := time.Now()
+			if _, err := stream.SearchRemote(context.Background(), conn, q, 10); err != nil {
+				return 0, 0, 0, fmt.Errorf("decoy overhead rate %d: %w", rate, err)
+			}
+			lats = append(lats, time.Since(t0).Seconds()*1000)
+		}
+		sort.Float64s(lats)
+		return percentile(lats, 0.50), percentile(lats, 0.99), int(stream.Stats().Decoys), nil
+	}
+
+	if leg.OffP50Ms, leg.OffP99Ms, _, err = run(-1); err != nil {
+		return leg, err
+	}
+	if leg.OnP50Ms, leg.OnP99Ms, leg.DecoysSent, err = run(cfg.ghostRate); err != nil {
+		return leg, err
+	}
+	if leg.OffP99Ms > 0 {
+		leg.P99Overhead = leg.OnP99Ms / leg.OffP99Ms
+	}
+	if want := cfg.ghostRate * cfg.latQueries; leg.DecoysSent != want {
+		return leg, fmt.Errorf("decoy overhead: stream sent %d decoys, expected %d", leg.DecoysSent, want)
+	}
+	return leg, nil
+}

@@ -8,7 +8,20 @@
 // With -connect, Algorithm 4 instead runs on a remote embellish-server:
 // load the engine file both endpoints share (-load, so client and
 // server agree on the bucket organization) and the query travels over
-// the wire protocol.
+// the wire protocol. With -sync-lexicon instead of -load, the client
+// fetches the bucket organization and synset tables FROM the server
+// (which must run -allow-lexicon-sync) and embellishes locally without
+// ever seeing the engine file — the fully remote deployment. Without a
+// local engine copy the Claim 1 comparison and live updates are
+// unavailable.
+//
+// With -decoys N each remote search travels inside a burst of N
+// TrackMeNot-style ghost queries (decoy-marked cover traffic,
+// embellished exactly like the genuine query), and with -audit the
+// server's per-session privacy report — observed risk and the live
+// coherence-adversary success rate, scored by the server playing the
+// paper's adversary (it must run -risk-audit) — is printed after the
+// search.
 //
 // With -add (a file of one document per line) and/or -delete (a
 // comma-separated id list) the corpus is updated LIVE before the query
@@ -32,9 +45,10 @@
 //	                 [-add docs.txt] [-delete "3,17"]
 //	                 [-store] [-block-size B] [-fetch N] [-fetch-mode private|plain]
 //	                 [-fetch-keybits K] [-fetch-pipeline D] [-pir-workers N]
-//	embellish-search -connect HOST:PORT -load engine.bin
+//	embellish-search -connect HOST:PORT (-load engine.bin | -sync-lexicon)
 //	                 [-keybits K] [-query "terms..."] [-topk K]
 //	                 [-add docs.txt] [-delete "3,17"]
+//	                 [-decoys N] [-audit]
 //	                 [-fetch N] [-fetch-mode private|plain]
 //	                 [-fetch-keybits K] [-fetch-pipeline D]
 //	                 [-server-stats]
@@ -43,6 +57,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -69,7 +84,10 @@ func main() {
 		topk    = flag.Int("topk", 10, "results to print")
 		seed    = flag.Int64("seed", 1, "world seed")
 		connect = flag.String("connect", "", "run the query against a remote embellish-server at this address")
-		load    = flag.String("load", "", "load the engine file shared with the server (required with -connect)")
+		load    = flag.String("load", "", "load the engine file shared with the server")
+		syncLex = flag.Bool("sync-lexicon", false, "with -connect: fetch the embellishment tables from the server instead of -load (server must run -allow-lexicon-sync)")
+		decoys  = flag.Int("decoys", 0, "with -connect: send each query inside a burst of N decoy ghost queries (0 off)")
+		audit   = flag.Bool("audit", false, "with -connect: print the server's per-session privacy-risk report after the search (server must run -risk-audit)")
 		addFile = flag.String("add", "", "add documents live before querying: file with one document per line")
 		delIDs  = flag.String("delete", "", "delete documents live before querying: comma-separated ids")
 
@@ -84,6 +102,10 @@ func main() {
 	)
 	flag.Parse()
 
+	if *connect == "" && (*syncLex || *decoys > 0 || *audit) {
+		fmt.Fprintln(os.Stderr, "-sync-lexicon, -decoys and -audit are remote features: they require -connect")
+		os.Exit(2)
+	}
 	var engine *embellish.Engine
 	var db *wordnet.Database
 	if *load != "" {
@@ -98,9 +120,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "load:", err)
 			os.Exit(1)
 		}
+	} else if *connect != "" && *syncLex {
+		// Remote-only: the client world arrives over the wire below.
 	} else {
 		if *connect != "" {
-			fmt.Fprintln(os.Stderr, "-connect requires -load: both endpoints must share one engine file")
+			fmt.Fprintln(os.Stderr, "-connect requires -load or -sync-lexicon: the client must know the server's bucket organization")
 			os.Exit(2)
 		}
 		var lex *embellish.Lexicon
@@ -138,8 +162,10 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
-		engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
+	if engine != nil {
+		fmt.Printf("engine: %d docs, %d searchable terms, %d buckets\n",
+			engine.NumDocs(), engine.NumSearchableTerms(), engine.NumBuckets())
+	}
 
 	var conn net.Conn
 	if *connect != "" {
@@ -151,15 +177,39 @@ func main() {
 		}
 		defer conn.Close()
 	}
-	if err := applyUpdates(engine, conn, *addFile, *delIDs); err != nil {
-		fmt.Fprintln(os.Stderr, "update:", err)
-		os.Exit(1)
-	}
 
-	client, err := engine.NewClient(nil)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "client:", err)
-		os.Exit(1)
+	var client *embellish.Client
+	var lemmas []string
+	if engine == nil {
+		world, err := embellish.SyncLexicon(conn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sync-lexicon:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("synced lexicon from %s: %d searchable terms, %d buckets (version %d)\n",
+			*connect, world.NumSearchableTerms(), world.NumBuckets(), world.Version())
+		if *addFile != "" || *delIDs != "" {
+			fmt.Fprintln(os.Stderr, "-add/-delete need the local engine copy to assign ids and mirror state; use -load")
+			os.Exit(2)
+		}
+		client, err = world.NewClient(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "client:", err)
+			os.Exit(1)
+		}
+		lemmas = world.SearchableLemmas()
+	} else {
+		if err := applyUpdates(engine, conn, *addFile, *delIDs); err != nil {
+			fmt.Fprintln(os.Stderr, "update:", err)
+			os.Exit(1)
+		}
+		var err error
+		client, err = engine.NewClient(nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "client:", err)
+			os.Exit(1)
+		}
+		lemmas = engine.SearchableLemmas()
 	}
 	if *fetchBits > 0 {
 		// The PIR modulus is a per-client choice, so this works on loaded
@@ -175,7 +225,7 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if *pirWorkers != 0 {
+	if *pirWorkers != 0 && engine != nil {
 		// Runtime-only, like the execution knobs: applies to locally
 		// served fetches (a remote server picks its own plan).
 		if err := engine.ConfigurePIRWorkers(*pirWorkers); err != nil {
@@ -191,19 +241,35 @@ func main() {
 	if q == "" {
 		// Pick two random searchable lemmas through the public API.
 		rng := rand.New(rand.NewSource(*seed + 2))
-		lemmas := engine.SearchableLemmas()
 		q = lemmas[rng.Intn(len(lemmas))] + " " + lemmas[rng.Intn(len(lemmas))]
 	}
 	fmt.Printf("\ngenuine query: %q\n", q)
 
 	var results []embellish.Result
 	if *connect != "" {
-		results, err = client.SearchRemote(conn, q, *topk)
+		var err error
+		if *decoys > 0 {
+			stream, serr := client.NewDecoyStream(embellish.DecoyStreamConfig{GhostRate: *decoys, Seed: *seed + 3})
+			if serr != nil {
+				fmt.Fprintln(os.Stderr, "decoys:", serr)
+				os.Exit(1)
+			}
+			results, err = stream.SearchRemote(context.Background(), conn, q, *topk)
+			if err == nil {
+				st := stream.Stats()
+				fmt.Printf("remote search via %s inside a burst of %d ghost queries (%d skipped)\n",
+					*connect, st.Decoys, st.Skipped)
+			}
+		} else {
+			results, err = client.SearchRemote(conn, q, *topk)
+			if err == nil {
+				fmt.Printf("remote search via %s\n", *connect)
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "remote search:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("remote search via %s\n", *connect)
 	} else {
 		eq, err := client.Embellish(q)
 		if err != nil {
@@ -242,21 +308,43 @@ func main() {
 		}
 	}
 
-	plain, err := engine.PlaintextSearch(q, *topk)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "plaintext:", err)
-		os.Exit(1)
-	}
-	match := len(plain) <= len(results)
-	if match {
-		for i := range plain {
-			if results[i].DocID != plain[i].DocID {
-				match = false
-				break
+	if engine != nil {
+		plain, err := engine.PlaintextSearch(q, *topk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "plaintext:", err)
+			os.Exit(1)
+		}
+		match := len(plain) <= len(results)
+		if match {
+			for i := range plain {
+				if results[i].DocID != plain[i].DocID {
+					match = false
+					break
+				}
 			}
 		}
+		fmt.Printf("\nClaim 1 check — private ranking equals plaintext ranking: %v\n", match)
+	} else {
+		fmt.Println("\n(no local engine copy: Claim 1 plaintext comparison unavailable with -sync-lexicon)")
 	}
-	fmt.Printf("\nClaim 1 check — private ranking equals plaintext ranking: %v\n", match)
+
+	if *audit {
+		report, err := embellish.SessionRiskAudit(conn)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "audit:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nserver session audit (the server playing the paper's adversary):\n")
+		fmt.Printf("  observed: %d genuine-marked queries, %d decoy-marked\n", report.Queries, report.Decoys)
+		fmt.Printf("  risk-scored: %d (skipped %d); mean observed risk %.6f, worst %.6f\n",
+			report.Audited, report.Skipped, report.MeanRisk, report.MaxRisk)
+		if report.Rounds > 0 {
+			fmt.Printf("  coherence adversary: picked the genuine query in %d of %d decoy rounds (%.0f%% success; chance would be ~%.0f%%)\n",
+				report.RoundHits, report.Rounds, 100*report.AdversarySuccess(), 100/float64(*decoys+1))
+			fmt.Printf("  mean term coherence: genuine %.3f, decoys %.3f (lower = more topically coherent)\n",
+				report.MeanGenuineCoherence, report.MeanDecoyCoherence)
+		}
+	}
 
 	if *srvStats {
 		if conn == nil {
@@ -309,6 +397,9 @@ func fetchWinners(engine *embellish.Engine, client *embellish.Client, conn net.C
 			len(ids), time.Since(t0).Round(time.Microsecond), st.Runs, st.QueryBytes, st.AnswerBytes)
 		fmt.Println("the server cannot tell which documents were fetched, only how many blocks")
 	case "plain":
+		if engine == nil {
+			return fmt.Errorf("-fetch-mode plain reads the LOCAL engine copy; unavailable with -sync-lexicon")
+		}
 		for _, id := range ids {
 			d, err := engine.Document(id)
 			if err != nil {

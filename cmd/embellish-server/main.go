@@ -23,6 +23,15 @@
 //	                 [-request-timeout D] [-metrics ADDR]
 //	                 [-allow-replication]
 //	                 [-replicate-from ADDR] [-replicate-every D]
+//	                 [-allow-lexicon-sync] [-risk-audit]
+//
+// With -allow-lexicon-sync the server ships its bucket organization
+// and synset tables to remote clients on request, so a client that has
+// never seen the engine file can embellish locally
+// (cmd/embellish-search -connect -sync-lexicon). With -risk-audit the
+// server scores every observed query stream with the paper's adversary
+// model and serves a per-session privacy report
+// (cmd/embellish-search -audit). See docs/THREAT_MODEL.md.
 //
 // With -max-inflight the server runs bounded admission control: at
 // most N requests execute at once, excess requests park in a FIFO
@@ -120,6 +129,9 @@ func main() {
 		queueTimeout = flag.Duration("queue-timeout", 0, "max queue wait before shedding with -max-inflight (0 default, negative forever)")
 		reqTimeout   = flag.Duration("request-timeout", 0, "server-side deadline per request; scans are cancelled mid-flight (0 off)")
 		metricsAddr  = flag.String("metrics", "", "HTTP listen address for /metrics and /stats.json (empty off)")
+
+		allowLexSync = flag.Bool("allow-lexicon-sync", false, "ship the bucket organization and synset tables to remote clients on request")
+		riskAudit    = flag.Bool("risk-audit", false, "score observed query streams with the adversary model and serve per-session privacy reports")
 
 		allowRepl = flag.Bool("allow-replication", false, "ship the write-ahead log to pulling replicas (requires -data-dir)")
 		replFrom  = flag.String("replicate-from", "", "run as a read replica tailing this primary's WAL (requires -data-dir)")
@@ -280,7 +292,19 @@ func main() {
 		QueueTimeout:     *queueTimeout,
 		RequestTimeout:   *reqTimeout,
 		AllowReplication: *allowRepl,
+		AllowLexiconSync: *allowLexSync,
+		RiskAudit:        *riskAudit,
 	})
+	if *allowLexSync {
+		v, err := engine.LexiconVersion()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("lexicon sync ENABLED: serving organization and synset tables (version %d)\n", v)
+	}
+	if *riskAudit {
+		fmt.Println("risk auditing ENABLED: observed query streams are scored per session")
+	}
 	if *allowRepl {
 		fmt.Println("WAL shipping ENABLED: this listener answers replica pulls")
 	}

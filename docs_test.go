@@ -142,6 +142,10 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"-partition", "repl_lag_ops", "ReplPrimarySeq",
 		"RouterFailovers", "embellish_router_",
 		"-only cluster", "BENCH_PR8.json",
+		// ...the privacy serving surfaces...
+		"-allow-lexicon-sync", "-risk-audit", "-sync-lexicon",
+		"-decoys", "-audit", "DecoyQueries", "RiskAudited",
+		"decoy_queries_total", "risk_sum", "BENCH_PR9.json",
 		// ...and the load harness.
 		"BENCH_PR7.json", "-load-rates", "-load-strict",
 		"work_fraction", "p99_ms",
@@ -171,7 +175,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for typ := 1; typ <= 17; typ++ {
+	for typ := 1; typ <= 21; typ++ {
 		if !strings.Contains(string(wire), fmt.Sprintf("| %d |", typ)) {
 			t.Errorf("docs/WIRE.md type table misses message type %d", typ)
 		}
@@ -182,7 +186,10 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypePIRParams", "TypePIRQuery", "TypePIRResponse",
 		"TypePIRBatchQuery", "TypePIRBatchResponse", "TypeStats",
 		"TypeWALPull", "TypeWALChunk", "TypeClusterMap",
+		"TypeLexiconSync", "TypeLexicon", "TypeDecoyQuery", "TypeRiskAudit",
 		"AllowUpdates", "AllowRetrieval", "AllowReplication",
+		"AllowLexiconSync", "RiskAudit", "StaleLexiconRefusal",
+		"ErrStaleLexicon", "DecoyQueries",
 		"PIRBatchAmortize",
 	} {
 		if !strings.Contains(string(wire), name) {
@@ -209,6 +216,16 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	for _, topic := range []string{"timing", "length", "bucketsize", "honest"} {
 		if !strings.Contains(strings.ToLower(string(threat)), topic) {
 			t.Errorf("docs/THREAT_MODEL.md does not discuss %s", topic)
+		}
+	}
+	for _, name := range []string{
+		// The served-embellishment adversary model of PR 9.
+		"AllowLexiconSync", "RiskAudit", "TypeDecoyQuery",
+		"NewDecoyStream", "GhostRate", "StaleLexiconRefusal",
+		"RiskPoint", "coheren",
+	} {
+		if !strings.Contains(string(threat), name) {
+			t.Errorf("docs/THREAT_MODEL.md does not document %s", name)
 		}
 	}
 	readme, err := os.ReadFile("README.md")

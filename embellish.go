@@ -73,6 +73,10 @@ type Engine struct {
 	// in an atomic for the same reason. The zero value is the default,
 	// so loaded engines amortize without any explicit store.
 	pirAmortize atomic.Int64
+	// lexsync caches the serialized lexicon-sync payload (organization
+	// and synset tables are pinned at construction, so it never
+	// changes); see lexsync.go.
+	lexsync lexsyncState
 }
 
 // NewEngine indexes the documents and builds the bucket organization
@@ -92,19 +96,7 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	lex.freeze()
 
 	e := &Engine{opts: opts, lex: lex}
-
-	// Analyzer: stopword removal per the paper, no stemming, multi-word
-	// lemma fusion so dictionary entries like 'abu sayyaf' survive
-	// tokenization.
-	e.analyzer = textproc.NewAnalyzer()
-	if !opts.Stopwords {
-		e.analyzer.Stopwords = nil
-	}
-	lemmas := make([]string, 0, lex.db.NumTerms())
-	for _, t := range lex.db.AllTerms() {
-		lemmas = append(lemmas, lex.db.Lemma(t))
-	}
-	e.analyzer.Matcher = textproc.NewDictionaryMatcher(lemmas)
+	e.analyzer = buildAnalyzer(lex.db, opts.Stopwords)
 
 	b := index.NewBuilder()
 	b.QuantLevels = int32(opts.QuantLevels)
@@ -178,6 +170,58 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	}
 	return e, nil
 }
+
+// buildAnalyzer constructs the query/document analyzer for a lexicon:
+// stopword removal per the paper (when enabled), no stemming,
+// multi-word lemma fusion so dictionary entries like 'abu sayyaf'
+// survive tokenization. Shared between NewEngine and remotely synced
+// client worlds — both sides must analyze identically or genuine term
+// sets diverge.
+func buildAnalyzer(db *wordnet.Database, stopwords bool) *textproc.Analyzer {
+	a := textproc.NewAnalyzer()
+	if !stopwords {
+		a.Stopwords = nil
+	}
+	lemmas := make([]string, 0, db.NumTerms())
+	for _, t := range db.AllTerms() {
+		lemmas = append(lemmas, db.Lemma(t))
+	}
+	a.Matcher = textproc.NewDictionaryMatcher(lemmas)
+	return a
+}
+
+// clientWorld is the client-side slice of an engine: everything needed
+// to analyze, embellish and key queries, WITHOUT the index or stores.
+// An in-process client borrows its engine's world; a remote client
+// builds one from a TypeLexicon sync payload (see SyncLexicon) and has
+// no engine at all.
+type clientWorld struct {
+	lex      *Lexicon
+	analyzer *textproc.Analyzer
+	org      *bucket.Organization
+	// keyBits/scoreSpace pin Benaloh key generation to the engine's
+	// accumulator; fetchBits is the default PIR modulus size.
+	keyBits    int
+	scoreSpace int
+	fetchBits  int
+}
+
+// clientView assembles the engine's client world.
+func (e *Engine) clientView() *clientWorld {
+	return &clientWorld{
+		lex:        e.lex,
+		analyzer:   e.analyzer,
+		org:        e.org,
+		keyBits:    e.opts.KeyBits,
+		scoreSpace: e.opts.ScoreSpace,
+		fetchBits:  e.opts.retrievalKeyBits(),
+	}
+}
+
+// ErrRemoteOnly reports a local-execution method called on a client
+// built from a lexicon sync instead of an engine — such clients can
+// only talk to servers (SearchRemote, FetchDocumentsRemote, ...).
+var ErrRemoteOnly = errors.New("embellish: client has no local engine (built from a lexicon sync); use the Remote methods")
 
 // NumDocs reports the number of live (indexed and not deleted)
 // documents.
@@ -677,8 +721,13 @@ func (e *Engine) Compact() { e.live.Compact() }
 // queries, and decrypts responses. A Client is not safe for concurrent
 // use; create one per session.
 type Client struct {
+	// engine is the in-process engine for local execution; nil on
+	// clients built from a lexicon sync (remote-only).
 	engine *Engine
-	inner  *core.Client
+	// world is what embellishment actually reads: lexicon, analyzer,
+	// organization and key parameters. Never nil.
+	world *clientWorld
+	inner *core.Client
 	// fetchKey is the PIR key for private document fetches, generated
 	// lazily on the first FetchDocuments/FetchDocumentsRemote call;
 	// fetchBits overrides its size (SetRetrievalKeyBits); fetchDepth is
@@ -694,13 +743,33 @@ type Client struct {
 // randomness; nil selects crypto/rand (pass a deterministic reader only
 // in tests).
 func (e *Engine) NewClient(randSource io.Reader) (*Client, error) {
-	key, err := benaloh.GenerateKey(randSource, e.opts.KeyBits, benaloh.Pow3(e.opts.ScoreSpace))
+	c, err := newWorldClient(e.clientView(), randSource)
+	if err != nil {
+		return nil, err
+	}
+	c.engine = e
+	return c, nil
+}
+
+// newWorldClient generates a key pair for a client world — the shared
+// constructor behind Engine.NewClient and RemoteWorld.NewClient.
+func newWorldClient(w *clientWorld, randSource io.Reader) (*Client, error) {
+	key, err := benaloh.GenerateKey(randSource, w.keyBits, benaloh.Pow3(w.scoreSpace))
 	if err != nil {
 		return nil, fmt.Errorf("embellish: key generation: %w", err)
 	}
-	c := &Client{engine: e, inner: core.NewClient(e.org, key, rand.Int63())}
+	c := &Client{world: w, inner: core.NewClient(w.org, key, rand.Int63())}
 	c.inner.CryptoRand = randSource
 	return c, nil
+}
+
+// SetEmbellishSeed re-seeds the permutation source that shuffles
+// embellished term lists. Embellishment is deterministic given this
+// seed, the query, and the bytes CryptoRand yields — which is how the
+// property tests prove a synced remote client produces byte-identical
+// wire frames to an engine-bound client.
+func (c *Client) SetEmbellishSeed(seed int64) {
+	c.inner.Rand = rand.New(rand.NewSource(seed))
 }
 
 // Embellish implements Algorithm 3 on a natural-language query: analyze
@@ -708,14 +777,14 @@ func (e *Engine) NewClient(randSource io.Reader) (*Client, error) {
 // host bucket, attach encrypted genuineness flags, and permute. Words
 // outside the searchable dictionary are reported in Query.Skipped.
 func (c *Client) Embellish(query string) (*Query, error) {
-	tokens := c.engine.analyzer.Analyze(query)
+	tokens := c.world.analyzer.Analyze(query)
 	if len(tokens) == 0 {
 		return nil, errors.New("embellish: query has no indexable terms")
 	}
 	var genuine []wordnet.TermID
 	var skipped []string
 	for _, tok := range tokens {
-		t, ok := c.engine.lex.db.Lookup(tok)
+		t, ok := c.world.lex.db.Lookup(tok)
 		if !ok {
 			skipped = append(skipped, tok)
 			continue
@@ -730,12 +799,12 @@ func (c *Client) Embellish(query string) (*Query, error) {
 		return nil, err
 	}
 	for _, t := range skippedIDs {
-		skipped = append(skipped, c.engine.lex.db.Lemma(t))
+		skipped = append(skipped, c.world.lex.db.Lemma(t))
 	}
 	q := &Query{inner: inner, Skipped: skipped}
 	q.termNames = make([]string, len(inner.Entries))
 	for i, e := range inner.Entries {
-		q.termNames[i] = c.engine.lex.db.Lemma(e.Term)
+		q.termNames[i] = c.world.lex.db.Lemma(e.Term)
 	}
 	return q, nil
 }
@@ -768,7 +837,11 @@ func (c *Client) Decode(resp *Response, k int) ([]Result, error) {
 }
 
 // Search is the end-to-end convenience: Embellish, Process, Decode.
+// Requires an in-process engine; remote-only clients use SearchRemote.
 func (c *Client) Search(query string, k int) ([]Result, error) {
+	if c.engine == nil {
+		return nil, ErrRemoteOnly
+	}
 	q, err := c.Embellish(query)
 	if err != nil {
 		return nil, err

@@ -21,20 +21,20 @@ import (
 // corpus statistics and therefore belongs on the un-private side, is
 // available to plaintext pipelines via internal/qexpand.
 func (c *Client) ExpandQuery(query string, maxPerTerm int) (string, error) {
-	tokens := c.engine.analyzer.Analyze(query)
+	tokens := c.world.analyzer.Analyze(query)
 	if len(tokens) == 0 {
 		return "", errors.New("embellish: query has no indexable terms")
 	}
 	var terms []wordnet.TermID
 	for _, tok := range tokens {
-		if t, ok := c.engine.lex.db.Lookup(tok); ok {
+		if t, ok := c.world.lex.db.Lookup(tok); ok {
 			terms = append(terms, t)
 		}
 	}
 	if len(terms) == 0 {
 		return "", errors.New("embellish: no query term is in the lexicon")
 	}
-	th := qexpand.NewThesaurus(c.engine.lex.db)
+	th := qexpand.NewThesaurus(c.world.lex.db)
 	if maxPerTerm > 0 {
 		th.MaxPerTerm = maxPerTerm
 	}
@@ -45,7 +45,7 @@ func (c *Client) ExpandQuery(query string, maxPerTerm int) (string, error) {
 	out := make([]string, 0, len(expanded))
 	seen := make(map[string]bool, len(expanded))
 	for _, t := range expanded {
-		lemma := c.engine.lex.db.Lemma(t)
+		lemma := c.world.lex.db.Lemma(t)
 		if seen[lemma] {
 			continue
 		}

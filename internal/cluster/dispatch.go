@@ -291,6 +291,10 @@ func (r *Router) handleStats(rw io.ReadWriter, body []byte) error {
 		agg.PIRTableMuls += st.PIRTableMuls
 		maxU(&agg.ReplPrimarySeq, st.ReplPrimarySeq)
 		agg.ReplLagOps += st.ReplLagOps
+		agg.DecoyQueries += st.DecoyQueries
+		agg.RiskAudited += st.RiskAudited
+		agg.RiskSkipped += st.RiskSkipped
+		agg.RiskSumMicros += st.RiskSumMicros
 	}
 	agg.RouterPartitions = uint64(r.n)
 	agg.RouterRetries = uint64(r.retriesTotal.Load())

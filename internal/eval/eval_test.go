@@ -3,6 +3,8 @@ package eval
 import (
 	"strings"
 	"testing"
+
+	"embellish/internal/privacy"
 )
 
 var cachedEnv *Env
@@ -254,5 +256,87 @@ func TestFigureRecallShape(t *testing.T) {
 	}
 	if !lossy {
 		t.Fatal("canonical substitution lossless across the sweep; baseline implausible")
+	}
+}
+
+// TestFigureRiskShape pins the served-privacy bottom line: observed
+// risk falls as BktSz (decoy count per genuine term) grows, stays in
+// (0, 1], and the semantically coherent Bucket organization reads
+// HIGHER risk than the incoherent Random baseline.
+func TestFigureRiskShape(t *testing.T) {
+	e := env(t)
+	f, err := e.FigureRisk([]int{2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "risk" || len(f.Series) != 2 {
+		t.Fatalf("malformed figure: %+v", f)
+	}
+	bucketS, ok1 := f.SeriesByName("Bucket")
+	randomS, ok2 := f.SeriesByName("Random")
+	if !ok1 || !ok2 {
+		t.Fatal("figure missing a series")
+	}
+	for i, y := range bucketS.Y {
+		if y <= 0 || y > 1 {
+			t.Fatalf("Bucket risk[%d] = %v outside (0, 1]", i, y)
+		}
+		if i > 0 && y >= bucketS.Y[i-1] {
+			t.Fatalf("Bucket risk not decreasing: %v", bucketS.Y)
+		}
+		if randomS.Y[i] <= 0 || randomS.Y[i] > 1 {
+			t.Fatalf("Random risk[%d] = %v outside (0, 1]", i, randomS.Y[i])
+		}
+		// Coherent buckets should read at least comparably risky to the
+		// incoherent Random baseline; at laptop scale the two are close,
+		// so assert a loose floor rather than strict ordering.
+		if y < randomS.Y[i]*0.5 {
+			t.Fatalf("Bucket risk %v far below Random %v at BktSz=%v", y, randomS.Y[i], bucketS.X[i])
+		}
+	}
+	// Widening buckets from 2 to 8 decoys must buy a real risk drop.
+	if last, first := bucketS.Y[len(bucketS.Y)-1], bucketS.Y[0]; last > first/2 {
+		t.Fatalf("risk fell only %v -> %v across the sweep", first, last)
+	}
+}
+
+// TestRiskPointMatchesManual recomputes one RiskPoint by hand through
+// the auditor to guard the expansion-and-dedup contract the networked
+// battery relies on.
+func TestRiskPointMatchesManual(t *testing.T) {
+	e := env(t)
+	org, err := e.Organization(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := privacy.NewAuditor(org, e.DB)
+	queries := e.RiskQueries()[:3]
+	got, err := RiskPoint(a, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want float64
+	for _, q := range queries {
+		seen := map[int]bool{}
+		var buckets []int
+		for _, tm := range q {
+			b, ok := org.BucketOf(tm)
+			if !ok {
+				t.Fatal("searchable term outside organization")
+			}
+			if !seen[b] {
+				seen[b] = true
+				buckets = append(buckets, b)
+			}
+		}
+		r, err := a.ObservedRisk(buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want += r
+	}
+	want /= float64(len(queries))
+	if got != want {
+		t.Fatalf("RiskPoint = %v, manual = %v", got, want)
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"embellish/internal/privacy"
 	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
 )
 
 // Figure2 regenerates the term-specificity histogram of the lexicon
@@ -216,3 +217,113 @@ func (e *Env) Figure6b(bktSzs []int) (Figure, error) {
 }
 
 func log2(x float64) float64 { return math.Log2(x) }
+
+// RiskPoint is the evaluator of record for the served risk audit: the
+// mean per-query observed risk of a set of genuine query term
+// sequences under org. Each query expands to its unique host-bucket
+// decomposition — exactly the observation Algorithm 3 hands an
+// adversary, and exactly what a serving audit reconstructs from the
+// wire — and is scored with the factorized uniform-prior estimator
+// (privacy.Auditor.ObservedRisk). The networked battery asserts the
+// wire-side audit matches this number.
+func RiskPoint(a *privacy.Auditor, queries [][]wordnet.TermID) (float64, error) {
+	if len(queries) == 0 {
+		return 0, fmt.Errorf("eval: no queries to score")
+	}
+	var sum float64
+	for qi, q := range queries {
+		var buckets []int
+		seen := map[int]bool{}
+		for _, t := range q {
+			b, ok := a.Org.BucketOf(t)
+			if !ok {
+				return 0, fmt.Errorf("eval: query %d term %d outside organization", qi, t)
+			}
+			if !seen[b] {
+				seen[b] = true
+				buckets = append(buckets, b)
+			}
+		}
+		r, err := a.ObservedRisk(buckets)
+		if err != nil {
+			return 0, fmt.Errorf("eval: query %d: %w", qi, err)
+		}
+		sum += r
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// RiskQueries draws Trials genuine queries of QuerySize distinct
+// searchable terms each, deterministically from the environment seed —
+// the shared query set both the in-process figure and the networked
+// battery score.
+func (e *Env) RiskQueries() [][]wordnet.TermID {
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 70))
+	n := e.Cfg.QuerySize
+	if n <= 0 || n > len(e.Searchable) {
+		n = 4
+	}
+	out := make([][]wordnet.TermID, e.Cfg.Trials)
+	for i := range out {
+		perm := rng.Perm(len(e.Searchable))[:n]
+		q := make([]wordnet.TermID, n)
+		for j, p := range perm {
+			q[j] = e.Searchable[p]
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// FigureRisk regenerates the paper's bottom-line privacy curve: the
+// adversary's expected posterior similarity (Equation 2, uniform
+// prior, factorized estimator) versus BktSz — i.e. versus decoy count,
+// since each genuine term ships with BktSz-1 bucket decoys. Expected
+// shape: risk starts high at BktSz=2 and falls monotonically as
+// buckets widen, with the paper's specificity-aware Bucket
+// organization staying above the Random baseline (random buckets are
+// semantically incoherent, which *looks* better to this adversary but
+// destroys result quality — the paper's Figure 5/6 trade-off).
+func (e *Env) FigureRisk(bktSzs []int) (Figure, error) {
+	if bktSzs == nil {
+		bktSzs = DefaultBktSzSweep()
+	}
+	f := Figure{
+		ID:     "risk",
+		Title:  "Observed Query Risk vs BktSz (SegSz=N/BktSz, uniform prior)",
+		XLabel: "BktSz",
+		YLabel: "expected similarity",
+	}
+	queries := e.RiskQueries()
+	calc := semdist.New(e.DB, 40)
+	rng := rand.New(rand.NewSource(e.Cfg.Seed + 71))
+	bucketS := Series{Name: "Bucket"}
+	randomS := Series{Name: "Random"}
+	for _, bktSz := range bktSzs {
+		org, err := e.Organization(bktSz, 0)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure risk at BktSz=%d: %w", bktSz, err)
+		}
+		a := &privacy.Auditor{Org: org, Calc: calc, MaxWork: privacy.DefaultMaxWork}
+		r, err := RiskPoint(a, queries)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure risk at BktSz=%d: %w", bktSz, err)
+		}
+		bucketS.X = append(bucketS.X, float64(bktSz))
+		bucketS.Y = append(bucketS.Y, r)
+
+		randOrg, err := privacy.RandomOrganization(e.Searchable, bktSz, rng)
+		if err != nil {
+			return f, err
+		}
+		ra := &privacy.Auditor{Org: randOrg, Calc: calc, MaxWork: privacy.DefaultMaxWork}
+		rr, err := RiskPoint(ra, queries)
+		if err != nil {
+			return f, fmt.Errorf("eval: figure risk random at BktSz=%d: %w", bktSz, err)
+		}
+		randomS.X = append(randomS.X, float64(bktSz))
+		randomS.Y = append(randomS.Y, rr)
+	}
+	f.Series = []Series{randomS, bucketS}
+	return f, nil
+}

@@ -1,0 +1,198 @@
+package privacy
+
+import (
+	"errors"
+	"math"
+
+	"embellish/internal/bucket"
+	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
+)
+
+// This file is the adversary's view of risk: what a server can compute
+// from an OBSERVED embellished query — the whole-bucket term set of
+// Algorithm 3 — without knowing which terms are genuine. Where
+// RiskModel.Evaluate enumerates the full candidate cross product
+// (exponential in query size), these estimators exploit that
+// sim(s', s) = exp(-Σ_i d_i / m) factors into a product of per-position
+// terms, so expectations over independent per-position uniform draws
+// factor too. That turns Equation 2 under a uniform prior from
+// O(Π k_i) into O(Σ k_i²) — cheap enough to run per query on a live
+// serving path.
+
+// ErrNotEmbellished reports an observed term stream that does not
+// decompose into complete host buckets — i.e. the client did not send
+// whole-bucket embellished queries, so bucket-level risk accounting
+// does not apply.
+var ErrNotEmbellished = errors.New("privacy: observed terms do not decompose into whole buckets")
+
+// ErrWorkCap reports a decomposition whose per-query scoring work
+// (Σ k_b²) exceeds the auditor's cap.
+var ErrWorkCap = errors.New("privacy: observed-risk work exceeds cap")
+
+// Auditor computes factorized risk estimates against one organization.
+// It owns a semdist.Calculator and is therefore NOT safe for concurrent
+// use — create one per goroutine (the serving layer keeps one per
+// session).
+type Auditor struct {
+	Org  *bucket.Organization
+	Calc *semdist.Calculator
+	// MaxWork caps Σ k_b² per scored query (the number of pairwise
+	// distances ObservedRisk computes). Zero means DefaultMaxWork.
+	MaxWork int
+}
+
+// DefaultMaxWork admits ~16 buckets of size 16, far beyond the
+// paper's BktSz sweep, while bounding a hostile query's cost.
+const DefaultMaxWork = 4096
+
+// NewAuditor returns an Auditor over org with its own distance
+// calculator (maxDist 40, matching the eval figures).
+func NewAuditor(org *bucket.Organization, db *wordnet.Database) *Auditor {
+	return &Auditor{Org: org, Calc: semdist.New(db, 40), MaxWork: DefaultMaxWork}
+}
+
+// Decompose groups an observed term set into the complete host buckets
+// it covers. It returns ErrNotEmbellished when any term is outside the
+// organization, appears twice, or when the union of host buckets is
+// not exactly the observed set (a partial bucket means the stream is
+// not Algorithm 3 output).
+func Decompose(org *bucket.Organization, terms []wordnet.TermID) ([]int, error) {
+	if len(terms) == 0 {
+		return nil, ErrNotEmbellished
+	}
+	seenTerm := make(map[wordnet.TermID]bool, len(terms))
+	seenBucket := make(map[int]bool)
+	var buckets []int
+	for _, t := range terms {
+		if seenTerm[t] {
+			return nil, ErrNotEmbellished
+		}
+		seenTerm[t] = true
+		b, ok := org.BucketOf(t)
+		if !ok {
+			return nil, ErrNotEmbellished
+		}
+		if !seenBucket[b] {
+			seenBucket[b] = true
+			buckets = append(buckets, b)
+		}
+	}
+	// Every term is distinct and maps into one of the collected
+	// buckets; if the bucket sizes sum to the observed count, every
+	// bucket is fully covered (pigeonhole).
+	total := 0
+	for _, b := range buckets {
+		total += len(org.Bucket(b))
+	}
+	if total != len(terms) {
+		return nil, ErrNotEmbellished
+	}
+	return buckets, nil
+}
+
+// ObservedRisk is the adversary's expected similarity between two
+// independent posterior draws given an observed bucket decomposition:
+//
+//	E_{s,s'}[sim(s', s)] = Π_b ( (1/k_b²) Σ_{a,c ∈ bucket_b} e^{-d(a,c)/m} )
+//
+// with m = len(buckets) positions. Under the uniform prior the
+// posterior over candidates is uniform and positions are independent,
+// so the expectation factors per bucket. It equals what
+// RiskModel.Evaluate would report for a genuine sequence drawn from
+// the same buckets, averaged over all genuine choices — the quantity a
+// server can actually know. 1 means the buckets pin the query exactly
+// (all candidates semantically identical); smaller is better cover.
+func (a *Auditor) ObservedRisk(buckets []int) (float64, error) {
+	if len(buckets) == 0 {
+		return 0, ErrNotEmbellished
+	}
+	work := 0
+	for _, b := range buckets {
+		k := len(a.Org.Bucket(b))
+		work += k * k
+	}
+	max := a.MaxWork
+	if max == 0 {
+		max = DefaultMaxWork
+	}
+	if work > max {
+		return 0, ErrWorkCap
+	}
+	m := float64(len(buckets))
+	risk := 1.0
+	for _, b := range buckets {
+		terms := a.Org.Bucket(b)
+		var sum float64
+		for _, x := range terms {
+			for _, y := range terms {
+				if x == y {
+					sum++ // e^0
+					continue
+				}
+				sum += math.Exp(-a.Calc.TermDistance(x, y) / m)
+			}
+		}
+		risk *= sum / float64(len(terms)*len(terms))
+	}
+	return risk, nil
+}
+
+// GenuineRisk is Equation 2 under the uniform prior for a KNOWN
+// genuine sequence, computed by the same factorization:
+//
+//	E_{s'}[sim(s', s)] = Π_i ( (1/k_i) Σ_{a ∈ bucket(s_i)} e^{-d(a, s_i)/m} )
+//
+// It equals RiskModel.Evaluate's Risk exactly (up to float association)
+// when the genuine terms occupy distinct buckets — the property test in
+// observed_test.go pins that equivalence. The serving audit cannot use
+// it (the server does not know s); it exists as the in-process
+// cross-check between the factorized math and the exact enumerator.
+func (a *Auditor) GenuineRisk(genuine []wordnet.TermID) (float64, error) {
+	if len(genuine) == 0 {
+		return 0, errors.New("privacy: empty genuine sequence")
+	}
+	m := float64(len(genuine))
+	risk := 1.0
+	for _, s := range genuine {
+		b, ok := a.Org.BucketOf(s)
+		if !ok {
+			return 0, errors.New("privacy: genuine term not in organization")
+		}
+		terms := a.Org.Bucket(b)
+		var sum float64
+		for _, c := range terms {
+			if c == s {
+				sum++
+				continue
+			}
+			sum += math.Exp(-a.Calc.TermDistance(c, s) / m)
+		}
+		risk *= sum / float64(len(terms))
+	}
+	return risk, nil
+}
+
+// Coherence is the mean pairwise semantic distance over a term set —
+// the trackmenot adversary's statistic, exposed here so the serving
+// audit can compute it per observed frame with the auditor's shared
+// calculator. Singleton and empty sets report 0 (perfectly coherent).
+// cap bounds the number of terms considered (the first cap terms);
+// zero means all.
+func (a *Auditor) Coherence(terms []wordnet.TermID, cap int) float64 {
+	if cap > 0 && len(terms) > cap {
+		terms = terms[:cap]
+	}
+	if len(terms) < 2 {
+		return 0
+	}
+	var sum float64
+	var n int
+	for i := 0; i < len(terms); i++ {
+		for j := i + 1; j < len(terms); j++ {
+			sum += a.Calc.TermDistance(terms[i], terms[j])
+			n++
+		}
+	}
+	return sum / float64(n)
+}

@@ -1,0 +1,229 @@
+package privacy
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"embellish/internal/semdist"
+	"embellish/internal/wordnet"
+)
+
+func testAuditor(t *testing.T) *Auditor {
+	t.Helper()
+	w := world(t)
+	return &Auditor{Org: w.Org, Calc: semdist.New(w.DB, 40), MaxWork: DefaultMaxWork}
+}
+
+// pickGenuine returns n genuine terms in n DISTINCT buckets — the
+// regime where the factorized estimators and the exact enumerator
+// coincide (Embellish dedupes shared buckets, collapsing positions).
+func pickGenuine(t *testing.T, a *Auditor, rng *rand.Rand, n int) []wordnet.TermID {
+	t.Helper()
+	if a.Org.NumBuckets() < n {
+		t.Fatalf("world has only %d buckets", a.Org.NumBuckets())
+	}
+	perm := rng.Perm(a.Org.NumBuckets())[:n]
+	out := make([]wordnet.TermID, n)
+	for i, b := range perm {
+		terms := a.Org.Bucket(b)
+		out[i] = terms[rng.Intn(len(terms))]
+	}
+	return out
+}
+
+// TestGenuineRiskMatchesExactEnumeration is the cross-check between
+// the factorized Equation 2 and the exponential-time reference: for a
+// single query with genuine terms in distinct buckets, under the
+// uniform prior, GenuineRisk must equal RiskModel.Evaluate.Risk.
+func TestGenuineRiskMatchesExactEnumeration(t *testing.T) {
+	a := testAuditor(t)
+	rm := NewRiskModel(a.Org, a.Calc)
+	rng := rand.New(rand.NewSource(991))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(3) // bktSz=4: up to 4^3=64 candidates, cheap
+		genuine := pickGenuine(t, a, rng, n)
+		exact, err := rm.Evaluate([][]wordnet.TermID{genuine})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, err := a.GenuineRisk(genuine)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(fast-exact.Risk) > 1e-9 {
+			t.Fatalf("trial %d (%d terms): factorized %v, exact %v", trial, n, fast, exact.Risk)
+		}
+	}
+}
+
+// TestObservedRiskIsMeanGenuineRisk pins the adversary semantics:
+// ObservedRisk over a bucket decomposition equals the mean of
+// GenuineRisk over every possible genuine assignment — the expectation
+// a server lacking the genuine sequence must fall back to.
+func TestObservedRiskIsMeanGenuineRisk(t *testing.T) {
+	a := testAuditor(t)
+	rng := rand.New(rand.NewSource(992))
+	for trial := 0; trial < 10; trial++ {
+		n := 1 + rng.Intn(2)
+		genuine := pickGenuine(t, a, rng, n)
+		var buckets []int
+		for _, s := range genuine {
+			b, ok := a.Org.BucketOf(s)
+			if !ok {
+				t.Fatal("genuine term escaped organization")
+			}
+			buckets = append(buckets, b)
+		}
+		observed, err := a.ObservedRisk(buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Enumerate every genuine assignment over the same buckets.
+		var mean float64
+		var count int
+		assign := make([]wordnet.TermID, n)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == n {
+				g, err := a.GenuineRisk(assign)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mean += g
+				count++
+				return
+			}
+			for _, tm := range a.Org.Bucket(buckets[i]) {
+				assign[i] = tm
+				rec(i + 1)
+			}
+		}
+		rec(0)
+		mean /= float64(count)
+		if math.Abs(observed-mean) > 1e-9 {
+			t.Fatalf("trial %d: observed %v, mean genuine %v over %d assignments",
+				trial, observed, mean, count)
+		}
+	}
+}
+
+func TestObservedRiskBounds(t *testing.T) {
+	a := testAuditor(t)
+	rng := rand.New(rand.NewSource(993))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(4)
+		buckets := rng.Perm(a.Org.NumBuckets())[:n]
+		r, err := a.ObservedRisk(buckets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r <= 0 || r > 1 {
+			t.Fatalf("risk %v outside (0, 1]", r)
+		}
+	}
+	if _, err := a.ObservedRisk(nil); err == nil {
+		t.Error("empty decomposition accepted")
+	}
+}
+
+func TestObservedRiskWorkCap(t *testing.T) {
+	a := testAuditor(t)
+	a.MaxWork = 1 // any real bucket exceeds 1 pairwise distance
+	if _, err := a.ObservedRisk([]int{0}); err != ErrWorkCap {
+		t.Fatalf("err = %v, want ErrWorkCap", err)
+	}
+}
+
+func TestDecompose(t *testing.T) {
+	a := testAuditor(t)
+	// Whole buckets in shuffled order decompose cleanly.
+	var terms []wordnet.TermID
+	for _, b := range []int{3, 0, 5} {
+		terms = append(terms, a.Org.Bucket(b)...)
+	}
+	rng := rand.New(rand.NewSource(994))
+	rng.Shuffle(len(terms), func(i, j int) { terms[i], terms[j] = terms[j], terms[i] })
+	buckets, err := Decompose(a.Org, terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]bool{}
+	for _, b := range buckets {
+		got[b] = true
+	}
+	if len(buckets) != 3 || !got[0] || !got[3] || !got[5] {
+		t.Fatalf("decomposed to %v, want buckets {0,3,5}", buckets)
+	}
+
+	// A partial bucket is not Algorithm 3 output.
+	if _, err := Decompose(a.Org, terms[:len(terms)-1]); err != ErrNotEmbellished {
+		t.Fatalf("partial bucket: err = %v, want ErrNotEmbellished", err)
+	}
+	// A duplicated term is not either.
+	if _, err := Decompose(a.Org, append(terms, terms[0])); err != ErrNotEmbellished {
+		t.Fatalf("duplicate term: err = %v, want ErrNotEmbellished", err)
+	}
+	// Unknown terms are rejected.
+	if _, err := Decompose(a.Org, []wordnet.TermID{1 << 30}); err != ErrNotEmbellished {
+		t.Fatalf("unknown term: err = %v, want ErrNotEmbellished", err)
+	}
+	// Empty streams are rejected.
+	if _, err := Decompose(a.Org, nil); err != ErrNotEmbellished {
+		t.Fatalf("empty stream: err = %v, want ErrNotEmbellished", err)
+	}
+}
+
+// TestMoreBucketsLowerRisk is the paper's core privacy claim restated
+// for the auditor: adding decoy buckets to an observation must not
+// increase the adversary's expected similarity. (Each extra
+// independent position multiplies the product by a factor ≤ 1... but
+// the 1/m exponent scaling couples positions, so assert the weaker,
+// always-true monotonicity statistically over random bucket chains.)
+func TestMoreBucketsLowerRisk(t *testing.T) {
+	a := testAuditor(t)
+	rng := rand.New(rand.NewSource(995))
+	lower := 0
+	const trials = 30
+	for trial := 0; trial < trials; trial++ {
+		perm := rng.Perm(a.Org.NumBuckets())
+		small, err := a.ObservedRisk(perm[:2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		large, err := a.ObservedRisk(perm[:5])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if large < small {
+			lower++
+		}
+	}
+	if lower < trials*2/3 {
+		t.Fatalf("risk dropped with more buckets in only %d/%d trials", lower, trials)
+	}
+}
+
+func TestCoherence(t *testing.T) {
+	a := testAuditor(t)
+	terms := a.Org.Bucket(0)
+	if len(terms) < 2 {
+		t.Skip("bucket too small")
+	}
+	c := a.Coherence(terms, 0)
+	if c < 0 {
+		t.Fatalf("coherence %v negative", c)
+	}
+	if got := a.Coherence(terms[:1], 0); got != 0 {
+		t.Fatalf("singleton coherence = %v, want 0", got)
+	}
+	if got := a.Coherence(nil, 0); got != 0 {
+		t.Fatalf("empty coherence = %v, want 0", got)
+	}
+	// The cap restricts the pair set: capped at 2 it equals the
+	// distance between the first two terms.
+	want := a.Calc.TermDistance(terms[0], terms[1])
+	if got := a.Coherence(terms, 2); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("capped coherence = %v, want %v", got, want)
+	}
+}

@@ -98,6 +98,26 @@ func FuzzDecodeMessage(f *testing.F) {
 			_, _, _ = DecodePIRBatchAnswer(body)
 		case TypeStats:
 			_, _ = DecodeStats(body)
+		case TypeLexiconSync:
+			_, _ = DecodeLexiconSync(body)
+		case TypeLexicon:
+			if l, err := DecodeLexicon(body); err == nil && !l.Current {
+				if len(l.Org) == 0 || len(l.Lex) == 0 || l.ScoreSpace <= 0 {
+					t.Fatal("full lexicon payload escaped validation")
+				}
+			}
+		case TypeDecoyQuery:
+			// Same grammar as TypeQuery; the type byte only marks cover
+			// traffic, so the query decoder must hold up here too.
+			if q, err := DecodeQuery(body); err == nil {
+				for i, e := range q.Entries {
+					if e.Flag == nil || e.Flag.Sign() <= 0 || e.Flag.Cmp(q.Pub.N) >= 0 {
+						t.Fatalf("decoy entry %d flag escaped validation", i)
+					}
+				}
+			}
+		case TypeRiskAudit:
+			_, _ = DecodeRiskAudit(body)
 		}
 	})
 }
@@ -143,6 +163,22 @@ func seedFrames(f *testing.F) {
 	add(func(w *bytes.Buffer) error {
 		return WriteStats(w, Stats{Accepted: 12, Queries: 99, QueryNs: 1 << 40, Inflight: 3,
 			Queued: 2, ShedQueueFull: 1, Durable: 1, WALSeq: 77, WALCheckpointSeq: 70})
+	})
+	add(func(w *bytes.Buffer) error { return WriteLexiconSync(w, 0) })
+	add(func(w *bytes.Buffer) error { return WriteLexiconSync(w, 0xdeadbeef) })
+	add(func(w *bytes.Buffer) error {
+		return WriteLexicon(w, Lexicon{Version: 7, Current: true})
+	})
+	add(func(w *bytes.Buffer) error {
+		return WriteLexicon(w, Lexicon{Version: 7, ScoreSpace: 12, KeyBits: 192, Stopwords: true,
+			Org: []byte("EBKT-seed-org"), Lex: []byte("ELEX-seed-db")})
+	})
+	add(func(w *bytes.Buffer) error { return WriteDecoyQuery(w, []byte{0x81, 7, 0x81, 3, 0x81, 5, 0x81, 0x80}) })
+	add(func(w *bytes.Buffer) error { return WriteRiskAuditRequest(w) })
+	add(func(w *bytes.Buffer) error {
+		return WriteRiskAudit(w, RiskAudit{Queries: 9, Decoys: 36, Audited: 9,
+			RiskSumMicros: 123456, MaxRiskMicros: 40000, Rounds: 9, RoundHits: 3,
+			CoherenceGenuineSumMicros: 9e6, CoherenceDecoySumMicros: 30e6})
 	})
 }
 

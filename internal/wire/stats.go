@@ -83,6 +83,12 @@ type Stats struct {
 	RouterPartitions uint64 // partitions behind the router
 	RouterRetries    uint64 // per-partition attempts beyond the first
 	RouterFailovers  uint64 // attempts answered by a non-primary endpoint
+	// Privacy traffic and auditing (audit rows zero unless the server
+	// runs with per-session risk auditing enabled).
+	DecoyQueries  uint64 // decoy-marked query frames answered (subset of Queries)
+	RiskAudited   uint64 // query frames the risk audit scored
+	RiskSkipped   uint64 // query frames the audit declined to score
+	RiskSumMicros uint64 // total observed risk over audited frames, micro-units
 }
 
 // fields returns the positional encoding order. Append-only.
@@ -98,6 +104,7 @@ func (s *Stats) fields() []*uint64 {
 		&s.PIRModMuls, &s.PIRTableMuls,
 		&s.ReplPrimarySeq, &s.ReplLagOps,
 		&s.RouterPartitions, &s.RouterRetries, &s.RouterFailovers,
+		&s.DecoyQueries, &s.RiskAudited, &s.RiskSkipped, &s.RiskSumMicros,
 	}
 }
 

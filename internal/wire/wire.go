@@ -45,11 +45,19 @@ const (
 
 // WriteQuery frames and writes an embellished query.
 func WriteQuery(w io.Writer, q *core.Query) error {
+	return writeQueryTyped(w, TypeQuery, q)
+}
+
+// writeQueryTyped writes one query frame under the given type byte —
+// the body layout is identical for genuine (TypeQuery) and decoy
+// (TypeDecoyQuery) frames, which is the decoy indistinguishability
+// contract: only the type byte differs.
+func writeQueryTyped(w io.Writer, typ byte, q *core.Query) error {
 	if q == nil || q.Pub == nil {
 		return errors.New("wire: nil query")
 	}
 	var body []byte
-	body = append(body, TypeQuery)
+	body = append(body, typ)
 	body = appendBig(body, q.Pub.N)
 	body = appendBig(body, q.Pub.G)
 	body = appendBig(body, q.Pub.R)

@@ -58,6 +58,10 @@ func (s *NetServer) statsPayload() wire.Stats {
 		PIRTableMuls:     uint64(st.PIRTableMuls),
 		ReplPrimarySeq:   st.ReplPrimarySeq,
 		ReplLagOps:       st.ReplLag,
+		DecoyQueries:     uint64(st.DecoyQueries),
+		RiskAudited:      uint64(st.RiskAudited),
+		RiskSkipped:      uint64(st.RiskSkipped),
+		RiskSumMicros:    uint64(st.RiskSumMicros),
 	}
 	if st.Durable {
 		p.Durable = 1
@@ -116,6 +120,10 @@ func (s *NetServer) MetricsText() []byte {
 	line("pir_table_muls_total", st.PIRTableMuls)
 	line("repl_primary_seq", st.ReplPrimarySeq)
 	line("repl_lag_ops", st.ReplLag)
+	line("decoy_queries_total", st.DecoyQueries)
+	line("risk_audited_total", st.RiskAudited)
+	line("risk_skipped_total", st.RiskSkipped)
+	line("risk_sum", float64(st.RiskSumMicros)/1e6)
 	return b
 }
 
@@ -172,5 +180,9 @@ func ServerStats(conn io.ReadWriter) (ServeStats, error) {
 		RouterPartitions: p.RouterPartitions,
 		RouterRetries:    p.RouterRetries,
 		RouterFailovers:  p.RouterFailovers,
+		DecoyQueries:     int64(p.DecoyQueries),
+		RiskAudited:      int64(p.RiskAudited),
+		RiskSkipped:      int64(p.RiskSkipped),
+		RiskSumMicros:    int64(p.RiskSumMicros),
 	}, nil
 }

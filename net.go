@@ -102,6 +102,21 @@ type ServeConfig struct {
 	// messages. Requires a durable engine (the journal is the
 	// replication log).
 	AllowReplication bool
+	// AllowLexiconSync opts the server in to the lexicon-sync message
+	// (TypeLexiconSync) that ships the bucket organization and synset
+	// tables to remote clients so they can embellish locally without
+	// the engine file. The payload is public knowledge in the paper's
+	// threat model (the adversary knows the organization); the gate
+	// controls operational exposure — the tables can be megabytes, so a
+	// deployment must deliberately expose that bandwidth surface.
+	AllowLexiconSync bool
+	// RiskAudit opts the server in to per-session privacy-risk
+	// auditing: every decoded query frame (genuine or decoy) on a
+	// connection is scored by the paper's Section 6 adversary model,
+	// and the session's accumulated report is served on TypeRiskAudit.
+	// Off by default: auditing spends semantic-distance work per query
+	// frame, so a deployment must deliberately enable it.
+	RiskAudit bool
 	// RequestTimeout is the server-side deadline for one request's
 	// engine work (search queries, batch frames and PIR scans — admin
 	// updates are exempt, see docs/OPERATIONS.md): a scan still
@@ -175,6 +190,17 @@ type ServeStats struct {
 	// attempts answered by a non-primary endpoint. A plain NetServer
 	// reports all three as zero.
 	RouterPartitions, RouterRetries, RouterFailovers uint64
+	// DecoyQueries counts decoy-marked query frames answered
+	// (TypeDecoyQuery) — also included in Queries, since the server
+	// does identical work for them.
+	DecoyQueries int64
+	// RiskAudited and RiskSkipped count query frames the per-session
+	// risk audit scored and declined (non-embellished streams or
+	// over-cap candidate spaces); both zero unless ServeConfig.RiskAudit
+	// is on. RiskSumMicros is the audited frames' total observed risk
+	// in micro-units: RiskSumMicros / 1e6 / RiskAudited is the serverwide
+	// mean per-query risk.
+	RiskAudited, RiskSkipped, RiskSumMicros int64
 }
 
 // NetServer serves the private-retrieval wire protocol for one Engine
@@ -187,6 +213,8 @@ type NetServer struct {
 	allowUpdates     bool
 	allowRetrieval   bool
 	allowReplication bool
+	allowLexiconSync bool
+	riskAudit        bool
 	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
 	// engine's Options.PIRWorkers at answer time. amortizeOverride is
 	// ServeConfig.PIRBatchAmortize under the same contract.
@@ -230,6 +258,11 @@ type NetServer struct {
 
 	pirModMuls   atomic.Int64
 	pirTableMuls atomic.Int64
+
+	decoyQueries  atomic.Int64
+	riskAudited   atomic.Int64
+	riskSkipped   atomic.Int64
+	riskSumMicros atomic.Int64
 }
 
 // NewNetServer builds a concurrent protocol server around the engine.
@@ -282,6 +315,8 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		allowUpdates:     cfg.AllowUpdates,
 		allowRetrieval:   cfg.AllowRetrieval,
 		allowReplication: cfg.AllowReplication,
+		allowLexiconSync: cfg.AllowLexiconSync,
+		riskAudit:        cfg.RiskAudit,
 		pirOverride:      pirOverride,
 		amortizeOverride: amortizeOverride,
 		adm:              adm,
@@ -341,6 +376,10 @@ func (s *NetServer) Stats() ServeStats {
 		Deadlines:        s.deadlines.Load(),
 		PIRModMuls:       s.pirModMuls.Load(),
 		PIRTableMuls:     s.pirTableMuls.Load(),
+		DecoyQueries:     s.decoyQueries.Load(),
+		RiskAudited:      s.riskAudited.Load(),
+		RiskSkipped:      s.riskSkipped.Load(),
+		RiskSumMicros:    s.riskSumMicros.Load(),
 	}
 	if s.adm != nil {
 		st.Queued = int64(s.adm.queued())
@@ -485,6 +524,13 @@ drain:
 // deadliner is the connection for deadline control, nil for plain
 // io.ReadWriter transports.
 func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
+	// The session's privacy audit, when enabled. Owned by this
+	// goroutine — the protocol is strictly request-response per
+	// connection, so observe() and answerRiskAudit never race.
+	var sess *sessionAudit
+	if s.riskAudit {
+		sess = s.newSessionAudit()
+	}
 	for {
 		if s.idle > 0 && deadliner != nil {
 			_ = deadliner.SetReadDeadline(time.Now().Add(s.idle))
@@ -508,9 +554,23 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			_ = deadliner.SetReadDeadline(time.Time{})
 		}
 		switch typ {
-		case wire.TypeQuery, wire.TypeBatchQuery, wire.TypeAddDocs, wire.TypeDeleteDocs,
+		case wire.TypeQuery, wire.TypeBatchQuery, wire.TypeDecoyQuery,
+			wire.TypeAddDocs, wire.TypeDeleteDocs,
 			wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery:
-			err = s.admitAndDispatch(rw, typ, body)
+			// TypeDecoyQuery is admitted exactly like TypeQuery: decoys
+			// are real server work, and exempting them from admission
+			// would make them an overload side channel.
+			err = s.admitAndDispatch(rw, typ, body, sess)
+		case wire.TypeLexiconSync:
+			// Served without admission, like the other metadata surfaces:
+			// the payload is cached bytes, and a client that cannot sync
+			// cannot form queries at all.
+			err = s.answerLexiconSync(rw, body)
+		case wire.TypeRiskAudit:
+			// Also without admission: the audit is a read of accumulated
+			// counters, and it must stay readable while the server is
+			// saturated — like the stats surface.
+			err = s.answerRiskAudit(rw, body, sess)
 		case wire.TypeStats:
 			// Served without admission: the stats surface must stay
 			// readable while the server is saturated — that is when an
@@ -536,7 +596,7 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 // acquiring a slot so a graceful Shutdown's drain covers queued
 // requests too — a request parked in the queue is work the server has
 // accepted responsibility for.
-func (s *NetServer) admitAndDispatch(rw io.ReadWriter, typ byte, body []byte) error {
+func (s *NetServer) admitAndDispatch(rw io.ReadWriter, typ byte, body []byte, sess *sessionAudit) error {
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
 	if s.adm != nil {
@@ -571,13 +631,13 @@ func (s *NetServer) admitAndDispatch(rw io.ReadWriter, typ byte, body []byte) er
 		s.testHookAdmitted(typ)
 	}
 	switch typ {
-	case wire.TypeQuery:
+	case wire.TypeQuery, wire.TypeDecoyQuery:
 		// inflight spans decode through response write (for batches,
 		// the whole batch), so a graceful Shutdown never cuts a
 		// connection between computing an answer and delivering it.
-		return s.answerQuery(rw, body)
+		return s.answerQuery(rw, body, sess, typ == wire.TypeDecoyQuery)
 	case wire.TypeBatchQuery:
-		return s.answerBatch(rw, body)
+		return s.answerBatch(rw, body, sess)
 	case wire.TypeAddDocs, wire.TypeDeleteDocs:
 		// inflight also spans admin operations so a graceful Shutdown
 		// never cuts a connection between applying an update and
@@ -638,12 +698,16 @@ func isCtxErr(ctx context.Context, err error) bool {
 	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
-func (s *NetServer) answerQuery(rw io.ReadWriter, body []byte) error {
+func (s *NetServer) answerQuery(rw io.ReadWriter, body []byte, sess *sessionAudit, decoy bool) error {
 	q, err := wire.DecodeQuery(body)
 	if err != nil {
 		s.errs.Add(1)
 		return wire.WriteError(rw, err.Error())
 	}
+	if decoy {
+		s.decoyQueries.Add(1)
+	}
+	sess.observe(q, decoy)
 	ctx, cancel := s.requestCtx()
 	defer cancel()
 	resp, stats, err := s.process(ctx, q)
@@ -832,11 +896,14 @@ func (s *NetServer) answerPIRBatchAmortized(rw io.ReadWriter, ctx context.Contex
 	return nil
 }
 
-func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte) error {
+func (s *NetServer) answerBatch(rw io.ReadWriter, body []byte, sess *sessionAudit) error {
 	qs, err := wire.DecodeBatchQuery(body)
 	if err != nil {
 		s.errs.Add(1)
 		return wire.WriteError(rw, err.Error())
+	}
+	for _, q := range qs {
+		sess.observe(q, false)
 	}
 	// One deadline covers the whole batch: the peer sent one frame and
 	// gets one response, so the batch is the unit of server work.
@@ -901,6 +968,8 @@ func remoteError(body []byte) error {
 		return fmt.Errorf("%w%s", ErrOverloaded, strings.TrimPrefix(msg, wire.OverloadRefusal))
 	case strings.HasPrefix(msg, wire.DeadlineRefusal):
 		return fmt.Errorf("%w%s", ErrRemoteDeadline, strings.TrimPrefix(msg, wire.DeadlineRefusal))
+	case strings.HasPrefix(msg, wire.StaleLexiconRefusal):
+		return fmt.Errorf("%w%s", ErrStaleLexicon, strings.TrimPrefix(msg, wire.StaleLexiconRefusal))
 	default:
 		return fmt.Errorf("embellish: server error: %s", msg)
 	}

@@ -1,0 +1,485 @@
+package embellish
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"embellish/internal/detrand"
+	"embellish/internal/eval"
+	"embellish/internal/privacy"
+	"embellish/internal/wire"
+	"embellish/internal/wordnet"
+)
+
+// The PR 9 battery: the paper's privacy figures, reproduced through
+// the NETWORKED stack. An engine serves over TCP with lexicon sync and
+// risk auditing enabled; remote clients sync their world over the
+// wire, embellish locally, stream queries (with and without decoy
+// cover), and the server — playing the Section 3.1 adversary — scores
+// what it observed. The per-session audit must agree with the
+// in-process evaluator of record (eval.RiskPoint) on the same query
+// sets, at 10x the seed corpus, under -race with concurrent traffic.
+
+// startGatedServer serves an engine over a real TCP listener with the
+// given config and returns a dialer plus a shutdown func.
+func startGatedServer(t *testing.T, e *Engine, cfg ServeConfig) (dial func() net.Conn, stop func()) {
+	t.Helper()
+	srv := e.NewNetServer(cfg)
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { defer close(done); _ = srv.Serve(l) }()
+	addr := l.Addr().String()
+	dial = func() net.Conn {
+		c, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.Fatalf("dial %s: %v", addr, err)
+		}
+		return c
+	}
+	stop = func() {
+		_ = srv.Shutdown(context.Background())
+		<-done
+	}
+	return dial, stop
+}
+
+// riskQueries draws trials queries of n distinct searchable terms,
+// mirroring eval.Env.RiskQueries on an engine's dictionary.
+func riskQueries(e *Engine, trials, n int, seed int64) [][]wordnet.TermID {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([][]wordnet.TermID, trials)
+	for i := range out {
+		perm := rng.Perm(len(e.searchable))
+		q := make([]wordnet.TermID, n)
+		for j := 0; j < n; j++ {
+			q[j] = e.searchable[perm[j]]
+		}
+		out[i] = q
+	}
+	return out
+}
+
+// TestNetworkedRiskFigureMatchesEvaluator is the acceptance spine: the
+// risk-vs-BktSz privacy figure, reproduced against live servers at 10x
+// the seed corpus (3,000 documents vs the evaluator default 300), must
+// match the in-process evaluator of record within micro-unit rounding —
+// while concurrent mixed traffic (genuine + decoy streams on other
+// connections) hammers the same server, proving session isolation.
+func TestNetworkedRiskFigureMatchesEvaluator(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 3,000-doc networked figure in -short mode")
+	}
+	const (
+		synsets = 2500
+		numDocs = 3000 // 10x the evaluator's default 300-doc corpus
+		trials  = 25
+		qSize   = 4
+	)
+	docs := syntheticWorldDocs(t, synsets, numDocs, 1)
+	bktSzs := []int{2, 4, 8}
+	means := make([]float64, 0, len(bktSzs))
+	for _, bktSz := range bktSzs {
+		opts := DefaultOptions()
+		opts.BucketSize = bktSz
+		opts.KeyBits = 256
+		e, err := NewEngine(SyntheticLexicon(synsets, 1), docs, opts)
+		if err != nil {
+			t.Fatalf("BktSz=%d: NewEngine: %v", bktSz, err)
+		}
+		queries := riskQueries(e, trials, qSize, 70)
+
+		// The evaluator of record, in process.
+		want, err := eval.RiskPoint(privacy.NewAuditor(e.org, e.lex.db), queries)
+		if err != nil {
+			t.Fatalf("BktSz=%d: RiskPoint: %v", bktSz, err)
+		}
+
+		dial, stop := startGatedServer(t, e, ServeConfig{
+			AllowLexiconSync: true,
+			RiskAudit:        true,
+		})
+
+		// Concurrent mixed traffic on other connections: genuine remote
+		// searches and decoy streams. Their sessions must not bleed into
+		// the audited session's report.
+		ctx, cancelNoise := context.WithCancel(context.Background())
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				conn := dial()
+				defer conn.Close()
+				c, err := e.NewClient(detrand.New(fmt.Sprintf("noise-%d-%d", bktSz, w)))
+				if err != nil {
+					return
+				}
+				d, err := c.NewDecoyStream(DecoyStreamConfig{GhostRate: 2, Seed: int64(w)})
+				if err != nil {
+					return
+				}
+				query := e.lex.db.Lemma(e.searchable[w]) + " " + e.lex.db.Lemma(e.searchable[w+7])
+				for ctx.Err() == nil {
+					if _, err := d.SearchRemote(ctx, conn, query, 5); err != nil {
+						return
+					}
+				}
+			}(w)
+		}
+
+		// The audited session: sync the world over the wire, embellish
+		// the evaluator's exact query set locally, stream it.
+		conn := dial()
+		rw, err := SyncLexicon(conn)
+		if err != nil {
+			t.Fatalf("BktSz=%d: SyncLexicon: %v", bktSz, err)
+		}
+		c, err := rw.NewClient(detrand.New(fmt.Sprintf("audited-%d", bktSz)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			inner, skipped, err := c.inner.Embellish(q)
+			if err != nil || len(skipped) > 0 {
+				t.Fatalf("BktSz=%d: query %d embellish: %v (skipped %v)", bktSz, qi, err, skipped)
+			}
+			if err := wire.WriteQuery(conn, inner); err != nil {
+				t.Fatal(err)
+			}
+			typ, body, err := wire.ReadMessage(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ == wire.TypeError {
+				t.Fatalf("BktSz=%d: query %d refused: %s", bktSz, qi, body)
+			}
+		}
+		report, err := SessionRiskAudit(conn)
+		if err != nil {
+			t.Fatalf("BktSz=%d: SessionRiskAudit: %v", bktSz, err)
+		}
+		cancelNoise()
+		wg.Wait()
+		conn.Close()
+		stop()
+
+		if report.Queries != trials || report.Audited != trials || report.Skipped != 0 {
+			t.Fatalf("BktSz=%d: audited session saw %d queries, scored %d, skipped %d; want %d/%d/0 (session isolation)",
+				bktSz, report.Queries, report.Audited, report.Skipped, trials, trials)
+		}
+		if report.Decoys != 0 {
+			t.Fatalf("BktSz=%d: audited session reports %d decoys from other connections", bktSz, report.Decoys)
+		}
+		// Micro-unit rounding is the only divergence allowed between the
+		// wire audit and the in-process evaluator: both run the identical
+		// factorized estimator on identical bucket sets.
+		if diff := math.Abs(report.MeanRisk - want); diff > 2e-6 {
+			t.Fatalf("BktSz=%d: networked mean risk %.9f, evaluator %.9f (diff %.2e)", bktSz, report.MeanRisk, want, diff)
+		}
+		if report.MaxRisk <= 0 || report.MaxRisk > 1 {
+			t.Fatalf("BktSz=%d: max risk %.9f out of (0,1]", bktSz, report.MaxRisk)
+		}
+		t.Logf("BktSz=%d: risk %.6f (evaluator %.6f) over %d queries at %d docs", bktSz, report.MeanRisk, want, trials, numDocs)
+		means = append(means, report.MeanRisk)
+	}
+	// The paper's figure shape: more decoys per genuine term, less risk.
+	for i := 1; i < len(means); i++ {
+		if means[i] >= means[i-1] {
+			t.Fatalf("risk not decreasing across BktSz %v: %v", bktSzs, means)
+		}
+	}
+}
+
+// TestSyncedRemoteRankingMatchesLocalSearch is the battery's property
+// test: across random corpora and online churn, a remote-only client
+// built from a wire lexicon sync must rank exactly like an engine-bound
+// client running the same searches in process — Claim 1 end to end
+// through the served-embellishment path.
+func TestSyncedRemoteRankingMatchesLocalSearch(t *testing.T) {
+	for _, seed := range []int64{3, 11, 27} {
+		seed := seed
+		t.Run(fmt.Sprintf("corpus-%d", seed), func(t *testing.T) {
+			docs := syntheticWorldDocs(t, 900, 160, seed)
+			opts := DefaultOptions()
+			opts.BucketSize = 4
+			opts.KeyBits = 256
+			e, err := NewEngine(SyntheticLexicon(900, seed), docs[:120], opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dial, stop := startGatedServer(t, e, ServeConfig{
+				AllowLexiconSync: true,
+				AllowUpdates:     true,
+			})
+			defer stop()
+			conn := dial()
+			defer conn.Close()
+			rw, err := SyncLexicon(conn)
+			if err != nil {
+				t.Fatal(err)
+			}
+			remote, err := rw.NewClient(detrand.New(fmt.Sprintf("prop-remote-%d", seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			local, err := e.NewClient(detrand.New(fmt.Sprintf("prop-local-%d", seed)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(seed * 7))
+			compare := func(round string) {
+				for i := 0; i < 5; i++ {
+					a := e.searchable[rng.Intn(len(e.searchable))]
+					b := e.searchable[rng.Intn(len(e.searchable))]
+					query := e.lex.db.Lemma(a) + " " + e.lex.db.Lemma(b)
+					got, err := remote.SearchRemote(conn, query, 10)
+					if err != nil {
+						t.Fatalf("%s: remote %q: %v", round, query, err)
+					}
+					want, err := local.Search(query, 10)
+					if err != nil {
+						t.Fatalf("%s: local %q: %v", round, query, err)
+					}
+					if len(got) != len(want) {
+						t.Fatalf("%s: %q: remote %d results, local %d", round, query, len(got), len(want))
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("%s: %q rank %d: remote %+v local %+v", round, query, j, got[j], want[j])
+						}
+					}
+				}
+			}
+			compare("pre-churn")
+			// Online churn: the organization and lexicon are pinned at
+			// construction, so the synced world stays valid — and both
+			// clients must agree on the new corpus too.
+			if err := e.AddDocuments(docs[120:]); err != nil {
+				t.Fatal(err)
+			}
+			if err := e.DeleteDocuments([]int{docs[3].ID, docs[40].ID}); err != nil {
+				t.Fatal(err)
+			}
+			compare("post-churn")
+			// The lexicon version is corpus-independent: still current.
+			v, err := e.LexiconVersion()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rw.Version() != v {
+				t.Fatalf("churn changed the lexicon version: synced %d, engine %d", rw.Version(), v)
+			}
+			if err := CheckLexicon(conn, rw.Version()); err != nil {
+				t.Fatalf("CheckLexicon after churn: %v", err)
+			}
+		})
+	}
+}
+
+// TestDecoyStreamNeverPerturbsResults is the adversarial leg: decoy
+// cover at rate 0 and at an extreme rate must return exactly the
+// rankings a plain remote search returns, decoys must be visible in the
+// server's aggregate counters (they are real work), and the per-session
+// audit must separate them from genuine traffic without NaN artifacts
+// when rounds are empty — the network-level regression for the
+// trackmenot division guards.
+func TestDecoyStreamNeverPerturbsResults(t *testing.T) {
+	e, _ := testEngine(t)
+	dial, stop := startGatedServer(t, e, ServeConfig{RiskAudit: true})
+	defer stop()
+
+	query := e.lex.db.Lemma(e.searchable[4]) + " " + e.lex.db.Lemma(e.searchable[9])
+	baseline, err := func() ([]Result, error) {
+		conn := dial()
+		defer conn.Close()
+		c, err := e.NewClient(detrand.New("decoy-baseline"))
+		if err != nil {
+			return nil, err
+		}
+		return c.SearchRemote(conn, query, 10)
+	}()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline) == 0 {
+		t.Fatal("baseline search returned nothing")
+	}
+
+	for _, rate := range []int{-1, 16} {
+		conn := dial()
+		c, err := e.NewClient(detrand.New(fmt.Sprintf("decoy-rate-%d", rate)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := c.NewDecoyStream(DecoyStreamConfig{GhostRate: rate, Seed: 99})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := d.SearchRemote(context.Background(), conn, query, 10)
+		if err != nil {
+			t.Fatalf("rate %d: %v", rate, err)
+		}
+		if len(got) != len(baseline) {
+			t.Fatalf("rate %d: %d results, baseline %d", rate, len(got), len(baseline))
+		}
+		for i := range baseline {
+			if got[i] != baseline[i] {
+				t.Fatalf("rate %d: rank %d diverged: %+v vs %+v", rate, i, got[i], baseline[i])
+			}
+		}
+		st := d.Stats()
+		wantDecoys := int64(0)
+		if rate > 0 {
+			wantDecoys = int64(rate)
+		}
+		if st.Genuine != 1 || st.Decoys != wantDecoys {
+			t.Fatalf("rate %d: stream stats %+v, want 1 genuine / %d decoys", rate, st, wantDecoys)
+		}
+		// Force a deterministic adversary round on the positive-rate leg:
+		// explicit ghosts, then a genuine frame (the burst's own round
+		// depends on where the seeded scheduler placed the genuine query).
+		wantGenuine := 1
+		if rate > 0 {
+			if err := d.SendGhosts(context.Background(), conn, 3, 2); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := c.SearchRemote(conn, query, 10); err != nil {
+				t.Fatal(err)
+			}
+			wantDecoys += 3
+			wantGenuine = 2
+		}
+		report, err := SessionRiskAudit(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if report.Queries != wantGenuine || report.Decoys != int(wantDecoys) {
+			t.Fatalf("rate %d: audit %+v, want %d genuine / %d decoys", rate, report, wantGenuine, wantDecoys)
+		}
+		if rate > 0 && report.Rounds < 1 {
+			t.Fatalf("rate %d: no adversary round despite pending decoys", rate)
+		}
+		if rate < 0 && report.Rounds != 0 {
+			t.Fatalf("rate %d: %d adversary rounds without decoys", rate, report.Rounds)
+		}
+		// NaN regression: success rate and means must be clean numbers
+		// whether or not any round or audit completed.
+		for name, v := range map[string]float64{
+			"AdversarySuccess": report.AdversarySuccess(),
+			"MeanRisk":         report.MeanRisk,
+			"MeanGenuineCoh":   report.MeanGenuineCoherence,
+			"MeanDecoyCoh":     report.MeanDecoyCoherence,
+		} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("rate %d: %s is %v", rate, name, v)
+			}
+		}
+		conn.Close()
+	}
+
+	// Aggregate counters: decoys are counted as decoys AND as served
+	// queries (they are identical work), and the audit counters moved.
+	st := func() ServeStats {
+		conn := dial()
+		defer conn.Close()
+		stats, err := ServerStats(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stats
+	}()
+	if st.DecoyQueries != 19 {
+		t.Fatalf("server counted %d decoy queries, want 19", st.DecoyQueries)
+	}
+	if st.Queries < 4+19 {
+		t.Fatalf("server counted %d queries, want >= 23 (decoys are served work)", st.Queries)
+	}
+	if st.RiskAudited == 0 || st.RiskSumMicros == 0 {
+		t.Fatalf("risk audit counters did not move: %+v", st)
+	}
+	// The empty-body stats and metrics surfaces agree (drift guard for
+	// the new rows).
+	text := string(e.NewNetServer(ServeConfig{}).MetricsText())
+	for _, row := range []string{"embellish_decoy_queries_total", "embellish_risk_audited_total", "embellish_risk_skipped_total", "embellish_risk_sum"} {
+		if !strings.Contains(text, row) {
+			t.Fatalf("metrics page missing %s", row)
+		}
+	}
+	if strings.Contains(text, "NaN") {
+		t.Fatal("metrics page renders NaN")
+	}
+}
+
+// TestLexiconSyncGates pins the gate semantics: a server without
+// AllowLexiconSync refuses the sync with a plain wire error and the
+// connection stays fully usable; a stale client version is refused with
+// the FROZEN typed StaleLexiconRefusal that surfaces as ErrStaleLexicon;
+// the risk-audit gate behaves the same way.
+func TestLexiconSyncGates(t *testing.T) {
+	e, c := testEngine(t)
+
+	t.Run("sync disabled", func(t *testing.T) {
+		dial, stop := startGatedServer(t, e, ServeConfig{})
+		defer stop()
+		conn := dial()
+		defer conn.Close()
+		if _, err := SyncLexicon(conn); err == nil {
+			t.Fatal("sync succeeded through a disabled gate")
+		} else if errors.Is(err, ErrStaleLexicon) {
+			t.Fatalf("disabled gate mislabeled as staleness: %v", err)
+		}
+		// The refusal left the connection reusable.
+		query := e.lex.db.Lemma(e.searchable[2])
+		if _, err := c.SearchRemote(conn, query, 5); err != nil {
+			t.Fatalf("connection unusable after gate refusal: %v", err)
+		}
+	})
+
+	t.Run("stale version", func(t *testing.T) {
+		dial, stop := startGatedServer(t, e, ServeConfig{AllowLexiconSync: true})
+		defer stop()
+		conn := dial()
+		defer conn.Close()
+		v, err := e.LexiconVersion()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Current version: the probe answers clean.
+		if err := CheckLexicon(conn, v); err != nil {
+			t.Fatalf("current version probed stale: %v", err)
+		}
+		// A drifted version gets the loud typed error.
+		err = CheckLexicon(conn, v+1)
+		if !errors.Is(err, ErrStaleLexicon) {
+			t.Fatalf("stale probe error %v, want ErrStaleLexicon", err)
+		}
+		// And the connection survives for a full sync.
+		if _, err := SyncLexicon(conn); err != nil {
+			t.Fatalf("full sync after stale probe: %v", err)
+		}
+	})
+
+	t.Run("audit disabled", func(t *testing.T) {
+		dial, stop := startGatedServer(t, e, ServeConfig{})
+		defer stop()
+		conn := dial()
+		defer conn.Close()
+		if _, err := SessionRiskAudit(conn); err == nil {
+			t.Fatal("audit served through a disabled gate")
+		}
+		query := e.lex.db.Lemma(e.searchable[3])
+		if _, err := c.SearchRemote(conn, query, 5); err != nil {
+			t.Fatalf("connection unusable after audit refusal: %v", err)
+		}
+	})
+}

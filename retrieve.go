@@ -105,7 +105,7 @@ func (c *Client) pirKey() (*pir.ClientKey, error) {
 	if c.fetchKey == nil {
 		bits := c.fetchBits
 		if bits == 0 {
-			bits = c.engine.opts.retrievalKeyBits()
+			bits = c.world.fetchBits
 		}
 		key, err := pir.GenerateKey(c.inner.CryptoRand, bits)
 		if err != nil {
@@ -570,6 +570,9 @@ func (c *Client) FetchDocuments(ids []int) ([][]byte, FetchStats, error) {
 // an error satisfying errors.Is(err, ctx.Err()). No partial results
 // are returned.
 func (c *Client) FetchDocumentsContext(ctx context.Context, ids []int) ([][]byte, FetchStats, error) {
+	if c.engine == nil {
+		return nil, FetchStats{}, ErrRemoteOnly
+	}
 	sn, err := c.engine.storeSnapshot()
 	if err != nil {
 		return nil, FetchStats{}, err
@@ -615,10 +618,16 @@ func (c *Client) FetchDocumentsRemote(conn io.ReadWriter, ids []int) ([][]byte, 
 // ServeConfig.RequestTimeout.)
 func (c *Client) FetchDocumentsRemoteContext(ctx context.Context, conn io.ReadWriter, ids []int) ([][]byte, FetchStats, error) {
 	depth := c.pipelineDepth()
+	// Remote-only clients have no engine to read the amortization knob
+	// from; default on, matching loaded engines.
+	amortize := true
+	if c.engine != nil {
+		amortize = c.engine.livePIRBatchAmortize()
+	}
 	out, st, err := c.fetchVia(ctx, remotePIR{
 		conn:     conn,
 		depth:    depth,
-		amortize: c.engine.livePIRBatchAmortize(),
+		amortize: amortize,
 	}, ids)
 	if depth > 1 && errors.Is(err, errBatchUnsupported) {
 		// A server predating the batch messages refused the very first
