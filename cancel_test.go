@@ -8,11 +8,13 @@ import (
 	"math/rand"
 	"runtime"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"embellish/internal/core"
 	"embellish/internal/detrand"
+	"embellish/internal/pir"
 	"embellish/internal/wire"
 )
 
@@ -20,11 +22,13 @@ import (
 // running past its deadline before we call the cancellation late. The
 // engine checks ctx every cancelCheckPostings postings AND against the
 // wall clock (a single-P runtime delays the context timer goroutine),
-// so the true overshoot is sub-millisecond; the slack here is generous
-// because the race detector slows every check by an order of magnitude,
-// and on a single-core box the in-between stretches of instrumented
-// modular arithmetic run 10-20x long before the next check lands.
-const cancelOvershootSlack = 750 * time.Millisecond
+// so the true overshoot is sub-millisecond. The wall-clock assertion
+// is skipped under -race — there the instrumented stretches between
+// checks stretch unboundedly and the property is carried instead by
+// the deterministic clock harness (TestCancellationDeterministic*),
+// which states promptness in poll counts rather than racing the
+// scheduler — so the slack stays tight for ordinary builds.
+const cancelOvershootSlack = 250 * time.Millisecond
 
 // cancelCorpus builds a random corpus over the mini lexicon from the
 // given seed, shaped like demoDocs but reseedable so the cancellation
@@ -179,7 +183,7 @@ func TestCancellationProperty(t *testing.T) {
 						if resp != nil {
 							t.Fatalf("frac %.2f: partial response returned alongside cancellation", frac)
 						}
-						if over := elapsed - deadline; over > cancelOvershootSlack {
+						if over := elapsed - deadline; !raceEnabled && over > cancelOvershootSlack {
 							t.Fatalf("frac %.2f: cancellation overshot deadline by %v (slack %v)", frac, over, cancelOvershootSlack)
 						}
 						if cerr.Stats.Candidates != 0 {
@@ -286,7 +290,7 @@ func TestCancellationFetchDocuments(t *testing.T) {
 		if docs != nil {
 			t.Fatal("cancelled fetch returned partial results")
 		}
-		if over := elapsed - deadline; over > cancelOvershootSlack {
+		if over := elapsed - deadline; !raceEnabled && over > cancelOvershootSlack {
 			t.Fatalf("fetch cancellation overshot deadline by %v (slack %v)", over, cancelOvershootSlack)
 		}
 		cancelled = true
@@ -392,7 +396,7 @@ func TestCancellationAmortizedFetch(t *testing.T) {
 		if docs != nil {
 			t.Fatal("cancelled amortized fetch returned partial results")
 		}
-		if over := elapsed - deadline; over > cancelOvershootSlack {
+		if over := elapsed - deadline; !raceEnabled && over > cancelOvershootSlack {
 			t.Fatalf("amortized cancellation overshot deadline by %v (slack %v)", over, cancelOvershootSlack)
 		}
 		cancelled = true
@@ -410,5 +414,193 @@ func TestCancellationAmortizedFetch(t *testing.T) {
 		if !bytes.Equal(baseline[i], after[i]) {
 			t.Fatalf("doc %d differs after an abandoned amortized fetch", ids[i])
 		}
+	}
+}
+
+// fakeScanClock replaces the scan kernels' deadline-poll clock with a
+// pinned-seed synthetic one: every poll advances time by a jittered
+// step, so whether and when a scan observes its deadline is a pure
+// function of how many polls it has made — machine speed, core count,
+// and the race detector's slowdown drop out entirely. pastDeadline
+// counts the polls made at or past the deadline: a prompt scan makes
+// at most a handful (each worker returns at its first post-deadline
+// poll) before fully unwinding.
+type fakeScanClock struct {
+	mu           sync.Mutex
+	now          time.Time
+	deadline     time.Time
+	maxStep      time.Duration
+	rng          *rand.Rand
+	polls        int
+	pastDeadline int
+}
+
+func (c *fakeScanClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.polls++
+	c.now = c.now.Add(time.Duration(1 + c.rng.Int63n(int64(c.maxStep))))
+	if !c.now.Before(c.deadline) {
+		c.pastDeadline++
+	}
+	return c.now
+}
+
+// newFakeScanClock pins a clock a few expected steps short of the
+// context's deadline: the scan's own poll cadence crosses it within
+// ~2·polls reads, long before the real one-hour timer could fire, so
+// the poll path is provably the mechanism that cancels.
+func newFakeScanClock(seed int64, deadline time.Time, polls int) *fakeScanClock {
+	const step = time.Minute
+	return &fakeScanClock{
+		now:      deadline.Add(-time.Duration(polls) * step),
+		deadline: deadline,
+		maxStep:  step, // jitter 1ns..step per poll
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// maxPastDeadlinePolls bounds how many deadline polls a cancelled scan
+// may make at or past the deadline before it has fully unwound. Each
+// goroutine returns at its first post-deadline poll, and every plan
+// runs a few workers across a few phases, so the bound is a property
+// of the code's structure — not of how fast the machine runs it.
+const maxPastDeadlinePolls = 16
+
+// TestCancellationDeterministicQuery is the deflaked overshoot
+// regression for query scans: the pinned clock drives every execution
+// plan's deadline polls, the scan must cancel at poll granularity with
+// the context sentinel and no partial response, and afterwards the
+// engine serves the same query byte-identically. No wall-clock
+// measurement is involved, so the test is exact under -race on one
+// core.
+func TestCancellationDeterministicQuery(t *testing.T) {
+	e, c := cancelEngine(t, 626262, false)
+	rng := rand.New(rand.NewSource(626263))
+	q := cancelQuery(t, e, c, rng, 8)
+	plans := []struct {
+		name                        string
+		shards, window, parallelism int
+	}{
+		{"sequential", 0, -1, 0},
+		{"striped", 0, -1, 2},
+		{"sharded", 2, -1, 2},
+	}
+	for i, pl := range plans {
+		pl, i := pl, i
+		t.Run(pl.name, func(t *testing.T) {
+			if err := e.ConfigureExecution(pl.shards, pl.window, pl.parallelism); err != nil {
+				t.Fatalf("ConfigureExecution: %v", err)
+			}
+			base, err := e.Process(q)
+			if err != nil {
+				t.Fatalf("baseline Process: %v", err)
+			}
+			baseBytes := respBytes(t, base)
+
+			deadline := time.Now().Add(time.Hour)
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			// Two expected steps out: the sharded plan polls only a
+			// handful of times on this corpus, so the crossing must land
+			// within its first few polls.
+			clock := newFakeScanClock(int64(0xC10C+i), deadline, 2)
+			restore := core.SetScanClock(clock.Now)
+			resp, err := e.ProcessContext(ctx, q)
+			restore()
+			cancel()
+			if err == nil {
+				t.Fatalf("synthetic deadline crossing did not cancel the scan (%d polls)", clock.polls)
+			}
+			var cerr *CancelledError
+			if !errors.As(err, &cerr) {
+				t.Fatalf("cancelled scan returned %T (%v), want *CancelledError", err, err)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("errors.Is(err, DeadlineExceeded) = false (err %v)", err)
+			}
+			if resp != nil {
+				t.Fatal("partial response returned alongside cancellation")
+			}
+			if clock.pastDeadline == 0 || clock.pastDeadline > maxPastDeadlinePolls {
+				t.Fatalf("scan made %d post-deadline polls (%d total), want 1..%d",
+					clock.pastDeadline, clock.polls, maxPastDeadlinePolls)
+			}
+
+			after, err := e.Process(q)
+			if err != nil {
+				t.Fatalf("post-cancel Process: %v", err)
+			}
+			if !bytes.Equal(respBytes(t, after), baseBytes) {
+				t.Fatal("response after deterministic cancellation is not byte-identical to baseline")
+			}
+		})
+	}
+}
+
+// TestCancellationDeterministicFetch runs the pinned clock through the
+// retrieval kernels: the per-query exec path, the amortized one-pass
+// multi path, and the two-level recursive path each observe the
+// synthetic deadline at poll granularity, surface the context sentinel
+// with no partial documents, and keep serving byte-identical documents
+// afterwards.
+func TestCancellationDeterministicFetch(t *testing.T) {
+	e, c := cancelEngine(t, 737373, true)
+	if err := e.ConfigurePIRWorkers(2); err != nil {
+		t.Fatalf("ConfigurePIRWorkers: %v", err)
+	}
+	ids := []int{5, 19, 42, 77, 103}
+	baseline, _, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatalf("baseline FetchDocuments: %v", err)
+	}
+	modes := []struct {
+		name      string
+		amortize  int
+		recursive bool
+	}{
+		{"per-query", -1, false},
+		{"amortized", 1, false},
+		{"recursive", 1, true},
+	}
+	defer c.SetFetchRecursive(false)
+	for i, m := range modes {
+		m, i := m, i
+		t.Run(m.name, func(t *testing.T) {
+			if err := e.ConfigurePIRBatchAmortize(m.amortize); err != nil {
+				t.Fatalf("ConfigurePIRBatchAmortize: %v", err)
+			}
+			c.SetFetchRecursive(m.recursive)
+
+			deadline := time.Now().Add(time.Hour)
+			ctx, cancel := context.WithDeadline(context.Background(), deadline)
+			clock := newFakeScanClock(int64(0xFE7C+i), deadline, 6)
+			restore := pir.SetScanClock(clock.Now)
+			docs, _, err := c.FetchDocumentsContext(ctx, ids)
+			restore()
+			cancel()
+			if err == nil {
+				t.Fatalf("synthetic deadline crossing did not cancel the fetch (%d polls)", clock.polls)
+			}
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("cancelled fetch: err %v, want context.DeadlineExceeded", err)
+			}
+			if docs != nil {
+				t.Fatal("cancelled fetch returned partial results")
+			}
+			if clock.pastDeadline == 0 || clock.pastDeadline > maxPastDeadlinePolls {
+				t.Fatalf("fetch made %d post-deadline polls (%d total), want 1..%d",
+					clock.pastDeadline, clock.polls, maxPastDeadlinePolls)
+			}
+
+			after, _, err := c.FetchDocuments(ids)
+			if err != nil {
+				t.Fatalf("post-cancel FetchDocuments: %v", err)
+			}
+			for j := range baseline {
+				if !bytes.Equal(baseline[j], after[j]) {
+					t.Fatalf("doc %d differs after a deterministic cancellation", ids[j])
+				}
+			}
+		})
 	}
 }

@@ -19,7 +19,7 @@
 // privacy serving tier: the paper's risk-vs-bucket-size figure read
 // back from a risk-auditing server over the wire, plus the tail-latency
 // tax of decoy cover traffic (see docs/THREAT_MODEL.md). Figures
-// land as machine-readable JSON (BENCH_PR7.json by default) so
+// land as machine-readable JSON (BENCH_PR10.json by default) so
 // successive PRs can be compared.
 //
 // Usage:
@@ -38,8 +38,8 @@
 //	                [-privacy-docs 3000] [-privacy-synsets 2500]
 //	                [-privacy-trials 25] [-privacy-bktszs "2,4,8"]
 //	                [-privacy-ghosts 4] [-privacy-queries 40]
-//	                [-only load|cluster|privacy]
-//	                [-quick] [-out BENCH_PR7.json]
+//	                [-only fetch|load|cluster|privacy]
+//	                [-quick] [-out BENCH_PR10.json]
 //
 // -quick shrinks the world for CI smoke runs. The PIR fetch costs one
 // |n|-bit modular multiplication per stored corpus BIT per block
@@ -194,6 +194,19 @@ type FetchLeg struct {
 	AmortPipeMsPerDoc float64 `json:"amort_pipe_ms_per_doc"`
 	AmortPipeSpeedup  float64 `json:"amort_pipe_speedup_vs_seq"`
 
+	// Recursive two-level protocol (PIRRecursive + amortization): the
+	// same one-call fetch with √n×√n grid queries — upload drops from n
+	// to ≤3·⌈√n⌉ ciphertexts per query (RecQueryBytes/RecBatch vs
+	// QueryBytes/PIRRuns), answers widen 8·modBytes× (the trade), bytes
+	// stay identical. Locally and over type-22 wire frames.
+	RecBatch        int     `json:"rec_batch"`
+	RecMsPerDoc     float64 `json:"rec_ms_per_doc"`
+	RecSpeedup      float64 `json:"rec_speedup_vs_seq"`
+	RecPipeMsPerDoc float64 `json:"rec_pipe_ms_per_doc"`
+	RecPipeSpeedup  float64 `json:"rec_pipe_speedup_vs_seq"`
+	RecQueryBytes   int     `json:"rec_query_bytes"`
+	RecAnswerBytes  int     `json:"rec_answer_bytes"`
+
 	PlainUsDoc float64 `json:"plain_us_per_doc"`
 	// Slowdown is sequential-PIR latency over plaintext latency — the
 	// privacy price of hiding WHICH document was fetched, under the
@@ -214,8 +227,8 @@ func main() {
 		keyBits = flag.Int("keybits", 256, "Benaloh key size")
 		seed    = flag.Int64("seed", 1, "world seed")
 		quick   = flag.Bool("quick", false, "small world for CI smoke runs")
-		out     = flag.String("out", "BENCH_PR7.json", "output JSON path")
-		only    = flag.String("only", "", "run a single section: load (empty runs everything)")
+		out     = flag.String("out", "BENCH_PR10.json", "output JSON path")
+		only    = flag.String("only", "", "run a single section: fetch, load, cluster or privacy (empty runs everything)")
 
 		fetchSizes = flag.String("fetch-sizes", "1200,12000", "comma-separated corpus sizes for the PIR fetch legs (empty disables)")
 		fetchCount = flag.Int("fetch-count", 2, "documents fetched per leg")
@@ -285,8 +298,23 @@ func main() {
 		trials: *privTrials, querySize: *privQSize, bktSzs: privBkts,
 		ghostRate: *privGhosts, latQueries: *privQueries, seed: *seed,
 	}
+	mkLegConfig := func(size int) legConfig {
+		return legConfig{
+			synsets: *synsets, size: size, bktSz: *bktSz, keyBits: *keyBits,
+			fetchBits: *fetchBits, blockSize: *fetchBlock, fetches: *fetchCount,
+			pipeline: *fetchPipe, workers: *pirWorkers, seed: *seed,
+		}
+	}
 	switch *only {
 	case "":
+	case "fetch":
+		rep := Report{Seed: *seed}
+		db := wngen.Generate(wngen.ScaledConfig(*synsets, *seed))
+		if err := runFetchSection(&rep, db, *fetchSizes, mkLegConfig); err != nil {
+			fatal(err)
+		}
+		writeReport(&rep, *out)
+		return
 	case "privacy":
 		rep := Report{Seed: *seed}
 		if err := runPrivacySection(&rep, privacyCfg); err != nil {
@@ -310,7 +338,7 @@ func main() {
 		writeReport(&rep, *out)
 		return
 	default:
-		fatal(fmt.Errorf("unknown -only section %q (\"load\", \"cluster\" and \"privacy\" are supported)", *only))
+		fatal(fmt.Errorf("unknown -only section %q (\"fetch\", \"load\", \"cluster\" and \"privacy\" are supported)", *only))
 	}
 
 	extra := int(float64(*docs) * *addFrac)
@@ -373,26 +401,8 @@ func main() {
 	rep.Speedup = rep.RebuildSeconds / rep.AddSeconds
 
 	if *fetchSizes != "" {
-		for _, field := range strings.Split(*fetchSizes, ",") {
-			size, err := strconv.Atoi(strings.TrimSpace(field))
-			if err != nil {
-				fatal(fmt.Errorf("bad -fetch-sizes entry %q: %w", field, err))
-			}
-			leg, err := fetchLeg(db, legConfig{
-				synsets: *synsets, size: size, bktSz: *bktSz, keyBits: *keyBits,
-				fetchBits: *fetchBits, blockSize: *fetchBlock, fetches: *fetchCount,
-				pipeline: *fetchPipe, workers: *pirWorkers, seed: *seed,
-			})
-			if err != nil {
-				fatal(err)
-			}
-			rep.Fetch = append(rep.Fetch, leg)
-			fmt.Printf("fetch leg %d docs: seq %.1f ms/doc, parallel %.1f ms/doc (%.1fx), pipelined %.1f ms/doc (%.1fx), amortized %.1f ms/doc (%.1fx, batch %d), amortized+pipelined %.1f ms/doc (%.1fx), plain %.1f us/doc, seq slowdown %.0fx\n",
-				leg.Docs, leg.SeqMsPerDoc, leg.ParMsPerDoc, leg.ParSpeedup,
-				leg.PipeMsPerDoc, leg.PipeSpeedup,
-				leg.AmortMsPerDoc, leg.AmortSpeedup, leg.AmortBatch,
-				leg.AmortPipeMsPerDoc, leg.AmortPipeSpeedup,
-				leg.PlainUsDoc, leg.Slowdown)
+		if err := runFetchSection(&rep, db, *fetchSizes, mkLegConfig); err != nil {
+			fatal(err)
 		}
 	}
 
@@ -432,6 +442,36 @@ func main() {
 	writeReport(&rep, *out)
 	fmt.Printf("wrote %s: add %d docs in %.3fs (%.0f docs/s), rebuild %.3fs, speedup %.1fx\n",
 		*out, extra, rep.AddSeconds, rep.AddDocsPerSec, rep.RebuildSeconds, rep.Speedup)
+}
+
+// runFetchSection sweeps the PIR fetch legs over the configured corpus
+// sizes into the report.
+func runFetchSection(rep *Report, db *wordnet.Database, sizes string, mk func(size int) legConfig) error {
+	for _, field := range strings.Split(sizes, ",") {
+		size, err := strconv.Atoi(strings.TrimSpace(field))
+		if err != nil {
+			return fmt.Errorf("bad -fetch-sizes entry %q: %w", field, err)
+		}
+		leg, err := fetchLeg(db, mk(size))
+		if err != nil {
+			return err
+		}
+		rep.Fetch = append(rep.Fetch, leg)
+		fmt.Printf("fetch leg %d docs: seq %.1f ms/doc, parallel %.1f ms/doc (%.1fx), pipelined %.1f ms/doc (%.1fx), amortized %.1f ms/doc (%.1fx, batch %d), amortized+pipelined %.1f ms/doc (%.1fx), recursive %.1f ms/doc (%.1fx) / wire %.1f ms/doc (%.1fx), plain %.1f us/doc, seq slowdown %.0fx\n",
+			leg.Docs, leg.SeqMsPerDoc, leg.ParMsPerDoc, leg.ParSpeedup,
+			leg.PipeMsPerDoc, leg.PipeSpeedup,
+			leg.AmortMsPerDoc, leg.AmortSpeedup, leg.AmortBatch,
+			leg.AmortPipeMsPerDoc, leg.AmortPipeSpeedup,
+			leg.RecMsPerDoc, leg.RecSpeedup, leg.RecPipeMsPerDoc, leg.RecPipeSpeedup,
+			leg.PlainUsDoc, leg.Slowdown)
+		if leg.PIRRuns > 0 && leg.RecBatch > 0 {
+			fmt.Printf("  upload: flat %d B/query, recursive %d B/query (%.1fx smaller); recursive answers %d B/query\n",
+				leg.QueryBytes/leg.PIRRuns, leg.RecQueryBytes/leg.RecBatch,
+				float64(leg.QueryBytes)/float64(leg.PIRRuns)/(float64(leg.RecQueryBytes)/float64(leg.RecBatch)),
+				leg.RecAnswerBytes/leg.RecBatch)
+		}
+	}
+	return nil
 }
 
 // runLoadSection runs the heavy-traffic legs into the report, applying
@@ -686,6 +726,51 @@ func fetchLeg(db *wordnet.Database, cfg legConfig) (FetchLeg, error) {
 		leg.AmortPipeSpeedup = leg.SeqMsPerDoc / leg.AmortPipeMsPerDoc
 	}
 	amortConn.Close()
+
+	// Recursive two-level protocol, amortization still on: one call
+	// fetches every id through √n×√n grid queries. Local first.
+	recClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	recClient.SetFetchRecursive(true)
+	var recStats embellish.FetchStats
+	if leg.RecMsPerDoc, recStats, err = timeBatch(func() ([][]byte, embellish.FetchStats, error) {
+		return recClient.FetchDocuments(ids)
+	}); err != nil {
+		return leg, err
+	}
+	leg.RecBatch = recStats.Runs
+	leg.RecQueryBytes = recStats.QueryBytes
+	leg.RecAnswerBytes = recStats.AnswerBytes
+	if leg.RecMsPerDoc > 0 {
+		leg.RecSpeedup = leg.SeqMsPerDoc / leg.RecMsPerDoc
+	}
+
+	// The same recursive fetch over type-22 wire frames.
+	recConn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		return leg, err
+	}
+	recPipeClient, err := e.NewClient(nil)
+	if err != nil {
+		return leg, err
+	}
+	recPipeClient.SetFetchRecursive(true)
+	if cfg.pipeline > 0 {
+		if err := recPipeClient.SetFetchPipeline(cfg.pipeline); err != nil {
+			return leg, err
+		}
+	}
+	if leg.RecPipeMsPerDoc, _, err = timeBatch(func() ([][]byte, embellish.FetchStats, error) {
+		return recPipeClient.FetchDocumentsRemote(recConn, ids)
+	}); err != nil {
+		return leg, err
+	}
+	if leg.RecPipeMsPerDoc > 0 {
+		leg.RecPipeSpeedup = leg.SeqMsPerDoc / leg.RecPipeMsPerDoc
+	}
+	recConn.Close()
 
 	conn.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)

@@ -16,7 +16,7 @@
 //	                 [-max-conns N] [-idle-timeout D] [-stats-every D]
 //	                 [-allow-updates] [-max-segments N]
 //	                 [-store] [-block-size B] [-allow-retrieval]
-//	                 [-pir-workers N]
+//	                 [-pir-workers N] [-pir-recursive N]
 //	                 [-data-dir DIR] [-fsync record|interval|off]
 //	                 [-checkpoint-every N]
 //	                 [-max-inflight N] [-queue-depth N] [-queue-timeout D]
@@ -113,6 +113,7 @@ func main() {
 		blockSize      = flag.Int("block-size", 0, "PIR block size in bytes for -store (0 default)")
 		allowRetrieval = flag.Bool("allow-retrieval", false, "answer private document fetches (requires a stored corpus)")
 		pirWorkers     = flag.Int("pir-workers", 0, "PIR fetch-serving workers (0 sequential reference, -1 GOMAXPROCS, N pinned)")
+		pirRecursive   = flag.Int("pir-recursive", 0, "recursive (two-level) PIR serving (0 inherit the engine knob, 1 force on, -1 refuse type-22 frames; refused clients fall back to flat queries)")
 
 		shards       = flag.Int("shards", -1, "document shards for the worker-pool accumulator (-1 GOMAXPROCS, 0 unsharded, N pinned)")
 		window       = flag.Int("window", -1, "fixed-base exponentiation window bits (-1 default, 0 off, 1..8 pinned)")
@@ -294,6 +295,7 @@ func main() {
 		AllowReplication: *allowRepl,
 		AllowLexiconSync: *allowLexSync,
 		RiskAudit:        *riskAudit,
+		PIRRecursive:     *pirRecursive,
 	})
 	if *allowLexSync {
 		v, err := engine.LexiconVersion()

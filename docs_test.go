@@ -111,9 +111,11 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	for _, knob := range []string{
 		"Shards", "PrecomputeWindow", "Parallelism", "PIRWorkers",
 		"PIRBatchAmortize", "ConfigurePIRBatchAmortize",
+		"PIRRecursive", "ConfigurePIRRecursive", "SetFetchRecursive",
 		"BlockSize", "RetrievalKeyBits", "SetFetchPipeline", "MaxSegments",
 		"Durability", "CheckpointEveryOps", "BENCH_PR7.json",
-		"amort_ms_per_doc", "amort_pipe_ms_per_doc", "Montgomery",
+		"BENCH_PR10.json", "amort_ms_per_doc", "amort_pipe_ms_per_doc",
+		"rec_ms_per_doc", "rec_query_bytes", "Montgomery",
 		"OPERATIONS.md",
 	} {
 		if !strings.Contains(string(perf), knob) {
@@ -137,6 +139,11 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypeStats", "ServerStats", "/metrics", "/stats.json",
 		"ShedQueueFull", "ShedQueueTimeout", "WALSeq",
 		"PIRModMuls", "PIRTableMuls",
+		// ...the recursive PIR serving surface...
+		"PIRRecursive", "-pir-recursive",
+		"PIRRecursiveQueries", "PIRRecursivePartials",
+		"pir_recursive_queries_total", "pir_recursive_partials_total",
+		"SetFetchRecursive",
 		// ...the replication and cluster knobs...
 		"-allow-replication", "-replicate-from", "-replicate-every",
 		"-partition", "repl_lag_ops", "ReplPrimarySeq",
@@ -175,7 +182,7 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for typ := 1; typ <= 21; typ++ {
+	for typ := 1; typ <= 22; typ++ {
 		if !strings.Contains(string(wire), fmt.Sprintf("| %d |", typ)) {
 			t.Errorf("docs/WIRE.md type table misses message type %d", typ)
 		}
@@ -187,6 +194,8 @@ func TestDocsMentionCurrentSurface(t *testing.T) {
 		"TypePIRBatchQuery", "TypePIRBatchResponse", "TypeStats",
 		"TypeWALPull", "TypeWALChunk", "TypeClusterMap",
 		"TypeLexiconSync", "TypeLexicon", "TypeDecoyQuery", "TypeRiskAudit",
+		"TypePIRRecursiveQuery", "MaxPIRRecursiveBatch", "PIRRecursive",
+		"SetFetchRecursive", "RecursiveLevel2", "re-partitioned",
 		"AllowUpdates", "AllowRetrieval", "AllowReplication",
 		"AllowLexiconSync", "RiskAudit", "StaleLexiconRefusal",
 		"ErrStaleLexicon", "DecoyQueries",

@@ -73,6 +73,11 @@ type Engine struct {
 	// in an atomic for the same reason. The zero value is the default,
 	// so loaded engines amortize without any explicit store.
 	pirAmortize atomic.Int64
+	// pirRecursive is the live recursive-serving switch (the
+	// Options.PIRRecursive encoding: 0 default-on, -1 off, 1 on), in an
+	// atomic for the same reason. The zero value is the default, so
+	// loaded engines serve recursive frames without any explicit store.
+	pirRecursive atomic.Int64
 	// lexsync caches the serialized lexicon-sync payload (organization
 	// and synset tables are pinned at construction, so it never
 	// changes); see lexsync.go.
@@ -159,6 +164,7 @@ func NewEngine(lex *Lexicon, docs []Document, opts Options) (*Engine, error) {
 	e.server = core.NewLiveServer(e.live, org, lex.db)
 	e.pirWorkers.Store(int64(opts.PIRWorkers))
 	e.pirAmortize.Store(int64(opts.PIRBatchAmortize))
+	e.pirRecursive.Store(int64(opts.PIRRecursive))
 	e.applyExecution()
 	if opts.Durability.Dir != "" {
 		// The freshly built corpus becomes checkpoint 0; every later
@@ -423,6 +429,25 @@ func (e *Engine) ConfigurePIRBatchAmortize(n int) error {
 // goroutine.
 func (e *Engine) livePIRBatchAmortize() bool { return e.pirAmortize.Load() >= 0 }
 
+// ConfigurePIRRecursive flips the recursive (two-level) serving switch
+// — the Options.PIRRecursive knob, same encoding (0 default = serve,
+// -1 refuse, 1 serve) — on a live engine. Like the other PIR knobs it
+// lives in its own atomic, is not persisted, and never changes decoded
+// documents: recursive answers decrypt to the same bytes as flat ones,
+// the knob only controls whether the server accepts the recursive
+// frame (and whether local fetches may use the recursive layout).
+func (e *Engine) ConfigurePIRRecursive(n int) error {
+	if err := validatePIRRecursive(n); err != nil {
+		return err
+	}
+	e.pirRecursive.Store(int64(n))
+	return nil
+}
+
+// livePIRRecursive reports whether recursive block queries should be
+// served; safe from any goroutine.
+func (e *Engine) livePIRRecursive() bool { return e.pirRecursive.Load() >= 0 }
+
 // answerPIR serves one PIR block query from a pinned store snapshot
 // through the plan the workers knob selects: the sequential reference
 // scan at 0, the windowed/parallel pir.ProcessColumnsExec otherwise
@@ -459,6 +484,18 @@ func answerPIRMultiCtx(ctx context.Context, snap *docstore.Snapshot, qs []*pir.Q
 		workers = runtime.GOMAXPROCS(0)
 	}
 	return snap.AnswerMultiExecCtx(ctx, qs, pir.Exec{Workers: workers})
+}
+
+// answerPIRRecursiveCtx serves a batch of recursive block queries in
+// one level-1 pass over the snapshot. The workers encoding matches
+// answerPIRCtx: 0 serves on a single goroutine (the recursive path has
+// no separate sequential reference plan — its reference is decoding to
+// the same bytes as the flat plans), -1 GOMAXPROCS, >= 1 pinned.
+func answerPIRRecursiveCtx(ctx context.Context, snap *docstore.Snapshot, qs []*pir.RecursiveQuery, workers int) ([]*pir.Answer, []pir.Stats, error) {
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return snap.AnswerRecursiveMultiExecCtx(ctx, qs, pir.Exec{Workers: workers})
 }
 
 // ConfigureMergePolicy adjusts the live-index segment bound — the
@@ -732,10 +769,12 @@ type Client struct {
 	// lazily on the first FetchDocuments/FetchDocumentsRemote call;
 	// fetchBits overrides its size (SetRetrievalKeyBits); fetchDepth is
 	// the fetch-pipeline window (SetFetchPipeline; 0 selects
-	// DefaultFetchPipeline).
-	fetchKey   *pir.ClientKey
-	fetchBits  int
-	fetchDepth int
+	// DefaultFetchPipeline); fetchRecursive opts this client's fetches
+	// into the two-level recursive PIR protocol (SetFetchRecursive).
+	fetchKey       *pir.ClientKey
+	fetchBits      int
+	fetchDepth     int
+	fetchRecursive bool
 }
 
 // NewClient generates a fresh key pair and returns a client bound to the

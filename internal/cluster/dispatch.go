@@ -289,6 +289,8 @@ func (r *Router) handleStats(rw io.ReadWriter, body []byte) error {
 		maxU(&agg.CheckpointAgeNs, st.CheckpointAgeNs)
 		agg.PIRModMuls += st.PIRModMuls
 		agg.PIRTableMuls += st.PIRTableMuls
+		agg.PIRRecursiveQueries += st.PIRRecursiveQueries
+		agg.PIRRecursivePartials += st.PIRRecursivePartials
 		maxU(&agg.ReplPrimarySeq, st.ReplPrimarySeq)
 		agg.ReplLagOps += st.ReplLagOps
 		agg.DecoyQueries += st.DecoyQueries

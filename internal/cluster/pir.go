@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/big"
@@ -33,9 +35,10 @@ import (
 
 // pirEpoch is one connection's merged-params snapshot.
 type pirEpoch struct {
-	offsets []int // partition p's first column in the merged space
-	widths  []int // partition p's NumBlocks at params time
-	total   int   // sum of widths
+	offsets   []int // partition p's first column in the merged space
+	widths    []int // partition p's NumBlocks at params time
+	total     int   // sum of widths
+	blockSize int   // the cluster-wide block size behind those widths
 }
 
 // gatherParams fetches every partition's current block mapping.
@@ -69,7 +72,7 @@ func (r *Router) gatherParams() ([]docstore.Params, error) {
 // was not ingested through the router's round-robin assignment.
 func (r *Router) mergeParams(parts []docstore.Params) (docstore.Params, *pirEpoch, error) {
 	blockSize := parts[0].BlockSize
-	ep := &pirEpoch{offsets: make([]int, r.n), widths: make([]int, r.n)}
+	ep := &pirEpoch{offsets: make([]int, r.n), widths: make([]int, r.n), blockSize: blockSize}
 	for p, pp := range parts {
 		if pp.BlockSize != blockSize {
 			return docstore.Params{}, nil, fmt.Errorf("cluster: partition %d block size %d differs from partition 0's %d", p, pp.BlockSize, blockSize)
@@ -257,6 +260,123 @@ func (r *Router) handlePIRQuery(rw io.ReadWriter, body []byte, epoch **pirEpoch)
 	}
 	r.retrievals.Add(1)
 	return wire.WritePIRAnswer(rw, combined)
+}
+
+// handlePIRRecursive routes one recursive batch frame. The grid splits
+// across partitions by BLOCK, not by selection-vector column: every
+// partition receives the full Rows vector plus its epoch window
+// (Offset, Span) onto the global grid and answers level 1 only — a raw
+// gamma matrix in which cells outside its window are the
+// multiplicative identity. The router multiplies the partial matrices
+// element-wise (the same factorization combineAnswers exploits for
+// flat queries) and runs level 2 locally — the only place the full
+// matrix exists, so the level-2 scan never crosses the network. A
+// partition holding fewer blocks than its epoch Span refuses (the
+// stale-map symptom after a re-partition) and the refusal is relayed
+// to the client verbatim.
+func (r *Router) handlePIRRecursive(rw io.ReadWriter, body []byte, epoch **pirEpoch) error {
+	qs, err := wire.DecodePIRRecursiveQuery(body)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	// Clients address the whole grid; the windowed level-1-only form is
+	// what the ROUTER sends downstream, never what it accepts.
+	if len(qs[0].Cols) == 0 {
+		return r.refuse(rw, errors.New("cluster: level-1-only recursive queries are router-internal"))
+	}
+	if qs[0].Offset != 0 || qs[0].Span != 0 {
+		return r.refuse(rw, errors.New("cluster: recursive queries must address the full grid"))
+	}
+	ep, err := r.ensureEpoch(epoch)
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	w := qs[0].Width
+	if w > ep.total {
+		return r.refuse(rw, fmt.Errorf("cluster: recursive grid over %d blocks exceeds the served block space of %d", w, ep.total))
+	}
+	// Partitions the grid overlaps, each with its window (prefix
+	// addressing clamps the last one, exactly like sliceQuery).
+	var targets []int
+	los := make([]int, r.n)
+	spans := make([]int, r.n)
+	for p := 0; p < r.n; p++ {
+		lo := ep.offsets[p]
+		hi := lo + ep.widths[p]
+		if hi > w {
+			hi = w
+		}
+		if hi <= lo {
+			continue
+		}
+		targets = append(targets, p)
+		los[p], spans[p] = lo, hi-lo
+	}
+	if len(targets) == 0 {
+		return r.refuse(rw, errors.New("cluster: recursive query addresses no partition"))
+	}
+	// partials[qi][p] is partition p's level-1 matrix for batch member qi.
+	partials := make([][]*pir.Answer, len(qs))
+	for qi := range partials {
+		partials[qi] = make([]*pir.Answer, r.n)
+	}
+	wantCells := qs[0].GridCols * ep.blockSize * 8
+	err = r.scatter(targets, false, func(p int, conn net.Conn) error {
+		subs := make([]*pir.RecursiveQuery, len(qs))
+		for qi, q := range qs {
+			subs[qi] = &pir.RecursiveQuery{
+				N:        q.N,
+				Width:    q.Width,
+				GridCols: q.GridCols,
+				Offset:   los[p],
+				Span:     spans[p],
+				Rows:     q.Rows,
+			}
+		}
+		if err := wire.WritePIRRecursiveQuery(conn, subs); err != nil {
+			return err
+		}
+		got := make([]*pir.Answer, len(subs))
+		for range subs {
+			rbody, err := readReply(conn, wire.TypePIRBatchResponse)
+			if err != nil {
+				return err
+			}
+			idx, a, err := wire.DecodePIRBatchAnswer(rbody)
+			if err != nil {
+				return err
+			}
+			if idx < 0 || idx >= len(got) || got[idx] != nil {
+				return fmt.Errorf("cluster: partition %d answered recursive index %d out of order", p, idx)
+			}
+			got[idx] = a
+		}
+		for qi, a := range got {
+			if len(a.Gammas) != wantCells {
+				return fmt.Errorf("cluster: partition %d answered %d level-1 cells, want %d", p, len(a.Gammas), wantCells)
+			}
+			partials[qi][p] = a
+		}
+		return nil
+	})
+	if err != nil {
+		return r.refuse(rw, err)
+	}
+	for qi, q := range qs {
+		combined, err := combineAnswers(q.N, partials[qi])
+		if err != nil {
+			return r.refuse(rw, err)
+		}
+		ans, _, err := pir.RecursiveLevel2(context.Background(), q, combined.Gammas, ep.blockSize, pir.Exec{})
+		if err != nil {
+			return r.refuse(rw, err)
+		}
+		if err := wire.WritePIRBatchAnswer(rw, qi, ans); err != nil {
+			return err
+		}
+	}
+	r.retrievals.Add(int64(len(qs)))
+	return nil
 }
 
 // handlePIRBatch routes one batch frame: each query is sliced, every

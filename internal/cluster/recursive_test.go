@@ -1,0 +1,168 @@
+// Recursive PIR through the router: the grid splits across partitions
+// by block, each partition answers level 1 only over its window, and
+// the router combines the partial matrices and runs level 2 locally.
+// The proof obligations mirror the flat battery: byte-identity against
+// a single-process reference on the same corpus, and a loud refusal —
+// never silent corruption — when the router's block map has gone stale
+// against a re-partitioned cluster.
+package cluster_test
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"strings"
+	"testing"
+
+	"embellish"
+	"embellish/internal/detrand"
+	"embellish/internal/pir"
+	"embellish/internal/wire"
+)
+
+// TestClusterRecursiveByteIdentity: a recursive fetch routed across
+// three partitions returns the exact bytes a single-process engine
+// serves, with the recursive upload savings intact and the partition
+// legs visible in the aggregated stats.
+func TestClusterRecursiveByteIdentity(t *testing.T) {
+	w := newWorld(t)
+	w.grow(t, 9)
+	fetchIDs := []int{templateDocs, templateDocs + 4, templateDocs + 7}
+
+	refDocs, refSt, err := w.client.FetchDocumentsRemote(w.refConn, fetchIDs)
+	if err != nil {
+		t.Fatalf("reference flat fetch: %v", err)
+	}
+	_, flatSt, err := w.client.FetchDocumentsRemote(w.routerConn, fetchIDs)
+	if err != nil {
+		t.Fatalf("router flat fetch: %v", err)
+	}
+
+	w.client.SetFetchRecursive(true)
+	defer w.client.SetFetchRecursive(false)
+	recRef, _, err := w.client.FetchDocumentsRemote(w.refConn, fetchIDs)
+	if err != nil {
+		t.Fatalf("reference recursive fetch: %v", err)
+	}
+	recDocs, recSt, err := w.client.FetchDocumentsRemote(w.routerConn, fetchIDs)
+	if err != nil {
+		t.Fatalf("router recursive fetch: %v", err)
+	}
+	for i, id := range fetchIDs {
+		if string(refDocs[i]) != w.texts[id] {
+			t.Fatalf("reference fetched doc %d mangled: %q", id, refDocs[i])
+		}
+		if !bytes.Equal(recDocs[i], refDocs[i]) {
+			t.Fatalf("router recursive fetch of doc %d differs from reference: %q vs %q", id, recDocs[i], refDocs[i])
+		}
+		if !bytes.Equal(recRef[i], refDocs[i]) {
+			t.Fatalf("reference recursive fetch of doc %d differs from its flat fetch", id)
+		}
+	}
+	if recSt.Runs != refSt.Runs {
+		t.Fatalf("recursive fetch ran %d executions, flat ran %d", recSt.Runs, refSt.Runs)
+	}
+	// The upload win survives routing: the router sees the same two
+	// sqrt-sized vectors a single process would.
+	if recSt.QueryBytes >= flatSt.QueryBytes {
+		t.Fatalf("recursive routed fetch uploaded %d query bytes, flat %d", recSt.QueryBytes, flatSt.QueryBytes)
+	}
+	// Partition legs are level-1-only answers, counted by the workers
+	// and surfaced through the router's aggregated stats.
+	agg, err := embellish.ServerStats(w.routerConn)
+	if err != nil {
+		t.Fatalf("router stats: %v", err)
+	}
+	if agg.PIRRecursivePartials == 0 {
+		t.Fatal("no recursive partition legs counted across the cluster")
+	}
+	if agg.PIRRecursiveQueries != agg.PIRRecursivePartials {
+		t.Fatalf("workers counted %d recursive queries but %d partials; clients never send level-1-only frames",
+			agg.PIRRecursiveQueries, agg.PIRRecursivePartials)
+	}
+}
+
+// TestClusterRecursiveStaleMapRefused: a router slicing against an
+// epoch from before a re-partition must be refused by the shrunken
+// partition — the Span handshake — and relay that refusal to the
+// client instead of combining matrices from mismatched grids.
+func TestClusterRecursiveStaleMapRefused(t *testing.T) {
+	w := newWorld(t)
+	w.grow(t, 9)
+
+	// Pin the epoch on a raw connection: params first, exactly like a
+	// client, so the router caches this connection's slicing snapshot.
+	conn := dial(t, w.routerAddr)
+	if err := wire.WritePIRParamsRequest(conn); err != nil {
+		t.Fatal(err)
+	}
+	body, err := readTyped(t, conn, wire.TypePIRParams)
+	if err != nil {
+		t.Fatalf("params via router: %v", err)
+	}
+	params, err := wire.DecodePIRParams(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-partition: worker 2 is replaced by a fresh template-only
+	// engine at the same endpoint — fewer stored blocks than the epoch
+	// credits it with.
+	if err := w.workerSrvs[2].Shutdown(context.Background()); err != nil {
+		t.Fatalf("stopping worker 2: %v", err)
+	}
+	raw, _ := templateEngine(t)
+	fresh := loadEngine(t, raw, false)
+	l, err := net.Listen("tcp", w.workerAddrs[2])
+	if err != nil {
+		t.Fatalf("rebinding worker 2 endpoint: %v", err)
+	}
+	srv := fresh.NewNetServer(embellish.ServeConfig{AllowRetrieval: true})
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Shutdown(context.Background()) })
+
+	key, err := pir.GenerateKey(detrand.New("stale-map"), 96)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := key.NewRecursiveQuery(detrand.New("stale-map-q"), params.NumBlocks, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WritePIRRecursiveQuery(conn, []*pir.RecursiveQuery{q}); err != nil {
+		t.Fatal(err)
+	}
+	typ, ebody, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.TypeError {
+		t.Fatalf("stale-epoch recursive query answered type %d, want a refusal", typ)
+	}
+	if !strings.Contains(string(ebody), "re-partitioned") {
+		t.Fatalf("refusal does not name the stale map: %s", ebody)
+	}
+}
+
+// readTyped reads one frame, failing the test on transport errors and
+// returning a peer refusal as an error.
+func readTyped(t *testing.T, conn net.Conn, want byte) ([]byte, error) {
+	t.Helper()
+	typ, body, err := wire.ReadMessage(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch typ {
+	case want:
+		return body, nil
+	case wire.TypeError:
+		return nil, &refusalError{string(body)}
+	default:
+		t.Fatalf("answered type %d, wanted %d", typ, want)
+		return nil, nil
+	}
+}
+
+type refusalError struct{ msg string }
+
+func (e *refusalError) Error() string { return e.msg }

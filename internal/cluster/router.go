@@ -469,6 +469,8 @@ func (r *Router) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 			err = r.handlePIRQuery(rw, body, &epoch)
 		case wire.TypePIRBatchQuery:
 			err = r.handlePIRBatch(rw, body, &epoch)
+		case wire.TypePIRRecursiveQuery:
+			err = r.handlePIRRecursive(rw, body, &epoch)
 		case wire.TypeStats:
 			err = r.handleStats(rw, body)
 		case wire.TypeClusterMap:

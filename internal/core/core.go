@@ -438,7 +438,7 @@ func (s *Server) foldEntry(ctx context.Context, r *resolvedState, e QueryEntry, 
 			return ctx.Err()
 		default:
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			return context.DeadlineExceeded
 		}
 	}
@@ -460,7 +460,7 @@ func (s *Server) foldEntry(ctx context.Context, r *resolvedState, e QueryEntry, 
 				// context's timer goroutine cannot run while this scan
 				// holds the CPU, so the done channel can close tens of
 				// milliseconds after the deadline actually passed.
-				if hasDL && !time.Now().Before(dl) {
+				if hasDL && !scanNow().Before(dl) {
 					return context.DeadlineExceeded
 				}
 			}

@@ -7,7 +7,6 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"embellish/internal/index"
 	"embellish/internal/wordnet"
@@ -191,7 +190,7 @@ func (s *Server) processSharded(ctx context.Context, q *Query, workers int) (*Re
 					// Wall-clock fallback: on a single-P runtime the
 					// timer goroutine cannot close done while workers
 					// hold every CPU.
-					if hasDL && !time.Now().Before(dl) {
+					if hasDL && !scanNow().Before(dl) {
 						cancelled = true
 						aborted.Store(true)
 						return true

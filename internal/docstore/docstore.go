@@ -211,6 +211,43 @@ func (sn *Snapshot) AnswerMultiExecCtx(ctx context.Context, qs []*pir.Query, ex 
 	return pir.ProcessColumnsMultiExecCtx(ctx, sn.blocks[:w], sn.blockSize, qs, ex)
 }
 
+// AnswerRecursive answers one recursive (two-level) PIR query over the
+// snapshot: the block array is treated as the √n×√n grid the query's
+// shape declares, and the answer is the recursively-encrypted target
+// block (or the level-1 gamma matrix for partition-mode queries from a
+// cluster router). Blocks past the query's window — including blocks
+// appended after the client fetched its Params — are simply absent
+// from the grid, so fetches stay valid across concurrent appends
+// exactly like the flat paths.
+func (sn *Snapshot) AnswerRecursive(q *pir.RecursiveQuery) (*pir.Answer, pir.Stats, error) {
+	return sn.AnswerRecursiveExecCtx(context.Background(), q, pir.Exec{})
+}
+
+// AnswerRecursiveCtx is AnswerRecursive under a context, with the
+// cancellation semantics of pir.ProcessColumnsRecursiveMultiExecCtx.
+func (sn *Snapshot) AnswerRecursiveCtx(ctx context.Context, q *pir.RecursiveQuery) (*pir.Answer, pir.Stats, error) {
+	return sn.AnswerRecursiveExecCtx(ctx, q, pir.Exec{})
+}
+
+// AnswerRecursiveExecCtx is AnswerRecursiveCtx with execution tuning
+// (workers partition grid columns; ex.Window pins the level-1 group
+// width).
+func (sn *Snapshot) AnswerRecursiveExecCtx(ctx context.Context, q *pir.RecursiveQuery, ex pir.Exec) (*pir.Answer, pir.Stats, error) {
+	answers, stats, err := sn.AnswerRecursiveMultiExecCtx(ctx, []*pir.RecursiveQuery{q}, ex)
+	if err != nil {
+		return nil, pir.Stats{}, err
+	}
+	return answers[0], stats[0], nil
+}
+
+// AnswerRecursiveMultiExecCtx answers a batch of recursive queries in
+// one level-1 database pass. All queries must share one modulus and
+// one grid shape; answers come back in batch order with per-query
+// Stats.
+func (sn *Snapshot) AnswerRecursiveMultiExecCtx(ctx context.Context, qs []*pir.RecursiveQuery, ex pir.Exec) ([]*pir.Answer, []pir.Stats, error) {
+	return pir.ProcessColumnsRecursiveMultiExecCtx(ctx, sn.blocks, sn.blockSize, qs, ex)
+}
+
 // queryWidth validates a PIR query's width against the block array.
 func (sn *Snapshot) queryWidth(q *pir.Query) (int, error) {
 	w := len(q.Values)

@@ -1,0 +1,20 @@
+package pir
+
+import "time"
+
+// scanNow is the clock the serving kernels poll deadlines against (the
+// Done channel alone is not enough on a single-P runtime, where a busy
+// scan starves the context's timer goroutine). A seam rather than a
+// call to time.Now so tests can install a deterministic clock and
+// state cancellation promptness in poll counts instead of racing the
+// scheduler.
+var scanNow = time.Now
+
+// SetScanClock replaces the deadline-poll clock and returns a restore
+// function. Test seam: swap only while no scan is running, restore
+// before the test ends.
+func SetScanClock(now func() time.Time) (restore func()) {
+	prev := scanNow
+	scanNow = now
+	return func() { scanNow = prev }
+}

@@ -1,0 +1,316 @@
+// Cross-plan conformance battery: the package serves the same protocol
+// through five plans — the bit-matrix reference, the sequential column
+// scan, the windowed exec kernel, the amortized multi scan, and the
+// two-level recursive protocol — and every one of them must retrieve
+// byte-identical blocks from the same corpus. Flat plans must agree
+// gamma-for-gamma (they answer the same query); the recursive plan
+// speaks a different wire shape, so it is held to the decoded bytes.
+// One table replaces the per-plan copy-pasted identity tests.
+package pir
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// planResult is one plan's answers for a batch of targets: the decoded
+// block bytes (the cross-plan contract), the raw flat-protocol answers
+// when the plan speaks the flat wire shape, and per-query stats.
+type planResult struct {
+	decoded [][]byte
+	answers []*Answer
+	stats   []Stats
+}
+
+func (r *planResult) addFlat(k *ClientKey, ans *Answer, st Stats) {
+	r.decoded = append(r.decoded, ColumnBytes(k.Decode(ans)))
+	r.answers = append(r.answers, ans)
+	r.stats = append(r.stats, st)
+}
+
+// conformancePlan answers every query of the batch over cols. Flat
+// plans consume qs; the recursive plan consumes rqs (same targets, its
+// own protocol). flatWire marks answers as gamma-comparable across
+// plans.
+type conformancePlan struct {
+	name     string
+	flatWire bool
+	run      func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, qs []*Query, rqs []*RecursiveQuery, ex Exec) (*planResult, error)
+}
+
+func conformancePlans() []conformancePlan {
+	return []conformancePlan{
+		{name: "matrix", flatWire: true, run: func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, qs []*Query, _ []*RecursiveQuery, _ Exec) (*planResult, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			m := NewMatrix(colBytes*8, len(cols))
+			for j, col := range cols {
+				m.SetColumn(j, col[:colBytes])
+			}
+			res := &planResult{}
+			for _, q := range qs {
+				ans, st, err := m.Process(q)
+				if err != nil {
+					return nil, err
+				}
+				res.addFlat(k, ans, st)
+			}
+			return res, nil
+		}},
+		{name: "sequential", flatWire: true, run: func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, qs []*Query, _ []*RecursiveQuery, _ Exec) (*planResult, error) {
+			res := &planResult{}
+			for _, q := range qs {
+				ans, st, err := ProcessColumnsCtx(ctx, cols, colBytes, q)
+				if err != nil {
+					return nil, err
+				}
+				res.addFlat(k, ans, st)
+			}
+			return res, nil
+		}},
+		{name: "exec", flatWire: true, run: func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, qs []*Query, _ []*RecursiveQuery, ex Exec) (*planResult, error) {
+			res := &planResult{}
+			for _, q := range qs {
+				ans, st, err := ProcessColumnsExecCtx(ctx, cols, colBytes, q, ex)
+				if err != nil {
+					return nil, err
+				}
+				res.addFlat(k, ans, st)
+			}
+			return res, nil
+		}},
+		{name: "multi", flatWire: true, run: func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, qs []*Query, _ []*RecursiveQuery, ex Exec) (*planResult, error) {
+			answers, stats, err := ProcessColumnsMultiExecCtx(ctx, cols, colBytes, qs, ex)
+			if err != nil {
+				return nil, err
+			}
+			res := &planResult{}
+			for i, ans := range answers {
+				res.addFlat(k, ans, stats[i])
+			}
+			return res, nil
+		}},
+		{name: "recursive", flatWire: false, run: func(ctx context.Context, k *ClientKey, cols [][]byte, colBytes int, _ []*Query, rqs []*RecursiveQuery, ex Exec) (*planResult, error) {
+			answers, stats, err := ProcessColumnsRecursiveMultiExecCtx(ctx, cols, colBytes, rqs, ex)
+			if err != nil {
+				return nil, err
+			}
+			res := &planResult{}
+			for i, ans := range answers {
+				bits, derr := k.DecodeRecursive(ans, colBytes)
+				if derr != nil {
+					return nil, derr
+				}
+				res.decoded = append(res.decoded, ColumnBytes(bits))
+				res.stats = append(res.stats, stats[i])
+			}
+			return res, nil
+		}},
+	}
+}
+
+// conformanceTargets samples every (1+n/7)-th block so small corpora
+// cover every index and large ones stay cheap.
+func conformanceTargets(nCols int) []int {
+	var ts []int
+	for i := 0; i < nCols; i += 1 + nCols/7 {
+		ts = append(ts, i)
+	}
+	return ts
+}
+
+// conformanceQueries builds one flat and one recursive query per
+// target, deterministically seeded so failures replay.
+func conformanceQueries(t *testing.T, k *ClientKey, tag string, nCols int, targets []int) ([]*Query, []*RecursiveQuery) {
+	t.Helper()
+	qs := make([]*Query, len(targets))
+	rqs := make([]*RecursiveQuery, len(targets))
+	for i, target := range targets {
+		q, err := k.NewQuery(newDetRand(fmt.Sprintf("%s-f%d", tag, i)), nCols, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rq, err := k.NewRecursiveQuery(newDetRand(fmt.Sprintf("%s-r%d", tag, i)), nCols, target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs[i], rqs[i] = q, rq
+	}
+	return qs, rqs
+}
+
+// TestPIRConformance is the battery: keys on and off the word boundary
+// (64-bit word kernel, 192-bit reference path), clean and churned
+// corpora (tombstoned blocks, padded tails), grids from degenerate to
+// exact-square, and the exec tunings — every plan must decode every
+// target to the stored bytes, and the flat plans must agree on the
+// gammas themselves.
+func TestPIRConformance(t *testing.T) {
+	type shape struct{ nCols, colBytes int }
+	keys := []struct {
+		name   string
+		k      *ClientKey
+		shapes []shape
+	}{
+		// The word kernel carries the big shapes; the wide key's job is
+		// exercising the multi-word reference path, where 37×16 costs
+		// seconds without covering anything 16×4 doesn't.
+		{"word", wordTestKey(t), []shape{
+			{13, 3},
+			{37, 16},
+			{16, 4}, // exact square grid
+			{5, 1},
+			{1, 2}, // single block: 1×1 grid
+		}},
+		{"wide", testKey(t), []shape{
+			{13, 3},
+			{16, 4},
+			{5, 1},
+			{1, 2},
+		}},
+	}
+	corpora := []struct {
+		name  string
+		build func(t *testing.T, seed int64, nCols, colBytes int) [][]byte
+	}{
+		{"random", func(t *testing.T, seed int64, nCols, colBytes int) [][]byte {
+			cols, _ := randomColumns(t, seed, nCols, colBytes)
+			return cols
+		}},
+		{"churn", churnColumns},
+	}
+	execs := []Exec{
+		{},
+		{Workers: 1, Window: 1},
+		{Workers: 3, Window: 4},
+		{Workers: 16, Window: 64}, // clamped
+	}
+	plans := conformancePlans()
+	for _, key := range keys {
+		for ci, corpus := range corpora {
+			for si, shape := range key.shapes {
+				name := fmt.Sprintf("%s/%s/%dx%d", key.name, corpus.name, shape.nCols, shape.colBytes)
+				t.Run(name, func(t *testing.T) {
+					seed := int64(1000 + 100*ci + si)
+					cols := corpus.build(t, seed, shape.nCols, shape.colBytes)
+					targets := conformanceTargets(shape.nCols)
+					qs, rqs := conformanceQueries(t, key.k, name, shape.nCols, targets)
+					var baseline *planResult
+					for ei, ex := range execs {
+						for _, plan := range plans {
+							// The matrix reference ignores Exec; run it once.
+							if plan.name == "matrix" && ei > 0 {
+								continue
+							}
+							res, err := plan.run(context.Background(), key.k, cols, shape.colBytes, qs, rqs, ex)
+							if err != nil {
+								t.Fatalf("%s exec %+v: %v", plan.name, ex, err)
+							}
+							if len(res.decoded) != len(targets) {
+								t.Fatalf("%s answered %d targets, want %d", plan.name, len(res.decoded), len(targets))
+							}
+							for i, target := range targets {
+								if !bytes.Equal(res.decoded[i], cols[target][:shape.colBytes]) {
+									t.Fatalf("%s exec %+v target %d: decoded %x, want %x",
+										plan.name, ex, target, res.decoded[i], cols[target][:shape.colBytes])
+								}
+								if st := res.stats[i]; st.ModMuls <= 0 || st.TableMuls < 0 || st.TableMuls > st.ModMuls {
+									t.Fatalf("%s target %d: implausible stats %+v", plan.name, target, st)
+								}
+							}
+							if baseline == nil {
+								baseline = res
+								continue
+							}
+							if !plan.flatWire {
+								continue
+							}
+							// Flat plans answered the same query: the
+							// transcripts must match gamma-for-gamma.
+							for i := range targets {
+								got, want := res.answers[i], baseline.answers[i]
+								if len(got.Gammas) != len(want.Gammas) {
+									t.Fatalf("%s target %d: %d gammas, baseline %d",
+										plan.name, targets[i], len(got.Gammas), len(want.Gammas))
+								}
+								for g := range got.Gammas {
+									if got.Gammas[g].Cmp(want.Gammas[g]) != 0 {
+										t.Fatalf("%s exec %+v target %d gamma %d differs from baseline",
+											plan.name, ex, targets[i], g)
+									}
+								}
+							}
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPIRConformanceCancellation: cancellation is part of the contract.
+// Every plan must refuse an already-expired deadline and a cancelled
+// context with an error and no answers — on both kernels — and under a
+// halving deadline each run either completes with the correct bytes or
+// fails with the context's error. Wrong bytes are never an outcome.
+func TestPIRConformanceCancellation(t *testing.T) {
+	plans := conformancePlans()
+	for _, key := range []struct {
+		name string
+		k    *ClientKey
+	}{
+		{"word", wordTestKey(t)},
+		{"wide", testKey(t)},
+	} {
+		const nCols, colBytes = 32, 16
+		cols := churnColumns(t, 7, nCols, colBytes)
+		targets := conformanceTargets(nCols)
+		qs, rqs := conformanceQueries(t, key.k, "cancel-"+key.name, nCols, targets)
+		for _, plan := range plans {
+			expired, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+			res, err := plan.run(expired, key.k, cols, colBytes, qs, rqs, Exec{Workers: 2})
+			cancel()
+			if err == nil || res != nil {
+				t.Fatalf("%s/%s: expired deadline served: res=%v err=%v", key.name, plan.name, res, err)
+			}
+			stopped, stop := context.WithCancel(context.Background())
+			stop()
+			if _, err := plan.run(stopped, key.k, cols, colBytes, qs, rqs, Exec{}); err == nil {
+				t.Fatalf("%s/%s: cancelled context served", key.name, plan.name)
+			}
+		}
+	}
+
+	// Deadline halving: from comfortably-enough down to never-enough,
+	// the only legal outcomes are full correct answers or a context
+	// error. Timing decides which, so both are accepted; corruption
+	// fails loudly.
+	k := wordTestKey(t)
+	const nCols, colBytes = 48, 32
+	cols := churnColumns(t, 11, nCols, colBytes)
+	targets := conformanceTargets(nCols)
+	qs, rqs := conformanceQueries(t, k, "halving", nCols, targets)
+	for _, plan := range conformancePlans() {
+		for d := 50 * time.Millisecond; d >= 50*time.Microsecond; d /= 2 {
+			ctx, cancel := context.WithTimeout(context.Background(), d)
+			res, err := plan.run(ctx, k, cols, colBytes, qs, rqs, Exec{Workers: 2})
+			cancel()
+			if err != nil {
+				if !errors.Is(err, context.DeadlineExceeded) && !errors.Is(err, context.Canceled) {
+					t.Fatalf("%s at %v: non-context error %v", plan.name, d, err)
+				}
+				continue
+			}
+			for i, target := range targets {
+				if !bytes.Equal(res.decoded[i], cols[target]) {
+					t.Fatalf("%s at %v: served wrong bytes for target %d", plan.name, d, target)
+				}
+			}
+		}
+	}
+}

@@ -4,7 +4,6 @@ import (
 	"context"
 	"math/big"
 	"sync"
-	"time"
 )
 
 // This file is the tuned serving path for Kushilevitz-Ostrovsky
@@ -229,7 +228,7 @@ func processPartial(ctx context.Context, cols [][]byte, q *Query, rows, window, 
 			default:
 			}
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			p.err = ctxScanErr(ctx)
 			return true
 		}

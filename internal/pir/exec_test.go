@@ -1,8 +1,6 @@
 package pir
 
 import (
-	"bytes"
-	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -21,69 +19,6 @@ func randomColumns(t *testing.T, seed int64, nCols, colBytes int) ([][]byte, *Ma
 		m.SetColumn(j, cols[j])
 	}
 	return cols, m
-}
-
-// TestProcessColumnsExecIdentical is the core identity property of the
-// fast path: for every worker count and window width — including
-// degenerate ones (more workers than groups, window wider than the
-// database) — the gammas are bit-for-bit those of the sequential
-// ProcessColumns AND of the materialized Matrix.Process, and they
-// decode to the target column.
-func TestProcessColumnsExecIdentical(t *testing.T) {
-	k := testKey(t)
-	const nCols, colBytes = 13, 3
-	cols, m := randomColumns(t, 42, nCols, colBytes)
-	execs := []Exec{
-		{},
-		{Workers: 1, Window: 1},
-		{Workers: 2, Window: 2},
-		{Workers: 3, Window: 4},
-		{Workers: 16, Window: 8},
-		{Workers: 5, Window: 0},
-		{Workers: 2, Window: 64}, // clamped to MaxWindow
-	}
-	for target := 0; target < nCols; target++ {
-		q, err := k.NewQuery(newDetRand(fmt.Sprintf("exec-%d", target)), nCols, target)
-		if err != nil {
-			t.Fatal(err)
-		}
-		want, wantSt, err := ProcessColumns(cols, colBytes, q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantM, _, err := m.Process(q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := range want.Gammas {
-			if want.Gammas[i].Cmp(wantM.Gammas[i]) != 0 {
-				t.Fatalf("reference paths disagree at row %d", i)
-			}
-		}
-		for _, ex := range execs {
-			got, st, err := ProcessColumnsExec(cols, colBytes, q, ex)
-			if err != nil {
-				t.Fatalf("exec %+v: %v", ex, err)
-			}
-			if len(got.Gammas) != len(want.Gammas) {
-				t.Fatalf("exec %+v: %d gammas, want %d", ex, len(got.Gammas), len(want.Gammas))
-			}
-			for i := range got.Gammas {
-				if got.Gammas[i].Cmp(want.Gammas[i]) != 0 {
-					t.Fatalf("exec %+v target %d row %d: gamma differs from sequential", ex, target, i)
-				}
-			}
-			// On a matrix this short the tables can cost more muls than
-			// they save (TestExecWindowSavesWork covers the saving on
-			// block-shaped matrices); here only plausibility is checked.
-			if st.ModMuls <= 0 || st.ModMuls > wantSt.ModMuls+(2<<MaxWindow)*nCols {
-				t.Fatalf("exec %+v: implausible mul count %d (sequential %d)", ex, st.ModMuls, wantSt.ModMuls)
-			}
-			if got := ColumnBytes(k.Decode(got)); !bytes.Equal(got, cols[target]) {
-				t.Fatalf("exec %+v target %d: decoded %x, want %x", ex, target, got, cols[target])
-			}
-		}
-	}
 }
 
 // TestExecWindowSavesWork: on a block-shaped matrix (many rows), the

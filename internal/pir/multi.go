@@ -5,7 +5,6 @@ import (
 	"errors"
 	"math/big"
 	"sync"
-	"time"
 )
 
 // This file is the amortized multi-query serving path: all k queries
@@ -237,7 +236,7 @@ func ProcessColumnsMultiExecCtx(ctx context.Context, cols [][]byte, colBytes int
 			default:
 			}
 		}
-		return hasDL && !time.Now().Before(dl)
+		return hasDL && !scanNow().Before(dl)
 	}
 	answers := make([]*Answer, k)
 	if mont != nil {
@@ -329,7 +328,7 @@ func multiPartialMont(ctx context.Context, cols [][]byte, qs []*Query, mont *Mon
 			default:
 			}
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			p.err = ctxScanErr(ctx)
 			return true
 		}
@@ -460,7 +459,7 @@ func multiPartialMontWord(ctx context.Context, cols [][]byte, qs []*Query, mont 
 			default:
 			}
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			p.err = ctxScanErr(ctx)
 			return true
 		}
@@ -570,7 +569,7 @@ func multiPartialBig(ctx context.Context, cols [][]byte, qs []*Query, rows, wind
 			default:
 			}
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			p.err = ctxScanErr(ctx)
 			return true
 		}

@@ -1,8 +1,6 @@
 package pir
 
 import (
-	"bytes"
-	"context"
 	"fmt"
 	"math/big"
 	"math/rand"
@@ -42,79 +40,6 @@ func multiBatch(t *testing.T, k *ClientKey, label string, nCols, count int) []*Q
 		qs[i] = q
 	}
 	return qs
-}
-
-// TestProcessColumnsMultiIdentical is the amortization spine's core
-// property: for random corpora under churn, every answer of a
-// multi-query batch is byte-identical to its own independent
-// ProcessColumns run AND to ProcessColumnsExec, across batch widths,
-// worker counts, and window widths (including widths beyond MaxWindow
-// and degenerate clamps), and still decodes to the target column.
-func TestProcessColumnsMultiIdentical(t *testing.T) {
-	k := testKey(t)
-	shapes := []struct{ nCols, colBytes int }{
-		{13, 3},
-		{37, 16},
-		{5, 1},
-	}
-	execs := []Exec{
-		{},
-		{Workers: 1, Window: 1},
-		{Workers: 2, Window: 3},
-		{Workers: 3, Window: 7},
-		{Workers: 16, Window: MaxBatchWindow},
-		{Workers: 2, Window: 64}, // clamped to MaxBatchWindow
-	}
-	for si, shape := range shapes {
-		cols := churnColumns(t, int64(100+si), shape.nCols, shape.colBytes)
-		for _, batch := range []int{1, 2, 5} {
-			qs := multiBatch(t, k, fmt.Sprintf("multi-%d-%d", si, batch), shape.nCols, batch)
-			want := make([]*Answer, batch)
-			for i, q := range qs {
-				ans, _, err := ProcessColumns(cols, shape.colBytes, q)
-				if err != nil {
-					t.Fatal(err)
-				}
-				ref, _, err := ProcessColumnsExec(cols, shape.colBytes, q, Exec{Workers: 2})
-				if err != nil {
-					t.Fatal(err)
-				}
-				for r := range ans.Gammas {
-					if ans.Gammas[r].Cmp(ref.Gammas[r]) != 0 {
-						t.Fatalf("reference paths disagree at row %d", r)
-					}
-				}
-				want[i] = ans
-			}
-			for _, ex := range execs {
-				got, stats, err := ProcessColumnsMultiExec(cols, shape.colBytes, qs, ex)
-				if err != nil {
-					t.Fatalf("shape %d batch %d exec %+v: %v", si, batch, ex, err)
-				}
-				if len(got) != batch || len(stats) != batch {
-					t.Fatalf("got %d answers / %d stats, want %d", len(got), len(stats), batch)
-				}
-				for i := range got {
-					if len(got[i].Gammas) != len(want[i].Gammas) {
-						t.Fatalf("query %d: %d gammas, want %d", i, len(got[i].Gammas), len(want[i].Gammas))
-					}
-					for r := range got[i].Gammas {
-						if got[i].Gammas[r].Cmp(want[i].Gammas[r]) != 0 {
-							t.Fatalf("shape %d batch %d exec %+v query %d row %d: gamma differs from sequential",
-								si, batch, ex, i, r)
-						}
-					}
-					if stats[i].ModMuls <= 0 || stats[i].TableMuls <= 0 || stats[i].TableMuls > stats[i].ModMuls {
-						t.Fatalf("query %d: implausible stats %+v", i, stats[i])
-					}
-					target := i % shape.nCols
-					if decoded := ColumnBytes(k.Decode(got[i])); !bytes.Equal(decoded, cols[target]) {
-						t.Fatalf("query %d: decoded %x, want %x", i, decoded, cols[target])
-					}
-				}
-			}
-		}
-	}
 }
 
 // TestMultiEvenModulusFallback: a client-chosen even modulus cannot
@@ -256,31 +181,6 @@ func TestMultiStatsPinned(t *testing.T) {
 		if st.ModMuls != wantTotal {
 			t.Errorf("2 workers query %d: ModMuls = %d, want %d", i, st.ModMuls, wantTotal)
 		}
-	}
-}
-
-// TestMultiCancelled: a batch under an already-expired deadline stops
-// with a deadline error, returns no answers, and still reports the
-// work performed (possibly zero).
-func TestMultiCancelled(t *testing.T) {
-	k := testKey(t)
-	const nCols, colBytes = 16, 64
-	cols := churnColumns(t, 17, nCols, colBytes)
-	qs := multiBatch(t, k, "cancel", nCols, 4)
-
-	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
-	defer cancel()
-	ans, _, err := ProcessColumnsMultiExecCtx(ctx, cols, colBytes, qs, Exec{Workers: 2})
-	if err == nil {
-		t.Fatal("expired deadline produced no error")
-	}
-	if ans != nil {
-		t.Fatal("cancelled batch returned answers")
-	}
-	ctx2, cancel2 := context.WithCancel(context.Background())
-	cancel2()
-	if _, _, err := ProcessColumnsMultiCtx(ctx2, cols, colBytes, qs); err == nil {
-		t.Fatal("cancelled context produced no error")
 	}
 }
 

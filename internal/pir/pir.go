@@ -19,7 +19,6 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"time"
 )
 
 var one = big.NewInt(1)
@@ -96,6 +95,10 @@ type ClientKey struct {
 	p1, p2 *big.Int
 	// Euler-criterion exponents (p-1)/2, precomputed.
 	e1, e2 *big.Int
+	// The cached recursive-decode kernel (recursive_decode.go). The
+	// atomic makes ClientKey share-but-not-copy; every caller already
+	// holds keys by pointer.
+	decoderCache
 }
 
 // GenerateKey creates a client key with an n of approximately bits bits.
@@ -295,7 +298,7 @@ func ProcessColumnsCtx(ctx context.Context, cols [][]byte, colBytes int, q *Quer
 			default:
 			}
 		}
-		if hasDL && !time.Now().Before(dl) {
+		if hasDL && !scanNow().Before(dl) {
 			return nil, st, ctxScanErr(ctx)
 		}
 		byteIdx, mask := r>>3, byte(1)<<(7-r&7)

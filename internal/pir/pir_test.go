@@ -198,50 +198,6 @@ func TestRetrieveProperty(t *testing.T) {
 	}
 }
 
-// TestProcessColumnsMatchesMatrix: the column-slice serving path must
-// produce the exact answers of the materialized Matrix for identical
-// data, on every column.
-func TestProcessColumnsMatchesMatrix(t *testing.T) {
-	k := testKey(t)
-	const colBytes, nCols = 5, 6
-	rng := rand.New(rand.NewSource(99))
-	cols := make([][]byte, nCols)
-	m := NewMatrix(colBytes*8, nCols)
-	for j := range cols {
-		cols[j] = make([]byte, colBytes)
-		rng.Read(cols[j])
-		m.SetColumn(j, cols[j])
-	}
-	for target := 0; target < nCols; target++ {
-		q, err := k.NewQuery(newDetRand("cols-query"), nCols, target)
-		if err != nil {
-			t.Fatal(err)
-		}
-		wantAns, wantSt, err := m.Process(q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		gotAns, gotSt, err := ProcessColumns(cols, colBytes, q)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if gotSt.ModMuls != wantSt.ModMuls {
-			t.Fatalf("target %d: %d modmuls, matrix path %d", target, gotSt.ModMuls, wantSt.ModMuls)
-		}
-		if len(gotAns.Gammas) != len(wantAns.Gammas) {
-			t.Fatalf("target %d: %d gammas, want %d", target, len(gotAns.Gammas), len(wantAns.Gammas))
-		}
-		for i := range gotAns.Gammas {
-			if gotAns.Gammas[i].Cmp(wantAns.Gammas[i]) != 0 {
-				t.Fatalf("target %d row %d: gammas differ", target, i)
-			}
-		}
-		if got := ColumnBytes(k.Decode(gotAns)); !bytes.Equal(got, cols[target]) {
-			t.Fatalf("target %d: decoded %x, want %x", target, got, cols[target])
-		}
-	}
-}
-
 func TestProcessColumnsValidation(t *testing.T) {
 	k := testKey(t)
 	cols := [][]byte{make([]byte, 4), make([]byte, 4)}

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"context"
 	"math/big"
 	"testing"
 
@@ -96,6 +97,18 @@ func FuzzDecodeMessage(f *testing.F) {
 			}
 		case TypePIRBatchResponse:
 			_, _, _ = DecodePIRBatchAnswer(body)
+		case TypePIRRecursiveQuery:
+			if qs, err := DecodePIRRecursiveQuery(body); err == nil {
+				for i, q := range qs {
+					for _, vec := range [][]*big.Int{q.Rows, q.Cols} {
+						for j, v := range vec {
+							if v == nil || v.Sign() <= 0 || v.Cmp(q.N) >= 0 {
+								t.Fatalf("recursive query %d value %d escaped validation", i, j)
+							}
+						}
+					}
+				}
+			}
 		case TypeStats:
 			_, _ = DecodeStats(body)
 		case TypeLexiconSync:
@@ -146,6 +159,13 @@ func seedFrames(f *testing.F) {
 	}
 	add(func(w *bytes.Buffer) error { return WritePIRQuery(w, q) })
 	add(func(w *bytes.Buffer) error { return WritePIRBatchQuery(w, []*pir.Query{q, q}) })
+	rq, err := key.NewRecursiveQuery(detrand.New("fuzz-seed-rq"), 9, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	add(func(w *bytes.Buffer) error { return WritePIRRecursiveQuery(w, []*pir.RecursiveQuery{rq, rq}) })
+	l1 := &pir.RecursiveQuery{N: rq.N, Width: rq.Width, GridCols: rq.GridCols, Span: 2, Rows: rq.Rows}
+	add(func(w *bytes.Buffer) error { return WritePIRRecursiveQuery(w, []*pir.RecursiveQuery{l1}) })
 	add(func(w *bytes.Buffer) error {
 		return WritePIRBatchAnswer(w, 1, &pir.Answer{Gammas: []*big.Int{big.NewInt(5), big.NewInt(9)}})
 	})
@@ -330,6 +350,114 @@ func FuzzPIRBatchQuery(f *testing.F) {
 			for j := range ref.Gammas {
 				if answers[i].Gammas[j].Cmp(ref.Gammas[j]) != 0 {
 					t.Fatalf("query %d gamma %d: one-pass answer diverges from per-query reference", i, j)
+				}
+			}
+		}
+	})
+}
+
+// FuzzPIRRecursiveQuery drives the recursive serving path with hostile
+// frames: forged counts, oversized selection vectors, mismatched grid
+// dimensions and truncated bodies must all fail in the decoder or the
+// pir shape validation — never panic, never over-allocate — and bodies
+// that survive are served with two different execution tunings whose
+// gammas must agree (the windowed fast kernel against itself under a
+// different worker/window split).
+func FuzzPIRRecursiveQuery(f *testing.F) {
+	key, err := pir.GenerateKey(detrand.New("fuzz-pir-rec"), 96)
+	if err != nil {
+		f.Fatal(err)
+	}
+	wordKey, err := pir.GenerateKey(detrand.New("fuzz-pir-rec-word"), 64)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, k := range []*pir.ClientKey{key, wordKey} {
+		for target := 0; target < 3; target++ {
+			q, err := k.NewRecursiveQuery(detrand.New("fuzz-pir-rec-q"), 3, target)
+			if err != nil {
+				f.Fatal(err)
+			}
+			var buf bytes.Buffer
+			if err := WritePIRRecursiveQuery(&buf, []*pir.RecursiveQuery{q}); err != nil {
+				f.Fatal(err)
+			}
+			_, body, err := ReadMessage(&buf)
+			if err != nil {
+				f.Fatal(err)
+			}
+			f.Add(body)
+		}
+	}
+	// Level-1-only partition frame (no column vector), as a router sends.
+	pq, err := key.NewRecursiveQuery(detrand.New("fuzz-pir-rec-p"), 3, 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	pq.Cols, pq.Span = nil, 2
+	var buf bytes.Buffer
+	if err := WritePIRRecursiveQuery(&buf, []*pir.RecursiveQuery{pq}); err != nil {
+		f.Fatal(err)
+	}
+	if _, body, err := ReadMessage(&buf); err == nil {
+		f.Add(body)
+	}
+	store, err := docstore.New(4)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, text := range []string{"alpha", "beta", "gamma gamma"} {
+		if err := store.Add(i, []byte(text)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	sn := store.Snapshot()
+	f.Fuzz(func(t *testing.T, body []byte) {
+		qs, err := DecodePIRRecursiveQuery(body)
+		if err != nil {
+			return
+		}
+		for i, q := range qs {
+			for _, vec := range [][]*big.Int{q.Rows, q.Cols} {
+				for j, v := range vec {
+					if v == nil || v.Sign() <= 0 || v.Cmp(q.N) >= 0 {
+						t.Fatalf("recursive query %d value %d escaped validation", i, j)
+					}
+				}
+			}
+		}
+		// Serving-cost ceiling, as in FuzzPIRQuery: the decoder's caps
+		// are deliberate protocol bounds far above what a fuzz iteration
+		// can afford to scan.
+		for _, q := range qs {
+			if q.N.BitLen() > 512 || q.Width > 64 || len(qs)*q.Width > 128 {
+				return
+			}
+		}
+		a1, _, err1 := sn.AnswerRecursiveMultiExecCtx(context.Background(), qs, pir.Exec{Workers: 1, Window: 1})
+		a2, _, err2 := sn.AnswerRecursiveMultiExecCtx(context.Background(), qs, pir.Exec{Workers: 3, Window: 4})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("execution tunings disagree on validity: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			return
+		}
+		modBytes := (qs[0].N.BitLen() + 7) / 8
+		for i := range qs {
+			want := 8 * sn.BlockSize() * 8 * modBytes
+			if len(qs[i].Cols) == 0 {
+				want = qs[i].GridCols * 8 * sn.BlockSize()
+			}
+			if len(a1[i].Gammas) != want {
+				t.Fatalf("query %d: answer holds %d gammas, want %d", i, len(a1[i].Gammas), want)
+			}
+			for j := range a1[i].Gammas {
+				g := a1[i].Gammas[j]
+				if g == nil || g.Sign() < 0 || g.Cmp(qs[i].N) >= 0 {
+					t.Fatalf("query %d gamma %d escaped the group", i, j)
+				}
+				if g.Cmp(a2[i].Gammas[j]) != 0 {
+					t.Fatalf("query %d gamma %d: tunings diverge", i, j)
 				}
 			}
 		}

@@ -89,6 +89,9 @@ type Stats struct {
 	RiskAudited   uint64 // query frames the risk audit scored
 	RiskSkipped   uint64 // query frames the audit declined to score
 	RiskSumMicros uint64 // total observed risk over audited frames, micro-units
+	// Recursive retrieval (zero until a client sends TypePIRRecursiveQuery).
+	PIRRecursiveQueries  uint64 // recursive queries answered (subset of Retrievals)
+	PIRRecursivePartials uint64 // level-1-only partition answers (cluster scatter legs)
 }
 
 // fields returns the positional encoding order. Append-only.
@@ -105,6 +108,7 @@ func (s *Stats) fields() []*uint64 {
 		&s.ReplPrimarySeq, &s.ReplLagOps,
 		&s.RouterPartitions, &s.RouterRetries, &s.RouterFailovers,
 		&s.DecoyQueries, &s.RiskAudited, &s.RiskSkipped, &s.RiskSumMicros,
+		&s.PIRRecursiveQueries, &s.PIRRecursivePartials,
 	}
 }
 

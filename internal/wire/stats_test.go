@@ -121,8 +121,8 @@ func TestStatsHostileBodies(t *testing.T) {
 // positional and append-only.
 func TestStatsFieldCountPinned(t *testing.T) {
 	var st Stats
-	if n := len(st.fields()); n != 32 {
-		t.Fatalf("Stats encodes %d fields, test expects 32; fields are append-only — update this test after appending", n)
+	if n := len(st.fields()); n != 34 {
+		t.Fatalf("Stats encodes %d fields, test expects 34; fields are append-only — update this test after appending", n)
 	}
 	if maxStatsFields < len(st.fields()) {
 		t.Fatal("maxStatsFields fell below the schema size")

@@ -34,34 +34,36 @@ func gauge(v int64) uint64 {
 func (s *NetServer) statsPayload() wire.Stats {
 	st := s.Stats()
 	p := wire.Stats{
-		Accepted:         uint64(st.Accepted),
-		Rejected:         uint64(st.Rejected),
-		Active:           gauge(st.Active),
-		Queries:          uint64(st.Queries),
-		Updates:          uint64(st.Updates),
-		Retrievals:       uint64(st.Retrievals),
-		Errors:           uint64(st.Errors),
-		QueryNs:          uint64(st.QueryTime),
-		MaxQueryNs:       uint64(st.MaxQueryTime),
-		Inflight:         gauge(st.Inflight),
-		Queued:           gauge(st.Queued),
-		QueuedTotal:      uint64(st.QueuedTotal),
-		QueueWaitNs:      uint64(st.QueueWait),
-		MaxQueueWaitNs:   uint64(st.MaxQueueWait),
-		ShedQueueFull:    uint64(st.ShedQueueFull),
-		ShedQueueTimeout: uint64(st.ShedQueueTimeout),
-		Deadlines:        uint64(st.Deadlines),
-		WALSeq:           st.WALSeq,
-		WALCheckpointSeq: st.WALCheckpointSeq,
-		CheckpointAgeNs:  uint64(st.CheckpointAge),
-		PIRModMuls:       uint64(st.PIRModMuls),
-		PIRTableMuls:     uint64(st.PIRTableMuls),
-		ReplPrimarySeq:   st.ReplPrimarySeq,
-		ReplLagOps:       st.ReplLag,
-		DecoyQueries:     uint64(st.DecoyQueries),
-		RiskAudited:      uint64(st.RiskAudited),
-		RiskSkipped:      uint64(st.RiskSkipped),
-		RiskSumMicros:    uint64(st.RiskSumMicros),
+		Accepted:             uint64(st.Accepted),
+		Rejected:             uint64(st.Rejected),
+		Active:               gauge(st.Active),
+		Queries:              uint64(st.Queries),
+		Updates:              uint64(st.Updates),
+		Retrievals:           uint64(st.Retrievals),
+		Errors:               uint64(st.Errors),
+		QueryNs:              uint64(st.QueryTime),
+		MaxQueryNs:           uint64(st.MaxQueryTime),
+		Inflight:             gauge(st.Inflight),
+		Queued:               gauge(st.Queued),
+		QueuedTotal:          uint64(st.QueuedTotal),
+		QueueWaitNs:          uint64(st.QueueWait),
+		MaxQueueWaitNs:       uint64(st.MaxQueueWait),
+		ShedQueueFull:        uint64(st.ShedQueueFull),
+		ShedQueueTimeout:     uint64(st.ShedQueueTimeout),
+		Deadlines:            uint64(st.Deadlines),
+		WALSeq:               st.WALSeq,
+		WALCheckpointSeq:     st.WALCheckpointSeq,
+		CheckpointAgeNs:      uint64(st.CheckpointAge),
+		PIRModMuls:           uint64(st.PIRModMuls),
+		PIRTableMuls:         uint64(st.PIRTableMuls),
+		PIRRecursiveQueries:  uint64(st.PIRRecursiveQueries),
+		PIRRecursivePartials: uint64(st.PIRRecursivePartials),
+		ReplPrimarySeq:       st.ReplPrimarySeq,
+		ReplLagOps:           st.ReplLag,
+		DecoyQueries:         uint64(st.DecoyQueries),
+		RiskAudited:          uint64(st.RiskAudited),
+		RiskSkipped:          uint64(st.RiskSkipped),
+		RiskSumMicros:        uint64(st.RiskSumMicros),
 	}
 	if st.Durable {
 		p.Durable = 1
@@ -118,6 +120,8 @@ func (s *NetServer) MetricsText() []byte {
 	line("checkpoint_age_seconds", secs(int64(st.CheckpointAge)))
 	line("pir_modmuls_total", st.PIRModMuls)
 	line("pir_table_muls_total", st.PIRTableMuls)
+	line("pir_recursive_queries_total", st.PIRRecursiveQueries)
+	line("pir_recursive_partials_total", st.PIRRecursivePartials)
 	line("repl_primary_seq", st.ReplPrimarySeq)
 	line("repl_lag_ops", st.ReplLag)
 	line("decoy_queries_total", st.DecoyQueries)
@@ -152,37 +156,39 @@ func ServerStats(conn io.ReadWriter) (ServeStats, error) {
 		return ServeStats{}, err
 	}
 	return ServeStats{
-		Accepted:         int64(p.Accepted),
-		Rejected:         int64(p.Rejected),
-		Active:           int64(p.Active),
-		Queries:          int64(p.Queries),
-		Updates:          int64(p.Updates),
-		Retrievals:       int64(p.Retrievals),
-		Errors:           int64(p.Errors),
-		QueryTime:        time.Duration(p.QueryNs),
-		MaxQueryTime:     time.Duration(p.MaxQueryNs),
-		Inflight:         int64(p.Inflight),
-		Queued:           int64(p.Queued),
-		QueuedTotal:      int64(p.QueuedTotal),
-		QueueWait:        time.Duration(p.QueueWaitNs),
-		MaxQueueWait:     time.Duration(p.MaxQueueWaitNs),
-		ShedQueueFull:    int64(p.ShedQueueFull),
-		ShedQueueTimeout: int64(p.ShedQueueTimeout),
-		Deadlines:        int64(p.Deadlines),
-		Durable:          p.Durable != 0,
-		WALSeq:           p.WALSeq,
-		WALCheckpointSeq: p.WALCheckpointSeq,
-		CheckpointAge:    time.Duration(p.CheckpointAgeNs),
-		PIRModMuls:       int64(p.PIRModMuls),
-		PIRTableMuls:     int64(p.PIRTableMuls),
-		ReplPrimarySeq:   p.ReplPrimarySeq,
-		ReplLag:          p.ReplLagOps,
-		RouterPartitions: p.RouterPartitions,
-		RouterRetries:    p.RouterRetries,
-		RouterFailovers:  p.RouterFailovers,
-		DecoyQueries:     int64(p.DecoyQueries),
-		RiskAudited:      int64(p.RiskAudited),
-		RiskSkipped:      int64(p.RiskSkipped),
-		RiskSumMicros:    int64(p.RiskSumMicros),
+		Accepted:             int64(p.Accepted),
+		Rejected:             int64(p.Rejected),
+		Active:               int64(p.Active),
+		Queries:              int64(p.Queries),
+		Updates:              int64(p.Updates),
+		Retrievals:           int64(p.Retrievals),
+		Errors:               int64(p.Errors),
+		QueryTime:            time.Duration(p.QueryNs),
+		MaxQueryTime:         time.Duration(p.MaxQueryNs),
+		Inflight:             int64(p.Inflight),
+		Queued:               int64(p.Queued),
+		QueuedTotal:          int64(p.QueuedTotal),
+		QueueWait:            time.Duration(p.QueueWaitNs),
+		MaxQueueWait:         time.Duration(p.MaxQueueWaitNs),
+		ShedQueueFull:        int64(p.ShedQueueFull),
+		ShedQueueTimeout:     int64(p.ShedQueueTimeout),
+		Deadlines:            int64(p.Deadlines),
+		Durable:              p.Durable != 0,
+		WALSeq:               p.WALSeq,
+		WALCheckpointSeq:     p.WALCheckpointSeq,
+		CheckpointAge:        time.Duration(p.CheckpointAgeNs),
+		PIRModMuls:           int64(p.PIRModMuls),
+		PIRTableMuls:         int64(p.PIRTableMuls),
+		PIRRecursiveQueries:  int64(p.PIRRecursiveQueries),
+		PIRRecursivePartials: int64(p.PIRRecursivePartials),
+		ReplPrimarySeq:       p.ReplPrimarySeq,
+		ReplLag:              p.ReplLagOps,
+		RouterPartitions:     p.RouterPartitions,
+		RouterRetries:        p.RouterRetries,
+		RouterFailovers:      p.RouterFailovers,
+		DecoyQueries:         int64(p.DecoyQueries),
+		RiskAudited:          int64(p.RiskAudited),
+		RiskSkipped:          int64(p.RiskSkipped),
+		RiskSumMicros:        int64(p.RiskSumMicros),
 	}, nil
 }

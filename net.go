@@ -75,6 +75,14 @@ type ServeConfig struct {
 	// multi-query scan. Values outside [-1, 1] are clamped. Answers
 	// and wire framing are byte-identical either way.
 	PIRBatchAmortize int
+	// PIRRecursive overrides the engine's Options.PIRRecursive switch
+	// for recursive (two-level) fetch frames served by this server: 0
+	// inherits the engine knob (read at answer time, so
+	// Engine.ConfigurePIRRecursive affects live servers), -1 refuses
+	// TypePIRRecursiveQuery frames (clients fall back to flat queries),
+	// 1 forces serving them. Values outside [-1, 1] are clamped.
+	// Decoded documents are byte-identical either way.
+	PIRRecursive int
 	// MaxInflight enables bounded admission control: at most this many
 	// requests execute at once, and requests past the limit park in a
 	// FIFO queue (QueueDepth, QueueTimeout) instead of piling onto the
@@ -184,6 +192,12 @@ type ServeStats struct {
 	// conversions); each batch query carries exactly its own setup, so
 	// these sums never double-count.
 	PIRModMuls, PIRTableMuls int64
+	// PIRRecursiveQueries counts recursive (two-level) block queries
+	// answered — a subset of Retrievals. PIRRecursivePartials counts
+	// the level-1-only partition answers served to cluster routers (a
+	// subset of PIRRecursiveQueries); a plain client-facing server
+	// reports it as zero.
+	PIRRecursiveQueries, PIRRecursivePartials int64
 	// RouterPartitions, RouterRetries and RouterFailovers are filled
 	// only when the stats came from a cluster router: the partition
 	// count behind it, per-partition attempts beyond the first, and
@@ -218,8 +232,10 @@ type NetServer struct {
 	// pirOverride is ServeConfig.PIRWorkers (clamped); 0 defers to the
 	// engine's Options.PIRWorkers at answer time. amortizeOverride is
 	// ServeConfig.PIRBatchAmortize under the same contract.
-	pirOverride      int
-	amortizeOverride int
+	// recursiveOverride is ServeConfig.PIRRecursive, same contract.
+	pirOverride       int
+	amortizeOverride  int
+	recursiveOverride int
 	// adm is the bounded admission queue; nil when MaxInflight is 0
 	// (admission control disabled).
 	adm        *admission
@@ -259,6 +275,9 @@ type NetServer struct {
 	pirModMuls   atomic.Int64
 	pirTableMuls atomic.Int64
 
+	pirRecQueries  atomic.Int64
+	pirRecPartials atomic.Int64
+
 	decoyQueries  atomic.Int64
 	riskAudited   atomic.Int64
 	riskSkipped   atomic.Int64
@@ -292,6 +311,13 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 	if amortizeOverride > 1 {
 		amortizeOverride = 1
 	}
+	recursiveOverride := cfg.PIRRecursive
+	if recursiveOverride < -1 {
+		recursiveOverride = -1
+	}
+	if recursiveOverride > 1 {
+		recursiveOverride = 1
+	}
 	var adm *admission
 	if cfg.MaxInflight != 0 {
 		slots := cfg.MaxInflight
@@ -309,20 +335,21 @@ func (e *Engine) NewNetServer(cfg ServeConfig) *NetServer {
 		adm = newAdmission(slots, depth, timeout)
 	}
 	return &NetServer{
-		engine:           e,
-		maxConns:         maxConns,
-		idle:             cfg.IdleTimeout,
-		allowUpdates:     cfg.AllowUpdates,
-		allowRetrieval:   cfg.AllowRetrieval,
-		allowReplication: cfg.AllowReplication,
-		allowLexiconSync: cfg.AllowLexiconSync,
-		riskAudit:        cfg.RiskAudit,
-		pirOverride:      pirOverride,
-		amortizeOverride: amortizeOverride,
-		adm:              adm,
-		reqTimeout:       cfg.RequestTimeout,
-		listeners:        make(map[net.Listener]struct{}),
-		conns:            make(map[net.Conn]struct{}),
+		engine:            e,
+		maxConns:          maxConns,
+		idle:              cfg.IdleTimeout,
+		allowUpdates:      cfg.AllowUpdates,
+		allowRetrieval:    cfg.AllowRetrieval,
+		allowReplication:  cfg.AllowReplication,
+		allowLexiconSync:  cfg.AllowLexiconSync,
+		riskAudit:         cfg.RiskAudit,
+		pirOverride:       pirOverride,
+		amortizeOverride:  amortizeOverride,
+		recursiveOverride: recursiveOverride,
+		adm:               adm,
+		reqTimeout:        cfg.RequestTimeout,
+		listeners:         make(map[net.Listener]struct{}),
+		conns:             make(map[net.Conn]struct{}),
 	}
 }
 
@@ -347,6 +374,16 @@ func (s *NetServer) pirBatchAmortize() bool {
 	return s.engine.livePIRBatchAmortize()
 }
 
+// pirRecursive resolves the recursive-serving switch for one recursive
+// frame: the ServeConfig override when set, else the engine's current
+// knob.
+func (s *NetServer) pirRecursive() bool {
+	if s.recursiveOverride != 0 {
+		return s.recursiveOverride > 0
+	}
+	return s.engine.livePIRRecursive()
+}
+
 // countPIRWork folds one answer's Stats into the server-wide mul
 // counters — called on error paths too, so cancelled scans' partial
 // work stays visible to work_fraction consumers.
@@ -358,28 +395,30 @@ func (s *NetServer) countPIRWork(st pir.Stats) {
 // Stats returns a snapshot of the server's counters.
 func (s *NetServer) Stats() ServeStats {
 	st := ServeStats{
-		Accepted:         s.accepted.Load(),
-		Rejected:         s.rejected.Load(),
-		Active:           s.active.Load(),
-		Queries:          s.queries.Load(),
-		Updates:          s.updates.Load(),
-		Retrievals:       s.retrievals.Load(),
-		Errors:           s.errs.Load(),
-		QueryTime:        time.Duration(s.busyNs.Load()),
-		MaxQueryTime:     time.Duration(s.maxNs.Load()),
-		Inflight:         s.inflight.Load(),
-		QueuedTotal:      s.queuedTotal.Load(),
-		QueueWait:        time.Duration(s.queueWaitNs.Load()),
-		MaxQueueWait:     time.Duration(s.maxQueueWaitNs.Load()),
-		ShedQueueFull:    s.shedFull.Load(),
-		ShedQueueTimeout: s.shedTimeout.Load(),
-		Deadlines:        s.deadlines.Load(),
-		PIRModMuls:       s.pirModMuls.Load(),
-		PIRTableMuls:     s.pirTableMuls.Load(),
-		DecoyQueries:     s.decoyQueries.Load(),
-		RiskAudited:      s.riskAudited.Load(),
-		RiskSkipped:      s.riskSkipped.Load(),
-		RiskSumMicros:    s.riskSumMicros.Load(),
+		Accepted:             s.accepted.Load(),
+		Rejected:             s.rejected.Load(),
+		Active:               s.active.Load(),
+		Queries:              s.queries.Load(),
+		Updates:              s.updates.Load(),
+		Retrievals:           s.retrievals.Load(),
+		Errors:               s.errs.Load(),
+		QueryTime:            time.Duration(s.busyNs.Load()),
+		MaxQueryTime:         time.Duration(s.maxNs.Load()),
+		Inflight:             s.inflight.Load(),
+		QueuedTotal:          s.queuedTotal.Load(),
+		QueueWait:            time.Duration(s.queueWaitNs.Load()),
+		MaxQueueWait:         time.Duration(s.maxQueueWaitNs.Load()),
+		ShedQueueFull:        s.shedFull.Load(),
+		ShedQueueTimeout:     s.shedTimeout.Load(),
+		Deadlines:            s.deadlines.Load(),
+		PIRModMuls:           s.pirModMuls.Load(),
+		PIRTableMuls:         s.pirTableMuls.Load(),
+		PIRRecursiveQueries:  s.pirRecQueries.Load(),
+		PIRRecursivePartials: s.pirRecPartials.Load(),
+		DecoyQueries:         s.decoyQueries.Load(),
+		RiskAudited:          s.riskAudited.Load(),
+		RiskSkipped:          s.riskSkipped.Load(),
+		RiskSumMicros:        s.riskSumMicros.Load(),
 	}
 	if s.adm != nil {
 		st.Queued = int64(s.adm.queued())
@@ -556,7 +595,8 @@ func (s *NetServer) serveConn(rw io.ReadWriter, deadliner net.Conn) error {
 		switch typ {
 		case wire.TypeQuery, wire.TypeBatchQuery, wire.TypeDecoyQuery,
 			wire.TypeAddDocs, wire.TypeDeleteDocs,
-			wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery:
+			wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery,
+			wire.TypePIRRecursiveQuery:
 			// TypeDecoyQuery is admitted exactly like TypeQuery: decoys
 			// are real server work, and exempting them from admission
 			// would make them an overload side channel.
@@ -643,7 +683,7 @@ func (s *NetServer) admitAndDispatch(rw io.ReadWriter, typ byte, body []byte, se
 		// never cuts a connection between applying an update and
 		// acknowledging it.
 		return s.answerAdmin(rw, typ, body)
-	default: // wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery
+	default: // wire.TypePIRParams, wire.TypePIRQuery, wire.TypePIRBatchQuery, wire.TypePIRRecursiveQuery
 		return s.answerRetrieval(rw, typ, body)
 	}
 }
@@ -789,6 +829,46 @@ func (s *NetServer) answerRetrieval(rw io.ReadWriter, typ byte, body []byte) err
 			return wire.WriteError(rw, "params request carries no body")
 		}
 		return wire.WritePIRParams(rw, snap.Params())
+	case wire.TypePIRRecursiveQuery:
+		// The recursive layout is gated separately from AllowRetrieval:
+		// the refusal reuses the frozen UnknownTypeRefusal prefix, so a
+		// client cannot distinguish "knob off" from "server predates the
+		// frame" and falls back to flat queries in both cases.
+		if !s.pirRecursive() {
+			s.errs.Add(1)
+			return wire.WriteError(rw, fmt.Sprintf("%s %d: recursive retrieval is disabled on this server", wire.UnknownTypeRefusal, typ))
+		}
+		qs, err := wire.DecodePIRRecursiveQuery(body)
+		if err != nil {
+			s.errs.Add(1)
+			return wire.WriteError(rw, err.Error())
+		}
+		ctx, cancel := s.requestCtx()
+		defer cancel()
+		answers, stats, err := answerPIRRecursiveCtx(ctx, snap, qs, s.pirWorkers())
+		for _, st := range stats {
+			s.countPIRWork(st)
+		}
+		if err != nil {
+			if isCtxErr(ctx, err) {
+				return s.deadlineError(rw, "recursive scan cancelled")
+			}
+			s.errs.Add(1)
+			return wire.WriteError(rw, err.Error())
+		}
+		// Answers reuse the batch-response frame, streamed in batch
+		// order like the amortized flat path.
+		for i, ans := range answers {
+			s.retrievals.Add(1)
+			s.pirRecQueries.Add(1)
+			if len(qs[i].Cols) == 0 {
+				s.pirRecPartials.Add(1)
+			}
+			if err := wire.WritePIRBatchAnswer(rw, i, ans); err != nil {
+				return err
+			}
+		}
+		return nil
 	case wire.TypePIRBatchQuery:
 		// One snapshot answers the whole batch, so a pipelined fetch
 		// reads an internally consistent corpus prefix. Answers stream

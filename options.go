@@ -120,6 +120,22 @@ type Options struct {
 	// (PIRWorkers == 0) is never amortized — it exists to measure the
 	// paper's per-query cost model.
 	PIRBatchAmortize int
+	// PIRRecursive selects the recursive (two-level) Kushilevitz-
+	// Ostrovsky layout for document fetches: the block store is treated
+	// as a √n×√n grid, the client uploads two ~√n-element selection
+	// vectors instead of one element per block, and the answer carries
+	// the recursively-encrypted target block. Uploads shrink from n to
+	// at most 3·⌈√n⌉ group elements per fetched block; answers grow by
+	// a factor of 8·|modulus| bytes, and decoded documents are
+	// byte-identical to the flat path. 0 (the default) and 1 enable the
+	// recursive serving path and let local fetches use it; -1 disables
+	// it — the server refuses recursive frames (clients fall back to
+	// flat queries) and local fetches stay flat. Runtime-only and not
+	// persisted; Engine.ConfigurePIRRecursive retunes a live engine,
+	// and NetServers can override it per server with
+	// ServeConfig.PIRRecursive. Whether a CLIENT sends recursive
+	// queries is its own knob (Client.SetFetchRecursive).
+	PIRRecursive int
 	// Durability opts the engine in to crash-safe persistence: every
 	// AddDocuments/DeleteDocuments batch is journaled to a write-ahead
 	// log in Durability.Dir before it is applied, and checkpoints
@@ -161,6 +177,16 @@ func validatePIRWorkers(n int) error {
 func validatePIRBatchAmortize(n int) error {
 	if n < -1 || n > 1 {
 		return fmt.Errorf("embellish: PIRBatchAmortize %d out of range [-1, 1]; -1 disables batch amortization, 0/1 enable it", n)
+	}
+	return nil
+}
+
+// validatePIRRecursive is the range check for the PIRRecursive
+// encoding, shared by Options.validate and
+// Engine.ConfigurePIRRecursive.
+func validatePIRRecursive(n int) error {
+	if n < -1 || n > 1 {
+		return fmt.Errorf("embellish: PIRRecursive %d out of range [-1, 1]; -1 refuses recursive fetches, 0/1 serve them", n)
 	}
 	return nil
 }
@@ -231,6 +257,9 @@ func (o Options) validate() error {
 		return err
 	}
 	if err := validatePIRBatchAmortize(o.PIRBatchAmortize); err != nil {
+		return err
+	}
+	if err := validatePIRRecursive(o.PIRRecursive); err != nil {
 		return err
 	}
 	if err := o.Durability.validate(); err != nil {

@@ -1,0 +1,7 @@
+//go:build !race
+
+package embellish
+
+// raceEnabled reports that the race detector is not compiled in; see
+// race_on_test.go.
+const raceEnabled = false

@@ -1,0 +1,10 @@
+//go:build race
+
+package embellish
+
+// raceEnabled reports that the race detector is compiled in. The
+// wall-clock overshoot assertions in cancel_test.go are skipped under
+// -race — instrumentation stretches the gaps between deadline polls
+// unboundedly — and the promptness property is carried by the
+// deterministic clock harness instead.
+const raceEnabled = true

@@ -152,6 +152,24 @@ func (c *Client) pipelineDepth() int {
 	return c.fetchDepth
 }
 
+// SetFetchRecursive opts this client's document fetches into the
+// two-level recursive PIR protocol: each block query carries two
+// selection vectors over a sqrt(n) x sqrt(n) grid instead of one flat
+// vector over all n blocks, cutting per-query upload from n to at most
+// 3*ceil(sqrt(n)) group elements at the cost of an answer that is
+// 8*modBytes times larger. The answers decode to byte-identical
+// documents either way.
+//
+// Local fetches use the recursive plan only while the engine's
+// PIRRecursive knob allows it (Options.PIRRecursive /
+// ConfigurePIRRecursive); otherwise they silently serve flat. Remote
+// fetches send TypePIRRecursiveQuery frames and transparently retry
+// the whole fetch through the flat protocol when the server refuses
+// them (old server, or its knob set to -1).
+func (c *Client) SetFetchRecursive(on bool) {
+	c.fetchRecursive = on
+}
+
 // pirTransport abstracts where the PIR server lives: in-process
 // (localPIR) or across a connection (remotePIR). Params is fetched
 // once per FetchDocuments call; Run serves the protocol executions.
@@ -165,6 +183,12 @@ type pirTransport interface {
 	// Cancellation of ctx stops the run between (or, for in-process
 	// serving, inside) protocol executions with ctx.Err().
 	Run(ctx context.Context, qs <-chan *pir.Query, deliver func(*pir.Answer) error) error
+	// RunRecursive is Run for two-level recursive queries, under the
+	// same ordered-delivery contract. A transport whose server does not
+	// speak the recursive protocol returns errRecursiveUnsupported
+	// (wrapped) from the first execution, with the stream still
+	// frame-aligned so the caller can retry flat.
+	RunRecursive(ctx context.Context, qs <-chan *pir.RecursiveQuery, deliver func(*pir.Answer) error) error
 }
 
 // localPIR serves fetches from one pinned store snapshot, so a
@@ -232,6 +256,48 @@ func (l localPIR) runAmortized(ctx context.Context, qs <-chan *pir.Query, delive
 	for q := range qs {
 		batch = append(batch, q)
 		if len(batch) == wire.MaxPIRBatch {
+			if err := serve(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := serve(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// RunRecursive serves recursive fetches from the pinned snapshot.
+// Recursive serving is batch-shaped from the start (the grid scan
+// shares its one database pass across the batch exactly like the
+// multi plan), so amortizing clients gather up to the wire batch cap
+// before serving; without amortization each query is served alone,
+// mirroring Run.
+func (l localPIR) RunRecursive(ctx context.Context, qs <-chan *pir.RecursiveQuery, deliver func(*pir.Answer) error) error {
+	batchMax := 1
+	if l.amortize && l.workers != 0 {
+		batchMax = wire.MaxPIRRecursiveBatch
+	}
+	batch := make([]*pir.RecursiveQuery, 0, batchMax)
+	serve := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		answers, _, err := answerPIRRecursiveCtx(ctx, l.sn, batch, l.workers)
+		if err != nil {
+			return err
+		}
+		for _, ans := range answers {
+			if err := deliver(ans); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for q := range qs {
+		batch = append(batch, q)
+		if len(batch) == batchMax {
 			if err := serve(); err != nil {
 				return err
 			}
@@ -544,6 +610,103 @@ func (r remotePIR) drain(consumed int, committed *atomic.Int64, writerDone, comm
 	}
 }
 
+// recursiveBatchLimit sizes one TypePIRRecursiveQuery frame: the wire
+// batch cap, shrunk by the frame byte budget for queries of this shape
+// (values group elements per query — the two selection vectors).
+func recursiveBatchLimit(values, modBits int) int {
+	limit := wire.MaxPIRRecursiveBatch
+	perQuery := values*((modBits+7)/8+3) + 16
+	if byBytes := maxPIRBatchFrameBytes / perQuery; byBytes < limit {
+		limit = byBytes
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// RunRecursive speaks the recursive protocol: batches of up to
+// wire.MaxPIRRecursiveBatch queries per TypePIRRecursiveQuery frame,
+// answered by that many index-checked TypePIRBatchResponse frames.
+// Frames are synchronous — the answer stream is read to the end before
+// the next frame is written — so a refusal (old server, or one with
+// its PIRRecursive knob off) is detected after exactly one exchanged
+// frame with the stream still aligned, and the caller retries flat.
+// Collection blocks on the generator to fill each frame: recursive
+// query generation costs sqrt(n) residuosity draws, orders of
+// magnitude cheaper than the grid scan it feeds.
+func (r remotePIR) RunRecursive(ctx context.Context, qs <-chan *pir.RecursiveQuery, deliver func(*pir.Answer) error) error {
+	var batchMax int
+	first := true
+	batch := make([]*pir.RecursiveQuery, 0, wire.MaxPIRRecursiveBatch)
+	serve := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := wire.WritePIRRecursiveQuery(r.conn, batch); err != nil {
+			return fmt.Errorf("embellish: sending recursive PIR batch: %w", err)
+		}
+		for i := range batch {
+			typ, body, err := wire.ReadMessage(r.conn)
+			if err != nil {
+				return fmt.Errorf("embellish: reading recursive PIR answer: %w", err)
+			}
+			if first {
+				if typ == wire.TypeError && strings.HasPrefix(string(body), wire.UnknownTypeRefusal) {
+					// The refusal both pre-recursive servers and a
+					// disabled PIRRecursive knob send for type 22; the
+					// caller falls back to the flat protocol.
+					return fmt.Errorf("%w: %s", errRecursiveUnsupported, body)
+				}
+				first = false
+			}
+			switch typ {
+			case wire.TypeError:
+				return remoteError(body)
+			case wire.TypePIRBatchResponse:
+			default:
+				return fmt.Errorf("embellish: unexpected message type %d", typ)
+			}
+			idx, ans, err := wire.DecodePIRBatchAnswer(body)
+			if err != nil {
+				return err
+			}
+			if idx != i {
+				return fmt.Errorf("embellish: recursive answer %d arrived at position %d", idx, i)
+			}
+			if err := deliver(ans); err != nil {
+				return err
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+	for q := range qs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if batchMax == 0 {
+			batchMax = recursiveBatchLimit(len(q.Rows)+len(q.Cols), q.N.BitLen())
+		}
+		batch = append(batch, q)
+		if len(batch) == batchMax {
+			if err := serve(); err != nil {
+				return err
+			}
+		}
+	}
+	if err := serve(); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// errRecursiveUnsupported marks a server that answered the first
+// recursive frame with the "unexpected message type" refusal — either
+// it predates the recursive protocol or its PIRRecursive knob is -1;
+// the two are deliberately indistinguishable on the wire.
+var errRecursiveUnsupported = errors.New("embellish: server does not speak recursive PIR fetches")
+
 // FetchStats describes the cost of one FetchDocuments call, feeding
 // the PIR-vs-plaintext cost comparison of the Section 5.2 experiments.
 type FetchStats struct {
@@ -577,11 +740,15 @@ func (c *Client) FetchDocumentsContext(ctx context.Context, ids []int) ([][]byte
 	if err != nil {
 		return nil, FetchStats{}, err
 	}
+	// Local fetches honor BOTH sides of the recursive handshake: the
+	// client's opt-in and the engine's live PIRRecursive knob — exactly
+	// the pair a remote fetch negotiates over the wire.
+	recursive := c.fetchRecursive && c.engine.livePIRRecursive()
 	return c.fetchVia(ctx, localPIR{
 		sn:       sn,
 		workers:  c.engine.livePIRWorkers(),
 		amortize: c.engine.livePIRBatchAmortize(),
-	}, ids)
+	}, ids, recursive)
 }
 
 // FetchDocumentsRemote privately fetches the given documents from a
@@ -628,13 +795,25 @@ func (c *Client) FetchDocumentsRemoteContext(ctx context.Context, conn io.ReadWr
 		conn:     conn,
 		depth:    depth,
 		amortize: amortize,
-	}, ids)
+	}, ids, c.fetchRecursive)
+	if c.fetchRecursive && errors.Is(err, errRecursiveUnsupported) {
+		// The server refused the very first recursive frame (recursive
+		// frames are synchronous, so exactly one was exchanged and the
+		// stream is still aligned): retry the whole fetch through the
+		// flat protocol. Old servers and a PIRRecursive knob of -1 send
+		// the identical refusal — the fallback covers both.
+		out, st, err = c.fetchVia(ctx, remotePIR{
+			conn:     conn,
+			depth:    depth,
+			amortize: amortize,
+		}, ids, false)
+	}
 	if depth > 1 && errors.Is(err, errBatchUnsupported) {
 		// A server predating the batch messages refused the very first
 		// batch frame (the pipeline slow-starts, so exactly one frame
 		// was exchanged and the stream is still aligned): retry the
 		// whole fetch through the sequential protocol it does speak.
-		return c.fetchVia(ctx, remotePIR{conn: conn, depth: 1}, ids)
+		return c.fetchVia(ctx, remotePIR{conn: conn, depth: 1}, ids, false)
 	}
 	return out, st, err
 }
@@ -649,8 +828,11 @@ var errBatchUnsupported = errors.New("embellish: server does not speak batched P
 // reassembled strictly in order, each document checksum-verified as
 // its last block arrives. Any unfetchable id (never assigned, or
 // tombstoned) fails the whole call — the error names the id, and no
-// partial results are returned.
-func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]byte, FetchStats, error) {
+// partial results are returned. With recursive set, the executions are
+// two-level recursive queries (RunRecursive) whose answers decode to
+// the same block bytes — the reassembly, truncation and checksum logic
+// is deliberately shared so the two protocols cannot drift.
+func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int, recursive bool) ([][]byte, FetchStats, error) {
 	var st FetchStats
 	if len(ids) == 0 {
 		return nil, st, errors.New("embellish: no documents to fetch")
@@ -692,9 +874,11 @@ func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]b
 	}
 
 	// Generator goroutine: building a query costs one residuosity draw
-	// per block column, so it runs ahead of the transport, bounded by
-	// the pipeline window. It owns its stats until joined below.
+	// per block column (per GRID row+column for recursive queries), so
+	// it runs ahead of the transport, bounded by the pipeline window.
+	// It owns its stats until joined below.
 	qch := make(chan *pir.Query, c.pipelineDepth())
+	rch := make(chan *pir.RecursiveQuery, c.pipelineDepth())
 	done := make(chan struct{})
 	var (
 		wg            sync.WaitGroup
@@ -705,7 +889,22 @@ func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]b
 	go func() {
 		defer wg.Done()
 		defer close(qch)
+		defer close(rch)
 		for _, tk := range tasks {
+			if recursive {
+				q, err := key.NewRecursiveQuery(c.inner.CryptoRand, params.NumBlocks, tk.col)
+				if err != nil {
+					genErr = err
+					return
+				}
+				genQueryBytes += key.RecursiveQueryBytes(params.NumBlocks)
+				select {
+				case rch <- q:
+				case <-done:
+					return
+				}
+				continue
+			}
 			q, err := key.NewQuery(c.inner.CryptoRand, params.NumBlocks, tk.col)
 			if err != nil {
 				genErr = err
@@ -732,14 +931,28 @@ func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]b
 		if next >= len(tasks) {
 			return errors.New("embellish: more PIR answers than queries")
 		}
-		if len(ans.Gammas) != 8*params.BlockSize {
-			return fmt.Errorf("embellish: PIR answer has %d rows, want %d", len(ans.Gammas), 8*params.BlockSize)
+		var bits []bool
+		if recursive {
+			modBytes := (key.N.BitLen() + 7) / 8
+			if want := 64 * params.BlockSize * modBytes; len(ans.Gammas) != want {
+				return fmt.Errorf("embellish: recursive PIR answer has %d rows, want %d", len(ans.Gammas), want)
+			}
+			var derr error
+			bits, derr = key.DecodeRecursive(ans, params.BlockSize)
+			if derr != nil {
+				return fmt.Errorf("embellish: decoding recursive PIR answer: %w", derr)
+			}
+		} else {
+			if len(ans.Gammas) != 8*params.BlockSize {
+				return fmt.Errorf("embellish: PIR answer has %d rows, want %d", len(ans.Gammas), 8*params.BlockSize)
+			}
+			bits = key.Decode(ans)
 		}
 		st.Runs++
 		st.AnswerBytes += key.AnswerBytes(len(ans.Gammas))
 		tk := tasks[next]
 		next++
-		out[tk.pos] = append(out[tk.pos], pir.ColumnBytes(key.Decode(ans))[:params.BlockSize]...)
+		out[tk.pos] = append(out[tk.pos], pir.ColumnBytes(bits)[:params.BlockSize]...)
 		remaining[tk.pos]--
 		if remaining[tk.pos] == 0 {
 			ext := params.Exts[ids[tk.pos]]
@@ -752,7 +965,11 @@ func (c *Client) fetchVia(ctx context.Context, t pirTransport, ids []int) ([][]b
 		}
 		return nil
 	}
-	err = t.Run(ctx, qch, deliver)
+	if recursive {
+		err = t.RunRecursive(ctx, rch, deliver)
+	} else {
+		err = t.Run(ctx, qch, deliver)
+	}
 	close(done)
 	wg.Wait()
 	st.QueryBytes = genQueryBytes

@@ -1,0 +1,225 @@
+package embellish
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"embellish/internal/detrand"
+)
+
+// fetchAll fetches every live document id in the store world.
+func fetchAllIDs(nDocs int) []int {
+	ids := make([]int, nDocs)
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// TestFetchDocumentsRecursiveLocal proves the recursive fetch path on
+// the in-process transport: byte-identical documents to the flat path
+// on the same corpus, with strictly fewer uploaded query bytes and the
+// wider recursive answers accounted.
+func TestFetchDocumentsRecursiveLocal(t *testing.T) {
+	_, c, texts := storeWorld(t, 40, 32)
+	ids := fetchAllIDs(40)
+
+	flat, flatSt, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFetchRecursive(true)
+	rec, recSt, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if !bytes.Equal(flat[i], rec[i]) {
+			t.Fatalf("doc %d: recursive fetch %q != flat fetch %q", id, rec[i], flat[i])
+		}
+		if string(rec[i]) != texts[id] {
+			t.Fatalf("doc %d: fetched %q, want %q", id, rec[i], texts[id])
+		}
+	}
+	if recSt.Runs != flatSt.Runs {
+		t.Fatalf("recursive ran %d executions, flat ran %d", recSt.Runs, flatSt.Runs)
+	}
+	// The whole point of the recursion: per-query upload drops from n
+	// to <= 3*ceil(sqrt(n)) group elements.
+	if recSt.QueryBytes >= flatSt.QueryBytes {
+		t.Fatalf("recursive uploaded %d query bytes, flat %d — no upload win", recSt.QueryBytes, flatSt.QueryBytes)
+	}
+	// The trade: recursive answers are 8*modBytes times wider.
+	if recSt.AnswerBytes <= flatSt.AnswerBytes {
+		t.Fatalf("recursive answers %d bytes, flat %d — accounting broken", recSt.AnswerBytes, flatSt.AnswerBytes)
+	}
+}
+
+// TestFetchRecursiveKnobLocal pins the local handshake: the engine's
+// PIRRecursive knob gates a recursive-opted client (silently flat at
+// -1), and ConfigurePIRRecursive flips it live.
+func TestFetchRecursiveKnobLocal(t *testing.T) {
+	_, c, _ := storeWorld(t, 30, 32)
+	e := c.engine
+	ids := fetchAllIDs(8)
+	c.SetFetchRecursive(true)
+
+	_, recSt, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.ConfigurePIRRecursive(-1); err != nil {
+		t.Fatal(err)
+	}
+	got, flatSt, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ids) {
+		t.Fatalf("fetched %d documents, want %d", len(got), len(ids))
+	}
+	// Knob off: the same opted-in client silently served flat, visible
+	// in the upload accounting (flat queries are wider).
+	if flatSt.QueryBytes <= recSt.QueryBytes {
+		t.Fatalf("knob -1 uploaded %d bytes, recursive run uploaded %d — still recursive?", flatSt.QueryBytes, recSt.QueryBytes)
+	}
+	if err := e.ConfigurePIRRecursive(1); err != nil {
+		t.Fatal(err)
+	}
+	_, backSt, err := c.FetchDocuments(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if backSt.QueryBytes != recSt.QueryBytes {
+		t.Fatalf("knob restored: uploaded %d bytes, want %d", backSt.QueryBytes, recSt.QueryBytes)
+	}
+	if err := e.ConfigurePIRRecursive(2); err == nil {
+		t.Fatal("ConfigurePIRRecursive(2) accepted")
+	}
+}
+
+// TestFetchDocumentsRecursiveRemote drives type-22 frames over TCP:
+// byte-identity against direct reads, upload accounting below the flat
+// path, and the server's recursive counters tracking the executions.
+func TestFetchDocumentsRecursiveRemote(t *testing.T) {
+	e, _, texts := storeWorld(t, 30, 32)
+	srv := e.NewNetServer(ServeConfig{AllowRetrieval: true})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := e.NewClient(detrand.New("recursive-remote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFetchRecursive(true)
+	ids := fetchAllIDs(20)
+	got, st, err := c.FetchDocumentsRemote(conn, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if string(got[i]) != texts[id] {
+			t.Fatalf("doc %d: fetched %q, want %q", id, got[i], texts[id])
+		}
+	}
+	// Accounting sanity: the recursive frames really went over the wire.
+	flatClient, err := e.NewClient(detrand.New("flat-remote"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, flatSt, err := flatClient.FetchDocumentsRemote(conn, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueryBytes >= flatSt.QueryBytes {
+		t.Fatalf("recursive uploaded %d query bytes, flat %d", st.QueryBytes, flatSt.QueryBytes)
+	}
+	conn.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	stats := srv.Stats()
+	if stats.PIRRecursiveQueries != int64(st.Runs) {
+		t.Fatalf("server counted %d recursive queries, client ran %d", stats.PIRRecursiveQueries, st.Runs)
+	}
+	if stats.PIRRecursivePartials != 0 {
+		t.Fatalf("non-cluster server counted %d recursive partials", stats.PIRRecursivePartials)
+	}
+	if stats.Retrievals != int64(st.Runs+flatSt.Runs) {
+		t.Fatalf("server counted %d retrievals, clients ran %d", stats.Retrievals, st.Runs+flatSt.Runs)
+	}
+}
+
+// TestFetchRecursiveFallsBackToFlat: a server whose PIRRecursive knob
+// is -1 refuses type 22 with the frozen unknown-type prefix, and the
+// opted-in client transparently retries the whole fetch flat on the
+// same connection — indistinguishable from talking to an old server.
+func TestFetchRecursiveFallsBackToFlat(t *testing.T) {
+	e, _, texts := storeWorld(t, 20, 32)
+	addr := startRetrievalServer(t, e, ServeConfig{AllowRetrieval: true, PIRRecursive: -1})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := e.NewClient(detrand.New("fallback-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFetchRecursive(true)
+	ids := fetchAllIDs(12)
+	got, st, err := c.FetchDocumentsRemote(conn, ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if string(got[i]) != texts[id] {
+			t.Fatalf("doc %d: fetched %q, want %q", id, got[i], texts[id])
+		}
+	}
+	if st.Runs == 0 {
+		t.Fatal("no PIR executions accounted")
+	}
+	// The connection survived the refusal and the retry: fetch again.
+	if _, _, err := c.FetchDocumentsRemote(conn, ids[:3]); err != nil {
+		t.Fatalf("fetch after fallback: %v", err)
+	}
+}
+
+// TestFetchRecursiveRemoteCancellation: a deadline expiring mid-fetch
+// surfaces ctx.Err() through the recursive path without wedging the
+// client or the server.
+func TestFetchRecursiveRemoteCancellation(t *testing.T) {
+	e, _, _ := storeWorld(t, 30, 32)
+	addr := startRetrievalServer(t, e, ServeConfig{AllowRetrieval: true})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	c, err := e.NewClient(detrand.New("cancel-client"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetFetchRecursive(true)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := c.FetchDocumentsRemoteContext(ctx, conn, fetchAllIDs(20)); err == nil {
+		t.Fatal("cancelled recursive fetch succeeded")
+	}
+}
